@@ -1,0 +1,18 @@
+"""Bench: design-choice ablations (extension beyond the paper's figures)."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_ablations
+
+
+def test_design_ablations(benchmark, capsys):
+    report = benchmark.pedantic(exp_ablations.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    # every ablated variant must still be exact
+    assert report.data["matches_equal"]
+    # each mechanism must pay for itself on its own metric
+    assert report.data["filter_visits_ratio"] > 1.2
+    assert report.data["packing_candidates_ratio"] >= 1.0
+    assert report.data["gmcr_pairs_ratio"] > 2.0
+    assert report.data["order_visits_ratio"] >= 0.9  # BFS not better by much
+    assert report.data["bfs_partial_bytes"] > 100 * 30 * 8  # BFS join memory blow-up
+    assert report.data["edge_sig_visits_ratio"] >= 1.0  # extension never hurts

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 5 (candidate pruning per refinement iteration)."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_fig05
+
+
+def test_fig05_candidate_pruning(benchmark, capsys):
+    report = benchmark.pedantic(exp_fig05.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    totals = report.data["totals"]
+    # paper shape: monotone pruning, steep first drop, late plateau
+    assert all(a >= b for a, b in zip(totals, totals[1:]))
+    assert report.data["drop_1_2"] > 0.15
+    assert report.data["tail_6_8"] < report.data["drop_1_2"]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 6 (filter vs join time per iteration, V100S)."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_fig06
+
+
+def test_fig06_filter_vs_join(benchmark, capsys):
+    report = benchmark.pedantic(exp_fig06.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    series = report.data["series"]
+    # filter rises with iterations; join falls; interior optimum
+    assert series["filter"][-1] > series["filter"][0]
+    assert series["join"][-1] < series["join"][0]
+    assert 1 < report.data["best_iteration"] < 8
+    # measured (CPU substrate) join time also falls from s=1
+    assert report.data["measured"]["join"][1] < report.data["measured"]["join"][0]

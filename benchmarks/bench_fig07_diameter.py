@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 7 (optimal iterations by query diameter)."""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_fig07
+
+
+def test_fig07_diameter_groups(benchmark, capsys):
+    report = benchmark.pedantic(exp_fig07.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    best = report.data["best_by_diameter"]
+    assert len(best) >= 4
+    # paper claim: larger diameters need more iterations (on average)
+    assert report.data["high_mean"] >= report.data["low_mean"]

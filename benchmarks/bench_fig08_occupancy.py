@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 8 (occupancy timeline, V100S, 6 iterations)."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_fig08
+
+
+def test_fig08_occupancy_timeline(benchmark, capsys):
+    report = benchmark.pedantic(exp_fig08.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    assert report.data["filter_peaks"] == 6  # six distinct filter peaks
+    assert 0.2 <= report.data["join_occupancy"] <= 0.8  # paper ~48%
+    assert 0.3 <= report.data["mapping_occupancy"] <= 0.7  # paper 47-55%

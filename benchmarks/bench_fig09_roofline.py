@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 9 (instruction roofline, V100S)."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_fig09
+
+
+def test_fig09_roofline(benchmark, capsys):
+    report = benchmark.pedantic(exp_fig09.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    points = report.data["points"]
+    # paper: the first filter kernel has the lowest instruction intensity
+    # of the filter iterations (it only evaluates labels) and is
+    # memory-bound ("with a single refinement iteration, the Filter phase
+    # becomes memory-bound", section 5.3)
+    filter_intensities = {
+        k: v["intensity_instr_per_byte"]
+        for k, v in points.items()
+        if k.startswith("filter")
+    }
+    assert filter_intensities["filter-1"] == min(filter_intensities.values())
+    assert points["filter-1"]["bound"] == "hbm"
+    # later filter kernels run near the compute roof (paper: >93% sustained)
+    assert points["filter-2"]["bound"] == "compute"
+    assert points["filter-2"]["roof_fraction"] > 0.85
+    # join sits in the memory-bound region (L2/HBM), not on the compute roof
+    assert points["join"]["bound"] in ("l2", "hbm")

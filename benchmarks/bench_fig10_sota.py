@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 10 (comparison vs VF3/GSI/cuTS)."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_fig10
+
+
+def test_fig10_state_of_the_art(benchmark, capsys):
+    report = benchmark.pedantic(exp_fig10.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    r = report.data["results"]
+    # SIGMo and VF3 agree on labeled match counts
+    assert r["SIGMo"]["matches"] == r["VF3"]["matches"]
+    # speedup ordering: SIGMo fastest; GSI-like slowest labeled matcher
+    assert r["SIGMo"]["time"] < r["VF3"]["time"]
+    assert r["SIGMo"]["time"] < r["GSI-like"]["time"]
+    assert r["SIGMo"]["time"] < r["cuTS-like"]["time"]
+    # cuTS reports more raw matches (label-blind)
+    assert r["cuTS-like"]["matches"] > r["SIGMo"]["matches"]
+    # SIGMo has the highest labeled throughput
+    assert r["SIGMo"]["throughput"] > r["VF3"]["throughput"]
+    assert r["SIGMo"]["throughput"] > r["GSI-like"]["throughput"]

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 12 (single-GPU scaling to OOM)."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_fig12
+
+
+def test_fig12_single_gpu_scaling(benchmark, capsys):
+    report = benchmark.pedantic(exp_fig12.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    times = report.data["times"]
+    # paper: OOM near scale 26 on the 32 GB V100S
+    assert report.data["oom_at"] is not None
+    assert 20 <= report.data["oom_at"] <= 28
+    # sublinear growth: scale-k time < k x scale-1 time
+    last = len(times["find-all"])
+    assert times["find-all"][-1] < last * times["find-all"][0]
+    # Find First is never slower than Find All
+    assert all(f <= a for f, a in zip(times["find-first"], times["find-all"]))

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 13 (multi-node weak scaling)."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_fig13
+
+
+def test_fig13_weak_scaling(benchmark, capsys):
+    report = benchmark.pedantic(exp_fig13.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    points = report.data["points"]
+    by_mode = {}
+    for mode, n_gpus, makespan, throughput in points:
+        by_mode.setdefault(mode, []).append((n_gpus, makespan, throughput))
+    for mode, pts in by_mode.items():
+        pts.sort()
+        ratio_gpus = pts[-1][0] / pts[0][0]
+        ratio_tp = pts[-1][2] / pts[0][2]
+        # near-linear throughput scaling (paper: linear in log-log space)
+        assert ratio_tp > 0.6 * ratio_gpus, mode
+        # weak scaling: makespan roughly flat (max-of-ranks grows slowly)
+        assert pts[-1][1] < 1.6 * pts[0][1], mode

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 14 (per-rank runtime variability)."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_fig14
+
+
+def test_fig14_per_rank_variability(benchmark, capsys):
+    report = benchmark.pedantic(exp_fig14.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    cv = report.data["cv"]
+    # paper: 8% (Find All) vs 4% (Find First); we assert the ordering and
+    # a sane band
+    assert cv["find-all"] > cv["find-first"]
+    assert 0.005 < cv["find-first"] < 0.15
+    assert 0.01 < cv["find-all"] < 0.25

@@ -1,0 +1,12 @@
+"""Bench: regenerate the section 5.1.3 memory accounting."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_memory
+
+
+def test_memory_footprint(benchmark, capsys):
+    report = benchmark.pedantic(exp_memory.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    # paper: ~1 GB total, ~80% candidate bitmap
+    assert 0.8e9 < report.data["total"] < 1.8e9
+    assert report.data["bitmap_share"] > 0.7

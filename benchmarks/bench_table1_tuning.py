@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 1 (tuned configuration per GPU)."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_table1
+
+
+def test_table1_configuration_tuning(benchmark, capsys):
+    report = benchmark.pedantic(exp_table1.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    assert report.data["found"] == report.data["paper"]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 2 (qualitative feature matrix, probed)."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_table2
+
+
+def test_table2_feature_matrix(benchmark, capsys):
+    report = benchmark.pedantic(exp_table2.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    probes = report.data["probes"]
+    # every labeled matcher is probed exact; cuTS-like is label-blind
+    for name, p in probes.items():
+        if name == "cuTS-like":
+            assert not p["exact"] and not p["label_sensitive"]
+        else:
+            assert p["exact"] and p["label_sensitive"], name

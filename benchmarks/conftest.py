@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+The experiment modules cache the expensive shared sweep via lru_cache, so
+ordering between bench files does not matter.  Reports are printed with the
+capture disabled so `pytest benchmarks/ --benchmark-only` shows the
+regenerated tables inline.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `benchmarks.experiments` importable when pytest's rootdir differs.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+
+def emit(capsys, report) -> None:
+    """Print an experiment report outside pytest's capture."""
+    with capsys.disabled():
+        print()
+        print(report.render())

@@ -1,0 +1,55 @@
+"""Fig. 8: V100S occupancy timeline during a six-iteration run.
+
+The paper's DCGM profile shows: an initial data-initialization gap, six
+distinct near-full-occupancy filter peaks separated by host-sync dips, a
+short ~50 % mapping phase, and a ~48 % join plateau.
+"""
+
+from __future__ import annotations
+
+from benchmarks.experiments.shared import (
+    SCALE_TO_PAPER,
+    ExperimentReport,
+    fmt_table,
+    sweep_counters,
+)
+from repro.device.occupancy import build_timeline
+from repro.device.spec import DEVICES
+from repro.perf.model import PerformanceModel
+
+
+def run(device_name: str = "nvidia-v100s", iterations: int = 6) -> ExperimentReport:
+    """Rebuild the occupancy timeline at paper scale."""
+    device = DEVICES[device_name]
+    counters = sweep_counters(iterations).scaled(SCALE_TO_PAPER)
+    times = PerformanceModel(device, word_bits=32).estimate(counters).per_kernel
+    timeline = build_timeline(counters, times, device)
+
+    rows = [
+        [seg.phase, round(seg.t_start_s, 4), round(seg.t_end_s, 4),
+         round(seg.occupancy * 100, 1)]
+        for seg in timeline.segments
+    ]
+    text = fmt_table(["phase", "start(s)", "end(s)", "occupancy(%)"], rows)
+    peaks = timeline.phase_peaks("filter")
+    mean_join = timeline.mean_occupancy("join")
+    mean_map = timeline.mean_occupancy("mapping")
+    text += (
+        f"\nfilter peaks >=80% occupancy: {peaks}"
+        f"\nmean mapping occupancy: {mean_map:.0%}"
+        f"\nmean join occupancy: {mean_join:.0%}"
+    )
+    return ExperimentReport(
+        experiment="fig08",
+        title="GPU occupancy timeline (6 refinement iterations, V100S)",
+        text=text,
+        data={
+            "filter_peaks": peaks,
+            "join_occupancy": mean_join,
+            "mapping_occupancy": mean_map,
+        },
+        paper_reference=(
+            "six filter peaks at ~100 % with sync dips; mapping 47-55 %; "
+            "join stable around 48 %"
+        ),
+    )

@@ -1,0 +1,55 @@
+"""Fig. 9: instruction roofline of the pipeline kernels (V100S).
+
+The paper places the filter iterations, mapping, and join on the
+Instruction Roofline Model: the first filter kernel has very low
+instruction intensity (label-only pass), later filters move toward the
+compute roof, and the join sits in the L2 region.
+"""
+
+from __future__ import annotations
+
+from benchmarks.experiments.shared import (
+    SCALE_TO_PAPER,
+    ExperimentReport,
+    fmt_table,
+    sweep_counters,
+)
+from repro.device.roofline import build_roofline
+from repro.device.spec import DEVICES
+from repro.perf.model import PerformanceModel
+
+
+def run(device_name: str = "nvidia-v100s", iterations: int = 6) -> ExperimentReport:
+    """Regenerate the roofline points."""
+    device = DEVICES[device_name]
+    counters = sweep_counters(iterations).scaled(SCALE_TO_PAPER)
+    times = PerformanceModel(device, word_bits=32).estimate(counters).per_kernel
+    roofline = build_roofline(counters, times, device)
+    rows = [
+        [
+            r["kernel"],
+            r["intensity_instr_per_byte"],
+            r["throughput_ginstr_s"],
+            r["bound"],
+            round(r["roof_fraction"], 2),
+        ]
+        for r in roofline.table()
+    ]
+    text = fmt_table(
+        ["kernel", "intensity(I/B)", "GInstr/s", "bound", "roof-frac"], rows
+    )
+    text += (
+        f"\ncompute roof: {device.peak_ginstr_per_s:.0f} GInstr/s; "
+        f"HBM ridge point: {roofline.ridge_point('hbm'):.2f} instr/byte"
+    )
+    by_kernel = {r["kernel"]: r for r in roofline.table()}
+    return ExperimentReport(
+        experiment="fig09",
+        title="Instruction roofline (6 iterations, V100S)",
+        text=text,
+        data={"points": by_kernel},
+        paper_reference=(
+            "filter-1 at very low intensity (label-only), later filter "
+            "kernels approach the compute roof, join bounded by L2/memory"
+        ),
+    )

@@ -1,0 +1,85 @@
+"""Fig. 11: filter/join/total across iterations on three GPUs.
+
+Paper findings reproduced here: MI100 fastest overall (min 1.70 s @ 5
+iterations), V100S 2.12 s @ 6, Max 1100 2.65 s @ 2 — Intel's weak compute
+makes additional refinement iterations unprofitable early, while its
+bandwidth keeps the memory-bound first iteration competitive.
+"""
+
+from __future__ import annotations
+
+from benchmarks.experiments.shared import (
+    SCALE_TO_PAPER,
+    SWEEP_ITERATIONS,
+    ExperimentReport,
+    fmt_table,
+    sweep_counters,
+)
+from repro.core.config import PAPER_TABLE1_CONFIGS
+from repro.device.spec import DEVICES
+from repro.perf.model import PerformanceModel
+
+PAPER_MINIMA = {
+    "nvidia-v100s": (6, 2.12),
+    "amd-mi100": (5, 1.70),
+    "intel-max1100": (2, 2.65),
+}
+
+
+def run() -> ExperimentReport:
+    """Model the sweep per device with its Table 1 configuration."""
+    models = {}
+    for name, cfg in PAPER_TABLE1_CONFIGS.items():
+        models[name] = PerformanceModel(
+            DEVICES[name],
+            word_bits=cfg.word_bits,
+            filter_workgroup_size=cfg.filter_workgroup_size,
+            join_workgroup_size=cfg.join_workgroup_size,
+        )
+    rows = []
+    series = {name: {"filter": [], "join": [], "total": []} for name in models}
+    for s in SWEEP_ITERATIONS:
+        counters = sweep_counters(s)
+        row = [s]
+        for name, model in models.items():
+            t = model.estimate_scaled(counters, SCALE_TO_PAPER)
+            series[name]["filter"].append(t.filter_seconds)
+            series[name]["join"].append(t.join_seconds)
+            series[name]["total"].append(t.total_seconds)
+            row += [t.filter_seconds, t.join_seconds, t.total_seconds]
+        rows.append(row)
+    headers = ["iter"]
+    for name in models:
+        tag = name.split("-")[1][:6]
+        headers += [f"{tag}-F", f"{tag}-J", f"{tag}-T"]
+    from benchmarks.experiments.textplot import ascii_chart
+
+    text = fmt_table(headers, rows)
+    text += "\n\n" + ascii_chart(
+        {name.split("-")[1]: vals["total"] for name, vals in series.items()},
+        x_values=list(SWEEP_ITERATIONS),
+        y_label="total seconds",
+        x_label="refinement iterations",
+    )
+    minima = {}
+    for name in models:
+        totals = series[name]["total"]
+        idx = totals.index(min(totals))
+        minima[name] = (SWEEP_ITERATIONS[idx], totals[idx])
+    text += "\nminima (modeled vs paper):"
+    for name, (it, total) in minima.items():
+        p_it, p_total = PAPER_MINIMA[name]
+        text += (
+            f"\n  {name}: {total:.2f} s @ iter {it}"
+            f"   (paper: {p_total:.2f} s @ iter {p_it})"
+        )
+    return ExperimentReport(
+        experiment="fig11",
+        title="Performance portability across V100S / MI100 / Max 1100",
+        text=text,
+        data={"series": series, "minima": minima},
+        paper_reference=(
+            "minima: MI100 1.70 s @5, V100S 2.12 s @6, Max 1100 2.65 s @2; "
+            "AMD fastest; Intel penalized on the compute-bound filter"
+        ),
+    )

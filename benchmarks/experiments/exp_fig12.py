@@ -1,0 +1,88 @@
+"""Fig. 12: single-GPU weak scaling up to out-of-memory.
+
+The paper grows the dataset by integer scale factors (data nodes 2M to
+71M) on one 32 GB V100S until allocation fails around scale factor 26,
+annotating each point with the slowdown relative to scale 1.  Find First
+scales slightly better than Find All.
+"""
+
+from __future__ import annotations
+
+from benchmarks.experiments.shared import (
+    SCALE_TO_PAPER,
+    ExperimentReport,
+    fmt_table,
+    reference_engine,
+    sweep_counters,
+)
+from repro.chem.datasets import PAPER_DATA_NODES, PAPER_QUERY_NODES
+from repro.device.memory import DeviceMemory, DeviceOutOfMemory, sigmo_footprint_bytes
+from repro.device.spec import DEVICES
+from repro.perf.model import PerformanceModel
+
+MAX_SCALE = 28
+
+
+def run(device_name: str = "nvidia-v100s", iterations: int = 6) -> ExperimentReport:
+    """Sweep dataset scale factors until the modeled device runs out of
+    memory, reporting Find All and Find First times."""
+    device = DEVICES[device_name]
+    model = PerformanceModel(device, word_bits=32)
+    engine = reference_engine()
+    counters = {
+        mode: sweep_counters(iterations, mode) for mode in ("find-all", "find-first")
+    }
+    # Memory is modeled at the paper's node counts (the reference query set
+    # has slightly more nodes per query than the paper's).
+    nq_nodes = PAPER_QUERY_NODES
+    base_adj = engine.data.n_adjacency
+
+    rows = []
+    times = {"find-all": [], "find-first": []}
+    oom_at = None
+    for k in range(1, MAX_SCALE + 1):
+        nd_nodes = int(PAPER_DATA_NODES * k)
+        footprint = sigmo_footprint_bytes(
+            nq_nodes, nd_nodes, int(base_adj * SCALE_TO_PAPER * k), word_bits=32
+        )
+        mem = DeviceMemory(device)
+        try:
+            for name, nbytes in footprint.items():
+                mem.allocate(name, nbytes)
+        except DeviceOutOfMemory:
+            oom_at = k
+            rows.append([k, nd_nodes // 10**6, "OOM", "OOM", "-", "-"])
+            break
+        t = {}
+        for mode in ("find-all", "find-first"):
+            est = model.estimate_scaled(counters[mode], SCALE_TO_PAPER * k)
+            t[mode] = est.total_seconds
+            times[mode].append(est.total_seconds)
+        rel_all = t["find-all"] / times["find-all"][0]
+        rel_first = t["find-first"] / times["find-first"][0]
+        rows.append(
+            [
+                k,
+                nd_nodes // 10**6,
+                round(t["find-all"], 2),
+                round(t["find-first"], 2),
+                f"x{rel_all:.1f}",
+                f"x{rel_first:.1f}",
+            ]
+        )
+    text = fmt_table(
+        ["scale", "Mnodes", "findall(s)", "findfirst(s)", "rel-all", "rel-first"],
+        rows,
+    )
+    if oom_at:
+        text += f"\nout of memory at scale factor {oom_at} (paper: ~26 on 32 GB)"
+    return ExperimentReport(
+        experiment="fig12",
+        title="Single-GPU scalability to out-of-memory",
+        text=text,
+        data={"times": times, "oom_at": oom_at},
+        paper_reference=(
+            "sublinear growth (x23.3 at scale 25 for Find All, x22.0 Find "
+            "First); OOM past scale 26 (71M data nodes) on the 32 GB V100S"
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Section 5.1.3: memory-footprint accounting.
+
+The paper reports, for the full benchmark (3,413 query nodes, 2,745,872
+data nodes): ~1 GB total, 80 % candidate bitmaps (|V_Q| x |V_D| / 8 bytes),
+~64 MB data graphs, ~90 KB query graphs, ~128 MB signatures.
+"""
+
+from __future__ import annotations
+
+from benchmarks.experiments.shared import (
+    SCALE_TO_PAPER,
+    ExperimentReport,
+    fmt_table,
+    reference_engine,
+    sweep_result,
+)
+from repro.chem.datasets import PAPER_DATA_NODES, PAPER_QUERY_NODES
+
+
+def run() -> ExperimentReport:
+    """Measured small-scale footprint plus the paper-scale closed form."""
+    engine = reference_engine()
+    result = sweep_result(6)
+    measured = result.memory
+
+    # Closed-form paper-scale footprint (32-bit words like the V100S config).
+    from repro.device.memory import sigmo_footprint_bytes
+
+    paper_scale = sigmo_footprint_bytes(
+        PAPER_QUERY_NODES,
+        PAPER_DATA_NODES,
+        int(engine.data.n_adjacency * SCALE_TO_PAPER),
+        n_query_adjacency=engine.query.n_adjacency,
+        word_bits=32,
+    )
+    total = sum(paper_scale.values())
+    rows = [
+        [name, nbytes, f"{nbytes / total:.1%}"]
+        for name, nbytes in paper_scale.items()
+    ]
+    rows.append(["total", total, "100%"])
+    text = "paper-scale closed form (3,413 x 2,745,872 nodes):\n"
+    text += fmt_table(["component", "bytes", "share"], rows)
+    text += "\n\nmeasured on the reference dataset:\n"
+    text += fmt_table(
+        ["component", "bytes"],
+        [[k, v] for k, v in vars(measured).items()],
+    )
+    return ExperimentReport(
+        experiment="memory",
+        title="Memory footprint accounting (section 5.1.3)",
+        text=text,
+        data={
+            "paper_scale": paper_scale,
+            "total": total,
+            "bitmap_share": paper_scale["candidate_bitmap"] / total,
+        },
+        paper_reference=(
+            "~1 GB total, 80 % candidate bitmaps, ~64 MB data graphs, "
+            "~90 KB query graphs, ~128 MB signatures"
+        ),
+    )

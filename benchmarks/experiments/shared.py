@@ -1,0 +1,133 @@
+"""Shared infrastructure for the experiment reproductions.
+
+Every bench regenerates one table or figure of the paper.  The expensive
+common ingredient — the refinement-iteration sweep of the full pipeline on
+the calibrated reference dataset — is computed once per process and cached
+here; individual experiments consume the cached results and the kernel
+counters extracted from them.
+
+Scale: the reference dataset keeps the paper's *full query set size*
+(618 queries) and scales the data side down to ``REFERENCE_DATA_GRAPHS``
+molecules so the suite runs on one CPU; device-time projections extrapolate
+the data-side counters linearly back to 114,901 molecules (queries are a
+fixed, small set in the paper too, so the data side is the only scaling
+dimension — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.chem.datasets import PAPER_N_DATA_GRAPHS, build_benchmark
+from repro.core.config import SigmoConfig
+from repro.core.engine import SigmoEngine
+from repro.device.counters import PipelineCounters, counters_from_result
+
+#: Data graphs actually executed (env-overridable for full-scale runs).
+REFERENCE_DATA_GRAPHS = int(os.environ.get("SIGMO_BENCH_DATA_GRAPHS", "200"))
+#: Queries in the reference set (paper: 618).
+REFERENCE_QUERIES = int(os.environ.get("SIGMO_BENCH_QUERIES", "618"))
+#: Refinement iterations swept (paper Figs. 5-7, 11).
+SWEEP_ITERATIONS = tuple(range(1, 9))
+#: Extrapolation factor to the paper's data-graph count.
+SCALE_TO_PAPER = PAPER_N_DATA_GRAPHS / REFERENCE_DATA_GRAPHS
+
+SEED = 5
+
+
+@dataclass
+class ExperimentReport:
+    """One regenerated table/figure.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier, e.g. ``"fig06"``.
+    title:
+        What the paper shows there.
+    text:
+        The regenerated rows/series, ready to print.
+    data:
+        Machine-readable values for assertions and EXPERIMENTS.md.
+    paper_reference:
+        The paper's reported values/shape for side-by-side comparison.
+    """
+
+    experiment: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+    paper_reference: str = ""
+
+    def render(self) -> str:
+        """Full report block."""
+        lines = [f"== {self.experiment}: {self.title} =="]
+        if self.paper_reference:
+            lines.append(f"paper: {self.paper_reference}")
+        lines.append(self.text)
+        return "\n".join(lines)
+
+
+@lru_cache(maxsize=1)
+def reference_dataset():
+    """The calibrated benchmark dataset shared by all experiments."""
+    return build_benchmark(
+        scale=1.0,
+        n_queries=REFERENCE_QUERIES,
+        n_data_graphs=REFERENCE_DATA_GRAPHS,
+        seed=SEED,
+    )
+
+
+@lru_cache(maxsize=1)
+def reference_engine() -> SigmoEngine:
+    """Engine over the reference dataset (CSR-GO conversions cached)."""
+    ds = reference_dataset()
+    return SigmoEngine(ds.queries, ds.data)
+
+
+@lru_cache(maxsize=None)
+def sweep_result(iterations: int, mode: str = "find-all"):
+    """Pipeline result at one refinement-iteration count (cached)."""
+    engine = reference_engine()
+    return engine.run(
+        mode=mode, config=SigmoConfig(refinement_iterations=iterations)
+    )
+
+
+@lru_cache(maxsize=None)
+def sweep_counters(iterations: int, mode: str = "find-all") -> PipelineCounters:
+    """Kernel counters of one sweep point (cached)."""
+    engine = reference_engine()
+    return counters_from_result(
+        sweep_result(iterations, mode), engine.query, engine.data
+    )
+
+
+def fmt_table(headers: list[str], rows: list[list], widths=None) -> str:
+    """Minimal fixed-width table renderer."""
+    widths = widths or [
+        max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    out = [" ".join(str(h).rjust(w) for h, w in zip(headers, widths))]
+    out.append(" ".join("-" * w for w in widths))
+    for r in rows:
+        out.append(" ".join(_fmt(c).rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    if isinstance(value, (int, np.integer)) and abs(int(value)) >= 10000:
+        return f"{int(value):,}"
+    return str(value)

@@ -1,0 +1,109 @@
+"""Minimal ASCII chart rendering for the experiment reports.
+
+EXPERIMENTS.md regenerates *figures*; a table alone hides the shape the
+paper's plot shows (the U of Fig. 6, the rightward shift of Fig. 7, the
+log-log line of Fig. 13b).  This renderer draws multi-series line charts
+in plain text so the shape is visible inline.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Per-series marker characters, assigned in order.
+MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: dict[str, list[float]],
+    x_values: list | None = None,
+    width: int = 64,
+    height: int = 14,
+    y_label: str = "",
+    x_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    Parameters
+    ----------
+    series:
+        Name -> y-values (all the same length).
+    x_values:
+        Shared x ticks (defaults to 1..n).
+    log_y:
+        Plot on a log10 y-axis (Fig. 13's log-scale throughput).
+
+    Returns
+    -------
+    str
+        The chart plus a marker legend.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    n = lengths.pop()
+    if n == 0:
+        raise ValueError("series are empty")
+    x_values = list(x_values) if x_values is not None else list(range(1, n + 1))
+
+    def transform(y: float) -> float:
+        if not log_y:
+            return y
+        return math.log10(max(y, 1e-12))
+
+    ys = [transform(y) for vals in series.values() for y in vals]
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(i: int, y: float) -> tuple[int, int]:
+        col = round(i * (width - 1) / max(n - 1, 1))
+        frac = (transform(y) - y_min) / (y_max - y_min)
+        row = (height - 1) - round(frac * (height - 1))
+        return row, col
+
+    for marker, (name, values) in zip(MARKERS, series.items()):
+        for i, y in enumerate(values):
+            row, col = cell(i, y)
+            grid[row][col] = marker
+
+    def fmt_axis(value: float) -> str:
+        shown = 10**value if log_y else value
+        if abs(shown) >= 1e5 or (shown != 0 and abs(shown) < 1e-2):
+            return f"{shown:.1e}"
+        return f"{shown:.2f}"
+
+    top_label = fmt_axis(y_max)
+    bottom_label = fmt_axis(y_min)
+    pad = max(len(top_label), len(bottom_label))
+    lines = []
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = top_label.rjust(pad)
+        elif row_idx == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}|")
+    x_left = str(x_values[0])
+    x_right = str(x_values[-1])
+    axis = " " * pad + " +" + "-" * width + "+"
+    ticks = (
+        " " * (pad + 2)
+        + x_left
+        + " " * max(1, width - len(x_left) - len(x_right))
+        + x_right
+    )
+    lines.append(axis)
+    lines.append(ticks + (f"   ({x_label})" if x_label else ""))
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, series)
+    )
+    if y_label:
+        legend = f"y: {y_label}{'  (log)' if log_y else ''}   " + legend
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Cross-GPU performance projection and configuration tuning.
+
+Runs the real pipeline on a small calibrated benchmark, extracts kernel
+work counters, and uses the device simulator + analytic performance model
+to (a) project execution time onto the paper's three GPUs and (b) re-derive
+the per-device best configuration of paper Table 1.
+
+Run:
+    python examples/cross_device_tuning.py
+"""
+
+from repro import SigmoEngine
+from repro.chem.datasets import PAPER_N_DATA_GRAPHS, build_benchmark
+from repro.core.config import PAPER_TABLE1_CONFIGS
+from repro.device.counters import counters_from_result
+from repro.device.spec import DEVICES
+from repro.perf import ConfigTuner, PerformanceModel
+
+GPUS = ("nvidia-v100s", "amd-mi100", "intel-max1100")
+
+
+def main() -> None:
+    n_data = 150
+    dataset = build_benchmark(scale=1.0, n_data_graphs=n_data, seed=0)  # full 618 queries
+    print(f"reference workload: {dataset.summary()}")
+
+    engine = SigmoEngine(dataset.queries, dataset.data)
+    result = engine.run()
+    counters = counters_from_result(result, engine.query, engine.data)
+    factor = PAPER_N_DATA_GRAPHS / n_data
+    print(f"measured on CPU substrate: {result.summary()}")
+    print(f"extrapolating counters by x{factor:.0f} to the paper's dataset size\n")
+
+    print(f"{'GPU':>16} {'filter(s)':>10} {'map(s)':>8} {'join(s)':>9} {'total(s)':>9}")
+    for name in GPUS:
+        cfg = PAPER_TABLE1_CONFIGS[name]
+        model = PerformanceModel(
+            DEVICES[name],
+            word_bits=cfg.word_bits,
+            filter_workgroup_size=cfg.filter_workgroup_size,
+            join_workgroup_size=cfg.join_workgroup_size,
+        )
+        t = model.estimate_scaled(counters, factor)
+        print(
+            f"{name:>16} {t.filter_seconds:>10.3f} {t.mapping_seconds:>8.3f} "
+            f"{t.join_seconds:>9.3f} {t.total_seconds:>9.3f}"
+        )
+
+    print("\nconfiguration tuning (paper Table 1):")
+    print(f"{'GPU':>16} {'bitmap word':>12} {'filter WG':>10} {'join WG':>8}")
+    scaled = counters.scaled(factor)
+    for name in GPUS:
+        best = ConfigTuner(DEVICES[name]).best(scaled)
+        print(
+            f"{name:>16} {best.word_bits:>9} bit {best.filter_workgroup_size:>10} "
+            f"{best.join_workgroup_size:>8}"
+        )
+
+
+if __name__ == "__main__":
+    main()

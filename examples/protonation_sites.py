@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Protonation-site detection and state enumeration.
+
+One of the paper's motivating rule-based workflows (section 2): "a common
+example of such methods is the enumeration of protonation states where
+graph patterns are used to identify atoms with multiple proton
+configurations" (Epik-style pKa rules).
+
+Each rule is a substructure pattern whose anchor atom can gain or lose a
+proton.  A single batched Find All run locates every site across the
+molecule set; the example then enumerates the resulting protonation
+microstates (every on/off combination of sites, as protonation tools do
+before pKa scoring).
+
+Run:
+    python examples/protonation_sites.py
+"""
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro import SigmoConfig, SigmoEngine
+from repro.chem import element_symbol, mol_from_smiles
+
+
+@dataclass(frozen=True)
+class ProtonationRule:
+    """A site-detection rule: pattern + anchor atom + transition."""
+
+    name: str
+    smiles: str
+    anchor: int
+    kind: str  # "basic" (can gain H+) or "acidic" (can lose H+)
+
+
+RULES = [
+    ProtonationRule("primary-amine", "CN", 1, "basic"),
+    ProtonationRule("secondary-amine", "CNC", 1, "basic"),
+    ProtonationRule("pyridine-n", "c1ccncc1", 3, "basic"),
+    ProtonationRule("imidazole-n", "c1cnc[nH]1", 2, "basic"),
+    ProtonationRule("carboxylic-oh", "CC(=O)O", 3, "acidic"),
+    ProtonationRule("phenol-oh", "Oc1ccccc1", 0, "acidic"),
+    ProtonationRule("thiol-sh", "CS", 1, "acidic"),
+]
+
+MOLECULES = {
+    "glycine-like": "NCC(=O)O",
+    "histamine-like": "NCCc1cnc[nH]1",
+    "salicylate-like": "Oc1ccccc1C(=O)O",
+    "dopamine-like": "NCCc1ccc(O)c(O)c1",
+}
+
+
+def main() -> None:
+    names = list(MOLECULES)
+    mols = {n: mol_from_smiles(s, name=n) for n, s in MOLECULES.items()}
+    data_graphs = [mols[n].graph() for n in names]
+    query_graphs = [mol_from_smiles(r.smiles).graph() for r in RULES]
+
+    engine = SigmoEngine(
+        query_graphs, data_graphs, SigmoConfig(record_embeddings=True)
+    )
+    result = engine.run(mode="find-all")
+
+    # Collect distinct sites: (molecule, atom) -> rule kind.
+    sites: dict[str, dict[int, tuple[str, str]]] = {n: {} for n in names}
+    for rec in result.embeddings:
+        rule = RULES[rec.query_graph]
+        mol_name = names[rec.data_graph]
+        atom = int(rec.mapping[rule.anchor])
+        sites[mol_name].setdefault(atom, (rule.name, rule.kind))
+
+    for name in names:
+        graph = mols[name].graph()
+        mol_sites = sorted(sites[name].items())
+        print(f"{name} ({mols[name].formula()}): {len(mol_sites)} site(s)")
+        for atom, (rule_name, kind) in mol_sites:
+            sym = element_symbol(int(graph.labels[atom]))
+            sign = "+H" if kind == "basic" else "-H"
+            print(f"  atom {atom:2d} {sym}: {rule_name} ({kind}, {sign})")
+        # Microstates: every on/off combination of the sites.
+        n_states = 2 ** len(mol_sites)
+        print(f"  -> {n_states} protonation microstates")
+        if 1 < n_states <= 8:
+            for state in product("01", repeat=len(mol_sites)):
+                tags = [
+                    f"{atom}{'H' if bit == '1' else ''}"
+                    for bit, (atom, _) in zip(state, mol_sites)
+                ]
+                print(f"     state {''.join(state)}: sites {' '.join(tags)}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

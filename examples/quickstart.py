@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: find functional groups in molecules with SIGMo.
+
+Builds a handful of drug-like molecules from SMILES, a few functional-group
+queries, and runs both Find All (enumerate every embedding) and Find First
+(which molecules contain which groups).
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import SigmoConfig, SigmoEngine
+from repro.chem import mol_from_smiles
+from repro.chem.fragments import fragment_by_name
+
+MOLECULES = {
+    "aspirin": "CC(=O)Oc1ccccc1C(=O)O",
+    "paracetamol": "CC(=O)Nc1ccc(O)cc1",
+    "ibuprofen": "CC(C)Cc1ccc(cc1)C(C)C(=O)O",
+    "caffeine-like": "Cn1cnc2c1C(=O)N(C)C(=O)N2C",
+    "benzamide": "NC(=O)c1ccccc1",
+}
+
+QUERIES = [
+    "carboxylic-acid",
+    "ester",
+    "amide",
+    "benzene",
+    "methoxy-phenyl",
+]
+
+
+def main() -> None:
+    mols = {name: mol_from_smiles(smi, name=name) for name, smi in MOLECULES.items()}
+    mol_names = list(mols)
+    data_graphs = [mols[name].graph() for name in mol_names]
+    query_graphs = [fragment_by_name(q).graph() for q in QUERIES]
+
+    engine = SigmoEngine(
+        query_graphs, data_graphs, SigmoConfig(record_embeddings=True)
+    )
+
+    # Find All: every embedding of every group in every molecule.
+    result = engine.run(mode="find-all")
+    print(f"Find All: {result.total_matches} embeddings "
+          f"in {result.total_seconds * 1e3:.1f} ms")
+    print(f"  filter {result.filter_seconds * 1e3:.1f} ms / "
+          f"map {result.mapping_seconds * 1e3:.1f} ms / "
+          f"join {result.join_seconds * 1e3:.1f} ms")
+
+    # Find First: which (molecule, group) pairs match at all.
+    first = engine.run(mode="find-first")
+    print("\nSubstructure table (Find First):")
+    header = f"{'molecule':>14} | " + " ".join(f"{q[:12]:>14}" for q in QUERIES)
+    print(header)
+    print("-" * len(header))
+    matched = {(d, q) for d, q in first.matched_pairs()}
+    for d_idx, name in enumerate(mol_names):
+        row = [
+            "yes" if (d_idx, q_idx) in matched else "-"
+            for q_idx in range(len(QUERIES))
+        ]
+        print(f"{name:>14} | " + " ".join(f"{c:>14}" for c in row))
+
+    # Inspect one embedding in detail.
+    print("\nExample embeddings (query node -> atom index):")
+    for rec in result.embeddings[:3]:
+        mol = mol_names[rec.data_graph]
+        query = QUERIES[rec.query_graph]
+        print(f"  {query} in {mol}: {rec.mapping.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

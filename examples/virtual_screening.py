@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Batch virtual screening of a synthetic compound library.
+
+The paper's scale driver (section 2.1): screening campaigns search fixed
+pattern sets against compound libraries of millions-to-trillions of
+molecules.  This example screens a generated ZINC-like library against a
+pharmacophore-flavored substructure panel in Find First mode (a molecule
+either contains the motif or not), reports hit rates, and prints the
+throughput metric the paper uses.
+
+Run:
+    python examples/virtual_screening.py [n_molecules]
+"""
+
+import sys
+import time
+
+from repro import SigmoEngine
+from repro.chem.datasets import zinc_like_molecules
+from repro.chem.fragments import fragment_by_name
+
+#: Screening panel: motifs a medicinal chemist might require or exclude.
+PANEL = [
+    ("required", "benzene"),
+    ("flagged", "nitro"),
+    ("flagged", "aryl-chloride"),
+    ("scored", "amide"),
+    ("scored", "sulfonamide"),
+    ("scored", "pyridine"),
+    ("scored", "carboxylic-acid"),
+]
+
+
+def main() -> None:
+    n_molecules = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    library = zinc_like_molecules(n_molecules, seed=2024)
+    names = [f"ZINC-like-{i:06d}" for i in range(n_molecules)]
+    queries = [fragment_by_name(frag).graph() for _, frag in PANEL]
+
+    engine = SigmoEngine(queries, library)
+    start = time.perf_counter()
+    result = engine.run(mode="find-first")
+    elapsed = time.perf_counter() - start
+
+    # hit matrix: molecule x panel entry
+    hits = [[False] * len(PANEL) for _ in range(n_molecules)]
+    for d_idx, q_idx in result.matched_pairs():
+        hits[d_idx][q_idx] = True
+
+    required = [i for i, (kind, _) in enumerate(PANEL) if kind == "required"]
+    flagged = [i for i, (kind, _) in enumerate(PANEL) if kind == "flagged"]
+    scored = [i for i, (kind, _) in enumerate(PANEL) if kind == "scored"]
+
+    passing = []
+    for d_idx in range(n_molecules):
+        ok = all(hits[d_idx][i] for i in required)
+        ok = ok and not any(hits[d_idx][i] for i in flagged)
+        if ok:
+            score = sum(hits[d_idx][i] for i in scored)
+            passing.append((score, names[d_idx]))
+    passing.sort(reverse=True)
+
+    print(f"screened {n_molecules} molecules x {len(PANEL)} patterns "
+          f"in {elapsed * 1e3:.0f} ms "
+          f"({n_molecules * len(PANEL) / elapsed:,.0f} pair-queries/s)")
+    print(f"engine phases: filter {result.filter_seconds*1e3:.0f} ms, "
+          f"map {result.mapping_seconds*1e3:.0f} ms, "
+          f"join {result.join_seconds*1e3:.0f} ms")
+    print("\nper-pattern hit rates:")
+    for q_idx, (kind, frag) in enumerate(PANEL):
+        rate = sum(hits[d][q_idx] for d in range(n_molecules)) / n_molecules
+        print(f"  {frag:>18} ({kind:>8}): {rate:6.1%}")
+    print(f"\n{len(passing)} molecules pass the required/flagged gates")
+    for score, name in passing[:10]:
+        print(f"  {name}  bonus-motifs={score}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Wildcard substructure patterns (the paper's future-work extension).
+
+The paper closes with: "we plan to extend SIGMo to support wildcard atoms
+and bonds, which are used in cheminformatics to express flexible or
+partially specified substructures."  This repository implements that
+extension: `*` matches any element, `~` matches any bond.  A classic use
+case is matching a reaction-site environment where the leaving group or
+the linker atom varies.
+
+Run:
+    python examples/wildcard_patterns.py
+"""
+
+from repro import SigmoEngine
+from repro.chem import mol_from_smiles, pattern_from_smarts, wildcard_config
+
+MOLECULES = {
+    "aspirin": "CC(=O)Oc1ccccc1C(=O)O",
+    "paracetamol": "CC(=O)Nc1ccc(O)cc1",
+    "methyl-benzoate": "COC(=O)c1ccccc1",
+    "acetamide": "CC(=O)N",
+    "thioacetate": "CC(=O)SC",
+    "acetonitrile": "CC#N",
+}
+
+PATTERNS = {
+    # carbonyl carbon bonded to any heteroatom-ish neighbor
+    "acyl-X (CC(=O)*)": "CC(=O)*",
+    # carbon connected to nitrogen by any bond order (amine, amide, nitrile)
+    "any C~N": "C~N",
+    # para-substituted benzene with two arbitrary substituents
+    "para-disubstituted ring": "*c1ccc(*)cc1",
+    # three atoms in a row, middle one sp2 carbonyl-like
+    "X-C(=O)-Y": "*C(=O)*",
+}
+
+
+def main() -> None:
+    names = list(MOLECULES)
+    mols = [mol_from_smiles(MOLECULES[n], name=n).graph() for n in names]
+    config = wildcard_config(record_embeddings=True)
+
+    for title, smarts in PATTERNS.items():
+        pattern = pattern_from_smarts(smarts)
+        engine = SigmoEngine([pattern], mols, config)
+        result = engine.run(mode="find-all")
+        per_mol = {}
+        for rec in result.embeddings:
+            per_mol[names[rec.data_graph]] = per_mol.get(names[rec.data_graph], 0) + 1
+        hits = ", ".join(f"{n}:{c}" for n, c in per_mol.items()) or "none"
+        print(f"{title:28s} {result.total_matches:4d} embeddings  [{hits}]")
+
+    # Compare a wildcard pattern against its concrete instantiations.
+    print("\nwildcard vs concrete (embeddings across the set):")
+    for smarts in ("C~N", "CN", "C=N", "C#N"):
+        pattern = pattern_from_smarts(smarts)
+        total = SigmoEngine([pattern], mols, config).run().total_matches
+        print(f"  {smarts:6s} -> {total}")
+
+
+if __name__ == "__main__":
+    main()

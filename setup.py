@@ -1,0 +1,5 @@
+"""Legacy shim: this environment has setuptools without PEP 660 editable
+wheel support, so `pip install -e .` goes through setup.py develop."""
+from setuptools import setup
+
+setup()

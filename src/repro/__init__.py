@@ -1,0 +1,45 @@
+"""repro — a faithful reproduction of SIGMo (SC '25).
+
+SIGMo is a high-throughput batched subgraph-isomorphism framework for
+molecular matching.  This package reimplements the full system in Python:
+the filter-and-join engine (CSR-GO, masked bitset signatures, candidate
+bitmaps, GMCR mapping, stack-based DFS join), a calibrated synthetic
+molecular dataset, CPU/GPU-style baselines, a SIMT device simulator with an
+analytic cross-GPU performance model, and a simulated multi-GPU cluster.
+
+Quickstart
+----------
+>>> from repro import SigmoEngine
+>>> from repro.chem import mol_from_smiles
+>>> water = mol_from_smiles("O")
+>>> hydroxyl = mol_from_smiles("[OH]")
+>>> engine = SigmoEngine([hydroxyl.graph()], [water.graph()])
+>>> engine.run().total_matches > 0
+True
+"""
+
+from repro.core import (
+    CSRGO,
+    MatchRecord,
+    MatchResult,
+    SigmoConfig,
+    SigmoEngine,
+    find_all,
+    find_first,
+)
+from repro.graph import GraphBatch, LabeledGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGO",
+    "GraphBatch",
+    "LabeledGraph",
+    "MatchRecord",
+    "MatchResult",
+    "SigmoConfig",
+    "SigmoEngine",
+    "find_all",
+    "find_first",
+    "__version__",
+]

@@ -1,0 +1,179 @@
+"""cuTS-like matcher: label-blind structural join over a query trie.
+
+cuTS (Xiang et al., SC 2021) encodes the query as a trie of edge
+constraints and joins structurally on the GPU.  Crucially for the paper's
+comparison, *cuTS does not support labels* (section 5.2: "The cuTS
+framework does not support labels, leading to a higher number of matches
+for a single query graph").  This reimplementation preserves exactly that:
+node and edge labels are ignored, so the matcher enumerates every
+structural embedding — typically orders of magnitude more work on labeled
+molecular data, which is the effect behind SIGMo's 88x speedup.
+
+The trie here compiles the query's DFS tree into per-depth extension
+rules (parent attachment + back-edge constraints), shared across data
+graphs like cuTS shares its query trie across the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@dataclass(frozen=True)
+class _TrieLevel:
+    """One query-trie level: how to extend a partial match by one node."""
+
+    parent_depth: int  # -1 at the root
+    back_edges: tuple[int, ...]  # earlier depths that must be adjacent
+
+
+class CutsLikeMatcher:
+    """Label-blind matcher for a single (query, data) pair.
+
+    Parameters
+    ----------
+    query:
+        Pattern; labels are ignored by design.
+    data:
+        Target; labels are ignored by design.
+    """
+
+    def __init__(self, query: LabeledGraph, data: LabeledGraph) -> None:
+        self.query = query
+        self.data = data
+        self.trie, self.trie_order = compile_query_trie(query)
+
+    def count_all(self) -> int:
+        """Number of *structural* embeddings (labels ignored)."""
+        return self._search(find_first=False)
+
+    def has_match(self) -> bool:
+        """Whether any structural embedding exists."""
+        return self._search(find_first=True) > 0
+
+    def _search(self, find_first: bool) -> int:
+        d = self.data
+        nq = self.query.n_nodes
+        if nq == 0 or d.n_nodes == 0 or nq > d.n_nodes:
+            return 0
+        degree = np.asarray(d.degree(), dtype=np.int64)
+        q_degree = np.asarray(self.query.degree(), dtype=np.int64)
+        order_degrees = q_degree[self._order]
+        used = np.zeros(d.n_nodes, dtype=bool)
+        mapped = np.full(nq, -1, dtype=np.int64)
+        # Root candidates: any node with enough degree.
+        stack_cands: list[np.ndarray] = [
+            np.nonzero(degree >= order_degrees[0])[0]
+        ]
+        stack_pos = [0]
+        count = 0
+        depth = 0
+        while depth >= 0:
+            cands = stack_cands[depth]
+            pos = stack_pos[depth]
+            level = self.trie[depth]
+            placed = False
+            while pos < cands.size:
+                cand = int(cands[pos])
+                pos += 1
+                if used[cand] or degree[cand] < order_degrees[depth]:
+                    continue
+                ok = True
+                for p2 in level.back_edges:
+                    other = int(mapped[p2])
+                    nbrs = d.neighbors(cand)
+                    j = np.searchsorted(nbrs, other)
+                    if j >= nbrs.size or nbrs[j] != other:
+                        ok = False
+                        break
+                if ok:
+                    placed = True
+                    break
+            stack_pos[depth] = pos
+            if not placed:
+                depth -= 1
+                if depth >= 0:
+                    used[mapped[depth]] = False
+                    mapped[depth] = -1
+                continue
+            mapped[depth] = cand
+            used[cand] = True
+            if depth == nq - 1:
+                count += 1
+                if find_first:
+                    return count
+                used[cand] = False
+                mapped[depth] = -1
+            else:
+                depth += 1
+                parent = self.trie[depth].parent_depth
+                if parent >= 0:
+                    next_cands = d.neighbors(int(mapped[parent])).astype(np.int64)
+                else:
+                    next_cands = np.nonzero(degree >= order_degrees[depth])[0]
+                if depth >= len(stack_cands):
+                    stack_cands.append(next_cands)
+                    stack_pos.append(0)
+                else:
+                    stack_cands[depth] = next_cands
+                    stack_pos[depth] = 0
+        return count
+
+    @property
+    def _order(self) -> np.ndarray:
+        return self.trie_order
+
+
+def compile_query_trie(
+    query: LabeledGraph,
+) -> tuple[tuple[_TrieLevel, ...], np.ndarray]:
+    """Compile a query into per-depth extension rules (the trie).
+
+    DFS order from the highest-degree node; each level records its parent
+    (the DFS-tree edge) and the back edges into the mapped prefix.
+    """
+    n = query.n_nodes
+    if n == 0:
+        return (), np.empty(0, dtype=np.int64)
+    degrees = np.asarray(query.degree(), dtype=np.int64)
+    root = int(np.argmax(degrees))
+    order = [root]
+    parent_of = {root: -1}
+    seen = {root}
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        for u in query.neighbors(v):
+            u = int(u)
+            if u not in seen:
+                seen.add(u)
+                parent_of[u] = v
+                order.append(u)
+                stack.append(u)
+    # Disconnected queries: remaining nodes become new roots.
+    for v in range(n):
+        if v not in seen:
+            seen.add(v)
+            parent_of[v] = -1
+            order.append(v)
+    position = {v: p for p, v in enumerate(order)}
+    levels = []
+    for p, v in enumerate(order):
+        parent = parent_of[v]
+        parent_depth = position[parent] if parent >= 0 else -1
+        back = tuple(
+            position[int(u)]
+            for u in query.neighbors(v)
+            if position[int(u)] < p and position[int(u)] != parent_depth
+        )
+        # Parent adjacency is enforced by candidate generation; list it in
+        # back_edges only for roots of later components (no parent).
+        back_all = back if parent_depth >= 0 else tuple(
+            position[int(u)] for u in query.neighbors(v) if position[int(u)] < p
+        )
+        levels.append(_TrieLevel(parent_depth=parent_depth, back_edges=back_all))
+    return tuple(levels), np.asarray(order, dtype=np.int64)

@@ -1,0 +1,190 @@
+"""GSI-like matcher: one-shot filter plus table-materializing join.
+
+GSI (Zeng et al., ICDE 2020) filters candidates once with per-vertex
+label/degree signatures and then joins by expanding *whole tables of
+partial matches* level by level on the GPU — a BFS-style join.  Its
+weakness, reproduced here, is memory: the intermediate partial-match table
+can grow combinatorially, and the paper observes GSI running out of memory
+on queries with more than 20 nodes (section 5.2).
+
+Differences from SIGMo that this implementation preserves:
+
+* **No iterative refinement** — filtering sees only the radius-1
+  neighborhood, so far more candidates reach the join.
+* **BFS join** — every level materializes all partial matches at once
+  (``numpy`` table), with an explicit byte budget; exceeding it raises
+  :class:`GsiOutOfMemory`, the analogue of the CUDA OOM.
+* **Single-pair orientation** — no batching/GMCR; a batch run is a Python
+  loop over pairs, as the paper ran GSI (merged data graph, queries
+  one by one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+
+#: Default join-table budget: 2 GiB, a V100S-like share of usable VRAM
+#: once graph structures are resident.
+DEFAULT_MEMORY_LIMIT = 2 * 1024**3
+
+
+class GsiOutOfMemory(MemoryError):
+    """Partial-match table exceeded the simulated device memory budget."""
+
+
+class GsiLikeMatcher:
+    """One-shot-filter + BFS-join matcher for a single (query, data) pair.
+
+    Parameters
+    ----------
+    query / data:
+        Pattern and target.
+    memory_limit_bytes:
+        Budget for the materialized partial-match tables.
+    """
+
+    def __init__(
+        self,
+        query: LabeledGraph,
+        data: LabeledGraph,
+        memory_limit_bytes: int = DEFAULT_MEMORY_LIMIT,
+    ) -> None:
+        self.query = query
+        self.data = data
+        self.memory_limit_bytes = int(memory_limit_bytes)
+        self.peak_table_bytes = 0
+
+    # -- filtering -----------------------------------------------------------
+
+    def filter_candidates(self) -> list[np.ndarray]:
+        """Radius-1 signature filter (single shot, no iteration).
+
+        A data node is a candidate iff labels match, degree suffices, and
+        its neighbor-label histogram dominates the query node's.
+        """
+        q, d = self.query, self.data
+        n_labels = max(q.max_label, d.max_label) + 1
+        q_sig = _neighbor_histograms(q, n_labels)
+        d_sig = _neighbor_histograms(d, n_labels)
+        q_deg = np.asarray(q.degree(), dtype=np.int64)
+        d_deg = np.asarray(d.degree(), dtype=np.int64)
+        out = []
+        for vq in range(q.n_nodes):
+            mask = (
+                (d.labels == q.labels[vq])
+                & (d_deg >= q_deg[vq])
+                & np.all(d_sig >= q_sig[vq], axis=1)
+            )
+            out.append(np.nonzero(mask)[0].astype(np.int64))
+        return out
+
+    # -- join -------------------------------------------------------------------
+
+    def count_all(self) -> int:
+        """Number of embeddings (may raise :class:`GsiOutOfMemory`)."""
+        table = self._join()
+        return int(table.shape[0])
+
+    def enumerate_all(self) -> np.ndarray:
+        """All embeddings as a table ``(n_matches, n_query_nodes)``.
+
+        Column ``i`` holds the data node matched to query node ``i``.
+        """
+        return self._join()
+
+    def _join(self) -> np.ndarray:
+        q, d = self.query, self.data
+        nq = q.n_nodes
+        if nq == 0 or d.n_nodes == 0:
+            return np.empty((0, nq), dtype=np.int64)
+        candidates = self.filter_candidates()
+        order = _connected_order(q, [c.size for c in candidates])
+        position = {int(v): p for p, v in enumerate(order)}
+        # Level 0 table: one row per candidate of the first query node.
+        table = candidates[int(order[0])][:, None]
+        self._charge(table)
+        for depth in range(1, nq):
+            vq = int(order[depth])
+            cand = candidates[vq]
+            back = []
+            for u, lab in zip(q.neighbors(vq), q.neighbor_edge_labels(vq)):
+                p2 = position[int(u)]
+                if p2 < depth:
+                    back.append((p2, int(lab)))
+            # Cross product of current table with this node's candidates,
+            # then prune — the GSI-style whole-table expansion.
+            n_rows, n_cand = table.shape[0], cand.size
+            if n_rows == 0 or n_cand == 0:
+                return np.empty((0, nq), dtype=np.int64)
+            self._charge_bytes(n_rows * n_cand * (depth + 1) * 8)
+            expanded = np.repeat(table, n_cand, axis=0)
+            new_col = np.tile(cand, n_rows)
+            keep = np.ones(expanded.shape[0], dtype=bool)
+            # Injectivity.
+            for col in range(depth):
+                keep &= expanded[:, col] != new_col
+            # Back-edge existence with labels.
+            for p2, lab in back:
+                keep &= _edges_exist(d, expanded[:, p2], new_col, lab)
+            table = np.concatenate(
+                [expanded[keep], new_col[keep][:, None]], axis=1
+            )
+            self._charge(table)
+        # Reorder columns to query-node indexing.
+        result = np.empty_like(table)
+        result[:, order] = table
+        return result
+
+    def _charge(self, table: np.ndarray) -> None:
+        self._charge_bytes(table.nbytes)
+
+    def _charge_bytes(self, nbytes: int) -> None:
+        self.peak_table_bytes = max(self.peak_table_bytes, int(nbytes))
+        if nbytes > self.memory_limit_bytes:
+            raise GsiOutOfMemory(
+                f"partial-match table needs {nbytes} bytes "
+                f"(budget {self.memory_limit_bytes})"
+            )
+
+
+def _neighbor_histograms(g: LabeledGraph, n_labels: int) -> np.ndarray:
+    """Radius-1 label histogram per node (the GSI-style signature)."""
+    out = np.zeros((g.n_nodes, n_labels), dtype=np.int64)
+    for v in range(g.n_nodes):
+        np.add.at(out[v], g.labels[g.neighbors(v)], 1)
+    return out
+
+
+def _connected_order(q: LabeledGraph, cand_sizes: list[int]) -> np.ndarray:
+    """Connected matching order, fewest candidates first."""
+    n = q.n_nodes
+    order = [int(np.argmin(cand_sizes))]
+    chosen = np.zeros(n, dtype=bool)
+    chosen[order[0]] = True
+    while len(order) < n:
+        frontier = set()
+        for v in order:
+            frontier.update(int(u) for u in q.neighbors(v))
+        frontier = [v for v in frontier if not chosen[v]]
+        if not frontier:
+            frontier = [v for v in range(n) if not chosen[v]]
+        best = min(frontier, key=lambda v: cand_sizes[v])
+        order.append(best)
+        chosen[best] = True
+    return np.asarray(order, dtype=np.int64)
+
+
+def _edges_exist(
+    d: LabeledGraph, us: np.ndarray, vs: np.ndarray, label: int
+) -> np.ndarray:
+    """Vectorized edge-with-label existence for node-id pair arrays."""
+    out = np.zeros(us.size, dtype=bool)
+    for i in range(us.size):
+        u, v = int(us[i]), int(vs[i])
+        nbrs = d.neighbors(u)
+        j = np.searchsorted(nbrs, v)
+        if j < nbrs.size and nbrs[j] == v:
+            out[i] = int(d.neighbor_edge_labels(u)[j]) == label
+    return out

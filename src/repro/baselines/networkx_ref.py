@@ -1,0 +1,53 @@
+"""NetworkX-based oracle used by the test suite.
+
+``networkx.algorithms.isomorphism.GraphMatcher`` provides independent,
+well-tested subgraph *monomorphism* enumeration; every matcher in this
+repository (SIGMo, VF3-style, Ullmann, GSI-like) is validated against it.
+Not a performance baseline — an authority on correctness.
+"""
+
+from __future__ import annotations
+
+from networkx.algorithms.isomorphism import GraphMatcher
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def _label_eq(a: dict, b: dict) -> bool:
+    return a["label"] == b["label"]
+
+
+def networkx_count_matches(
+    query: LabeledGraph,
+    data: LabeledGraph,
+    use_edge_labels: bool = True,
+    use_node_labels: bool = True,
+) -> int:
+    """Count label-preserving monomorphisms of ``query`` into ``data``.
+
+    Parameters
+    ----------
+    use_edge_labels / use_node_labels:
+        Disable to emulate the label-blind (cuTS-like) semantics.
+    """
+    gq = query.to_networkx()
+    gd = data.to_networkx()
+    matcher = GraphMatcher(
+        gd,
+        gq,
+        node_match=_label_eq if use_node_labels else None,
+        edge_match=_label_eq if use_edge_labels else None,
+    )
+    return sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+
+
+def networkx_has_match(
+    query: LabeledGraph, data: LabeledGraph, use_edge_labels: bool = True
+) -> bool:
+    """Whether at least one monomorphism exists."""
+    gq = query.to_networkx()
+    gd = data.to_networkx()
+    matcher = GraphMatcher(
+        gd, gq, node_match=_label_eq, edge_match=_label_eq if use_edge_labels else None
+    )
+    return matcher.subgraph_is_monomorphic()

@@ -1,0 +1,39 @@
+"""Chemistry substrate: molecules, SMILES, fragments, synthetic datasets.
+
+The paper evaluates on molecules from the ZINC database.  ZINC itself is
+not redistributable here, so this package provides the closest synthetic
+equivalent (see DESIGN.md, Substitutions): a drug-like molecule generator
+calibrated to the paper's dataset statistics, a SMILES-subset parser for
+authoring real structures, and a functional-group fragment library that
+plays the role of the 618 substructure queries.
+
+Conventions
+-----------
+* Node labels are element indices into :data:`repro.chem.elements.ELEMENTS`.
+* Edge labels are bond-order codes (:class:`repro.chem.molecule.Bond`).
+* Molecular graphs default to the *heavy-atom* view (hydrogens implicit),
+  matching the paper's node counts (~24 nodes per data graph, ~5.5 per
+  query); explicit-H graphs are available via ``Molecule.graph(explicit_h=True)``.
+"""
+
+from repro.chem.elements import ELEMENTS, element_index, element_symbol
+from repro.chem.fragments import FRAGMENT_LIBRARY, fragment_queries
+from repro.chem.generator import MoleculeGenerator
+from repro.chem.molecule import BondOrder, Molecule
+from repro.chem.smarts import pattern_from_smarts, wildcard_config
+from repro.chem.smiles import mol_from_smiles, mol_to_smiles
+
+__all__ = [
+    "ELEMENTS",
+    "element_index",
+    "element_symbol",
+    "FRAGMENT_LIBRARY",
+    "fragment_queries",
+    "MoleculeGenerator",
+    "BondOrder",
+    "Molecule",
+    "mol_from_smiles",
+    "mol_to_smiles",
+    "pattern_from_smarts",
+    "wildcard_config",
+]

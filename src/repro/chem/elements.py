@@ -1,0 +1,115 @@
+"""Element vocabulary for drug-like chemistry.
+
+The label set of molecular matching is "constrained by the chemical
+elements in the periodic table" (paper section 3) and in practice by the
+dozen-odd elements that occur in drug-like organic molecules.  This module
+fixes the vocabulary, the standard valences used for hydrogen filling and
+generator sanity checks, and the *occurrence frequencies* that drive the
+masked-signature bit allocation (section 4.2: "hydrogen (H) and carbon (C)
+occur far more frequently than elements like silicon (Si)").
+
+Frequencies are heavy-atom shares typical of drug-like screening libraries
+(C-dominant, then O/N, then S and halogens, trace B/Si/Se); their exact
+values only shape bit allocation and generator sampling, not correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Element:
+    """One chemical element of the vocabulary.
+
+    Attributes
+    ----------
+    symbol:
+        IUPAC symbol.
+    atomic_number:
+        Proton count.
+    valence:
+        Default bonding capacity used for implicit-hydrogen filling
+        (the common organic valence; e.g. 4 for C, 3 for N).
+    heavy_frequency:
+        Approximate share among heavy atoms of drug-like molecules; used
+        by the signature bit allocation and the synthetic generator.
+    aromatic_capable:
+        Whether the element participates in aromatic rings here.
+    """
+
+    symbol: str
+    atomic_number: int
+    valence: int
+    heavy_frequency: float
+    aromatic_capable: bool = False
+
+
+#: The vocabulary, index == graph node label.  Hydrogen is index 0 so the
+#: explicit-H graph view shares the same labels.
+ELEMENTS: tuple[Element, ...] = (
+    Element("H", 1, 1, 0.0),  # heavy_frequency 0: H is implicit in heavy view
+    Element("C", 6, 4, 0.720, aromatic_capable=True),
+    Element("N", 7, 3, 0.105, aromatic_capable=True),
+    Element("O", 8, 2, 0.125, aromatic_capable=True),
+    Element("F", 9, 1, 0.013),
+    Element("P", 15, 3, 0.002),
+    Element("S", 16, 2, 0.017, aromatic_capable=True),
+    Element("Cl", 17, 1, 0.012),
+    Element("Br", 35, 1, 0.004),
+    Element("I", 53, 1, 0.001),
+    Element("B", 5, 3, 0.0005),
+    Element("Si", 14, 4, 0.0005),
+)
+
+#: Total number of node labels in the chemistry vocabulary.
+N_ELEMENT_LABELS = len(ELEMENTS)
+
+_INDEX_BY_SYMBOL = {e.symbol: i for i, e in enumerate(ELEMENTS)}
+_INDEX_BY_SYMBOL_UPPER = {e.symbol.upper(): i for i, e in enumerate(ELEMENTS)}
+
+
+def element_index(symbol: str) -> int:
+    """Node label of an element symbol (case-sensitive, e.g. ``"Cl"``).
+
+    Lowercase single letters (aromatic SMILES atoms) are accepted and map
+    to their uppercase element.
+    """
+    if symbol in _INDEX_BY_SYMBOL:
+        return _INDEX_BY_SYMBOL[symbol]
+    upper = symbol.upper()
+    if len(symbol) == 1 and upper in _INDEX_BY_SYMBOL:
+        return _INDEX_BY_SYMBOL[upper]
+    if upper in _INDEX_BY_SYMBOL_UPPER and len(symbol) > 1:
+        # Two-letter symbols must match exact case ("Cl", not "CL").
+        raise KeyError(f"unknown element symbol {symbol!r}")
+    raise KeyError(f"unknown element symbol {symbol!r}")
+
+
+def element_symbol(label: int) -> str:
+    """Symbol of a node label."""
+    return ELEMENTS[label].symbol
+
+
+def element(label: int) -> Element:
+    """Full element record of a node label."""
+    return ELEMENTS[label]
+
+
+def default_valence(label: int) -> int:
+    """Default valence used for hydrogen filling."""
+    return ELEMENTS[label].valence
+
+
+def heavy_frequencies() -> np.ndarray:
+    """Heavy-atom frequency vector over the full label vocabulary."""
+    return np.asarray([e.heavy_frequency for e in ELEMENTS], dtype=np.float64)
+
+
+def heavy_labels() -> np.ndarray:
+    """Labels of heavy (non-hydrogen) elements."""
+    return np.asarray(
+        [i for i, e in enumerate(ELEMENTS) if e.symbol != "H"], dtype=np.int64
+    )

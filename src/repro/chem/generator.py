@@ -1,0 +1,302 @@
+"""Synthetic drug-like molecule generator, calibrated to the paper's data.
+
+The paper's benchmark contains 114,901 ZINC molecules averaging ~24 graph
+nodes, a limited label set dominated by carbon, average degree ~<= 4 with a
+hard valence bound of 6, and >= 95 % sparsity (paper section 3).  ZINC is
+not available offline, so this generator produces molecules with the same
+structural statistics by assembling chemically valid building blocks:
+
+* aromatic 6-rings (benzene/pyridine/pyrimidine-like) and 5-rings
+  (furan/thiophene/pyrrole-like), occasionally fused;
+* aliphatic rings and chains with heteroatom substitution;
+* terminal decorations (halogens, hydroxyl, carbonyl, nitrile, amine).
+
+Every emitted molecule is connected and valence-valid (asserted in tests),
+so downstream behaviour — label skew for signature packing, candidate
+pruning rates, ring-induced join backtracking — exercises the same code
+paths as real screening data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem import elements as el
+from repro.chem.molecule import Bond, BondOrder, Molecule
+
+_C = el.element_index("C")
+_N = el.element_index("N")
+_O = el.element_index("O")
+_S = el.element_index("S")
+_F = el.element_index("F")
+_CL = el.element_index("Cl")
+_BR = el.element_index("Br")
+_I = el.element_index("I")
+_P = el.element_index("P")
+
+
+@dataclass
+class _Builder:
+    """Mutable molecule under construction with a valence budget."""
+
+    labels: list[int]
+    bonds: list[Bond]
+    free: list[int]  # remaining valence per atom
+
+    def add_atom(self, label: int, free: int) -> int:
+        self.labels.append(label)
+        self.free.append(free)
+        return len(self.labels) - 1
+
+    def add_bond(self, u: int, v: int, order: BondOrder) -> None:
+        cost = 1 if order == BondOrder.AROMATIC else int(order)
+        if self.free[u] < cost or self.free[v] < cost:
+            raise ValueError("valence budget exhausted")
+        self.bonds.append(Bond(u, v, order))
+        self.free[u] -= cost
+        self.free[v] -= cost
+
+    @property
+    def n_heavy(self) -> int:
+        return len(self.labels)
+
+    def open_atoms(self, min_free: int = 1) -> list[int]:
+        return [a for a, f in enumerate(self.free) if f >= min_free]
+
+
+class MoleculeGenerator:
+    """Random drug-like molecule source.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; every generated stream is reproducible.
+    mean_heavy_atoms / std_heavy_atoms:
+        Target heavy-atom count distribution (normal, clipped to
+        ``[min_heavy_atoms, max_heavy_atoms]``).  The default targets the
+        paper's benchmark average of ~23.9 nodes per data graph (growth
+        overshoots the sampled target slightly, hence mean 21).
+    max_heavy_atoms:
+        Hard cap; the paper notes drug molecules stay below 200 atoms.
+    ring_probability:
+        Chance that each growth step attaches a ring system rather than a
+        chain atom.
+    hetero_probability:
+        Chance that a ring position or chain atom is a heteroatom.
+    decoration_probability:
+        Chance of adding a terminal decoration after growth completes.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        mean_heavy_atoms: float = 21.0,
+        std_heavy_atoms: float = 7.0,
+        min_heavy_atoms: int = 6,
+        max_heavy_atoms: int = 180,
+        ring_probability: float = 0.35,
+        hetero_probability: float = 0.24,
+        decoration_probability: float = 0.5,
+    ) -> None:
+        if mean_heavy_atoms < min_heavy_atoms:
+            raise ValueError("mean_heavy_atoms below min_heavy_atoms")
+        if max_heavy_atoms > 200:
+            raise ValueError("drug-like molecules must stay below 200 atoms")
+        self.rng = np.random.default_rng(seed)
+        self.mean_heavy_atoms = mean_heavy_atoms
+        self.std_heavy_atoms = std_heavy_atoms
+        self.min_heavy_atoms = min_heavy_atoms
+        self.max_heavy_atoms = max_heavy_atoms
+        self.ring_probability = ring_probability
+        self.hetero_probability = hetero_probability
+        self.decoration_probability = decoration_probability
+
+    # -- public API -------------------------------------------------------------
+
+    def generate(self) -> Molecule:
+        """Generate one connected, valence-valid molecule."""
+        rng = self.rng
+        target = int(
+            np.clip(
+                rng.normal(self.mean_heavy_atoms, self.std_heavy_atoms),
+                self.min_heavy_atoms,
+                self.max_heavy_atoms,
+            )
+        )
+        b = _Builder([], [], [])
+        # Seed with a ring system (most drug-like molecules contain one)
+        # or a short chain.
+        if rng.random() < 0.8:
+            self._attach_ring(b, None)
+        else:
+            first = b.add_atom(_C, 4)
+            self._grow_chain(b, first, int(rng.integers(2, 5)))
+        while b.n_heavy < target:
+            opens = b.open_atoms()
+            if not opens:
+                break
+            anchor = int(opens[rng.integers(0, len(opens))])
+            if (
+                rng.random() < self.ring_probability
+                and b.n_heavy + 5 <= self.max_heavy_atoms
+            ):
+                self._attach_ring(b, anchor)
+            else:
+                self._attach_chain_atom(b, anchor)
+        if self.rng.random() < self.decoration_probability:
+            self._decorate(b)
+        mol = Molecule(b.labels, b.bonds)
+        return mol
+
+    def generate_batch(self, n: int) -> list[Molecule]:
+        """Generate ``n`` molecules."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return [self.generate() for _ in range(n)]
+
+    # -- building blocks ------------------------------------------------------------
+
+    def _attach_ring(self, b: _Builder, anchor: int | None) -> None:
+        """Attach an aromatic or aliphatic ring system at ``anchor``."""
+        rng = self.rng
+        aromatic = rng.random() < 0.65
+        size = 6 if (aromatic and rng.random() < 0.7) or (not aromatic and rng.random() < 0.6) else 5
+        members: list[int] = []
+        if aromatic:
+            # Aromatic ring: each atom spends 2 valence slots on the two
+            # ring bonds (order charged as 1 each; the remaining half-order
+            # is covered by the element's aromatic allowance).
+            n_hetero = int(rng.random() < self.hetero_probability * 2) + int(
+                rng.random() < self.hetero_probability
+            )
+            hetero_positions = set(
+                map(int, rng.choice(size, size=min(n_hetero, 2), replace=False))
+            )
+            for pos in range(size):
+                if pos in hetero_positions:
+                    choices = [_N, _N, _O, _S] if size == 5 else [_N]
+                    label = int(choices[rng.integers(0, len(choices))])
+                    # Ring N keeps 1 free slot only in 6-rings used rarely;
+                    # keep 0 to stay conservative on valence.
+                    free = 0 if label != _N else (1 if rng.random() < 0.3 else 0)
+                else:
+                    label = _C
+                    free = 1
+                members.append(b.add_atom(label, free + 2))
+            order = BondOrder.AROMATIC
+        else:
+            for pos in range(size):
+                if rng.random() < self.hetero_probability:
+                    label = int([_N, _O, _S][rng.integers(0, 3)])
+                else:
+                    label = _C
+                free = el.default_valence(label)
+                members.append(b.add_atom(label, free))
+            order = BondOrder.SINGLE
+        for idx in range(size):
+            b.add_bond(members[idx], members[(idx + 1) % size], order)
+        if anchor is not None:
+            attach_candidates = [a for a in members if b.free[a] >= 1]
+            if attach_candidates and b.free[anchor] >= 1:
+                target = int(
+                    attach_candidates[rng.integers(0, len(attach_candidates))]
+                )
+                b.add_bond(anchor, target, BondOrder.SINGLE)
+        # Occasionally fuse a second aromatic ring (naphthalene-like).
+        if aromatic and size == 6 and rng.random() < 0.15:
+            u, v = members[0], members[1]
+            if b.free[u] >= 1 and b.free[v] >= 1:
+                prev = u
+                new_atoms = []
+                for _ in range(4):
+                    a = b.add_atom(_C, 3)
+                    new_atoms.append(a)
+                    b.add_bond(prev, a, BondOrder.AROMATIC)
+                    prev = a
+                b.add_bond(prev, v, BondOrder.AROMATIC)
+
+    def _attach_chain_atom(self, b: _Builder, anchor: int) -> None:
+        """Grow one chain atom from ``anchor``, possibly via a double bond."""
+        rng = self.rng
+        r = rng.random()
+        if r < 1 - self.hetero_probability:
+            label, free = _C, 4
+        else:
+            label, free = [( _N, 3), (_O, 2), (_S, 2)][int(rng.integers(0, 3))]
+        atom = b.add_atom(label, free)
+        if (
+            rng.random() < 0.12
+            and b.free[anchor] >= 2
+            and free >= 2
+            and label in (_C, _N, _O)
+        ):
+            b.add_bond(anchor, atom, BondOrder.DOUBLE)
+        else:
+            b.add_bond(anchor, atom, BondOrder.SINGLE)
+
+    def _grow_chain(self, b: _Builder, start: int, length: int) -> None:
+        prev = start
+        for _ in range(length):
+            atom = b.add_atom(_C, 4)
+            b.add_bond(prev, atom, BondOrder.SINGLE)
+            prev = atom
+
+    def _decorate(self, b: _Builder) -> None:
+        """Terminal decorations: halogens, carbonyl O, nitrile, amine."""
+        rng = self.rng
+        n_decor = int(rng.integers(1, 4))
+        for _ in range(n_decor):
+            opens = b.open_atoms()
+            if not opens or b.n_heavy >= self.max_heavy_atoms - 1:
+                return
+            anchor = int(opens[rng.integers(0, len(opens))])
+            roll = rng.random()
+            if roll < 0.35:
+                halogen = int(
+                    rng.choice([_F, _F, _CL, _CL, _BR, _I], p=None)
+                )
+                atom = b.add_atom(halogen, 1)
+                b.add_bond(anchor, atom, BondOrder.SINGLE)
+            elif roll < 0.6 and b.free[anchor] >= 2:
+                atom = b.add_atom(_O, 2)
+                b.add_bond(anchor, atom, BondOrder.DOUBLE)
+            elif roll < 0.8:
+                atom = b.add_atom(_O, 2)
+                b.add_bond(anchor, atom, BondOrder.SINGLE)
+            elif b.free[anchor] >= 1 and b.n_heavy + 2 <= self.max_heavy_atoms:
+                c = b.add_atom(_C, 4)
+                b.add_bond(anchor, c, BondOrder.SINGLE)
+                n = b.add_atom(_N, 3)
+                b.add_bond(c, n, BondOrder.TRIPLE)
+
+
+def dataset_statistics(molecules) -> dict[str, float]:
+    """Structural statistics of a molecule collection (calibration checks).
+
+    Returns mean heavy atoms, mean degree, label entropy proxy (carbon
+    share), and mean sparsity of the heavy-atom graphs.
+    """
+    import numpy as np
+
+    n_atoms = []
+    degrees = []
+    carbon = 0
+    total = 0
+    sparsities = []
+    for mol in molecules:
+        g = mol.graph()
+        n_atoms.append(g.n_nodes)
+        if g.n_nodes > 1:
+            degrees.append(float(np.mean(g.degree())))
+            density = 2 * g.n_edges / (g.n_nodes * (g.n_nodes - 1))
+            sparsities.append(1.0 - density)
+        carbon += int(np.count_nonzero(g.labels == _C))
+        total += g.n_nodes
+    return {
+        "mean_heavy_atoms": float(np.mean(n_atoms)) if n_atoms else 0.0,
+        "mean_degree": float(np.mean(degrees)) if degrees else 0.0,
+        "carbon_share": carbon / total if total else 0.0,
+        "mean_sparsity": float(np.mean(sparsities)) if sparsities else 1.0,
+    }

@@ -1,0 +1,257 @@
+"""Molecule model: atoms, bonds, and conversion to matcher graphs.
+
+A :class:`Molecule` is a chemically annotated multigraph-free structure:
+atoms carry element labels, bonds carry orders (single/double/triple/
+aromatic).  ``Molecule.graph()`` produces the :class:`LabeledGraph` the
+SIGMo engine consumes — by default the heavy-atom view with hydrogens
+implicit, which matches the paper's dataset statistics (~24 nodes per data
+graph); pass ``explicit_h=True`` for the full atom graph of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.chem import elements as el
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class BondOrder(IntEnum):
+    """Bond-order codes used as edge labels in matcher graphs."""
+
+    SINGLE = 1
+    DOUBLE = 2
+    TRIPLE = 3
+    AROMATIC = 4
+
+    @property
+    def valence_cost(self) -> int:
+        """Electron-pair count the bond consumes per endpoint.
+
+        Aromatic bonds cost 1.5 on average; we charge 1 here and account
+        for ring membership separately in the generator's valence budget
+        (each aromatic atom is in exactly one aromatic system there).
+        """
+        return {1: 1, 2: 2, 3: 3, 4: 1}[int(self)]
+
+
+@dataclass(frozen=True)
+class Bond:
+    """One bond: endpoint atom indices plus order."""
+
+    u: int
+    v: int
+    order: BondOrder = BondOrder.SINGLE
+
+
+class Molecule:
+    """A small molecule.
+
+    Parameters
+    ----------
+    atom_labels:
+        Element label per atom (indices into :data:`repro.chem.elements.ELEMENTS`).
+    bonds:
+        Bonds as :class:`Bond` or ``(u, v)`` / ``(u, v, order)`` tuples.
+    name:
+        Optional display name.
+
+    Notes
+    -----
+    The class validates simple-graph structure but deliberately does *not*
+    enforce valence — queries are fragments with open valences.  Use
+    :meth:`valence_violations` where chemical validity matters (the
+    generator asserts it for data molecules).
+    """
+
+    __slots__ = ("atom_labels", "bonds", "name")
+
+    def __init__(self, atom_labels, bonds=(), name: str = "") -> None:
+        self.atom_labels = np.ascontiguousarray(atom_labels, dtype=np.int32)
+        if self.atom_labels.ndim != 1:
+            raise ValueError("atom_labels must be 1-D")
+        if self.atom_labels.size and (
+            self.atom_labels.min() < 0
+            or self.atom_labels.max() >= el.N_ELEMENT_LABELS
+        ):
+            raise ValueError("atom label outside the element vocabulary")
+        norm: list[Bond] = []
+        seen: set[tuple[int, int]] = set()
+        n = self.atom_labels.size
+        for b in bonds:
+            if isinstance(b, Bond):
+                u, v, order = b.u, b.v, b.order
+            elif len(b) == 2:
+                u, v = b
+                order = BondOrder.SINGLE
+            else:
+                u, v, order = b
+            order = BondOrder(order)
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"bond ({u}, {v}) endpoint out of range")
+            if u == v:
+                raise ValueError("self-bonds are not allowed")
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                raise ValueError(f"duplicate bond {key}")
+            seen.add(key)
+            norm.append(Bond(int(u), int(v), order))
+        self.bonds: tuple[Bond, ...] = tuple(norm)
+        self.name = name
+
+    # -- counts -----------------------------------------------------------------
+
+    @property
+    def n_atoms(self) -> int:
+        """Total atom count including explicit hydrogens."""
+        return int(self.atom_labels.size)
+
+    @property
+    def n_bonds(self) -> int:
+        """Total bond count."""
+        return len(self.bonds)
+
+    @property
+    def n_heavy_atoms(self) -> int:
+        """Atoms that are not hydrogen."""
+        return int(np.count_nonzero(self.atom_labels != el.element_index("H")))
+
+    def formula(self) -> str:
+        """Hill-order molecular formula (explicit atoms only)."""
+        counts: dict[str, int] = {}
+        for label in self.atom_labels:
+            sym = el.element_symbol(int(label))
+            counts[sym] = counts.get(sym, 0) + 1
+        parts = []
+        for sym in ("C", "H"):
+            if sym in counts:
+                c = counts.pop(sym)
+                parts.append(sym + (str(c) if c > 1 else ""))
+        for sym in sorted(counts):
+            c = counts[sym]
+            parts.append(sym + (str(c) if c > 1 else ""))
+        return "".join(parts)
+
+    # -- valence ----------------------------------------------------------------
+
+    def bond_order_sums(self) -> np.ndarray:
+        """Sum of bond valence costs per atom (aromatic counted as 1.5).
+
+        Returned as float; used for implicit-H computation and validity.
+        """
+        sums = np.zeros(self.n_atoms, dtype=np.float64)
+        for b in self.bonds:
+            cost = 1.5 if b.order == BondOrder.AROMATIC else float(int(b.order))
+            sums[b.u] += cost
+            sums[b.v] += cost
+        return sums
+
+    def aromatic_bond_counts(self) -> np.ndarray:
+        """Number of aromatic bonds per atom."""
+        counts = np.zeros(self.n_atoms, dtype=np.int64)
+        for b in self.bonds:
+            if b.order == BondOrder.AROMATIC:
+                counts[b.u] += 1
+                counts[b.v] += 1
+        return counts
+
+    def implicit_hydrogens(self) -> np.ndarray:
+        """Hydrogens needed to fill each atom to its default valence.
+
+        Follows the Daylight convention for aromatic atoms: aromatic carbon
+        fills against the 1.5-order sum (benzene CH gets one H), while
+        aromatic N/O/S get no implicit hydrogens — a pyrrole-type NH must
+        be written explicitly (``[nH]``).  Clipped at zero: fragments may
+        exceed default valence; we just don't go negative.
+        """
+        h_label = el.element_index("H")
+        c_label = el.element_index("C")
+        valences = np.asarray(
+            [el.default_valence(int(l)) for l in self.atom_labels], dtype=np.float64
+        )
+        need = valences - self.bond_order_sums()
+        need[self.atom_labels == h_label] = 0.0
+        aromatic = self.aromatic_bond_counts() > 0
+        need[aromatic & (self.atom_labels != c_label)] = 0.0
+        return np.maximum(np.floor(need + 1e-9), 0).astype(np.int64)
+
+    def valence_violations(self) -> list[int]:
+        """Atoms whose bond order sum exceeds their default valence.
+
+        Aromatic atoms get +0.5 slack (the 1.5-order formalism), and
+        lone-pair-donor heteroatoms (N/O/S with two or more aromatic
+        bonds — pyrrole N, furan O, thiophene S) a further +1.0: their
+        sigma framework is two single bonds, so the 1.5-order charging
+        systematically overcounts them.
+        """
+        sums = self.bond_order_sums()
+        valences = np.asarray(
+            [el.default_valence(int(l)) for l in self.atom_labels], dtype=np.float64
+        )
+        aromatic_counts = self.aromatic_bond_counts()
+        donor_labels = {
+            el.element_index("N"),
+            el.element_index("O"),
+            el.element_index("S"),
+        }
+        out = []
+        for i in range(self.n_atoms):
+            slack = 0.5
+            if aromatic_counts[i] >= 2 and int(self.atom_labels[i]) in donor_labels:
+                slack += 1.0
+            if sums[i] > valences[i] + slack + 1e-9:
+                out.append(i)
+        return out
+
+    # -- graph views -------------------------------------------------------------------
+
+    def graph(self, explicit_h: bool = False) -> LabeledGraph:
+        """Matcher graph view.
+
+        Parameters
+        ----------
+        explicit_h:
+            ``False`` (default): heavy-atom graph — hydrogen atoms (and
+            their bonds) are dropped, matching the paper's node counts.
+            ``True``: every explicit atom becomes a node *and* implicit
+            hydrogens are materialized, giving the full structure of
+            paper Fig. 1.
+        """
+        h_label = el.element_index("H")
+        if not explicit_h:
+            keep = np.nonzero(self.atom_labels != h_label)[0]
+            remap = -np.ones(self.n_atoms, dtype=np.int64)
+            remap[keep] = np.arange(keep.size)
+            edges = []
+            edge_labels = []
+            for b in self.bonds:
+                if remap[b.u] >= 0 and remap[b.v] >= 0:
+                    edges.append((int(remap[b.u]), int(remap[b.v])))
+                    edge_labels.append(int(b.order))
+            return LabeledGraph(self.atom_labels[keep], edges, edge_labels)
+        # Explicit-H view: existing atoms plus materialized implicit Hs.
+        labels = list(map(int, self.atom_labels))
+        edges = [(b.u, b.v) for b in self.bonds]
+        edge_labels = [int(b.order) for b in self.bonds]
+        for atom, count in enumerate(self.implicit_hydrogens()):
+            for _ in range(int(count)):
+                labels.append(h_label)
+                edges.append((atom, len(labels) - 1))
+                edge_labels.append(int(BondOrder.SINGLE))
+        return LabeledGraph(labels, edges, edge_labels)
+
+    @classmethod
+    def from_graph(cls, graph: LabeledGraph, name: str = "") -> "Molecule":
+        """Inverse of :meth:`graph`: wrap a labeled graph as a molecule."""
+        bonds = [
+            Bond(int(u), int(v), BondOrder(int(l)) if l else BondOrder.SINGLE)
+            for (u, v), l in zip(graph.edges, graph.edge_labels)
+        ]
+        return cls(graph.labels.copy(), bonds, name)
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return f"Molecule({self.formula()}{tag}, atoms={self.n_atoms}, bonds={self.n_bonds})"

@@ -1,0 +1,211 @@
+"""SMARTS-lite patterns: wildcard atoms and bonds.
+
+The paper's stated future work: "extend SIGMo to support wildcard atoms
+and bonds, which are used in cheminformatics to express flexible or
+partially specified substructures."  This module implements that
+extension's pattern language — a small SMARTS subset on top of the SMILES
+grammar:
+
+* ``*``  — wildcard atom: matches any element;
+* ``~``  — any-bond: matches any bond order;
+* everything else as in :mod:`repro.chem.smiles` (organic-subset atoms,
+  aromatic lowercase, brackets, branches, ring closures).
+
+Patterns compile to :class:`~repro.graph.labeled_graph.LabeledGraph`
+objects using two reserved labels:
+
+* node label :data:`WILDCARD_ATOM_LABEL` (one past the element vocabulary);
+* edge label :data:`ANY_BOND_LABEL` (0 — molecules always use 1-4).
+
+Run them with :func:`wildcard_config` so the engine treats the reserved
+labels as wildcards (see :mod:`repro.core.config`).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.chem import elements as el
+from repro.chem.smiles import SmilesError, _AROMATIC_ATOMS, _BRACKET_RE
+from repro.graph.labeled_graph import LabeledGraph
+
+#: Node label reserved for the wildcard atom ``*``.
+WILDCARD_ATOM_LABEL = el.N_ELEMENT_LABELS
+#: Edge label reserved for the any-bond ``~`` (bond orders are 1-4).
+ANY_BOND_LABEL = 0
+
+_BOND_CODES = {"-": 1, "=": 2, "#": 3, ":": 4, "~": ANY_BOND_LABEL}
+
+
+def pattern_from_smarts(smarts: str) -> LabeledGraph:
+    """Parse a SMARTS-lite pattern into a matcher graph.
+
+    Hydrogens are never implicit in patterns (standard SMARTS semantics:
+    the pattern constrains only what it writes).  Bracket hydrogen counts
+    add explicit H atoms like the SMILES parser.
+
+    Raises
+    ------
+    SmilesError
+        On malformed input (shares the SMILES error type).
+    """
+    if not smarts:
+        raise SmilesError("empty SMARTS pattern")
+    labels: list[int] = []
+    aromatic: list[bool] = []
+    edges: list[tuple[int, int]] = []
+    edge_labels: list[int] = []
+    edge_keys: set[tuple[int, int]] = set()
+    explicit_h: list[tuple[int, int]] = []
+
+    stack: list[int] = []
+    previous: int | None = None
+    pending: int | None = None
+    ring_open: dict[int, tuple[int, int | None]] = {}
+
+    def add_bond(u: int, v: int, code: int | None) -> None:
+        if code is None:
+            code = 4 if aromatic[u] and aromatic[v] else 1
+        key = (min(u, v), max(u, v))
+        if key in edge_keys:
+            raise SmilesError(f"duplicate bond between atoms {u} and {v}")
+        edge_keys.add(key)
+        edges.append(key)
+        edge_labels.append(code)
+
+    def add_atom(label: int, is_aromatic: bool) -> int:
+        nonlocal previous, pending
+        if previous is None and pending is not None:
+            raise SmilesError("bond symbol before any atom")
+        labels.append(label)
+        aromatic.append(is_aromatic)
+        idx = len(labels) - 1
+        if previous is not None:
+            add_bond(previous, idx, pending)
+        previous = idx
+        pending = None
+        return idx
+
+    i = 0
+    n = len(smarts)
+    while i < n:
+        ch = smarts[i]
+        if ch == "*":
+            add_atom(WILDCARD_ATOM_LABEL, False)
+            i += 1
+        elif ch == "[":
+            close = smarts.find("]", i)
+            if close < 0:
+                raise SmilesError(f"unclosed bracket at position {i}")
+            body = smarts[i : close + 1]
+            if body == "[*]":
+                add_atom(WILDCARD_ATOM_LABEL, False)
+                i = close + 1
+                continue
+            match = _BRACKET_RE.fullmatch(body)
+            if not match:
+                raise SmilesError(f"unsupported bracket atom {body!r}")
+            raw = match.group("symbol")
+            is_arom = raw in _AROMATIC_ATOMS
+            symbol = _AROMATIC_ATOMS.get(raw, raw)
+            try:
+                label = el.element_index(symbol)
+            except KeyError as exc:
+                raise SmilesError(str(exc)) from None
+            idx = add_atom(label, is_arom)
+            hgroup = match.group("hcount")
+            if hgroup:
+                explicit_h.append((idx, int(hgroup[1:]) if len(hgroup) > 1 else 1))
+            i = close + 1
+        elif smarts.startswith(("Cl", "Br"), i):
+            add_atom(el.element_index(smarts[i : i + 2]), False)
+            i += 2
+        elif ch in "BCNOPSFI":
+            add_atom(el.element_index(ch), False)
+            i += 1
+        elif ch in _AROMATIC_ATOMS:
+            add_atom(el.element_index(_AROMATIC_ATOMS[ch]), True)
+            i += 1
+        elif ch in _BOND_CODES:
+            if pending is not None:
+                raise SmilesError(f"two bond symbols in a row at position {i}")
+            pending = _BOND_CODES[ch]
+            i += 1
+        elif ch == "(":
+            if previous is None:
+                raise SmilesError("branch before any atom")
+            stack.append(previous)
+            i += 1
+        elif ch == ")":
+            if not stack:
+                raise SmilesError("unmatched ')'")
+            previous = stack.pop()
+            i += 1
+        elif ch.isdigit() or ch == "%":
+            if ch == "%":
+                if i + 2 >= n or not smarts[i + 1 : i + 3].isdigit():
+                    raise SmilesError(f"malformed %nn ring closure at {i}")
+                ring_id = int(smarts[i + 1 : i + 3])
+                i += 3
+            else:
+                ring_id = int(ch)
+                i += 1
+            if previous is None:
+                raise SmilesError("ring closure before any atom")
+            if ring_id in ring_open:
+                other, open_bond = ring_open.pop(ring_id)
+                code = pending if pending is not None else open_bond
+                if other == previous:
+                    raise SmilesError("ring closure to the same atom")
+                add_bond(previous, other, code)
+                pending = None
+            else:
+                ring_open[ring_id] = (previous, pending)
+                pending = None
+        elif ch == ".":
+            previous = None
+            pending = None
+            i += 1
+        else:
+            raise SmilesError(f"unexpected character {ch!r} at position {i}")
+    if stack:
+        raise SmilesError("unmatched '('")
+    if ring_open:
+        raise SmilesError(f"unclosed ring bonds: {sorted(ring_open)}")
+    if pending is not None:
+        raise SmilesError("dangling bond symbol at end of pattern")
+
+    h_label = el.element_index("H")
+    for atom, count in explicit_h:
+        for _ in range(count):
+            labels.append(h_label)
+            edges.append((atom, len(labels) - 1))
+            edge_labels.append(1)
+    return LabeledGraph(labels, edges, edge_labels)
+
+
+def wildcard_config(**overrides):
+    """A :class:`~repro.core.config.SigmoConfig` wired for SMARTS patterns.
+
+    Sets ``wildcard_label`` / ``wildcard_edge_label`` to the reserved
+    values of this module; extra keyword arguments override any other
+    config field.
+    """
+    from repro.core.config import SigmoConfig
+
+    kwargs = dict(
+        wildcard_label=WILDCARD_ATOM_LABEL,
+        wildcard_edge_label=ANY_BOND_LABEL,
+    )
+    kwargs.update(overrides)
+    return SigmoConfig(**kwargs)
+
+
+def has_wildcards(pattern: LabeledGraph) -> bool:
+    """Whether a pattern uses wildcard atoms or any-bonds."""
+    import numpy as np
+
+    return bool(
+        np.any(pattern.labels == WILDCARD_ATOM_LABEL)
+        or np.any(pattern.edge_labels == ANY_BOND_LABEL)
+    )

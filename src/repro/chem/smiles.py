@@ -1,0 +1,284 @@
+"""SMILES subset parser and writer.
+
+Supports the slice of SMILES needed to author drug-like structures and
+functional-group queries: organic-subset atoms (``B C N O P S F Cl Br I``),
+aromatic lowercase atoms (``b c n o p s``), bracket atoms with explicit
+hydrogen counts and (ignored) charges (``[OH]``, ``[NH2]``, ``[O-]``,
+``[Si]``), bond symbols ``- = # :``, branches, ring-bond closures
+(``1``-``9`` and ``%nn``), and dot-separated components.
+
+Not supported (out of scope for the reproduction): stereochemistry
+(``/ \\ @``), isotopes, and wildcard atoms — the paper lists wildcard
+support as future work.
+
+The writer emits a canonical-enough SMILES (DFS with explicit bond
+symbols) whose round-trip is isomorphic to the input; tests verify this
+with a full isomorphism check.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.chem import elements as el
+from repro.chem.molecule import Bond, BondOrder, Molecule
+
+_ORGANIC_SUBSET = ("Cl", "Br", "B", "C", "N", "O", "P", "S", "F", "I")
+_AROMATIC_ATOMS = {"b": "B", "c": "C", "n": "N", "o": "O", "p": "P", "s": "S"}
+_BOND_SYMBOLS = {"-": BondOrder.SINGLE, "=": BondOrder.DOUBLE, "#": BondOrder.TRIPLE, ":": BondOrder.AROMATIC}
+_BRACKET_RE = re.compile(
+    r"\[(?P<symbol>[A-Z][a-z]?|[bcnops])(?P<hcount>H\d*)?(?P<charge>[+-]\d*|[+-]+)?\]"
+)
+
+
+class SmilesError(ValueError):
+    """Raised on malformed or unsupported SMILES input."""
+
+
+def mol_from_smiles(smiles: str, name: str = "") -> Molecule:
+    """Parse a SMILES string into a :class:`Molecule`.
+
+    Aromatic (lowercase) atoms bond aromatically to each other by default;
+    explicit bond symbols override.  Bracket hydrogen counts materialize
+    explicit H atoms.
+
+    Raises
+    ------
+    SmilesError
+        On syntax errors, unknown elements, or unsupported features.
+    """
+    if not smiles:
+        raise SmilesError("empty SMILES string")
+    atoms: list[int] = []
+    aromatic_flags: list[bool] = []
+    bonds: list[Bond] = []
+    bond_keys: set[tuple[int, int]] = set()
+    explicit_h: list[tuple[int, int]] = []  # (atom, count)
+
+    stack: list[int] = []
+    previous: int | None = None
+    pending_bond: BondOrder | None = None
+    ring_openings: dict[int, tuple[int, BondOrder | None]] = {}
+
+    def add_bond(u: int, v: int, order: BondOrder | None) -> None:
+        if order is None:
+            order = (
+                BondOrder.AROMATIC
+                if aromatic_flags[u] and aromatic_flags[v]
+                else BondOrder.SINGLE
+            )
+        key = (min(u, v), max(u, v))
+        if key in bond_keys:
+            raise SmilesError(f"duplicate bond between atoms {u} and {v}")
+        bond_keys.add(key)
+        bonds.append(Bond(u, v, order))
+
+    def add_atom(label: int, aromatic: bool) -> int:
+        atoms.append(label)
+        aromatic_flags.append(aromatic)
+        idx = len(atoms) - 1
+        nonlocal previous, pending_bond
+        if previous is None and pending_bond is not None:
+            raise SmilesError("bond symbol before any atom")
+        if previous is not None:
+            add_bond(previous, idx, pending_bond)
+        previous = idx
+        pending_bond = None
+        return idx
+
+    i = 0
+    n = len(smiles)
+    while i < n:
+        ch = smiles[i]
+        if ch == "[":
+            close = smiles.find("]", i)
+            if close < 0:
+                raise SmilesError(f"unclosed bracket at position {i}")
+            match = _BRACKET_RE.fullmatch(smiles[i : close + 1])
+            if not match:
+                raise SmilesError(f"unsupported bracket atom {smiles[i:close + 1]!r}")
+            raw = match.group("symbol")
+            aromatic = raw in _AROMATIC_ATOMS
+            symbol = _AROMATIC_ATOMS.get(raw, raw)
+            try:
+                label = el.element_index(symbol)
+            except KeyError as exc:
+                raise SmilesError(str(exc)) from None
+            idx = add_atom(label, aromatic)
+            hgroup = match.group("hcount")
+            if hgroup:
+                count = int(hgroup[1:]) if len(hgroup) > 1 else 1
+                explicit_h.append((idx, count))
+            i = close + 1
+        elif smiles.startswith(("Cl", "Br"), i):
+            add_atom(el.element_index(smiles[i : i + 2]), False)
+            i += 2
+        elif ch in "BCNOPSFI":
+            add_atom(el.element_index(ch), False)
+            i += 1
+        elif ch in _AROMATIC_ATOMS:
+            add_atom(el.element_index(_AROMATIC_ATOMS[ch]), True)
+            i += 1
+        elif ch in _BOND_SYMBOLS:
+            if pending_bond is not None:
+                raise SmilesError(f"two bond symbols in a row at position {i}")
+            pending_bond = _BOND_SYMBOLS[ch]
+            i += 1
+        elif ch == "(":
+            if previous is None:
+                raise SmilesError("branch before any atom")
+            stack.append(previous)
+            i += 1
+        elif ch == ")":
+            if not stack:
+                raise SmilesError("unmatched ')'")
+            previous = stack.pop()
+            i += 1
+        elif ch.isdigit() or ch == "%":
+            if ch == "%":
+                if i + 2 >= n or not smiles[i + 1 : i + 3].isdigit():
+                    raise SmilesError(f"malformed %nn ring closure at position {i}")
+                ring_id = int(smiles[i + 1 : i + 3])
+                i += 3
+            else:
+                ring_id = int(ch)
+                i += 1
+            if previous is None:
+                raise SmilesError("ring closure before any atom")
+            if ring_id in ring_openings:
+                other, opening_bond = ring_openings.pop(ring_id)
+                order = pending_bond if pending_bond is not None else opening_bond
+                if other == previous:
+                    raise SmilesError("ring closure to the same atom")
+                add_bond(previous, other, order)
+                pending_bond = None
+            else:
+                ring_openings[ring_id] = (previous, pending_bond)
+                pending_bond = None
+        elif ch == ".":
+            previous = None
+            pending_bond = None
+            i += 1
+        elif ch in "/\\@":
+            raise SmilesError(f"stereochemistry ({ch!r}) is not supported")
+        else:
+            raise SmilesError(f"unexpected character {ch!r} at position {i}")
+    if stack:
+        raise SmilesError("unmatched '('")
+    if ring_openings:
+        raise SmilesError(f"unclosed ring bonds: {sorted(ring_openings)}")
+    if pending_bond is not None:
+        raise SmilesError("dangling bond symbol at end of SMILES")
+
+    # Materialize bracket hydrogens as explicit atoms.
+    h_label = el.element_index("H")
+    for atom, count in explicit_h:
+        for _ in range(count):
+            atoms.append(h_label)
+            bonds.append(Bond(atom, len(atoms) - 1, BondOrder.SINGLE))
+    return Molecule(atoms, bonds, name=name or smiles)
+
+
+def mol_to_smiles(mol: Molecule) -> str:
+    """Write a SMILES string (DFS order, explicit non-single bonds).
+
+    Hydrogen atoms bonded to a heavy atom are folded into bracket hydrogen
+    counts; free or H-H-bonded hydrogens fall back to ``[H]`` atoms.
+    The output re-parses to a molecule isomorphic to the input.
+    """
+    n = mol.n_atoms
+    if n == 0:
+        raise ValueError("cannot write SMILES for an empty molecule")
+    h_label = el.element_index("H")
+    adj: list[list[tuple[int, BondOrder]]] = [[] for _ in range(n)]
+    for b in mol.bonds:
+        adj[b.u].append((b.v, b.order))
+        adj[b.v].append((b.u, b.order))
+
+    # Fold simple hydrogens: H atoms with exactly one single bond to a
+    # heavy atom become bracket H counts on that atom.
+    folded = [False] * n
+    hcounts = [0] * n
+    for a in range(n):
+        if mol.atom_labels[a] == h_label and len(adj[a]) == 1:
+            nbr, order = adj[a][0]
+            if order == BondOrder.SINGLE and mol.atom_labels[nbr] != h_label:
+                folded[a] = True
+                hcounts[nbr] += 1
+
+    bond_char = {
+        BondOrder.SINGLE: "",
+        BondOrder.DOUBLE: "=",
+        BondOrder.TRIPLE: "#",
+        BondOrder.AROMATIC: ":",
+    }
+
+    def atom_token(a: int) -> str:
+        sym = el.element_symbol(int(mol.atom_labels[a]))
+        if hcounts[a]:
+            suffix = f"H{hcounts[a]}" if hcounts[a] > 1 else "H"
+            return f"[{sym}{suffix}]"
+        if sym in _ORGANIC_SUBSET:
+            return sym
+        return f"[{sym}]"
+
+    def ring_token(rid: int) -> str:
+        return str(rid) if rid < 10 else f"%{rid:02d}"
+
+    # DFS tree over unfolded atoms; non-tree bonds become ring closures.
+    visited = [False] * n
+    tree_parent = [-2] * n
+    components: list[int] = []
+
+    def dfs_tree(root: int) -> None:
+        stack = [(root, -1)]
+        while stack:
+            node, parent = stack.pop()
+            if visited[node]:
+                continue
+            visited[node] = True
+            tree_parent[node] = parent
+            for nbr, _ in reversed(adj[node]):
+                if not visited[nbr] and not folded[nbr]:
+                    stack.append((nbr, node))
+
+    for v in range(n):
+        if not visited[v] and not folded[v]:
+            components.append(v)
+            dfs_tree(v)
+
+    ring_closure_of: dict[tuple[int, int], int] = {}
+    for b in mol.bonds:
+        if folded[b.u] or folded[b.v]:
+            continue
+        if tree_parent[b.u] != b.v and tree_parent[b.v] != b.u:
+            key = (min(b.u, b.v), max(b.u, b.v))
+            ring_closure_of[key] = len(ring_closure_of) + 1
+
+    order_of = {b.u * n + b.v: b.order for b in mol.bonds}
+    order_of.update({b.v * n + b.u: b.order for b in mol.bonds})
+
+    def emit(root: int) -> str:
+        out: list[str] = []
+
+        def rec(a: int) -> None:
+            out.append(atom_token(a))
+            # Ring-closure digits at both endpoints of each back edge.
+            for (x, y), rid in sorted(ring_closure_of.items()):
+                if a in (x, y):
+                    other = y if a == x else x
+                    out.append(bond_char[order_of[a * n + other]] + ring_token(rid))
+            kids = [nbr for nbr, _ in adj[a] if tree_parent[nbr] == a]
+            for idx, nbr in enumerate(kids):
+                last = idx == len(kids) - 1
+                if not last:
+                    out.append("(")
+                out.append(bond_char[order_of[a * n + nbr]])
+                rec(nbr)
+                if not last:
+                    out.append(")")
+
+        rec(root)
+        return "".join(out)
+
+    return ".".join(emit(root) for root in components)

@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``match``
+    Run batched substructure matching between a query set and a molecule
+    file (both ``.smi``; queries may alternatively be inline SMARTS).
+``generate``
+    Write a synthetic ZINC-like molecule library to a ``.smi`` file.
+``info``
+    Structural statistics of a ``.smi`` file (size, labels, degree).
+``selftest``
+    Quick end-to-end pipeline run on synthetic data with timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def _add_match(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("match", help="batched substructure matching")
+    p.add_argument("--data", required=True, help=".smi file of molecules")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--queries", help=".smi file of query patterns")
+    group.add_argument(
+        "--smarts", nargs="+", help="inline SMARTS-lite patterns (wildcards ok)"
+    )
+    p.add_argument(
+        "--mode", choices=("find-all", "find-first"), default="find-all"
+    )
+    p.add_argument("--iterations", type=int, default=6,
+                   help="refinement iterations (paper default: 6)")
+    p.add_argument("--chunk-size", type=int, default=0,
+                   help="process molecules in chunks of this size (0 = off)")
+    p.add_argument("--embeddings", action="store_true",
+                   help="include embeddings in the JSON output")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write results as JSON")
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="synthesize a molecule library")
+    p.add_argument("--out", required=True, help="output .smi path")
+    p.add_argument("-n", "--count", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mean-atoms", type=float, default=21.0)
+
+
+def _add_info(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("info", help="statistics of a .smi file")
+    p.add_argument("file", help=".smi path")
+
+
+def _add_selftest(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("selftest", help="end-to-end pipeline self-check")
+    p.add_argument("--molecules", type=int, default=200)
+    p.add_argument("--queries", type=int, default=40)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SIGMo batched molecular substructure matching"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_match(sub)
+    _add_generate(sub)
+    _add_info(sub)
+    _add_selftest(sub)
+    return parser
+
+
+def cmd_match(args) -> int:
+    """Handle ``repro match``: batched matching with optional chunking."""
+    from repro.core.config import SigmoConfig
+    from repro.core.chunked import run_chunked
+    from repro.core.engine import SigmoEngine
+    from repro.io import read_smi
+
+    data_mols = read_smi(args.data)
+    data_names = [m.name or f"mol-{i}" for i, m in enumerate(data_mols)]
+    data_graphs = [m.graph() for m in data_mols]
+
+    if args.smarts:
+        from repro.chem.smarts import pattern_from_smarts, wildcard_config
+
+        query_graphs = [pattern_from_smarts(s) for s in args.smarts]
+        query_names = list(args.smarts)
+        config = wildcard_config(
+            refinement_iterations=args.iterations,
+            record_embeddings=args.embeddings,
+        )
+    else:
+        query_mols = read_smi(args.queries)
+        query_names = [m.name or f"query-{i}" for i, m in enumerate(query_mols)]
+        query_graphs = [m.graph() for m in query_mols]
+        config = SigmoConfig(
+            refinement_iterations=args.iterations,
+            record_embeddings=args.embeddings,
+        )
+
+    start = time.perf_counter()
+    if args.chunk_size:
+        chunked = run_chunked(
+            query_graphs, data_graphs, args.chunk_size, mode=args.mode, config=config
+        )
+        total = chunked.total_matches
+        pairs = chunked.matched_pairs
+        embeddings = chunked.embeddings
+        timings = chunked.timings
+    else:
+        result = SigmoEngine(query_graphs, data_graphs, config).run(mode=args.mode)
+        total = result.total_matches
+        pairs = result.matched_pairs()
+        embeddings = result.embeddings
+        timings = result.timings
+    elapsed = time.perf_counter() - start
+
+    print(
+        f"{total} matches across {len(data_graphs)} molecules x "
+        f"{len(query_graphs)} queries in {elapsed:.3f}s ({args.mode})"
+    )
+    for stage, seconds in timings.items():
+        print(f"  {stage}: {seconds * 1e3:.1f} ms")
+    shown = 0
+    for d, q in pairs:
+        if shown >= 20:
+            print(f"  ... and {len(pairs) - shown} more matched pairs")
+            break
+        print(f"  {data_names[d]} contains {query_names[q]}")
+        shown += 1
+
+    if args.json_out:
+        payload = {
+            "mode": args.mode,
+            "total_matches": total,
+            "matched_pairs": [
+                {"molecule": data_names[d], "query": query_names[q]}
+                for d, q in pairs
+            ],
+            "timings_s": timings,
+        }
+        if args.embeddings:
+            payload["embeddings"] = [
+                {
+                    "molecule": data_names[rec.data_graph],
+                    "query": query_names[rec.query_graph],
+                    "atoms": rec.mapping.tolist(),
+                }
+                for rec in embeddings
+            ]
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """Handle ``repro generate``: write a synthetic .smi library."""
+    from repro.chem.generator import MoleculeGenerator
+    from repro.io import write_smi
+
+    gen = MoleculeGenerator(seed=args.seed, mean_heavy_atoms=args.mean_atoms)
+    mols = gen.generate_batch(args.count)
+    names = [f"SYN-{args.seed}-{i:06d}" for i in range(len(mols))]
+    write_smi(args.out, mols, names)
+    print(f"wrote {len(mols)} molecules to {args.out}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    """Handle ``repro info``: print structural statistics of a .smi file."""
+    from repro.chem.generator import dataset_statistics
+    from repro.io import read_smi
+
+    mols = read_smi(args.file)
+    stats = dataset_statistics(mols)
+    print(f"{args.file}: {len(mols)} molecules")
+    for key, value in stats.items():
+        print(f"  {key}: {value:.3f}")
+    return 0
+
+
+def cmd_selftest(args) -> int:
+    """Handle ``repro selftest``: quick synthetic end-to-end run."""
+    from repro.chem.datasets import build_benchmark
+    from repro.core.engine import SigmoEngine
+
+    ds = build_benchmark(
+        scale=1.0, n_queries=args.queries, n_data_graphs=args.molecules, seed=0
+    )
+    engine = SigmoEngine(ds.queries, ds.data)
+    result = engine.run()
+    print(ds.summary())
+    print(result.summary())
+    first = engine.run(mode="find-first")
+    print(first.summary())
+    print("selftest ok")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "match": cmd_match,
+        "generate": cmd_generate,
+        "info": cmd_info,
+        "selftest": cmd_selftest,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""SIGMo core: the paper's primary contribution.
+
+The six-stage pipeline (paper Fig. 2):
+
+1. Convert input graph batches to :class:`~repro.core.csrgo.CSRGO`.
+2. Initialize candidate bitmaps (:mod:`~repro.core.candidates`).
+3. Generate radius-k signatures (:mod:`~repro.core.signatures`).
+4. Refine candidates iteratively (:mod:`~repro.core.filtering`).
+5. Map data graphs to plausible queries (:mod:`~repro.core.mapping`, GMCR).
+6. Join with stack-based DFS backtracking (:mod:`~repro.core.join`).
+
+:class:`~repro.core.engine.SigmoEngine` orchestrates all six stages and is
+the main entry point; :class:`~repro.core.config.SigmoConfig` holds the
+tunables the paper explores (refinement iterations, work-group sizes,
+bitmap word width, masked-signature bit allocation).
+"""
+
+from repro.core.config import SigmoConfig
+from repro.core.csrgo import CSRGO
+from repro.core.engine import SigmoEngine, find_all, find_first
+from repro.core.results import MatchRecord, MatchResult
+
+__all__ = [
+    "CSRGO",
+    "SigmoConfig",
+    "SigmoEngine",
+    "MatchRecord",
+    "MatchResult",
+    "find_all",
+    "find_first",
+]

@@ -1,0 +1,124 @@
+"""Chunked batch execution: operate beyond the single-device memory wall.
+
+Fig. 12's single-GPU experiment ends when the candidate bitmap
+(``|V_Q| x |V_D| / 8`` bytes) no longer fits device memory (scale factor
+~26 on a 32 GB V100S).  Because SIGMo's data graphs are independent, the
+batch can be split into chunks that are filtered/mapped/joined one at a
+time, bounding peak memory at the cost of re-running the (cheap) query-side
+signature work per chunk.  This module implements that driver — the natural
+out-of-core extension of the paper's design, and the same decomposition the
+multi-GPU version uses across devices (section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SigmoConfig
+from repro.core.engine import SigmoEngine
+from repro.core.join import FIND_ALL
+from repro.core.results import MatchRecord, MatchResult
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@dataclass
+class ChunkedResult:
+    """Aggregated outcome of a chunked run.
+
+    Attributes
+    ----------
+    total_matches:
+        Sum over chunks (identical to an unchunked run).
+    n_chunks:
+        Chunks executed.
+    peak_memory_bytes:
+        Largest per-chunk engine footprint — the bound chunking buys.
+    matched_pairs:
+        Global ``(data_graph, query_graph)`` matched pairs.
+    chunk_results:
+        The underlying per-chunk results (data-graph indices are local to
+        each chunk; ``matched_pairs``/``embeddings`` are already globalized).
+    timings:
+        Summed per-phase timings across chunks.
+    """
+
+    total_matches: int = 0
+    n_chunks: int = 0
+    peak_memory_bytes: int = 0
+    matched_pairs: list[tuple[int, int]] = field(default_factory=list)
+    embeddings: list[MatchRecord] = field(default_factory=list)
+    chunk_results: list[MatchResult] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed wall-clock across chunks."""
+        return sum(self.timings.values())
+
+
+def run_chunked(
+    queries: list[LabeledGraph],
+    data: list[LabeledGraph],
+    chunk_size: int,
+    mode: str = FIND_ALL,
+    config: SigmoConfig | None = None,
+) -> ChunkedResult:
+    """Run the pipeline on ``data`` in chunks of ``chunk_size`` graphs.
+
+    Results are exactly those of one big run; only peak memory differs.
+    Data-graph indices in ``matched_pairs`` and ``embeddings`` are global
+    (i.e. indices into ``data``).
+
+    Parameters
+    ----------
+    chunk_size:
+        Data graphs per chunk; pick it so
+        ``n_query_nodes * chunk_nodes / 8`` fits the memory budget (see
+        :func:`chunk_size_for_budget`).
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if not data:
+        raise ValueError("at least one data graph is required")
+    out = ChunkedResult()
+    for start in range(0, len(data), chunk_size):
+        chunk = data[start : start + chunk_size]
+        engine = SigmoEngine(queries, chunk, config)
+        result = engine.run(mode=mode)
+        out.n_chunks += 1
+        out.total_matches += result.total_matches
+        out.peak_memory_bytes = max(out.peak_memory_bytes, result.memory.total)
+        out.matched_pairs.extend(
+            (d + start, q) for d, q in result.matched_pairs()
+        )
+        out.embeddings.extend(
+            MatchRecord(rec.data_graph + start, rec.query_graph, rec.mapping)
+            for rec in result.embeddings
+        )
+        out.chunk_results.append(result)
+        for name, seconds in result.timings.items():
+            out.timings[name] = out.timings.get(name, 0.0) + seconds
+    return out
+
+
+def chunk_size_for_budget(
+    n_query_nodes: int,
+    mean_nodes_per_data_graph: float,
+    budget_bytes: int,
+    word_bits: int = 64,
+    bitmap_share: float = 0.8,
+) -> int:
+    """Chunk size whose candidate bitmap fits a memory budget.
+
+    Solves ``n_query_nodes * chunk_size * mean_nodes / 8 <= budget *
+    bitmap_share`` (the bitmap is ~80 % of the footprint, section 5.1.3).
+    """
+    if budget_bytes <= 0:
+        raise ValueError("budget_bytes must be > 0")
+    if n_query_nodes <= 0 or mean_nodes_per_data_graph <= 0:
+        raise ValueError("node counts must be > 0")
+    bytes_per_graph = n_query_nodes * mean_nodes_per_data_graph / 8
+    usable = budget_bytes * bitmap_share
+    return max(1, int(usable // max(bytes_per_graph, 1e-9)))

@@ -1,0 +1,486 @@
+"""Join phase: stack-based DFS backtracking over filtered candidates.
+
+GPUs do not support recursion, so the paper simulates it with an explicit
+stack in private memory, one stack per work-item, bounded by the query size
+(section 4.6).  This module reproduces that design faithfully: the inner
+search is an iterative loop over preallocated integer arrays — a stack of
+candidate cursors — with no recursion and no per-step allocation.
+
+Execution model (paper section 4.6): each *data graph* is a work-group;
+the work-items of the group iterate over the query graphs GMCR mapped to
+that data graph, one query per work-item at a time.  The driver loop here
+follows the same nesting (data graph outer, query graph inner) so the
+device simulator can replay it with real per-pair work counts.
+
+Matching semantics are paper Def. 2.1: injective, label-preserving, every
+query edge present in the data graph, and edge labels must agree
+(section 3: "edge labels are evaluated to prevent invalid matches").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.candidates import CandidateBitmap
+from repro.core.config import SigmoConfig
+from repro.core.csrgo import CSRGO
+from repro.core.mapping import GMCR
+from repro.utils.timing import StageTimer
+
+#: Join execution modes.
+FIND_ALL = "find-all"
+FIND_FIRST = "find-first"
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Precompiled matching order for one query graph.
+
+    Attributes
+    ----------
+    query_graph:
+        Query graph index within the query batch.
+    order:
+        ``order[p]`` is the *local* query node matched at DFS depth ``p``.
+        Every node after the first is adjacent to an earlier node, so
+        partial mappings stay connected.
+    check_edges:
+        ``check_edges[p]`` lists ``(earlier_depth, edge_label)`` pairs: the
+        query edges from ``order[p]`` back into the already-mapped prefix.
+        The candidate at depth ``p`` is valid only if the data graph has an
+        equally-labeled edge to each of those mapped nodes.
+    forbidden:
+        Only populated in induced mode: ``forbidden[p]`` lists earlier
+        depths that are *non-adjacent* to ``order[p]`` in the query — the
+        data graph must have no edge there.
+    """
+
+    query_graph: int
+    order: np.ndarray
+    check_edges: tuple[tuple[tuple[int, int], ...], ...]
+    forbidden: tuple[tuple[int, ...], ...] = ()
+
+    @property
+    def n_nodes(self) -> int:
+        """Query size — also the DFS stack bound (paper: <= 30)."""
+        return int(self.order.size)
+
+
+@dataclass
+class JoinStats:
+    """Work counters the device simulator consumes.
+
+    Attributes
+    ----------
+    pairs_joined:
+        (data graph, query graph) pairs actually searched.
+    stack_pushes:
+        Total DFS extensions (partial-match constructions).
+    candidate_visits:
+        Candidate cursor advances, including rejected candidates.
+    edge_checks:
+        Back-edge existence/label probes.
+    """
+
+    pairs_joined: int = 0
+    stack_pushes: int = 0
+    candidate_visits: int = 0
+    edge_checks: int = 0
+
+
+@dataclass
+class JoinResult:
+    """Output of the join phase.
+
+    Attributes
+    ----------
+    total_matches:
+        Number of embeddings found (Find All) or of matched pairs
+        (Find First) — the paper's throughput numerator.
+    pair_matches:
+        Parallel to ``gmcr.query_graph_indices``: embeddings found per
+        viable pair.
+    pair_visits:
+        Candidate visits spent per viable pair — the per-work-item work
+        distribution the SIMT divergence model consumes.
+    embeddings:
+        Recorded embeddings when ``config.record_embeddings`` — tuples
+        ``(data_graph, query_graph, mapping)`` with ``mapping[i]`` the
+        *local* data node (atom index within the data graph) matched to
+        local query node ``i``.
+    stats:
+        Work counters.
+    """
+
+    total_matches: int = 0
+    pair_matches: np.ndarray | None = None
+    pair_visits: np.ndarray | None = None
+    embeddings: list[tuple[int, int, np.ndarray]] = field(default_factory=list)
+    stats: JoinStats = field(default_factory=JoinStats)
+
+
+def build_query_plan(
+    query: CSRGO,
+    query_graph: int,
+    candidate_counts: np.ndarray | None = None,
+    heuristic: str = "fewest-candidates",
+    wildcard_edge_label: int | None = None,
+    induced: bool = False,
+) -> QueryPlan:
+    """Compile the matching order of one query graph.
+
+    ``fewest-candidates`` starts from the query node with the smallest
+    candidate set and greedily extends with the connected node having the
+    smallest set — prioritizing selective nodes shrinks the search tree.
+    ``bfs`` uses plain breadth-first order from local node 0.
+
+    Parameters
+    ----------
+    candidate_counts:
+        Global per-query-node candidate counts (from the bitmap); required
+        by the ``fewest-candidates`` heuristic.
+    wildcard_edge_label:
+        Query edge label meaning "any bond"; such checks are compiled to
+        the sentinel -1 and the join only requires edge *existence*.
+    induced:
+        Compile non-adjacency checks for induced matching.
+    """
+    start_node, stop_node = query.graph_node_range(query_graph)
+    n = stop_node - start_node
+    if n == 0:
+        raise ValueError(f"query graph {query_graph} is empty")
+
+    def local_neighbors(local: int) -> np.ndarray:
+        return query.neighbors(start_node + local) - start_node
+
+    if heuristic == "fewest-candidates" and candidate_counts is not None:
+        counts = np.asarray(candidate_counts[start_node:stop_node], dtype=np.int64)
+    else:
+        counts = np.diff(
+            query.row_offsets[start_node : stop_node + 1]
+        ).astype(np.int64) * -1  # fall back to highest degree first
+    order: list[int] = [int(np.argmin(counts))]
+    in_order = np.zeros(n, dtype=bool)
+    in_order[order[0]] = True
+    adjacent = np.zeros(n, dtype=bool)
+    adjacent[local_neighbors(order[0])] = True
+    while len(order) < n:
+        frontier = np.nonzero(adjacent & ~in_order)[0]
+        if frontier.size == 0:
+            # Disconnected query graph: jump to the best remaining node.
+            frontier = np.nonzero(~in_order)[0]
+        pick = int(frontier[np.argmin(counts[frontier])])
+        order.append(pick)
+        in_order[pick] = True
+        adjacent[local_neighbors(pick)] = True
+
+    if heuristic == "bfs":
+        order = _bfs_order(query, query_graph)
+
+    position = {node: p for p, node in enumerate(order)}
+    check_edges: list[tuple[tuple[int, int], ...]] = []
+    forbidden: list[tuple[int, ...]] = []
+    for p, node in enumerate(order):
+        checks = []
+        global_node = start_node + node
+        nbrs = query.neighbors(global_node)
+        elabs = query.neighbor_edge_labels(global_node)
+        adjacent_depths = set()
+        for nbr, elab in zip(nbrs, elabs):
+            p2 = position[int(nbr) - start_node]
+            if p2 < p:
+                adjacent_depths.add(p2)
+                code = int(elab)
+                if wildcard_edge_label is not None and code == wildcard_edge_label:
+                    code = -1  # any-bond sentinel
+                checks.append((p2, code))
+        check_edges.append(tuple(checks))
+        if induced:
+            forbidden.append(
+                tuple(p2 for p2 in range(p) if p2 not in adjacent_depths)
+            )
+        else:
+            forbidden.append(())
+    return QueryPlan(
+        query_graph=query_graph,
+        order=np.asarray(order, dtype=np.int32),
+        check_edges=tuple(check_edges),
+        forbidden=tuple(forbidden),
+    )
+
+
+def _bfs_order(query: CSRGO, query_graph: int) -> list[int]:
+    """Plain BFS order from local node 0 (secondary heuristic)."""
+    from collections import deque
+
+    start_node, stop_node = query.graph_node_range(query_graph)
+    n = stop_node - start_node
+    seen = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    for root in range(n):
+        if seen[root]:
+            continue
+        seen[root] = True
+        queue = deque([root])
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for u in query.neighbors(start_node + v) - start_node:
+                if not seen[u]:
+                    seen[u] = True
+                    queue.append(int(u))
+    return order
+
+
+class _LocalGraphView:
+    """Adjacency of one data graph rebuilt for O(1) edge probes.
+
+    The driver builds one view per data graph (work-group) and reuses it
+    across all that graph's query joins — the CPU analogue of the adjacency
+    staying resident in cache while a work-group processes its queries.
+    """
+
+    __slots__ = ("start", "edge_label_of", "width")
+
+    def __init__(self, data: CSRGO, data_graph: int) -> None:
+        self.start, stop = data.graph_node_range(data_graph)
+        edge_label_of: dict[int, int] = {}
+        width = stop - self.start
+        for v in range(self.start, stop):
+            lo, hi = int(data.row_offsets[v]), int(data.row_offsets[v + 1])
+            lv = v - self.start
+            for slot in range(lo, hi):
+                u = int(data.column_indices[slot]) - self.start
+                edge_label_of[lv * width + u] = int(data.adj_edge_labels[slot])
+        self.edge_label_of = edge_label_of
+        self.width = width
+
+    def edge_label(self, local_u: int, local_v: int) -> int:
+        """Label of local edge, or -1 when absent."""
+        return self.edge_label_of.get(local_u * self.width + local_v, -1)
+
+
+def join_pair(
+    view: _LocalGraphView,
+    plan: QueryPlan,
+    cand_lists: list[np.ndarray],
+    n_graph_nodes: int,
+    find_first: bool,
+    stats: JoinStats,
+    record: list | None = None,
+    record_meta: tuple[int, int] | None = None,
+    max_record: int = 0,
+) -> int:
+    """Join one (data graph, query graph) pair with an explicit DFS stack.
+
+    Parameters
+    ----------
+    view:
+        Local adjacency of the data graph.
+    plan:
+        Matching order of the query graph.
+    cand_lists:
+        Per-depth candidate arrays (*local* data node ids inside the graph),
+        already restricted by the filter.
+    n_graph_nodes:
+        Node count of the data graph (sizes the used-flags array).
+    find_first:
+        Stop after the first embedding.
+    record / record_meta / max_record:
+        Optional embedding recording (global-id conversion is the caller's
+        job via ``view.start``).
+
+    Returns
+    -------
+    int
+        Number of embeddings found (1 max under ``find_first``).
+    """
+    depth_count = plan.n_nodes
+    # Explicit stack: cursor per depth + assignment per depth, the private-
+    # memory layout of the paper's work-item stack.  Plain Python lists —
+    # per-element NumPy indexing is far slower in this scalar hot loop.
+    cursor = [0] * depth_count
+    assigned = [-1] * depth_count
+    cand_sizes = [len(c) for c in cand_lists]
+    used = bytearray(n_graph_nodes)
+    matches = 0
+    depth = 0
+    visits = 0
+    echecks = 0
+    pushes = 0
+    check_edges = plan.check_edges
+    forbidden = plan.forbidden or ((),) * depth_count
+    edge_label_of = view.edge_label_of
+    width = view.width
+    last_depth = depth_count - 1
+    while depth >= 0:
+        cands = cand_lists[depth]
+        size = cand_sizes[depth]
+        pos = cursor[depth]
+        checks = check_edges[depth]
+        banned = forbidden[depth]
+        found = False
+        while pos < size:
+            candidate = cands[pos]
+            pos += 1
+            visits += 1
+            if used[candidate]:
+                continue
+            ok = True
+            for earlier_depth, elab in checks:
+                echecks += 1
+                lbl = edge_label_of.get(
+                    candidate * width + assigned[earlier_depth], -2
+                )
+                # elab == -1 means any-bond: existence suffices.
+                if lbl != elab and not (elab == -1 and lbl != -2):
+                    ok = False
+                    break
+            if ok and banned:
+                for earlier_depth in banned:
+                    echecks += 1
+                    if candidate * width + assigned[earlier_depth] in edge_label_of:
+                        ok = False
+                        break
+            if ok:
+                found = True
+                break
+        cursor[depth] = pos
+        if not found:
+            # Exhausted this depth: backtrack.
+            cursor[depth] = 0
+            depth -= 1
+            if depth >= 0:
+                prev = assigned[depth]
+                if prev >= 0:
+                    used[prev] = 0
+                    assigned[depth] = -1
+            continue
+        # Place the candidate.
+        assigned[depth] = candidate
+        used[candidate] = 1
+        pushes += 1
+        if depth == last_depth:
+            matches += 1
+            if record is not None and len(record) < max_record and record_meta:
+                mapping = np.empty(depth_count, dtype=np.int64)
+                mapping[plan.order] = assigned
+                record.append((record_meta[0], record_meta[1], mapping))
+            if find_first:
+                stats.candidate_visits += visits
+                stats.edge_checks += echecks
+                stats.stack_pushes += pushes
+                return matches
+            # Stay at this depth and try the next candidate.
+            used[candidate] = 0
+            assigned[depth] = -1
+        else:
+            depth += 1
+    stats.candidate_visits += visits
+    stats.edge_checks += echecks
+    stats.stack_pushes += pushes
+    return matches
+
+
+def run_join(
+    query: CSRGO,
+    data: CSRGO,
+    bitmap: CandidateBitmap,
+    gmcr: GMCR,
+    config: SigmoConfig | None = None,
+    mode: str = FIND_ALL,
+    timer: StageTimer | None = None,
+    plans: list[QueryPlan] | None = None,
+) -> JoinResult:
+    """Stage 6 of the pipeline: join every viable pair.
+
+    Iterates data graphs (work-groups) in order; for each, builds the local
+    adjacency once and joins each GMCR-mapped query graph (work-items).
+    Sets ``gmcr.matched`` per pair as the paper's designated boolean.
+    """
+    if mode not in (FIND_ALL, FIND_FIRST):
+        raise ValueError(f"mode must be '{FIND_ALL}' or '{FIND_FIRST}'")
+    config = config or SigmoConfig()
+    timer = timer or StageTimer()
+    find_first = mode == FIND_FIRST
+    result = JoinResult(
+        pair_matches=np.zeros(gmcr.n_pairs, dtype=np.int64),
+        pair_visits=np.zeros(gmcr.n_pairs, dtype=np.int64),
+    )
+    record = result.embeddings if config.record_embeddings else None
+
+    with timer.stage("join"):
+        if plans is None:
+            counts = bitmap.row_counts()
+            plans = [
+                build_query_plan(
+                    query,
+                    qg,
+                    counts,
+                    config.candidate_order,
+                    config.wildcard_edge_label,
+                    config.induced,
+                )
+                for qg in range(query.n_graphs)
+            ]
+        # Unpack each query node's candidate row once (sorted global ids);
+        # per-pair restriction is then a binary-search slice instead of a
+        # full-bitmap scan.
+        from repro.utils.bitops import bit_positions
+
+        row_positions: dict[int, np.ndarray] = {}
+
+        def positions_of(global_q: int) -> np.ndarray:
+            cached = row_positions.get(global_q)
+            if cached is None:
+                cached = bit_positions(bitmap.words[global_q], bitmap.word_bits)
+                row_positions[global_q] = cached
+            return cached
+
+        for d in range(gmcr.n_data_graphs):
+            pair_lo = int(gmcr.data_graph_offsets[d])
+            pair_hi = int(gmcr.data_graph_offsets[d + 1])
+            if pair_hi == pair_lo:
+                continue
+            d_start, d_stop = data.graph_node_range(d)
+            view = _LocalGraphView(data, d)
+            n_graph_nodes = d_stop - d_start
+            for pair_idx in range(pair_lo, pair_hi):
+                qg = int(gmcr.query_graph_indices[pair_idx])
+                plan = plans[qg]
+                q_start, _ = query.graph_node_range(plan.query_graph)
+                cand_lists = []
+                empty = False
+                for local_q in plan.order:
+                    positions = positions_of(q_start + int(local_q))
+                    lo = np.searchsorted(positions, d_start)
+                    hi = np.searchsorted(positions, d_stop)
+                    if hi == lo:
+                        empty = True
+                        break
+                    cand_lists.append((positions[lo:hi] - d_start).tolist())
+                if empty:
+                    continue
+                result.stats.pairs_joined += 1
+                visits_before = result.stats.candidate_visits
+                found = join_pair(
+                    view,
+                    plan,
+                    cand_lists,
+                    n_graph_nodes,
+                    find_first,
+                    result.stats,
+                    record=record,
+                    record_meta=(d, qg),
+                    max_record=config.max_embeddings_recorded,
+                )
+                result.pair_matches[pair_idx] = found
+                result.pair_visits[pair_idx] = (
+                    result.stats.candidate_visits - visits_before
+                )
+                if found:
+                    gmcr.matched[pair_idx] = True
+                result.total_matches += found
+    return result

@@ -1,0 +1,168 @@
+"""BFS (level-synchronous) join — the alternative the paper rejected.
+
+Section 4.6: "we considered both Depth-First Search (DFS) and Breadth-First
+Search (BFS) traversal strategies.  While BFS generates multiple partial
+matches at each level — leading to an exponential increase in memory usage —
+DFS constructs only a single partial match per step, enabling more efficient
+memory usage."
+
+This module implements the BFS variant so the trade-off can be measured:
+per (data graph, query graph) pair, every level materializes the whole
+table of partial matches.  Results are identical to the stack-DFS join
+(asserted in tests); the difference is the peak partial-match memory,
+which the driver tracks and reports — the quantity behind the paper's
+design decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.candidates import CandidateBitmap
+from repro.core.config import SigmoConfig
+from repro.core.csrgo import CSRGO
+from repro.core.join import QueryPlan, _LocalGraphView, build_query_plan
+from repro.core.mapping import GMCR
+from repro.utils.bitops import bit_positions
+from repro.utils.timing import StageTimer
+
+
+@dataclass
+class BfsJoinResult:
+    """Output of the BFS join.
+
+    Attributes
+    ----------
+    total_matches:
+        Embeddings found (identical to the DFS join's).
+    peak_partial_matches:
+        Largest partial-match table (rows) materialized at any level —
+        the memory the DFS design avoids.
+    peak_partial_bytes:
+        Same in bytes (8 bytes per mapped node).
+    pair_matches:
+        Embeddings per GMCR pair.
+    """
+
+    total_matches: int = 0
+    peak_partial_matches: int = 0
+    peak_partial_bytes: int = 0
+    pair_matches: np.ndarray | None = None
+
+
+def bfs_join_pair(
+    view: _LocalGraphView,
+    plan: QueryPlan,
+    cand_lists: list[np.ndarray],
+) -> tuple[int, int]:
+    """Join one pair by expanding full partial-match tables per level.
+
+    Returns
+    -------
+    (n_matches, peak_rows):
+        Embedding count and the largest table materialized.
+    """
+    depth_count = plan.n_nodes
+    table = np.asarray(cand_lists[0], dtype=np.int64)[:, None]
+    peak_rows = table.shape[0]
+    edge_label_of = view.edge_label_of
+    width = view.width
+    for depth in range(1, depth_count):
+        if table.shape[0] == 0:
+            return 0, peak_rows
+        cands = np.asarray(cand_lists[depth], dtype=np.int64)
+        n_rows, n_cand = table.shape[0], cands.size
+        if n_cand == 0:
+            return 0, peak_rows
+        expanded = np.repeat(table, n_cand, axis=0)
+        new_col = np.tile(cands, n_rows)
+        keep = np.ones(expanded.shape[0], dtype=bool)
+        for col in range(depth):
+            keep &= expanded[:, col] != new_col
+        for earlier_depth, elab in plan.check_edges[depth]:
+            prev = expanded[:, earlier_depth]
+            ok = np.fromiter(
+                (
+                    (
+                        (lbl := edge_label_of.get(int(c) * width + int(p), -2))
+                        == elab
+                    )
+                    or (elab == -1 and lbl != -2)
+                    for c, p in zip(new_col, prev)
+                ),
+                dtype=bool,
+                count=new_col.size,
+            )
+            keep &= ok
+        table = np.concatenate([expanded[keep], new_col[keep][:, None]], axis=1)
+        peak_rows = max(peak_rows, expanded.shape[0], table.shape[0])
+    return int(table.shape[0]), peak_rows
+
+
+def run_bfs_join(
+    query: CSRGO,
+    data: CSRGO,
+    bitmap: CandidateBitmap,
+    gmcr: GMCR,
+    config: SigmoConfig | None = None,
+    timer: StageTimer | None = None,
+) -> BfsJoinResult:
+    """Drive the BFS join over every GMCR pair (Find All only).
+
+    Mirrors :func:`repro.core.join.run_join`'s structure so the two are
+    directly comparable.
+    """
+    config = config or SigmoConfig()
+    timer = timer or StageTimer()
+    result = BfsJoinResult(pair_matches=np.zeros(gmcr.n_pairs, dtype=np.int64))
+    with timer.stage("join-bfs"):
+        counts = bitmap.row_counts()
+        plans = [
+            build_query_plan(
+                query, qg, counts, config.candidate_order, config.wildcard_edge_label
+            )
+            for qg in range(query.n_graphs)
+        ]
+        row_positions: dict[int, np.ndarray] = {}
+        for d in range(gmcr.n_data_graphs):
+            lo, hi = int(gmcr.data_graph_offsets[d]), int(
+                gmcr.data_graph_offsets[d + 1]
+            )
+            if lo == hi:
+                continue
+            d_start, d_stop = data.graph_node_range(d)
+            view = _LocalGraphView(data, d)
+            for pair_idx in range(lo, hi):
+                qg = int(gmcr.query_graph_indices[pair_idx])
+                plan = plans[qg]
+                q_start, _ = query.graph_node_range(qg)
+                cand_lists = []
+                empty = False
+                for local_q in plan.order:
+                    node = q_start + int(local_q)
+                    positions = row_positions.get(node)
+                    if positions is None:
+                        positions = bit_positions(bitmap.words[node], bitmap.word_bits)
+                        row_positions[node] = positions
+                    a = np.searchsorted(positions, d_start)
+                    b = np.searchsorted(positions, d_stop)
+                    if a == b:
+                        empty = True
+                        break
+                    cand_lists.append(positions[a:b] - d_start)
+                if empty:
+                    continue
+                found, peak_rows = bfs_join_pair(view, plan, cand_lists)
+                result.pair_matches[pair_idx] = found
+                result.total_matches += found
+                if found:
+                    gmcr.matched[pair_idx] = True
+                result.peak_partial_matches = max(
+                    result.peak_partial_matches, peak_rows
+                )
+                result.peak_partial_bytes = max(
+                    result.peak_partial_bytes, peak_rows * plan.n_nodes * 8
+                )
+    return result

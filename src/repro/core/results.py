@@ -1,0 +1,158 @@
+"""Result containers returned by the engine.
+
+:class:`MatchResult` bundles everything the evaluation consumes: match
+counts (throughput numerator), per-phase timings (Figs. 6, 11), per-
+iteration candidate statistics (Fig. 5), the GMCR (Find First output), and
+the memory report (section 5.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.filtering import FilterResult
+from repro.core.join import JoinResult
+from repro.core.mapping import GMCR
+
+
+@dataclass(frozen=True)
+class MatchRecord:
+    """One embedding: a query graph matched into a data graph.
+
+    Attributes
+    ----------
+    data_graph / query_graph:
+        Batch indices of the matched pair.
+    mapping:
+        ``mapping[i]`` is the data node (local atom index within
+        ``data_graph``) matched to local query node ``i``.
+    """
+
+    data_graph: int
+    query_graph: int
+    mapping: np.ndarray
+
+    def node_set(self) -> frozenset[int]:
+        """The NLSM output element: the matched node subset ``X``.
+
+        Node ids are local to :attr:`data_graph`; pair with it when
+        aggregating across a batch.
+        """
+        return frozenset(int(v) for v in self.mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatchRecord):
+            return NotImplemented
+        return (
+            self.data_graph == other.data_graph
+            and self.query_graph == other.query_graph
+            and np.array_equal(self.mapping, other.mapping)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.data_graph, self.query_graph, tuple(self.mapping)))
+
+
+@dataclass
+class MemoryReport:
+    """GPU-memory accounting mirroring paper section 5.1.3.
+
+    All sizes in bytes.  The paper reports ~1 GB at benchmark scale with
+    ~80 % attributable to the candidate bitmaps.
+    """
+
+    candidate_bitmap: int = 0
+    data_graphs: int = 0
+    query_graphs: int = 0
+    signatures: int = 0
+    gmcr: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total accounted footprint."""
+        return (
+            self.candidate_bitmap
+            + self.data_graphs
+            + self.query_graphs
+            + self.signatures
+            + self.gmcr
+        )
+
+    def fractions(self) -> dict[str, float]:
+        """Share of total per component (the 80 % bitmap claim)."""
+        total = self.total or 1
+        return {
+            "candidate_bitmap": self.candidate_bitmap / total,
+            "data_graphs": self.data_graphs / total,
+            "query_graphs": self.query_graphs / total,
+            "signatures": self.signatures / total,
+            "gmcr": self.gmcr / total,
+        }
+
+
+@dataclass
+class MatchResult:
+    """Full output of one engine run."""
+
+    mode: str
+    total_matches: int
+    filter_result: FilterResult
+    gmcr: GMCR
+    join_result: JoinResult
+    timings: dict[str, float] = field(default_factory=dict)
+    memory: MemoryReport = field(default_factory=MemoryReport)
+
+    @property
+    def filter_seconds(self) -> float:
+        """Filter-phase time, including candidate initialization."""
+        return self.timings.get("filter", 0.0) + self.timings.get(
+            "initialize_candidates", 0.0
+        )
+
+    @property
+    def mapping_seconds(self) -> float:
+        """Mapping (GMCR construction) time."""
+        return self.timings.get("mapping", 0.0)
+
+    @property
+    def join_seconds(self) -> float:
+        """Join-phase time."""
+        return self.timings.get("join", 0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end time across all phases."""
+        return sum(self.timings.values())
+
+    @property
+    def embeddings(self) -> list[MatchRecord]:
+        """Recorded embeddings as :class:`MatchRecord` (may be empty)."""
+        return [
+            MatchRecord(d, q, m) for d, q, m in self.join_result.embeddings
+        ]
+
+    def matched_pairs(self) -> list[tuple[int, int]]:
+        """(data graph, query graph) pairs with at least one embedding."""
+        return self.gmcr.matched_pairs()
+
+    def node_sets(self) -> set[tuple[int, frozenset[int]]]:
+        """NLSM output: distinct ``(data_graph, node subset)`` pairs
+        (requires ``record_embeddings``)."""
+        return {(rec.data_graph, rec.node_set()) for rec in self.embeddings}
+
+    def throughput(self) -> float:
+        """Matches per second (the paper's Fig. 10b / 13b metric)."""
+        seconds = self.total_seconds
+        return self.total_matches / seconds if seconds > 0 else float("inf")
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph run summary."""
+        return (
+            f"mode={self.mode} matches={self.total_matches} "
+            f"filter={self.filter_seconds:.4f}s map={self.mapping_seconds:.4f}s "
+            f"join={self.join_seconds:.4f}s total={self.total_seconds:.4f}s "
+            f"candidates={self.filter_result.total_candidates} "
+            f"pairs={self.gmcr.n_pairs} mem={self.memory.total / 2**20:.1f}MiB"
+        )

@@ -1,0 +1,140 @@
+"""Embedding verification: check matcher outputs independently.
+
+A downstream user (or a differential test) can confirm that a reported
+embedding really is a valid subgraph monomorphism without trusting the
+engine that produced it.  The checks mirror paper Def. 2.1 plus the edge-
+label condition of section 3, with optional wildcard semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@dataclass
+class VerificationFailure:
+    """One violated condition of Def. 2.1."""
+
+    kind: str  # "arity" | "range" | "injectivity" | "label" | "edge" | "edge-label"
+    detail: str
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one embedding."""
+
+    failures: list[VerificationFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the embedding satisfies every condition."""
+        return not self.failures
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def verify_embedding(
+    query: LabeledGraph,
+    data: LabeledGraph,
+    mapping: np.ndarray,
+    wildcard_label: int | None = None,
+    wildcard_edge_label: int | None = None,
+) -> VerificationReport:
+    """Check that ``mapping`` embeds ``query`` into ``data``.
+
+    Parameters
+    ----------
+    mapping:
+        ``mapping[i]`` is the data node matched to query node ``i``.
+    wildcard_label / wildcard_edge_label:
+        Wildcard semantics, matching the engine's config.
+
+    Returns
+    -------
+    VerificationReport
+        ``.ok`` plus a list of every violated condition (all conditions
+        are checked; verification does not stop at the first failure).
+    """
+    report = VerificationReport()
+    mapping = np.asarray(mapping)
+    if mapping.shape != (query.n_nodes,):
+        report.failures.append(
+            VerificationFailure(
+                "arity",
+                f"mapping has shape {mapping.shape}, expected ({query.n_nodes},)",
+            )
+        )
+        return report
+    if mapping.size and (mapping.min() < 0 or mapping.max() >= data.n_nodes):
+        report.failures.append(
+            VerificationFailure("range", "mapped node id outside the data graph")
+        )
+        return report
+    if np.unique(mapping).size != mapping.size:
+        report.failures.append(
+            VerificationFailure("injectivity", "mapping is not injective")
+        )
+    for q_node in range(query.n_nodes):
+        q_label = int(query.labels[q_node])
+        if wildcard_label is not None and q_label == wildcard_label:
+            continue
+        d_label = int(data.labels[mapping[q_node]])
+        if q_label != d_label:
+            report.failures.append(
+                VerificationFailure(
+                    "label",
+                    f"query node {q_node} (label {q_label}) mapped to data "
+                    f"node {int(mapping[q_node])} (label {d_label})",
+                )
+            )
+    for (u, v), elab in zip(query.edges, query.edge_labels):
+        du, dv = int(mapping[u]), int(mapping[v])
+        if not data.has_edge(du, dv):
+            report.failures.append(
+                VerificationFailure(
+                    "edge", f"query edge ({u}, {v}) has no data edge ({du}, {dv})"
+                )
+            )
+            continue
+        if wildcard_edge_label is not None and int(elab) == wildcard_edge_label:
+            continue
+        d_elab = data.edge_label(du, dv)
+        if d_elab != int(elab):
+            report.failures.append(
+                VerificationFailure(
+                    "edge-label",
+                    f"query edge ({u}, {v}) label {int(elab)} vs data edge "
+                    f"({du}, {dv}) label {d_elab}",
+                )
+            )
+    return report
+
+
+def verify_result(result, query_graphs, data_graphs, config=None) -> list:
+    """Verify every recorded embedding of a :class:`MatchResult`.
+
+    Returns the list of ``(record, report)`` pairs that FAILED; empty means
+    every embedding checked out.  Requires the run to have used
+    ``record_embeddings=True``.
+    """
+    wildcard = getattr(config, "wildcard_label", None) if config else None
+    wildcard_edge = (
+        getattr(config, "wildcard_edge_label", None) if config else None
+    )
+    failures = []
+    for rec in result.embeddings:
+        report = verify_embedding(
+            query_graphs[rec.query_graph],
+            data_graphs[rec.data_graph],
+            rec.mapping,
+            wildcard_label=wildcard,
+            wildcard_edge_label=wildcard_edge,
+        )
+        if not report.ok:
+            failures.append((rec, report))
+    return failures

@@ -1,0 +1,41 @@
+"""GPU device simulation substrate.
+
+There is no physical GPU in this environment, so the hardware-dependent
+results of the paper (occupancy timelines, instruction rooflines, per-GPU
+times, the tuned configurations of Table 1, OOM boundaries) are reproduced
+with a simulated device stack:
+
+* :mod:`~repro.device.spec` — a catalog of the paper's GPUs (NVIDIA V100S,
+  AMD MI100, Intel Max 1100, NVIDIA A100) with published peak compute,
+  bandwidth, memory capacity and sub-group width;
+* :mod:`~repro.device.simt` — work-group/sub-group execution accounting:
+  given real per-work-item work from the algorithm, computes SIMT lockstep
+  cost and divergence (the effect that penalizes AMD's 64-wide wavefronts
+  in the paper's join phase);
+* :mod:`~repro.device.counters` — per-kernel instruction/byte counters
+  extracted from actual pipeline runs;
+* :mod:`~repro.device.memory` — device memory accounting with OOM
+  (Fig. 12's out-of-memory endpoint);
+* :mod:`~repro.device.occupancy` / :mod:`~repro.device.roofline` — the
+  profiling views behind Figs. 8 and 9.
+
+The analytic time model that converts counters into per-device seconds
+lives in :mod:`repro.perf`.
+"""
+
+from repro.device.counters import KernelCounters, PipelineCounters
+from repro.device.memory import DeviceMemory, DeviceOutOfMemory
+from repro.device.simt import SimtExecution, simulate_simt
+from repro.device.spec import DEVICES, DeviceSpec, device_by_name
+
+__all__ = [
+    "DEVICES",
+    "DeviceSpec",
+    "device_by_name",
+    "DeviceMemory",
+    "DeviceOutOfMemory",
+    "KernelCounters",
+    "PipelineCounters",
+    "SimtExecution",
+    "simulate_simt",
+]

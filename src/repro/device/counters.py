@@ -1,0 +1,217 @@
+"""Kernel work counters extracted from real pipeline runs.
+
+The device simulator and the performance model never invent workloads:
+every instruction/byte figure is derived from the *measured* work of an
+actual SIGMo run — candidate-set sizes per iteration, BFS ring sizes,
+join stack pushes and edge probes.  This module defines the counter
+containers and the extraction from a :class:`~repro.core.results.MatchResult`.
+
+Instruction/byte conversion constants are per-operation estimates of the
+SYCL kernels (e.g. one refine step on one (data node, query node) pair
+costs a handful of compare/mask instructions and touches one bitmap word);
+they are documented inline and shared by all devices, so *relative*
+cross-device behaviour comes from the device specs, not from tuning
+constants per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+# -- per-operation cost constants (instructions / bytes) ----------------------
+#: Instructions to test one (query node, label) domination condition:
+#: shift+mask+compare+branch on packed signatures.
+INSTR_PER_LABEL_CHECK = 4
+#: Instructions per newly discovered BFS ring node (frontier update +
+#: signature accumulate).
+INSTR_PER_RING_NODE = 12
+#: Instructions per DFS candidate visit in the join (load, used-check,
+#: cursor bump).
+INSTR_PER_CANDIDATE_VISIT = 6
+#: Instructions per back-edge probe (binary search step bundle).
+INSTR_PER_EDGE_CHECK = 20
+#: Instructions per mapping-phase pair (flag reduction + prefix-sum share).
+INSTR_PER_MAPPING_PAIR = 6
+#: Bytes of graph structure touched per BFS ring node (CSR row slice).
+BYTES_PER_RING_NODE = 16
+#: Bytes per candidate visit in the join (bitmap word + adjacency reads).
+BYTES_PER_CANDIDATE_VISIT = 24
+#: Bytes per signature read (one packed 64-bit word per side).
+BYTES_PER_SIGNATURE_PAIR = 16
+#: Transaction amplification of the join's irregular candidate-list reads:
+#: each 4-byte candidate id lands in its own 32-byte HBM sector (the paper
+#: reports ~16 GB of GMCR traffic at iteration 1 — 4 bytes x 3.4e9
+#: candidates before amplification).
+JOIN_UNCOALESCED_FACTOR = 64
+
+
+@dataclass
+class KernelCounters:
+    """Work of one kernel launch.
+
+    Attributes
+    ----------
+    name:
+        Kernel identity (``"filter"``, ``"mapping"``, ``"join"``, ...).
+    instructions:
+        Scalar instruction count (per work-item work, summed).
+    bytes_hbm / bytes_l2 / bytes_l1:
+        Traffic per memory level.  The split follows the paper's profiling:
+        join traffic hits L2 with >90 % hit rate, filter streams from HBM.
+    work_items:
+        Number of logical work-items launched.
+    work_per_item:
+        Optional per-item work distribution for divergence modeling.
+    """
+
+    name: str
+    instructions: float = 0.0
+    bytes_hbm: float = 0.0
+    bytes_l2: float = 0.0
+    bytes_l1: float = 0.0
+    work_items: int = 0
+    work_per_item: np.ndarray | None = None
+
+    @property
+    def total_bytes(self) -> float:
+        """Traffic summed over levels."""
+        return self.bytes_hbm + self.bytes_l2 + self.bytes_l1
+
+    def instruction_intensity(self) -> float:
+        """Instructions per byte (x-axis of the instruction roofline)."""
+        total = self.total_bytes
+        return self.instructions / total if total > 0 else float("inf")
+
+    def scaled(self, factor: float) -> "KernelCounters":
+        """Counters for a dataset ``factor`` x larger (linear scaling)."""
+        return KernelCounters(
+            name=self.name,
+            instructions=self.instructions * factor,
+            bytes_hbm=self.bytes_hbm * factor,
+            bytes_l2=self.bytes_l2 * factor,
+            bytes_l1=self.bytes_l1 * factor,
+            work_items=int(self.work_items * factor),
+            work_per_item=self.work_per_item,
+        )
+
+
+@dataclass
+class PipelineCounters:
+    """Counters for a full pipeline run: per-iteration filter + map + join."""
+
+    filter_iterations: list[KernelCounters] = field(default_factory=list)
+    mapping: KernelCounters | None = None
+    join: KernelCounters | None = None
+
+    @property
+    def filter_total(self) -> KernelCounters:
+        """All filter iterations merged."""
+        merged = KernelCounters(name="filter")
+        for k in self.filter_iterations:
+            merged.instructions += k.instructions
+            merged.bytes_hbm += k.bytes_hbm
+            merged.bytes_l2 += k.bytes_l2
+            merged.bytes_l1 += k.bytes_l1
+            merged.work_items = max(merged.work_items, k.work_items)
+        return merged
+
+    def all_kernels(self) -> list[KernelCounters]:
+        """Filter iterations followed by mapping and join."""
+        out = list(self.filter_iterations)
+        if self.mapping is not None:
+            out.append(self.mapping)
+        if self.join is not None:
+            out.append(self.join)
+        return out
+
+    def scaled(self, factor: float) -> "PipelineCounters":
+        """Linearly scaled copy (dataset-size extrapolation)."""
+        return PipelineCounters(
+            filter_iterations=[k.scaled(factor) for k in self.filter_iterations],
+            mapping=self.mapping.scaled(factor) if self.mapping else None,
+            join=self.join.scaled(factor) if self.join else None,
+        )
+
+
+def counters_from_result(result, query, data) -> PipelineCounters:
+    """Extract pipeline counters from a finished run.
+
+    Parameters
+    ----------
+    result:
+        :class:`~repro.core.results.MatchResult` of a real run.
+    query / data:
+        The CSR-GO batches of the run (for node/label sizes).
+    """
+    n_labels = max(query.n_labels, data.n_labels, 1)
+    nd, nq = data.n_nodes, query.n_nodes
+    out = PipelineCounters()
+
+    prev_candidates = None
+    for stats in result.filter_result.iterations:
+        k = KernelCounters(name=f"filter-{stats.iteration}", work_items=nd)
+        if stats.radius == 0:
+            # Label-only initialization pass: word-wide label-equality
+            # stripes, streaming the label arrays and writing the bitmap.
+            k.instructions = float(nd) * nq / 32 + float(nd) * 4
+            k.bytes_hbm = float(nd) * 4 + nq * 4 + nd * nq / 8
+        else:
+            # Signature refinement: ring expansion (BFS frontier step) +
+            # per-surviving-candidate domination checks.  The kernel skips
+            # pairs already cleared in the bitmap ("if v_d in C_prev"), so
+            # the dominating term is the previous candidate count.
+            ring_nodes = float(nd + query.n_nodes) * min(
+                2.0 ** stats.radius, 32.0
+            )
+            survivors = float(prev_candidates or nd * nq)
+            k.instructions = (
+                ring_nodes * INSTR_PER_RING_NODE
+                + survivors * n_labels * INSTR_PER_LABEL_CHECK / 2
+                + float(nd) * nq / 64  # bitmap word tests
+            )
+            k.bytes_hbm = ring_nodes * BYTES_PER_RING_NODE + nd * nq / 8
+            k.bytes_l2 = (
+                float(nd) * BYTES_PER_SIGNATURE_PAIR + survivors / 8
+            )
+        k.work_per_item = None
+        out.filter_iterations.append(k)
+        prev_candidates = stats.total_candidates
+
+    n_pairs = result.gmcr.n_pairs
+    out.mapping = KernelCounters(
+        name="mapping",
+        instructions=float(data.n_graphs) * query.n_graphs * INSTR_PER_MAPPING_PAIR,
+        # The mapping kernel re-scans the candidate bitmap per data graph
+        # segment to detect zero-candidate query nodes.
+        bytes_hbm=float(nd) * nq / 8 + n_pairs * 8,
+        bytes_l2=float(data.n_graphs) * 16,
+        work_items=data.n_graphs,
+    )
+
+    js = result.join_result.stats
+    # Divergence is modeled on the per-pair *output* distribution
+    # (matches), not raw visits: each lane processes many pairs serially
+    # (section 4.6), which averages away the visit-level skew; the
+    # residual lockstep imbalance tracks how many embeddings a pair emits.
+    pair_work = result.join_result.pair_matches
+    out.join = KernelCounters(
+        name="join",
+        instructions=float(js.candidate_visits) * INSTR_PER_CANDIDATE_VISIT
+        + float(js.edge_checks) * INSTR_PER_EDGE_CHECK,
+        # Join streams the GMCR candidate lists once (HBM, uncoalesced)
+        # and then works out of L2 (paper: ">90% L2 hit rates" during
+        # join).  Candidate-list traffic shrinks with every refinement
+        # iteration — the join-side benefit of deeper filtering.
+        bytes_hbm=float(prev_candidates or 0)
+        * 4
+        * JOIN_UNCOALESCED_FACTOR
+        + n_pairs * 16,
+        bytes_l2=float(js.candidate_visits) * BYTES_PER_CANDIDATE_VISIT,
+        work_items=max(n_pairs, 1),
+        work_per_item=(
+            pair_work.astype(np.float64) + 1.0 if pair_work is not None else None
+        ),
+    )
+    return out

@@ -1,0 +1,117 @@
+"""Device memory accounting with out-of-memory semantics.
+
+The candidate bitmap dominates SIGMo's footprint (|V_Q| x |V_D| / 8 bytes,
+~80 % of ~1 GB at benchmark scale, paper section 5.1.3), and the single-GPU
+scaling study (Fig. 12) ends where the V100S's 32 GB run out.  This
+allocator reproduces that accounting: named allocations against a capacity,
+with peak tracking and a typed OOM error.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.device.spec import DeviceSpec
+
+
+class DeviceOutOfMemory(MemoryError):
+    """An allocation exceeded the simulated device capacity."""
+
+    def __init__(self, message: str, requested: int, available: int) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.available = available
+
+
+class DeviceMemory:
+    """Named-allocation tracker for one device.
+
+    Parameters
+    ----------
+    device:
+        Device spec providing the capacity, or use ``capacity_bytes``.
+    capacity_bytes:
+        Explicit capacity override.
+    reserve_fraction:
+        Share of VRAM reserved for the runtime/driver (not allocatable) —
+        real devices never expose their full capacity.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        capacity_bytes: int | None = None,
+        reserve_fraction: float = 0.06,
+    ) -> None:
+        if capacity_bytes is None:
+            if device is None:
+                raise ValueError("provide a device or capacity_bytes")
+            capacity_bytes = device.vram_bytes
+        if not 0 <= reserve_fraction < 1:
+            raise ValueError("reserve_fraction must be in [0, 1)")
+        self.capacity = int(capacity_bytes * (1 - reserve_fraction))
+        self.allocations: OrderedDict[str, int] = OrderedDict()
+        self.peak = 0
+
+    @property
+    def used(self) -> int:
+        """Currently allocated bytes."""
+        return sum(self.allocations.values())
+
+    @property
+    def available(self) -> int:
+        """Bytes still allocatable."""
+        return self.capacity - self.used
+
+    def allocate(self, name: str, nbytes: int) -> None:
+        """Allocate ``nbytes`` under ``name``; raises on OOM or reuse."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if name in self.allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if nbytes > self.available:
+            raise DeviceOutOfMemory(
+                f"cannot allocate {nbytes} bytes for {name!r}: "
+                f"{self.available} available of {self.capacity}",
+                requested=int(nbytes),
+                available=self.available,
+            )
+        self.allocations[name] = int(nbytes)
+        self.peak = max(self.peak, self.used)
+
+    def free(self, name: str) -> None:
+        """Release a named allocation."""
+        try:
+            del self.allocations[name]
+        except KeyError:
+            raise KeyError(f"no allocation named {name!r}") from None
+
+    def would_fit(self, nbytes: int) -> bool:
+        """Whether an allocation of ``nbytes`` would currently succeed."""
+        return nbytes <= self.available
+
+    def report(self) -> dict[str, int]:
+        """Copy of the live allocation table."""
+        return dict(self.allocations)
+
+
+def sigmo_footprint_bytes(
+    n_query_nodes: int,
+    n_data_nodes: int,
+    n_data_adjacency: int,
+    n_query_adjacency: int = 0,
+    word_bits: int = 64,
+) -> dict[str, int]:
+    """Predicted device allocations of a SIGMo run (section 5.1.3).
+
+    Returns a name -> bytes mapping suitable for :class:`DeviceMemory`:
+    the candidate bitmap at ``|V_Q| * |V_D| / 8`` bytes, CSR-GO structures,
+    and one packed 64-bit signature per node per side.
+    """
+    words_per_row = -(-n_data_nodes // word_bits)
+    return {
+        "candidate_bitmap": n_query_nodes * words_per_row * (word_bits // 8),
+        "data_csrgo": n_data_nodes * (8 + 4) + n_data_adjacency * (4 + 4),
+        "query_csrgo": n_query_nodes * (8 + 4) + n_query_adjacency * (4 + 4),
+        "signatures": (n_query_nodes + n_data_nodes) * 8,
+    }

@@ -1,0 +1,111 @@
+"""Instruction Roofline Model (paper Fig. 9).
+
+The paper analyzes SIGMo with the Instruction Roofline Model (Ding &
+Williams, PMBS 2019): x = instruction intensity (instructions per byte),
+y = instruction throughput (GInstr/s); a kernel sits under the minimum of
+the compute roof and the bandwidth diagonals (HBM, L2, L1).  This module
+computes the roofs for a device and places each pipeline kernel using its
+measured counters and modeled runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.counters import KernelCounters, PipelineCounters
+from repro.device.spec import DeviceSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel on the roofline plot."""
+
+    name: str
+    intensity: float  # instructions / byte
+    throughput_ginstr_s: float
+
+    def bound_by(self, device: DeviceSpec) -> str:
+        """Which roof limits this point: ``"hbm"``, ``"l2"``, ``"l1"``
+        or ``"compute"``."""
+        roofs = {
+            "hbm": device.hbm_bandwidth_gbs * self.intensity,
+            "l2": device.l2_bandwidth_gbs * self.intensity,
+            "l1": device.l1_bandwidth_gbs * self.intensity,
+            "compute": device.peak_ginstr_per_s,
+        }
+        return min(roofs, key=roofs.get)
+
+
+@dataclass
+class RooflineModel:
+    """Device roofs plus kernel points."""
+
+    device: DeviceSpec
+    points: list[RooflinePoint]
+
+    def roof_at(self, intensity: float, level: str = "hbm") -> float:
+        """Attainable GInstr/s at an intensity under one roof."""
+        bandwidth = {
+            "hbm": self.device.hbm_bandwidth_gbs,
+            "l2": self.device.l2_bandwidth_gbs,
+            "l1": self.device.l1_bandwidth_gbs,
+        }[level]
+        return min(self.device.peak_ginstr_per_s, bandwidth * intensity)
+
+    def ridge_point(self, level: str = "hbm") -> float:
+        """Intensity where the bandwidth diagonal meets the compute roof."""
+        bandwidth = {
+            "hbm": self.device.hbm_bandwidth_gbs,
+            "l2": self.device.l2_bandwidth_gbs,
+            "l1": self.device.l1_bandwidth_gbs,
+        }[level]
+        return self.device.peak_ginstr_per_s / bandwidth
+
+    def table(self) -> list[dict]:
+        """Points as row dicts (for the bench report)."""
+        return [
+            {
+                "kernel": p.name,
+                "intensity_instr_per_byte": p.intensity,
+                "throughput_ginstr_s": p.throughput_ginstr_s,
+                "bound": p.bound_by(self.device),
+                "roof_fraction": p.throughput_ginstr_s
+                / max(self.roof_at(p.intensity), 1e-12),
+            }
+            for p in self.points
+        ]
+
+
+def kernel_point(
+    counters: KernelCounters, runtime_s: float, efficiency: float = 1.0
+) -> RooflinePoint:
+    """Place one kernel: throughput = instructions / runtime.
+
+    ``efficiency`` scales achieved throughput below the roof (real kernels
+    do not reach 100 %; the paper reports >93 % for the filter).
+    """
+    if runtime_s <= 0:
+        raise ValueError("runtime_s must be > 0")
+    throughput = counters.instructions / runtime_s / 1e9 * efficiency
+    return RooflinePoint(
+        name=counters.name,
+        intensity=counters.instruction_intensity(),
+        throughput_ginstr_s=throughput,
+    )
+
+
+def build_roofline(
+    counters: PipelineCounters,
+    phase_times: dict[str, float],
+    device: DeviceSpec,
+) -> RooflineModel:
+    """Roofline with one point per pipeline phase (filter merged per
+    iteration like the paper's six filter dots, plus mapping and join)."""
+    points = []
+    for k in counters.all_kernels():
+        runtime = phase_times.get(k.name, 0.0)
+        if runtime > 0 and k.instructions > 0:
+            points.append(kernel_point(k, runtime))
+    return RooflineModel(device=device, points=points)

@@ -1,0 +1,142 @@
+"""Device catalog: the GPUs of the paper's evaluation.
+
+Peak numbers are the published figures the paper itself cites in
+section 5.3 ("the Intel GPU offers significantly lower peak compute
+performance (22 TFLOPS) compared to AMD MI100 (180 TFLOPS) and NVIDIA
+V100S (130 TFLOPS)"); bandwidths and capacities are the vendors' data
+sheets.  Instruction-throughput peaks (for the Instruction Roofline
+Model of Fig. 9) are derived as one instruction per core per clock in
+units of giga-instructions/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU model.
+
+    Attributes
+    ----------
+    name:
+        Catalog key, e.g. ``"nvidia-v100s"``.
+    vendor:
+        ``"nvidia"`` / ``"amd"`` / ``"intel"``.
+    peak_compute_tflops:
+        Peak compute the paper quotes for the device.
+    peak_ginstr_per_s:
+        Peak scalar-instruction throughput (GInstr/s) — the compute roof
+        of the instruction roofline.
+    hbm_bandwidth_gbs / l2_bandwidth_gbs / l1_bandwidth_gbs:
+        Memory-hierarchy bandwidths (GB/s) — the diagonal roofs.
+    vram_bytes:
+        Device memory capacity (drives OOM modeling).
+    subgroup_size:
+        SIMT width: CUDA warp 32, AMD wavefront 64, Intel sub-group 16.
+    max_workgroup_size:
+        Largest launchable work-group.
+    compute_units:
+        SMs / CUs / Xe-cores.
+    max_resident_subgroups:
+        Concurrent sub-groups per compute unit (occupancy denominator).
+    host_sync_overhead_s:
+        Host-side synchronization cost charged per kernel barrier (the
+        paper attributes the Fig. 8 occupancy dips to this).
+    """
+
+    name: str
+    vendor: str
+    peak_compute_tflops: float
+    peak_ginstr_per_s: float
+    hbm_bandwidth_gbs: float
+    l2_bandwidth_gbs: float
+    l1_bandwidth_gbs: float
+    vram_bytes: int
+    subgroup_size: int
+    max_workgroup_size: int
+    compute_units: int
+    max_resident_subgroups: int
+    host_sync_overhead_s: float = 0.004
+
+    @property
+    def max_concurrent_work_items(self) -> int:
+        """Device-wide resident work-item capacity."""
+        return self.compute_units * self.max_resident_subgroups * self.subgroup_size
+
+    def occupancy_of(self, resident_subgroups_per_cu: float) -> float:
+        """Fraction of the sub-group residency limit in use (DCGM metric)."""
+        return min(1.0, resident_subgroups_per_cu / self.max_resident_subgroups)
+
+
+#: The evaluation devices.  V100S/MI100/Max 1100 carry the single-GPU
+#: experiments (sections 5.1-5.3); A100 is the cluster GPU (section 5.4).
+DEVICES: dict[str, DeviceSpec] = {
+    "nvidia-v100s": DeviceSpec(
+        name="nvidia-v100s",
+        vendor="nvidia",
+        peak_compute_tflops=130.0,  # tensor peak the paper quotes
+        peak_ginstr_per_s=489.0,  # 80 SM x 1.53 GHz x 4 schedulers
+        hbm_bandwidth_gbs=1134.0,
+        l2_bandwidth_gbs=2155.0,
+        l1_bandwidth_gbs=13800.0,
+        vram_bytes=32 * 1024**3,
+        subgroup_size=32,
+        max_workgroup_size=1024,
+        compute_units=80,
+        max_resident_subgroups=64,
+    ),
+    "amd-mi100": DeviceSpec(
+        name="amd-mi100",
+        vendor="amd",
+        peak_compute_tflops=184.6,
+        peak_ginstr_per_s=738.0,  # 120 CU x 1.54 GHz x 4 SIMDs
+        hbm_bandwidth_gbs=1228.8,
+        l2_bandwidth_gbs=3276.0,
+        l1_bandwidth_gbs=11500.0,
+        vram_bytes=32 * 1024**3,
+        subgroup_size=64,
+        max_workgroup_size=1024,
+        compute_units=120,
+        max_resident_subgroups=40,
+    ),
+    "intel-max1100": DeviceSpec(
+        name="intel-max1100",
+        vendor="intel",
+        peak_compute_tflops=22.0,
+        peak_ginstr_per_s=177.0,  # 56 Xe-cores x 1.55 GHz x ~2
+        hbm_bandwidth_gbs=1228.8,
+        l2_bandwidth_gbs=3404.0,
+        l1_bandwidth_gbs=8600.0,
+        vram_bytes=48 * 1024**3,
+        subgroup_size=16,
+        max_workgroup_size=1024,
+        compute_units=56,
+        max_resident_subgroups=64,
+    ),
+    "nvidia-a100": DeviceSpec(
+        name="nvidia-a100",
+        vendor="nvidia",
+        peak_compute_tflops=312.0,
+        peak_ginstr_per_s=864.0,  # 108 SM x 1.41 GHz x ~5.7
+        hbm_bandwidth_gbs=1555.0,
+        l2_bandwidth_gbs=4500.0,
+        l1_bandwidth_gbs=19400.0,
+        vram_bytes=40 * 1024**3,
+        subgroup_size=32,
+        max_workgroup_size=1024,
+        compute_units=108,
+        max_resident_subgroups=64,
+    ),
+}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a device spec; raises ``KeyError`` with the catalog listed."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}"
+        ) from None

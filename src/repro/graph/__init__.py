@@ -1,0 +1,22 @@
+"""Batched labeled-graph substrate.
+
+Everything in SIGMo operates on small, sparse, undirected, node-labeled
+(and optionally edge-labeled) graphs.  This package provides:
+
+* :class:`~repro.graph.labeled_graph.LabeledGraph` — a single immutable
+  graph with node labels and edge labels;
+* :class:`~repro.graph.batch.GraphBatch` — an ordered collection of graphs
+  that can be merged into one disconnected batch graph (the input format of
+  the CSR-GO conversion, paper section 3: "we join all query graphs and all
+  data graphs into two separate disconnected graphs");
+* :mod:`~repro.graph.algorithms` — BFS layers, graph power, diameter,
+  connectivity and treewidth-2 checks used by the filter and the evaluation
+  grouping (Fig. 7 groups queries by diameter);
+* :mod:`~repro.graph.generators` — random labeled graphs for tests and
+  property-based checks.
+"""
+
+from repro.graph.batch import GraphBatch
+from repro.graph.labeled_graph import LabeledGraph
+
+__all__ = ["LabeledGraph", "GraphBatch"]

@@ -1,0 +1,173 @@
+"""Graph algorithms used by the filter, the evaluation, and the tests.
+
+These are the CPU reference implementations; the batched/vectorized
+equivalents used inside the SIGMo kernels live in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def bfs_distances(graph: LabeledGraph, source: int) -> np.ndarray:
+    """Unweighted shortest-path distance from ``source`` to every node.
+
+    Unreachable nodes get -1.
+    """
+    n = graph.n_nodes
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for n={n}")
+    dist = np.full(n, -1, dtype=np.int32)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        for u in graph.neighbors(v):
+            if dist[u] < 0:
+                dist[u] = dv + 1
+                queue.append(int(u))
+    return dist
+
+
+def bfs_layers(graph: LabeledGraph, source: int, max_depth: int | None = None):
+    """Yield ``(depth, nodes)`` rings around ``source`` in BFS order.
+
+    ``nodes`` at depth ``d`` is exactly ``N^d(v) \\ N^{d-1}(v)`` — the ring
+    the signature kernel accumulates at refinement iteration ``d`` (paper
+    Alg. 1, ``R_k``).
+    """
+    dist = bfs_distances(graph, source)
+    reachable = dist >= 0
+    top = int(dist[reachable].max()) if reachable.any() else 0
+    if max_depth is not None:
+        top = min(top, max_depth)
+    for depth in range(top + 1):
+        ring = np.nonzero(dist == depth)[0]
+        if ring.size:
+            yield depth, ring
+
+
+def eccentricity(graph: LabeledGraph, v: int) -> int:
+    """Eccentricity of node ``v``; raises if the graph is disconnected."""
+    dist = bfs_distances(graph, v)
+    if np.any(dist < 0):
+        raise ValueError("graph is disconnected; eccentricity undefined")
+    return int(dist.max())
+
+
+def diameter(graph: LabeledGraph) -> int:
+    """Exact diameter via all-sources BFS (graphs here are tiny)."""
+    if graph.n_nodes == 0:
+        raise ValueError("diameter of the empty graph is undefined")
+    return max(eccentricity(graph, v) for v in range(graph.n_nodes))
+
+
+def is_connected(graph: LabeledGraph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    if graph.n_nodes == 0:
+        return True
+    return bool(np.all(bfs_distances(graph, 0) >= 0))
+
+
+def connected_components(graph: LabeledGraph) -> list[np.ndarray]:
+    """Connected components as arrays of node ids, ordered by smallest node."""
+    n = graph.n_nodes
+    seen = np.zeros(n, dtype=bool)
+    components = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        dist = bfs_distances(graph, start)
+        comp = np.nonzero(dist >= 0)[0]
+        seen[comp] = True
+        components.append(comp)
+    return components
+
+
+def graph_power(graph: LabeledGraph, k: int) -> LabeledGraph:
+    """The graph power ``G^k``: connects nodes at distance <= k (paper §3).
+
+    Preserves node labels; edges of the power graph are unlabeled.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n = graph.n_nodes
+    edges = []
+    for v in range(n):
+        dist = bfs_distances(graph, v)
+        close = np.nonzero((dist > 0) & (dist <= k))[0]
+        edges.extend((v, int(u)) for u in close if u > v)
+    return LabeledGraph(graph.labels.copy(), edges)
+
+
+def neighborhood_signature(
+    graph: LabeledGraph, v: int, radius: int, n_labels: int
+) -> np.ndarray:
+    """Label histogram of ``N^radius(v)`` (excluding ``v`` itself).
+
+    This is the reference (scalar) definition of the SIGMo node signature;
+    the batched kernel in :mod:`repro.core.signatures` must agree with it —
+    a property the test suite checks.
+
+    ``radius == 0`` returns the all-zero signature: at refinement
+    iteration 1 a node only knows its own label (paper §5.1).
+    """
+    sig = np.zeros(n_labels, dtype=np.int64)
+    if radius <= 0:
+        return sig
+    dist = bfs_distances(graph, v)
+    in_view = (dist > 0) & (dist <= radius)
+    labels = graph.labels[in_view]
+    np.add.at(sig, labels, 1)
+    return sig
+
+
+def treewidth_at_most_two(graph: LabeledGraph) -> bool:
+    """Decide whether the graph has treewidth <= 2.
+
+    The paper notes molecular query/data graphs "exhibit tree-like
+    structures—with treewidth not exceeding 2" (section 4.6).  A graph has
+    treewidth <= 2 iff it can be reduced to the empty graph by repeatedly
+    deleting vertices of degree <= 1 and contracting vertices of degree 2
+    (series-parallel reduction).
+    """
+    n = graph.n_nodes
+    if n == 0:
+        return True
+    # Mutable adjacency as sets (multigraph semantics after contraction:
+    # parallel edges collapse, which is safe for the reduction rule).
+    adj: list[set[int]] = [set(map(int, graph.neighbors(v))) for v in range(n)]
+    alive = [True] * n
+    queue = deque(v for v in range(n) if len(adj[v]) <= 2)
+    remaining = n
+    while queue:
+        v = queue.popleft()
+        if not alive[v] or len(adj[v]) > 2:
+            continue
+        neighbors = list(adj[v])
+        if len(neighbors) == 2:
+            a, b = neighbors
+            adj[a].discard(v)
+            adj[b].discard(v)
+            if b not in adj[a]:
+                adj[a].add(b)
+                adj[b].add(a)
+            touched = (a, b)
+        elif len(neighbors) == 1:
+            (a,) = neighbors
+            adj[a].discard(v)
+            touched = (a,)
+        else:
+            touched = ()
+        alive[v] = False
+        adj[v].clear()
+        remaining -= 1
+        for t in touched:
+            if alive[t] and len(adj[t]) <= 2:
+                queue.append(t)
+    return remaining == 0

@@ -1,0 +1,146 @@
+"""Ordered batches of labeled graphs.
+
+SIGMo is a *batched* matcher: it processes all query graphs against all
+data graphs at once by merging each side into one big disconnected graph
+(paper section 3).  :class:`GraphBatch` owns that merge: it concatenates
+node labels and renumbers edges into a global id space, while keeping the
+per-graph offsets needed to recover graph boundaries — the information the
+CSR-GO "graph offsets" layer preserves on device.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class GraphBatch:
+    """An immutable ordered collection of :class:`LabeledGraph`.
+
+    Parameters
+    ----------
+    graphs:
+        The member graphs, in batch order.  Order is significant: graph ``g``
+        owns global node ids ``node_offsets[g] .. node_offsets[g+1]-1``.
+    """
+
+    __slots__ = ("graphs", "node_offsets", "edge_offsets")
+
+    def __init__(self, graphs: Iterable[LabeledGraph]) -> None:
+        self.graphs: tuple[LabeledGraph, ...] = tuple(graphs)
+        node_counts = np.fromiter(
+            (g.n_nodes for g in self.graphs), dtype=np.int64, count=len(self.graphs)
+        )
+        edge_counts = np.fromiter(
+            (g.n_edges for g in self.graphs), dtype=np.int64, count=len(self.graphs)
+        )
+        self.node_offsets = np.concatenate([[0], np.cumsum(node_counts)])
+        self.edge_offsets = np.concatenate([[0], np.cumsum(edge_counts)])
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def n_graphs(self) -> int:
+        """Number of graphs in the batch."""
+        return len(self.graphs)
+
+    @property
+    def total_nodes(self) -> int:
+        """Total node count across the batch."""
+        return int(self.node_offsets[-1])
+
+    @property
+    def total_edges(self) -> int:
+        """Total undirected edge count across the batch."""
+        return int(self.edge_offsets[-1])
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.n_graphs
+
+    def __iter__(self) -> Iterator[LabeledGraph]:
+        return iter(self.graphs)
+
+    def __getitem__(self, index: int) -> LabeledGraph:
+        return self.graphs[index]
+
+    def graph_of_node(self, global_node: int) -> int:
+        """Graph index owning ``global_node`` (binary search, as on device)."""
+        if not 0 <= global_node < self.total_nodes:
+            raise ValueError(f"global node {global_node} out of range")
+        return int(np.searchsorted(self.node_offsets, global_node, side="right") - 1)
+
+    def local_node(self, global_node: int) -> tuple[int, int]:
+        """``(graph_index, local_node_id)`` for a global node id."""
+        g = self.graph_of_node(global_node)
+        return g, int(global_node - self.node_offsets[g])
+
+    def global_node(self, graph_index: int, local_node: int) -> int:
+        """Global node id for ``local_node`` of graph ``graph_index``."""
+        g = self.graphs[graph_index]
+        if not 0 <= local_node < g.n_nodes:
+            raise ValueError(
+                f"local node {local_node} out of range for graph {graph_index}"
+            )
+        return int(self.node_offsets[graph_index] + local_node)
+
+    def node_range(self, graph_index: int) -> tuple[int, int]:
+        """Half-open global node id range ``[start, stop)`` of one graph."""
+        if not 0 <= graph_index < self.n_graphs:
+            raise ValueError(f"graph index {graph_index} out of range")
+        return (
+            int(self.node_offsets[graph_index]),
+            int(self.node_offsets[graph_index + 1]),
+        )
+
+    # -- merged views ------------------------------------------------------------
+
+    @property
+    def merged_labels(self) -> np.ndarray:
+        """Concatenated node labels in global id order."""
+        if not self.graphs:
+            return np.empty(0, dtype=np.int32)
+        return np.concatenate([g.labels for g in self.graphs])
+
+    def merged_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated edges in global ids plus their labels.
+
+        Returns
+        -------
+        (edges, edge_labels):
+            ``edges`` has shape ``(total_edges, 2)``.
+        """
+        if not self.graphs:
+            return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.int32)
+        chunks = []
+        labels = []
+        for g, offset in zip(self.graphs, self.node_offsets[:-1]):
+            if g.n_edges:
+                chunks.append(g.edges.astype(np.int64) + offset)
+                labels.append(g.edge_labels)
+        if not chunks:
+            return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.int32)
+        return np.concatenate(chunks), np.concatenate(labels)
+
+    def merged_graph(self) -> LabeledGraph:
+        """The batch as one disconnected :class:`LabeledGraph`."""
+        edges, edge_labels = self.merged_edges()
+        return LabeledGraph(self.merged_labels, edges, edge_labels)
+
+    def max_label(self) -> int:
+        """Largest node label across the batch, or -1 when empty."""
+        return max((g.max_label for g in self.graphs), default=-1)
+
+    def subbatch(self, indices: Sequence[int]) -> "GraphBatch":
+        """New batch containing the graphs at ``indices`` (in given order)."""
+        return GraphBatch(self.graphs[i] for i in indices)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphBatch(n_graphs={self.n_graphs}, "
+            f"nodes={self.total_nodes}, edges={self.total_edges})"
+        )

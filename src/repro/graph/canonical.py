@@ -1,0 +1,145 @@
+"""Canonical forms for labeled graphs (Morgan-style color refinement).
+
+Canonicalization underpins the cheminformatics workflows around SIGMo:
+deduplicating generated libraries, canonical SMILES (the paper cites
+canonical SMARTS/SMILES evaluation as an alternative matching technique),
+and cache keys for pattern compilation.
+
+The algorithm is iterative color refinement (the Morgan algorithm's
+modern form): node colors start from (label, degree) and are repeatedly
+replaced by a hash of (own color, sorted multiset of (edge label, neighbor
+color)).  Ties after stabilization are broken by individualization —
+recursively fixing one node of the largest ambiguous color class and
+re-refining — which makes the order fully canonical (same canonical form
+iff isomorphic, for the graph sizes used here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def _refine(graph: LabeledGraph, colors: np.ndarray) -> np.ndarray:
+    """Run color refinement to a fixpoint; returns dense color ids."""
+    n = graph.n_nodes
+    colors = colors.copy()
+    for _ in range(n + 1):
+        signatures = []
+        for v in range(n):
+            nbr = graph.neighbors(v)
+            elab = graph.neighbor_edge_labels(v)
+            neighborhood = tuple(
+                sorted((int(l), int(colors[u])) for u, l in zip(nbr, elab))
+            )
+            signatures.append((int(colors[v]), neighborhood))
+        # densify: sort unique signatures for deterministic new ids
+        order = {sig: i for i, sig in enumerate(sorted(set(signatures)))}
+        new_colors = np.asarray([order[sig] for sig in signatures], dtype=np.int64)
+        if np.array_equal(new_colors, colors):
+            return colors
+        colors = new_colors
+    return colors
+
+
+def canonical_order(graph: LabeledGraph) -> np.ndarray:
+    """A canonical node permutation: isomorphic graphs produce orderings
+    under which their relabeled forms are identical.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``order[i]`` is the original node placed at canonical position ``i``.
+    """
+    n = graph.n_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    base = np.asarray(
+        [int(l) * (max(graph.degree()) + 1 if n else 1) + int(d)
+         for l, d in zip(graph.labels, graph.degree())],
+        dtype=np.int64,
+    )
+    # densify base colors
+    _, base = np.unique(base, return_inverse=True)
+
+    best_form: tuple | None = None
+    best_order: np.ndarray | None = None
+
+    def search(colors: np.ndarray) -> None:
+        nonlocal best_form, best_order
+        colors = _refine(graph, colors)
+        # find the smallest ambiguous color class
+        values, counts = np.unique(colors, return_counts=True)
+        ambiguous = values[counts > 1]
+        if ambiguous.size == 0:
+            order = np.argsort(colors, kind="stable")
+            form = _canonical_form(graph, order)
+            if best_form is None or form < best_form:
+                best_form = form
+                best_order = order
+            return
+        target = int(ambiguous[np.argmin([counts[values.tolist().index(a)] for a in ambiguous])])
+        members = np.nonzero(colors == target)[0]
+        # individualize each member in turn (bounded: molecular graphs have
+        # tiny ambiguous classes; a cap guards pathological inputs)
+        for v in members[:8]:
+            branched = colors.copy()
+            branched[v] = colors.max() + 1
+            search(branched)
+
+    search(base)
+    assert best_order is not None
+    return best_order
+
+
+def _canonical_form(graph: LabeledGraph, order: np.ndarray) -> tuple:
+    """Hashable canonical form of the graph under a node ordering."""
+    position = np.empty(graph.n_nodes, dtype=np.int64)
+    position[order] = np.arange(graph.n_nodes)
+    labels = tuple(int(l) for l in graph.labels[order])
+    edges = sorted(
+        (min(int(position[u]), int(position[v])),
+         max(int(position[u]), int(position[v])), int(l))
+        for (u, v), l in zip(graph.edges, graph.edge_labels)
+    )
+    return (labels, tuple(edges))
+
+
+def canonical_form(graph: LabeledGraph) -> tuple:
+    """Hashable canonical invariant: equal iff the graphs are isomorphic
+    (including node and edge labels)."""
+    return _canonical_form(graph, canonical_order(graph))
+
+
+def relabel(graph: LabeledGraph, order: np.ndarray) -> LabeledGraph:
+    """Rebuild the graph with nodes renumbered so ``order[i] -> i``."""
+    position = np.empty(graph.n_nodes, dtype=np.int64)
+    position[order] = np.arange(graph.n_nodes)
+    edges = [(int(position[u]), int(position[v])) for u, v in graph.edges]
+    return LabeledGraph(graph.labels[order], edges, graph.edge_labels)
+
+
+def are_isomorphic(a: LabeledGraph, b: LabeledGraph) -> bool:
+    """Label-preserving graph isomorphism via canonical forms."""
+    if a.n_nodes != b.n_nodes or a.n_edges != b.n_edges:
+        return False
+    if sorted(a.labels.tolist()) != sorted(b.labels.tolist()):
+        return False
+    return canonical_form(a) == canonical_form(b)
+
+
+def deduplicate(graphs: list[LabeledGraph]) -> list[int]:
+    """Indices of the first occurrence of each isomorphism class.
+
+    Library deduplication: generated compound sets routinely contain
+    isomorphic duplicates that would inflate match counts.
+    """
+    seen: dict[tuple, int] = {}
+    keep = []
+    for idx, g in enumerate(graphs):
+        form = canonical_form(g)
+        if form not in seen:
+            seen[form] = idx
+            keep.append(idx)
+    return keep

@@ -1,0 +1,160 @@
+"""Random labeled-graph generators for tests and property-based checks.
+
+The chemistry-calibrated molecule generator lives in
+:mod:`repro.chem.generator`; this module provides generic structural
+generators (trees, rings, sparse connected graphs) that the unit and
+hypothesis tests use to probe the matcher independent of chemistry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def random_tree(
+    n_nodes: int,
+    n_labels: int,
+    rng: np.random.Generator,
+    n_edge_labels: int = 1,
+) -> LabeledGraph:
+    """Uniform random labeled tree via random attachment.
+
+    Each new node attaches to a uniformly chosen earlier node, giving
+    recursive random trees — a good stand-in for acyclic molecular
+    skeletons.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    labels = rng.integers(0, n_labels, size=n_nodes)
+    edges = [(int(rng.integers(0, v)), v) for v in range(1, n_nodes)]
+    edge_labels = rng.integers(0, n_edge_labels, size=len(edges))
+    return LabeledGraph(labels, edges, edge_labels)
+
+
+def random_connected_graph(
+    n_nodes: int,
+    extra_edges: int,
+    n_labels: int,
+    rng: np.random.Generator,
+    n_edge_labels: int = 1,
+    max_degree: int | None = None,
+) -> LabeledGraph:
+    """Random connected labeled graph: a random tree plus extra edges.
+
+    ``extra_edges`` additional non-tree edges are sampled uniformly among
+    absent pairs, optionally respecting a degree bound (molecular graphs are
+    degree-bounded by valence, paper section 2.1).  Fewer than
+    ``extra_edges`` may be added when the degree bound leaves no room.
+    """
+    tree = random_tree(n_nodes, n_labels, rng, n_edge_labels)
+    if extra_edges <= 0 or n_nodes < 3:
+        return tree
+    existing = {tuple(sorted(map(int, e))) for e in tree.edges}
+    degrees = np.diff(tree.indptr).astype(np.int64)
+    edges = [tuple(map(int, e)) for e in tree.edges]
+    edge_labels = list(map(int, tree.edge_labels))
+    attempts = 0
+    added = 0
+    max_attempts = 50 * extra_edges + 100
+    while added < extra_edges and attempts < max_attempts:
+        attempts += 1
+        u = int(rng.integers(0, n_nodes))
+        v = int(rng.integers(0, n_nodes))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in existing:
+            continue
+        if max_degree is not None and (
+            degrees[u] >= max_degree or degrees[v] >= max_degree
+        ):
+            continue
+        existing.add(key)
+        edges.append(key)
+        edge_labels.append(int(rng.integers(0, n_edge_labels)))
+        degrees[u] += 1
+        degrees[v] += 1
+        added += 1
+    return LabeledGraph(tree.labels, edges, edge_labels)
+
+
+def ring_graph(
+    n_nodes: int, labels: np.ndarray | list[int], edge_label: int = 0
+) -> LabeledGraph:
+    """Simple cycle with the given labels (aromatic-ring stand-in)."""
+    if n_nodes < 3:
+        raise ValueError(f"a ring needs >= 3 nodes, got {n_nodes}")
+    labels = np.asarray(labels)
+    if labels.size != n_nodes:
+        raise ValueError("labels length must equal n_nodes")
+    edges = [(v, (v + 1) % n_nodes) for v in range(n_nodes)]
+    return LabeledGraph(labels, edges, [edge_label] * n_nodes)
+
+
+def path_graph(labels: np.ndarray | list[int], edge_labels=None) -> LabeledGraph:
+    """Simple path over the given node labels."""
+    labels = np.asarray(labels)
+    n = labels.size
+    edges = [(v, v + 1) for v in range(n - 1)]
+    return LabeledGraph(labels, edges, edge_labels)
+
+
+def star_graph(
+    center_label: int, leaf_labels: np.ndarray | list[int]
+) -> LabeledGraph:
+    """Star: one center connected to each leaf (functional-group shape)."""
+    leaf_labels = np.asarray(leaf_labels)
+    labels = np.concatenate([[center_label], leaf_labels])
+    edges = [(0, v + 1) for v in range(leaf_labels.size)]
+    return LabeledGraph(labels, edges)
+
+
+def random_subgraph_pattern(
+    graph: LabeledGraph, n_nodes: int, rng: np.random.Generator
+) -> tuple[LabeledGraph, np.ndarray]:
+    """Extract a random connected pattern that is guaranteed to match.
+
+    Grows a connected node set of size ``n_nodes`` by random frontier
+    expansion, then returns the *partial* subgraph over those nodes keeping
+    each internal edge with probability 1 (non-induced matching means any
+    edge subset would also match; we keep a spanning-connected subset plus
+    every internal edge for a strong test pattern).
+
+    Returns
+    -------
+    (pattern, node_map):
+        ``pattern`` is the extracted query graph; ``node_map[i]`` is the
+        data-graph node that pattern node ``i`` came from, i.e. a witness
+        embedding that any sound matcher must find.
+    """
+    if not 1 <= n_nodes <= graph.n_nodes:
+        raise ValueError(
+            f"n_nodes must be in [1, {graph.n_nodes}], got {n_nodes}"
+        )
+    start = int(rng.integers(0, graph.n_nodes))
+    chosen = [start]
+    chosen_set = {start}
+    frontier = [int(u) for u in graph.neighbors(start)]
+    while len(chosen) < n_nodes:
+        frontier = [u for u in frontier if u not in chosen_set]
+        if not frontier:
+            # Restart from a fresh component if we ran out (disconnected).
+            outside = [v for v in range(graph.n_nodes) if v not in chosen_set]
+            frontier = [outside[int(rng.integers(0, len(outside)))]]
+        pick = frontier.pop(int(rng.integers(0, len(frontier))))
+        chosen.append(pick)
+        chosen_set.add(pick)
+        frontier.extend(int(u) for u in graph.neighbors(pick))
+    node_map = np.asarray(chosen, dtype=np.int64)
+    inverse = {int(v): i for i, v in enumerate(node_map)}
+    edges = []
+    edge_labels = []
+    for eid in range(graph.n_edges):
+        u, v = map(int, graph.edges[eid])
+        if u in inverse and v in inverse:
+            edges.append((inverse[u], inverse[v]))
+            edge_labels.append(int(graph.edge_labels[eid]))
+    pattern = LabeledGraph(graph.labels[node_map], edges, edge_labels)
+    return pattern, node_map

@@ -1,0 +1,242 @@
+"""Single node-labeled, edge-labeled, undirected graph.
+
+This is the user-facing graph type: molecules (data graphs) and functional
+groups (query graphs) are both :class:`LabeledGraph` instances.  The class
+is immutable after construction and keeps a CSR adjacency internally so that
+neighborhood iteration — the inner loop of both the filter's BFS and the
+join's backtracking — never allocates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_array_1d
+
+#: Edge label meaning "unlabeled"; matchers treat it as wildcard-free:
+#: two edges match iff their labels are equal, and graphs built without
+#: explicit edge labels get 0 everywhere so they compare equal.
+DEFAULT_EDGE_LABEL = 0
+
+
+class LabeledGraph:
+    """Simple, finite, undirected graph with integer node and edge labels.
+
+    Parameters
+    ----------
+    labels:
+        Integer label per node; ``len(labels)`` defines the node count.
+        For molecules these are indices into the element vocabulary
+        (:mod:`repro.chem.elements`).
+    edges:
+        Iterable of ``(u, v)`` pairs with ``u != v``; each undirected edge
+        appears once.  Duplicate or self-loop edges raise ``ValueError``
+        (molecular graphs are simple graphs, paper section 2.2).
+    edge_labels:
+        Optional integer label per edge (bond order for molecules).
+        Defaults to :data:`DEFAULT_EDGE_LABEL` for every edge.
+
+    Notes
+    -----
+    Node ids are ``0..n-1``.  The adjacency is stored in CSR form
+    (``indptr``, ``indices``) with a parallel ``edge_ids`` array so the
+    label of the edge to each neighbor is a single indexed load.
+    """
+
+    __slots__ = (
+        "labels",
+        "edges",
+        "edge_labels",
+        "indptr",
+        "indices",
+        "edge_ids",
+        "_diameter",
+    )
+
+    def __init__(
+        self,
+        labels: Sequence[int] | np.ndarray,
+        edges: Iterable[tuple[int, int]] | np.ndarray = (),
+        edge_labels: Sequence[int] | np.ndarray | None = None,
+    ) -> None:
+        self.labels = check_array_1d(np.asarray(labels), "labels", dtype=np.int32)
+        if self.labels.size and self.labels.min() < 0:
+            raise ValueError("node labels must be non-negative")
+        n = self.labels.size
+
+        edges_arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if edges_arr.size == 0:
+            edges_arr = np.empty((0, 2), dtype=np.int32)
+        if edges_arr.ndim != 2 or edges_arr.shape[1] != 2:
+            raise ValueError(f"edges must have shape (m, 2), got {edges_arr.shape}")
+        edges_arr = edges_arr.astype(np.int32, copy=False)
+        m = edges_arr.shape[0]
+
+        if m:
+            if edges_arr.min() < 0 or edges_arr.max() >= n:
+                raise ValueError("edge endpoint out of range")
+            if np.any(edges_arr[:, 0] == edges_arr[:, 1]):
+                raise ValueError("self-loops are not allowed in simple graphs")
+            canon = np.sort(edges_arr, axis=1)
+            keys = canon[:, 0].astype(np.int64) * n + canon[:, 1]
+            if np.unique(keys).size != m:
+                raise ValueError("duplicate edges are not allowed in simple graphs")
+
+        if edge_labels is None:
+            elab = np.full(m, DEFAULT_EDGE_LABEL, dtype=np.int32)
+        else:
+            elab = check_array_1d(np.asarray(edge_labels), "edge_labels", np.int32)
+            if elab.size != m:
+                raise ValueError(
+                    f"edge_labels length {elab.size} != number of edges {m}"
+                )
+            if m and elab.min() < 0:
+                raise ValueError("edge labels must be non-negative")
+
+        self.edges = edges_arr
+        self.edge_labels = elab
+        self.indptr, self.indices, self.edge_ids = _build_csr(n, edges_arr)
+        self._diameter: int | None = None
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Order of the graph."""
+        return int(self.labels.size)
+
+    @property
+    def n_edges(self) -> int:
+        """Size of the graph (undirected edge count)."""
+        return int(self.edges.shape[0])
+
+    def degree(self, v: int | None = None) -> np.ndarray | int:
+        """Degree of node ``v``, or the full degree array when ``v is None``."""
+        degrees = np.diff(self.indptr)
+        if v is None:
+            return degrees
+        return int(degrees[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbor ids of node ``v`` (ascending, no copies)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_edge_labels(self, v: int) -> np.ndarray:
+        """Edge labels parallel to :meth:`neighbors`."""
+        return self.edge_labels[self.edge_ids[self.indptr[v] : self.indptr[v + 1]]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists."""
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < nbrs.size and nbrs[pos] == v)
+
+    def edge_label(self, u: int, v: int) -> int:
+        """Label of edge ``(u, v)``; raises ``KeyError`` if absent."""
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        if pos >= nbrs.size or nbrs[pos] != v:
+            raise KeyError(f"no edge ({u}, {v})")
+        return int(self.edge_labels[self.edge_ids[self.indptr[u] + pos]])
+
+    # -- derived properties ------------------------------------------------
+
+    @property
+    def max_label(self) -> int:
+        """Largest node label present, or -1 for the empty graph."""
+        return int(self.labels.max()) if self.labels.size else -1
+
+    def label_counts(self, n_labels: int | None = None) -> np.ndarray:
+        """Histogram of node labels of length ``n_labels``."""
+        length = n_labels if n_labels is not None else self.max_label + 1
+        return np.bincount(self.labels, minlength=max(length, 0))[: max(length, 0)]
+
+    def diameter(self) -> int:
+        """Diameter of the graph (cached).
+
+        Raises ``ValueError`` for disconnected or empty graphs, matching the
+        paper's use on connected query graphs only (Fig. 7 grouping).
+        """
+        if self._diameter is None:
+            from repro.graph.algorithms import diameter
+
+            self._diameter = diameter(self)
+        return self._diameter
+
+    # -- conversions -------------------------------------------------------
+
+    def to_networkx(self):
+        """Convert to ``networkx.Graph`` with ``label`` node/edge attributes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for v in range(self.n_nodes):
+            g.add_node(v, label=int(self.labels[v]))
+        for eid in range(self.n_edges):
+            u, v = map(int, self.edges[eid])
+            g.add_edge(u, v, label=int(self.edge_labels[eid]))
+        return g
+
+    @classmethod
+    def from_networkx(cls, g, label_attr: str = "label") -> "LabeledGraph":
+        """Build from a ``networkx.Graph`` whose nodes carry ``label_attr``.
+
+        Node names may be arbitrary hashables; they are renumbered in sorted
+        insertion order.
+        """
+        nodes = list(g.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        labels = [int(g.nodes[node].get(label_attr, 0)) for node in nodes]
+        edges = [(index[u], index[v]) for u, v in g.edges()]
+        edge_labels = [int(g.edges[u, v].get(label_attr, DEFAULT_EDGE_LABEL)) for u, v in g.edges()]
+        return cls(labels, edges, edge_labels)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledGraph):
+            return NotImplemented
+        if self.n_nodes != other.n_nodes or self.n_edges != other.n_edges:
+            return False
+        if not np.array_equal(self.labels, other.labels):
+            return False
+        # Compare canonicalized edge sets with labels.
+        return _canonical_edge_set(self) == _canonical_edge_set(other)
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"LabeledGraph(n={self.n_nodes}, m={self.n_edges})"
+
+
+def _build_csr(
+    n: int, edges: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build sorted CSR adjacency (indptr, indices, edge_ids) for ``edges``."""
+    m = edges.shape[0]
+    if m == 0:
+        return (
+            np.zeros(n + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.int32),
+        )
+    src = np.concatenate([edges[:, 0], edges[:, 1]])
+    dst = np.concatenate([edges[:, 1], edges[:, 0]])
+    eid = np.concatenate([np.arange(m, dtype=np.int32)] * 2)
+    order = np.lexsort((dst, src))
+    src, dst, eid = src[order], dst[order], eid[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return indptr, np.ascontiguousarray(dst), np.ascontiguousarray(eid)
+
+
+def _canonical_edge_set(g: LabeledGraph) -> set[tuple[int, int, int]]:
+    canon = np.sort(g.edges, axis=1)
+    return {
+        (int(a), int(b), int(l))
+        for (a, b), l in zip(canon, g.edge_labels)
+    }

@@ -1,0 +1,19 @@
+"""Dataset and result serialization."""
+
+from repro.io.serialization import (
+    load_dataset,
+    load_graphs,
+    read_smi,
+    save_dataset,
+    save_graphs,
+    write_smi,
+)
+
+__all__ = [
+    "load_dataset",
+    "load_graphs",
+    "read_smi",
+    "save_dataset",
+    "save_graphs",
+    "write_smi",
+]

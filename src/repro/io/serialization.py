@@ -1,0 +1,147 @@
+"""Graph-collection and dataset persistence.
+
+Graph batches are stored as a single ``.npz`` with flattened CSR-style
+arrays — compact, fast, and dependency-free.  Benchmark datasets add a
+JSON sidecar with their provenance (scale, seed) so an experiment can
+verify it is re-running the exact dataset a previous report used.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.chem.datasets import BenchmarkDataset
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def save_graphs(path: str | Path, graphs: list[LabeledGraph]) -> None:
+    """Save a graph list to ``.npz`` (flattened batch arrays)."""
+    path = Path(path)
+    node_counts = np.asarray([g.n_nodes for g in graphs], dtype=np.int64)
+    edge_counts = np.asarray([g.n_edges for g in graphs], dtype=np.int64)
+    labels = (
+        np.concatenate([g.labels for g in graphs])
+        if graphs
+        else np.empty(0, dtype=np.int32)
+    )
+    edges = (
+        np.concatenate([g.edges for g in graphs if g.n_edges])
+        if any(g.n_edges for g in graphs)
+        else np.empty((0, 2), dtype=np.int32)
+    )
+    edge_labels = (
+        np.concatenate([g.edge_labels for g in graphs if g.n_edges])
+        if any(g.n_edges for g in graphs)
+        else np.empty(0, dtype=np.int32)
+    )
+    np.savez_compressed(
+        path,
+        node_counts=node_counts,
+        edge_counts=edge_counts,
+        labels=labels,
+        edges=edges,
+        edge_labels=edge_labels,
+    )
+
+
+def load_graphs(path: str | Path) -> list[LabeledGraph]:
+    """Inverse of :func:`save_graphs`."""
+    with np.load(Path(path)) as data:
+        node_counts = data["node_counts"]
+        edge_counts = data["edge_counts"]
+        labels = data["labels"]
+        edges = data["edges"]
+        edge_labels = data["edge_labels"]
+    graphs = []
+    node_pos = 0
+    edge_pos = 0
+    for nn, ne in zip(node_counts, edge_counts):
+        g_labels = labels[node_pos : node_pos + nn]
+        g_edges = edges[edge_pos : edge_pos + ne]
+        g_elabs = edge_labels[edge_pos : edge_pos + ne]
+        graphs.append(LabeledGraph(g_labels, g_edges, g_elabs))
+        node_pos += nn
+        edge_pos += ne
+    return graphs
+
+
+def save_dataset(directory: str | Path, dataset: BenchmarkDataset) -> None:
+    """Persist a benchmark dataset (two ``.npz`` files + JSON metadata)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_graphs(directory / "queries.npz", dataset.queries)
+    save_graphs(directory / "data.npz", dataset.data)
+    meta = {
+        "scale": dataset.scale,
+        "seed": dataset.seed,
+        "n_queries": dataset.n_queries,
+        "n_data_graphs": dataset.n_data_graphs,
+        "total_query_nodes": dataset.total_query_nodes,
+        "total_data_nodes": dataset.total_data_nodes,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+
+
+def load_dataset(directory: str | Path) -> BenchmarkDataset:
+    """Inverse of :func:`save_dataset` (verifies the metadata)."""
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    queries = load_graphs(directory / "queries.npz")
+    data = load_graphs(directory / "data.npz")
+    if len(queries) != meta["n_queries"] or len(data) != meta["n_data_graphs"]:
+        raise ValueError(
+            f"dataset at {directory} does not match its metadata "
+            f"(queries {len(queries)}/{meta['n_queries']}, "
+            f"data {len(data)}/{meta['n_data_graphs']})"
+        )
+    return BenchmarkDataset(
+        queries=queries, data=data, scale=meta["scale"], seed=meta["seed"]
+    )
+
+
+def write_smi(path: str | Path, molecules, names=None) -> None:
+    """Write molecules as a ``.smi`` file (one ``SMILES[\\tname]`` per line).
+
+    Parameters
+    ----------
+    molecules:
+        Iterable of :class:`~repro.chem.molecule.Molecule`.
+    names:
+        Optional parallel names; defaults to each molecule's ``name``.
+    """
+    from repro.chem.smiles import mol_to_smiles
+
+    lines = []
+    for i, mol in enumerate(molecules):
+        name = names[i] if names is not None else mol.name
+        smiles = mol_to_smiles(mol)
+        lines.append(f"{smiles}\t{name}" if name else smiles)
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_smi(path: str | Path):
+    """Read a ``.smi`` file into molecules (skipping blank/comment lines).
+
+    Returns
+    -------
+    list[Molecule]
+        Parsed molecules; each carries the per-line name when present.
+    """
+    from repro.chem.smiles import mol_from_smiles
+
+    molecules = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 1)
+        smiles = parts[0]
+        name = parts[1].strip() if len(parts) > 1 else ""
+        try:
+            molecules.append(mol_from_smiles(smiles, name=name))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from exc
+    return molecules

@@ -1,0 +1,12 @@
+"""Analytic performance model and configuration tuner.
+
+Converts measured kernel counters (:mod:`repro.device.counters`) into
+per-device execution times, reproducing the cross-GPU comparisons of the
+paper (Fig. 11, Table 1, Figs. 12-14).  See DESIGN.md, Substitutions, for
+why a counter-driven analytic model preserves the paper's findings.
+"""
+
+from repro.perf.model import PerformanceModel, PhaseTimes
+from repro.perf.tuner import ConfigTuner, TuningResult
+
+__all__ = ["PerformanceModel", "PhaseTimes", "ConfigTuner", "TuningResult"]

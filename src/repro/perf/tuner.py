@@ -1,0 +1,94 @@
+"""Configuration tuner: the search behind paper Table 1.
+
+The paper identifies the best (bitmap word width, filter work-group size,
+join work-group size) per GPU "through manual tuning".  This tuner runs
+the same search over the performance model's cost surface: every
+combination is evaluated on the measured counters of a reference run, and
+the argmin per device is reported.  Table 1's values fall out of the
+modeled effects (transaction granularity vs. sub-group width, residency
+sweet spots, join imbalance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.device.counters import PipelineCounters
+from repro.device.spec import DeviceSpec
+from repro.perf.model import PerformanceModel
+
+#: Default search space (the values a SYCL implementation can launch).
+WORD_BITS_CHOICES = (32, 64)
+FILTER_WG_CHOICES = (128, 256, 512, 1024)
+JOIN_WG_CHOICES = (32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Best configuration found for one device."""
+
+    device: str
+    word_bits: int
+    filter_workgroup_size: int
+    join_workgroup_size: int
+    modeled_total_seconds: float
+
+    def as_row(self) -> dict:
+        """Table 1-style row."""
+        return {
+            "GPU": self.device,
+            "Candidates bitmap integer": f"{self.word_bits} bit",
+            "Filter work-group size": self.filter_workgroup_size,
+            "Join work-group size": self.join_workgroup_size,
+        }
+
+
+class ConfigTuner:
+    """Exhaustive sweep over the configuration space for one device."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        word_bits_choices=WORD_BITS_CHOICES,
+        filter_wg_choices=FILTER_WG_CHOICES,
+        join_wg_choices=JOIN_WG_CHOICES,
+    ) -> None:
+        self.device = device
+        self.word_bits_choices = tuple(word_bits_choices)
+        self.filter_wg_choices = tuple(filter_wg_choices)
+        self.join_wg_choices = tuple(join_wg_choices)
+
+    def sweep(self, counters: PipelineCounters) -> list[TuningResult]:
+        """Model every configuration; results sorted best-first."""
+        results = []
+        for wb, fwg, jwg in product(
+            self.word_bits_choices, self.filter_wg_choices, self.join_wg_choices
+        ):
+            if fwg > self.device.max_workgroup_size:
+                continue
+            model = PerformanceModel(
+                self.device,
+                word_bits=wb,
+                filter_workgroup_size=fwg,
+                join_workgroup_size=jwg,
+            )
+            times = model.estimate(counters)
+            results.append(
+                TuningResult(
+                    device=self.device.name,
+                    word_bits=wb,
+                    filter_workgroup_size=fwg,
+                    join_workgroup_size=jwg,
+                    modeled_total_seconds=times.total_seconds,
+                )
+            )
+        results.sort(key=lambda r: r.modeled_total_seconds)
+        return results
+
+    def best(self, counters: PipelineCounters) -> TuningResult:
+        """Argmin of the sweep."""
+        results = self.sweep(counters)
+        if not results:
+            raise RuntimeError("empty configuration space")
+        return results[0]

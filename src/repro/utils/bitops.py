@@ -1,0 +1,161 @@
+"""Word-packed bitmap primitives.
+
+SIGMo stores candidate sets as row-major arrays of unsigned integer words,
+one bit per data node (paper section 4.3).  These helpers implement the
+pack/unpack/popcount operations shared by the candidate bitmaps, the GMCR
+match booleans and the device simulator's memory transaction accounting.
+
+All functions operate on NumPy arrays and are fully vectorized; none of the
+hot paths loop in Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of bits per bitmap word.  The paper tunes this per device
+#: (32-bit on NVIDIA/Intel, 64-bit on AMD; Table 1); 64 is the library
+#: default because NumPy's uint64 ops are the fastest on CPU.
+WORD_BITS = 64
+
+_WORD_DTYPES = {8: np.uint8, 16: np.uint16, 32: np.uint32, 64: np.uint64}
+
+
+def word_dtype(word_bits: int = WORD_BITS) -> np.dtype:
+    """Return the NumPy dtype for a given bitmap word width.
+
+    Parameters
+    ----------
+    word_bits:
+        Width of a bitmap word in bits; one of 8, 16, 32, 64.
+    """
+    try:
+        return np.dtype(_WORD_DTYPES[word_bits])
+    except KeyError:
+        raise ValueError(
+            f"word_bits must be one of {sorted(_WORD_DTYPES)}, got {word_bits}"
+        ) from None
+
+
+def bitmap_words(n_bits: int, word_bits: int = WORD_BITS) -> int:
+    """Number of words needed to hold ``n_bits`` bits."""
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be >= 0, got {n_bits}")
+    return -(-n_bits // word_bits)
+
+
+def pack_bool_rows(rows: np.ndarray, word_bits: int = WORD_BITS) -> np.ndarray:
+    """Pack a 2-D boolean array into row-major bitmap words.
+
+    Bit ``j`` of row ``i`` is stored in word ``j // word_bits`` at bit
+    position ``j % word_bits`` (LSB-first), matching the layout in paper
+    Fig. 4 where consecutive data nodes occupy consecutive bits.
+
+    Parameters
+    ----------
+    rows:
+        Boolean array of shape ``(n_rows, n_bits)``.
+    word_bits:
+        Bitmap word width.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n_rows, bitmap_words(n_bits))`` with unsigned
+        integer dtype of the requested width.
+    """
+    rows = np.asarray(rows, dtype=bool)
+    if rows.ndim != 2:
+        raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
+    n_rows, n_bits = rows.shape
+    n_words = bitmap_words(n_bits, word_bits)
+    if n_rows == 0 or n_words == 0:
+        return np.zeros((n_rows, n_words), dtype=word_dtype(word_bits))
+    # np.packbits is MSB-first per byte; view-based assembly keeps LSB-first
+    # semantics so that bit index == data-node index without reversal.
+    padded = np.zeros((n_rows, n_words * word_bits), dtype=bool)
+    padded[:, :n_bits] = rows
+    bytes_ = np.packbits(padded.reshape(n_rows, -1, 8), axis=-1, bitorder="little")
+    dtype = word_dtype(word_bits)
+    packed = bytes_.reshape(n_rows, -1).view(dtype)
+    if packed.shape != (n_rows, n_words):  # pragma: no cover - layout guard
+        raise AssertionError("bitmap packing produced unexpected shape")
+    return np.ascontiguousarray(packed)
+
+
+def unpack_bitmap_rows(
+    words: np.ndarray, n_bits: int, word_bits: int = WORD_BITS
+) -> np.ndarray:
+    """Inverse of :func:`pack_bool_rows`.
+
+    Parameters
+    ----------
+    words:
+        Packed bitmap of shape ``(n_rows, n_words)``.
+    n_bits:
+        Number of valid bits per row (trailing padding is dropped).
+    word_bits:
+        Bitmap word width used when packing.
+    """
+    words = np.asarray(words)
+    if words.ndim != 2:
+        raise ValueError(f"words must be 2-D, got shape {words.shape}")
+    n_rows = words.shape[0]
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[:, :n_bits].astype(bool)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element population count of an unsigned integer array."""
+    return np.bitwise_count(np.asarray(words))
+
+
+def row_popcount(words: np.ndarray) -> np.ndarray:
+    """Total set bits per row of a packed bitmap."""
+    words = np.asarray(words)
+    if words.ndim != 2:
+        raise ValueError(f"words must be 2-D, got shape {words.shape}")
+    return popcount(words).sum(axis=1, dtype=np.int64)
+
+
+def bit_positions(word_row: np.ndarray, word_bits: int = WORD_BITS) -> np.ndarray:
+    """Indices of set bits in a single packed bitmap row, ascending.
+
+    Used by the join kernel to iterate a query node's candidate list for one
+    data graph.  Vectorized: expands the row to booleans then uses
+    ``np.nonzero``.
+    """
+    word_row = np.asarray(word_row)
+    if word_row.ndim != 1:
+        raise ValueError(f"word_row must be 1-D, got shape {word_row.shape}")
+    as_bytes = np.ascontiguousarray(word_row).view(np.uint8)
+    bits = np.unpackbits(as_bytes, bitorder="little")
+    return np.nonzero(bits)[0]
+
+
+def set_bits(
+    words: np.ndarray, row: int, positions: np.ndarray, word_bits: int = WORD_BITS
+) -> None:
+    """Set bits at ``positions`` in ``words[row]`` in place.
+
+    Mirrors the atomic-OR updates in the GPU bitmap (section 4.3); on the
+    NumPy substrate a grouped ``bitwise_or.at`` is the moral equivalent.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.size == 0:
+        return
+    dtype = words.dtype
+    word_idx = positions // word_bits
+    bit_idx = positions % word_bits
+    np.bitwise_or.at(
+        words[row], word_idx, (np.uint64(1) << bit_idx.astype(np.uint64)).astype(dtype)
+    )
+
+
+def test_bit(
+    words: np.ndarray, row: int, position: int, word_bits: int = WORD_BITS
+) -> bool:
+    """Return whether bit ``position`` of row ``row`` is set."""
+    word = int(words[row, position // word_bits])
+    return bool((word >> (position % word_bits)) & 1)

@@ -1,0 +1,60 @@
+"""Stage timing used by the engine to report per-phase breakdowns.
+
+The paper reports filter / mapping / join times separately (Figs. 6, 11);
+:class:`StageTimer` accumulates wall-clock durations per named stage so the
+engine can attribute time the same way the authors attribute kernel time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+
+
+class StageTimer:
+    """Accumulates wall-clock time per named stage.
+
+    Examples
+    --------
+    >>> timer = StageTimer()
+    >>> with timer.stage("filter"):
+    ...     pass
+    >>> "filter" in timer.totals
+    True
+    """
+
+    def __init__(self) -> None:
+        self.totals: OrderedDict[str, float] = OrderedDict()
+        self.counts: OrderedDict[str, int] = OrderedDict()
+
+    @contextmanager
+    def stage(self, name: str):
+        """Context manager timing one stage invocation."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add time to a stage (used by simulated components)."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    @property
+    def total(self) -> float:
+        """Sum of all stage times."""
+        return sum(self.totals.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Copy of the per-stage totals."""
+        return dict(self.totals)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.4f}s" for k, v in self.totals.items())
+        return f"StageTimer({parts})"

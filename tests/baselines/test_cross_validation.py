@@ -1,0 +1,60 @@
+"""Cross-validation: every matcher agrees with the NetworkX oracle.
+
+This is the correctness backbone of the comparison experiment (Fig. 10):
+if all matchers return identical counts, speed differences are attributable
+to algorithms, not semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CutsLikeMatcher,
+    GsiLikeMatcher,
+    UllmannMatcher,
+    VF3Matcher,
+)
+from repro.baselines.networkx_ref import networkx_count_matches, networkx_has_match
+from repro.core.engine import find_all
+from tests.conftest import random_case
+
+
+N_TRIALS = 25
+
+
+class TestAllMatchersAgree:
+    def test_counts_agree_on_random_planted_cases(self, rng):
+        for _ in range(N_TRIALS):
+            q, d, _ = random_case(rng)
+            ref = networkx_count_matches(q, d)
+            assert ref >= 1  # planted pattern must occur
+            assert VF3Matcher(q, d).count_all() == ref
+            assert UllmannMatcher(q, d).count_all() == ref
+            assert GsiLikeMatcher(q, d).count_all() == ref
+            assert find_all([q], [d]).total_matches == ref
+
+    def test_cuts_agrees_with_unlabeled_oracle(self, rng):
+        for _ in range(10):
+            q, d, _ = random_case(rng)
+            ref = networkx_count_matches(
+                q, d, use_edge_labels=False, use_node_labels=False
+            )
+            assert CutsLikeMatcher(q, d).count_all() == ref
+
+    def test_negative_cases_agree(self, rng):
+        from repro.graph.generators import random_connected_graph
+
+        for _ in range(10):
+            d = random_connected_graph(8, 2, 2, rng)
+            q = random_connected_graph(4, 1, 2, rng)
+            ref = networkx_count_matches(q, d)
+            assert VF3Matcher(q, d).count_all() == ref
+            assert UllmannMatcher(q, d).count_all() == ref
+            assert find_all([q], [d]).total_matches == ref
+
+    def test_has_match_consistency(self, rng):
+        for _ in range(10):
+            q, d, _ = random_case(rng)
+            assert networkx_has_match(q, d)
+            assert VF3Matcher(q, d).find_first() is not None
+            assert UllmannMatcher(q, d).has_match()

@@ -1,0 +1,73 @@
+"""Unit tests for the cuTS-like label-blind matcher."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cuts_like import CutsLikeMatcher, compile_query_trie
+from repro.graph.generators import path_graph, ring_graph, star_graph
+
+
+class TestTrie:
+    def test_levels_cover_query(self):
+        q = ring_graph(4, [0, 1, 2, 3])
+        trie, order = compile_query_trie(q)
+        assert len(trie) == 4
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+
+    def test_root_has_no_parent(self):
+        q = path_graph([0, 1, 2])
+        trie, _ = compile_query_trie(q)
+        assert trie[0].parent_depth == -1
+        assert all(lvl.parent_depth >= 0 for lvl in trie[1:])
+
+    def test_back_edges_close_cycles(self):
+        q = ring_graph(3, [0, 1, 2])
+        trie, _ = compile_query_trie(q)
+        assert sum(len(lvl.back_edges) for lvl in trie) == 1
+
+    def test_empty_query(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        trie, order = compile_query_trie(LabeledGraph([]))
+        assert trie == () and order.size == 0
+
+
+class TestLabelBlindness:
+    def test_ignores_node_labels(self):
+        q = path_graph([7, 8])
+        d = path_graph([0, 1, 2])
+        # labels don't exist for cuTS: a 2-path occurs twice in a 3-path
+        # (two directions x two positions = 4 ordered embeddings)
+        assert CutsLikeMatcher(q, d).count_all() == 4
+
+    def test_ignores_edge_labels(self):
+        q = path_graph([0, 0], [9])
+        d = path_graph([0, 0], [1])
+        assert CutsLikeMatcher(q, d).count_all() == 2
+
+    def test_more_matches_than_labeled(self, rng):
+        from repro.baselines.vf2 import VF3Matcher
+        from repro.graph.generators import random_connected_graph, random_subgraph_pattern
+
+        for _ in range(8):
+            d = random_connected_graph(10, 3, 3, rng)
+            q, _ = random_subgraph_pattern(d, 3, rng)
+            assert CutsLikeMatcher(q, d).count_all() >= VF3Matcher(q, d).count_all()
+
+
+class TestStructuralCounts:
+    def test_triangle_in_k4(self):
+        k4_edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        from repro.graph.labeled_graph import LabeledGraph
+
+        k4 = LabeledGraph([0] * 4, k4_edges)
+        tri = ring_graph(3, [0, 0, 0])
+        # 4 triangles x 6 automorphisms
+        assert CutsLikeMatcher(tri, k4).count_all() == 24
+
+    def test_has_match(self):
+        assert CutsLikeMatcher(path_graph([0, 0]), path_graph([1, 2])).has_match()
+        assert not CutsLikeMatcher(ring_graph(3, [0] * 3), path_graph([0, 0, 0])).has_match()
+
+    def test_query_bigger_than_data(self):
+        assert CutsLikeMatcher(path_graph([0] * 3), path_graph([0, 0])).count_all() == 0

@@ -1,0 +1,65 @@
+"""Unit tests for the RI-style matcher."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ri import RIMatcher
+from repro.graph.generators import path_graph, ring_graph, star_graph
+
+
+class TestOrdering:
+    def test_order_permutation(self):
+        q = ring_graph(5, [0, 1, 2, 3, 4])
+        m = RIMatcher(q, ring_graph(5, [0, 1, 2, 3, 4]))
+        assert sorted(m._order.tolist()) == list(range(5))
+
+    def test_starts_at_max_degree(self):
+        q = star_graph(0, [1, 2, 3])
+        m = RIMatcher(q, q)
+        assert m._order[0] == 0
+
+    def test_back_connectivity(self):
+        q = path_graph([0, 1, 2, 3])
+        m = RIMatcher(q, q)
+        # every node after the first must check at least one back edge
+        assert all(len(c) >= 1 for c in m._checks[1:])
+
+
+class TestDegreeSequenceFilter:
+    def test_filters_insufficient_neighbors(self):
+        # query center needs neighbors of degree >= (1,1,1); data node 0 of
+        # a path has only one neighbor -> pruned by the DS filter
+        q = star_graph(0, [0, 0, 0])
+        d = path_graph([0, 0, 0])
+        m = RIMatcher(q, d)
+        cands = m._initial_candidates()
+        assert cands[0].size == 0
+
+    def test_toggleable(self):
+        q = star_graph(0, [0, 0])
+        d = path_graph([0, 0, 0])
+        with_ds = RIMatcher(q, d)._initial_candidates()[0]
+        without = RIMatcher(q, d, degree_sequence_filter=False)._initial_candidates()[0]
+        assert with_ds.size <= without.size
+
+
+class TestCounts:
+    def test_simple(self):
+        assert RIMatcher(path_graph([0, 1]), path_graph([1, 0, 1])).count_all() == 2
+
+    def test_edge_labels(self):
+        q = path_graph([0, 0], [2])
+        assert RIMatcher(q, path_graph([0, 0], [2])).count_all() == 2
+        assert RIMatcher(q, path_graph([0, 0], [1])).count_all() == 0
+
+    def test_has_match(self):
+        assert RIMatcher(path_graph([0]), path_graph([0])).has_match()
+        assert not RIMatcher(ring_graph(3, [0] * 3), path_graph([0, 0, 0])).has_match()
+
+    def test_agrees_with_oracle(self, rng):
+        from repro.baselines.networkx_ref import networkx_count_matches
+        from tests.conftest import random_case
+
+        for _ in range(15):
+            q, d, _ = random_case(rng)
+            assert RIMatcher(q, d).count_all() == networkx_count_matches(q, d)

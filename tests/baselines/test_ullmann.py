@@ -1,0 +1,57 @@
+"""Unit tests for the Ullmann matcher."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ullmann import UllmannMatcher
+from repro.graph.generators import path_graph, ring_graph
+
+
+class TestInitialMatrix:
+    def test_label_and_degree(self):
+        q = path_graph([0, 1])
+        d = path_graph([0, 1, 0])
+        m = UllmannMatcher(q, d).initial_matrix()
+        assert m.shape == (2, 3)
+        assert m[0, 0] and m[0, 2] and m[1, 1]
+        assert not m[0, 1]
+
+
+class TestRefinement:
+    def test_refine_prunes_unsupported(self):
+        # query 0-1 with labels (0,1); data node 2 (label 0) has no label-1
+        # neighbor and must be pruned.
+        q = path_graph([0, 1])
+        d = path_graph([0, 1, 5, 0])
+        matcher = UllmannMatcher(q, d)
+        m = matcher.initial_matrix()
+        assert m[0, 3]
+        assert matcher.refine(m)
+        assert not m[0, 3]
+
+    def test_refine_detects_dead_end(self):
+        q = ring_graph(3, [0, 0, 0])
+        d = path_graph([0, 0, 0])  # no triangle
+        matcher = UllmannMatcher(q, d)
+        m = matcher.initial_matrix()
+        # refinement alone may not kill it, but search must find nothing
+        assert matcher.count_all() == 0
+
+
+class TestCounts:
+    def test_matches_simple(self):
+        assert UllmannMatcher(path_graph([0, 1]), path_graph([1, 0, 1])).count_all() == 2
+
+    def test_edge_labels(self):
+        q = path_graph([0, 0], [3])
+        d_ok = path_graph([0, 0], [3])
+        d_no = path_graph([0, 0], [1])
+        assert UllmannMatcher(q, d_ok).count_all() == 2
+        assert UllmannMatcher(q, d_no).count_all() == 0
+
+    def test_has_match(self):
+        assert UllmannMatcher(path_graph([0]), path_graph([0, 1])).has_match()
+        assert not UllmannMatcher(path_graph([7]), path_graph([0])).has_match()
+
+    def test_query_bigger_than_data(self):
+        assert UllmannMatcher(path_graph([0, 0]), path_graph([0])).count_all() == 0

@@ -1,0 +1,80 @@
+"""Unit tests for the VF3-style matcher."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vf2 import VF3Matcher, vf3_batch
+from repro.graph.generators import path_graph, ring_graph, star_graph
+
+
+class TestBasicCounts:
+    def test_path_in_path(self):
+        assert VF3Matcher(path_graph([0, 1]), path_graph([1, 0, 1])).count_all() == 2
+
+    def test_triangle_automorphisms(self):
+        t = ring_graph(3, [0, 0, 0])
+        assert VF3Matcher(t, t).count_all() == 6
+
+    def test_label_mismatch(self):
+        assert VF3Matcher(path_graph([5, 5]), path_graph([0, 0])).count_all() == 0
+
+    def test_edge_label_checked(self):
+        q = path_graph([0, 0], [1])
+        d = path_graph([0, 0], [2])
+        assert VF3Matcher(q, d).count_all() == 0
+
+    def test_query_larger_than_data(self):
+        assert VF3Matcher(path_graph([0, 0, 0]), path_graph([0, 0])).count_all() == 0
+
+    def test_empty_query(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        assert VF3Matcher(LabeledGraph([]), path_graph([0])).count_all() == 0
+
+
+class TestFindFirst:
+    def test_returns_valid_mapping(self):
+        q = path_graph([1, 2, 1])
+        d = ring_graph(6, [1, 2, 1, 1, 2, 1])
+        mapping = VF3Matcher(q, d).find_first()
+        assert mapping is not None
+        for u in range(q.n_nodes):
+            assert d.labels[mapping[u]] == q.labels[u]
+        for (u, v), lab in zip(q.edges, q.edge_labels):
+            assert d.has_edge(int(mapping[u]), int(mapping[v]))
+
+    def test_none_when_absent(self):
+        assert VF3Matcher(path_graph([9, 9]), path_graph([0, 0])).find_first() is None
+
+
+class TestEnumerate:
+    def test_enumerate_matches_count(self):
+        q = path_graph([0, 0])
+        d = ring_graph(4, [0, 0, 0, 0])
+        embeddings = VF3Matcher(q, d).enumerate_all()
+        assert len(embeddings) == VF3Matcher(q, d).count_all() == 8
+        # all distinct
+        assert len({tuple(e) for e in embeddings}) == 8
+
+
+class TestOrdering:
+    def test_order_is_connected_permutation(self):
+        q = star_graph(0, [1, 2, 3])
+        matcher = VF3Matcher(q, ring_graph(5, [0, 1, 2, 3, 0]))
+        assert sorted(matcher._order.tolist()) == [0, 1, 2, 3]
+
+    def test_rare_label_first(self):
+        # data has many label-0, one label-1: ordering should start at the
+        # query node with the rare label
+        q = path_graph([0, 1])
+        d = path_graph([0, 0, 0, 1, 0])
+        matcher = VF3Matcher(q, d)
+        assert q.labels[matcher._order[0]] == 1
+
+
+class TestBatch:
+    def test_batch_totals(self):
+        qs = [path_graph([1, 2])]
+        ds = [path_graph([1, 2]), path_graph([2, 1]), path_graph([0, 0])]
+        assert vf3_batch(qs, ds) == 2
+        assert vf3_batch(qs, ds, find_first=True) == 2

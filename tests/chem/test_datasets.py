@@ -1,0 +1,80 @@
+"""Unit tests for the benchmark dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.chem.datasets import (
+    PAPER_N_DATA_GRAPHS,
+    PAPER_N_QUERIES,
+    balanced_diameter_groups,
+    build_benchmark,
+    zinc_like_molecules,
+)
+from repro.graph.algorithms import is_connected
+
+
+class TestBuildBenchmark:
+    def test_scaled_sizes(self):
+        ds = build_benchmark(scale=0.001, seed=1)
+        assert ds.n_queries == max(4, round(PAPER_N_QUERIES * 0.001))
+        assert ds.n_data_graphs == max(10, round(PAPER_N_DATA_GRAPHS * 0.001))
+
+    def test_explicit_sizes(self, small_dataset):
+        assert small_dataset.n_queries == 24
+        assert small_dataset.n_data_graphs == 60
+
+    def test_queries_connected_multiatom(self, small_dataset):
+        for q in small_dataset.queries:
+            assert q.n_nodes >= 2
+            assert is_connected(q)
+
+    def test_query_node_budget(self, small_dataset):
+        # paper constraint: queries <= 30 nodes
+        assert all(q.n_nodes <= 30 for q in small_dataset.queries)
+
+    def test_diameters_computed(self, small_dataset):
+        assert small_dataset.query_diameters.size == small_dataset.n_queries
+        assert small_dataset.query_diameters.min() >= 1
+
+    def test_reproducible(self):
+        a = build_benchmark(scale=0.0005, seed=3)
+        b = build_benchmark(scale=0.0005, seed=3)
+        assert a.queries[0] == b.queries[0]
+        assert a.data[-1] == b.data[-1]
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_benchmark(scale=0)
+
+    def test_batches(self, small_dataset):
+        assert small_dataset.query_batch().n_graphs == small_dataset.n_queries
+        assert small_dataset.data_batch().total_nodes == small_dataset.total_data_nodes
+
+    def test_summary(self, small_dataset):
+        assert "queries=24" in small_dataset.summary()
+
+
+class TestDiameterGroups:
+    def test_groups_partition_by_diameter(self, small_dataset):
+        groups = small_dataset.queries_by_diameter()
+        total = sum(len(v) for v in groups.values())
+        assert total == small_dataset.n_queries
+        for diam, idxs in groups.items():
+            for i in idxs:
+                assert small_dataset.query_diameters[i] == diam
+
+    def test_balanced_groups_equal_size(self):
+        ds = build_benchmark(scale=1.0, n_queries=60, n_data_graphs=30, seed=2)
+        groups = balanced_diameter_groups(ds)
+        sizes = {len(v) for v in groups.values()}
+        assert len(sizes) == 1
+
+
+class TestZincStream:
+    def test_stream_sizes(self):
+        mols = zinc_like_molecules(15, seed=4)
+        assert len(mols) == 15
+        assert all(m.n_nodes >= 2 for m in mols)
+
+    def test_stream_deterministic(self):
+        assert zinc_like_molecules(3, seed=5)[0] == zinc_like_molecules(3, seed=5)[0]

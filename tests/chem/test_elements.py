@@ -1,0 +1,48 @@
+"""Unit tests for the element vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.chem import elements as el
+
+
+class TestLookup:
+    def test_symbol_roundtrip(self):
+        for i, e in enumerate(el.ELEMENTS):
+            assert el.element_index(e.symbol) == i
+            assert el.element_symbol(i) == e.symbol
+
+    def test_lowercase_aromatic_symbols(self):
+        assert el.element_index("c") == el.element_index("C")
+        assert el.element_index("n") == el.element_index("N")
+
+    def test_two_letter_case_sensitive(self):
+        assert el.element_index("Cl") == 7
+        with pytest.raises(KeyError):
+            el.element_index("CL")
+
+    def test_unknown_symbol(self):
+        with pytest.raises(KeyError):
+            el.element_index("Xx")
+
+
+class TestProperties:
+    def test_valences(self):
+        assert el.default_valence(el.element_index("C")) == 4
+        assert el.default_valence(el.element_index("H")) == 1
+        assert el.default_valence(el.element_index("N")) == 3
+
+    def test_heavy_frequencies_skewed(self):
+        f = el.heavy_frequencies()
+        c = el.element_index("C")
+        si = el.element_index("Si")
+        assert f[c] > 100 * f[si]
+        assert f[el.element_index("H")] == 0.0  # implicit in heavy view
+
+    def test_heavy_labels_exclude_hydrogen(self):
+        assert el.element_index("H") not in el.heavy_labels()
+        assert len(el.heavy_labels()) == el.N_ELEMENT_LABELS - 1
+
+    def test_element_record(self):
+        e = el.element(el.element_index("S"))
+        assert e.symbol == "S" and e.aromatic_capable

@@ -1,0 +1,98 @@
+"""Unit tests for substructure-key fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.chem.fingerprints import (
+    FingerprintScheme,
+    compute_fingerprints,
+    screen_candidates,
+    screen_then_match,
+)
+from repro.chem.generator import MoleculeGenerator
+from repro.chem.smiles import mol_from_smiles
+from repro.core.engine import find_first
+
+
+@pytest.fixture(scope="module")
+def library():
+    return [m.graph() for m in MoleculeGenerator(seed=21).generate_batch(40)]
+
+
+@pytest.fixture(scope="module")
+def fps(library):
+    return compute_fingerprints(library, FingerprintScheme.default(24))
+
+
+class TestScheme:
+    def test_default_scheme(self):
+        s = FingerprintScheme.default()
+        assert s.n_bits == len(s.names) > 40
+
+    def test_subset(self):
+        assert FingerprintScheme.default(10).n_bits == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FingerprintScheme(patterns=(), names=())
+
+
+class TestFingerprints:
+    def test_bits_reflect_exact_matching(self, library, fps):
+        dense = fps.dense()
+        # spot-check a handful of (molecule, key) pairs against the engine
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            m = int(rng.integers(0, len(library)))
+            k = int(rng.integers(0, fps.scheme.n_bits))
+            expected = (
+                find_first([fps.scheme.patterns[k]], [library[m]]).total_matches > 0
+            )
+            assert dense[m, k] == expected
+
+    def test_bits_of_names(self, fps):
+        names = fps.bits_of(0)
+        assert all(n in fps.scheme.names for n in names)
+
+    def test_tanimoto_properties(self, fps):
+        assert fps.tanimoto(0, 0) == pytest.approx(1.0)
+        assert 0.0 <= fps.tanimoto(0, 1) <= 1.0
+        assert fps.tanimoto(0, 1) == pytest.approx(fps.tanimoto(1, 0))
+
+    def test_tanimoto_matrix_matches_pairwise(self, fps):
+        mat = fps.tanimoto_matrix()
+        for a, b in [(0, 1), (2, 5), (3, 3)]:
+            assert mat[a, b] == pytest.approx(fps.tanimoto(a, b))
+
+
+class TestScreening:
+    def test_no_false_negatives(self, library, fps):
+        """The core guarantee: every true match passes the screen."""
+        query = mol_from_smiles("CC(=O)N").graph()  # amide
+        candidates = set(screen_candidates(query, fps).tolist())
+        for idx, mol in enumerate(library):
+            if find_first([query], [mol]).total_matches:
+                assert idx in candidates, idx
+
+    def test_screen_then_match_correct(self, library, fps):
+        query = mol_from_smiles("c1ccccc1O").graph()  # phenol
+        matched, stats = screen_then_match(query, library, fps)
+        truth = [
+            i for i, m in enumerate(library)
+            if find_first([query], [m]).total_matches
+        ]
+        assert matched.tolist() == truth
+        assert stats["screened_in"] + stats["skipped"] == stats["total"]
+        assert stats["false_positives"] == stats["screened_in"] - len(truth)
+
+    def test_screen_reduces_work(self, library, fps):
+        # a rare key should screen most molecules out
+        query = mol_from_smiles("CS(=O)(=O)N").graph()  # sulfonamide
+        _, stats = screen_then_match(query, library, fps)
+        assert stats["skipped"] > 0 or stats["screened_in"] == stats["total"]
+
+    def test_empty_candidates_short_circuit(self, library, fps):
+        query = mol_from_smiles("[Si](C)(C)C").graph()
+        matched, stats = screen_then_match(query, library, fps)
+        # silicon never occurs in this library
+        assert matched.size == 0

@@ -1,0 +1,61 @@
+"""Unit tests for the fragment library."""
+
+import numpy as np
+import pytest
+
+from repro.chem.fragments import (
+    FRAGMENT_LIBRARY,
+    Fragment,
+    fragment_by_name,
+    fragment_queries,
+)
+from repro.graph.algorithms import is_connected
+
+
+class TestLibrary:
+    def test_all_fragments_parse(self):
+        for frag in FRAGMENT_LIBRARY:
+            mol = frag.molecule()
+            assert mol.n_atoms >= 2
+
+    def test_all_heavy_graphs_connected_multiatom(self):
+        # the paper deletes single-atom patterns from its benchmark
+        for frag in FRAGMENT_LIBRARY:
+            g = frag.graph()
+            assert g.n_nodes >= 2, frag.name
+            assert is_connected(g), frag.name
+
+    def test_names_unique(self):
+        names = [f.name for f in FRAGMENT_LIBRARY]
+        assert len(names) == len(set(names))
+
+    def test_query_sizes_within_paper_bound(self):
+        # paper: queries have no more than 30 nodes
+        for frag in FRAGMENT_LIBRARY:
+            assert frag.graph().n_nodes <= 30
+
+    def test_lookup(self):
+        assert fragment_by_name("benzene").family == "aromatic"
+        with pytest.raises(KeyError):
+            fragment_by_name("unobtainium")
+
+    def test_known_structures(self):
+        benzene = fragment_by_name("benzene").graph()
+        assert benzene.n_nodes == 6 and benzene.n_edges == 6
+        carboxyl = fragment_by_name("carboxylic-acid").graph()
+        assert carboxyl.n_nodes == 4
+
+
+class TestFragmentQueries:
+    def test_full_library(self):
+        qs = fragment_queries()
+        assert len(qs) == len(FRAGMENT_LIBRARY)
+
+    def test_subsample_diverse(self, rng):
+        qs = fragment_queries(10, rng)
+        assert len(qs) == 10
+
+    def test_explicit_h(self):
+        with_h = fragment_queries(5, explicit_h=True)
+        without = fragment_queries(5)
+        assert sum(g.n_nodes for g in with_h) > sum(g.n_nodes for g in without)

@@ -1,0 +1,82 @@
+"""Unit tests for the calibrated molecule generator."""
+
+import numpy as np
+import pytest
+
+from repro.chem import elements as el
+from repro.chem.generator import MoleculeGenerator, dataset_statistics
+from repro.graph.algorithms import is_connected
+
+
+class TestValidity:
+    def test_molecules_are_chemically_valid(self):
+        gen = MoleculeGenerator(seed=42)
+        for mol in gen.generate_batch(100):
+            assert not mol.valence_violations()
+
+    def test_molecules_connected(self):
+        gen = MoleculeGenerator(seed=43)
+        for mol in gen.generate_batch(50):
+            assert is_connected(mol.graph())
+
+    def test_degree_bound(self):
+        # paper: vertex degree cannot exceed 6 in organic molecules
+        gen = MoleculeGenerator(seed=44)
+        for mol in gen.generate_batch(50):
+            assert max(mol.graph().degree()) <= 6
+
+    def test_size_cap(self):
+        gen = MoleculeGenerator(seed=45, mean_heavy_atoms=60, std_heavy_atoms=40,
+                                max_heavy_atoms=80)
+        for mol in gen.generate_batch(30):
+            assert mol.n_heavy_atoms <= 80 + 12  # growth may overshoot a ring
+
+
+class TestCalibration:
+    def test_statistics_match_paper(self):
+        gen = MoleculeGenerator(seed=46)
+        stats = dataset_statistics(gen.generate_batch(300))
+        # paper: ~23.9 nodes/molecule, avg degree <= 4, high sparsity
+        assert 18 <= stats["mean_heavy_atoms"] <= 30
+        assert stats["mean_degree"] <= 4.0
+        assert stats["carbon_share"] > 0.6
+        assert stats["mean_sparsity"] > 0.8
+
+    def test_label_set_within_vocabulary(self):
+        gen = MoleculeGenerator(seed=47)
+        for mol in gen.generate_batch(30):
+            assert mol.atom_labels.max() < el.N_ELEMENT_LABELS
+
+
+class TestDeterminism:
+    def test_same_seed_same_molecules(self):
+        a = MoleculeGenerator(seed=7).generate_batch(10)
+        b = MoleculeGenerator(seed=7).generate_batch(10)
+        for ma, mb in zip(a, b):
+            assert ma.graph() == mb.graph()
+
+    def test_different_seeds_differ(self):
+        a = MoleculeGenerator(seed=1).generate()
+        b = MoleculeGenerator(seed=2).generate()
+        assert a.graph() != b.graph()
+
+
+class TestParameters:
+    def test_rejects_oversized_molecules(self):
+        with pytest.raises(ValueError, match="200"):
+            MoleculeGenerator(max_heavy_atoms=500)
+
+    def test_rejects_inconsistent_mean(self):
+        with pytest.raises(ValueError):
+            MoleculeGenerator(mean_heavy_atoms=2, min_heavy_atoms=6)
+
+    def test_negative_batch(self):
+        with pytest.raises(ValueError):
+            MoleculeGenerator().generate_batch(-1)
+
+    def test_mean_size_scales(self):
+        small = MoleculeGenerator(seed=9, mean_heavy_atoms=10).generate_batch(40)
+        large = MoleculeGenerator(seed=9, mean_heavy_atoms=40).generate_batch(40)
+        s = np.mean([m.n_heavy_atoms for m in small])
+        l = np.mean([m.n_heavy_atoms for m in large])
+        assert l > s + 10

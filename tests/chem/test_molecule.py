@@ -1,0 +1,118 @@
+"""Unit tests for the Molecule model."""
+
+import numpy as np
+import pytest
+
+from repro.chem import elements as el
+from repro.chem.molecule import Bond, BondOrder, Molecule
+
+C = el.element_index("C")
+H = el.element_index("H")
+O = el.element_index("O")
+N = el.element_index("N")
+
+
+class TestConstruction:
+    def test_bond_tuple_forms(self):
+        m = Molecule([C, C, O], [(0, 1), (1, 2, BondOrder.DOUBLE)])
+        assert m.bonds[0].order == BondOrder.SINGLE
+        assert m.bonds[1].order == BondOrder.DOUBLE
+
+    def test_rejects_duplicate_bond(self):
+        with pytest.raises(ValueError):
+            Molecule([C, C], [(0, 1), (1, 0)])
+
+    def test_rejects_self_bond(self):
+        with pytest.raises(ValueError):
+            Molecule([C], [(0, 0)])
+
+    def test_rejects_unknown_label(self):
+        with pytest.raises(ValueError):
+            Molecule([99])
+
+    def test_counts(self):
+        m = Molecule([C, H, H], [(0, 1), (0, 2)])
+        assert m.n_atoms == 3 and m.n_heavy_atoms == 1 and m.n_bonds == 2
+
+
+class TestFormula:
+    def test_hill_order(self):
+        m = Molecule([O, C, H, N], [])
+        assert m.formula() == "CHNO"
+
+    def test_counts_in_formula(self):
+        m = Molecule([C, C, H, H, H], [])
+        assert m.formula() == "C2H3"
+
+
+class TestValence:
+    def test_methane_implicit_h(self):
+        m = Molecule([C])
+        np.testing.assert_array_equal(m.implicit_hydrogens(), [4])
+
+    def test_carbonyl_uses_two(self):
+        m = Molecule([C, O], [(0, 1, BondOrder.DOUBLE)])
+        np.testing.assert_array_equal(m.implicit_hydrogens(), [2, 0])
+
+    def test_benzene_carbons_one_h(self):
+        edges = [(i, (i + 1) % 6, BondOrder.AROMATIC) for i in range(6)]
+        m = Molecule([C] * 6, edges)
+        assert m.implicit_hydrogens().tolist() == [1] * 6
+        assert not m.valence_violations()
+
+    def test_pyridine_n_no_h(self):
+        edges = [(i, (i + 1) % 6, BondOrder.AROMATIC) for i in range(6)]
+        m = Molecule([N] + [C] * 5, edges)
+        assert m.implicit_hydrogens()[0] == 0
+        assert not m.valence_violations()
+
+    def test_furan_o_not_violating(self):
+        edges = [(i, (i + 1) % 5, BondOrder.AROMATIC) for i in range(5)]
+        m = Molecule([O] + [C] * 4, edges)
+        assert not m.valence_violations()
+
+    def test_pentavalent_carbon_flagged(self):
+        m = Molecule([C, O, O, O], [(0, 1, 2), (0, 2, 2), (0, 3)])
+        assert 0 in m.valence_violations()
+
+    def test_aromatic_bond_counts(self):
+        edges = [(0, 1, BondOrder.AROMATIC), (1, 2)]
+        m = Molecule([C, C, C], edges)
+        assert m.aromatic_bond_counts().tolist() == [1, 1, 0]
+
+
+class TestGraphViews:
+    def test_heavy_view_drops_hydrogens(self):
+        m = Molecule([C, H, O], [(0, 1), (0, 2)])
+        g = m.graph()
+        assert g.n_nodes == 2 and g.n_edges == 1
+
+    def test_explicit_view_materializes_implicit_h(self):
+        m = Molecule([C])  # methane
+        g = m.graph(explicit_h=True)
+        assert g.n_nodes == 5 and g.n_edges == 4
+
+    def test_explicit_view_keeps_existing_h(self):
+        m = Molecule([C, H], [(0, 1)])
+        g = m.graph(explicit_h=True)
+        assert g.n_nodes == 5  # C + 1 explicit H + 3 implicit
+
+    def test_edge_labels_are_bond_orders(self):
+        m = Molecule([C, O], [(0, 1, BondOrder.DOUBLE)])
+        assert m.graph().edge_label(0, 1) == int(BondOrder.DOUBLE)
+
+    def test_from_graph_roundtrip(self):
+        m = Molecule([C, O, N], [(0, 1, 2), (1, 2)])
+        back = Molecule.from_graph(m.graph())
+        assert back.graph() == m.graph()
+
+    def test_repr(self):
+        assert "Molecule" in repr(Molecule([C], [], name="methane"))
+
+
+class TestBondOrder:
+    def test_valence_costs(self):
+        assert BondOrder.SINGLE.valence_cost == 1
+        assert BondOrder.DOUBLE.valence_cost == 2
+        assert BondOrder.TRIPLE.valence_cost == 3
+        assert BondOrder.AROMATIC.valence_cost == 1

@@ -1,0 +1,76 @@
+"""Unit tests for the SMARTS-lite wildcard pattern language."""
+
+import numpy as np
+import pytest
+
+from repro.chem import elements as el
+from repro.chem.smarts import (
+    ANY_BOND_LABEL,
+    WILDCARD_ATOM_LABEL,
+    has_wildcards,
+    pattern_from_smarts,
+    wildcard_config,
+)
+from repro.chem.smiles import SmilesError
+
+
+class TestParsing:
+    def test_wildcard_atom(self):
+        p = pattern_from_smarts("C*O")
+        assert p.n_nodes == 3
+        assert p.labels[1] == WILDCARD_ATOM_LABEL
+
+    def test_bracket_wildcard(self):
+        p = pattern_from_smarts("[*]C")
+        assert p.labels[0] == WILDCARD_ATOM_LABEL
+
+    def test_any_bond(self):
+        p = pattern_from_smarts("C~O")
+        assert p.edge_label(0, 1) == ANY_BOND_LABEL
+
+    def test_plain_smiles_still_parses(self):
+        p = pattern_from_smarts("c1ccccc1")
+        assert p.n_nodes == 6
+        assert all(l == el.element_index("C") for l in p.labels)
+        assert not has_wildcards(p)
+
+    def test_no_implicit_hydrogens(self):
+        # pattern semantics: "C" constrains only the carbon itself
+        p = pattern_from_smarts("C")
+        assert p.n_nodes == 1
+
+    def test_bracket_h_explicit(self):
+        p = pattern_from_smarts("[OH]")
+        assert p.n_nodes == 2
+
+    def test_ring_closure_with_any_bond(self):
+        p = pattern_from_smarts("C~1CCCCC~1")
+        labels = [p.edge_label(int(u), int(v)) for u, v in p.edges]
+        assert ANY_BOND_LABEL in labels
+
+    @pytest.mark.parametrize("bad", ["", "C(", "~C", "C~~O", "C1CC", "[Zz]"])
+    def test_malformed(self, bad):
+        with pytest.raises(SmilesError):
+            pattern_from_smarts(bad)
+
+
+class TestHasWildcards:
+    def test_detects_atom_wildcard(self):
+        assert has_wildcards(pattern_from_smarts("C*"))
+
+    def test_detects_bond_wildcard(self):
+        assert has_wildcards(pattern_from_smarts("C~C"))
+
+    def test_negative(self):
+        assert not has_wildcards(pattern_from_smarts("C=C"))
+
+
+class TestWildcardConfig:
+    def test_sets_reserved_labels(self):
+        cfg = wildcard_config()
+        assert cfg.wildcard_label == WILDCARD_ATOM_LABEL
+        assert cfg.wildcard_edge_label == ANY_BOND_LABEL
+
+    def test_overrides_pass_through(self):
+        cfg = wildcard_config(refinement_iterations=2)
+        assert cfg.refinement_iterations == 2

@@ -1,0 +1,143 @@
+"""Unit tests for the SMILES parser and writer."""
+
+import networkx as nx
+import pytest
+
+from repro.chem import elements as el
+from repro.chem.smiles import SmilesError, mol_from_smiles, mol_to_smiles
+
+
+def iso(m1, m2):
+    nm = lambda a, b: a["label"] == b["label"]
+    return nx.is_isomorphic(
+        m1.graph(explicit_h=True).to_networkx(),
+        m2.graph(explicit_h=True).to_networkx(),
+        node_match=nm,
+        edge_match=nm,
+    )
+
+
+class TestParserBasics:
+    def test_ethanol(self):
+        m = mol_from_smiles("CCO")
+        assert m.n_atoms == 3 and m.n_bonds == 2
+        assert m.formula() == "C2O"
+
+    def test_bond_orders(self):
+        m = mol_from_smiles("C=C")
+        assert int(m.bonds[0].order) == 2
+        m = mol_from_smiles("C#N")
+        assert int(m.bonds[0].order) == 3
+
+    def test_branches(self):
+        m = mol_from_smiles("CC(C)(C)C")  # neopentane
+        g = m.graph()
+        assert max(g.degree()) == 4
+
+    def test_two_letter_elements(self):
+        m = mol_from_smiles("ClCBr")
+        syms = {el.element_symbol(int(l)) for l in m.atom_labels}
+        assert syms == {"Cl", "C", "Br"}
+
+    def test_ring_closure(self):
+        m = mol_from_smiles("C1CCCCC1")
+        assert m.n_bonds == 6
+
+    def test_percent_ring_closure(self):
+        m = mol_from_smiles("C%11CC%11")
+        assert m.n_bonds == 3
+
+    def test_aromatic_ring(self):
+        m = mol_from_smiles("c1ccccc1")
+        assert all(int(b.order) == 4 for b in m.bonds)
+
+    def test_aromatic_default_only_between_aromatics(self):
+        m = mol_from_smiles("Cc1ccccc1")  # toluene: first bond single
+        orders = sorted(int(b.order) for b in m.bonds)
+        assert orders.count(1) == 1 and orders.count(4) == 6
+
+    def test_bracket_hydrogens_materialized(self):
+        m = mol_from_smiles("[NH2]")
+        assert m.n_atoms == 3
+        assert m.n_heavy_atoms == 1
+
+    def test_bracket_charge_ignored(self):
+        m = mol_from_smiles("[O-]")
+        assert m.n_atoms == 1
+
+    def test_dot_disconnects(self):
+        m = mol_from_smiles("C.C")
+        assert m.n_bonds == 0
+
+    def test_explicit_bond_into_ring_closure(self):
+        m = mol_from_smiles("C=1CCCCC=1")
+        assert any(int(b.order) == 2 for b in m.bonds)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "C(",
+            "C)",
+            "C1CC",
+            "CC==C",
+            "C[Zz]",
+            "[C",
+            "C/C=C/C",
+            "C@",
+            "=C",
+            "C=",
+            "1CC1",
+            "C%1C",
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(SmilesError):
+            mol_from_smiles(bad)
+
+    def test_duplicate_ring_bond(self):
+        with pytest.raises(SmilesError):
+            mol_from_smiles("C12CC12")  # would duplicate the same bond
+
+
+class TestWriter:
+    ROUNDTRIP = [
+        "CCO",
+        "c1ccccc1",
+        "CC(=O)O",
+        "C1CC1",
+        "N#Cc1ccccc1",
+        "CC(C)(C)O",
+        "[OH]",
+        "O=C(O)c1ccccc1",
+        "C1CCC2CCCCC2C1",
+        "CCS(=O)(=O)N",
+        "FC(F)(F)c1ccc(Cl)cc1",
+        "c1ccc2ccccc2c1",
+        "C.C",
+        "[Si](C)(C)C",
+        "c1cc[nH]c1",
+        "COP(=O)(O)O",
+    ]
+
+    @pytest.mark.parametrize("smiles", ROUNDTRIP)
+    def test_roundtrip_isomorphic(self, smiles):
+        m = mol_from_smiles(smiles)
+        back = mol_from_smiles(mol_to_smiles(m))
+        assert iso(m, back)
+
+    def test_empty_molecule_raises(self):
+        from repro.chem.molecule import Molecule
+
+        with pytest.raises(ValueError):
+            mol_to_smiles(Molecule([]))
+
+    def test_writer_roundtrips_generated_molecules(self):
+        from repro.chem.generator import MoleculeGenerator
+
+        gen = MoleculeGenerator(seed=11)
+        for m in gen.generate_batch(15):
+            back = mol_from_smiles(mol_to_smiles(m))
+            assert iso(m, back)

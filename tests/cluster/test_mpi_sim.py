@@ -1,0 +1,80 @@
+"""Unit tests for the simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro.chem.fragments import fragment_queries
+from repro.cluster.mpi_sim import SimulatedCluster
+from repro.core.join import FIND_ALL, FIND_FIRST
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return fragment_queries(10)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(0)
+        with pytest.raises(ValueError):
+            SimulatedCluster(1, shard_molecules=0)
+        with pytest.raises(ValueError):
+            SimulatedCluster(1, molecules_per_rank=5, shard_molecules=10)
+        with pytest.raises(ValueError):
+            SimulatedCluster(1, tranche_spread=1.5)
+
+    def test_device_by_name(self):
+        c = SimulatedCluster(1, device="nvidia-a100")
+        assert c.device.name == "nvidia-a100"
+
+
+class TestExecution:
+    def test_rank_results_ordered(self, queries):
+        cluster = SimulatedCluster(3, shard_molecules=8, molecules_per_rank=80)
+        results = cluster.run(queries)
+        assert [r.rank for r in results] == [0, 1, 2]
+        assert all(r.n_molecules == 80 for r in results)
+        assert all(r.modeled_seconds > 0 for r in results)
+
+    def test_matches_extrapolated(self, queries):
+        cluster = SimulatedCluster(1, shard_molecules=8, molecules_per_rank=80)
+        results = cluster.run(queries)
+        # extrapolation factor 10: matches divisible by 10
+        assert results[0].matches % 10 == 0
+
+    def test_rank_streams_stable_across_cluster_sizes(self, queries):
+        small = SimulatedCluster(2, shard_molecules=6, molecules_per_rank=60)
+        large = SimulatedCluster(4, shard_molecules=6, molecules_per_rank=60)
+        ra = small.run(queries)
+        rb = large.run(queries)
+        # rank r's workload identical regardless of cluster size
+        assert ra[0].matches == rb[0].matches
+        assert ra[1].matches == rb[1].matches
+
+    def test_find_first_fewer_matches(self, queries):
+        cluster = SimulatedCluster(2, shard_molecules=8, molecules_per_rank=16)
+        fa = cluster.run(queries, mode=FIND_ALL)
+        ff = cluster.run(queries, mode=FIND_FIRST)
+        assert sum(r.matches for r in ff) <= sum(r.matches for r in fa)
+
+
+class TestAggregates:
+    def test_makespan_total_throughput(self, queries):
+        cluster = SimulatedCluster(3, shard_molecules=6, molecules_per_rank=60)
+        results = cluster.run(queries)
+        assert SimulatedCluster.makespan(results) == max(
+            r.modeled_seconds for r in results
+        )
+        assert SimulatedCluster.total_matches(results) == sum(
+            r.matches for r in results
+        )
+        assert SimulatedCluster.throughput(results) > 0
+
+    def test_cv_zero_without_tranches(self, queries):
+        cluster = SimulatedCluster(
+            3, shard_molecules=6, molecules_per_rank=60, tranche_spread=0.0
+        )
+        results = cluster.run(queries)
+        # identical generator params; only molecule sampling noise remains
+        assert SimulatedCluster.runtime_cv(results) < 0.2

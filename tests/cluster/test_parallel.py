@@ -1,0 +1,52 @@
+"""Unit tests for host-parallel chunked execution."""
+
+import pytest
+
+from repro.cluster.parallel import run_parallel
+from repro.core.config import SigmoConfig
+from repro.core.engine import SigmoEngine
+
+
+@pytest.fixture(scope="module")
+def workload(small_dataset):
+    return small_dataset.queries[:8], small_dataset.data[:24]
+
+
+class TestParallel:
+    def test_matches_serial(self, workload):
+        queries, data = workload
+        serial = SigmoEngine(queries, data).run()
+        parallel = run_parallel(queries, data, n_workers=3, chunk_size=5)
+        assert parallel.total_matches == serial.total_matches
+
+    def test_matched_pairs_globalized(self, workload):
+        queries, data = workload
+        serial = SigmoEngine(queries, data).run(mode="find-first")
+        parallel = run_parallel(
+            queries, data, n_workers=2, chunk_size=4, mode="find-first"
+        )
+        assert parallel.matched_pairs == sorted(serial.matched_pairs())
+
+    def test_single_worker_path(self, workload):
+        queries, data = workload
+        serial = SigmoEngine(queries, data).run()
+        one = run_parallel(queries, data, n_workers=1, chunk_size=100)
+        assert one.total_matches == serial.total_matches
+        assert one.n_workers == 1
+
+    def test_embeddings_survive_pickling(self, workload):
+        queries, data = workload
+        cfg = SigmoConfig(record_embeddings=True)
+        serial = SigmoEngine(queries, data, cfg).run()
+        parallel = run_parallel(queries, data, n_workers=2, chunk_size=6, config=cfg)
+        key = lambda r: (r.data_graph, r.query_graph, tuple(r.mapping))
+        assert sorted(map(key, parallel.embeddings)) == sorted(
+            map(key, serial.embeddings)
+        )
+
+    def test_validation(self, workload):
+        queries, _ = workload
+        with pytest.raises(ValueError):
+            run_parallel(queries, [], 2)
+        with pytest.raises(ValueError):
+            run_parallel(queries, [queries[0]], chunk_size=0)

@@ -1,0 +1,44 @@
+"""Unit tests for static partitioning."""
+
+import pytest
+
+from repro.cluster.partition import partition_fixed_block, partition_static
+
+
+class TestPartitionStatic:
+    def test_covers_all_items(self):
+        blocks = partition_static(list(range(10)), 3)
+        assert [len(b) for b in blocks] == [4, 3, 3]
+        assert sum(blocks, []) == list(range(10))
+
+    def test_more_ranks_than_items(self):
+        blocks = partition_static([1, 2], 4)
+        assert [len(b) for b in blocks] == [1, 1, 0, 0]
+
+    def test_single_rank(self):
+        assert partition_static([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            partition_static([1], 0)
+
+
+class TestFixedBlock:
+    def test_exact_blocks(self):
+        blocks = partition_fixed_block(list(range(12)), 3, 4)
+        assert all(len(b) == 3 for b in blocks)
+        assert blocks[3] == [9, 10, 11]
+
+    def test_surplus_ignored(self):
+        blocks = partition_fixed_block(list(range(10)), 3, 2)
+        assert sum(len(b) for b in blocks) == 6
+
+    def test_insufficient_items(self):
+        with pytest.raises(ValueError, match="need"):
+            partition_fixed_block([1, 2], 3, 2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            partition_fixed_block([1], 0, 1)
+        with pytest.raises(ValueError):
+            partition_fixed_block([1], 1, 0)

@@ -1,0 +1,58 @@
+"""Unit tests for the weak-scaling harness (Figs. 13-14)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.fragments import fragment_queries
+from repro.cluster.scaling import scaling_table, weak_scaling_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return weak_scaling_sweep(
+        fragment_queries(10),
+        gpu_counts=(2, 4, 8),
+        shard_molecules=6,
+        molecules_per_rank=600,
+    )
+
+
+class TestSweepStructure:
+    def test_one_point_per_mode_and_size(self, sweep):
+        assert len(sweep) == 6
+        assert {(p.mode, p.n_gpus) for p in sweep} == {
+            (m, n) for m in ("find-all", "find-first") for n in (2, 4, 8)
+        }
+
+    def test_weak_scaling_dataset_grows(self, sweep):
+        find_all = [p for p in sweep if p.mode == "find-all"]
+        mols = [p.total_molecules for p in find_all]
+        assert mols == [1200, 2400, 4800]
+
+    def test_throughput_scales_roughly_linearly(self, sweep):
+        find_all = sorted(
+            (p for p in sweep if p.mode == "find-all"), key=lambda p: p.n_gpus
+        )
+        t2, t8 = find_all[0].throughput, find_all[-1].throughput
+        # 4x the GPUs should give ~4x the throughput (allow 40% slack for
+        # makespan growth)
+        assert 2.4 <= t8 / t2 <= 6.0
+
+    def test_makespan_roughly_flat(self, sweep):
+        find_all = sorted(
+            (p for p in sweep if p.mode == "find-all"), key=lambda p: p.n_gpus
+        )
+        times = [p.makespan_seconds for p in find_all]
+        # weak scaling: makespan grows sublinearly (max over more ranks)
+        assert times[-1] <= times[0] * 2.0
+
+    def test_rank_results_attached(self, sweep):
+        for p in sweep:
+            assert len(p.rank_results) == p.n_gpus
+
+
+class TestTable:
+    def test_table_renders(self, sweep):
+        text = scaling_table(sweep)
+        assert "find-all" in text and "gpus" in text
+        assert len(text.splitlines()) == 7

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.chem.datasets import build_benchmark
+from repro.graph.generators import (
+    path_graph,
+    random_connected_graph,
+    random_subgraph_pattern,
+    ring_graph,
+)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A tiny calibrated benchmark dataset (session-cached)."""
+    return build_benchmark(scale=1.0, n_queries=24, n_data_graphs=60, seed=7)
+
+
+@pytest.fixture
+def co_path():
+    """Two-node query: C(1)-O(2) path."""
+    return path_graph([1, 2])
+
+
+@pytest.fixture
+def labeled_ring():
+    """Six-ring with alternating labels."""
+    return ring_graph(6, [1, 1, 2, 1, 1, 2])
+
+
+def random_case(rng, max_data_nodes=20, max_query_nodes=6, n_edge_labels=2):
+    """One random (query, data) pair where the query is a planted subgraph."""
+    d = random_connected_graph(
+        int(rng.integers(4, max_data_nodes)),
+        int(rng.integers(0, 5)),
+        int(rng.integers(1, 4)),
+        rng,
+        n_edge_labels=n_edge_labels,
+    )
+    q, witness = random_subgraph_pattern(
+        d, int(rng.integers(2, min(max_query_nodes, d.n_nodes) + 1)), rng
+    )
+    return q, d, witness

@@ -1,0 +1,92 @@
+"""Unit tests for the candidate bitmap."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import CandidateBitmap
+
+
+class TestConstruction:
+    def test_starts_empty(self):
+        b = CandidateBitmap(3, 100)
+        assert b.total_candidates() == 0
+        assert b.words.shape == (3, 2)
+
+    def test_word_width(self):
+        b = CandidateBitmap(1, 100, word_bits=32)
+        assert b.words.shape == (1, 4)
+        assert b.words.dtype == np.uint32
+
+    def test_negative_dims(self):
+        with pytest.raises(ValueError):
+            CandidateBitmap(-1, 5)
+
+    def test_from_bool_roundtrip(self, rng):
+        dense = rng.random((4, 90)) < 0.3
+        b = CandidateBitmap.from_bool(dense)
+        np.testing.assert_array_equal(b.to_bool(), dense)
+
+    def test_copy_is_deep(self):
+        b = CandidateBitmap.from_bool(np.ones((1, 10), dtype=bool))
+        c = b.copy()
+        c.words[:] = 0
+        assert b.total_candidates() == 10
+
+
+class TestRowOps:
+    def test_set_and_test(self):
+        b = CandidateBitmap(2, 70)
+        b.set_row_bool(0, np.arange(70) % 3 == 0)
+        assert b.test(0, 0) and b.test(0, 69)
+        assert not b.test(0, 1)
+
+    def test_and_row_is_monotone(self, rng):
+        b = CandidateBitmap(1, 50)
+        first = rng.random(50) < 0.6
+        second = rng.random(50) < 0.6
+        b.set_row_bool(0, first)
+        b.and_row_bool(0, second)
+        np.testing.assert_array_equal(b.row_bool(0), first & second)
+
+    def test_shape_validation(self):
+        b = CandidateBitmap(1, 10)
+        with pytest.raises(ValueError):
+            b.set_row_bool(0, np.zeros(11, dtype=bool))
+        with pytest.raises(ValueError):
+            b.and_row_bool(0, np.zeros(9, dtype=bool))
+
+    def test_test_bounds(self):
+        b = CandidateBitmap(1, 10)
+        with pytest.raises(IndexError):
+            b.test(0, 10)
+        with pytest.raises(IndexError):
+            b.test(1, 0)
+
+
+class TestQueries:
+    def test_candidates_of_window(self):
+        b = CandidateBitmap(1, 200)
+        b.set_row_bool(0, np.isin(np.arange(200), [5, 64, 150]))
+        np.testing.assert_array_equal(b.candidates_of(0), [5, 64, 150])
+        np.testing.assert_array_equal(b.candidates_of(0, 60, 151), [64, 150])
+        assert b.candidates_of(0, 151).size == 0
+
+    def test_row_counts(self):
+        b = CandidateBitmap(2, 100)
+        b.set_row_bool(0, np.arange(100) < 7)
+        np.testing.assert_array_equal(b.row_counts(), [7, 0])
+
+    def test_counts_per_segment(self):
+        b = CandidateBitmap(2, 10)
+        b.set_row_bool(0, np.array([1, 1, 0, 0, 0, 1, 0, 0, 0, 1], dtype=bool))
+        b.set_row_bool(1, np.zeros(10, dtype=bool))
+        seg = b.counts_per_segment(np.array([0, 4, 10]))
+        np.testing.assert_array_equal(seg, [[2, 2], [0, 0]])
+
+    def test_nbytes_matches_paper_formula(self):
+        # paper 5.1.3: candidate size = |V_Q| x |V_D| / 8 bytes
+        b = CandidateBitmap(100, 6400)
+        assert b.nbytes() == 100 * 6400 // 8
+
+    def test_repr(self):
+        assert "CandidateBitmap" in repr(CandidateBitmap(1, 1))

@@ -1,0 +1,58 @@
+"""Unit tests for SigmoConfig."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PAPER_TABLE1_CONFIGS, SigmoConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = SigmoConfig()
+        assert cfg.refinement_iterations == 6  # the paper's NVIDIA optimum
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            SigmoConfig(refinement_iterations=0)
+
+    def test_rejects_bad_word_bits(self):
+        with pytest.raises(ValueError):
+            SigmoConfig(word_bits=48)
+
+    def test_rejects_non_power_of_two_wg(self):
+        with pytest.raises(ValueError):
+            SigmoConfig(filter_workgroup_size=100)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            SigmoConfig(candidate_order="random")
+
+    def test_rejects_negative_record_cap(self):
+        with pytest.raises(ValueError):
+            SigmoConfig(max_embeddings_recorded=-1)
+
+
+class TestBehaviour:
+    def test_with_iterations(self):
+        cfg = SigmoConfig().with_iterations(3)
+        assert cfg.refinement_iterations == 3
+
+    def test_packing_default_from_frequencies(self):
+        cfg = SigmoConfig()
+        p = cfg.packing_for(np.array([100.0, 1.0]))
+        assert p.bits[0] >= p.bits[1]
+
+    def test_packing_explicit_bits(self):
+        cfg = SigmoConfig(signature_bits=(8, 8))
+        p = cfg.packing_for(np.array([1.0, 1.0]))
+        assert p.bits.tolist() == [8, 8]
+
+    def test_packing_explicit_bits_length_mismatch(self):
+        cfg = SigmoConfig(signature_bits=(8,))
+        with pytest.raises(ValueError):
+            cfg.packing_for(np.array([1.0, 1.0]))
+
+    def test_paper_table1_configs(self):
+        assert PAPER_TABLE1_CONFIGS["nvidia-v100s"].word_bits == 32
+        assert PAPER_TABLE1_CONFIGS["amd-mi100"].word_bits == 64
+        assert PAPER_TABLE1_CONFIGS["intel-max1100"].join_workgroup_size == 32

@@ -1,0 +1,129 @@
+"""Unit tests for the iterative filter (paper Alg. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import CandidateBitmap
+from repro.core.config import SigmoConfig
+from repro.core.csrgo import CSRGO
+from repro.core.filtering import (
+    IterativeFilter,
+    initialize_candidates,
+    refine_candidates,
+)
+from repro.core.signatures import SignaturePacking
+from repro.graph.generators import path_graph, ring_graph
+
+
+class TestInitializeCandidates:
+    def test_label_equality(self):
+        q = CSRGO.from_graphs([path_graph([1, 2])])
+        d = CSRGO.from_graphs([path_graph([1, 2, 1, 3])])
+        b = initialize_candidates(q, d)
+        np.testing.assert_array_equal(b.row_bool(0), [True, False, True, False])
+        np.testing.assert_array_equal(b.row_bool(1), [False, True, False, False])
+
+    def test_no_shared_labels(self):
+        q = CSRGO.from_graphs([path_graph([5])])
+        d = CSRGO.from_graphs([path_graph([1, 2])])
+        assert initialize_candidates(q, d).total_candidates() == 0
+
+
+class TestRefineCandidates:
+    def test_domination_prunes(self):
+        q = CSRGO.from_graphs([path_graph([1, 2])])
+        d = CSRGO.from_graphs([path_graph([1, 2, 1, 3])])
+        bitmap = initialize_candidates(q, d)
+        packing = SignaturePacking.uniform(4)
+        # radius-1 signatures
+        q_counts = np.array([[0, 0, 1, 0], [0, 1, 0, 0]])
+        d_counts = np.array([[0, 0, 1, 0], [0, 2, 0, 0], [0, 0, 1, 1], [0, 0, 1, 0]])
+        refine_candidates(bitmap, q_counts, d_counts, packing)
+        # data node 0 and 2 both have an adjacent label-2 node; both stay.
+        np.testing.assert_array_equal(bitmap.row_bool(0), [True, False, True, False])
+
+    def test_monotone_never_adds(self, rng):
+        q = CSRGO.from_graphs([ring_graph(3, [0, 1, 2])])
+        d = CSRGO.from_graphs([ring_graph(6, [0, 1, 2, 0, 1, 2])])
+        bitmap = initialize_candidates(q, d)
+        before = bitmap.to_bool()
+        packing = SignaturePacking.uniform(3)
+        refine_candidates(
+            bitmap, np.ones((3, 3), dtype=int), np.zeros((6, 3), dtype=int), packing
+        )
+        after = bitmap.to_bool()
+        assert not (after & ~before).any()
+
+    def test_shape_validation(self):
+        bitmap = CandidateBitmap(2, 3)
+        packing = SignaturePacking.uniform(2)
+        with pytest.raises(ValueError):
+            refine_candidates(bitmap, np.zeros((1, 2)), np.zeros((3, 2)), packing)
+        with pytest.raises(ValueError):
+            refine_candidates(bitmap, np.zeros((2, 2)), np.zeros((4, 2)), packing)
+
+
+class TestIterativeFilter:
+    def test_iteration_one_is_label_only(self):
+        q = CSRGO.from_graphs([path_graph([1, 2])])
+        d = CSRGO.from_graphs([path_graph([1, 3, 2])])
+        filt = IterativeFilter(q, d, SigmoConfig(refinement_iterations=1))
+        result = filt.run()
+        # label-only: data node 0 is candidate for query node 0 even though
+        # its neighborhood (label 3) cannot support the match
+        assert result.bitmap.test(0, 0)
+
+    def test_deeper_iterations_prune_more(self):
+        q = CSRGO.from_graphs([path_graph([1, 2])])
+        d = CSRGO.from_graphs([path_graph([1, 3, 2])])
+        filt = IterativeFilter(q, d, SigmoConfig(refinement_iterations=2))
+        result = filt.run()
+        assert not result.bitmap.test(0, 0)
+
+    def test_candidate_counts_monotone_nonincreasing(self, small_dataset):
+        from repro.core.csrgo import CSRGO as C
+
+        q = C.from_graphs(small_dataset.queries[:8])
+        d = C.from_graphs(small_dataset.data[:20])
+        result = IterativeFilter(q, d, SigmoConfig(refinement_iterations=6)).run()
+        totals = [s.total_candidates for s in result.iterations]
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+    def test_stats_structure(self):
+        q = CSRGO.from_graphs([path_graph([1, 2])])
+        d = CSRGO.from_graphs([path_graph([1, 2])])
+        result = IterativeFilter(q, d, SigmoConfig(refinement_iterations=3)).run()
+        assert [s.iteration for s in result.iterations] == [1, 2, 3]
+        assert [s.radius for s in result.iterations] == [0, 1, 2]
+        assert all(s.candidates_per_node.shape == (2,) for s in result.iterations)
+
+    def test_filter_soundness_never_prunes_true_match(self, rng):
+        """Core invariant: a filtered-out node can never be part of a match."""
+        from tests.conftest import random_case
+        from repro.baselines.networkx_ref import networkx_count_matches
+
+        for _ in range(10):
+            qg, dg, _ = random_case(rng)
+            q = CSRGO.from_graphs([qg])
+            d = CSRGO.from_graphs([dg])
+            result = IterativeFilter(q, d, SigmoConfig(refinement_iterations=5)).run()
+            # collect all embeddings via oracle and check every mapped node
+            # survived the filter
+            import networkx as nx
+            from networkx.algorithms.isomorphism import GraphMatcher
+
+            gm = GraphMatcher(
+                dg.to_networkx(),
+                qg.to_networkx(),
+                node_match=lambda a, b: a["label"] == b["label"],
+                edge_match=lambda a, b: a["label"] == b["label"],
+            )
+            for mapping in gm.subgraph_monomorphisms_iter():
+                for d_node, q_node in mapping.items():
+                    assert result.bitmap.test(q_node, d_node)
+
+    def test_packing_derived_from_data_frequencies(self):
+        q = CSRGO.from_graphs([path_graph([1, 2])])
+        d = CSRGO.from_graphs([path_graph([1] * 6 + [2])])
+        filt = IterativeFilter(q, d)
+        assert filt.packing.bits[1] >= filt.packing.bits[2]

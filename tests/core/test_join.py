@@ -1,0 +1,171 @@
+"""Unit tests for the stack-based DFS join."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SigmoConfig
+from repro.core.csrgo import CSRGO
+from repro.core.engine import SigmoEngine
+from repro.core.filtering import IterativeFilter
+from repro.core.join import (
+    FIND_ALL,
+    FIND_FIRST,
+    build_query_plan,
+    run_join,
+)
+from repro.core.mapping import build_gmcr
+from repro.graph.generators import path_graph, ring_graph, star_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def run_pipeline(queries, data, mode=FIND_ALL, iterations=3, **cfg):
+    config = SigmoConfig(refinement_iterations=iterations, **cfg)
+    q = CSRGO.from_graphs(queries)
+    d = CSRGO.from_graphs(data)
+    fr = IterativeFilter(q, d, config).run()
+    gmcr = build_gmcr(fr.bitmap, q, d)
+    return run_join(q, d, fr.bitmap, gmcr, config, mode=mode), gmcr
+
+
+class TestQueryPlan:
+    def test_order_is_permutation(self):
+        q = CSRGO.from_graphs([ring_graph(5, [0, 1, 2, 3, 4])])
+        plan = build_query_plan(q, 0)
+        assert sorted(plan.order.tolist()) == list(range(5))
+
+    def test_connected_prefix(self):
+        q = CSRGO.from_graphs([path_graph([0, 1, 2, 3])])
+        plan = build_query_plan(q, 0)
+        # every node after the first has a back edge (connectivity)
+        for checks in plan.check_edges[1:]:
+            assert len(checks) >= 1
+
+    def test_check_edges_cover_all_edges(self):
+        g = ring_graph(4, [0, 1, 2, 3])
+        q = CSRGO.from_graphs([g])
+        plan = build_query_plan(q, 0)
+        n_checks = sum(len(c) for c in plan.check_edges)
+        assert n_checks == g.n_edges
+
+    def test_fewest_candidates_starts_rare(self):
+        q = CSRGO.from_graphs([path_graph([0, 1])])
+        counts = np.array([100, 1])
+        plan = build_query_plan(q, 0, counts, "fewest-candidates")
+        assert plan.order[0] == 1
+
+    def test_bfs_heuristic(self):
+        q = CSRGO.from_graphs([path_graph([0, 1, 2])])
+        plan = build_query_plan(q, 0, heuristic="bfs")
+        assert plan.order.tolist() == [0, 1, 2]
+
+    def test_empty_query_raises(self):
+        q = CSRGO.from_graphs([LabeledGraph([]), path_graph([0])])
+        with pytest.raises(ValueError):
+            build_query_plan(q, 0)
+
+
+class TestJoinCounts:
+    def test_path_in_ring(self):
+        res, _ = run_pipeline([path_graph([1, 2])], [ring_graph(6, [1, 1, 2, 1, 1, 2])])
+        assert res.total_matches == 4
+
+    def test_automorphisms_counted(self):
+        # triangle query in triangle data: 3! = 6 embeddings
+        res, _ = run_pipeline(
+            [ring_graph(3, [0, 0, 0])], [ring_graph(3, [0, 0, 0])]
+        )
+        assert res.total_matches == 6
+
+    def test_edge_labels_checked(self):
+        q = path_graph([0, 0], [1])  # edge label 1
+        d = path_graph([0, 0], [2])  # edge label 2
+        res, _ = run_pipeline([q], [d])
+        assert res.total_matches == 0
+
+    def test_injectivity(self):
+        # two-leaf star query needs two distinct label-1 neighbors
+        q = star_graph(0, [1, 1])
+        d = path_graph([1, 0])  # only one neighbor
+        res, _ = run_pipeline([q], [d])
+        assert res.total_matches == 0
+
+    def test_non_induced_semantics(self):
+        # path query matches inside a triangle (extra data edges allowed)
+        q = path_graph([0, 0, 0])
+        d = ring_graph(3, [0, 0, 0])
+        res, _ = run_pipeline([q], [d])
+        assert res.total_matches == 6
+
+    def test_multiple_data_graphs(self):
+        q = path_graph([1, 2])
+        data = [path_graph([1, 2]), path_graph([2, 1]), path_graph([3, 3])]
+        res, gmcr = run_pipeline([q], data)
+        assert res.total_matches == 2
+        assert gmcr.matched.sum() == 2
+
+
+class TestFindFirst:
+    def test_find_first_counts_pairs(self):
+        q = path_graph([1, 1])
+        d = ring_graph(6, [1] * 6)  # 12 embeddings
+        res_all, _ = run_pipeline([q], [d], mode=FIND_ALL)
+        res_first, gmcr = run_pipeline([q], [d], mode=FIND_FIRST)
+        assert res_all.total_matches == 12
+        assert res_first.total_matches == 1
+        assert gmcr.matched[0]
+
+    def test_find_first_less_work(self):
+        q = path_graph([1, 1])
+        d = ring_graph(12, [1] * 12)
+        res_all, _ = run_pipeline([q], [d], mode=FIND_ALL)
+        res_first, _ = run_pipeline([q], [d], mode=FIND_FIRST)
+        assert res_first.stats.candidate_visits < res_all.stats.candidate_visits
+
+    def test_invalid_mode(self):
+        q = CSRGO.from_graphs([path_graph([0])])
+        with pytest.raises(ValueError):
+            run_join(q, q, None, None, mode="bogus")
+
+
+class TestEmbeddingRecording:
+    def test_embeddings_are_valid(self):
+        q = path_graph([1, 2, 1])
+        d = ring_graph(6, [1, 2, 1, 1, 2, 1])
+        config = SigmoConfig(record_embeddings=True)
+        engine = SigmoEngine([q], [d], config)
+        res = engine.run()
+        assert len(res.embeddings) == res.total_matches
+        for rec in res.embeddings:
+            mapping = rec.mapping
+            # injective
+            assert len(set(mapping.tolist())) == mapping.size
+            # label-preserving
+            for qi, di in enumerate(mapping):
+                assert d.labels[di] == q.labels[qi]
+            # edge-preserving with labels
+            for (u, v), lab in zip(q.edges, q.edge_labels):
+                assert d.has_edge(int(mapping[u]), int(mapping[v]))
+                assert d.edge_label(int(mapping[u]), int(mapping[v])) == lab
+
+    def test_record_cap(self):
+        q = path_graph([1, 1])
+        d = ring_graph(8, [1] * 8)
+        config = SigmoConfig(record_embeddings=True, max_embeddings_recorded=3)
+        res = SigmoEngine([q], [d], config).run()
+        assert len(res.embeddings) == 3
+        assert res.total_matches == 16
+
+
+class TestJoinStats:
+    def test_counters_populated(self):
+        res, _ = run_pipeline([path_graph([1, 2])], [ring_graph(6, [1, 1, 2, 1, 1, 2])])
+        assert res.stats.pairs_joined == 1
+        assert res.stats.stack_pushes >= res.total_matches
+        assert res.stats.candidate_visits >= res.stats.stack_pushes
+
+    def test_pair_matches_aligned_with_gmcr(self):
+        q = path_graph([1, 2])
+        data = [path_graph([1, 2]), path_graph([1, 3, 2])]
+        res, gmcr = run_pipeline([q], data, iterations=1)
+        assert res.pair_matches.size == gmcr.n_pairs
+        assert res.pair_matches.sum() == res.total_matches

@@ -1,0 +1,60 @@
+"""Unit tests for the BFS join variant (paper section 4.6's rejected design)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SigmoConfig
+from repro.core.csrgo import CSRGO
+from repro.core.filtering import IterativeFilter
+from repro.core.join import run_join
+from repro.core.join_bfs import run_bfs_join
+from repro.core.mapping import build_gmcr
+from repro.graph.generators import path_graph, ring_graph
+from tests.conftest import random_case
+
+
+def run_both(queries, data, iterations=3):
+    config = SigmoConfig(refinement_iterations=iterations)
+    q = CSRGO.from_graphs(queries)
+    d = CSRGO.from_graphs(data)
+    fr = IterativeFilter(q, d, config).run()
+    gmcr_dfs = build_gmcr(fr.bitmap, q, d)
+    gmcr_bfs = build_gmcr(fr.bitmap, q, d)
+    dfs = run_join(q, d, fr.bitmap, gmcr_dfs, config)
+    bfs = run_bfs_join(q, d, fr.bitmap, gmcr_bfs, config)
+    return dfs, bfs
+
+
+class TestEquivalence:
+    def test_simple_counts_agree(self):
+        dfs, bfs = run_both(
+            [path_graph([1, 2])], [ring_graph(6, [1, 1, 2, 1, 1, 2])]
+        )
+        assert dfs.total_matches == bfs.total_matches == 4
+
+    def test_per_pair_counts_agree(self):
+        queries = [path_graph([1, 2]), ring_graph(3, [1, 1, 1])]
+        data = [ring_graph(6, [1, 1, 2, 1, 1, 2]), ring_graph(3, [1, 1, 1])]
+        dfs, bfs = run_both(queries, data)
+        np.testing.assert_array_equal(dfs.pair_matches, bfs.pair_matches)
+
+    def test_random_cases_agree(self, rng):
+        for _ in range(15):
+            q, d, _ = random_case(rng)
+            dfs, bfs = run_both([q], [d], iterations=2)
+            assert dfs.total_matches == bfs.total_matches
+
+
+class TestMemoryBehaviour:
+    def test_bfs_materializes_partial_tables(self):
+        # unlabeled-ish ring: many partial matches per level
+        dfs, bfs = run_both([path_graph([1, 1, 1, 1])], [ring_graph(12, [1] * 12)])
+        assert bfs.peak_partial_matches > dfs.total_matches
+        assert bfs.peak_partial_bytes >= bfs.peak_partial_matches * 8
+
+    def test_peak_grows_with_ambiguity(self):
+        # more identical labels -> larger tables (the exponential growth
+        # the paper cites for rejecting BFS)
+        _, small = run_both([path_graph([1, 1, 1])], [ring_graph(6, [1] * 6)])
+        _, large = run_both([path_graph([1, 1, 1])], [ring_graph(14, [1] * 14)])
+        assert large.peak_partial_matches > small.peak_partial_matches

@@ -1,0 +1,36 @@
+"""Unit tests for result containers."""
+
+import numpy as np
+
+from repro.core.results import MatchRecord, MemoryReport
+
+
+class TestMatchRecord:
+    def test_node_set(self):
+        rec = MatchRecord(0, 1, np.array([5, 3, 7]))
+        assert rec.node_set() == frozenset({3, 5, 7})
+
+    def test_equality_and_hash(self):
+        a = MatchRecord(0, 1, np.array([1, 2]))
+        b = MatchRecord(0, 1, np.array([1, 2]))
+        c = MatchRecord(0, 1, np.array([2, 1]))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_not_equal_other_type(self):
+        assert MatchRecord(0, 0, np.array([0])) != "x"
+
+
+class TestMemoryReport:
+    def test_total(self):
+        r = MemoryReport(candidate_bitmap=80, data_graphs=10, query_graphs=5,
+                         signatures=4, gmcr=1)
+        assert r.total == 100
+
+    def test_fractions_bitmap_dominant(self):
+        r = MemoryReport(candidate_bitmap=80, data_graphs=20)
+        assert r.fractions()["candidate_bitmap"] == 0.8
+
+    def test_empty_report(self):
+        assert MemoryReport().total == 0
+        assert MemoryReport().fractions()["gmcr"] == 0.0

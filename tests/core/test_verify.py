@@ -1,0 +1,88 @@
+"""Unit tests for embedding verification."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SigmoConfig
+from repro.core.engine import SigmoEngine
+from repro.core.verify import verify_embedding, verify_result
+from repro.graph.generators import path_graph, ring_graph
+
+
+@pytest.fixture
+def q():
+    return path_graph([1, 2], [3])
+
+
+@pytest.fixture
+def d():
+    return path_graph([1, 2, 1], [3, 3])
+
+
+class TestVerifyEmbedding:
+    def test_valid(self, q, d):
+        assert verify_embedding(q, d, np.array([0, 1])).ok
+        assert verify_embedding(q, d, np.array([2, 1])).ok
+
+    def test_wrong_arity(self, q, d):
+        report = verify_embedding(q, d, np.array([0]))
+        assert not report.ok and report.failures[0].kind == "arity"
+
+    def test_out_of_range(self, q, d):
+        report = verify_embedding(q, d, np.array([0, 99]))
+        assert report.failures[0].kind == "range"
+
+    def test_injectivity(self):
+        q2 = path_graph([1, 1])
+        d2 = ring_graph(3, [1, 1, 1])
+        report = verify_embedding(q2, d2, np.array([0, 0]))
+        assert any(f.kind == "injectivity" for f in report.failures)
+
+    def test_label_violation(self, q, d):
+        report = verify_embedding(q, d, np.array([1, 0]))
+        assert any(f.kind == "label" for f in report.failures)
+
+    def test_missing_edge(self, q, d):
+        report = verify_embedding(q, d, np.array([0, 1]))
+        assert report.ok
+        report = verify_embedding(q, d, np.array([2, 1]))
+        assert report.ok
+        # nodes 0 and 2 are not adjacent
+        q11 = path_graph([1, 1])
+        d3 = path_graph([1, 2, 1])
+        report = verify_embedding(q11, d3, np.array([0, 2]))
+        assert any(f.kind == "edge" for f in report.failures)
+
+    def test_edge_label_violation(self):
+        q2 = path_graph([1, 2], [4])
+        d2 = path_graph([1, 2], [3])
+        report = verify_embedding(q2, d2, np.array([0, 1]))
+        assert any(f.kind == "edge-label" for f in report.failures)
+
+    def test_multiple_failures_collected(self):
+        q2 = ring_graph(3, [1, 2, 3])
+        d2 = path_graph([3, 2, 1])
+        report = verify_embedding(q2, d2, np.array([0, 1, 2]))
+        assert len(report.failures) >= 2
+
+    def test_wildcards_respected(self):
+        from repro.chem.smarts import ANY_BOND_LABEL, WILDCARD_ATOM_LABEL
+
+        q2 = path_graph([WILDCARD_ATOM_LABEL, 2], [ANY_BOND_LABEL])
+        d2 = path_graph([7, 2], [3])
+        assert not verify_embedding(q2, d2, np.array([0, 1])).ok
+        assert verify_embedding(
+            q2, d2, np.array([0, 1]),
+            wildcard_label=WILDCARD_ATOM_LABEL,
+            wildcard_edge_label=ANY_BOND_LABEL,
+        ).ok
+
+
+class TestVerifyResult:
+    def test_engine_embeddings_all_verify(self, small_dataset):
+        config = SigmoConfig(record_embeddings=True)
+        queries = small_dataset.queries[:6]
+        data = small_dataset.data[:15]
+        result = SigmoEngine(queries, data, config).run()
+        assert result.embeddings  # sanity: something to verify
+        assert verify_result(result, queries, data, config) == []

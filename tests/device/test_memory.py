@@ -1,0 +1,64 @@
+"""Unit tests for device memory accounting."""
+
+import pytest
+
+from repro.device.memory import DeviceMemory, DeviceOutOfMemory, sigmo_footprint_bytes
+from repro.device.spec import DEVICES
+
+
+class TestDeviceMemory:
+    def test_allocate_and_free(self):
+        mem = DeviceMemory(capacity_bytes=1000, reserve_fraction=0.0)
+        mem.allocate("a", 600)
+        assert mem.used == 600 and mem.available == 400
+        mem.free("a")
+        assert mem.used == 0
+
+    def test_oom_carries_sizes(self):
+        mem = DeviceMemory(capacity_bytes=100, reserve_fraction=0.0)
+        with pytest.raises(DeviceOutOfMemory) as exc:
+            mem.allocate("big", 200)
+        assert exc.value.requested == 200 and exc.value.available == 100
+
+    def test_duplicate_name_rejected(self):
+        mem = DeviceMemory(capacity_bytes=100, reserve_fraction=0.0)
+        mem.allocate("x", 10)
+        with pytest.raises(ValueError):
+            mem.allocate("x", 10)
+
+    def test_free_unknown(self):
+        with pytest.raises(KeyError):
+            DeviceMemory(capacity_bytes=10).free("nope")
+
+    def test_peak_tracking(self):
+        mem = DeviceMemory(capacity_bytes=100, reserve_fraction=0.0)
+        mem.allocate("a", 60)
+        mem.free("a")
+        mem.allocate("b", 30)
+        assert mem.peak == 60
+
+    def test_reserve_fraction(self):
+        mem = DeviceMemory(device=DEVICES["nvidia-v100s"], reserve_fraction=0.5)
+        assert mem.capacity == DEVICES["nvidia-v100s"].vram_bytes // 2
+
+    def test_would_fit(self):
+        mem = DeviceMemory(capacity_bytes=100, reserve_fraction=0.0)
+        assert mem.would_fit(100) and not mem.would_fit(101)
+
+    def test_requires_capacity_or_device(self):
+        with pytest.raises(ValueError):
+            DeviceMemory()
+
+
+class TestFootprint:
+    def test_paper_scale_footprint(self):
+        # section 5.1.3: 3,413 query nodes x 2,745,872 data nodes -> ~1 GB
+        # bitmap-dominated footprint.
+        fp = sigmo_footprint_bytes(3413, 2_745_872, 2 * 3_000_000)
+        total = sum(fp.values())
+        assert 0.9e9 < total < 1.6e9
+        assert fp["candidate_bitmap"] / total > 0.7
+
+    def test_bitmap_formula(self):
+        fp = sigmo_footprint_bytes(8, 64, 0, word_bits=64)
+        assert fp["candidate_bitmap"] == 8 * 8  # 8 rows x 1 word x 8 bytes

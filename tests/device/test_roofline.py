@@ -1,0 +1,63 @@
+"""Unit tests for the instruction roofline (Fig. 9)."""
+
+import pytest
+
+from repro.device.counters import KernelCounters, PipelineCounters
+from repro.device.roofline import RooflinePoint, build_roofline, kernel_point
+from repro.device.spec import DEVICES
+
+V100S = DEVICES["nvidia-v100s"]
+
+
+class TestKernelPoint:
+    def test_throughput_from_runtime(self):
+        k = KernelCounters(name="k", instructions=1e9, bytes_hbm=1e8)
+        p = kernel_point(k, runtime_s=1.0)
+        assert p.throughput_ginstr_s == pytest.approx(1.0)
+        assert p.intensity == pytest.approx(10.0)
+
+    def test_zero_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_point(KernelCounters(name="k", instructions=1), 0.0)
+
+
+class TestBounds:
+    def test_low_intensity_is_hbm_bound(self):
+        p = RooflinePoint("k", intensity=0.01, throughput_ginstr_s=1)
+        assert p.bound_by(V100S) == "hbm"
+
+    def test_high_intensity_is_compute_bound(self):
+        p = RooflinePoint("k", intensity=1e4, throughput_ginstr_s=10)
+        assert p.bound_by(V100S) == "compute"
+
+    def test_roof_at(self):
+        model = build_roofline(PipelineCounters(), {}, V100S)
+        assert model.roof_at(1e9) == V100S.peak_ginstr_per_s
+        assert model.roof_at(0.001, "hbm") == pytest.approx(0.001 * V100S.hbm_bandwidth_gbs)
+
+    def test_ridge_point(self):
+        model = build_roofline(PipelineCounters(), {}, V100S)
+        ridge = model.ridge_point("hbm")
+        assert model.roof_at(ridge * 0.99) < V100S.peak_ginstr_per_s
+
+
+class TestBuildRoofline:
+    def test_points_below_roofs(self):
+        cnt = PipelineCounters(
+            filter_iterations=[
+                KernelCounters(name="filter-1", instructions=1e10, bytes_hbm=1e9)
+            ],
+            join=KernelCounters(name="join", instructions=5e9, bytes_l2=1e9),
+        )
+        times = {"filter-1": 0.05, "join": 0.05}
+        model = build_roofline(cnt, times, V100S)
+        assert len(model.points) == 2
+        for row in model.table():
+            assert row["roof_fraction"] <= 1.5  # sanity: near/below the roof
+
+    def test_skips_untimed_kernels(self):
+        cnt = PipelineCounters(
+            filter_iterations=[KernelCounters(name="filter-1", instructions=1e9)]
+        )
+        model = build_roofline(cnt, {}, V100S)
+        assert model.points == []

@@ -1,0 +1,70 @@
+"""Unit tests for the SIMT execution model."""
+
+import numpy as np
+import pytest
+
+from repro.device.simt import join_divergence, simulate_simt
+from repro.device.spec import DEVICES
+
+V100S = DEVICES["nvidia-v100s"]
+MI100 = DEVICES["amd-mi100"]
+MAX1100 = DEVICES["intel-max1100"]
+
+
+class TestSimulateSimt:
+    def test_uniform_work_no_divergence(self):
+        work = np.ones(256)
+        out = simulate_simt(work, V100S, 128)
+        assert out.divergence_factor == pytest.approx(1.0)
+        assert out.useful_work == 256
+
+    def test_single_hot_lane_diverges(self):
+        work = np.ones(32)
+        work[0] = 100
+        out = simulate_simt(work, V100S, 32)
+        # lockstep: whole sub-group runs 100 units
+        assert out.executed_work == pytest.approx(100 * 32)
+        assert out.divergence_factor > 20
+
+    def test_wider_subgroups_diverge_more(self, rng):
+        work = rng.exponential(5.0, size=4096)
+        d_nv = simulate_simt(work, V100S, 128).divergence_factor
+        d_amd = simulate_simt(work, MI100, 128).divergence_factor
+        d_intel = simulate_simt(work, MAX1100, 128).divergence_factor
+        # the paper's section 5.3 ordering: 64-wide > 32-wide > 16-wide
+        assert d_amd > d_nv > d_intel
+
+    def test_workgroup_count(self):
+        out = simulate_simt(np.ones(1000), V100S, 128)
+        assert out.n_workgroups == 8
+
+    def test_empty_work(self):
+        out = simulate_simt(np.empty(0), V100S, 128)
+        assert out.executed_work == 0 and out.divergence_factor == 1.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_simt(np.array([-1.0]), V100S, 32)
+
+    def test_bad_workgroup(self):
+        with pytest.raises(ValueError):
+            simulate_simt(np.ones(4), V100S, 0)
+
+    def test_occupancy_saturates_with_many_items(self):
+        out = simulate_simt(np.ones(10_000_000), V100S, 256)
+        assert out.occupancy == pytest.approx(1.0)
+
+    def test_small_launch_low_occupancy(self):
+        out = simulate_simt(np.ones(320), V100S, 32)
+        assert out.occupancy < 0.1
+
+
+class TestJoinDivergence:
+    def test_damped_relative_to_raw(self, rng):
+        work = rng.exponential(3.0, size=1000)
+        raw = simulate_simt(work, MI100, 64).divergence_factor
+        damped = join_divergence(work, MI100, 64)
+        assert 1.0 < damped < raw
+
+    def test_none_work(self):
+        assert join_divergence(None, V100S, 128) == 1.0

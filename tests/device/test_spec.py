@@ -1,0 +1,42 @@
+"""Unit tests for the device catalog."""
+
+import pytest
+
+from repro.device.spec import DEVICES, device_by_name
+
+
+class TestCatalog:
+    def test_paper_devices_present(self):
+        for name in ("nvidia-v100s", "amd-mi100", "intel-max1100", "nvidia-a100"):
+            assert name in DEVICES
+
+    def test_paper_peak_compute(self):
+        # section 5.3 quotes: Intel 22, AMD ~180, NVIDIA 130 TFLOPS
+        assert DEVICES["intel-max1100"].peak_compute_tflops == 22.0
+        assert DEVICES["nvidia-v100s"].peak_compute_tflops == 130.0
+        assert DEVICES["amd-mi100"].peak_compute_tflops > 180
+
+    def test_subgroup_widths(self):
+        # section 5.3: wavefront 64 (AMD) vs 32 (NVIDIA) vs 16 (Intel)
+        assert DEVICES["amd-mi100"].subgroup_size == 64
+        assert DEVICES["nvidia-v100s"].subgroup_size == 32
+        assert DEVICES["intel-max1100"].subgroup_size == 16
+
+    def test_v100s_capacity(self):
+        # the paper's single-GPU experiments use a 32 GB V100S
+        assert DEVICES["nvidia-v100s"].vram_bytes == 32 * 1024**3
+
+    def test_lookup_error_lists_catalog(self):
+        with pytest.raises(KeyError, match="nvidia-v100s"):
+            device_by_name("gtx-1080")
+
+
+class TestDerived:
+    def test_concurrent_work_items(self):
+        d = DEVICES["nvidia-v100s"]
+        assert d.max_concurrent_work_items == 80 * 64 * 32
+
+    def test_occupancy_clamped(self):
+        d = DEVICES["nvidia-v100s"]
+        assert d.occupancy_of(d.max_resident_subgroups * 2) == 1.0
+        assert d.occupancy_of(d.max_resident_subgroups / 2) == 0.5

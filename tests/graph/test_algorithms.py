@@ -1,0 +1,136 @@
+"""Unit tests for graph algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.graph import algorithms as alg
+from repro.graph.generators import path_graph, random_connected_graph, ring_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class TestBfsDistances:
+    def test_path_distances(self):
+        g = path_graph([0, 0, 0, 0])
+        np.testing.assert_array_equal(alg.bfs_distances(g, 0), [0, 1, 2, 3])
+
+    def test_unreachable_is_minus_one(self):
+        g = LabeledGraph([0, 0, 0], [(0, 1)])
+        assert alg.bfs_distances(g, 0)[2] == -1
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            alg.bfs_distances(path_graph([0]), 5)
+
+
+class TestBfsLayers:
+    def test_rings_partition_reachable_set(self):
+        g = ring_graph(6, [0] * 6)
+        layers = dict(alg.bfs_layers(g, 0))
+        assert sorted(layers) == [0, 1, 2, 3]
+        np.testing.assert_array_equal(layers[0], [0])
+        assert set(layers[1].tolist()) == {1, 5}
+        assert set(layers[3].tolist()) == {3}
+
+    def test_max_depth_truncates(self):
+        g = path_graph([0] * 5)
+        layers = list(alg.bfs_layers(g, 0, max_depth=2))
+        assert layers[-1][0] == 2
+
+
+class TestDiameterEccentricity:
+    def test_ring_diameter(self):
+        assert alg.diameter(ring_graph(8, [0] * 8)) == 4
+
+    def test_single_node(self):
+        assert alg.diameter(LabeledGraph([0])) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            alg.diameter(LabeledGraph([]))
+
+    def test_eccentricity_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            alg.eccentricity(LabeledGraph([0, 0]), 0)
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert alg.is_connected(path_graph([0, 0]))
+
+    def test_disconnected(self):
+        assert not alg.is_connected(LabeledGraph([0, 0]))
+
+    def test_empty_is_connected(self):
+        assert alg.is_connected(LabeledGraph([]))
+
+    def test_components(self):
+        g = LabeledGraph([0] * 5, [(0, 1), (2, 3)])
+        comps = alg.connected_components(g)
+        assert [c.tolist() for c in comps] == [[0, 1], [2, 3], [4]]
+
+
+class TestGraphPower:
+    def test_square_of_path(self):
+        g = path_graph([0, 0, 0, 0])
+        g2 = alg.graph_power(g, 2)
+        assert g2.has_edge(0, 2) and g2.has_edge(1, 3)
+        assert not g2.has_edge(0, 3)
+
+    def test_power_one_is_identity_structure(self):
+        g = ring_graph(5, [0] * 5)
+        g1 = alg.graph_power(g, 1)
+        assert g1.n_edges == g.n_edges
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            alg.graph_power(path_graph([0, 0]), 0)
+
+
+class TestNeighborhoodSignature:
+    def test_radius_zero_is_empty(self):
+        g = path_graph([0, 1, 2])
+        assert alg.neighborhood_signature(g, 1, 0, 3).sum() == 0
+
+    def test_radius_one_counts_neighbors(self):
+        g = path_graph([0, 1, 2])
+        sig = alg.neighborhood_signature(g, 1, 1, 3)
+        np.testing.assert_array_equal(sig, [1, 0, 1])
+
+    def test_radius_covers_graph(self):
+        g = path_graph([0, 1, 2, 1])
+        sig = alg.neighborhood_signature(g, 0, 10, 3)
+        np.testing.assert_array_equal(sig, [0, 2, 1])
+
+    def test_excludes_self(self):
+        g = ring_graph(4, [5, 5, 5, 5])
+        sig = alg.neighborhood_signature(g, 0, 2, 6)
+        assert sig[5] == 3  # the other three ring nodes, not itself
+
+
+class TestTreewidth:
+    def test_tree_is_tw_le2(self):
+        assert alg.treewidth_at_most_two(path_graph([0] * 6))
+
+    def test_ring_is_tw_le2(self):
+        assert alg.treewidth_at_most_two(ring_graph(6, [0] * 6))
+
+    def test_k4_is_not(self):
+        k4 = LabeledGraph([0] * 4, [(a, b) for a in range(4) for b in range(a + 1, 4)])
+        assert not alg.treewidth_at_most_two(k4)
+
+    def test_empty(self):
+        assert alg.treewidth_at_most_two(LabeledGraph([]))
+
+    def test_fused_rings_are_tw2(self):
+        # naphthalene-like fused hexagons have treewidth 2
+        edges = [(i, (i + 1) % 6) for i in range(6)]
+        edges += [(0, 6), (6, 7), (7, 8), (8, 9), (9, 3)]
+        g = LabeledGraph([0] * 10, edges)
+        assert alg.treewidth_at_most_two(g)
+
+    def test_molecular_graphs_are_tw2(self, rng):
+        from repro.chem.generator import MoleculeGenerator
+
+        gen = MoleculeGenerator(seed=3)
+        for mol in gen.generate_batch(20):
+            assert alg.treewidth_at_most_two(mol.graph())

@@ -1,0 +1,84 @@
+"""Unit tests for GraphBatch."""
+
+import numpy as np
+import pytest
+
+from repro.graph.batch import GraphBatch
+from repro.graph.generators import path_graph, ring_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@pytest.fixture
+def batch():
+    return GraphBatch([path_graph([0, 1]), ring_graph(3, [2, 2, 2]), path_graph([1])])
+
+
+class TestSizes:
+    def test_counts(self, batch):
+        assert batch.n_graphs == 3
+        assert batch.total_nodes == 6
+        assert batch.total_edges == 4
+
+    def test_empty_batch(self):
+        b = GraphBatch([])
+        assert b.n_graphs == 0 and b.total_nodes == 0
+
+    def test_len_iter_getitem(self, batch):
+        assert len(batch) == 3
+        assert [g.n_nodes for g in batch] == [2, 3, 1]
+        assert batch[1].n_nodes == 3
+
+
+class TestIdMapping:
+    def test_graph_of_node(self, batch):
+        assert batch.graph_of_node(0) == 0
+        assert batch.graph_of_node(2) == 1
+        assert batch.graph_of_node(5) == 2
+
+    def test_graph_of_node_out_of_range(self, batch):
+        with pytest.raises(ValueError):
+            batch.graph_of_node(6)
+
+    def test_local_global_roundtrip(self, batch):
+        for gid in range(3):
+            lo, hi = batch.node_range(gid)
+            for local in range(hi - lo):
+                global_id = batch.global_node(gid, local)
+                assert batch.local_node(global_id) == (gid, local)
+
+    def test_global_node_validates(self, batch):
+        with pytest.raises(ValueError):
+            batch.global_node(0, 5)
+
+    def test_node_range_validates(self, batch):
+        with pytest.raises(ValueError):
+            batch.node_range(3)
+
+
+class TestMergedViews:
+    def test_merged_labels(self, batch):
+        np.testing.assert_array_equal(batch.merged_labels, [0, 1, 2, 2, 2, 1])
+
+    def test_merged_edges_offsets(self, batch):
+        edges, labels = batch.merged_edges()
+        assert edges.min() >= 0 and edges.max() == 4
+        assert edges.shape == (4, 2)
+        assert labels.shape == (4,)
+
+    def test_merged_graph_is_disconnected_union(self, batch):
+        g = batch.merged_graph()
+        assert g.n_nodes == 6 and g.n_edges == 4
+        assert not g.has_edge(1, 2)  # across graph boundary
+
+    def test_merged_empty(self):
+        edges, labels = GraphBatch([]).merged_edges()
+        assert edges.shape == (0, 2)
+
+    def test_max_label(self, batch):
+        assert batch.max_label() == 2
+        assert GraphBatch([]).max_label() == -1
+
+    def test_subbatch(self, batch):
+        sub = batch.subbatch([2, 0])
+        assert sub.n_graphs == 2
+        assert sub[0].n_nodes == 1

@@ -1,0 +1,97 @@
+"""Unit tests for canonical forms."""
+
+import numpy as np
+import pytest
+
+from repro.graph.canonical import (
+    are_isomorphic,
+    canonical_form,
+    canonical_order,
+    deduplicate,
+    relabel,
+)
+from repro.graph.generators import path_graph, random_connected_graph, ring_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def shuffled(graph, rng):
+    """Random relabeling of a graph."""
+    perm = rng.permutation(graph.n_nodes)
+    return relabel(graph, perm)
+
+
+class TestCanonicalOrder:
+    def test_is_permutation(self, rng):
+        g = random_connected_graph(10, 4, 3, rng)
+        order = canonical_order(g)
+        assert sorted(order.tolist()) == list(range(10))
+
+    def test_empty_graph(self):
+        assert canonical_order(LabeledGraph([])).size == 0
+
+    def test_invariant_under_relabeling(self, rng):
+        for _ in range(10):
+            g = random_connected_graph(int(rng.integers(3, 12)), 3, 3, rng, 2)
+            h = shuffled(g, rng)
+            assert canonical_form(g) == canonical_form(h)
+
+    def test_symmetric_graphs(self, rng):
+        ring = ring_graph(8, [1] * 8)
+        assert canonical_form(ring) == canonical_form(shuffled(ring, rng))
+
+
+class TestAreIsomorphic:
+    def test_positive(self, rng):
+        g = random_connected_graph(9, 3, 3, rng, 2)
+        assert are_isomorphic(g, shuffled(g, rng))
+
+    def test_label_difference_detected(self):
+        assert not are_isomorphic(path_graph([0, 1, 2]), path_graph([0, 1, 1]))
+
+    def test_edge_label_difference_detected(self):
+        a = path_graph([0, 0], [1])
+        b = path_graph([0, 0], [2])
+        assert not are_isomorphic(a, b)
+
+    def test_structure_difference_detected(self):
+        a = path_graph([0, 0, 0, 0])
+        b = ring_graph(4, [0, 0, 0, 0])
+        assert not are_isomorphic(a, b)
+
+    def test_agrees_with_networkx(self, rng):
+        import networkx as nx
+
+        for _ in range(10):
+            a = random_connected_graph(int(rng.integers(3, 10)), 3, 2, rng, 2)
+            b = random_connected_graph(int(rng.integers(3, 10)), 3, 2, rng, 2)
+            nm = lambda x, y: x["label"] == y["label"]
+            ref = nx.is_isomorphic(
+                a.to_networkx(), b.to_networkx(), node_match=nm, edge_match=nm
+            )
+            assert are_isomorphic(a, b) == ref
+
+    def test_regular_graphs_needing_individualization(self):
+        # two non-isomorphic 3-regular graphs: K4 minus perfect matching
+        # style cases; color refinement alone cannot split regular graphs.
+        hexagon = ring_graph(6, [0] * 6)
+        two_triangles_edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+        two_triangles = LabeledGraph([0] * 6, two_triangles_edges)
+        assert not are_isomorphic(hexagon, two_triangles)
+
+
+class TestDeduplicate:
+    def test_removes_isomorphic_duplicates(self, rng):
+        g = random_connected_graph(8, 3, 3, rng)
+        graphs = [g, shuffled(g, rng), path_graph([0, 1]), shuffled(g, rng)]
+        keep = deduplicate(graphs)
+        assert keep == [0, 2]
+
+    def test_all_unique(self):
+        graphs = [path_graph([0, 1]), path_graph([1, 0, 1]), ring_graph(3, [0] * 3)]
+        assert deduplicate(graphs) == [0, 1, 2]
+
+    def test_generated_molecules_mostly_unique(self):
+        from repro.chem.generator import MoleculeGenerator
+
+        mols = [m.graph() for m in MoleculeGenerator(seed=5).generate_batch(30)]
+        assert len(deduplicate(mols)) >= 28

@@ -1,0 +1,85 @@
+"""Unit tests for the generic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import algorithms as alg
+from repro.graph import generators as gen
+
+
+class TestRandomTree:
+    def test_is_tree(self, rng):
+        g = gen.random_tree(12, 3, rng)
+        assert g.n_edges == 11
+        assert alg.is_connected(g)
+
+    def test_single_node(self, rng):
+        assert gen.random_tree(1, 2, rng).n_edges == 0
+
+    def test_invalid_size(self, rng):
+        with pytest.raises(ValueError):
+            gen.random_tree(0, 2, rng)
+
+    def test_labels_in_range(self, rng):
+        g = gen.random_tree(30, 4, rng)
+        assert g.labels.max() < 4
+
+
+class TestRandomConnectedGraph:
+    def test_connected_with_extra_edges(self, rng):
+        g = gen.random_connected_graph(15, 6, 3, rng)
+        assert alg.is_connected(g)
+        assert g.n_edges >= 14
+
+    def test_respects_max_degree(self, rng):
+        g = gen.random_connected_graph(20, 30, 2, rng, max_degree=4)
+        assert max(g.degree()) <= max(4, max(g.degree()[np.argmax(g.degree())], 0))
+        # tree construction itself may exceed; degree bound applies to extras
+        # so at minimum the graph stays simple
+        assert g.n_edges <= 20 * 4 // 2 + 19
+
+
+class TestFixedShapes:
+    def test_ring(self):
+        g = gen.ring_graph(5, [0, 1, 2, 3, 4], edge_label=7)
+        assert g.n_edges == 5
+        assert g.edge_label(0, 4) == 7
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            gen.ring_graph(2, [0, 1])
+
+    def test_ring_label_mismatch(self):
+        with pytest.raises(ValueError):
+            gen.ring_graph(3, [0, 1])
+
+    def test_path(self):
+        g = gen.path_graph([4, 5, 6])
+        assert g.n_edges == 2 and g.diameter() == 2
+
+    def test_star(self):
+        g = gen.star_graph(9, [1, 2, 3])
+        assert g.degree(0) == 3
+        assert g.labels[0] == 9
+
+
+class TestRandomSubgraphPattern:
+    def test_witness_is_valid_embedding(self, rng):
+        host = gen.random_connected_graph(15, 5, 3, rng, n_edge_labels=2)
+        pattern, witness = gen.random_subgraph_pattern(host, 5, rng)
+        # labels preserved
+        np.testing.assert_array_equal(pattern.labels, host.labels[witness])
+        # every pattern edge exists in host with same label
+        for (u, v), lab in zip(pattern.edges, pattern.edge_labels):
+            assert host.has_edge(int(witness[u]), int(witness[v]))
+            assert host.edge_label(int(witness[u]), int(witness[v])) == lab
+
+    def test_pattern_connected_for_connected_host(self, rng):
+        host = gen.random_connected_graph(12, 4, 2, rng)
+        pattern, _ = gen.random_subgraph_pattern(host, 6, rng)
+        assert alg.is_connected(pattern)
+
+    def test_size_bounds(self, rng):
+        host = gen.path_graph([0, 1])
+        with pytest.raises(ValueError):
+            gen.random_subgraph_pattern(host, 3, rng)

@@ -1,0 +1,130 @@
+"""Unit tests for LabeledGraph."""
+
+import numpy as np
+import pytest
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = LabeledGraph([])
+        assert g.n_nodes == 0 and g.n_edges == 0
+
+    def test_nodes_only(self):
+        g = LabeledGraph([0, 1, 2])
+        assert g.n_nodes == 3 and g.n_edges == 0
+
+    def test_basic_edges(self):
+        g = LabeledGraph([0, 1, 2], [(0, 1), (1, 2)])
+        assert g.n_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_default_edge_labels_zero(self):
+        g = LabeledGraph([0, 1], [(0, 1)])
+        assert g.edge_label(0, 1) == 0
+
+    def test_explicit_edge_labels(self):
+        g = LabeledGraph([0, 1, 2], [(0, 1), (1, 2)], [5, 7])
+        assert g.edge_label(0, 1) == 5
+        assert g.edge_label(2, 1) == 7
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            LabeledGraph([0, 1], [(0, 0)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            LabeledGraph([0, 1], [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError, match="out of range"):
+            LabeledGraph([0, 1], [(0, 2)])
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LabeledGraph([-1, 0])
+
+    def test_rejects_bad_edge_label_count(self):
+        with pytest.raises(ValueError, match="edge_labels length"):
+            LabeledGraph([0, 1], [(0, 1)], [1, 2])
+
+
+class TestAccessors:
+    @pytest.fixture
+    def g(self):
+        return LabeledGraph([3, 1, 4, 1], [(0, 1), (0, 2), (2, 3)], [1, 2, 3])
+
+    def test_degree_array(self, g):
+        np.testing.assert_array_equal(g.degree(), [2, 1, 2, 1])
+
+    def test_degree_scalar(self, g):
+        assert g.degree(0) == 2
+
+    def test_neighbors_sorted(self, g):
+        np.testing.assert_array_equal(g.neighbors(0), [1, 2])
+
+    def test_neighbor_edge_labels_parallel(self, g):
+        np.testing.assert_array_equal(g.neighbor_edge_labels(0), [1, 2])
+
+    def test_edge_label_missing_raises(self, g):
+        with pytest.raises(KeyError):
+            g.edge_label(1, 3)
+
+    def test_max_label(self, g):
+        assert g.max_label == 4
+
+    def test_max_label_empty(self):
+        assert LabeledGraph([]).max_label == -1
+
+    def test_label_counts(self, g):
+        np.testing.assert_array_equal(g.label_counts(5), [0, 2, 0, 1, 1])
+
+
+class TestDiameter:
+    def test_path(self):
+        g = LabeledGraph([0] * 4, [(0, 1), (1, 2), (2, 3)])
+        assert g.diameter() == 3
+
+    def test_cached(self):
+        g = LabeledGraph([0, 0], [(0, 1)])
+        assert g.diameter() == 1
+        assert g._diameter == 1
+
+    def test_disconnected_raises(self):
+        g = LabeledGraph([0, 0])
+        with pytest.raises(ValueError):
+            g.diameter()
+
+
+class TestNetworkxRoundtrip:
+    def test_roundtrip_preserves_structure(self):
+        g = LabeledGraph([2, 1, 0], [(0, 1), (1, 2)], [4, 2])
+        back = LabeledGraph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_from_networkx_arbitrary_names(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_node("a", label=1)
+        nxg.add_node("b", label=2)
+        nxg.add_edge("a", "b", label=3)
+        g = LabeledGraph.from_networkx(nxg)
+        assert g.n_nodes == 2 and g.n_edges == 1
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = LabeledGraph([0, 1], [(0, 1)], [2])
+        b = LabeledGraph([0, 1], [(1, 0)], [2])
+        assert a == b
+
+    def test_different_edge_labels(self):
+        a = LabeledGraph([0, 1], [(0, 1)], [2])
+        b = LabeledGraph([0, 1], [(0, 1)], [3])
+        assert a != b
+
+    def test_not_implemented_for_other_types(self):
+        assert LabeledGraph([0]) != 42

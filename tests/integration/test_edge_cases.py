@@ -1,0 +1,134 @@
+"""Edge-case coverage: degenerate inputs, extreme configurations, and
+boundary conditions across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SigmoConfig
+from repro.core.engine import SigmoEngine, find_all, find_first
+from repro.graph.generators import path_graph, ring_graph, star_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class TestDegenerateQueries:
+    def test_query_larger_than_every_data_graph(self):
+        q = path_graph([0] * 10)
+        d = path_graph([0] * 3)
+        assert find_all([q], [d]).total_matches == 0
+
+    def test_single_node_query(self):
+        # the paper's benchmark deletes single-atom patterns, but the
+        # engine must still handle them: every label-0 node matches
+        q = LabeledGraph([0])
+        d = path_graph([0, 1, 0])
+        assert find_all([q], [d]).total_matches == 2
+
+    def test_query_equals_data(self):
+        g = ring_graph(5, [0, 1, 2, 3, 4])
+        assert find_all([g], [g]).total_matches == 1  # ring with distinct labels
+
+    def test_no_label_overlap(self):
+        res = find_all([path_graph([7, 8])], [path_graph([0, 1, 2])])
+        assert res.total_matches == 0
+        assert res.gmcr.n_pairs == 0
+        assert res.join_result.stats.pairs_joined == 0
+
+    def test_many_identical_queries(self):
+        q = path_graph([1, 2])
+        d = path_graph([1, 2, 1])
+        res = find_all([q] * 5, [d])
+        assert res.total_matches == 5 * 2
+
+    def test_duplicate_data_graphs(self):
+        q = path_graph([1, 2])
+        d = path_graph([1, 2])
+        res = find_all([q], [d, d, d])
+        assert res.total_matches == 3
+
+
+class TestDegenerateData:
+    def test_data_with_isolated_nodes(self):
+        d = LabeledGraph([1, 2, 1], [(0, 1)])  # node 2 isolated
+        q = path_graph([1, 2])
+        assert find_all([q], [d]).total_matches == 1
+
+    def test_single_node_data_graphs(self):
+        q = LabeledGraph([3])
+        data = [LabeledGraph([3]), LabeledGraph([4]), LabeledGraph([3])]
+        res = find_first([q], data)
+        assert res.total_matches == 2
+
+    def test_mixed_sizes(self):
+        q = path_graph([1, 1])
+        data = [LabeledGraph([1]), path_graph([1, 1]), ring_graph(20, [1] * 20)]
+        res = find_all([q], data)
+        assert res.total_matches == 0 + 2 + 40
+
+
+class TestExtremeConfigs:
+    @pytest.mark.parametrize("word_bits", [8, 16, 32, 64])
+    def test_all_word_widths(self, word_bits):
+        q = path_graph([1, 2])
+        d = ring_graph(6, [1, 1, 2, 1, 1, 2])
+        res = find_all([q], [d], SigmoConfig(word_bits=word_bits))
+        assert res.total_matches == 4
+
+    def test_many_iterations_beyond_convergence(self):
+        q = path_graph([1, 2])
+        d = path_graph([1, 2, 1])
+        res = find_all([q], [d], SigmoConfig(refinement_iterations=30))
+        assert res.total_matches == 2
+
+    def test_wide_label_vocabulary(self):
+        # ~60 labels: the frequency-based packing must still fit 64 bits
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 60, size=40)
+        d = LabeledGraph(labels, [(i, i + 1) for i in range(39)])
+        q = LabeledGraph(labels[:3], [(0, 1), (1, 2)])
+        res = find_all([q], [d], SigmoConfig(refinement_iterations=3))
+        assert res.total_matches >= 1
+
+    def test_zero_record_cap(self):
+        q = path_graph([1, 1])
+        d = ring_graph(6, [1] * 6)
+        res = find_all(
+            [q], [d], SigmoConfig(record_embeddings=True, max_embeddings_recorded=0)
+        )
+        assert res.total_matches == 12
+        assert res.embeddings == []
+
+
+class TestHighSymmetry:
+    def test_clique_automorphism_explosion(self):
+        # K5 in K6: 6!/(6-5)! = 720 embeddings
+        k5 = LabeledGraph([0] * 5, [(a, b) for a in range(5) for b in range(a + 1, 5)])
+        k6 = LabeledGraph([0] * 6, [(a, b) for a in range(6) for b in range(a + 1, 6)])
+        assert find_all([k5], [k6]).total_matches == 720
+
+    def test_star_in_star(self):
+        q = star_graph(0, [1, 1])
+        d = star_graph(0, [1, 1, 1, 1])
+        # center fixed; choose+order 2 of 4 leaves = 12
+        assert find_all([q], [d]).total_matches == 12
+
+    def test_long_path_in_long_ring(self):
+        n = 30
+        q = path_graph([0] * 10)
+        d = ring_graph(n, [0] * n)
+        # each of n starting points, 2 directions
+        assert find_all([q], [d]).total_matches == 2 * n
+
+
+class TestBatchScale:
+    def test_hundreds_of_tiny_graphs(self):
+        q = path_graph([1, 2])
+        data = [path_graph([1, 2]) if i % 3 == 0 else path_graph([2, 2])
+                for i in range(300)]
+        res = find_all([q], data)
+        assert res.total_matches == 100
+
+    def test_global_ids_never_leak_across_graphs(self):
+        # a match can never span two data graphs even with identical labels
+        q = path_graph([5, 5])
+        data = [LabeledGraph([5]), LabeledGraph([5])]
+        assert find_all([q], data).total_matches == 0

@@ -1,0 +1,69 @@
+"""Induced-isomorphism mode (classic VF2 semantics extension)."""
+
+import numpy as np
+import pytest
+from networkx.algorithms.isomorphism import GraphMatcher
+
+from repro.core.config import SigmoConfig
+from repro.core.engine import find_all
+from repro.graph.generators import path_graph, ring_graph
+from tests.conftest import random_case
+
+INDUCED = SigmoConfig(induced=True)
+
+
+def oracle_induced(q, d):
+    gm = GraphMatcher(
+        d.to_networkx(), q.to_networkx(),
+        node_match=lambda a, b: a["label"] == b["label"],
+        edge_match=lambda a, b: a["label"] == b["label"],
+    )
+    return sum(1 for _ in gm.subgraph_isomorphisms_iter())
+
+
+class TestInducedSemantics:
+    def test_path_not_induced_in_triangle(self):
+        # a 3-path occurs in a triangle as a monomorphism but never as an
+        # induced subgraph (the closing edge is extra)
+        q = path_graph([0, 0, 0])
+        d = ring_graph(3, [0, 0, 0])
+        assert find_all([q], [d]).total_matches == 6
+        assert find_all([q], [d], INDUCED).total_matches == 0
+
+    def test_induced_subset_of_monomorphisms(self, rng):
+        for _ in range(10):
+            q, d, _ = random_case(rng)
+            mono = find_all([q], [d]).total_matches
+            induced = find_all([q], [d], INDUCED).total_matches
+            assert induced <= mono
+
+    def test_agrees_with_networkx(self, rng):
+        for _ in range(20):
+            q, d, _ = random_case(rng)
+            assert find_all([q], [d], INDUCED).total_matches == oracle_induced(q, d)
+
+    def test_exact_graph_still_matches(self):
+        g = ring_graph(6, [0, 1, 2, 3, 4, 5])
+        assert find_all([g], [g], INDUCED).total_matches == 1
+
+    def test_iteration_invariance(self, rng):
+        q, d, _ = random_case(rng)
+        counts = {
+            find_all(
+                [q], [d], SigmoConfig(induced=True, refinement_iterations=s)
+            ).total_matches
+            for s in (1, 3, 6)
+        }
+        assert len(counts) == 1
+
+    def test_embeddings_have_no_extra_edges(self, rng):
+        cfg = SigmoConfig(induced=True, record_embeddings=True)
+        for _ in range(5):
+            q, d, _ = random_case(rng)
+            res = find_all([q], [d], cfg)
+            for rec in res.embeddings:
+                mapping = rec.mapping
+                for i in range(q.n_nodes):
+                    for j in range(i + 1, q.n_nodes):
+                        if not q.has_edge(i, j):
+                            assert not d.has_edge(int(mapping[i]), int(mapping[j]))

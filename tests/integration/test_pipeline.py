@@ -1,0 +1,92 @@
+"""End-to-end integration tests over the calibrated benchmark dataset."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vf2 import VF3Matcher
+from repro.core.config import SigmoConfig
+from repro.core.engine import SigmoEngine
+
+
+@pytest.fixture(scope="module")
+def engine(small_dataset):
+    return SigmoEngine(small_dataset.queries, small_dataset.data)
+
+
+@pytest.fixture(scope="module")
+def result(engine):
+    return engine.run()
+
+
+class TestEndToEnd:
+    def test_finds_matches(self, result):
+        assert result.total_matches > 0
+
+    def test_agrees_with_vf3_per_pair(self, small_dataset, engine, result):
+        """SIGMo's per-pair counts equal an independent matcher's."""
+        pair_counts = {}
+        gmcr = result.gmcr
+        for d_idx in range(gmcr.n_data_graphs):
+            sl = gmcr.pair_slice(d_idx)
+            for q_idx, n in zip(
+                gmcr.query_graph_indices[sl], result.join_result.pair_matches[sl]
+            ):
+                pair_counts[(d_idx, int(q_idx))] = int(n)
+        # check a sample of pairs including non-GMCR ones (must be 0 matches)
+        rng = np.random.default_rng(0)
+        checked = 0
+        for d_idx in rng.choice(len(small_dataset.data), 12, replace=False):
+            for q_idx in rng.choice(len(small_dataset.queries), 6, replace=False):
+                ref = VF3Matcher(
+                    small_dataset.queries[int(q_idx)], small_dataset.data[int(d_idx)]
+                ).count_all()
+                got = pair_counts.get((int(d_idx), int(q_idx)), 0)
+                assert got == ref, (d_idx, q_idx)
+                checked += 1
+        assert checked == 72
+
+    def test_total_equals_pair_sum(self, result):
+        assert result.total_matches == int(result.join_result.pair_matches.sum())
+
+    def test_iteration_count_does_not_change_results(self, engine):
+        totals = {
+            s: engine.run(config=SigmoConfig(refinement_iterations=s)).total_matches
+            for s in (1, 3, 6)
+        }
+        assert len(set(totals.values())) == 1
+
+    def test_word_width_does_not_change_results(self, engine, result):
+        res32 = engine.run(config=SigmoConfig(word_bits=32))
+        assert res32.total_matches == result.total_matches
+
+    def test_candidate_order_does_not_change_results(self, engine, result):
+        res = engine.run(config=SigmoConfig(candidate_order="bfs"))
+        assert res.total_matches == result.total_matches
+
+    def test_find_first_counts_matched_pairs(self, engine, result):
+        ff = engine.run(mode="find-first")
+        matched_pairs = sum(
+            1 for n in result.join_result.pair_matches if n > 0
+        )
+        assert ff.total_matches == matched_pairs
+        assert ff.gmcr.matched.sum() == matched_pairs
+
+    def test_memory_bitmap_share_grows_with_queries(self, small_dataset):
+        # paper 5.1.3: at full scale (3,413 query nodes) the bitmap is ~80%
+        # of the footprint.  Bitmap bytes scale with nq x nd while graphs
+        # scale with nd, so the share must grow with the query count; the
+        # full-scale 80% figure itself is asserted from the closed-form
+        # footprint in tests/device/test_memory.py.
+        few = SigmoEngine(small_dataset.queries[:4], small_dataset.data).run()
+        many = SigmoEngine(small_dataset.queries, small_dataset.data).run()
+        assert (
+            many.memory.fractions()["candidate_bitmap"]
+            > few.memory.fractions()["candidate_bitmap"]
+        )
+
+    def test_deterministic_across_runs(self, engine, result):
+        again = engine.run()
+        assert again.total_matches == result.total_matches
+        np.testing.assert_array_equal(
+            again.join_result.pair_matches, result.join_result.pair_matches
+        )

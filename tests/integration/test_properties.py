@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) on the core data structures and the
+matching pipeline's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.networkx_ref import networkx_count_matches
+from repro.core.candidates import CandidateBitmap
+from repro.core.csrgo import CSRGO
+from repro.core.engine import find_all
+from repro.core.signatures import SignaturePacking, SignatureState, reference_signatures
+from repro.graph.batch import GraphBatch
+from repro.graph.generators import random_connected_graph, random_subgraph_pattern
+from repro.graph.labeled_graph import LabeledGraph
+from repro.utils.bitops import pack_bool_rows, row_popcount, unpack_bitmap_rows
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def labeled_graphs(draw, max_nodes=12, n_labels=4, n_edge_labels=2):
+    """Random connected labeled graph via seeded generator."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    n = draw(st.integers(2, max_nodes))
+    extra = draw(st.integers(0, 5))
+    rng = np.random.default_rng(seed)
+    return random_connected_graph(n, extra, n_labels, rng, n_edge_labels)
+
+
+@st.composite
+def query_data_pairs(draw):
+    """(query, data) with the query planted in the data graph."""
+    data = draw(labeled_graphs(max_nodes=14))
+    seed = draw(st.integers(0, 2**31 - 1))
+    k = draw(st.integers(2, min(5, data.n_nodes)))
+    rng = np.random.default_rng(seed)
+    query, _ = random_subgraph_pattern(data, k, rng)
+    return query, data
+
+
+class TestBitmapProperties:
+    @given(st.data())
+    @settings(**SETTINGS)
+    def test_pack_unpack_roundtrip(self, data):
+        n_rows = data.draw(st.integers(1, 6))
+        n_bits = data.draw(st.integers(1, 200))
+        word_bits = data.draw(st.sampled_from([8, 16, 32, 64]))
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        rows = np.random.default_rng(seed).random((n_rows, n_bits)) < 0.5
+        packed = pack_bool_rows(rows, word_bits)
+        np.testing.assert_array_equal(
+            unpack_bitmap_rows(packed, n_bits, word_bits), rows
+        )
+        np.testing.assert_array_equal(row_popcount(packed), rows.sum(axis=1))
+
+    @given(st.data())
+    @settings(**SETTINGS)
+    def test_and_row_never_adds_bits(self, data):
+        n_bits = data.draw(st.integers(1, 150))
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        bitmap = CandidateBitmap(1, n_bits)
+        first = rng.random(n_bits) < 0.5
+        second = rng.random(n_bits) < 0.5
+        bitmap.set_row_bool(0, first)
+        bitmap.and_row_bool(0, second)
+        assert not (bitmap.row_bool(0) & ~first).any()
+
+
+class TestSignatureProperties:
+    @given(st.data())
+    @settings(**SETTINGS)
+    def test_packing_domination_equals_saturated_comparison(self, data):
+        n_labels = data.draw(st.integers(1, 8))
+        bits = data.draw(
+            st.lists(st.integers(1, 8), min_size=n_labels, max_size=n_labels)
+        )
+        if sum(bits) > 64:
+            bits = [1] * n_labels
+        packing = SignaturePacking(np.asarray(bits))
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(seed)
+        q = rng.integers(0, 20, size=(1, n_labels))
+        d = rng.integers(0, 20, size=(5, n_labels))
+        packed_result = packing.dominates(packing.pack(d), packing.pack(q)[0])
+        sat_result = np.all(packing.saturate(d) >= packing.saturate(q)[0], axis=1)
+        np.testing.assert_array_equal(packed_result, sat_result)
+
+    @given(labeled_graphs())
+    @settings(**SETTINGS)
+    def test_batched_signatures_match_reference(self, graph):
+        c = CSRGO.from_graphs([graph])
+        n_labels = graph.max_label + 1
+        state = SignatureState(c, n_labels)
+        radius = 3
+        state.run_to(radius)
+        np.testing.assert_array_equal(
+            state.counts, reference_signatures(c, radius, n_labels)
+        )
+
+    @given(labeled_graphs())
+    @settings(**SETTINGS)
+    def test_signatures_monotone_in_radius(self, graph):
+        c = CSRGO.from_graphs([graph])
+        state = SignatureState(c, graph.max_label + 1)
+        prev = state.counts.copy()
+        for _ in range(4):
+            state.step()
+            assert (state.counts >= prev).all()
+            prev = state.counts.copy()
+
+
+class TestCsrgoProperties:
+    @given(st.lists(labeled_graphs(max_nodes=8), min_size=1, max_size=4))
+    @settings(**SETTINGS)
+    def test_batch_roundtrip(self, graphs):
+        c = CSRGO.from_batch(GraphBatch(graphs))
+        for i, g in enumerate(graphs):
+            assert c.extract_graph(i) == g
+
+    @given(st.lists(labeled_graphs(max_nodes=8), min_size=1, max_size=4))
+    @settings(**SETTINGS)
+    def test_graph_of_node_consistent(self, graphs):
+        c = CSRGO.from_batch(GraphBatch(graphs))
+        for node in range(c.n_nodes):
+            g = c.graph_of_node(node)
+            lo, hi = c.graph_node_range(g)
+            assert lo <= node < hi
+
+
+class TestMatchingProperties:
+    @given(query_data_pairs())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_sigmo_equals_oracle(self, pair):
+        query, data = pair
+        got = find_all([query], [data]).total_matches
+        ref = networkx_count_matches(query, data)
+        assert got == ref
+        assert got >= 1  # planted pattern
+
+    @given(query_data_pairs())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_embeddings_are_valid_monomorphisms(self, pair):
+        from repro.core.config import SigmoConfig
+
+        query, data = pair
+        res = find_all([query], [data], SigmoConfig(record_embeddings=True))
+        seen = set()
+        for rec in res.embeddings:
+            mapping = tuple(rec.mapping.tolist())
+            assert mapping not in seen  # no duplicates
+            seen.add(mapping)
+            assert len(set(mapping)) == len(mapping)  # injective
+            for qi, di in enumerate(rec.mapping):
+                assert data.labels[di] == query.labels[qi]
+            for (u, v), lab in zip(query.edges, query.edge_labels):
+                assert data.has_edge(int(rec.mapping[u]), int(rec.mapping[v]))
+                assert data.edge_label(int(rec.mapping[u]), int(rec.mapping[v])) == lab
+
+    @given(query_data_pairs(), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_iteration_invariance(self, pair, iterations):
+        from repro.core.config import SigmoConfig
+
+        query, data = pair
+        got = find_all(
+            [query], [data], SigmoConfig(refinement_iterations=iterations)
+        ).total_matches
+        ref = networkx_count_matches(query, data)
+        assert got == ref

@@ -1,0 +1,127 @@
+"""End-to-end wildcard matching (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+from networkx.algorithms.isomorphism import GraphMatcher
+
+from repro.chem.smarts import (
+    ANY_BOND_LABEL,
+    WILDCARD_ATOM_LABEL,
+    pattern_from_smarts,
+    wildcard_config,
+)
+from repro.chem.smiles import mol_from_smiles
+from repro.core.engine import SigmoEngine
+
+MOLECULES = [
+    "CC(=O)Oc1ccccc1C(=O)O",
+    "CC(=O)Nc1ccc(O)cc1",
+    "CCOC(=O)C",
+    "c1ccncc1CCl",
+    "CS(=O)(=O)NCC1CCCO1",
+]
+
+
+def oracle_count(pattern, data):
+    """NetworkX oracle with wildcard-aware matchers."""
+    def node_match(d_attrs, q_attrs):
+        return (
+            q_attrs["label"] == WILDCARD_ATOM_LABEL
+            or d_attrs["label"] == q_attrs["label"]
+        )
+
+    def edge_match(d_attrs, q_attrs):
+        return (
+            q_attrs["label"] == ANY_BOND_LABEL
+            or d_attrs["label"] == q_attrs["label"]
+        )
+
+    gm = GraphMatcher(
+        data.to_networkx(), pattern.to_networkx(),
+        node_match=node_match, edge_match=edge_match,
+    )
+    return sum(1 for _ in gm.subgraph_monomorphisms_iter())
+
+
+@pytest.fixture(scope="module")
+def mols():
+    return [mol_from_smiles(s).graph() for s in MOLECULES]
+
+
+class TestWildcardMatching:
+    @pytest.mark.parametrize(
+        "smarts",
+        ["C*O", "C~O", "*~*", "C(=O)*", "c1ccccc1*", "C~N", "*C(=O)*", "O~*~O"],
+    )
+    def test_agrees_with_oracle(self, smarts, mols):
+        pattern = pattern_from_smarts(smarts)
+        engine = SigmoEngine([pattern], mols, wildcard_config())
+        got = engine.run().total_matches
+        ref = sum(oracle_count(pattern, m) for m in mols)
+        assert got == ref
+
+    def test_wildcard_superset_of_concrete(self, mols):
+        """`C*` must match at least everything `CC` and `CO` match."""
+        cfg = wildcard_config()
+        wild = SigmoEngine([pattern_from_smarts("C*")], mols, cfg).run().total_matches
+        cc = SigmoEngine([pattern_from_smarts("CC")], mols, cfg).run().total_matches
+        co = SigmoEngine([pattern_from_smarts("CO")], mols, cfg).run().total_matches
+        assert wild >= cc + co
+
+    def test_any_bond_superset_of_single(self, mols):
+        cfg = wildcard_config()
+        any_b = SigmoEngine([pattern_from_smarts("C~O")], mols, cfg).run().total_matches
+        single = SigmoEngine([pattern_from_smarts("CO")], mols, cfg).run().total_matches
+        double = SigmoEngine([pattern_from_smarts("C=O")], mols, cfg).run().total_matches
+        assert any_b == single + double  # molecules only use single/double C-O
+
+    def test_iteration_invariance_with_wildcards(self, mols):
+        pattern = pattern_from_smarts("*C(=O)*")
+        counts = set()
+        for s in (1, 2, 4, 6):
+            cfg = wildcard_config(refinement_iterations=s)
+            counts.add(SigmoEngine([pattern], mols, cfg).run().total_matches)
+        assert len(counts) == 1
+
+    def test_filter_still_prunes_wildcard_neighbors(self, mols):
+        """Wildcard nodes keep their own neighborhood constraints: a
+        wildcard bonded to two oxygens only matches atoms with >= 2 O
+        neighbors."""
+        pattern = pattern_from_smarts("O~*~O")
+        engine = SigmoEngine([pattern], mols, wildcard_config())
+        result = engine.run()
+        ref = sum(oracle_count(pattern, m) for m in mols)
+        assert result.total_matches == ref
+        # the filter must cut the wildcard row below "all data nodes"
+        wildcard_row = int(np.nonzero(engine.query.labels == WILDCARD_ATOM_LABEL)[0][0])
+        assert (
+            result.filter_result.bitmap.row_counts()[wildcard_row]
+            < engine.data.n_nodes
+        )
+
+    def test_find_first_with_wildcards(self, mols):
+        pattern = pattern_from_smarts("C~N")
+        engine = SigmoEngine([pattern], mols, wildcard_config())
+        ff = engine.run(mode="find-first")
+        expected = sum(1 for m in mols if oracle_count(pattern, m) > 0)
+        assert ff.total_matches == expected
+
+    def test_property_random_patterns(self, rng, mols):
+        """Randomized wildcardizations of mined patterns stay oracle-exact."""
+        from repro.graph.generators import random_subgraph_pattern
+        from repro.graph.labeled_graph import LabeledGraph
+
+        for _ in range(10):
+            host = mols[int(rng.integers(0, len(mols)))]
+            base, _ = random_subgraph_pattern(host, int(rng.integers(2, 5)), rng)
+            labels = base.labels.copy()
+            # wildcard a random node
+            labels[int(rng.integers(0, labels.size))] = WILDCARD_ATOM_LABEL
+            edge_labels = base.edge_labels.copy()
+            if edge_labels.size and rng.random() < 0.5:
+                edge_labels[int(rng.integers(0, edge_labels.size))] = ANY_BOND_LABEL
+            pattern = LabeledGraph(labels, base.edges, edge_labels)
+            engine = SigmoEngine([pattern], mols, wildcard_config())
+            assert engine.run().total_matches == sum(
+                oracle_count(pattern, m) for m in mols
+            )

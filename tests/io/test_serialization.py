@@ -1,0 +1,44 @@
+"""Unit tests for dataset serialization."""
+
+import numpy as np
+import pytest
+
+from repro.chem.datasets import build_benchmark
+from repro.graph.labeled_graph import LabeledGraph
+from repro.io.serialization import load_dataset, load_graphs, save_dataset, save_graphs
+
+
+class TestGraphsRoundtrip:
+    def test_roundtrip(self, tmp_path, rng):
+        from repro.graph.generators import random_connected_graph
+
+        graphs = [random_connected_graph(6, 2, 3, rng, 2) for _ in range(5)]
+        graphs.append(LabeledGraph([7]))  # single node, no edges
+        save_graphs(tmp_path / "g.npz", graphs)
+        back = load_graphs(tmp_path / "g.npz")
+        assert len(back) == 6
+        for a, b in zip(graphs, back):
+            assert a == b
+
+    def test_empty_list(self, tmp_path):
+        save_graphs(tmp_path / "e.npz", [])
+        assert load_graphs(tmp_path / "e.npz") == []
+
+
+class TestDatasetRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        ds = build_benchmark(scale=1.0, n_queries=6, n_data_graphs=12, seed=3)
+        save_dataset(tmp_path / "ds", ds)
+        back = load_dataset(tmp_path / "ds")
+        assert back.n_queries == 6 and back.n_data_graphs == 12
+        assert back.scale == ds.scale and back.seed == ds.seed
+        for a, b in zip(ds.queries, back.queries):
+            assert a == b
+
+    def test_metadata_mismatch_detected(self, tmp_path):
+        ds = build_benchmark(scale=1.0, n_queries=6, n_data_graphs=12, seed=3)
+        save_dataset(tmp_path / "ds", ds)
+        # corrupt: overwrite queries with a different count
+        save_graphs(tmp_path / "ds" / "queries.npz", ds.queries[:2])
+        with pytest.raises(ValueError, match="metadata"):
+            load_dataset(tmp_path / "ds")

@@ -1,0 +1,30 @@
+"""Unit tests for .smi reading/writing."""
+
+import pytest
+
+from repro.chem.generator import MoleculeGenerator
+from repro.chem.smiles import mol_from_smiles
+from repro.io import read_smi, write_smi
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        mols = MoleculeGenerator(seed=3).generate_batch(10)
+        path = tmp_path / "lib.smi"
+        write_smi(path, mols, [f"m{i}" for i in range(10)])
+        back = read_smi(path)
+        assert len(back) == 10
+        assert back[0].name == "m0"
+        assert back[3].n_heavy_atoms == mols[3].n_heavy_atoms
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "x.smi"
+        path.write_text("# header\n\nCCO ethanol\n\nc1ccccc1\tbenzene\n")
+        mols = read_smi(path)
+        assert [m.name for m in mols] == ["ethanol", "benzene"]
+
+    def test_parse_error_includes_location(self, tmp_path):
+        path = tmp_path / "bad.smi"
+        path.write_text("CCO\nC(\n")
+        with pytest.raises(ValueError, match="bad.smi:2"):
+            read_smi(path)

@@ -1,0 +1,58 @@
+"""Unit tests for the configuration tuner (Table 1)."""
+
+import pytest
+
+from repro.device.counters import KernelCounters, PipelineCounters
+from repro.device.spec import DEVICES
+from repro.perf.tuner import ConfigTuner
+
+
+def realistic_counters(rng):
+    work = rng.exponential(4.0, size=5000) + 1
+    return PipelineCounters(
+        filter_iterations=[
+            KernelCounters(name=f"filter-{i}", instructions=3e10 / i, bytes_hbm=2e9)
+            for i in range(1, 7)
+        ],
+        mapping=KernelCounters(name="mapping", instructions=1e8, bytes_hbm=1e9),
+        join=KernelCounters(
+            name="join",
+            instructions=2e11,
+            bytes_hbm=5e10,
+            bytes_l2=1.5e11,
+            work_per_item=work,
+        ),
+    )
+
+
+class TestSweep:
+    def test_sweep_sorted(self, rng):
+        tuner = ConfigTuner(DEVICES["nvidia-v100s"])
+        results = tuner.sweep(realistic_counters(rng))
+        totals = [r.modeled_total_seconds for r in results]
+        assert totals == sorted(totals)
+        assert len(results) == 2 * 4 * 4
+
+    def test_best_reproduces_table1(self, rng):
+        cnt = realistic_counters(rng)
+        expected = {
+            "nvidia-v100s": (32, 1024, 128),
+            "amd-mi100": (64, 512, 64),
+            "intel-max1100": (32, 512, 32),
+        }
+        for name, (wb, fwg, jwg) in expected.items():
+            best = ConfigTuner(DEVICES[name]).best(cnt)
+            assert (best.word_bits, best.filter_workgroup_size,
+                    best.join_workgroup_size) == (wb, fwg, jwg), name
+
+    def test_as_row(self, rng):
+        best = ConfigTuner(DEVICES["amd-mi100"]).best(realistic_counters(rng))
+        row = best.as_row()
+        assert row["Candidates bitmap integer"] == "64 bit"
+
+    def test_empty_space(self, rng):
+        tuner = ConfigTuner(
+            DEVICES["nvidia-v100s"], word_bits_choices=(), filter_wg_choices=(),
+            join_wg_choices=())
+        with pytest.raises(RuntimeError):
+            tuner.best(realistic_counters(rng))

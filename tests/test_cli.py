@@ -1,0 +1,79 @@
+"""End-to-end CLI tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import read_smi
+
+
+@pytest.fixture
+def library(tmp_path):
+    path = tmp_path / "lib.smi"
+    assert main(["generate", "--out", str(path), "-n", "25", "--seed", "1"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_generates_library(self, library):
+        assert len(read_smi(library)) == 25
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.smi", tmp_path / "b.smi"
+        main(["generate", "--out", str(a), "-n", "5", "--seed", "9"])
+        main(["generate", "--out", str(b), "-n", "5", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestInfo:
+    def test_prints_stats(self, library, capsys):
+        assert main(["info", str(library)]) == 0
+        out = capsys.readouterr().out
+        assert "25 molecules" in out
+        assert "mean_heavy_atoms" in out
+
+
+class TestMatch:
+    def test_query_file_match(self, library, tmp_path, capsys):
+        queries = tmp_path / "q.smi"
+        queries.write_text("CC ethyl\nCO c-o\n")
+        assert main(["match", "--data", str(library), "--queries", str(queries)]) == 0
+        out = capsys.readouterr().out
+        assert "matches across 25 molecules x 2 queries" in out
+
+    def test_inline_smarts_with_wildcards(self, library, capsys):
+        assert main(
+            ["match", "--data", str(library), "--smarts", "C~*", "--mode",
+             "find-first"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "find-first" in out
+
+    def test_json_output_with_embeddings(self, library, tmp_path, capsys):
+        out_json = tmp_path / "res.json"
+        assert main(
+            ["match", "--data", str(library), "--smarts", "CC",
+             "--embeddings", "--json", str(out_json)]
+        ) == 0
+        payload = json.loads(out_json.read_text())
+        assert payload["total_matches"] == len(payload["embeddings"])
+        assert payload["matched_pairs"]
+
+    def test_chunked_equals_unchunked(self, library, tmp_path):
+        import io
+        from contextlib import redirect_stdout
+
+        def run(extra):
+            buf = io.StringIO()
+            with redirect_stdout(buf):
+                main(["match", "--data", str(library), "--smarts", "CCO"] + extra)
+            return buf.getvalue().splitlines()[0]
+
+        assert run([]).split()[0] == run(["--chunk-size", "4"]).split()[0]
+
+
+class TestSelftest:
+    def test_selftest_runs(self, capsys):
+        assert main(["selftest", "--molecules", "30", "--queries", "8"]) == 0
+        assert "selftest ok" in capsys.readouterr().out

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script must run and produce sane output."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys=capsys)
+        assert "Find All:" in out
+        assert "aspirin" in out
+
+    def test_atom_typing(self, capsys):
+        out = run_example("atom_typing.py", capsys=capsys)
+        assert "rule matches" in out
+        assert "typed 13/13" in out  # aspirin fully typed
+
+    def test_virtual_screening(self, capsys):
+        out = run_example("virtual_screening.py", ["60"], capsys=capsys)
+        assert "screened 60 molecules" in out
+        assert "hit rates" in out
+
+    def test_wildcard_patterns(self, capsys):
+        out = run_example("wildcard_patterns.py", capsys=capsys)
+        assert "embeddings" in out
+        assert "C~N" in out
+
+    def test_protonation_sites(self, capsys):
+        out = run_example("protonation_sites.py", capsys=capsys)
+        assert "protonation microstates" in out
+        assert "glycine-like" in out
+
+    @pytest.mark.slow
+    def test_cross_device_tuning(self, capsys):
+        out = run_example("cross_device_tuning.py", capsys=capsys)
+        assert "nvidia-v100s" in out

@@ -1,0 +1,49 @@
+"""Unit tests for the ASCII chart renderer used by the bench reports."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.experiments.textplot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart({"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "*=a" in out and "o=b" in out
+        assert out.count("|") >= 2
+
+    def test_monotone_series_orientation(self):
+        out = ascii_chart({"up": [0.0, 10.0]}, width=10, height=5)
+        lines = out.splitlines()
+        # the max (10) labels the top row, the min (0) the bottom row
+        assert lines[0].strip().startswith("10")
+        assert "0.00" in lines[4]
+
+    def test_log_scale(self):
+        out = ascii_chart({"t": [1e6, 1e7, 1e8]}, log_y=True, y_label="tp")
+        assert "(log)" in out
+        assert "1.0e+08" in out
+
+    def test_x_labels(self):
+        out = ascii_chart({"a": [1, 2]}, x_values=[16, 256], x_label="GPUs")
+        assert "16" in out and "256" in out and "(GPUs)" in out
+
+    def test_flat_series(self):
+        out = ascii_chart({"flat": [5.0, 5.0, 5.0]})
+        assert "*" in out  # renders without dividing by zero
+
+    def test_single_point(self):
+        out = ascii_chart({"p": [2.0]})
+        assert "*" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1], "b": [1, 2]})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})

@@ -1,0 +1,51 @@
+"""Unit tests for the stage timer."""
+
+import pytest
+
+from repro.utils.timing import StageTimer
+
+
+class TestStageTimer:
+    def test_stage_accumulates(self):
+        t = StageTimer()
+        with t.stage("a"):
+            pass
+        with t.stage("a"):
+            pass
+        assert t.counts["a"] == 2
+        assert t.totals["a"] >= 0
+
+    def test_manual_add(self):
+        t = StageTimer()
+        t.add("x", 1.5)
+        t.add("x", 0.5)
+        assert t.totals["x"] == pytest.approx(2.0)
+
+    def test_add_negative_raises(self):
+        with pytest.raises(ValueError):
+            StageTimer().add("x", -1)
+
+    def test_total_sums_stages(self):
+        t = StageTimer()
+        t.add("a", 1.0)
+        t.add("b", 2.0)
+        assert t.total == pytest.approx(3.0)
+
+    def test_as_dict_is_copy(self):
+        t = StageTimer()
+        t.add("a", 1.0)
+        d = t.as_dict()
+        d["a"] = 99
+        assert t.totals["a"] == pytest.approx(1.0)
+
+    def test_exception_still_recorded(self):
+        t = StageTimer()
+        with pytest.raises(RuntimeError):
+            with t.stage("boom"):
+                raise RuntimeError()
+        assert "boom" in t.totals
+
+    def test_repr(self):
+        t = StageTimer()
+        t.add("a", 0.25)
+        assert "a=" in repr(t)

@@ -1,0 +1,55 @@
+"""Unit tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import validation as v
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert v.check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert v.check_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            v.check_positive_int(0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            v.check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            v.check_positive_int(3.0, "x")
+
+
+class TestCheckNonnegativeInt:
+    def test_accepts_zero(self):
+        assert v.check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            v.check_nonnegative_int(-1, "x")
+
+
+class TestCheckArray1d:
+    def test_passthrough(self):
+        out = v.check_array_1d([1, 2, 3], "x", dtype=np.int32)
+        assert out.dtype == np.int32
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            v.check_array_1d(np.zeros((2, 2)), "x")
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert v.check_probability(0.0, "p") == 0.0
+        assert v.check_probability(1.0, "p") == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            v.check_probability(1.5, "p")
