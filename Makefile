@@ -1,0 +1,22 @@
+# Development entry points.  `make check` is the tier-1 gate:
+# the full test suite (which includes the analyzer self-checks under the
+# `analysis` pytest marker) plus the analyzer run against its baseline.
+
+PY := python
+export PYTHONPATH := src
+
+.PHONY: lint analyze test check baseline
+
+lint: analyze
+
+analyze:
+	$(PY) -m repro analyze
+
+# Refresh the accepted-findings baseline after reviewing new findings.
+baseline:
+	$(PY) -m repro analyze --update-baseline
+
+test:
+	$(PY) -m pytest -x -q
+
+check: test analyze

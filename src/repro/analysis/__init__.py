@@ -1,0 +1,26 @@
+"""Correctness tooling for the SIGMo reproduction.
+
+Three cooperating passes guard the layout contracts the GPU-shaped code
+depends on (CSR-GO adjacency, masked 64-bit signatures, word-packed
+candidate bitmaps) and the race-freedom of the simulated kernels:
+
+* :mod:`repro.analysis.linter` — a static, AST-based kernel lint with a
+  checked-in baseline (:mod:`repro.analysis.rules` holds the rules).
+* :mod:`repro.analysis.contracts` — debug-mode dynamic invariant checkers,
+  enabled with ``REPRO_CHECK=1`` and wired into the engine.
+* :mod:`repro.analysis.races` — shadow-access race traces replaying the
+  refine and join kernels through
+  :class:`repro.device.simt.ShadowMemory`.
+
+Run everything via ``python -m repro analyze``.
+
+This package root stays import-light (no :mod:`repro.core` imports) so
+that hot modules can import :mod:`repro.analysis.markers` and
+:mod:`repro.analysis.contracts` without cycles; import the heavy passes
+(:mod:`~repro.analysis.linter`, :mod:`~repro.analysis.races`) explicitly.
+"""
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.markers import kernel
+
+__all__ = ["Finding", "Severity", "kernel"]

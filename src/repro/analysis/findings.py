@@ -1,0 +1,78 @@
+"""Structured lint findings.
+
+Every rule emits :class:`Finding` records — file:line, rule id, severity,
+message, and the stripped source line.  The source-line text doubles as
+the baseline fingerprint (see :mod:`repro.analysis.linter`): baselines
+match on ``(rule, file, text)`` so that unrelated edits shifting line
+numbers do not invalidate them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass
+
+
+class Severity(str, enum.Enum):
+    """Finding severity; ``error`` findings are never auto-baselined."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule id (``SGL001`` ...).
+    name:
+        Human-readable rule slug (``shift-mixed-sign`` ...).
+    severity:
+        One of :class:`Severity`.
+    file:
+        Path relative to ``src/repro`` (POSIX separators) or the name
+        passed to ``lint_source``.
+    line / col:
+        1-based line and 0-based column of the flagged node.
+    message:
+        What is wrong and how to fix it.
+    text:
+        The stripped source line (baseline fingerprint component).
+    """
+
+    rule: str
+    name: str
+    severity: Severity
+    file: str
+    line: int
+    col: int
+    message: str
+    text: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Baseline fingerprint: stable across line-number churn."""
+        return (self.rule, self.file, self.text)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        d = asdict(self)
+        d["severity"] = self.severity.value
+        return d
+
+    def format(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"{self.file}:{self.line}:{self.col + 1}: "
+            f"{self.rule} [{self.severity.value}] {self.message}"
+        )
+
+
+def format_findings(findings: list[Finding]) -> str:
+    """Render findings one per line, sorted by file then line."""
+    ordered = sorted(findings, key=lambda f: (f.file, f.line, f.rule))
+    return "\n".join(f.format() for f in ordered)

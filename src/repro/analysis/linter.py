@@ -1,0 +1,154 @@
+"""Kernel-lint driver: file discovery, baseline handling, diffing.
+
+The lint walks the GPU-reproduction-critical packages
+(``src/repro/{core,device,utils,cluster}`` by default), runs every rule in
+:mod:`repro.analysis.rules`, and compares the findings against a
+checked-in baseline (``src/repro/analysis/baseline.json``).  CI fails only
+on findings *not* covered by the baseline, so intentional patterns (e.g.
+the join's documented scalar DFS loop) stay accepted while regressions in
+new code are caught.
+
+Baseline entries are fingerprinted as ``(rule, file, stripped source
+line)`` with multiplicities — robust to line-number churn from unrelated
+edits.  Refresh with ``python -m repro analyze --update-baseline`` after
+reviewing that every newly accepted finding is intentional.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import run_rules
+
+#: Packages under ``src/repro`` covered by the default lint run.
+DEFAULT_PACKAGES = ("core", "device", "utils", "cluster", "analysis")
+
+BaselineKey = tuple[str, str, str]
+
+
+def repo_src_root() -> Path:
+    """The ``src/repro`` directory this installation runs from."""
+    return Path(__file__).resolve().parent.parent
+
+
+def default_baseline_path() -> Path:
+    """The committed baseline shipped inside the package."""
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+def iter_target_files(
+    root: Path | None = None, packages: tuple[str, ...] = DEFAULT_PACKAGES
+) -> list[Path]:
+    """Python files of the target packages, sorted for determinism."""
+    root = root or repo_src_root()
+    files: list[Path] = []
+    for pkg in packages:
+        pkg_dir = root / pkg
+        if pkg_dir.is_dir():
+            files.extend(sorted(pkg_dir.rglob("*.py")))
+        elif pkg_dir.with_suffix(".py").is_file():
+            files.append(pkg_dir.with_suffix(".py"))
+    return files
+
+
+def lint_source(source: str, filename: str = "<snippet>") -> list[Finding]:
+    """Lint one source string (test fixtures, editor integration)."""
+    return run_rules(source, filename)
+
+
+def lint_file(path: Path, root: Path | None = None) -> list[Finding]:
+    """Lint one file; finding paths are relative to ``root``."""
+    root = root or repo_src_root()
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return run_rules(path.read_text(), rel)
+
+
+def lint_paths(
+    paths: list[Path] | None = None,
+    root: Path | None = None,
+    packages: tuple[str, ...] = DEFAULT_PACKAGES,
+) -> list[Finding]:
+    """Lint explicit paths, or the default package set when ``paths`` empty.
+
+    Directories are walked recursively; findings come back sorted by
+    ``(file, line, rule)``.
+    """
+    root = root or repo_src_root()
+    files: list[Path] = []
+    if paths:
+        for p in paths:
+            if p.is_dir():
+                files.extend(sorted(p.rglob("*.py")))
+            else:
+                files.append(p)
+    else:
+        files = iter_target_files(root, packages)
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, root))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+def baseline_counter(findings: list[Finding]) -> Counter[BaselineKey]:
+    """Multiset of baseline fingerprints for a finding list."""
+    return Counter(f.key for f in findings)
+
+
+def save_baseline(findings: list[Finding], path: Path | None = None) -> Path:
+    """Write the baseline file for the given findings; returns the path."""
+    path = path or default_baseline_path()
+    counts = baseline_counter(findings)
+    entries = [
+        {"rule": rule, "file": file, "text": text, "count": count}
+        for (rule, file, text), count in sorted(counts.items())
+    ]
+    payload = {
+        "comment": (
+            "Accepted lint findings; refresh with "
+            "`python -m repro analyze --update-baseline` after review."
+        ),
+        "entries": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_baseline(path: Path | None = None) -> Counter[BaselineKey]:
+    """Load a baseline file into a fingerprint multiset (empty if absent)."""
+    path = path or default_baseline_path()
+    if not Path(path).is_file():
+        return Counter()
+    payload = json.loads(Path(path).read_text())
+    counts: Counter[BaselineKey] = Counter()
+    for entry in payload.get("entries", []):
+        key = (entry["rule"], entry["file"], entry["text"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def new_findings(
+    findings: list[Finding], baseline: Counter[BaselineKey]
+) -> list[Finding]:
+    """Findings not absorbed by the baseline.
+
+    Matching is multiset-based: if the baseline accepts two occurrences of
+    a fingerprint and three are found, exactly one comes back as new.
+    """
+    budget = Counter(baseline)
+    fresh: list[Finding] = []
+    for f in findings:
+        if budget[f.key] > 0:
+            budget[f.key] -= 1
+        else:
+            fresh.append(f)
+    return fresh

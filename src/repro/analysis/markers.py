@@ -1,0 +1,31 @@
+"""Markers that designate GPU-kernel-equivalent hot functions.
+
+The SIGMo reproduction executes its "kernels" as vectorized NumPy code.
+Marking those functions lets the static analyzer hold them to stricter
+rules (no Python-level loops over ndarrays, no silent scalar clamps) than
+ordinary host-side code.  The marker is deliberately dependency-free so
+any module can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+def kernel(fn: F) -> F:
+    """Mark ``fn`` as a kernel-equivalent hot function.
+
+    Purely declarative: the function is returned unchanged, with a
+    ``__repro_kernel__`` attribute for introspection.  The analyzer keys
+    off the decorator *name* in the AST, so ``@kernel`` must be applied
+    undisguised (no aliasing).
+    """
+    fn.__repro_kernel__ = True  # type: ignore[attr-defined]
+    return fn
+
+
+def is_kernel(fn: Callable) -> bool:
+    """Whether ``fn`` carries the kernel marker."""
+    return bool(getattr(fn, "__repro_kernel__", False))

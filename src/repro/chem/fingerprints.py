@@ -181,6 +181,9 @@ def screen_then_match(
     )
     result = engine.run(mode="find-first")
     matched_local = sorted({d for d, _ in result.matched_pairs()})
-    matched = candidates[np.asarray(matched_local, dtype=np.int64)] if matched_local else np.empty(0, np.int64)
+    if matched_local:
+        matched = candidates[np.asarray(matched_local, dtype=np.int64)]
+    else:
+        matched = np.empty(0, np.int64)
     stats["false_positives"] = int(candidates.size) - len(matched_local)
     return matched, stats

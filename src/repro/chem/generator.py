@@ -162,7 +162,10 @@ class MoleculeGenerator:
         """Attach an aromatic or aliphatic ring system at ``anchor``."""
         rng = self.rng
         aromatic = rng.random() < 0.65
-        size = 6 if (aromatic and rng.random() < 0.7) or (not aromatic and rng.random() < 0.6) else 5
+        six_ring = (aromatic and rng.random() < 0.7) or (
+            not aromatic and rng.random() < 0.6
+        )
+        size = 6 if six_ring else 5
         members: list[int] = []
         if aromatic:
             # Aromatic ring: each atom spends 2 valence slots on the two

@@ -25,7 +25,12 @@ from repro.chem.molecule import Bond, BondOrder, Molecule
 
 _ORGANIC_SUBSET = ("Cl", "Br", "B", "C", "N", "O", "P", "S", "F", "I")
 _AROMATIC_ATOMS = {"b": "B", "c": "C", "n": "N", "o": "O", "p": "P", "s": "S"}
-_BOND_SYMBOLS = {"-": BondOrder.SINGLE, "=": BondOrder.DOUBLE, "#": BondOrder.TRIPLE, ":": BondOrder.AROMATIC}
+_BOND_SYMBOLS = {
+    "-": BondOrder.SINGLE,
+    "=": BondOrder.DOUBLE,
+    "#": BondOrder.TRIPLE,
+    ":": BondOrder.AROMATIC,
+}
 _BRACKET_RE = re.compile(
     r"\[(?P<symbol>[A-Z][a-z]?|[bcnops])(?P<hcount>H\d*)?(?P<charge>[+-]\d*|[+-]+)?\]"
 )

@@ -11,6 +11,10 @@ Subcommands
     Structural statistics of a ``.smi`` file (size, labels, degree).
 ``selftest``
     Quick end-to-end pipeline run on synthetic data with timings.
+``analyze``
+    Correctness tooling: kernel lint against the committed baseline,
+    contract-checked pipeline run, and shadow-access race traces of the
+    refine and join kernels (see ``docs/analysis.md``).
 """
 
 from __future__ import annotations
@@ -61,6 +65,21 @@ def _add_selftest(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--queries", type=int, default=40)
 
 
+def _add_analyze(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("analyze", help="kernel lint + contract + race checks")
+    p.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the kernel packages)",
+    )
+    p.add_argument("--baseline", metavar="FILE",
+                   help="baseline file (default: the committed one)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="accept current findings as the new baseline")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--no-dynamic", action="store_true",
+                   help="skip the contract-checked run and race traces")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -71,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate(sub)
     _add_info(sub)
     _add_selftest(sub)
+    _add_analyze(sub)
     return parser
 
 
@@ -203,6 +223,96 @@ def cmd_selftest(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    """Handle ``repro analyze``: lint + baseline diff + dynamic checks."""
+    from pathlib import Path
+
+    from repro.analysis import contracts, linter
+    from repro.analysis.findings import format_findings
+
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    try:
+        findings = linter.lint_paths(paths)
+    except OSError as exc:
+        print(f"analyze: cannot read {exc.filename}: {exc.strerror}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(
+            f"analyze: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.update_baseline:
+        target = Path(args.baseline) if args.baseline else None
+        written = linter.save_baseline(findings, target)
+        print(f"baseline updated: {written} ({len(findings)} accepted findings)")
+        return 0
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    baseline = linter.load_baseline(baseline_path)
+    fresh = linter.new_findings(findings, baseline)
+
+    contract_error: str | None = None
+    race_report: dict = {}
+    if not args.no_dynamic:
+        from repro.analysis.races import run_race_checks
+
+        try:
+            with contracts.forced(True):
+                shadows = run_race_checks()
+        except contracts.ContractViolation as exc:
+            contract_error = str(exc)
+            shadows = {}
+        race_report = {name: sh.summary() for name, sh in shadows.items()}
+        if contract_error is None:
+            from repro.chem.datasets import build_benchmark
+            from repro.core.engine import SigmoEngine
+
+            ds = build_benchmark(n_queries=4, n_data_graphs=10, seed=0)
+            try:
+                with contracts.forced(True):
+                    SigmoEngine(ds.queries, ds.data).run()
+            except contracts.ContractViolation as exc:
+                contract_error = str(exc)
+    n_races = sum(len(r["conflicts"]) for r in race_report.values())
+    ok = not fresh and not n_races and contract_error is None
+
+    if args.format == "json":
+        payload = {
+            "findings": [f.to_dict() for f in findings],
+            "new_findings": [f.to_dict() for f in fresh],
+            "baseline_entries": sum(baseline.values()),
+            "races": race_report,
+            "contract_error": contract_error,
+            "ok": ok,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        if fresh:
+            print(format_findings(fresh))
+        print(
+            f"lint: {len(findings)} finding(s), {len(fresh)} new "
+            f"(baseline: {sum(baseline.values())})"
+        )
+        for name, report in race_report.items():
+            print(
+                f"races[{name}]: {report['work_items']} work-items, "
+                f"{report['reads'] + report['writes'] + report['atomics']} "
+                f"accesses, {len(report['conflicts'])} conflict(s)"
+            )
+            for line in report["conflicts"]:
+                print(f"  {line}")
+        if not args.no_dynamic:
+            print(
+                "contracts: violation\n" + contract_error
+                if contract_error
+                else "contracts: ok"
+            )
+        print("analyze: ok" if ok else "analyze: FAILED")
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -211,6 +321,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": cmd_generate,
         "info": cmd_info,
         "selftest": cmd_selftest,
+        "analyze": cmd_analyze,
     }
     return handlers[args.command](args)
 

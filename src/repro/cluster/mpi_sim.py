@@ -20,7 +20,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.chem.generator import MoleculeGenerator
-from repro.cluster.partition import partition_static
 from repro.core.config import SigmoConfig
 from repro.core.engine import SigmoEngine
 from repro.core.join import FIND_ALL

@@ -14,7 +14,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.core.chunked import ChunkedResult, run_chunked
+from repro.core.chunked import run_chunked
 from repro.core.config import SigmoConfig
 from repro.core.join import FIND_ALL
 from repro.core.results import MatchRecord

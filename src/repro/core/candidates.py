@@ -107,7 +107,9 @@ class CandidateBitmap:
         """Whole bitmap as a dense boolean matrix (tests / small batches)."""
         return unpack_bitmap_rows(self.words, self.n_data_nodes, self.word_bits)
 
-    def candidates_of(self, query_node: int, start: int = 0, stop: int | None = None) -> np.ndarray:
+    def candidates_of(
+        self, query_node: int, start: int = 0, stop: int | None = None
+    ) -> np.ndarray:
         """Data-node ids that are candidates for ``query_node``.
 
         ``start``/``stop`` restrict to a global-id window — the join uses

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.core.config import SigmoConfig
 from repro.core.engine import SigmoEngine

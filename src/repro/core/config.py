@@ -8,7 +8,7 @@ them plus the signature bit-allocation policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 

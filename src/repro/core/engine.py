@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-import numpy as np
-
+from repro.analysis import contracts
 from repro.core.config import SigmoConfig
 from repro.core.csrgo import CSRGO
 from repro.core.filtering import IterativeFilter
@@ -67,6 +66,9 @@ class SigmoEngine:
         # Stage 1: convert to CSR-GO.
         self.query = CSRGO.from_batch(query_batch)
         self.data = CSRGO.from_batch(data_batch)
+        if contracts.enabled():
+            contracts.check_csrgo(self.query, "query batch")
+            contracts.check_csrgo(self.data, "data batch")
         q_labels = self.query.labels
         if self.config.wildcard_label is not None:
             q_labels = q_labels[q_labels != self.config.wildcard_label]
@@ -93,10 +95,14 @@ class SigmoEngine:
         # Stages 2-4: candidate initialization + iterative filtering.
         filt = IterativeFilter(self.query, self.data, config, self.n_labels)
         filter_result = filt.run(timer)
+        if contracts.enabled():
+            contracts.check_filter_result(filter_result)
 
         # Stage 5: GMCR mapping.
         with timer.stage("mapping"):
             gmcr = build_gmcr(filter_result.bitmap, self.query, self.data)
+        if contracts.enabled():
+            contracts.check_gmcr(gmcr, self.query.n_graphs)
 
         # Stage 6: join.
         join_result = run_join(

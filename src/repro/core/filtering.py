@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis import contracts
+from repro.analysis.markers import kernel
 from repro.core.candidates import CandidateBitmap
 from repro.core.config import SigmoConfig
 from repro.core.csrgo import CSRGO
@@ -85,6 +87,7 @@ class FilterResult:
         return self.iterations[-1].total_candidates if self.iterations else 0
 
 
+@kernel
 def initialize_candidates(
     query: CSRGO, data: CSRGO, word_bits: int = 64, wildcard_label: int | None = None
 ) -> CandidateBitmap:
@@ -109,6 +112,7 @@ def initialize_candidates(
     return bitmap
 
 
+@kernel
 def refine_candidates(
     bitmap: CandidateBitmap,
     query_counts: np.ndarray,
@@ -212,15 +216,28 @@ class IterativeFilter:
                     wildcard_label=self.config.wildcard_label,
                     wildcard_edge_label=self.config.wildcard_edge_label,
                 )
+        checking = contracts.enabled()
+        if checking:
+            contracts.check_bitmap(bitmap, name="initialize_candidates")
         for iteration in range(1, self.config.refinement_iterations + 1):
             start = time.perf_counter()
             radius = iteration - 1
+            prev_words = bitmap.words.copy() if checking else None
             with timer.stage("filter"):
                 if radius > 0:
                     q_counts, d_counts = self._signatures_at(radius)
                     refine_candidates(bitmap, q_counts, d_counts, self.packing)
             elapsed = time.perf_counter() - start
             per_node = bitmap.row_counts()
+            if checking:
+                contracts.check_bitmap(
+                    bitmap,
+                    name=f"refine iteration {iteration}",
+                    expected_counts=per_node,
+                )
+                contracts.check_refinement_monotone(
+                    prev_words, bitmap.words, name=f"refine iteration {iteration}"
+                )
             result.iterations.append(
                 IterationStats(
                     iteration=iteration,

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.markers import kernel
 from repro.core.candidates import CandidateBitmap
 from repro.core.config import SigmoConfig
 from repro.core.csrgo import CSRGO
@@ -262,6 +263,7 @@ class _LocalGraphView:
         return self.edge_label_of.get(local_u * self.width + local_v, -1)
 
 
+@kernel
 def join_pair(
     view: _LocalGraphView,
     plan: QueryPlan,

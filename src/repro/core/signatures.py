@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import sparse
 
+from repro.analysis.markers import kernel
 from repro.core.csrgo import CSRGO
 
 
@@ -107,7 +108,7 @@ class SignaturePacking:
                 )
         weight = np.log2(1.0 + freqs)
         if weight.sum() == 0:
-            weight = np.ones(n)
+            weight = np.ones(n, dtype=np.float64)
         raw = weight / weight.sum() * total_bits
         bits = np.clip(np.round(raw).astype(np.int64), min_bits, max_bits)
         # Greedy repair to satisfy the total budget exactly at the top end.
@@ -130,8 +131,17 @@ class SignaturePacking:
 
     @property
     def capacities(self) -> np.ndarray:
-        """Saturation cap per label: ``2**bits - 1``."""
-        return (np.int64(1) << self.bits) - 1
+        """Saturation cap per label: ``2**bits - 1`` (``uint64``).
+
+        Computed with both shift operands unsigned: the signed form
+        ``np.int64(1) << bits`` overflows silently when a single label
+        owns all 64 bits, corrupting the saturation cap and every mask
+        derived from it.
+        """
+        bits = self.bits.astype(np.uint64)
+        caps = (np.uint64(1) << np.minimum(bits, np.uint64(63))) - np.uint64(1)
+        full = np.uint64(0xFFFFFFFFFFFFFFFF)
+        return np.where(self.bits >= 64, full, caps)
 
     # -- encoding -------------------------------------------------------------------
 
@@ -146,7 +156,7 @@ class SignaturePacking:
             raise ValueError(
                 f"counts last dim {counts.shape[-1]} != n_labels {self.n_labels}"
             )
-        caps = np.minimum(self.capacities, 255)
+        caps = np.minimum(self.capacities, np.uint64(255)).astype(np.int64)
         return np.minimum(counts, caps).astype(np.uint8)
 
     def pack(self, counts: np.ndarray) -> np.ndarray:
@@ -171,7 +181,7 @@ class SignaturePacking:
         """Extract saturated per-label counts from packed words."""
         packed = np.asarray(packed, dtype=np.uint64)
         shifts = self.shifts.astype(np.uint64)
-        masks = self.capacities.astype(np.uint64)
+        masks = self.capacities
         fields = (packed[..., None] >> shifts) & masks
         return fields.astype(np.int64)
 
@@ -256,6 +266,7 @@ class SignatureState:
         """True once no node discovered anything at the last step."""
         return self.radius > 0 and self._frontier.nnz == 0
 
+    @kernel
     def step(self) -> np.ndarray:
         """Advance every node's view by one ring; return the new counts.
 

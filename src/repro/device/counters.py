@@ -135,6 +135,32 @@ class PipelineCounters:
         )
 
 
+def counters_from_shadow(name: str, shadow) -> KernelCounters:
+    """Counters derived from a shadow-memory kernel replay.
+
+    Parameters
+    ----------
+    name:
+        Kernel identity for the resulting counters.
+    shadow:
+        A :class:`repro.device.simt.ShadowMemory` after a replay.
+
+    Returns
+    -------
+    KernelCounters
+        One instruction per recorded access (shift/mask/compare bundles
+        are already amortized into the per-operation constants above);
+        traffic is the access count times the shadow word size, attributed
+        to HBM — the conservative level for un-cached replays.
+    """
+    return KernelCounters(
+        name=name,
+        instructions=float(shadow.n_accesses),
+        bytes_hbm=float(shadow.n_accesses) * shadow.word_bytes,
+        work_items=shadow.n_items,
+    )
+
+
 def counters_from_result(result, query, data) -> PipelineCounters:
     """Extract pipeline counters from a finished run.
 

@@ -52,7 +52,7 @@ class OccupancyTimeline:
         """Uniformly sampled (time_s, occupancy_pct) arrays for plotting."""
         total = self.total_seconds
         times = np.linspace(0.0, total, n_points)
-        occ = np.zeros(n_points)
+        occ = np.zeros(n_points, dtype=np.float64)
         for seg in self.segments:
             mask = (times >= seg.t_start_s) & (times < seg.t_end_s)
             occ[mask] = seg.occupancy * 100.0
@@ -107,7 +107,7 @@ def build_timeline(
         # Filter saturates the device: one work-item per data node, far
         # more than residency.
         exec_info = simulate_simt(
-            np.ones(max(k.work_items, 1)), device, filter_workgroup_size
+            np.ones(max(k.work_items, 1), dtype=np.float64), device, filter_workgroup_size
         )
         timeline.append(duration, exec_info.occupancy, k.name)
         timeline.append(device.host_sync_overhead_s, 0.05, f"{k.name}-sync")
@@ -118,7 +118,9 @@ def build_timeline(
         timeline.append(phase_times.get("mapping", 0.0), occ, "mapping")
     if counters.join is not None:
         residency = simulate_simt(
-            np.ones(max(counters.join.work_items, 1)), device, join_workgroup_size
+            np.ones(max(counters.join.work_items, 1), dtype=np.float64),
+            device,
+            join_workgroup_size,
         ).occupancy
         work = counters.join.work_per_item
         divergence = (

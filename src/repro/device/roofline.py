@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.device.counters import KernelCounters, PipelineCounters
 from repro.device.spec import DeviceSpec
 

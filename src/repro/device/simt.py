@@ -1,4 +1,4 @@
-"""SIMT execution accounting: work-groups, sub-groups, divergence.
+"""SIMT execution accounting: work-groups, sub-groups, divergence, races.
 
 Given the *actual* per-work-item work of a kernel (e.g. per-pair join
 effort measured by the engine), this module computes what a lockstep SIMT
@@ -7,6 +7,13 @@ slowest lane, so the executed work is ``subgroup_size * max(work)`` per
 sub-group.  The ratio executed/useful is the divergence factor — directly
 reproducing the paper's observation that the MI100's 64-wide wavefronts
 suffer most from heterogeneous query graphs in the join (section 5.3).
+
+The module also hosts :class:`ShadowMemory`, an optional shadow-access
+mode for the simulated kernels: replayed kernels record per-word
+read/write/atomic sets per work-item, and cross-work-item write-write or
+read-write accesses to the same word with no barrier between them are
+reported as :class:`Conflict` records — a dynamic race detector for the
+simulated GPU (see ``docs/analysis.md`` for the exact model).
 """
 
 from __future__ import annotations
@@ -16,6 +23,208 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.device.spec import DeviceSpec
+
+#: Access kinds recorded by :class:`ShadowMemory`.
+READ = "read"
+WRITE = "write"
+ATOMIC = "atomic"
+
+_KIND_BITS = {READ: 1, WRITE: 2, ATOMIC: 4}
+_PLAIN_WRITE = _KIND_BITS[WRITE]
+_ANY_WRITE = _KIND_BITS[WRITE] | _KIND_BITS[ATOMIC]
+_ANY = _KIND_BITS[READ] | _KIND_BITS[WRITE] | _KIND_BITS[ATOMIC]
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One detected data race on a shadow-memory word.
+
+    Attributes
+    ----------
+    space:
+        Named memory space (``"bitmap"``, ``"gmcr"``, ...).
+    word:
+        Word index within the space.
+    epoch:
+        Barrier epoch in which the conflicting accesses happened.
+    items:
+        The work-items involved (sorted).
+    kinds:
+        Union of access kinds the involved items performed on the word.
+    """
+
+    space: str
+    word: int
+    epoch: int
+    items: tuple[int, ...]
+    kinds: tuple[str, ...]
+
+    def format(self) -> str:
+        """Human-readable one-liner."""
+        kinds = "/".join(self.kinds)
+        items = ", ".join(str(i) for i in self.items)
+        return (
+            f"{self.space}[{self.word}] epoch {self.epoch}: {kinds} race "
+            f"between work-items {items}"
+        )
+
+
+class ShadowMemory:
+    """Word-granular shadow memory for simulated-kernel race detection.
+
+    Replayed kernels call :meth:`read` / :meth:`write` / :meth:`atomic`
+    with a named memory space, a word index, and the accessing work-item
+    id; :meth:`barrier` marks a work-group-wide barrier, which starts a
+    new *epoch* and forgets all prior accesses (a barrier orders every
+    access before it against every access after it).
+
+    Two accesses to the same ``(space, word)`` in the same epoch by
+    *different* work-items conflict unless they are both plain reads or
+    both atomics:
+
+    * write vs. write → conflict (lost update),
+    * write vs. read → conflict (unordered observation),
+    * atomic vs. atomic → **no** conflict (the hardware serializes them),
+    * atomic vs. plain read/write → conflict (the plain access is not
+      part of the atomic protocol).
+
+    Conflicts are recorded once per ``(space, word, epoch)`` with every
+    item that touched the word.  Detection is eager, so :attr:`conflicts`
+    is always current.
+    """
+
+    def __init__(self, word_bytes: int = 8) -> None:
+        self.word_bytes = int(word_bytes)
+        self.epoch = 0
+        self.conflicts: list[Conflict] = []
+        self.n_reads = 0
+        self.n_writes = 0
+        self.n_atomics = 0
+        #: per-(space, word): {item: kind bitmask} for the current epoch.
+        self._table: dict[tuple[str, int], dict[int, int]] = {}
+        self._flagged: dict[tuple[str, int, int], int] = {}
+        self._items: set[int] = set()
+        self._footprint: set[tuple[str, int]] = set()
+
+    # -- recording ------------------------------------------------------------
+
+    def access(self, kind: str, space: str, word: int, item: int) -> None:
+        """Record one access; detects conflicts eagerly."""
+        bit = _KIND_BITS[kind]
+        if kind == READ:
+            self.n_reads += 1
+        elif kind == WRITE:
+            self.n_writes += 1
+        else:
+            self.n_atomics += 1
+        self._items.add(item)
+        key = (space, int(word))
+        self._footprint.add(key)
+        cell = self._table.setdefault(key, {})
+        conflicting = False
+        for other, mask in cell.items():
+            if other == item:
+                continue
+            if bit == _PLAIN_WRITE and mask & _ANY:
+                conflicting = True
+            elif bit == _KIND_BITS[READ] and mask & _ANY_WRITE:
+                conflicting = True
+            elif bit == _KIND_BITS[ATOMIC] and mask & (
+                _KIND_BITS[READ] | _KIND_BITS[WRITE]
+            ):
+                conflicting = True
+            if conflicting:
+                break
+        cell[item] = cell.get(item, 0) | bit
+        if conflicting:
+            self._record_conflict(space, int(word), cell)
+
+    def read(self, space: str, word: int, item: int) -> None:
+        """Record a plain read."""
+        self.access(READ, space, word, item)
+
+    def write(self, space: str, word: int, item: int) -> None:
+        """Record a plain write."""
+        self.access(WRITE, space, word, item)
+
+    def atomic(self, space: str, word: int, item: int) -> None:
+        """Record an atomic read-modify-write (e.g. the bitmap atomic-OR)."""
+        self.access(ATOMIC, space, word, item)
+
+    def read_many(self, space: str, words, item: int) -> None:
+        """Record plain reads over an iterable of word indices."""
+        for w in np.asarray(words, dtype=np.int64).ravel():
+            self.access(READ, space, int(w), item)
+
+    def write_many(self, space: str, words, item: int) -> None:
+        """Record plain writes over an iterable of word indices."""
+        for w in np.asarray(words, dtype=np.int64).ravel():
+            self.access(WRITE, space, int(w), item)
+
+    def barrier(self) -> None:
+        """Work-group barrier: close the current epoch."""
+        self._table.clear()
+        self.epoch += 1
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def has_conflicts(self) -> bool:
+        """Whether any race was detected so far."""
+        return bool(self.conflicts)
+
+    @property
+    def n_accesses(self) -> int:
+        """Total recorded accesses of any kind."""
+        return self.n_reads + self.n_writes + self.n_atomics
+
+    @property
+    def n_items(self) -> int:
+        """Distinct work-items observed."""
+        return len(self._items)
+
+    @property
+    def footprint_words(self) -> int:
+        """Distinct (space, word) cells ever touched."""
+        return len(self._footprint)
+
+    def summary(self) -> dict:
+        """JSON-friendly counters + conflict list."""
+        return {
+            "epochs": self.epoch + 1,
+            "work_items": self.n_items,
+            "reads": self.n_reads,
+            "writes": self.n_writes,
+            "atomics": self.n_atomics,
+            "footprint_words": self.footprint_words,
+            "footprint_bytes": self.footprint_words * self.word_bytes,
+            "conflicts": [c.format() for c in self.conflicts],
+        }
+
+    # -- internals -------------------------------------------------------------
+
+    def _record_conflict(
+        self, space: str, word: int, cell: dict[int, int]
+    ) -> None:
+        flag_key = (space, word, self.epoch)
+        mask = 0
+        for m in cell.values():
+            mask |= m
+        kinds = tuple(k for k, b in _KIND_BITS.items() if mask & b)
+        conflict = Conflict(
+            space=space,
+            word=word,
+            epoch=self.epoch,
+            items=tuple(sorted(cell)),
+            kinds=kinds,
+        )
+        existing = self._flagged.get(flag_key)
+        if existing is None:
+            self._flagged[flag_key] = len(self.conflicts)
+            self.conflicts.append(conflict)
+        else:
+            # Upgrade the recorded conflict with the wider item/kind set.
+            self.conflicts[existing] = conflict
 
 
 @dataclass(frozen=True)

@@ -190,7 +190,9 @@ class LabeledGraph:
         index = {node: i for i, node in enumerate(nodes)}
         labels = [int(g.nodes[node].get(label_attr, 0)) for node in nodes]
         edges = [(index[u], index[v]) for u, v in g.edges()]
-        edge_labels = [int(g.edges[u, v].get(label_attr, DEFAULT_EDGE_LABEL)) for u, v in g.edges()]
+        edge_labels = [
+            int(g.edges[u, v].get(label_attr, DEFAULT_EDGE_LABEL)) for u, v in g.edges()
+        ]
         return cls(labels, edges, edge_labels)
 
     # -- dunder ------------------------------------------------------------

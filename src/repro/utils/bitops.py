@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.markers import kernel
+
 #: Number of bits per bitmap word.  The paper tunes this per device
 #: (32-bit on NVIDIA/Intel, 64-bit on AMD; Table 1); 64 is the library
 #: default because NumPy's uint64 ops are the fastest on CPU.
@@ -44,6 +46,7 @@ def bitmap_words(n_bits: int, word_bits: int = WORD_BITS) -> int:
     return -(-n_bits // word_bits)
 
 
+@kernel
 def pack_bool_rows(rows: np.ndarray, word_bits: int = WORD_BITS) -> np.ndarray:
     """Pack a 2-D boolean array into row-major bitmap words.
 
@@ -134,6 +137,7 @@ def bit_positions(word_row: np.ndarray, word_bits: int = WORD_BITS) -> np.ndarra
     return np.nonzero(bits)[0]
 
 
+@kernel
 def set_bits(
     words: np.ndarray, row: int, positions: np.ndarray, word_bits: int = WORD_BITS
 ) -> None:

@@ -1,0 +1,95 @@
+"""Baseline semantics + the repo-wide gate: the full lint run over the
+kernel packages must match the committed baseline exactly."""
+
+import pytest
+
+from repro.analysis.findings import Severity
+from repro.analysis.linter import (
+    default_baseline_path,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    new_findings,
+    save_baseline,
+)
+
+pytestmark = pytest.mark.analysis
+
+
+def test_full_repo_run_matches_committed_baseline():
+    findings = lint_paths()
+    baseline = load_baseline()
+    fresh = new_findings(findings, baseline)
+    assert fresh == [], (
+        "new lint findings not covered by the committed baseline "
+        "(run `python -m repro analyze` for details, review, then "
+        "`python -m repro analyze --update-baseline`):\n"
+        + "\n".join(f.format() for f in fresh)
+    )
+
+
+def test_committed_baseline_is_not_stale():
+    # Every baseline entry must still correspond to a real finding;
+    # otherwise the budget silently masks future regressions.
+    current = load_baseline()
+    regenerated = {}
+    for f in lint_paths():
+        regenerated[f.key] = regenerated.get(f.key, 0) + 1
+    stale = {k: c for k, c in current.items() if regenerated.get(k, 0) < c}
+    assert not stale, f"baseline entries no longer observed: {sorted(stale)}"
+
+
+def test_no_error_severity_findings_in_repo():
+    # Accepted findings are warnings/info only; errors must be fixed,
+    # never baselined.
+    errors = [f for f in lint_paths() if f.severity is Severity.ERROR]
+    assert errors == [], "\n".join(f.format() for f in errors)
+
+
+def test_committed_baseline_exists():
+    assert default_baseline_path().is_file()
+
+
+def test_baseline_roundtrip(tmp_path):
+    findings = lint_source(
+        "import numpy as np\na = np.zeros(3)\nb = np.empty(4)\n", "mod.py"
+    )
+    assert len(findings) == 2
+    path = tmp_path / "baseline.json"
+    assert save_baseline(findings, path) == path
+    assert new_findings(findings, load_baseline(path)) == []
+
+
+def test_baseline_matching_is_multiset():
+    # Two findings share a fingerprint (same rule, file, stripped line);
+    # a baseline holding one occurrence absorbs exactly one of them.
+    findings = lint_source(
+        "import numpy as np\n"
+        "def f():\n"
+        "    a = np.zeros(3)\n"
+        "    return a\n"
+        "def g():\n"
+        "    a = np.zeros(3)\n"
+        "    return a\n",
+        "mod.py",
+    )
+    assert len(findings) == 2
+    assert findings[0].key == findings[1].key
+    from repro.analysis.linter import baseline_counter
+
+    baseline = baseline_counter(findings[:1])
+    fresh = new_findings(findings, baseline)
+    assert len(fresh) == 1
+
+
+def test_baseline_robust_to_line_number_churn():
+    src_a = "import numpy as np\na = np.zeros(3)\n"
+    src_b = "import numpy as np\n\n\n# moved down by edits above\na = np.zeros(3)\n"
+    (f_a,) = lint_source(src_a, "mod.py")
+    (f_b,) = lint_source(src_b, "mod.py")
+    assert f_a.line != f_b.line
+    assert f_a.key == f_b.key  # fingerprint ignores the line number
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == {}

@@ -1,0 +1,199 @@
+"""Contract checkers: valid pipeline artifacts pass, corrupted copies
+raise :class:`ContractViolation`, and the REPRO_CHECK gate works."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.analysis import contracts
+from repro.analysis.contracts import (
+    ContractViolation,
+    check_bitmap,
+    check_csrgo,
+    check_gmcr,
+    check_refinement_monotone,
+)
+from repro.core.candidates import CandidateBitmap
+from repro.core.csrgo import CSRGO
+from repro.graph.generators import path_graph, ring_graph
+
+pytestmark = pytest.mark.analysis
+
+
+@pytest.fixture
+def csr():
+    return CSRGO.from_graphs(
+        [path_graph([1, 2, 1]), ring_graph(4, [1, 2, 1, 2]), path_graph([3])]
+    )
+
+
+def mutable_copy(csr):
+    """Duck-typed, freely corruptible view of a CSR-GO batch."""
+    return SimpleNamespace(
+        graph_offsets=csr.graph_offsets.copy(),
+        row_offsets=csr.row_offsets.copy(),
+        column_indices=csr.column_indices.copy(),
+        labels=csr.labels.copy(),
+        adj_edge_labels=csr.adj_edge_labels.copy(),
+    )
+
+
+# -- gating -------------------------------------------------------------------
+
+
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv(contracts.ENV_FLAG, raising=False)
+    assert not contracts.enabled()
+
+
+def test_env_flag_enables(monkeypatch):
+    for value in ("1", "true", "ON", "yes"):
+        monkeypatch.setenv(contracts.ENV_FLAG, value)
+        assert contracts.enabled()
+    monkeypatch.setenv(contracts.ENV_FLAG, "0")
+    assert not contracts.enabled()
+
+
+def test_forced_overrides_env(monkeypatch):
+    monkeypatch.setenv(contracts.ENV_FLAG, "0")
+    with contracts.forced(True):
+        assert contracts.enabled()
+    assert not contracts.enabled()
+    monkeypatch.setenv(contracts.ENV_FLAG, "1")
+    with contracts.forced(False):
+        assert not contracts.enabled()
+    assert contracts.enabled()
+
+
+# -- CSR-GO -------------------------------------------------------------------
+
+
+def test_valid_csrgo_passes(csr):
+    check_csrgo(csr, "valid")
+
+
+def test_unsorted_adjacency_rejected(csr):
+    bad = mutable_copy(csr)
+    # Reverse one node's adjacency list (degree >= 2): still symmetric as a
+    # multiset, but no longer sorted ascending.
+    row = int(np.argmax(np.diff(bad.row_offsets) >= 2))
+    lo, hi = int(bad.row_offsets[row]), int(bad.row_offsets[row + 1])
+    assert hi - lo >= 2
+    bad.column_indices[lo:hi] = bad.column_indices[lo:hi][::-1]
+    bad.adj_edge_labels[lo:hi] = bad.adj_edge_labels[lo:hi][::-1]
+    with pytest.raises(ContractViolation, match="sorted"):
+        check_csrgo(bad, "unsorted")
+
+
+def test_duplicate_neighbor_rejected(csr):
+    bad = mutable_copy(csr)
+    row = int(np.argmax(np.diff(bad.row_offsets) >= 2))
+    lo = int(bad.row_offsets[row])
+    bad.column_indices[lo + 1] = bad.column_indices[lo]
+    with pytest.raises(ContractViolation):
+        check_csrgo(bad, "duplicate")
+
+
+def test_cross_graph_edge_rejected(csr):
+    bad = mutable_copy(csr)
+    # Rewire the first graph's first edge to point into the last graph.
+    bad.column_indices[0] = int(bad.graph_offsets[-1]) - 1
+    with pytest.raises(ContractViolation, match="boundary|symmetric|sorted"):
+        check_csrgo(bad, "crossing")
+
+
+def test_asymmetric_edge_labels_rejected(csr):
+    bad = mutable_copy(csr)
+    if not bad.adj_edge_labels.size:
+        pytest.skip("no edges")
+    bad.adj_edge_labels[0] += 1  # one direction relabeled
+    with pytest.raises(ContractViolation, match="symmetric"):
+        check_csrgo(bad, "asymmetric")
+
+
+def test_non_monotone_row_offsets_rejected(csr):
+    bad = mutable_copy(csr)
+    bad.row_offsets[1] = bad.row_offsets[-1] + 5
+    with pytest.raises(ContractViolation, match="monotone|prefix"):
+        check_csrgo(bad, "rows")
+
+
+def test_label_length_mismatch_rejected(csr):
+    bad = mutable_copy(csr)
+    bad.labels = bad.labels[:-1]
+    with pytest.raises(ContractViolation, match="labels length"):
+        check_csrgo(bad, "labels")
+
+
+# -- bitmaps ------------------------------------------------------------------
+
+
+@pytest.fixture
+def bitmap(rng):
+    # 70 data nodes: the last 64-bit word has 6 valid bits and 58 tail bits.
+    rows = rng.random((3, 70)) < 0.5
+    return CandidateBitmap.from_bool(rows)
+
+
+def test_valid_bitmap_passes(bitmap):
+    counts = np.bitwise_count(bitmap.words).sum(axis=1, dtype=np.int64)
+    check_bitmap(bitmap, expected_counts=counts)
+
+
+def test_tail_bit_rejected(bitmap):
+    rem = bitmap.n_data_nodes % bitmap.word_bits
+    assert rem  # fixture chosen so the last word has a tail
+    bitmap.words[1, -1] |= np.uint64(1) << np.uint64(rem)
+    with pytest.raises(ContractViolation, match="tail"):
+        check_bitmap(bitmap)
+
+
+def test_count_mismatch_rejected(bitmap):
+    counts = np.bitwise_count(bitmap.words).sum(axis=1, dtype=np.int64)
+    counts[0] += 1
+    with pytest.raises(ContractViolation, match="popcount"):
+        check_bitmap(bitmap, expected_counts=counts)
+
+
+def test_refinement_monotone():
+    prev = np.array([[0b1110, 0b0001]], dtype=np.uint64)
+    shrunk = np.array([[0b0110, 0b0000]], dtype=np.uint64)
+    check_refinement_monotone(prev, shrunk)  # clearing bits is fine
+    regrown = np.array([[0b1110, 0b0011]], dtype=np.uint64)
+    with pytest.raises(ContractViolation, match="monotone"):
+        check_refinement_monotone(prev, regrown)
+
+
+# -- GMCR ---------------------------------------------------------------------
+
+
+def test_gmcr_checks():
+    good = SimpleNamespace(
+        data_graph_offsets=np.array([0, 2, 2, 3], dtype=np.int64),
+        query_graph_indices=np.array([0, 1, 0], dtype=np.int64),
+        matched=np.zeros(3, dtype=bool),
+    )
+    check_gmcr(good, n_query_graphs=2)
+    bad_offsets = SimpleNamespace(
+        data_graph_offsets=np.array([0, 2, 1, 3], dtype=np.int64),
+        query_graph_indices=good.query_graph_indices,
+        matched=good.matched,
+    )
+    with pytest.raises(ContractViolation, match="prefix"):
+        check_gmcr(bad_offsets, n_query_graphs=2)
+    bad_index = SimpleNamespace(
+        data_graph_offsets=good.data_graph_offsets,
+        query_graph_indices=np.array([0, 5, 0], dtype=np.int64),
+        matched=good.matched,
+    )
+    with pytest.raises(ContractViolation, match="range"):
+        check_gmcr(bad_index, n_query_graphs=2)
+
+
+def test_violation_lists_every_failed_clause(csr):
+    bad = mutable_copy(csr)
+    bad.labels = bad.labels[:-1]
+    bad.row_offsets[1] = bad.row_offsets[-1] + 5
+    with pytest.raises(ContractViolation, match=r"2 violation\(s\)"):
+        check_csrgo(bad, "multi")

@@ -1,0 +1,90 @@
+"""End-to-end: the full Find-All pipeline under ``REPRO_CHECK=1`` raises
+no contract violation, the kernel traces stay race-free, and the
+``repro analyze`` CLI gate passes against the committed baseline."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import contracts
+from repro.analysis.races import trace_join_races, trace_refine_races
+from repro.chem.datasets import build_benchmark
+from repro.cli import main
+from repro.core.csrgo import CSRGO
+from repro.core.engine import SigmoEngine
+
+pytestmark = pytest.mark.analysis
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_benchmark(n_queries=5, n_data_graphs=12, seed=3)
+
+
+def test_find_all_with_checks_enabled(dataset, monkeypatch):
+    monkeypatch.setenv(contracts.ENV_FLAG, "1")
+    assert contracts.enabled()
+    # Engine construction validates both CSR-GO batches; run() validates
+    # the bitmap after every refinement iteration, the filter result, and
+    # the GMCR.  Any violation raises, failing this test.
+    engine = SigmoEngine(dataset.queries, dataset.data)
+    checked = engine.run(mode="find-all")
+    first = engine.run(mode="find-first")
+    assert checked.total_matches >= first.total_matches >= 0
+
+    # Checks must observe, never alter: identical results with checks off.
+    monkeypatch.delenv(contracts.ENV_FLAG)
+    plain = SigmoEngine(dataset.queries, dataset.data).run(mode="find-all")
+    assert plain.total_matches == checked.total_matches
+    assert sorted(plain.matched_pairs()) == sorted(checked.matched_pairs())
+
+
+def test_kernel_traces_race_free_with_checks_enabled(dataset, monkeypatch):
+    monkeypatch.setenv(contracts.ENV_FLAG, "1")
+    query = CSRGO.from_graphs(dataset.queries)
+    data = CSRGO.from_graphs(dataset.data)
+    refine = trace_refine_races(query, data)
+    join = trace_join_races(query, data)
+    assert not refine.has_conflicts, [c.format() for c in refine.conflicts]
+    assert not join.has_conflicts, [c.format() for c in join.conflicts]
+
+
+def test_checked_sweep_is_monotone(dataset, monkeypatch):
+    # More refinement iterations never add matches; with REPRO_CHECK on,
+    # every intermediate bitmap is also contract-validated.
+    monkeypatch.setenv(contracts.ENV_FLAG, "1")
+    engine = SigmoEngine(dataset.queries, dataset.data)
+    results = engine.run_iteration_sweep([1, 3, 6])
+    totals = [results[s].total_matches for s in (1, 3, 6)]
+    assert totals[0] == totals[1] == totals[2]  # filtering is exact-safe
+    per_node = [
+        results[s].filter_result.iterations[-1].candidates_per_node.sum()
+        for s in (1, 3, 6)
+    ]
+    assert np.all(np.diff(per_node) <= 0)
+
+
+def test_cli_analyze_gate_passes(capsys):
+    # Static gate: lint against the committed baseline (dynamic pass is
+    # covered above and by `make check`; skipping keeps this test quick).
+    rc = main(["analyze", "--no-dynamic", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["ok"] is True
+    assert payload["new_findings"] == []
+    assert payload["baseline_entries"] == len(payload["findings"])
+
+
+def test_cli_analyze_flags_new_findings(tmp_path, capsys):
+    bad = tmp_path / "snippet.py"
+    bad.write_text(
+        "import numpy as np\n"
+        "def f(x):\n"
+        "    return np.uint64(x) << np.int64(1)\n"
+    )
+    rc = main(["analyze", str(bad), "--no-dynamic", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["ok"] is False
+    assert [f["rule"] for f in payload["new_findings"]] == ["SGL001"]

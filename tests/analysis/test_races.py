@@ -1,0 +1,192 @@
+"""Shadow-memory race detector: conflict model unit tests, the seeded
+racy scatter-add, and race-freedom of the real refine/join kernel traces."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.races import (
+    run_race_checks,
+    scatter_add_trace,
+    trace_join_races,
+    trace_refine_races,
+)
+from repro.chem.datasets import build_benchmark
+from repro.core.csrgo import CSRGO
+from repro.device.counters import counters_from_shadow
+from repro.device.simt import ATOMIC, READ, WRITE, Conflict, ShadowMemory
+
+pytestmark = pytest.mark.analysis
+
+
+# -- conflict model -----------------------------------------------------------
+
+
+def test_write_write_conflict():
+    sh = ShadowMemory()
+    sh.write("buf", 3, 0)
+    sh.write("buf", 3, 1)
+    assert sh.has_conflicts
+    (c,) = sh.conflicts
+    assert (c.space, c.word, c.epoch, c.items) == ("buf", 3, 0, (0, 1))
+    assert WRITE in c.kinds
+
+
+def test_read_write_conflict():
+    sh = ShadowMemory()
+    sh.read("buf", 0, 0)
+    sh.write("buf", 0, 1)
+    assert sh.has_conflicts
+    assert set(sh.conflicts[0].kinds) == {READ, WRITE}
+
+
+def test_read_read_clean():
+    sh = ShadowMemory()
+    for item in range(8):
+        sh.read("buf", 0, item)
+    assert not sh.has_conflicts
+
+
+def test_atomic_atomic_clean():
+    sh = ShadowMemory()
+    for item in range(8):
+        sh.atomic("counter", 0, item)
+    assert not sh.has_conflicts
+
+
+def test_atomic_vs_plain_conflicts():
+    sh = ShadowMemory()
+    sh.atomic("counter", 0, 0)
+    sh.read("counter", 0, 1)
+    assert sh.has_conflicts
+    assert ATOMIC in sh.conflicts[0].kinds
+
+
+def test_barrier_separates_epochs():
+    sh = ShadowMemory()
+    sh.write("buf", 0, 0)
+    sh.barrier()
+    sh.write("buf", 0, 1)
+    assert not sh.has_conflicts
+    assert sh.epoch == 1
+
+
+def test_same_item_read_modify_write_clean():
+    sh = ShadowMemory()
+    sh.read("buf", 0, 0)
+    sh.write("buf", 0, 0)
+    sh.write("buf", 0, 0)
+    assert not sh.has_conflicts
+
+
+def test_disjoint_words_clean():
+    sh = ShadowMemory()
+    sh.write("buf", 0, 0)
+    sh.write("buf", 1, 1)
+    sh.write("other", 0, 1)
+    assert not sh.has_conflicts
+
+
+def test_conflict_deduped_and_upgraded_per_word_epoch():
+    sh = ShadowMemory()
+    sh.write("buf", 0, 0)
+    sh.write("buf", 0, 1)
+    sh.write("buf", 0, 2)  # same word, same epoch: still one conflict
+    assert len(sh.conflicts) == 1
+    assert sh.conflicts[0].items == (0, 1, 2)
+    sh.barrier()
+    sh.write("buf", 0, 0)
+    sh.write("buf", 0, 1)  # new epoch: a second conflict record
+    assert len(sh.conflicts) == 2
+    assert sh.conflicts[1].epoch == 1
+
+
+def test_counters_and_summary():
+    sh = ShadowMemory(word_bytes=8)
+    sh.write_many("buf", np.arange(4), 0)
+    sh.read_many("buf", [0, 1], 0)
+    sh.atomic("counter", 0, 1)
+    assert (sh.n_reads, sh.n_writes, sh.n_atomics) == (2, 4, 1)
+    assert sh.n_accesses == 7
+    assert sh.n_items == 2
+    assert sh.footprint_words == 5
+    summary = sh.summary()
+    assert summary["work_items"] == 2
+    assert summary["footprint_bytes"] == 40
+    assert summary["conflicts"] == []
+
+
+def test_conflict_format():
+    c = Conflict("bitmap", 7, 2, (0, 3), (READ, WRITE))
+    line = c.format()
+    assert "bitmap[7]" in line and "epoch 2" in line and "0, 3" in line
+
+
+def test_counters_from_shadow():
+    sh = ShadowMemory(word_bytes=8)
+    sh.write_many("buf", np.arange(10), 0)
+    sh.read_many("buf", np.arange(10), 1)
+    kc = counters_from_shadow("replay", sh)
+    assert kc.name == "replay"
+    assert kc.instructions == sh.n_accesses == 20
+    assert kc.bytes_hbm == 20 * 8
+    assert kc.work_items == 2
+
+
+# -- seeded races -------------------------------------------------------------
+
+
+def test_scatter_add_duplicate_targets_flagged():
+    sh = scatter_add_trace([4, 9, 4, 1])
+    assert sh.has_conflicts
+    (c,) = sh.conflicts
+    assert c.space == "scatter.out"
+    assert c.word == 4
+    assert c.items == (0, 2)
+    assert set(c.kinds) == {READ, WRITE}
+
+
+def test_scatter_add_unique_targets_clean():
+    sh = scatter_add_trace([0, 1, 2, 3])
+    assert not sh.has_conflicts
+
+
+def test_scatter_add_atomic_fix_clean():
+    # The fix the real bitmap kernels apply: atomic read-modify-writes.
+    sh = ShadowMemory()
+    for item, word in enumerate([4, 9, 4, 1]):
+        sh.atomic("scatter.out", word, item)
+    assert not sh.has_conflicts
+
+
+# -- real kernel traces -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def csr_batches():
+    ds = build_benchmark(n_queries=3, n_data_graphs=8, seed=1)
+    return CSRGO.from_graphs(ds.queries), CSRGO.from_graphs(ds.data)
+
+
+def test_refine_trace_race_free(csr_batches):
+    query, data = csr_batches
+    sh = trace_refine_races(query, data)
+    assert not sh.has_conflicts, [c.format() for c in sh.conflicts]
+    assert sh.n_items == query.n_nodes  # one work-item per query node
+    assert sh.epoch >= 2  # one barrier per refinement iteration + init
+    assert sh.n_writes > 0 and sh.n_reads > 0
+
+
+def test_join_trace_race_free(csr_batches):
+    query, data = csr_batches
+    sh = trace_join_races(query, data)
+    assert not sh.has_conflicts, [c.format() for c in sh.conflicts]
+    assert sh.n_atomics == sh.n_items  # one Find-All counter bump per pair
+    assert sh.n_writes > 0
+
+
+def test_run_race_checks_clean():
+    shadows = run_race_checks(n_queries=3, n_data_graphs=6, seed=0)
+    assert set(shadows) == {"refine", "join"}
+    for name, sh in shadows.items():
+        assert not sh.has_conflicts, (name, [c.format() for c in sh.conflicts])
+        assert sh.n_accesses > 0
