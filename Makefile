@@ -5,7 +5,7 @@
 PY := python
 export PYTHONPATH := src
 
-.PHONY: lint analyze test check baseline
+.PHONY: lint analyze test check check-robustness baseline
 
 lint: analyze
 
@@ -20,3 +20,9 @@ test:
 	$(PY) -m pytest -x -q
 
 check: test analyze
+
+# Fault-tolerance gate: the robustness test suite plus the seeded
+# fault-injection smoke (a faulted run must equal the fault-free run).
+check-robustness:
+	$(PY) -m pytest -q -m robustness
+	$(PY) -m repro resilient-run --smoke

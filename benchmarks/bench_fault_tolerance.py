@@ -1,0 +1,20 @@
+"""Bench: fault-tolerance overhead and degradation under seeded faults."""
+
+from benchmarks.conftest import emit
+from benchmarks.experiments import exp_faults
+
+
+def test_fault_tolerance(benchmark, capsys):
+    report = benchmark.pedantic(exp_faults.run, rounds=1, iterations=1)
+    emit(capsys, report)
+    resilient = report.data["resilient"]
+    # exactness survives injected OOMs, and recovery actually retried
+    assert resilient["matches_equal"]
+    assert resilient["retries"] > 0
+    assert resilient["compute_overhead"] >= 1.0
+    cluster = report.data["cluster"]
+    # re-execution conserves matches while degrading the makespan
+    assert cluster["2 ranks fail"]["matches"] == cluster["clean"]["matches"]
+    assert cluster["2 ranks fail"]["ranks"] == cluster["clean"]["ranks"] - 2
+    assert cluster["2 ranks fail"]["makespan"] > cluster["clean"]["makespan"]
+    assert cluster["stragglers"]["makespan"] >= cluster["clean"]["makespan"]

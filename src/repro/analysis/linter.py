@@ -24,7 +24,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.rules import run_rules
 
 #: Packages under ``src/repro`` covered by the default lint run.
-DEFAULT_PACKAGES = ("core", "device", "utils", "cluster", "analysis")
+DEFAULT_PACKAGES = ("core", "device", "utils", "cluster", "analysis", "runtime")
 
 BaselineKey = tuple[str, str, str]
 

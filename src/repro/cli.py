@@ -15,6 +15,10 @@ Subcommands
     Correctness tooling: kernel lint against the committed baseline,
     contract-checked pipeline run, and shadow-access race traces of the
     refine and join kernels (see ``docs/analysis.md``).
+``resilient-run``
+    Fault-tolerant matching through :mod:`repro.runtime`: memory-budget
+    degradation, join watchdog, checkpoint/resume, and optional seeded
+    fault injection (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -80,6 +84,47 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
                    help="skip the contract-checked run and race traces")
 
 
+def _add_resilient_run(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "resilient-run", help="fault-tolerant matching (OOM/crash/checkpoint)"
+    )
+    p.add_argument("--data", help=".smi file of molecules")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--queries", help=".smi file of query patterns")
+    group.add_argument(
+        "--smarts", nargs="+", help="inline SMARTS-lite patterns (wildcards ok)"
+    )
+    p.add_argument(
+        "--mode", choices=("find-all", "find-first"), default="find-all"
+    )
+    p.add_argument("--iterations", type=int, default=6,
+                   help="refinement iterations (paper default: 6)")
+    p.add_argument("--chunk-size", type=int, default=0,
+                   help="chunk size (0 = derive from the memory budget)")
+    p.add_argument("--memory-budget-mb", type=float, default=0.0,
+                   help="device memory budget; OOMing chunks are split")
+    p.add_argument("--max-attempts", type=int, default=5,
+                   help="per-chunk retry bound before the run goes partial")
+    p.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="persist completed chunks here and resume from them")
+    p.add_argument("--max-join-matches", type=int, default=0,
+                   help="join watchdog: truncate a chunk past this many matches")
+    p.add_argument("--max-join-visits", type=int, default=0,
+                   help="join watchdog: truncate past this many node visits")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for injected faults (demo/testing)")
+    p.add_argument("--fault-oom-rate", type=float, default=0.0,
+                   help="injected OOM probability per chunk attempt")
+    p.add_argument("--fault-crash-rate", type=float, default=0.0,
+                   help="injected crash probability per chunk attempt")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write results as JSON")
+    p.add_argument("--smoke", action="store_true",
+                   help="self-contained fault-injection check: a seeded "
+                        "faulted run must equal the fault-free run (exit 1 "
+                        "on mismatch); ignores --data/--queries")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -91,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_info(sub)
     _add_selftest(sub)
     _add_analyze(sub)
+    _add_resilient_run(sub)
     return parser
 
 
@@ -313,6 +359,157 @@ def cmd_analyze(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_resilient_run(args) -> int:
+    """Handle ``repro resilient-run``: fault-tolerant matching."""
+    from repro.core.config import SigmoConfig
+    from repro.core.join import JoinBudget
+    from repro.io import read_smi
+    from repro.runtime import COMPLETE, FaultPlan, run_resilient
+
+    if args.smoke:
+        return _resilient_smoke(args)
+    if not args.data or not (args.queries or args.smarts):
+        print(
+            "resilient-run: --data and one of --queries/--smarts are "
+            "required (or use --smoke)",
+            file=sys.stderr,
+        )
+        return 2
+
+    data_mols = read_smi(args.data)
+    data_names = [m.name or f"mol-{i}" for i, m in enumerate(data_mols)]
+    data_graphs = [m.graph() for m in data_mols]
+    if args.smarts:
+        from repro.chem.smarts import pattern_from_smarts, wildcard_config
+
+        query_graphs = [pattern_from_smarts(s) for s in args.smarts]
+        query_names = list(args.smarts)
+        config = wildcard_config(refinement_iterations=args.iterations)
+    else:
+        query_mols = read_smi(args.queries)
+        query_names = [m.name or f"query-{i}" for i, m in enumerate(query_mols)]
+        query_graphs = [m.graph() for m in query_mols]
+        config = SigmoConfig(refinement_iterations=args.iterations)
+
+    join_budget = None
+    if args.max_join_matches or args.max_join_visits:
+        join_budget = JoinBudget(
+            max_matches=args.max_join_matches or None,
+            max_visits=args.max_join_visits or None,
+        )
+    fault_plan = None
+    if args.fault_oom_rate or args.fault_crash_rate:
+        fault_plan = FaultPlan(
+            seed=args.fault_seed,
+            oom_rate=args.fault_oom_rate,
+            crash_rate=args.fault_crash_rate,
+        )
+
+    start = time.perf_counter()
+    result = run_resilient(
+        query_graphs,
+        data_graphs,
+        chunk_size=args.chunk_size or None,
+        mode=args.mode,
+        config=config,
+        memory_budget_bytes=(
+            int(args.memory_budget_mb * 2**20) if args.memory_budget_mb else None
+        ),
+        max_attempts=args.max_attempts,
+        join_budget=join_budget,
+        checkpoint=args.checkpoint_dir,
+        fault_plan=fault_plan,
+    )
+    elapsed = time.perf_counter() - start
+
+    print(
+        f"{result.status}: {result.total_matches} matches across "
+        f"{len(data_graphs)} molecules x {len(query_graphs)} queries "
+        f"in {elapsed:.3f}s ({result.n_chunks} chunk(s), "
+        f"{result.chunks_from_checkpoint} from checkpoint)"
+    )
+    print(f"  attempts: {result.report.summary()}")
+    for record in result.chunk_records:
+        if record.status != "ok" or record.attempts > 1:
+            print(
+                f"  chunk[{record.start}:{record.stop}]: {record.status} "
+                f"after {record.attempts} attempt(s) {record.detail}".rstrip()
+            )
+    if args.json_out:
+        payload = {
+            "status": result.status,
+            "mode": args.mode,
+            "total_matches": result.total_matches,
+            "n_chunks": result.n_chunks,
+            "chunks_from_checkpoint": result.chunks_from_checkpoint,
+            "matched_pairs": [
+                {"molecule": data_names[d], "query": query_names[q]}
+                for d, q in result.matched_pairs
+            ],
+            "timings_s": result.timings,
+            "attempts": result.report.to_dict(),
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json_out}")
+    return 0 if result.status == COMPLETE else 1
+
+
+def _resilient_smoke(args) -> int:
+    """Seeded fault-injection check: faulted runs must equal fault-free."""
+    from repro.chem.datasets import build_benchmark
+    from repro.core.chunked import run_chunked
+    from repro.runtime import (
+        COMPLETE,
+        FaultPlan,
+        run_parallel_resilient,
+        run_resilient,
+    )
+
+    ds = build_benchmark(n_queries=5, n_data_graphs=24, seed=0)
+    baseline = run_chunked(ds.queries, ds.data, chunk_size=6)
+    expected = sorted(baseline.matched_pairs)
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        oom_rate=args.fault_oom_rate or 0.5,
+        crash_rate=args.fault_crash_rate or 0.5,
+        fault_attempts=2,
+    )
+    failures = []
+
+    serial = run_resilient(
+        ds.queries, ds.data, chunk_size=6, fault_plan=plan, max_attempts=6
+    )
+    if serial.status != COMPLETE or sorted(serial.matched_pairs) != expected:
+        failures.append(
+            f"resilient driver diverged: {serial.status}, "
+            f"{serial.total_matches} != {baseline.total_matches}"
+        )
+    print(
+        f"resilient: {serial.status}, {serial.total_matches} matches, "
+        f"{serial.report.summary()}"
+    )
+
+    pooled = run_parallel_resilient(
+        ds.queries, ds.data, n_workers=2, chunk_size=6,
+        fault_plan=plan, max_attempts=6,
+    )
+    if pooled.status != COMPLETE or sorted(pooled.matched_pairs) != expected:
+        failures.append(
+            f"pool driver diverged: {pooled.status}, "
+            f"{pooled.total_matches} != {baseline.total_matches}"
+        )
+    print(
+        f"parallel: {pooled.status}, {pooled.total_matches} matches, "
+        f"{pooled.report.summary()}"
+    )
+
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    print("resilient smoke ok" if not failures else "resilient smoke FAILED")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -322,6 +519,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "selftest": cmd_selftest,
         "analyze": cmd_analyze,
+        "resilient-run": cmd_resilient_run,
     }
     return handlers[args.command](args)
 

@@ -27,6 +27,7 @@ from repro.device.counters import counters_from_result
 from repro.device.spec import DeviceSpec, device_by_name
 from repro.perf.model import PerformanceModel
 from repro.graph.labeled_graph import LabeledGraph
+from repro.runtime.faults import FaultPlan
 
 
 @dataclass
@@ -38,17 +39,26 @@ class RankResult:
     rank:
         MPI rank / GPU id.
     n_molecules:
-        Molecules this rank was assigned (after extrapolation).
+        Molecules this rank was assigned (after extrapolation), including
+        any failed rank's block it re-executed.
     matches:
         Matches the rank found (extrapolated when the shard is scaled).
     modeled_seconds:
-        Device time from the performance model.
+        Device time from the performance model, including recovery work
+        and straggler slowdown.
+    recovered_ranks:
+        Failed ranks whose shards this rank re-executed (empty in a
+        fault-free run).
+    straggler_factor:
+        Runtime multiplier this rank ran under (1.0 when healthy).
     """
 
     rank: int
     n_molecules: int
     matches: int
     modeled_seconds: float
+    recovered_ranks: tuple[int, ...] = ()
+    straggler_factor: float = 1.0
 
 
 class SimulatedCluster:
@@ -108,12 +118,22 @@ class SimulatedCluster:
         queries: list[LabeledGraph],
         mode: str = FIND_ALL,
         seed: int = 0,
+        fault_plan: FaultPlan | None = None,
     ) -> list[RankResult]:
         """Execute all ranks and gather results in rank order.
 
         Every rank gets an *independent* stream of molecules (seeded by
         rank, like a partitioned ZINC slice), runs the real pipeline on its
         shard, and extrapolates counters to ``molecules_per_rank``.
+
+        With a ``fault_plan``, ranks for which
+        :meth:`~repro.runtime.faults.FaultPlan.rank_failed` is true die
+        before producing results; their blocks are re-executed round-robin
+        on surviving ranks (shards are seeded by *block*, not by executing
+        rank, so recovered matches are identical — only the recovering
+        rank's modeled runtime grows).  Straggler ranks finish all their
+        work slowed by the plan's factor.  Raises ``RuntimeError`` when
+        every rank fails (no survivor to recover on).
         """
         factor = self.molecules_per_rank / self.shard_molecules
         model = PerformanceModel(
@@ -122,17 +142,18 @@ class SimulatedCluster:
             filter_workgroup_size=self.config.filter_workgroup_size,
             join_workgroup_size=self.config.join_workgroup_size,
         )
-        results = []
-        for rank in range(self.n_ranks):
+
+        def run_block(block: int) -> tuple[int, float]:
+            """Execute one rank-sized block; returns (matches, seconds)."""
             # Rank blocks come from different ZINC-style tranches: the mean
             # molecule size drifts per block, seeded by rank so a given
             # rank sees the same tranche at every cluster size.
-            tranche_rng = np.random.default_rng(seed * 7_919 + rank)
+            tranche_rng = np.random.default_rng(seed * 7_919 + block)
             mean_size = 21.0 * (
                 1.0 + self.tranche_spread * float(tranche_rng.uniform(-1, 1))
             )
             gen = MoleculeGenerator(
-                seed=seed * 100_003 + rank,
+                seed=seed * 100_003 + block,
                 mean_heavy_atoms=max(8.0, mean_size),
             )
             shard = [m.graph() for m in gen.generate_batch(self.shard_molecules)]
@@ -140,12 +161,45 @@ class SimulatedCluster:
             run = engine.run(mode=mode)
             counters = counters_from_result(run, engine.query, engine.data)
             times = model.estimate_scaled(counters, factor)
+            return int(round(run.total_matches * factor)), times.total_seconds
+
+        failed = (
+            [r for r in range(self.n_ranks) if fault_plan.rank_failed(r)]
+            if fault_plan is not None
+            else []
+        )
+        survivors = [r for r in range(self.n_ranks) if r not in failed]
+        if not survivors:
+            raise RuntimeError(
+                f"all {self.n_ranks} rank(s) failed; no survivor to recover on"
+            )
+        # Failed blocks are re-executed round-robin across survivors, in
+        # rank order — the deterministic schedule a real coordinator would
+        # derive from the gathered failure list.
+        recovered: dict[int, list[int]] = {r: [] for r in survivors}
+        for i, dead in enumerate(failed):
+            recovered[survivors[i % len(survivors)]].append(dead)
+
+        results = []
+        for rank in survivors:
+            matches, seconds = run_block(rank)
+            n_molecules = self.molecules_per_rank
+            for dead in recovered[rank]:
+                extra_matches, extra_seconds = run_block(dead)
+                matches += extra_matches
+                seconds += extra_seconds
+                n_molecules += self.molecules_per_rank
+            slowdown = (
+                fault_plan.straggler_factor(rank) if fault_plan is not None else 1.0
+            )
             results.append(
                 RankResult(
                     rank=rank,
-                    n_molecules=self.molecules_per_rank,
-                    matches=int(round(run.total_matches * factor)),
-                    modeled_seconds=times.total_seconds,
+                    n_molecules=n_molecules,
+                    matches=matches,
+                    modeled_seconds=seconds * slowdown,
+                    recovered_ranks=tuple(recovered[rank]),
+                    straggler_factor=slowdown,
                 )
             )
         return results

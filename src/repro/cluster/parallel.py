@@ -36,13 +36,24 @@ def _worker(payload):
 
 @dataclass
 class ParallelResult:
-    """Aggregated outcome of a parallel chunked run."""
+    """Aggregated outcome of a parallel chunked run.
+
+    ``n_chunks`` and ``timings`` are summed across workers, so
+    ``timings`` is total engine compute (CPU seconds), not wall time.
+    """
 
     total_matches: int = 0
     n_workers: int = 0
+    n_chunks: int = 0
     matched_pairs: list[tuple[int, int]] = field(default_factory=list)
     embeddings: list[MatchRecord] = field(default_factory=list)
     peak_memory_bytes: int = 0
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed per-phase engine time across all workers."""
+        return sum(self.timings.values())
 
 
 def run_parallel(
@@ -85,10 +96,13 @@ def run_parallel(
             results = list(pool.map(_worker, payloads))
     for chunk_result in results:
         out.total_matches += chunk_result.total_matches
+        out.n_chunks += chunk_result.n_chunks
         out.matched_pairs.extend(chunk_result.matched_pairs)
         out.embeddings.extend(chunk_result.embeddings)
         out.peak_memory_bytes = max(
             out.peak_memory_bytes, chunk_result.peak_memory_bytes
         )
+        for name, seconds in chunk_result.timings.items():
+            out.timings[name] = out.timings.get(name, 0.0) + seconds
     out.matched_pairs.sort()
     return out

@@ -22,6 +22,21 @@ from repro.core.results import MatchRecord, MatchResult
 from repro.graph.labeled_graph import LabeledGraph
 
 
+class BudgetInfeasible(ValueError):
+    """No chunk size can satisfy the memory budget.
+
+    Raised by :func:`chunk_size_for_budget` when even a single data graph's
+    candidate-bitmap share exceeds the budget — chunking cannot help, the
+    run needs a bigger device (or the resilient runtime's degradation
+    path, which catches this error; see :mod:`repro.runtime`).
+    """
+
+    def __init__(self, message: str, required_bytes: int, budget_bytes: int) -> None:
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+
+
 @dataclass
 class ChunkedResult:
     """Aggregated outcome of a chunked run.
@@ -113,6 +128,13 @@ def chunk_size_for_budget(
 
     Solves ``n_query_nodes * chunk_size * mean_nodes / 8 <= budget *
     bitmap_share`` (the bitmap is ~80 % of the footprint, section 5.1.3).
+
+    Raises
+    ------
+    BudgetInfeasible
+        When even a single graph's bitmap share exceeds the budget; a
+        chunk size of 1 would still OOM, so returning it silently (the
+        historical behaviour) only deferred the failure to the device.
     """
     if budget_bytes <= 0:
         raise ValueError("budget_bytes must be > 0")
@@ -120,4 +142,13 @@ def chunk_size_for_budget(
         raise ValueError("node counts must be > 0")
     bytes_per_graph = n_query_nodes * mean_nodes_per_data_graph / 8
     usable = budget_bytes * bitmap_share
-    return max(1, int(usable // max(bytes_per_graph, 1e-9)))
+    size = int(usable // max(bytes_per_graph, 1e-9))
+    if size < 1:
+        raise BudgetInfeasible(
+            f"a single data graph needs ~{bytes_per_graph:.0f} bitmap bytes "
+            f"but only {usable:.0f} of {budget_bytes} are usable "
+            f"(bitmap_share={bitmap_share})",
+            required_bytes=int(bytes_per_graph),
+            budget_bytes=int(budget_bytes),
+        )
+    return size

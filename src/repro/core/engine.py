@@ -19,7 +19,7 @@ from repro.analysis import contracts
 from repro.core.config import SigmoConfig
 from repro.core.csrgo import CSRGO
 from repro.core.filtering import IterativeFilter
-from repro.core.join import FIND_ALL, FIND_FIRST, run_join
+from repro.core.join import FIND_ALL, FIND_FIRST, JoinBudget, run_join
 from repro.core.mapping import build_gmcr
 from repro.core.results import MatchResult, MemoryReport
 from repro.graph.batch import GraphBatch
@@ -77,7 +77,13 @@ class SigmoEngine:
 
     # -- public API -------------------------------------------------------------
 
-    def run(self, mode: str = FIND_ALL, config: SigmoConfig | None = None) -> MatchResult:
+    def run(
+        self,
+        mode: str = FIND_ALL,
+        config: SigmoConfig | None = None,
+        join_budget: JoinBudget | None = None,
+        join_start_pair: int = 0,
+    ) -> MatchResult:
         """Execute the full pipeline and return a :class:`MatchResult`.
 
         Parameters
@@ -88,6 +94,15 @@ class SigmoEngine:
             embedding (graph-to-graph matching).
         config:
             Optional per-run config override (batches are reused).
+        join_budget:
+            Optional join watchdog (see :class:`~repro.core.join.JoinBudget`);
+            when it fires the result is *truncated*: ``result.truncated`` is
+            true and ``result.resume_pair`` is the GMCR pair index to pass
+            back as ``join_start_pair`` to continue.  The filter and mapping
+            stages are deterministic, so a resumed run rebuilds the exact
+            same GMCR and pair indices stay valid across calls.
+        join_start_pair:
+            Resume token from a previous truncated run of the same batches.
         """
         config = config or self.config
         timer = StageTimer()
@@ -113,6 +128,8 @@ class SigmoEngine:
             config,
             mode=mode,
             timer=timer,
+            budget=join_budget,
+            start_pair=join_start_pair,
         )
 
         memory = MemoryReport(

@@ -36,6 +36,53 @@ FIND_FIRST = "find-first"
 
 
 @dataclass(frozen=True)
+class JoinBudget:
+    """Per-run work budget for the join phase (the runtime watchdog).
+
+    A Find All on a pathological (data, query) batch can produce orders of
+    magnitude more embeddings than expected (the paper caps query size at
+    30 partly for this reason).  A budget lets the chunked/resilient
+    drivers stop such a run *cleanly*: the join finishes the in-flight
+    pair, tags the result ``truncated`` and reports ``resume_pair`` — the
+    GMCR pair index to restart from — so completed work is never
+    discarded.  Budgets are checked at pair boundaries, which keeps
+    truncation deterministic and resumable (pairs are processed in GMCR
+    order).
+
+    Attributes
+    ----------
+    max_matches:
+        Stop once at least this many embeddings were found.
+    max_visits:
+        Stop once at least this many candidate visits were spent (the
+        dominant stack-DFS work counter).
+    max_pushes:
+        Stop once at least this many stack pushes (partial matches) were
+        made.
+    """
+
+    max_matches: int | None = None
+    max_visits: int | None = None
+    max_pushes: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_matches", "max_visits", "max_pushes"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 (or None)")
+
+    def exceeded(self, total_matches: int, stats: "JoinStats") -> str | None:
+        """The budget dimension that is exhausted, or ``None``."""
+        if self.max_matches is not None and total_matches >= self.max_matches:
+            return f"matches >= {self.max_matches}"
+        if self.max_visits is not None and stats.candidate_visits >= self.max_visits:
+            return f"candidate_visits >= {self.max_visits}"
+        if self.max_pushes is not None and stats.stack_pushes >= self.max_pushes:
+            return f"stack_pushes >= {self.max_pushes}"
+        return None
+
+
+@dataclass(frozen=True)
 class QueryPlan:
     """Precompiled matching order for one query graph.
 
@@ -113,6 +160,14 @@ class JoinResult:
         local query node ``i``.
     stats:
         Work counters.
+    truncated:
+        A :class:`JoinBudget` stopped the run before every pair was
+        joined; results cover exactly the pairs ``< resume_pair``.
+    resume_pair:
+        First *unprocessed* GMCR pair index — pass it back as
+        ``start_pair`` to continue the run; ``None`` when complete.
+    truncate_reason:
+        Human-readable budget dimension that fired (telemetry).
     """
 
     total_matches: int = 0
@@ -120,6 +175,9 @@ class JoinResult:
     pair_visits: np.ndarray | None = None
     embeddings: list[tuple[int, int, np.ndarray]] = field(default_factory=list)
     stats: JoinStats = field(default_factory=JoinStats)
+    truncated: bool = False
+    resume_pair: int | None = None
+    truncate_reason: str = ""
 
 
 def build_query_plan(
@@ -395,15 +453,29 @@ def run_join(
     mode: str = FIND_ALL,
     timer: StageTimer | None = None,
     plans: list[QueryPlan] | None = None,
+    budget: JoinBudget | None = None,
+    start_pair: int = 0,
 ) -> JoinResult:
     """Stage 6 of the pipeline: join every viable pair.
 
     Iterates data graphs (work-groups) in order; for each, builds the local
     adjacency once and joins each GMCR-mapped query graph (work-items).
     Sets ``gmcr.matched`` per pair as the paper's designated boolean.
+
+    Parameters
+    ----------
+    budget:
+        Optional work watchdog; when a dimension is exhausted the join
+        stops at the next pair boundary with ``truncated=True`` and a
+        ``resume_pair`` token (see :class:`JoinBudget`).
+    start_pair:
+        First GMCR pair index to process (resume token from a previous
+        truncated run); pairs before it are skipped untouched.
     """
     if mode not in (FIND_ALL, FIND_FIRST):
         raise ValueError(f"mode must be '{FIND_ALL}' or '{FIND_FIRST}'")
+    if start_pair < 0 or start_pair > gmcr.n_pairs:
+        raise ValueError(f"start_pair must be in [0, {gmcr.n_pairs}]")
     config = config or SigmoConfig()
     timer = timer or StageTimer()
     find_first = mode == FIND_FIRST
@@ -444,12 +516,21 @@ def run_join(
         for d in range(gmcr.n_data_graphs):
             pair_lo = int(gmcr.data_graph_offsets[d])
             pair_hi = int(gmcr.data_graph_offsets[d + 1])
-            if pair_hi == pair_lo:
+            if pair_hi == pair_lo or pair_hi <= start_pair:
                 continue
+            if result.truncated:
+                break
             d_start, d_stop = data.graph_node_range(d)
             view = _LocalGraphView(data, d)
             n_graph_nodes = d_stop - d_start
-            for pair_idx in range(pair_lo, pair_hi):
+            for pair_idx in range(max(pair_lo, start_pair), pair_hi):
+                if budget is not None:
+                    reason = budget.exceeded(result.total_matches, result.stats)
+                    if reason is not None:
+                        result.truncated = True
+                        result.resume_pair = pair_idx
+                        result.truncate_reason = reason
+                        break
                 qg = int(gmcr.query_graph_indices[pair_idx])
                 plan = plans[qg]
                 q_start, _ = query.graph_node_range(plan.query_graph)

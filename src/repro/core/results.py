@@ -127,6 +127,16 @@ class MatchResult:
         return sum(self.timings.values())
 
     @property
+    def truncated(self) -> bool:
+        """Whether a join budget stopped the run early (partial result)."""
+        return self.join_result.truncated
+
+    @property
+    def resume_pair(self) -> int | None:
+        """GMCR pair index to resume a truncated run from (else ``None``)."""
+        return self.join_result.resume_pair
+
+    @property
     def embeddings(self) -> list[MatchRecord]:
         """Recorded embeddings as :class:`MatchRecord` (may be empty)."""
         return [

@@ -24,7 +24,7 @@ lives in :mod:`repro.perf`.
 """
 
 from repro.device.counters import KernelCounters, PipelineCounters
-from repro.device.memory import DeviceMemory, DeviceOutOfMemory
+from repro.device.memory import DeviceMemory, DeviceMemoryPool, DeviceOutOfMemory
 from repro.device.simt import SimtExecution, simulate_simt
 from repro.device.spec import DEVICES, DeviceSpec, device_by_name
 
@@ -33,6 +33,7 @@ __all__ = [
     "DeviceSpec",
     "device_by_name",
     "DeviceMemory",
+    "DeviceMemoryPool",
     "DeviceOutOfMemory",
     "KernelCounters",
     "PipelineCounters",

@@ -10,6 +10,8 @@ with peak tracking and a typed OOM error.
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator
 
 from repro.device.spec import DeviceSpec
 
@@ -21,6 +23,11 @@ class DeviceOutOfMemory(MemoryError):
         super().__init__(message)
         self.requested = requested
         self.available = available
+
+    def __reduce__(self):
+        # default Exception pickling would replay only args[0]; crossing a
+        # process pool must preserve the sizes
+        return (type(self), (self.args[0], self.requested, self.available))
 
 
 class DeviceMemory:
@@ -93,6 +100,74 @@ class DeviceMemory:
     def report(self) -> dict[str, int]:
         """Copy of the live allocation table."""
         return dict(self.allocations)
+
+
+class DeviceMemoryPool:
+    """Shared-capacity allocator handing out transactional leases.
+
+    The resilient runtime (:mod:`repro.runtime`) runs every chunk inside a
+    :meth:`lease`: the chunk's predicted allocations are claimed up front
+    (raising :class:`DeviceOutOfMemory` *before* any work is done when the
+    chunk cannot fit), and released unconditionally when the chunk
+    finishes — succeed, OOM, or crash — so no allocation ever leaks
+    between chunks.  Peak usage is tracked across leases, reproducing the
+    "largest chunk footprint" bound that chunking buys (Fig. 12).
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | None = None,
+        capacity_bytes: int | None = None,
+        reserve_fraction: float = 0.06,
+    ) -> None:
+        self._memory = DeviceMemory(device, capacity_bytes, reserve_fraction)
+        self._lease_counter = 0
+
+    @property
+    def capacity(self) -> int:
+        """Allocatable bytes (after the driver reserve)."""
+        return self._memory.capacity
+
+    @property
+    def used(self) -> int:
+        """Bytes currently held by live leases."""
+        return self._memory.used
+
+    @property
+    def available(self) -> int:
+        """Bytes a new lease could still claim."""
+        return self._memory.available
+
+    @property
+    def peak(self) -> int:
+        """High-water mark across all leases so far."""
+        return self._memory.peak
+
+    def would_fit(self, allocations: dict[str, int]) -> bool:
+        """Whether a lease over ``allocations`` would currently succeed."""
+        return self._memory.would_fit(sum(allocations.values()))
+
+    @contextmanager
+    def lease(self, allocations: dict[str, int], tag: str = "") -> Iterator[dict[str, int]]:
+        """Claim ``allocations`` for the duration of the ``with`` block.
+
+        Names are prefixed with a unique lease id (and ``tag`` when given)
+        so concurrent or nested leases never collide.  If any allocation
+        fails, the ones already claimed are rolled back before the
+        :class:`DeviceOutOfMemory` propagates.
+        """
+        self._lease_counter += 1
+        prefix = f"lease{self._lease_counter}{'/' + tag if tag else ''}"
+        claimed: list[str] = []
+        try:
+            for name in sorted(allocations):
+                full = f"{prefix}/{name}"
+                self._memory.allocate(full, allocations[name])
+                claimed.append(full)
+            yield dict(allocations)
+        finally:
+            for full in claimed:
+                self._memory.free(full)
 
 
 def sigmo_footprint_bytes(

@@ -1,19 +1,37 @@
-"""Dataset and result serialization."""
+"""Dataset and result serialization, plus checkpoint durability primitives."""
 
 from repro.io.serialization import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    file_sha256,
+    graphs_fingerprint,
     load_dataset,
     load_graphs,
+    npz_bytes,
+    pack_match_records,
     read_smi,
     save_dataset,
     save_graphs,
+    sha256_bytes,
+    unpack_match_records,
     write_smi,
 )
 
 __all__ = [
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "file_sha256",
+    "graphs_fingerprint",
     "load_dataset",
     "load_graphs",
+    "npz_bytes",
+    "pack_match_records",
     "read_smi",
     "save_dataset",
     "save_graphs",
+    "sha256_bytes",
+    "unpack_match_records",
     "write_smi",
 ]

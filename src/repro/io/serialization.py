@@ -4,17 +4,140 @@ Graph batches are stored as a single ``.npz`` with flattened CSR-style
 arrays — compact, fast, and dependency-free.  Benchmark datasets add a
 JSON sidecar with their provenance (scale, seed) so an experiment can
 verify it is re-running the exact dataset a previous report used.
+
+This module also provides the durability primitives the resilient runtime
+(:mod:`repro.runtime`) builds its checkpoints on: atomic write-rename (a
+checkpoint is either the complete old file or the complete new file, never
+a torn write), SHA-256 content checksums, deterministic workload
+fingerprints, and flat-array packing of embedding records.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import os
 from pathlib import Path
 
 import numpy as np
 
 from repro.chem.datasets import BenchmarkDataset
 from repro.graph.labeled_graph import LabeledGraph
+
+
+# -- durability primitives (checkpoint substrate) ------------------------------
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader never observes a partially written file: the temp file is
+    fully written and flushed in the same directory, then renamed over the
+    target — the POSIX atomicity guarantee checkpoints rely on when a run
+    is killed mid-write.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomic UTF-8 text write (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str | Path, obj) -> None:
+    """Atomic, deterministic (sorted-key) JSON write."""
+    atomic_write_text(path, json.dumps(obj, indent=2, sort_keys=True) + "\n")
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex SHA-256 of a byte string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def file_sha256(path: str | Path) -> str:
+    """Hex SHA-256 of a file's content (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def graphs_fingerprint(graphs: list[LabeledGraph]) -> str:
+    """Deterministic content hash of a graph list.
+
+    Covers node labels, edges, and edge labels of every graph in order —
+    two workloads share a fingerprint iff they are structurally identical,
+    which is what makes a checkpoint safely resumable: the manifest stores
+    the fingerprint and resume refuses mismatched inputs.
+    """
+    digest = hashlib.sha256()
+    digest.update(len(graphs).to_bytes(8, "little"))
+    for g in graphs:
+        digest.update(int(g.n_nodes).to_bytes(8, "little"))
+        digest.update(np.ascontiguousarray(g.labels, dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(g.edges, dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(g.edge_labels, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+def npz_bytes(**arrays: np.ndarray) -> bytes:
+    """Serialize named arrays to compressed ``.npz`` bytes (in memory)."""
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def pack_match_records(records) -> dict[str, np.ndarray]:
+    """Flatten :class:`~repro.core.results.MatchRecord` s into arrays.
+
+    Mappings have per-query-graph lengths, so they are stored as one flat
+    array plus offsets (the same CSR-style layout the engine uses).
+    """
+    pairs = np.asarray(
+        [(rec.data_graph, rec.query_graph) for rec in records], dtype=np.int64
+    ).reshape(len(records), 2)
+    lengths = np.asarray([len(rec.mapping) for rec in records], dtype=np.int64)
+    offsets = np.zeros(len(records) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    flat = (
+        np.concatenate([np.asarray(rec.mapping, dtype=np.int64) for rec in records])
+        if records
+        else np.empty(0, dtype=np.int64)
+    )
+    return {
+        "embedding_pairs": pairs,
+        "embedding_offsets": offsets,
+        "embedding_mappings": flat,
+    }
+
+
+def unpack_match_records(arrays) -> list:
+    """Inverse of :func:`pack_match_records`."""
+    from repro.core.results import MatchRecord
+
+    pairs = np.asarray(arrays["embedding_pairs"], dtype=np.int64)
+    offsets = np.asarray(arrays["embedding_offsets"], dtype=np.int64)
+    flat = np.asarray(arrays["embedding_mappings"], dtype=np.int64)
+    return [
+        MatchRecord(
+            int(pairs[i, 0]),
+            int(pairs[i, 1]),
+            flat[offsets[i] : offsets[i + 1]].copy(),
+        )
+        for i in range(pairs.shape[0])
+    ]
 
 
 def save_graphs(path: str | Path, graphs: list[LabeledGraph]) -> None:

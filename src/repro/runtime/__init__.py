@@ -1,0 +1,67 @@
+"""Fault-tolerant execution layer (the production-runtime story).
+
+The paper's headline deployment — 256 GPUs sweeping all of ZINC with MPI
+(Figs. 13-14) — lives in a regime where memory exhaustion, embedding
+explosions, worker crashes, and rank failures are routine.  The engine
+and drivers under :mod:`repro.core` / :mod:`repro.cluster` are exact but
+*brittle*: one fault loses the whole run.  This package wraps them in a
+resilient runtime:
+
+* :mod:`~repro.runtime.resilient` — chunked execution with graceful
+  memory degradation (OOM → smaller chunks, bounded retries), the join
+  watchdog (truncate + resume token), and checkpoint/resume;
+* :mod:`~repro.runtime.parallel` — the fault-tolerant pool driver
+  (crash/OOM retry with exponential backoff, broken-pool recovery,
+  bitwise-equal to serial);
+* :mod:`~repro.runtime.checkpoint` — atomic, checksummed chunk
+  persistence;
+* :mod:`~repro.runtime.faults` — seeded deterministic fault injection
+  (OOMs, worker crashes, rank failures, stragglers);
+* :mod:`~repro.runtime.telemetry` — per-attempt observability.
+
+Rank-failure re-execution for the simulated MPI cluster lives with the
+cluster itself (:meth:`repro.cluster.mpi_sim.SimulatedCluster.run`
+accepts a :class:`~repro.runtime.faults.FaultPlan`).
+"""
+
+from repro.core.join import JoinBudget
+from repro.device.memory import DeviceMemoryPool, DeviceOutOfMemory
+from repro.runtime.checkpoint import CheckpointMismatch, CheckpointStore, ChunkPayload
+from repro.runtime.faults import NO_FAULTS, FaultPlan, RankFailure, WorkerCrash
+from repro.runtime.parallel import ParallelResilientResult, run_parallel_resilient
+from repro.runtime.resilient import (
+    COMPLETE,
+    PARTIAL,
+    ChunkRecord,
+    ResilientResult,
+    ResumeToken,
+    combine_results,
+    run_resilient,
+    workload_fingerprint,
+)
+from repro.runtime.telemetry import Attempt, RunReport
+
+__all__ = [
+    "Attempt",
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "ChunkPayload",
+    "ChunkRecord",
+    "COMPLETE",
+    "DeviceMemoryPool",
+    "DeviceOutOfMemory",
+    "FaultPlan",
+    "JoinBudget",
+    "NO_FAULTS",
+    "PARTIAL",
+    "ParallelResilientResult",
+    "RankFailure",
+    "ResilientResult",
+    "ResumeToken",
+    "RunReport",
+    "WorkerCrash",
+    "combine_results",
+    "run_parallel_resilient",
+    "run_resilient",
+    "workload_fingerprint",
+]

@@ -1,0 +1,211 @@
+"""Checkpoint store: durable per-chunk results with a checksummed manifest.
+
+A resilient run persists every completed chunk so a killed process loses
+at most the chunk in flight.  The layout is one directory::
+
+    checkpoint_dir/
+      manifest.json              # fingerprint + per-chunk index (atomic)
+      chunk-0000000-0000064.npz  # matched pairs + embeddings, one per chunk
+
+Durability rules:
+
+* every file is written with atomic write-rename
+  (:func:`repro.io.serialization.atomic_write_bytes`) — a reader never
+  sees a torn file;
+* the manifest records the SHA-256 of each chunk file; entries whose file
+  is missing or fails its checksum are *dropped* on load (that chunk is
+  simply re-executed — corruption degrades to recomputation, never to
+  wrong results);
+* the manifest records a workload fingerprint
+  (:func:`repro.io.serialization.graphs_fingerprint` over queries, data,
+  mode, and config); resuming against different inputs raises
+  :class:`CheckpointMismatch` instead of silently merging foreign
+  results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.results import MatchRecord
+from repro.io.serialization import (
+    atomic_write_bytes,
+    atomic_write_json,
+    file_sha256,
+    npz_bytes,
+    pack_match_records,
+    unpack_match_records,
+)
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Chunk statuses persisted in the manifest.
+STATUS_OK = "ok"
+STATUS_TRUNCATED = "truncated"
+
+
+class CheckpointMismatch(RuntimeError):
+    """The checkpoint belongs to a different workload or format version."""
+
+
+@dataclass
+class ChunkPayload:
+    """Everything persisted for one completed (or truncated) chunk.
+
+    ``matched_pairs`` and ``embeddings`` use *global* data-graph indices;
+    ``next_pair`` is only meaningful for ``STATUS_TRUNCATED`` payloads and
+    names the first unprocessed GMCR pair of the chunk's engine run.
+    """
+
+    start: int
+    stop: int
+    status: str = STATUS_OK
+    next_pair: int = 0
+    total_matches: int = 0
+    matched_pairs: list[tuple[int, int]] = field(default_factory=list)
+    embeddings: list[MatchRecord] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+    peak_memory_bytes: int = 0
+
+
+class CheckpointStore:
+    """Atomic, checksummed persistence of chunk results.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint directory (created on first save).
+    fingerprint:
+        Workload fingerprint the store is bound to; ``load`` refuses a
+        manifest with a different one.
+    """
+
+    def __init__(self, directory: str | Path, fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self._entries: dict[tuple[int, int], dict] = {}
+        self._loaded = False
+        #: Ranges whose persisted payload was missing/corrupt on the last
+        #: ``load`` (with the reason) — those ranges get re-executed.
+        self.dropped: dict[tuple[int, int], str] = {}
+
+    # -- paths -------------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        """Path of the manifest file."""
+        return self.directory / MANIFEST_NAME
+
+    def chunk_path(self, start: int, stop: int) -> Path:
+        """Path of one chunk's payload file."""
+        return self.directory / f"chunk-{start:07d}-{stop:07d}.npz"
+
+    # -- load --------------------------------------------------------------------
+
+    def load(self) -> dict[tuple[int, int], ChunkPayload]:
+        """Read every verifiable chunk payload from the store.
+
+        Returns an empty mapping when no manifest exists.  Entries whose
+        chunk file is missing or corrupt (checksum mismatch, unreadable
+        npz) are dropped — the driver re-executes those ranges.
+        """
+        self._entries = {}
+        self._loaded = True
+        self.dropped = {}
+        if not self.manifest_path.is_file():
+            return {}
+        manifest = json.loads(self.manifest_path.read_text())
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise CheckpointMismatch(
+                f"manifest version {manifest.get('version')!r} != {MANIFEST_VERSION}"
+            )
+        if manifest.get("fingerprint") != self.fingerprint:
+            raise CheckpointMismatch(
+                f"checkpoint at {self.directory} was written for a different "
+                "workload (fingerprint mismatch); refusing to merge"
+            )
+        payloads: dict[tuple[int, int], ChunkPayload] = {}
+        for entry in manifest.get("chunks", []):
+            key = (int(entry["start"]), int(entry["stop"]))
+            path = self.directory / entry["file"]
+            if not path.is_file():
+                self.dropped[key] = "chunk file missing"
+                continue  # re-execute this range
+            if file_sha256(path) != entry["sha256"]:
+                self.dropped[key] = "checksum mismatch"
+                continue
+            try:
+                payload = self._read_chunk(path, entry)
+            except (OSError, ValueError, KeyError) as exc:
+                self.dropped[key] = f"unreadable payload: {exc}"
+                continue
+            payloads[key] = payload
+            self._entries[key] = entry
+        return payloads
+
+    @staticmethod
+    def _read_chunk(path: Path, entry: dict) -> ChunkPayload:
+        with np.load(path) as arrays:
+            pairs = [
+                (int(d), int(q))
+                for d, q in np.asarray(arrays["matched_pairs"], dtype=np.int64)
+            ]
+            embeddings = unpack_match_records(arrays)
+        return ChunkPayload(
+            start=int(entry["start"]),
+            stop=int(entry["stop"]),
+            status=entry["status"],
+            next_pair=int(entry.get("next_pair", 0)),
+            total_matches=int(entry["total_matches"]),
+            matched_pairs=pairs,
+            embeddings=embeddings,
+            timings={k: float(v) for k, v in entry.get("timings", {}).items()},
+            peak_memory_bytes=int(entry.get("peak_memory_bytes", 0)),
+        )
+
+    # -- save --------------------------------------------------------------------
+
+    def save_chunk(self, payload: ChunkPayload) -> None:
+        """Persist one chunk atomically and re-publish the manifest.
+
+        The chunk file lands first, the manifest second; a crash between
+        the two leaves an orphaned chunk file the next load ignores (its
+        manifest entry is absent) — never a manifest pointing at a
+        missing file.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.chunk_path(payload.start, payload.stop)
+        arrays = pack_match_records(payload.embeddings)
+        arrays["matched_pairs"] = np.asarray(
+            payload.matched_pairs, dtype=np.int64
+        ).reshape(len(payload.matched_pairs), 2)
+        data = npz_bytes(**arrays)
+        atomic_write_bytes(path, data)
+        self._entries[(payload.start, payload.stop)] = {
+            "start": payload.start,
+            "stop": payload.stop,
+            "file": path.name,
+            "sha256": file_sha256(path),
+            "status": payload.status,
+            "next_pair": payload.next_pair,
+            "total_matches": payload.total_matches,
+            "timings": {k: float(v) for k, v in payload.timings.items()},
+            "peak_memory_bytes": payload.peak_memory_bytes,
+        }
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        chunks = [self._entries[key] for key in sorted(self._entries)]
+        atomic_write_json(
+            self.manifest_path,
+            {
+                "version": MANIFEST_VERSION,
+                "fingerprint": self.fingerprint,
+                "chunks": chunks,
+            },
+        )

@@ -1,0 +1,271 @@
+"""Fault-tolerant host-parallel execution (the resilient pool driver).
+
+The plain pool driver (:func:`repro.cluster.parallel.run_parallel`) dies
+with its first failed worker.  This driver keeps the same static slice
+partitioning — so results stay bitwise-identical to a serial run — and
+adds:
+
+* **retry with exponential backoff** — a slice whose worker crashed or
+  OOMed is re-dispatched deterministically (same slice, same payload,
+  incremented attempt counter) after ``backoff_base * backoff_factor **
+  attempt`` seconds;
+* **memory degradation** — an OOMed slice retries with half its
+  within-worker chunk size (chunking never changes results);
+* **hard-crash recovery** — a worker process that dies outright
+  (``FaultPlan(crash_hard=True)``, or a real segfault) breaks the whole
+  ``ProcessPoolExecutor``; the driver rebuilds the pool and re-dispatches
+  every unfinished slice;
+* **bounded failure** — a slice still failing after ``max_attempts`` is
+  dropped from the aggregate and the run returns ``status="partial"``
+  instead of raising.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.core.chunked import run_chunked
+from repro.core.config import SigmoConfig
+from repro.core.join import FIND_ALL
+from repro.core.results import MatchRecord
+from repro.device.memory import DeviceOutOfMemory
+from repro.graph.labeled_graph import LabeledGraph
+from repro.runtime import telemetry
+from repro.runtime.faults import FaultPlan, WorkerCrash
+from repro.runtime.resilient import COMPLETE, PARTIAL
+from repro.runtime.telemetry import Attempt, RunReport
+
+
+def _resilient_worker(payload):
+    """Pool entry: inject scheduled faults, then run one slice."""
+    (
+        queries,
+        data_slice,
+        start,
+        chunk_size,
+        mode,
+        config,
+        fault_plan,
+        slice_index,
+        attempt,
+        inline,
+    ) = payload
+    if fault_plan is not None:
+        if fault_plan.injects_crash(slice_index, attempt):
+            if fault_plan.crash_hard and not inline:
+                os._exit(13)  # simulate the process dying outright
+            raise WorkerCrash(slice_index, attempt)
+        fault_plan.check_oom(slice_index, attempt)
+    result = run_chunked(queries, data_slice, chunk_size, mode=mode, config=config)
+    result.matched_pairs = [(d + start, q) for d, q in result.matched_pairs]
+    result.embeddings = [
+        MatchRecord(rec.data_graph + start, rec.query_graph, rec.mapping)
+        for rec in result.embeddings
+    ]
+    return result
+
+
+@dataclass
+class _Slice:
+    """Dispatch state of one contiguous data slice."""
+
+    index: int
+    start: int
+    stop: int
+    chunk_size: int
+    attempt: int = 0
+    result: object | None = None
+    failed: bool = False
+
+
+@dataclass
+class ParallelResilientResult:
+    """Aggregated outcome of a fault-tolerant parallel run."""
+
+    status: str = COMPLETE
+    total_matches: int = 0
+    n_workers: int = 0
+    n_chunks: int = 0
+    peak_memory_bytes: int = 0
+    matched_pairs: list[tuple[int, int]] = field(default_factory=list)
+    embeddings: list[MatchRecord] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+    failed_slices: list[tuple[int, int]] = field(default_factory=list)
+    report: RunReport = field(default_factory=RunReport)
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed engine wall-clock across workers (not wall time)."""
+        return sum(self.timings.values())
+
+
+def run_parallel_resilient(
+    queries: list[LabeledGraph],
+    data: list[LabeledGraph],
+    n_workers: int | None = None,
+    chunk_size: int = 256,
+    mode: str = FIND_ALL,
+    config: SigmoConfig | None = None,
+    fault_plan: FaultPlan | None = None,
+    max_attempts: int = 4,
+    backoff_base: float = 0.0,
+    backoff_factor: float = 2.0,
+) -> ParallelResilientResult:
+    """Pool execution with deterministic retry of failed worker slices.
+
+    Slice partitioning is identical to
+    :func:`repro.cluster.parallel.run_parallel`, so a fault-free (or
+    fully recovered) run aggregates to exactly the serial result.
+
+    Parameters
+    ----------
+    max_attempts:
+        Per-slice attempt bound; an exhausted slice is dropped and the
+        run returns ``status="partial"`` with its range listed in
+        ``failed_slices``.
+    backoff_base / backoff_factor:
+        Retry delay ``backoff_base * backoff_factor ** attempt`` seconds
+        (0 disables sleeping; the schedule is still recorded in the
+        telemetry).
+    """
+    if not data:
+        raise ValueError("at least one data graph is required")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    if backoff_base < 0 or backoff_factor < 1:
+        raise ValueError("backoff_base must be >= 0 and backoff_factor >= 1")
+    n_workers = n_workers or min(os.cpu_count() or 1, 8)
+    n_workers = max(1, min(n_workers, len(data)))
+    block = -(-len(data) // n_workers)
+    slices = [
+        _Slice(index=i, start=start, stop=min(start + block, len(data)), chunk_size=chunk_size)
+        for i, start in enumerate(range(0, len(data), block))
+    ]
+    out = ParallelResilientResult(n_workers=len(slices))
+    inline = len(slices) == 1
+
+    def payload_of(sl: _Slice):
+        return (
+            queries,
+            data[sl.start : sl.stop],
+            sl.start,
+            sl.chunk_size,
+            mode,
+            config,
+            fault_plan,
+            sl.index,
+            sl.attempt,
+            inline,
+        )
+
+    def handle_failure(sl: _Slice, outcome: str, detail: str, elapsed: float) -> None:
+        out.report.record(
+            Attempt(
+                unit=f"slice-{sl.index}[{sl.start}:{sl.stop}]",
+                attempt=sl.attempt,
+                outcome=outcome,
+                chunk_size=sl.chunk_size,
+                seconds=elapsed,
+                backoff_seconds=_backoff(sl.attempt),
+                detail=detail,
+            )
+        )
+        if outcome == telemetry.OOM:
+            sl.chunk_size = max(1, sl.chunk_size // 2)
+        sl.attempt += 1
+        if sl.attempt >= max_attempts:
+            sl.failed = True
+
+    def _backoff(attempt: int) -> float:
+        return backoff_base * backoff_factor**attempt if attempt else 0.0
+
+    pending = [sl for sl in slices]
+    executor: ProcessPoolExecutor | None = None
+    try:
+        while pending:
+            max_delay = max(_backoff(sl.attempt) for sl in pending)
+            if max_delay > 0:
+                time.sleep(max_delay)
+            if inline:
+                sl = pending[0]
+                started = time.perf_counter()
+                try:
+                    sl.result = _resilient_worker(payload_of(sl))
+                except WorkerCrash as exc:
+                    handle_failure(
+                        sl, telemetry.CRASH, str(exc), time.perf_counter() - started
+                    )
+                except DeviceOutOfMemory as exc:
+                    handle_failure(
+                        sl, telemetry.OOM, str(exc), time.perf_counter() - started
+                    )
+                else:
+                    _record_ok(out.report, sl, time.perf_counter() - started)
+            else:
+                if executor is None:
+                    executor = ProcessPoolExecutor(max_workers=n_workers)
+                started = time.perf_counter()
+                futures = [(sl, executor.submit(_resilient_worker, payload_of(sl))) for sl in pending]
+                pool_broken = False
+                for sl, future in futures:
+                    elapsed = time.perf_counter() - started
+                    try:
+                        sl.result = future.result()
+                    except WorkerCrash as exc:
+                        handle_failure(sl, telemetry.CRASH, str(exc), elapsed)
+                    except DeviceOutOfMemory as exc:
+                        handle_failure(sl, telemetry.OOM, str(exc), elapsed)
+                    except BrokenProcessPool:
+                        # One worker died hard; every in-flight slice is
+                        # collateral.  Rebuild the pool and advance every
+                        # affected attempt counter (the crashed slice is
+                        # indistinguishable from its victims).
+                        handle_failure(
+                            sl, telemetry.CRASH, "process pool broken", elapsed
+                        )
+                        pool_broken = True
+                    else:
+                        _record_ok(out.report, sl, elapsed)
+                if pool_broken:
+                    executor.shutdown(wait=False)
+                    executor = None
+            pending = [sl for sl in slices if sl.result is None and not sl.failed]
+    finally:
+        if executor is not None:
+            executor.shutdown()
+
+    for sl in slices:
+        if sl.result is None:
+            out.failed_slices.append((sl.start, sl.stop))
+            continue
+        chunk_result = sl.result
+        out.total_matches += chunk_result.total_matches
+        out.n_chunks += chunk_result.n_chunks
+        out.matched_pairs.extend(chunk_result.matched_pairs)
+        out.embeddings.extend(chunk_result.embeddings)
+        out.peak_memory_bytes = max(
+            out.peak_memory_bytes, chunk_result.peak_memory_bytes
+        )
+        for name, seconds in chunk_result.timings.items():
+            out.timings[name] = out.timings.get(name, 0.0) + seconds
+    out.matched_pairs.sort()
+    out.status = PARTIAL if out.failed_slices else COMPLETE
+    return out
+
+
+def _record_ok(report: RunReport, sl: _Slice, elapsed: float) -> None:
+    report.record(
+        Attempt(
+            unit=f"slice-{sl.index}[{sl.start}:{sl.stop}]",
+            attempt=sl.attempt,
+            outcome=telemetry.OK,
+            chunk_size=sl.chunk_size,
+            seconds=elapsed,
+        )
+    )

@@ -1,0 +1,117 @@
+"""Per-attempt telemetry of resilient runs.
+
+Every execution attempt — success, injected or real OOM, crash,
+truncation, infeasible chunk — is recorded as an :class:`Attempt`, and a
+:class:`RunReport` aggregates them.  The report is the observable half of
+the robustness story: a run that silently retried ten times is a latency
+bug waiting to be found, so the CLI and benchmarks print these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Attempt outcomes.
+OK = "ok"
+OOM = "oom"
+CRASH = "crash"
+TRUNCATED = "truncated"
+INFEASIBLE = "infeasible"
+CACHED = "cached"
+FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One execution attempt of one work unit.
+
+    Attributes
+    ----------
+    unit:
+        Work-unit label, e.g. ``"chunk[64:128]"`` or ``"slice-3"``.
+    attempt:
+        0-based attempt counter for this unit.
+    outcome:
+        One of the module outcome constants.
+    chunk_size:
+        Chunk size in effect for the attempt (degradation telemetry).
+    seconds:
+        Wall-clock spent on the attempt.
+    backoff_seconds:
+        Backoff delay scheduled *before* this attempt (0 for first tries).
+    detail:
+        Free-form context (error message, truncation reason, ...).
+    """
+
+    unit: str
+    attempt: int
+    outcome: str
+    chunk_size: int = 0
+    seconds: float = 0.0
+    backoff_seconds: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class RunReport:
+    """Aggregated attempt log of one resilient run."""
+
+    attempts: list[Attempt] = field(default_factory=list)
+
+    def record(self, attempt: Attempt) -> None:
+        """Append one attempt."""
+        self.attempts.append(attempt)
+
+    def count(self, outcome: str) -> int:
+        """Attempts with the given outcome."""
+        return sum(1 for a in self.attempts if a.outcome == outcome)
+
+    @property
+    def n_attempts(self) -> int:
+        """Total attempts recorded."""
+        return len(self.attempts)
+
+    @property
+    def n_retries(self) -> int:
+        """Attempts beyond the first per unit."""
+        return sum(1 for a in self.attempts if a.attempt > 0)
+
+    @property
+    def n_faults(self) -> int:
+        """Attempts that ended in a fault (OOM or crash)."""
+        return self.count(OOM) + self.count(CRASH)
+
+    def outcomes(self) -> dict[str, int]:
+        """Outcome -> count mapping (sorted by outcome name)."""
+        table: dict[str, int] = {}
+        for a in self.attempts:
+            table[a.outcome] = table.get(a.outcome, 0) + 1
+        return dict(sorted(table.items()))
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        parts = [f"{outcome}={n}" for outcome, n in self.outcomes().items()]
+        return (
+            f"{self.n_attempts} attempt(s), {self.n_retries} retrie(s): "
+            + (", ".join(parts) if parts else "nothing executed")
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (CLI ``--json`` output)."""
+        return {
+            "n_attempts": self.n_attempts,
+            "n_retries": self.n_retries,
+            "outcomes": self.outcomes(),
+            "attempts": [
+                {
+                    "unit": a.unit,
+                    "attempt": a.attempt,
+                    "outcome": a.outcome,
+                    "chunk_size": a.chunk_size,
+                    "seconds": round(a.seconds, 6),
+                    "backoff_seconds": round(a.backoff_seconds, 6),
+                    "detail": a.detail,
+                }
+                for a in self.attempts
+            ],
+        }

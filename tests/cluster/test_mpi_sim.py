@@ -78,3 +78,58 @@ class TestAggregates:
         results = cluster.run(queries)
         # identical generator params; only molecule sampling noise remains
         assert SimulatedCluster.runtime_cv(results) < 0.2
+
+
+class TestFaultRecovery:
+    def cluster(self):
+        return SimulatedCluster(4, shard_molecules=8, molecules_per_rank=80)
+
+    def test_failed_ranks_recovered_matches_conserved(self, queries):
+        from repro.runtime import FaultPlan
+
+        cluster = self.cluster()
+        base = cluster.run(queries, seed=2)
+        faulted = cluster.run(
+            queries, seed=2, fault_plan=FaultPlan(failed_ranks=(1, 3))
+        )
+        assert [r.rank for r in faulted] == [0, 2]
+        assert SimulatedCluster.total_matches(faulted) == SimulatedCluster.total_matches(base)
+        # round-robin: rank 0 re-executes rank 1's block, rank 2 rank 3's
+        assert faulted[0].recovered_ranks == (1,)
+        assert faulted[1].recovered_ranks == (3,)
+        assert faulted[0].matches == base[0].matches + base[1].matches
+        assert faulted[0].n_molecules == 160
+
+    def test_recovery_degrades_makespan(self, queries):
+        from repro.runtime import FaultPlan
+
+        cluster = self.cluster()
+        base = cluster.run(queries, seed=2)
+        faulted = cluster.run(queries, seed=2, fault_plan=FaultPlan(failed_ranks=(0,)))
+        assert SimulatedCluster.makespan(faulted) > SimulatedCluster.makespan(base)
+
+    def test_straggler_slows_one_rank(self, queries):
+        from repro.runtime import FaultPlan
+
+        cluster = self.cluster()
+        base = cluster.run(queries, seed=2)
+        plan = FaultPlan(stragglers=(2,), straggler_slowdown=2.5)
+        faulted = cluster.run(queries, seed=2, fault_plan=plan)
+        assert faulted[2].straggler_factor == 2.5
+        assert faulted[2].modeled_seconds == pytest.approx(
+            base[2].modeled_seconds * 2.5
+        )
+        assert SimulatedCluster.total_matches(faulted) == SimulatedCluster.total_matches(base)
+
+    def test_all_ranks_failed_raises(self, queries):
+        from repro.runtime import FaultPlan
+
+        with pytest.raises(RuntimeError):
+            self.cluster().run(
+                queries, seed=2, fault_plan=FaultPlan(failed_ranks=(0, 1, 2, 3))
+            )
+
+    def test_no_plan_means_no_recovery_fields(self, queries):
+        results = self.cluster().run(queries, seed=2)
+        assert all(r.recovered_ranks == () for r in results)
+        assert all(r.straggler_factor == 1.0 for r in results)

@@ -50,3 +50,20 @@ class TestParallel:
             run_parallel(queries, [], 2)
         with pytest.raises(ValueError):
             run_parallel(queries, [queries[0]], chunk_size=0)
+
+
+class TestAggregation:
+    def test_n_chunks_summed_across_workers(self, workload):
+        queries, data = workload
+        parallel = run_parallel(queries, data, n_workers=3, chunk_size=5)
+        # 3 slices of 8 graphs, each chunked by 5 -> 2 chunks per slice
+        assert parallel.n_chunks == 6
+
+    def test_timings_aggregated(self, workload):
+        queries, data = workload
+        parallel = run_parallel(queries, data, n_workers=2, chunk_size=6)
+        assert "join" in parallel.timings and "filter" in parallel.timings
+        assert parallel.total_seconds == pytest.approx(
+            sum(parallel.timings.values())
+        )
+        assert parallel.total_seconds > 0

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.chunked import ChunkedResult, chunk_size_for_budget, run_chunked
+from repro.core.chunked import (
+    BudgetInfeasible,
+    ChunkedResult,
+    chunk_size_for_budget,
+    run_chunked,
+)
 from repro.core.config import SigmoConfig
 from repro.core.engine import SigmoEngine
 
@@ -81,8 +86,19 @@ class TestBudgetHelper:
         size = chunk_size_for_budget(3413, 23.9, 30 * 1024**3)
         assert 2_000_000 < size < 4_000_000
 
-    def test_minimum_one(self):
-        assert chunk_size_for_budget(10**9, 200.0, 1024) == 1
+    def test_infeasible_budget_raises(self):
+        # even one 200-node molecule against 10^9 query nodes blows a 1 KiB
+        # budget; a typed error beats silently returning chunk_size=1
+        with pytest.raises(BudgetInfeasible) as exc:
+            chunk_size_for_budget(10**9, 200.0, 1024)
+        assert exc.value.budget_bytes == 1024
+        assert exc.value.required_bytes > 1024
+
+    def test_tight_but_feasible_budget(self):
+        # doubling the single-graph requirement makes the budget feasible
+        with pytest.raises(BudgetInfeasible) as exc:
+            chunk_size_for_budget(10**6, 50.0, 1024)
+        assert chunk_size_for_budget(10**6, 50.0, 2 * exc.value.required_bytes) == 1
 
     def test_validation(self):
         with pytest.raises(ValueError):

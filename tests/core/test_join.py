@@ -10,6 +10,7 @@ from repro.core.filtering import IterativeFilter
 from repro.core.join import (
     FIND_ALL,
     FIND_FIRST,
+    JoinBudget,
     build_query_plan,
     run_join,
 )
@@ -18,13 +19,16 @@ from repro.graph.generators import path_graph, ring_graph, star_graph
 from repro.graph.labeled_graph import LabeledGraph
 
 
-def run_pipeline(queries, data, mode=FIND_ALL, iterations=3, **cfg):
+def run_pipeline(queries, data, mode=FIND_ALL, iterations=3, budget=None, start_pair=0, **cfg):
     config = SigmoConfig(refinement_iterations=iterations, **cfg)
     q = CSRGO.from_graphs(queries)
     d = CSRGO.from_graphs(data)
     fr = IterativeFilter(q, d, config).run()
     gmcr = build_gmcr(fr.bitmap, q, d)
-    return run_join(q, d, fr.bitmap, gmcr, config, mode=mode), gmcr
+    result = run_join(
+        q, d, fr.bitmap, gmcr, config, mode=mode, budget=budget, start_pair=start_pair
+    )
+    return result, gmcr
 
 
 class TestQueryPlan:
@@ -169,3 +173,66 @@ class TestJoinStats:
         res, gmcr = run_pipeline([q], data, iterations=1)
         assert res.pair_matches.size == gmcr.n_pairs
         assert res.pair_matches.sum() == res.total_matches
+
+
+class TestJoinBudget:
+    """The join watchdog: truncation at pair boundaries with resume."""
+
+    WORKLOAD = (
+        [path_graph([1, 1]), path_graph([1, 1, 1])],
+        [ring_graph(6, [1] * 6), ring_graph(8, [1] * 8), path_graph([1, 1, 1, 1])],
+    )
+
+    def test_no_budget_never_truncates(self):
+        res, _ = run_pipeline(*self.WORKLOAD)
+        assert not res.truncated
+        assert res.resume_pair is None
+
+    def test_match_budget_truncates_at_pair_boundary(self):
+        full, gmcr = run_pipeline(*self.WORKLOAD)
+        res, _ = run_pipeline(*self.WORKLOAD, budget=JoinBudget(max_matches=1))
+        assert res.truncated
+        assert res.truncate_reason
+        assert 0 < res.resume_pair < gmcr.n_pairs
+        assert 0 < res.total_matches < full.total_matches
+        # pairs before the boundary are complete, pairs after untouched
+        assert (res.pair_matches[: res.resume_pair] == full.pair_matches[: res.resume_pair]).all()
+        assert (res.pair_matches[res.resume_pair :] == 0).all()
+
+    def test_resume_chain_equals_full_run(self):
+        full, _ = run_pipeline(*self.WORKLOAD)
+        budget = JoinBudget(max_matches=1)
+        total = 0
+        start = 0
+        for _ in range(100):
+            res, _ = run_pipeline(*self.WORKLOAD, budget=budget, start_pair=start)
+            total += res.total_matches
+            if not res.truncated:
+                break
+            start = res.resume_pair
+        else:
+            pytest.fail("resume chain did not converge")
+        assert total == full.total_matches
+
+    def test_visit_budget_truncates(self):
+        res, _ = run_pipeline(*self.WORKLOAD, budget=JoinBudget(max_visits=1))
+        assert res.truncated
+        assert "candidate_visits" in res.truncate_reason
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            JoinBudget(max_matches=0)
+        with pytest.raises(ValueError):
+            JoinBudget(max_visits=-1)
+
+    def test_start_pair_validation(self):
+        with pytest.raises(ValueError):
+            run_pipeline(*self.WORKLOAD, start_pair=-1)
+        with pytest.raises(ValueError):
+            run_pipeline(*self.WORKLOAD, start_pair=10**6)
+
+    def test_start_pair_skips_completed_pairs(self):
+        full, gmcr = run_pipeline(*self.WORKLOAD)
+        res, _ = run_pipeline(*self.WORKLOAD, start_pair=1)
+        assert res.total_matches == full.total_matches - full.pair_matches[0]
+        assert (res.pair_matches[0] == 0) and not res.truncated

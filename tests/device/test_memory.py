@@ -62,3 +62,100 @@ class TestFootprint:
     def test_bitmap_formula(self):
         fp = sigmo_footprint_bytes(8, 64, 0, word_bits=64)
         assert fp["candidate_bitmap"] == 8 * 8  # 8 rows x 1 word x 8 bytes
+
+
+class TestDeviceMemoryPool:
+    def make_pool(self, capacity=1000):
+        from repro.device.memory import DeviceMemoryPool
+
+        return DeviceMemoryPool(capacity_bytes=capacity, reserve_fraction=0.0)
+
+    def test_lease_claims_and_releases(self):
+        pool = self.make_pool()
+        with pool.lease({"bitmap": 600, "csr": 200}):
+            assert pool.used == 800 and pool.available == 200
+        assert pool.used == 0
+        assert pool.peak == 800
+
+    def test_reserve_fraction_shrinks_capacity(self):
+        from repro.device.memory import DeviceMemoryPool
+        from repro.device.spec import DEVICES
+
+        pool = DeviceMemoryPool(device=DEVICES["nvidia-v100s"], reserve_fraction=0.25)
+        assert pool.capacity == DEVICES["nvidia-v100s"].vram_bytes * 3 // 4
+
+    def test_reserve_fraction_edge_cases(self):
+        # 0.0 keeps the full capacity; values just under 1 leave a sliver
+        assert self.make_pool(1000).capacity == 1000
+        from repro.device.memory import DeviceMemoryPool
+
+        tiny = DeviceMemoryPool(capacity_bytes=1000, reserve_fraction=0.999)
+        assert tiny.capacity == 1
+        with pytest.raises(DeviceOutOfMemory):
+            with tiny.lease({"a": 2}):
+                pass
+
+    def test_oom_rolls_back_partial_claims(self):
+        pool = self.make_pool(1000)
+        with pytest.raises(DeviceOutOfMemory):
+            with pool.lease({"a": 600, "b": 600}):
+                pass
+        # the first allocation was rolled back before the raise propagated
+        assert pool.used == 0
+        assert pool.would_fit({"x": 1000})
+
+    def test_free_then_realloc_roundtrip(self):
+        pool = self.make_pool(1000)
+        with pytest.raises(DeviceOutOfMemory):
+            with pool.lease({"big": 1200}):
+                pass
+        # after the failed lease the full budget is immediately reusable
+        with pool.lease({"ok": 1000}):
+            assert pool.used == 1000
+        with pool.lease({"again": 500}):
+            assert pool.used == 500
+        assert pool.used == 0 and pool.peak == 1000
+
+    def test_lease_released_on_body_exception(self):
+        pool = self.make_pool(1000)
+        with pytest.raises(RuntimeError):
+            with pool.lease({"a": 500}):
+                raise RuntimeError("chunk crashed")
+        assert pool.used == 0
+
+    def test_nested_leases_do_not_collide(self):
+        pool = self.make_pool(1000)
+        with pool.lease({"a": 300}, tag="chunk[0:4]"):
+            with pool.lease({"a": 300}, tag="chunk[4:8]"):
+                assert pool.used == 600
+        assert pool.used == 0
+
+    def test_oom_pickles_with_sizes(self):
+        import pickle
+
+        err = pickle.loads(pickle.dumps(DeviceOutOfMemory("boom", 12, 7)))
+        assert isinstance(err, DeviceOutOfMemory)
+        assert err.requested == 12 and err.available == 7
+
+
+class TestEngineUnderBudget:
+    def test_engine_under_pool_no_leaks_between_chunks(self, small_dataset):
+        # satellite: run the engine under a pool budget chunk by chunk and
+        # assert allocations never leak from one chunk to the next
+        from repro.core.engine import SigmoEngine
+        from repro.device.memory import DeviceMemoryPool
+        from repro.runtime.resilient import predict_chunk_footprint
+
+        queries, data = small_dataset.queries[:6], small_dataset.data[:12]
+        footprint = predict_chunk_footprint(queries, data)
+        pool = DeviceMemoryPool(
+            capacity_bytes=sum(footprint.values()), reserve_fraction=0.0
+        )
+        total = 0
+        for start in range(0, len(data), 4):
+            chunk = data[start : start + 4]
+            with pool.lease(predict_chunk_footprint(queries, chunk)):
+                total += SigmoEngine(queries, chunk).run().total_matches
+            assert pool.used == 0  # nothing leaked between chunks
+        assert total == SigmoEngine(queries, data).run().total_matches
+        assert 0 < pool.peak < sum(footprint.values())

@@ -1,0 +1,116 @@
+"""Unit tests for the atomic, checksummed checkpoint store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.results import MatchRecord
+from repro.runtime.checkpoint import (
+    STATUS_OK,
+    STATUS_TRUNCATED,
+    CheckpointMismatch,
+    CheckpointStore,
+    ChunkPayload,
+)
+
+pytestmark = pytest.mark.robustness
+
+
+def make_payload(start=0, stop=4, status=STATUS_OK, next_pair=0):
+    return ChunkPayload(
+        start=start,
+        stop=stop,
+        status=status,
+        next_pair=next_pair,
+        total_matches=3,
+        matched_pairs=[(start, 0), (start + 1, 1), (start + 2, 0)],
+        embeddings=[
+            MatchRecord(start, 0, np.array([0, 1], dtype=np.int32)),
+            MatchRecord(start + 1, 1, np.array([2, 0, 1], dtype=np.int32)),
+        ],
+        timings={"join": 0.25, "filter": 0.5},
+        peak_memory_bytes=4096,
+    )
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt", fingerprint="fp")
+        store.save_chunk(make_payload())
+        store.save_chunk(make_payload(start=4, stop=8))
+        loaded = CheckpointStore(tmp_path / "ckpt", fingerprint="fp").load()
+        assert set(loaded) == {(0, 4), (4, 8)}
+        payload = loaded[(0, 4)]
+        assert payload.total_matches == 3
+        assert payload.matched_pairs == [(0, 0), (1, 1), (2, 0)]
+        assert payload.timings == {"join": 0.25, "filter": 0.5}
+        assert payload.peak_memory_bytes == 4096
+        assert [(r.data_graph, r.query_graph, r.mapping.tolist()) for r in payload.embeddings] == [
+            (0, 0, [0, 1]),
+            (1, 1, [2, 0, 1]),
+        ]
+
+    def test_truncated_status_and_pair_persist(self, tmp_path):
+        store = CheckpointStore(tmp_path, fingerprint="fp")
+        store.save_chunk(make_payload(status=STATUS_TRUNCATED, next_pair=17))
+        loaded = CheckpointStore(tmp_path, fingerprint="fp").load()
+        assert loaded[(0, 4)].status == STATUS_TRUNCATED
+        assert loaded[(0, 4)].next_pair == 17
+
+    def test_resave_overwrites(self, tmp_path):
+        store = CheckpointStore(tmp_path, fingerprint="fp")
+        store.save_chunk(make_payload(status=STATUS_TRUNCATED, next_pair=5))
+        store.save_chunk(make_payload(status=STATUS_OK))
+        loaded = CheckpointStore(tmp_path, fingerprint="fp").load()
+        assert loaded[(0, 4)].status == STATUS_OK
+
+    def test_empty_directory_loads_empty(self, tmp_path):
+        assert CheckpointStore(tmp_path / "none", fingerprint="fp").load() == {}
+
+    def test_no_stray_tmp_files(self, tmp_path):
+        store = CheckpointStore(tmp_path, fingerprint="fp")
+        store.save_chunk(make_payload())
+        assert not [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+
+
+class TestCorruption:
+    def test_fingerprint_mismatch_refuses(self, tmp_path):
+        CheckpointStore(tmp_path, fingerprint="a").save_chunk(make_payload())
+        with pytest.raises(CheckpointMismatch):
+            CheckpointStore(tmp_path, fingerprint="b").load()
+
+    def test_version_mismatch_refuses(self, tmp_path):
+        store = CheckpointStore(tmp_path, fingerprint="fp")
+        store.save_chunk(make_payload())
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["version"] = 999
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointMismatch):
+            CheckpointStore(tmp_path, fingerprint="fp").load()
+
+    def test_corrupt_chunk_dropped(self, tmp_path):
+        store = CheckpointStore(tmp_path, fingerprint="fp")
+        store.save_chunk(make_payload(0, 4))
+        store.save_chunk(make_payload(4, 8))
+        store.chunk_path(0, 4).write_bytes(b"garbage")
+        reader = CheckpointStore(tmp_path, fingerprint="fp")
+        loaded = reader.load()
+        assert set(loaded) == {(4, 8)}  # corrupt range re-executes
+        assert reader.dropped == {(0, 4): "checksum mismatch"}
+
+    def test_missing_chunk_dropped(self, tmp_path):
+        store = CheckpointStore(tmp_path, fingerprint="fp")
+        store.save_chunk(make_payload(0, 4))
+        store.chunk_path(0, 4).unlink()
+        reader = CheckpointStore(tmp_path, fingerprint="fp")
+        assert reader.load() == {}
+        assert reader.dropped == {(0, 4): "chunk file missing"}
+
+    def test_orphan_chunk_file_ignored(self, tmp_path):
+        store = CheckpointStore(tmp_path, fingerprint="fp")
+        store.save_chunk(make_payload(0, 4))
+        # a crash between chunk write and manifest write leaves an orphan
+        store.chunk_path(4, 8).write_bytes(b"orphan")
+        loaded = CheckpointStore(tmp_path, fingerprint="fp").load()
+        assert set(loaded) == {(0, 4)}

@@ -1,0 +1,96 @@
+"""Unit tests for deterministic fault injection."""
+
+import pickle
+
+import pytest
+
+from repro.device.memory import DeviceOutOfMemory
+from repro.runtime.faults import NO_FAULTS, FaultPlan, RankFailure, WorkerCrash
+
+pytestmark = pytest.mark.robustness
+
+
+class TestValidation:
+    def test_rates_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            FaultPlan(oom_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(crash_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(rank_failure_rate=2.0)
+
+    def test_slowdown_and_attempts(self):
+        with pytest.raises(ValueError):
+            FaultPlan(straggler_slowdown=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan(fault_attempts=-1)
+
+
+class TestDeterminism:
+    def test_same_plan_same_decisions(self):
+        a = FaultPlan(seed=3, oom_rate=0.5, crash_rate=0.5)
+        b = FaultPlan(seed=3, oom_rate=0.5, crash_rate=0.5)
+        decisions = [(u, t) for u in range(20) for t in range(2)]
+        assert [a.injects_oom(u, t) for u, t in decisions] == [
+            b.injects_oom(u, t) for u, t in decisions
+        ]
+        assert [a.injects_crash(u, t) for u, t in decisions] == [
+            b.injects_crash(u, t) for u, t in decisions
+        ]
+
+    def test_kinds_draw_independently(self):
+        plan = FaultPlan(seed=3, oom_rate=0.5, crash_rate=0.5)
+        decisions = [(u, 0) for u in range(64)]
+        ooms = [plan.injects_oom(u, t) for u, t in decisions]
+        crashes = [plan.injects_crash(u, t) for u, t in decisions]
+        assert ooms != crashes  # astronomically unlikely to collide
+
+    def test_survives_pickling(self):
+        plan = FaultPlan(seed=9, oom_rate=0.4, crash_at=((1, 0),))
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert [clone.injects_oom(u, 0) for u in range(32)] == [
+            plan.injects_oom(u, 0) for u in range(32)
+        ]
+
+
+class TestFiring:
+    def test_explicit_coordinates_always_fire(self):
+        plan = FaultPlan(oom_at=((2, 1),), crash_at=((3, 0),))
+        assert plan.injects_oom(2, 1) and not plan.injects_oom(2, 0)
+        assert plan.injects_crash(3, 0) and not plan.injects_crash(3, 1)
+
+    def test_rate_faults_stop_after_fault_attempts(self):
+        plan = FaultPlan(seed=1, oom_rate=1.0, crash_rate=1.0, fault_attempts=2)
+        assert plan.injects_oom(0, 0) and plan.injects_oom(0, 1)
+        assert not plan.injects_oom(0, 2)
+        assert not plan.injects_crash(0, 2)
+
+    def test_check_oom_raises_device_oom(self):
+        plan = FaultPlan(oom_at=((0, 0),))
+        with pytest.raises(DeviceOutOfMemory):
+            plan.check_oom(0, 0)
+        plan.check_oom(0, 1)  # no fault scheduled: no raise
+
+    def test_check_crash_raises_worker_crash(self):
+        plan = FaultPlan(crash_at=((4, 2),))
+        with pytest.raises(WorkerCrash) as exc:
+            plan.check_crash(4, 2)
+        assert exc.value.unit == 4 and exc.value.attempt == 2
+
+    def test_rank_failures_and_stragglers(self):
+        plan = FaultPlan(failed_ranks=(1,), stragglers=(2,), straggler_slowdown=3.0)
+        assert plan.rank_failed(1) and not plan.rank_failed(0)
+        assert plan.straggler_factor(2) == 3.0
+        assert plan.straggler_factor(0) == 1.0
+
+    def test_no_faults_plan_is_inert(self):
+        for unit in range(16):
+            assert not NO_FAULTS.injects_oom(unit, 0)
+            assert not NO_FAULTS.injects_crash(unit, 0)
+            assert not NO_FAULTS.rank_failed(unit)
+            assert NO_FAULTS.straggler_factor(unit) == 1.0
+
+    def test_rank_failure_exception_carries_rank(self):
+        exc = RankFailure(7)
+        assert exc.rank == 7 and "7" in str(exc)

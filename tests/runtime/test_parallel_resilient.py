@@ -1,0 +1,127 @@
+"""Integration tests for the fault-tolerant pool driver."""
+
+import pytest
+
+from repro.core.engine import SigmoEngine
+from repro.runtime import COMPLETE, PARTIAL, FaultPlan, run_parallel_resilient
+
+pytestmark = pytest.mark.robustness
+
+
+@pytest.fixture(scope="module")
+def workload(small_dataset):
+    return small_dataset.queries[:6], small_dataset.data[:24]
+
+
+@pytest.fixture(scope="module")
+def serial(workload):
+    queries, data = workload
+    return SigmoEngine(queries, data).run()
+
+
+def assert_equals_serial(result, serial):
+    assert result.total_matches == serial.total_matches
+    assert result.matched_pairs == sorted(serial.matched_pairs())
+
+
+class TestFaultFree:
+    def test_matches_serial(self, workload, serial):
+        queries, data = workload
+        result = run_parallel_resilient(queries, data, n_workers=3, chunk_size=5)
+        assert result.status == COMPLETE
+        assert result.report.n_retries == 0
+        assert_equals_serial(result, serial)
+
+    def test_timings_and_chunks_aggregate(self, workload):
+        queries, data = workload
+        result = run_parallel_resilient(queries, data, n_workers=3, chunk_size=5)
+        assert result.n_chunks == 6  # 3 slices of 8 graphs, chunked by 5
+        assert "join" in result.timings and result.total_seconds > 0
+
+    def test_validation(self, workload):
+        queries, data = workload
+        with pytest.raises(ValueError):
+            run_parallel_resilient(queries, [])
+        with pytest.raises(ValueError):
+            run_parallel_resilient(queries, data, chunk_size=0)
+        with pytest.raises(ValueError):
+            run_parallel_resilient(queries, data, max_attempts=0)
+        with pytest.raises(ValueError):
+            run_parallel_resilient(queries, data, backoff_factor=0.5)
+
+
+class TestRecovery:
+    def test_soft_crashes_and_ooms_recovered(self, workload, serial):
+        queries, data = workload
+        plan = FaultPlan(seed=1, crash_rate=0.6, oom_rate=0.3, fault_attempts=2)
+        result = run_parallel_resilient(
+            queries, data, n_workers=3, chunk_size=5, fault_plan=plan, max_attempts=6
+        )
+        assert result.status == COMPLETE
+        assert result.report.n_retries > 0
+        assert_equals_serial(result, serial)
+
+    def test_oom_halves_chunk_size(self, workload, serial):
+        queries, data = workload
+        plan = FaultPlan(oom_at=((0, 0), (0, 1)))
+        result = run_parallel_resilient(
+            queries, data, n_workers=3, chunk_size=8, fault_plan=plan, max_attempts=6
+        )
+        assert result.status == COMPLETE
+        sizes = [
+            a.chunk_size for a in result.report.attempts if a.unit.startswith("slice-0")
+        ]
+        assert sizes == [8, 4, 2]  # halved on each OOM
+        assert_equals_serial(result, serial)
+
+    def test_hard_crash_breaks_and_rebuilds_pool(self, workload, serial):
+        queries, data = workload
+        plan = FaultPlan(crash_at=((1, 0),), crash_hard=True)
+        result = run_parallel_resilient(
+            queries, data, n_workers=3, chunk_size=5, fault_plan=plan, max_attempts=6
+        )
+        assert result.status == COMPLETE
+        assert result.report.n_retries >= 1
+        assert_equals_serial(result, serial)
+
+    def test_inline_single_slice_recovers(self, workload, serial):
+        queries, data = workload
+        plan = FaultPlan(crash_at=((0, 0),), crash_hard=True)
+        # single slice runs inline; a hard crash downgrades to a raise
+        result = run_parallel_resilient(
+            queries, data, n_workers=1, chunk_size=50, fault_plan=plan, max_attempts=3
+        )
+        assert result.status == COMPLETE
+        assert result.n_workers == 1
+        assert_equals_serial(result, serial)
+
+    def test_exhausted_slice_goes_partial(self, workload):
+        queries, data = workload
+        plan = FaultPlan(crash_at=tuple((0, a) for a in range(10)))
+        result = run_parallel_resilient(
+            queries, data, n_workers=3, chunk_size=5, fault_plan=plan, max_attempts=3
+        )
+        assert result.status == PARTIAL
+        assert (0, 8) in result.failed_slices
+        # the surviving slices still contributed their exact results
+        assert result.total_matches > 0
+
+    def test_backoff_schedule_recorded(self, workload):
+        queries, data = workload
+        plan = FaultPlan(crash_at=((0, 0), (0, 1)))
+        result = run_parallel_resilient(
+            queries,
+            data,
+            n_workers=3,
+            chunk_size=5,
+            fault_plan=plan,
+            max_attempts=4,
+            backoff_base=0.001,
+            backoff_factor=2.0,
+        )
+        delays = [
+            a.backoff_seconds
+            for a in result.report.attempts
+            if a.unit.startswith("slice-0") and a.outcome == "crash"
+        ]
+        assert delays == [0.0, 0.002]

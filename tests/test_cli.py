@@ -77,3 +77,59 @@ class TestSelftest:
     def test_selftest_runs(self, capsys):
         assert main(["selftest", "--molecules", "30", "--queries", "8"]) == 0
         assert "selftest ok" in capsys.readouterr().out
+
+
+@pytest.mark.robustness
+class TestResilientRun:
+    def test_requires_data_or_smoke(self, capsys):
+        assert main(["resilient-run"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_basic_run(self, library, capsys):
+        assert main(
+            ["resilient-run", "--data", str(library), "--smarts", "CC",
+             "--chunk-size", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "complete:" in out and "chunk(s)" in out
+
+    def test_faulted_run_equals_clean(self, library, tmp_path, capsys):
+        def run(extra, out_json):
+            code = main(
+                ["resilient-run", "--data", str(library), "--smarts", "CC",
+                 "--chunk-size", "5", "--json", str(out_json)] + extra
+            )
+            capsys.readouterr()
+            return code, json.loads(out_json.read_text())
+
+        code, clean = run([], tmp_path / "clean.json")
+        assert code == 0
+        code, faulted = run(
+            ["--fault-oom-rate", "0.6", "--fault-seed", "4",
+             "--memory-budget-mb", "64", "--max-attempts", "8"],
+            tmp_path / "faulted.json",
+        )
+        assert code == 0
+        assert faulted["total_matches"] == clean["total_matches"]
+        assert faulted["matched_pairs"] == clean["matched_pairs"]
+        assert any(a["outcome"] == "oom" for a in faulted["attempts"]["attempts"])
+
+    def test_checkpoint_resume(self, library, tmp_path, capsys):
+        args = ["resilient-run", "--data", str(library), "--smarts", "CC",
+                "--chunk-size", "8", "--checkpoint-dir", str(tmp_path / "ck")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "4 from checkpoint" in out
+
+    def test_join_budget_flags(self, library, capsys):
+        assert main(
+            ["resilient-run", "--data", str(library), "--smarts", "C",
+             "--chunk-size", "25", "--max-join-matches", "10"]
+        ) == 0
+        assert "complete:" in capsys.readouterr().out
+
+    def test_smoke_mode(self, capsys):
+        assert main(["resilient-run", "--smoke", "--fault-seed", "3"]) == 0
+        assert "resilient smoke ok" in capsys.readouterr().out
