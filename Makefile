@@ -5,7 +5,7 @@
 PY := python
 export PYTHONPATH := src
 
-.PHONY: lint analyze test check check-robustness baseline
+.PHONY: lint analyze test check check-robustness check-obs baseline
 
 lint: analyze
 
@@ -26,3 +26,9 @@ check: test analyze
 check-robustness:
 	$(PY) -m pytest -q -m robustness
 	$(PY) -m repro resilient-run --smoke
+
+# Observability gate: trace/metrics/profile tests plus a profile run of
+# the smoke workload compared against the committed baseline.
+check-obs:
+	$(PY) -m pytest -q -m obs
+	$(PY) -m repro profile --n-queries 40 --n-molecules 200 --against BENCH_obs.json

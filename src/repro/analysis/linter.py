@@ -24,7 +24,15 @@ from repro.analysis.findings import Finding
 from repro.analysis.rules import run_rules
 
 #: Packages under ``src/repro`` covered by the default lint run.
-DEFAULT_PACKAGES = ("core", "device", "utils", "cluster", "analysis", "runtime")
+DEFAULT_PACKAGES = (
+    "core",
+    "device",
+    "utils",
+    "cluster",
+    "analysis",
+    "runtime",
+    "obs",
+)
 
 BaselineKey = tuple[str, str, str]
 

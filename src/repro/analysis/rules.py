@@ -30,6 +30,13 @@ SGL007    kernel-scalar-clamp  info      ``min``/``max``/``np.clip`` against a
                                          signature packing, not ad-hoc clamps).
 SGL008    unused-import        warning   module-level import never referenced
                                          (``__init__.py`` re-export files exempt).
+SGL009    counter-bypass       warning   ad-hoc work accumulators (``instr += …``,
+                                         ``visits += 1``) on bare names inside
+                                         ``@kernel`` functions; simulated work must
+                                         flow through the instrumented counter API
+                                         (``KernelCounters`` / the metrics
+                                         registry) so profiles and the performance
+                                         model see it.
 ========  ===================  ========  ==========================================
 
 Suppression: append ``# sigmo: allow=SGL00X`` (comma-separated ids, or
@@ -76,8 +83,17 @@ RULES: dict[str, Rule] = {
         Rule("SGL006", "except-silent", Severity.WARNING),
         Rule("SGL007", "kernel-scalar-clamp", Severity.INFO),
         Rule("SGL008", "unused-import", Severity.WARNING),
+        Rule("SGL009", "counter-bypass", Severity.WARNING),
     )
 }
+
+#: Bare-name accumulators that look like work counters (SGL009).  Matched
+#: as whole tokens within the identifier, so ``visits`` and ``n_visits``
+#: hit but ``revisits_cache`` does not.
+_COUNTER_TOKEN_RE = re.compile(
+    r"(?:^|_)(?:instr|instructions|visits|checks|echecks|pushes|ops|bytes|"
+    r"work_items)(?:_|$)"
+)
 
 
 def _is_np_attr(node: ast.AST, attrs: set[str]) -> bool:
@@ -325,6 +341,26 @@ class _Visitor(ast.NodeVisitor):
     visit_SetComp = _visit_comprehension_holder
     visit_DictComp = _visit_comprehension_holder
     visit_GeneratorExp = _visit_comprehension_holder
+
+    # -- SGL009: counter bypass in kernels ------------------------------------
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if (
+            self._kernel_depth > 0
+            and isinstance(node.op, ast.Add)
+            and isinstance(node.target, ast.Name)
+            and _COUNTER_TOKEN_RE.search(node.target.id)
+        ):
+            self.emit(
+                "SGL009",
+                node,
+                f"ad-hoc work accumulator '{node.target.id} += ...' inside a "
+                "@kernel function; report simulated work through "
+                "KernelCounters or the metrics registry so profiles and "
+                "the performance model see it (baseline provably local "
+                "tallies)",
+            )
+        self.generic_visit(node)
 
     # -- SGL005 / SGL006: exception handling ----------------------------------
 

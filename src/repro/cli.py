@@ -19,6 +19,11 @@ Subcommands
     Fault-tolerant matching through :mod:`repro.runtime`: memory-budget
     degradation, join watchdog, checkpoint/resume, and optional seeded
     fault injection (see ``docs/robustness.md``).
+``profile``
+    Observability report of the seeded smoke workload: stage breakdown,
+    top-k simulated kernels, roofline placement; exports the
+    ``repro.metrics/1`` payload, a Perfetto-loadable Chrome trace, and
+    compares against a committed baseline (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -125,6 +130,38 @@ def _add_resilient_run(sub: argparse._SubParsersAction) -> None:
                         "on mismatch); ignores --data/--queries")
 
 
+def _add_profile(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "profile",
+        help="observability report: stage split, top-k kernels, baselines",
+    )
+    p.add_argument("--n-queries", type=int, default=40,
+                   help="smoke workload query count")
+    p.add_argument("--n-molecules", type=int, default=200,
+                   help="smoke workload molecule count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--mode", choices=("find-all", "find-first"), default="find-all"
+    )
+    p.add_argument("--iterations", type=int, default=6,
+                   help="refinement iterations (paper default: 6)")
+    p.add_argument("--device", default="nvidia-v100s",
+                   help="device spec for the analytic model/roofline")
+    p.add_argument("--top-k", type=int, default=5,
+                   help="kernels shown in the by-bytes table")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write the repro.metrics/1 payload")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write a Chrome trace-event JSON (load in Perfetto)")
+    p.add_argument("--against", metavar="BASELINE",
+                   help="compare against a baseline metrics JSON "
+                        "(e.g. BENCH_obs.json); exit 1 on regression")
+    p.add_argument("--tolerance", type=float, default=0.1,
+                   help="relative growth allowed for work counters")
+    p.add_argument("--time-tolerance", type=float, default=1.0,
+                   help="relative growth allowed for wall-clock gauges")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -137,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_selftest(sub)
     _add_analyze(sub)
     _add_resilient_run(sub)
+    _add_profile(sub)
     return parser
 
 
@@ -510,6 +548,60 @@ def _resilient_smoke(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_profile(args) -> int:
+    """Handle ``repro profile``: trace + profile the smoke workload."""
+    from repro.obs.export import validate_metrics, write_chrome_trace, write_metrics
+    from repro.obs.metrics import MetricsRegistry, collecting
+    from repro.obs.profile import (
+        ProfileBaseline,
+        format_profile,
+        format_regressions,
+        smoke_profile,
+    )
+    from repro.obs.trace import tracing
+
+    registry = MetricsRegistry()
+    with tracing() as tracer, collecting(registry):
+        profile = smoke_profile(
+            n_queries=args.n_queries,
+            n_data_graphs=args.n_molecules,
+            seed=args.seed,
+            mode=args.mode,
+            device=args.device,
+            iterations=args.iterations,
+            metrics=registry,
+        )
+    print(format_profile(profile, top_k=args.top_k))
+
+    payload = profile.payload()
+    problems = validate_metrics(payload)
+    if problems:
+        print(f"internal error: invalid metrics payload: {problems[0]}",
+              file=sys.stderr)
+        return 2
+    if args.json_out:
+        write_metrics(profile.metrics, args.json_out, context=profile.context)
+        print(f"wrote {args.json_out}")
+    if args.trace:
+        write_chrome_trace(tracer, args.trace)
+        print(
+            f"wrote {args.trace} ({len(tracer.spans)} spans, "
+            f"{len(tracer.lanes)} lane(s)); load it at ui.perfetto.dev"
+        )
+    if args.against:
+        baseline = ProfileBaseline.from_file(args.against)
+        regressions = baseline.compare(
+            payload,
+            tolerance=args.tolerance,
+            time_tolerance=args.time_tolerance,
+        )
+        if regressions:
+            print(format_regressions(regressions), file=sys.stderr)
+            return 1
+        print(f"no regressions against {args.against}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -520,6 +612,7 @@ def main(argv: list[str] | None = None) -> int:
         "selftest": cmd_selftest,
         "analyze": cmd_analyze,
         "resilient-run": cmd_resilient_run,
+        "profile": cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -27,6 +27,7 @@ from repro.device.counters import counters_from_result
 from repro.device.spec import DeviceSpec, device_by_name
 from repro.perf.model import PerformanceModel
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.trace import get_tracer
 from repro.runtime.faults import FaultPlan
 
 
@@ -180,28 +181,54 @@ class SimulatedCluster:
         for i, dead in enumerate(failed):
             recovered[survivors[i % len(survivors)]].append(dead)
 
+        tracer = get_tracer()
         results = []
-        for rank in survivors:
-            matches, seconds = run_block(rank)
-            n_molecules = self.molecules_per_rank
-            for dead in recovered[rank]:
-                extra_matches, extra_seconds = run_block(dead)
-                matches += extra_matches
-                seconds += extra_seconds
-                n_molecules += self.molecules_per_rank
-            slowdown = (
-                fault_plan.straggler_factor(rank) if fault_plan is not None else 1.0
-            )
-            results.append(
-                RankResult(
-                    rank=rank,
-                    n_molecules=n_molecules,
-                    matches=matches,
-                    modeled_seconds=seconds * slowdown,
-                    recovered_ranks=tuple(recovered[rank]),
-                    straggler_factor=slowdown,
-                )
-            )
+        with tracer.span(
+            "cluster:run",
+            category="cluster",
+            n_ranks=self.n_ranks,
+            device=self.device.name,
+            mode=mode,
+            failed_ranks=len(failed),
+        ):
+            # Each rank gets its own trace lane — one Chrome track per GPU.
+            for rank in survivors:
+                with tracer.lane(f"rank-{rank}"):
+                    with tracer.span(
+                        f"rank:{rank}", category="cluster", rank=rank
+                    ) as rank_sp:
+                        matches, seconds = run_block(rank)
+                        n_molecules = self.molecules_per_rank
+                        for dead in recovered[rank]:
+                            with tracer.span(
+                                f"recover:rank-{dead}",
+                                category="cluster",
+                                failed_rank=dead,
+                            ):
+                                extra_matches, extra_seconds = run_block(dead)
+                            matches += extra_matches
+                            seconds += extra_seconds
+                            n_molecules += self.molecules_per_rank
+                        slowdown = (
+                            fault_plan.straggler_factor(rank)
+                            if fault_plan is not None
+                            else 1.0
+                        )
+                        rank_sp.set(
+                            matches=matches,
+                            modeled_seconds=seconds * slowdown,
+                            straggler_factor=slowdown,
+                        )
+                        results.append(
+                            RankResult(
+                                rank=rank,
+                                n_molecules=n_molecules,
+                                matches=matches,
+                                modeled_seconds=seconds * slowdown,
+                                recovered_ranks=tuple(recovered[rank]),
+                                straggler_factor=slowdown,
+                            )
+                        )
         return results
 
     # -- aggregate views (the gather step) ---------------------------------------

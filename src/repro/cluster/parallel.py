@@ -19,6 +19,7 @@ from repro.core.config import SigmoConfig
 from repro.core.join import FIND_ALL
 from repro.core.results import MatchRecord
 from repro.graph.labeled_graph import LabeledGraph
+from repro.utils.timing import StageTimer
 
 
 def _worker(payload):
@@ -49,6 +50,7 @@ class ParallelResult:
     embeddings: list[MatchRecord] = field(default_factory=list)
     peak_memory_bytes: int = 0
     timings: dict[str, float] = field(default_factory=dict)
+    stage_counts: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -94,6 +96,7 @@ def run_parallel(
     else:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             results = list(pool.map(_worker, payloads))
+    agg = StageTimer()
     for chunk_result in results:
         out.total_matches += chunk_result.total_matches
         out.n_chunks += chunk_result.n_chunks
@@ -102,7 +105,8 @@ def run_parallel(
         out.peak_memory_bytes = max(
             out.peak_memory_bytes, chunk_result.peak_memory_bytes
         )
-        for name, seconds in chunk_result.timings.items():
-            out.timings[name] = out.timings.get(name, 0.0) + seconds
+        agg.merge(chunk_result.timings, counts=chunk_result.stage_counts)
+    out.timings = dict(agg.totals)
+    out.stage_counts = dict(agg.counts)
     out.matched_pairs.sort()
     return out

@@ -20,6 +20,7 @@ from repro.core.engine import SigmoEngine
 from repro.core.join import FIND_ALL
 from repro.core.results import MatchRecord, MatchResult
 from repro.graph.labeled_graph import LabeledGraph
+from repro.utils.timing import StageTimer
 
 
 class BudgetInfeasible(ValueError):
@@ -56,6 +57,8 @@ class ChunkedResult:
         each chunk; ``matched_pairs``/``embeddings`` are already globalized).
     timings:
         Summed per-phase timings across chunks.
+    stage_counts:
+        Summed per-phase invocation counts across chunks.
     """
 
     total_matches: int = 0
@@ -65,6 +68,7 @@ class ChunkedResult:
     embeddings: list[MatchRecord] = field(default_factory=list)
     chunk_results: list[MatchResult] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    stage_counts: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -97,6 +101,7 @@ def run_chunked(
     if not data:
         raise ValueError("at least one data graph is required")
     out = ChunkedResult()
+    agg = StageTimer()
     for start in range(0, len(data), chunk_size):
         chunk = data[start : start + chunk_size]
         engine = SigmoEngine(queries, chunk, config)
@@ -112,8 +117,9 @@ def run_chunked(
             for rec in result.embeddings
         )
         out.chunk_results.append(result)
-        for name, seconds in result.timings.items():
-            out.timings[name] = out.timings.get(name, 0.0) + seconds
+        agg.merge(result.timings, counts=result.stage_counts)
+    out.timings = dict(agg.totals)
+    out.stage_counts = dict(agg.counts)
     return out
 
 

@@ -24,6 +24,7 @@ from repro.core.mapping import build_gmcr
 from repro.core.results import MatchResult, MemoryReport
 from repro.graph.batch import GraphBatch
 from repro.graph.labeled_graph import LabeledGraph
+from repro.obs.trace import get_tracer
 from repro.utils.timing import StageTimer
 
 
@@ -106,31 +107,47 @@ class SigmoEngine:
         """
         config = config or self.config
         timer = StageTimer()
+        tracer = get_tracer()
 
-        # Stages 2-4: candidate initialization + iterative filtering.
-        filt = IterativeFilter(self.query, self.data, config, self.n_labels)
-        filter_result = filt.run(timer)
-        if contracts.enabled():
-            contracts.check_filter_result(filter_result)
-
-        # Stage 5: GMCR mapping.
-        with timer.stage("mapping"):
-            gmcr = build_gmcr(filter_result.bitmap, self.query, self.data)
-        if contracts.enabled():
-            contracts.check_gmcr(gmcr, self.query.n_graphs)
-
-        # Stage 6: join.
-        join_result = run_join(
-            self.query,
-            self.data,
-            filter_result.bitmap,
-            gmcr,
-            config,
+        with tracer.span(
+            "run",
+            category="engine",
             mode=mode,
-            timer=timer,
-            budget=join_budget,
-            start_pair=join_start_pair,
-        )
+            n_queries=self.query.n_graphs,
+            n_data_graphs=self.data.n_graphs,
+        ) as root:
+            # Stages 2-4: candidate initialization + iterative filtering.
+            filt = IterativeFilter(self.query, self.data, config, self.n_labels)
+            filter_result = filt.run(timer)
+            if contracts.enabled():
+                contracts.check_filter_result(filter_result)
+
+            # Stage 5: GMCR mapping.
+            with tracer.span("stage:mapping", category="stage") as stage_sp:
+                with timer.stage("mapping"):
+                    with tracer.span(
+                        "kernel:gmcr",
+                        category="kernel",
+                        work_items=self.data.n_graphs,
+                    ):
+                        gmcr = build_gmcr(filter_result.bitmap, self.query, self.data)
+                stage_sp.set(pairs=gmcr.n_pairs)
+            if contracts.enabled():
+                contracts.check_gmcr(gmcr, self.query.n_graphs)
+
+            # Stage 6: join.
+            join_result = run_join(
+                self.query,
+                self.data,
+                filter_result.bitmap,
+                gmcr,
+                config,
+                mode=mode,
+                timer=timer,
+                budget=join_budget,
+                start_pair=join_start_pair,
+            )
+            root.set(matches=join_result.total_matches)
 
         memory = MemoryReport(
             candidate_bitmap=filter_result.bitmap.nbytes(),
@@ -145,7 +162,8 @@ class SigmoEngine:
             filter_result=filter_result,
             gmcr=gmcr,
             join_result=join_result,
-            timings=timer.as_dict(),
+            timings=dict(timer.totals),
+            stage_counts=dict(timer.counts),
             memory=memory,
         )
 

@@ -29,6 +29,7 @@ from repro.core.candidates import CandidateBitmap
 from repro.core.config import SigmoConfig
 from repro.core.csrgo import CSRGO
 from repro.core.signatures import SignaturePacking, SignatureState
+from repro.obs.trace import get_tracer
 from repro.utils.bitops import pack_bool_rows
 from repro.utils.timing import StageTimer
 
@@ -101,14 +102,23 @@ def initialize_candidates(
     bitmap = CandidateBitmap(query.n_nodes, data.n_nodes, word_bits)
     if query.n_nodes == 0 or data.n_nodes == 0:
         return bitmap
-    for label in np.unique(query.labels):
-        if wildcard_label is not None and label == wildcard_label:
-            mask = np.ones(data.n_nodes, dtype=bool)
-        else:
-            mask = data.labels == label
-        packed = pack_bool_rows(mask[None, :], word_bits)[0]
-        rows = np.nonzero(query.labels == label)[0]
-        bitmap.words[rows] = packed
+    tracer = get_tracer()
+    with tracer.span(
+        "kernel:initialize_candidates", category="kernel", work_items=data.n_nodes
+    ):
+        for label in np.unique(query.labels):
+            # One work-group batch per label stripe (Alg. 1 layout).
+            with tracer.span(
+                f"wg:label-{int(label)}", category="workgroup"
+            ) as wg:
+                if wildcard_label is not None and label == wildcard_label:
+                    mask = np.ones(data.n_nodes, dtype=bool)
+                else:
+                    mask = data.labels == label
+                packed = pack_bool_rows(mask[None, :], word_bits)[0]
+                rows = np.nonzero(query.labels == label)[0]
+                bitmap.words[rows] = packed
+                wg.set(query_rows=int(rows.size), candidates=int(mask.sum()))
     return bitmap
 
 
@@ -141,12 +151,22 @@ def refine_candidates(
     # Group query nodes by identical saturated signature: one mask per
     # distinct signature instead of one per query node.
     unique_sigs, inverse = np.unique(sat_q, axis=0, return_inverse=True)
-    for sig_idx in range(unique_sigs.shape[0]):
-        sig = unique_sigs[sig_idx]
-        ok = np.all(sat_d >= sig, axis=1)
-        packed = pack_bool_rows(ok[None, :], bitmap.word_bits)[0]
-        rows = np.nonzero(inverse == sig_idx)[0]
-        bitmap.words[rows] &= packed
+    tracer = get_tracer()
+    with tracer.span(
+        "kernel:refine_candidates",
+        category="kernel",
+        work_items=bitmap.n_data_nodes,
+        signature_groups=int(unique_sigs.shape[0]),
+    ):
+        for sig_idx in range(unique_sigs.shape[0]):
+            # One work-group batch per distinct saturated signature.
+            with tracer.span(f"wg:sig-{sig_idx}", category="workgroup") as wg:
+                sig = unique_sigs[sig_idx]
+                ok = np.all(sat_d >= sig, axis=1)
+                packed = pack_bool_rows(ok[None, :], bitmap.word_bits)[0]
+                rows = np.nonzero(inverse == sig_idx)[0]
+                bitmap.words[rows] &= packed
+                wg.set(query_rows=int(rows.size), survivors=int(ok.sum()))
 
 
 class IterativeFilter:
@@ -196,57 +216,65 @@ class IterativeFilter:
         import time
 
         timer = timer or StageTimer()
-        with timer.stage("initialize_candidates"):
-            bitmap = initialize_candidates(
-                self.query,
-                self.data,
-                self.config.word_bits,
-                self.config.wildcard_label,
-            )
-        result = FilterResult(bitmap=bitmap, packing=self.packing)
-        if self.config.edge_signatures:
-            from repro.core.edge_signatures import refine_candidates_edge_aware
-
-            with timer.stage("filter"):
-                refine_candidates_edge_aware(
-                    bitmap,
+        tracer = get_tracer()
+        with tracer.span(
+            "stage:filter",
+            category="stage",
+            iterations=self.config.refinement_iterations,
+        ) as stage_sp:
+            with timer.stage("initialize_candidates"):
+                bitmap = initialize_candidates(
                     self.query,
                     self.data,
-                    self.n_labels,
-                    wildcard_label=self.config.wildcard_label,
-                    wildcard_edge_label=self.config.wildcard_edge_label,
+                    self.config.word_bits,
+                    self.config.wildcard_label,
                 )
-        checking = contracts.enabled()
-        if checking:
-            contracts.check_bitmap(bitmap, name="initialize_candidates")
-        for iteration in range(1, self.config.refinement_iterations + 1):
-            start = time.perf_counter()
-            radius = iteration - 1
-            prev_words = bitmap.words.copy() if checking else None
-            with timer.stage("filter"):
-                if radius > 0:
-                    q_counts, d_counts = self._signatures_at(radius)
-                    refine_candidates(bitmap, q_counts, d_counts, self.packing)
-            elapsed = time.perf_counter() - start
-            per_node = bitmap.row_counts()
+            result = FilterResult(bitmap=bitmap, packing=self.packing)
+            if self.config.edge_signatures:
+                from repro.core.edge_signatures import refine_candidates_edge_aware
+
+                with timer.stage("filter"):
+                    with tracer.span("kernel:refine_edge_aware", category="kernel"):
+                        refine_candidates_edge_aware(
+                            bitmap,
+                            self.query,
+                            self.data,
+                            self.n_labels,
+                            wildcard_label=self.config.wildcard_label,
+                            wildcard_edge_label=self.config.wildcard_edge_label,
+                        )
+            checking = contracts.enabled()
             if checking:
-                contracts.check_bitmap(
-                    bitmap,
-                    name=f"refine iteration {iteration}",
-                    expected_counts=per_node,
+                contracts.check_bitmap(bitmap, name="initialize_candidates")
+            for iteration in range(1, self.config.refinement_iterations + 1):
+                start = time.perf_counter()
+                radius = iteration - 1
+                prev_words = bitmap.words.copy() if checking else None
+                with timer.stage("filter"):
+                    if radius > 0:
+                        q_counts, d_counts = self._signatures_at(radius)
+                        refine_candidates(bitmap, q_counts, d_counts, self.packing)
+                elapsed = time.perf_counter() - start
+                per_node = bitmap.row_counts()
+                if checking:
+                    contracts.check_bitmap(
+                        bitmap,
+                        name=f"refine iteration {iteration}",
+                        expected_counts=per_node,
+                    )
+                    contracts.check_refinement_monotone(
+                        prev_words, bitmap.words, name=f"refine iteration {iteration}"
+                    )
+                result.iterations.append(
+                    IterationStats(
+                        iteration=iteration,
+                        radius=radius,
+                        total_candidates=int(per_node.sum()),
+                        candidates_per_node=per_node,
+                        filter_seconds=elapsed,
+                    )
                 )
-                contracts.check_refinement_monotone(
-                    prev_words, bitmap.words, name=f"refine iteration {iteration}"
-                )
-            result.iterations.append(
-                IterationStats(
-                    iteration=iteration,
-                    radius=radius,
-                    total_candidates=int(per_node.sum()),
-                    candidates_per_node=per_node,
-                    filter_seconds=elapsed,
-                )
-            )
+            stage_sp.set(candidates=result.total_candidates)
         if self._query_state is not None:
             result.query_signatures = self._query_state.counts
             result.data_signatures = self._data_state.counts

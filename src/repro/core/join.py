@@ -28,6 +28,7 @@ from repro.core.candidates import CandidateBitmap
 from repro.core.config import SigmoConfig
 from repro.core.csrgo import CSRGO
 from repro.core.mapping import GMCR
+from repro.obs.trace import get_tracer
 from repro.utils.timing import StageTimer
 
 #: Join execution modes.
@@ -485,7 +486,12 @@ def run_join(
     )
     record = result.embeddings if config.record_embeddings else None
 
-    with timer.stage("join"):
+    tracer = get_tracer()
+    with timer.stage("join"), tracer.span(
+        "stage:join", category="stage", mode=mode, pairs=gmcr.n_pairs
+    ) as stage_sp, tracer.span(
+        "kernel:join", category="kernel", work_items=gmcr.n_pairs
+    ):
         if plans is None:
             counts = bitmap.row_counts()
             plans = [
@@ -523,47 +529,60 @@ def run_join(
             d_start, d_stop = data.graph_node_range(d)
             view = _LocalGraphView(data, d)
             n_graph_nodes = d_stop - d_start
-            for pair_idx in range(max(pair_lo, start_pair), pair_hi):
-                if budget is not None:
-                    reason = budget.exceeded(result.total_matches, result.stats)
-                    if reason is not None:
-                        result.truncated = True
-                        result.resume_pair = pair_idx
-                        result.truncate_reason = reason
-                        break
-                qg = int(gmcr.query_graph_indices[pair_idx])
-                plan = plans[qg]
-                q_start, _ = query.graph_node_range(plan.query_graph)
-                cand_lists = []
-                empty = False
-                for local_q in plan.order:
-                    positions = positions_of(q_start + int(local_q))
-                    lo = np.searchsorted(positions, d_start)
-                    hi = np.searchsorted(positions, d_stop)
-                    if hi == lo:
-                        empty = True
-                        break
-                    cand_lists.append((positions[lo:hi] - d_start).tolist())
-                if empty:
-                    continue
-                result.stats.pairs_joined += 1
-                visits_before = result.stats.candidate_visits
-                found = join_pair(
-                    view,
-                    plan,
-                    cand_lists,
-                    n_graph_nodes,
-                    find_first,
-                    result.stats,
-                    record=record,
-                    record_meta=(d, qg),
-                    max_record=config.max_embeddings_recorded,
-                )
-                result.pair_matches[pair_idx] = found
-                result.pair_visits[pair_idx] = (
-                    result.stats.candidate_visits - visits_before
-                )
-                if found:
-                    gmcr.matched[pair_idx] = True
-                result.total_matches += found
+            # One work-group per data graph (paper section 4.6).
+            with tracer.span(
+                f"wg:data-{d}", category="workgroup", pairs=pair_hi - pair_lo
+            ) as wg:
+                group_matches = result.total_matches
+                for pair_idx in range(max(pair_lo, start_pair), pair_hi):
+                    if budget is not None:
+                        reason = budget.exceeded(result.total_matches, result.stats)
+                        if reason is not None:
+                            result.truncated = True
+                            result.resume_pair = pair_idx
+                            result.truncate_reason = reason
+                            break
+                    qg = int(gmcr.query_graph_indices[pair_idx])
+                    plan = plans[qg]
+                    q_start, _ = query.graph_node_range(plan.query_graph)
+                    cand_lists = []
+                    empty = False
+                    for local_q in plan.order:
+                        positions = positions_of(q_start + int(local_q))
+                        lo = np.searchsorted(positions, d_start)
+                        hi = np.searchsorted(positions, d_stop)
+                        if hi == lo:
+                            empty = True
+                            break
+                        cand_lists.append((positions[lo:hi] - d_start).tolist())
+                    if empty:
+                        continue
+                    result.stats.pairs_joined += 1
+                    visits_before = result.stats.candidate_visits
+                    found = join_pair(
+                        view,
+                        plan,
+                        cand_lists,
+                        n_graph_nodes,
+                        find_first,
+                        result.stats,
+                        record=record,
+                        record_meta=(d, qg),
+                        max_record=config.max_embeddings_recorded,
+                    )
+                    result.pair_matches[pair_idx] = found
+                    result.pair_visits[pair_idx] = (
+                        result.stats.candidate_visits - visits_before
+                    )
+                    if found:
+                        gmcr.matched[pair_idx] = True
+                    result.total_matches += found
+                wg.set(matches=result.total_matches - group_matches)
+        stage_sp.set(
+            matches=result.total_matches,
+            candidate_visits=result.stats.candidate_visits,
+            edge_checks=result.stats.edge_checks,
+            stack_pushes=result.stats.stack_pushes,
+            truncated=result.truncated,
+        )
     return result

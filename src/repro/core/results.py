@@ -102,6 +102,7 @@ class MatchResult:
     gmcr: GMCR
     join_result: JoinResult
     timings: dict[str, float] = field(default_factory=dict)
+    stage_counts: dict[str, int] = field(default_factory=dict)
     memory: MemoryReport = field(default_factory=MemoryReport)
 
     @property
@@ -142,6 +143,13 @@ class MatchResult:
         return [
             MatchRecord(d, q, m) for d, q, m in self.join_result.embeddings
         ]
+
+    def stage_timings(self) -> dict[str, dict[str, float]]:
+        """Per-stage ``{"seconds", "count"}`` rows (the StageTimer shape)."""
+        return {
+            name: {"seconds": seconds, "count": self.stage_counts.get(name, 1)}
+            for name, seconds in self.timings.items()
+        }
 
     def matched_pairs(self) -> list[tuple[int, int]]:
         """(data graph, query graph) pairs with at least one embedding."""

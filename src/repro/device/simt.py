@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.device.spec import DeviceSpec
+from repro.obs.trace import get_tracer
 
 #: Access kinds recorded by :class:`ShadowMemory`.
 READ = "read"
@@ -318,7 +319,7 @@ def simulate_simt(
     occupancy = device.occupancy_of(
         resident_subgroups / device.compute_units
     )
-    return SimtExecution(
+    execution = SimtExecution(
         useful_work=useful,
         executed_work=executed,
         divergence_factor=divergence,
@@ -326,6 +327,20 @@ def simulate_simt(
         waves=waves,
         occupancy=occupancy,
     )
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            "simt:schedule",
+            category="device",
+            device=device.name,
+            work_items=int(work.size),
+            workgroups=n_groups,
+            waves=waves,
+            divergence_factor=float(divergence),
+            occupancy=float(occupancy),
+        ):
+            pass
+    return execution
 
 
 def join_divergence(

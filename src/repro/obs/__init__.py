@@ -1,0 +1,68 @@
+"""Unified observability: span tracing, metrics, and profile export.
+
+Three layers (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — nested span tracer with worker/rank lanes,
+  zero-cost when disabled, deterministic tick-clock ordering.
+* :mod:`repro.obs.metrics` — counters / gauges / exact-bucket histogram
+  registry serialising to the ``repro.metrics/1`` schema.
+* :mod:`repro.obs.export` — Chrome trace-event (Perfetto) and metrics
+  JSON writers with byte-stable encoding, plus schema validators.
+
+:mod:`repro.obs.profile` (profile building, ``repro profile`` report,
+baseline comparison) imports the engine-side modules and is therefore
+*not* re-exported here — import it directly to avoid import cycles with
+the instrumented packages.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_payload,
+    stable_json,
+    validate_chrome_trace,
+    validate_metrics,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+    tracing,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "NULL_TRACER",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "collecting",
+    "get_metrics",
+    "get_tracer",
+    "metrics_payload",
+    "set_metrics",
+    "set_tracer",
+    "stable_json",
+    "traced",
+    "tracing",
+    "validate_chrome_trace",
+    "validate_metrics",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,208 @@
+"""Trace and metrics exporters with byte-stable JSON encoding.
+
+Two machine-readable formats leave the observability layer:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace`) — loadable in
+  Perfetto / ``chrome://tracing``.  Spans become ``ph: "X"`` complete
+  events; each tracer lane becomes one track (``tid``), named via
+  ``ph: "M"`` ``thread_name`` metadata.  Timestamps default to the
+  tracer's deterministic tick clock so two identical seeded runs export
+  byte-identical traces; pass ``clock="wall"`` for wall-time traces.
+* **``repro.metrics/1``** (:func:`metrics_payload`) — the flat metrics
+  schema produced by :meth:`MetricsRegistry.as_dict`, wrapped with a
+  context block (label, seed, workload) so benchmark baselines are
+  self-describing.
+
+All writers serialise via :func:`stable_json` — sorted keys, fixed
+separators, trailing newline — making exports diff- and byte-comparable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+#: Process id used for all lanes (the simulation is one process).
+TRACE_PID = 0
+
+
+def stable_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators, newline-terminated."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+# -- Chrome trace-event ---------------------------------------------------------
+
+
+def chrome_trace(tracer: Tracer, clock: str = "tick") -> dict[str, Any]:
+    """Render a tracer as a Chrome trace-event JSON object.
+
+    ``clock="tick"`` (default) uses the deterministic tick counter as
+    microseconds — byte-identical across seeded reruns.  ``clock="wall"``
+    scales each span's wall-clock duration to microseconds (start times
+    still come from tick ordering so nesting is preserved).
+    """
+    if clock not in ("tick", "wall"):
+        raise ValueError(f"unknown trace clock {clock!r}")
+    events: list[dict[str, Any]] = []
+    tids = {lane: i for i, lane in enumerate(tracer.lanes)}
+    for lane, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": lane},
+            }
+        )
+    for span in tracer.spans:
+        events.append(_span_event(span, tids[span.lane], clock))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": clock, "exporter": "repro.obs"},
+    }
+
+
+def _span_event(span: Span, tid: int, clock: str) -> dict[str, Any]:
+    if clock == "wall":
+        ts = float(span.start_tick)
+        dur = max(span.wall_seconds * 1e6, 0.0)
+    else:
+        ts = float(span.start_tick)
+        dur = float(max(span.duration_ticks, 1))
+    args = {k: _json_safe(v) for k, v in span.attrs.items()}
+    return {
+        "ph": "X",
+        "pid": TRACE_PID,
+        "tid": tid,
+        "ts": ts,
+        "dur": dur,
+        "name": span.name,
+        "cat": span.category,
+        "args": args,
+    }
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce numpy scalars and other oddballs to plain JSON types."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path, clock: str = "tick") -> Path:
+    """Write a Perfetto-loadable trace file; returns the path."""
+    path = Path(path)
+    path.write_text(stable_json(chrome_trace(tracer, clock=clock)))
+    return path
+
+
+def validate_chrome_trace(payload: dict[str, Any]) -> list[str]:
+    """Schema-check a Chrome trace object; returns a list of problems.
+
+    Checks the invariants Perfetto's JSON importer relies on: a
+    ``traceEvents`` list, known phase codes, numeric ``ts``/``dur`` on
+    complete events, and ``name``/``pid``/``tid`` presence.
+    """
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "B", "E", "i", "C"):
+            problems.append(f"event {i}: unknown phase {ph!r}")
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"event {i}: missing {key!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                if not isinstance(ev.get(key), (int, float)):
+                    problems.append(f"event {i}: {key!r} not numeric")
+            if ev.get("dur", 0) < 0:
+                problems.append(f"event {i}: negative dur")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"event {i}: args not an object")
+    return problems
+
+
+# -- metrics payload ------------------------------------------------------------
+
+
+def metrics_payload(
+    registry: MetricsRegistry, context: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Wrap a registry's ``repro.metrics/1`` dict with a context block."""
+    payload = registry.as_dict()
+    payload["context"] = dict(context or {})
+    return payload
+
+
+def write_metrics(
+    registry: MetricsRegistry,
+    path: str | Path,
+    context: dict[str, Any] | None = None,
+) -> Path:
+    """Write the metrics payload as stable JSON; returns the path."""
+    path = Path(path)
+    path.write_text(stable_json(metrics_payload(registry, context)))
+    return path
+
+
+def validate_metrics(payload: dict[str, Any]) -> list[str]:
+    """Schema-check a ``repro.metrics/1`` payload; returns problems."""
+    problems: list[str] = []
+    if payload.get("schema") != METRICS_SCHEMA:
+        problems.append(f"schema is {payload.get('schema')!r}, want {METRICS_SCHEMA!r}")
+    for section in ("counters", "gauges"):
+        block = payload.get(section)
+        if not isinstance(block, dict):
+            problems.append(f"{section} missing or not an object")
+            continue
+        for name, value in block.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{section}[{name!r}]: not numeric")
+    hists = payload.get("histograms")
+    if not isinstance(hists, dict):
+        problems.append("histograms missing or not an object")
+    else:
+        for name, h in hists.items():
+            if not isinstance(h, dict):
+                problems.append(f"histograms[{name!r}]: not an object")
+                continue
+            for key in ("count", "sum", "min", "max", "buckets"):
+                if key not in h:
+                    problems.append(f"histograms[{name!r}]: missing {key!r}")
+            if not isinstance(h.get("buckets", []), list):
+                problems.append(f"histograms[{name!r}]: buckets not a list")
+    if "context" in payload and not isinstance(payload["context"], dict):
+        problems.append("context not an object")
+    return problems
+
+
+def load_metrics(path: str | Path) -> dict[str, Any]:
+    """Load and validate a metrics JSON file; raises ``ValueError`` on bad schema."""
+    payload = json.loads(Path(path).read_text())
+    problems = validate_metrics(payload)
+    if problems:
+        raise ValueError(
+            f"{path}: not a valid {METRICS_SCHEMA} payload: " + "; ".join(problems[:5])
+        )
+    return payload

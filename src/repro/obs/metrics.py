@@ -1,0 +1,285 @@
+"""Metrics registry: counters, gauges, and exact-percentile histograms.
+
+A :class:`MetricsRegistry` is the flat, machine-readable complement to
+the span tracer: every subsystem increments named counters (work done),
+sets gauges (last-seen state), and observes histograms (distributions).
+The registry serialises to the ``repro.metrics/1`` JSON schema shared by
+the CLI (``repro profile --json``, ``repro match --json``), benchmarks
+(``BENCH_obs.json``), and :class:`repro.obs.profile.ProfileBaseline`.
+
+Histograms use fixed geometric buckets, not sampling reservoirs, so
+percentiles are *exact to bucket resolution* and — crucially for seeded
+reproducibility — deterministic: observing the same values in any order
+yields the same serialised histogram.
+
+Like the tracer, a registry is cheap and always-on: a counter increment
+is one dict update.  The process-wide registry is reachable via
+:func:`get_metrics`; scope a fresh one with :func:`collecting`.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+#: Version tag stamped into every serialised registry.
+METRICS_SCHEMA = "repro.metrics/1"
+
+#: Default geometric bucket layout: 1e-6 .. ~1e9 at 4 buckets/decade.
+#: Wide enough for seconds (1 µs .. years) and for integer work counts.
+_DEFAULT_BASE = 10.0 ** 0.25
+_DEFAULT_LO = 1e-6
+_DEFAULT_N = 61
+
+
+def default_buckets() -> list[float]:
+    """The default geometric bucket upper bounds (no +inf sentinel)."""
+    return [_DEFAULT_LO * _DEFAULT_BASE**i for i in range(_DEFAULT_N)]
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact bucket-resolution percentiles.
+
+    ``buckets`` are ascending upper bounds; a value lands in the first
+    bucket whose bound is >= the value, or an implicit overflow bucket.
+
+    Examples
+    --------
+    >>> h = Histogram("lat", buckets=[1.0, 2.0, 4.0])
+    >>> for v in (0.5, 1.5, 1.6, 3.0):
+    ...     h.observe(v)
+    >>> h.count
+    4
+    >>> h.percentile(50)
+    2.0
+    """
+
+    def __init__(self, name: str, buckets: Iterable[float] | None = None) -> None:
+        self.name = name
+        self.buckets = sorted(buckets) if buckets is not None else default_buckets()
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _index(self, value: float) -> int:
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.buckets[mid] >= value:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def observe(self, value: float) -> None:
+        """Record one value."""
+        self.counts[self._index(value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_array(self, values: np.ndarray) -> None:
+        """Record every element of ``values`` (vectorised bucketing)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        idx = np.searchsorted(np.asarray(self.buckets), values, side="left")
+        for i, n in zip(*np.unique(idx, return_counts=True)):
+            self.counts[int(i)] += int(n)
+        self.count += int(values.size)
+        self.sum += float(values.sum())
+        self.min = min(self.min, float(values.min()))
+        self.max = max(self.max, float(values.max()))
+
+    def percentile(self, pct: float) -> float:
+        """Bucket upper bound covering the ``pct``-th percentile.
+
+        Exact to bucket resolution: the returned bound is >= the true
+        percentile and < one geometric step above it.  The overflow
+        bucket reports the observed max.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(self.count * pct / 100.0)
+        rank = max(rank, 1)
+        running = 0
+        for i, n in enumerate(self.counts):
+            running += n
+            if running >= rank:
+                return self.buckets[i] if i < len(self.buckets) else self.max
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observed values (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` (same bucket layout) into this histogram."""
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: incompatible bucket layouts"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Serialise; empty buckets are elided via sparse (index, count)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": [
+                [i, n] for i, n in enumerate(self.counts) if n
+            ],
+            "bounds": "geometric" if self.buckets == default_buckets() else self.buckets,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict[str, Any]) -> "Histogram":
+        """Inverse of :meth:`as_dict`."""
+        bounds = payload.get("bounds", "geometric")
+        h = cls(name, buckets=None if bounds == "geometric" else bounds)
+        for i, n in payload.get("buckets", []):
+            h.counts[int(i)] = int(n)
+        h.count = int(payload.get("count", 0))
+        h.sum = float(payload.get("sum", 0.0))
+        if h.count:
+            h.min = float(payload.get("min", 0.0))
+            h.max = float(payload.get("max", 0.0))
+        return h
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with flat serialisation.
+
+    Examples
+    --------
+    >>> m = MetricsRegistry()
+    >>> m.count("engine.kernel_launches")
+    1
+    >>> m.gauge("device.occupancy", 0.75)
+    >>> m.observe("join.stack_depth", 3.0)
+    >>> sorted(m.as_dict()["counters"])
+    ['engine.kernel_launches']
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def count(self, name: str, delta: float = 1) -> float:
+        """Add ``delta`` to counter ``name``; returns the new total."""
+        total = self.counters.get(name, 0) + delta
+        self.counters[name] = total
+        return total
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest value."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float, buckets: Iterable[float] | None = None) -> None:
+        """Record ``value`` into histogram ``name`` (created on first use)."""
+        self.histogram(name, buckets).observe(value)
+
+    def histogram(self, name: str, buckets: Iterable[float] | None = None) -> Histogram:
+        """The histogram ``name``, created with ``buckets`` on first use."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = Histogram(name, buckets)
+            self.histograms[name] = h
+        return h
+
+    # -- aggregation ----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, gauges last-write-wins,
+        histograms merge bucket-wise."""
+        for name, v in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + v
+        self.gauges.update(other.gauges)
+        for name, h in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = Histogram.from_dict(name, h.as_dict())
+            else:
+                mine.merge(h)
+
+    # -- serialisation --------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """Serialise to the ``repro.metrics/1`` schema (sorted keys)."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].as_dict() for k in sorted(self.histograms)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "MetricsRegistry":
+        """Inverse of :meth:`as_dict` (schema tag tolerated but unchecked)."""
+        m = cls()
+        m.counters.update(payload.get("counters", {}))
+        m.gauges.update(payload.get("gauges", {}))
+        for name, h in payload.get("histograms", {}).items():
+            m.histograms[name] = Histogram.from_dict(name, h)
+        return m
+
+    def clear(self) -> None:
+        """Drop all recorded metrics."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+_current = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The currently installed process-wide registry."""
+    return _current
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` (``None`` installs a fresh one); returns the previous."""
+    global _current
+    previous = _current
+    _current = registry if registry is not None else MetricsRegistry()
+    return previous
+
+
+@contextmanager
+def collecting(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Scope a fresh (or given) registry as the current one.
+
+    Examples
+    --------
+    >>> with collecting() as m:
+    ...     _ = get_metrics().count("x")
+    >>> m.counters["x"]
+    1
+    """
+    registry = registry or MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

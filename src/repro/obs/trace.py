@@ -1,0 +1,340 @@
+"""Structured span tracing for the whole pipeline.
+
+One tracer records *spans* — named, nested, attributed intervals — across
+every subsystem: engine stages, simulated kernel launches, runtime retry
+attempts, per-rank cluster execution.  The design goals mirror the
+paper's evaluation needs (per-stage kernel splits, per-rank lanes) plus
+two reproduction-specific constraints:
+
+* **Zero cost when disabled.**  The default tracer is a no-op singleton
+  (:data:`NULL_TRACER`); instrumented call sites pay one global read and
+  one no-op context-manager enter/exit.  Hot loops can additionally guard
+  on :attr:`Tracer.enabled`.
+* **Deterministic under seeded runs.**  Span ordering uses a *tick
+  clock* — a monotonic event counter, not wall-clock — so two identical
+  seeded runs produce byte-identical trace exports.  Wall-clock durations
+  are recorded alongside (for the human profile report) but excluded
+  from exports by default.
+
+Lanes model threads/ranks: every span belongs to a lane (``"main"`` by
+default); the cluster simulator opens one lane per rank, the Chrome
+exporter renders one track per lane.
+
+Usage::
+
+    from repro.obs import tracing, get_tracer
+
+    with tracing() as tracer:           # install a live tracer
+        result = engine.run()           # instrumented internally
+    trace = tracer.spans                # list[Span], start order
+
+Instrumentation sites use the module-level current tracer::
+
+    tracer = get_tracer()
+    with tracer.span("kernel:join", category="kernel", pairs=n) as sp:
+        ...
+        sp.set(matches=found)           # attach attributes mid-span
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, TypeVar
+
+#: Default lane for spans opened outside any :meth:`Tracer.lane` scope.
+MAIN_LANE = "main"
+
+#: Span categories used by the built-in instrumentation (informal; any
+#: string is accepted).  ``engine`` > ``stage`` > ``kernel`` >
+#: ``workgroup`` is the nesting the acceptance trace shows.
+CATEGORIES = ("engine", "stage", "kernel", "workgroup", "device", "runtime", "cluster")
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) traced interval.
+
+    Attributes
+    ----------
+    span_id / parent_id:
+        Ids within one tracer; ``parent_id`` is ``None`` for roots.
+    name / category:
+        Identity (``"kernel:join"``) and coarse class (``"kernel"``).
+    lane:
+        Worker/rank lane the span belongs to (one Chrome track each).
+    depth:
+        Nesting depth within its lane (0 for lane roots).
+    start_tick / end_tick:
+        Deterministic event-counter timestamps (see module docstring).
+    wall_seconds:
+        Wall-clock duration; excluded from deterministic exports.
+    attrs:
+        Free-form JSON-safe attributes.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    lane: str
+    depth: int
+    start_tick: int
+    end_tick: int = -1
+    wall_seconds: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ticks(self) -> int:
+        """Tick-clock duration (>= 1 for completed spans)."""
+        return self.end_tick - self.start_tick if self.end_tick >= 0 else 0
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def set(self, **attrs: Any) -> "_SpanHandle":
+        """Attach/overwrite attributes on the open span."""
+        self._span.attrs.update(attrs)
+        return self
+
+    @property
+    def span(self) -> Span:
+        """The underlying span record."""
+        return self._span
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._close(self._span)
+
+
+class _NullHandle:
+    """Reusable no-op span handle (the zero-cost path)."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullHandle":
+        return self
+
+    @property
+    def span(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class Tracer:
+    """Collects nested spans across lanes with a deterministic tick clock.
+
+    Examples
+    --------
+    >>> t = Tracer()
+    >>> with t.span("run", category="engine"):
+    ...     with t.span("stage:filter", category="stage"):
+    ...         pass
+    >>> [s.name for s in t.spans]
+    ['run', 'stage:filter']
+    >>> t.spans[1].parent_id == t.spans[0].span_id
+    True
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.lanes: list[str] = []
+        self._tick = 0
+        self._next_id = 0
+        self._stacks: dict[str, list[Span]] = {}
+        self._lane_stack: list[str] = [MAIN_LANE]
+
+    # -- recording ------------------------------------------------------------
+
+    def span(
+        self, name: str, category: str = "span", lane: str | None = None, **attrs: Any
+    ) -> _SpanHandle:
+        """Open a span; use as a context manager."""
+        lane = lane or self._lane_stack[-1]
+        if lane not in self._stacks:
+            self._stacks[lane] = []
+            self.lanes.append(lane)
+        stack = self._stacks[lane]
+        parent = stack[-1] if stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            category=category,
+            lane=lane,
+            depth=len(stack),
+            start_tick=self._tick,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._tick += 1
+        span.wall_seconds = -time.perf_counter()
+        stack.append(span)
+        self.spans.append(span)
+        return _SpanHandle(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.wall_seconds += time.perf_counter()
+        span.end_tick = self._tick
+        self._tick += 1
+        stack = self._stacks.get(span.lane, [])
+        # Pop through abandoned children (exceptions unwinding) as well.
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+
+    @contextmanager
+    def lane(self, name: str) -> Iterator[None]:
+        """Scope: spans opened inside belong to lane ``name``."""
+        self._lane_stack.append(name)
+        try:
+            yield
+        finally:
+            self._lane_stack.pop()
+
+    # -- views ---------------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        """Top-level spans (no parent), in start order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        """Direct children of ``span``, in start order."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def find(self, name: str) -> list[Span]:
+        """Spans with the given name, in start order."""
+        return [s for s in self.spans if s.name == name]
+
+    def max_depth(self) -> int:
+        """Deepest nesting level observed (0-based); -1 when empty."""
+        return max((s.depth for s in self.spans), default=-1)
+
+
+class NullTracer:
+    """No-op tracer: every instrumented site becomes a cheap no-op."""
+
+    enabled = False
+    spans: tuple = ()
+    lanes: tuple = ()
+
+    def span(self, name: str, category: str = "span", lane: str | None = None, **attrs):
+        """Return the shared no-op handle."""
+        return _NULL_HANDLE
+
+    @contextmanager
+    def lane(self, name: str) -> Iterator[None]:
+        """No-op lane scope."""
+        yield
+
+    def roots(self) -> list:
+        """Always empty (nothing is recorded)."""
+        return []
+
+    def children(self, span) -> list:
+        """Always empty (nothing is recorded)."""
+        return []
+
+    def find(self, name: str) -> list:
+        """Always empty (nothing is recorded)."""
+        return []
+
+    def max_depth(self) -> int:
+        """Always -1 (nothing is recorded)."""
+        return -1
+
+
+#: The process-wide no-op tracer (default).
+NULL_TRACER = NullTracer()
+
+_current: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The currently installed tracer (the no-op singleton by default)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` (``None`` restores the no-op); returns the previous."""
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Install a live tracer for the scope; restores the previous on exit.
+
+    Examples
+    --------
+    >>> from repro.obs.trace import tracing, get_tracer
+    >>> with tracing() as t:
+    ...     with get_tracer().span("x"):
+    ...         pass
+    >>> len(t.spans)
+    1
+    """
+    tracer = tracer or Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+F = TypeVar("F", bound=Callable)
+
+
+def traced(name: str | None = None, category: str = "func") -> Callable[[F], F]:
+    """Decorator: wrap calls of ``fn`` in a span on the current tracer.
+
+    Examples
+    --------
+    >>> @traced("work")
+    ... def work(x):
+    ...     return x + 1
+    >>> with tracing() as t:
+    ...     work(1)
+    2
+    >>> t.spans[0].name
+    'work'
+    """
+
+    def decorate(fn: F) -> F:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracer = _current
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(span_name, category=category):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

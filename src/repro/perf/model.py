@@ -37,6 +37,7 @@ import numpy as np
 from repro.device.counters import KernelCounters, PipelineCounters
 from repro.device.simt import join_divergence
 from repro.device.spec import DeviceSpec
+from repro.obs.trace import get_tracer
 
 #: Fraction of peak sustained by well-shaped kernels (paper: >93 % of
 #: sustained peak during the filter).
@@ -150,27 +151,64 @@ class PerformanceModel:
     # -- pipeline-level model ---------------------------------------------------------
 
     def estimate(self, counters: PipelineCounters) -> PhaseTimes:
-        """Times for every kernel of a pipeline run."""
+        """Times for every kernel of a pipeline run.
+
+        Each modeled kernel launch is traced as a ``device`` span carrying
+        its counters (instructions, bytes, work-items) and the modeled
+        seconds — the attributes feed straight into the profile report.
+        """
         out = PhaseTimes()
         d = self.device
+        tracer = get_tracer()
         f_wg = self.filter_wg_factor()
         w = self.word_factor()
-        for k in counters.filter_iterations:
-            t = self.kernel_seconds(k) * f_wg * w
-            # Host synchronization between refinement iterations.
-            out.per_kernel[k.name] = t + d.host_sync_overhead_s
-        if counters.mapping is not None:
-            out.per_kernel["mapping"] = self.kernel_seconds(counters.mapping)
-        if counters.join is not None:
-            divergence = join_divergence(
-                counters.join.work_per_item, d, self.join_workgroup_size
-            )
-            out.per_kernel["join"] = (
-                self.kernel_seconds(counters.join, divergence)
-                * self.join_wg_factor()
-                * w
-            )
+        with tracer.span(
+            "model:estimate", category="device", device=d.name
+        ):
+            for k in counters.filter_iterations:
+                t = self.kernel_seconds(k) * f_wg * w
+                # Host synchronization between refinement iterations.
+                t += d.host_sync_overhead_s
+                out.per_kernel[k.name] = t
+                self._trace_kernel(tracer, k, t)
+            if counters.mapping is not None:
+                t = self.kernel_seconds(counters.mapping)
+                out.per_kernel["mapping"] = t
+                self._trace_kernel(tracer, counters.mapping, t)
+            if counters.join is not None:
+                divergence = join_divergence(
+                    counters.join.work_per_item, d, self.join_workgroup_size
+                )
+                t = (
+                    self.kernel_seconds(counters.join, divergence)
+                    * self.join_wg_factor()
+                    * w
+                )
+                out.per_kernel["join"] = t
+                self._trace_kernel(
+                    tracer, counters.join, t, divergence=divergence
+                )
         return out
+
+    @staticmethod
+    def _trace_kernel(
+        tracer, k: KernelCounters, seconds: float, divergence: float = 1.0
+    ) -> None:
+        """Emit one closed ``device`` span for a modeled kernel launch."""
+        if not tracer.enabled:
+            return
+        with tracer.span(
+            f"model:{k.name}",
+            category="device",
+            instructions=int(k.instructions),
+            bytes_hbm=int(k.bytes_hbm),
+            bytes_l2=int(k.bytes_l2),
+            bytes_l1=int(k.bytes_l1),
+            work_items=int(k.work_items),
+            modeled_seconds=float(seconds),
+            divergence=float(divergence),
+        ):
+            pass
 
     def estimate_scaled(
         self, counters: PipelineCounters, factor: float

@@ -70,6 +70,7 @@ class ChunkPayload:
     matched_pairs: list[tuple[int, int]] = field(default_factory=list)
     embeddings: list[MatchRecord] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    stage_counts: dict[str, int] = field(default_factory=dict)
     peak_memory_bytes: int = 0
 
 
@@ -165,6 +166,9 @@ class CheckpointStore:
             matched_pairs=pairs,
             embeddings=embeddings,
             timings={k: float(v) for k, v in entry.get("timings", {}).items()},
+            stage_counts={
+                k: int(v) for k, v in entry.get("stage_counts", {}).items()
+            },
             peak_memory_bytes=int(entry.get("peak_memory_bytes", 0)),
         )
 
@@ -195,6 +199,7 @@ class CheckpointStore:
             "next_pair": payload.next_pair,
             "total_matches": payload.total_matches,
             "timings": {k: float(v) for k, v in payload.timings.items()},
+            "stage_counts": {k: int(v) for k, v in payload.stage_counts.items()},
             "peak_memory_bytes": payload.peak_memory_bytes,
         }
         self._write_manifest()

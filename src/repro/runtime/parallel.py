@@ -38,6 +38,7 @@ from repro.runtime import telemetry
 from repro.runtime.faults import FaultPlan, WorkerCrash
 from repro.runtime.resilient import COMPLETE, PARTIAL
 from repro.runtime.telemetry import Attempt, RunReport
+from repro.utils.timing import StageTimer
 
 
 def _resilient_worker(payload):
@@ -94,6 +95,7 @@ class ParallelResilientResult:
     matched_pairs: list[tuple[int, int]] = field(default_factory=list)
     embeddings: list[MatchRecord] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    stage_counts: dict[str, int] = field(default_factory=dict)
     failed_slices: list[tuple[int, int]] = field(default_factory=list)
     report: RunReport = field(default_factory=RunReport)
 
@@ -240,6 +242,7 @@ def run_parallel_resilient(
         if executor is not None:
             executor.shutdown()
 
+    agg = StageTimer()
     for sl in slices:
         if sl.result is None:
             out.failed_slices.append((sl.start, sl.stop))
@@ -252,8 +255,9 @@ def run_parallel_resilient(
         out.peak_memory_bytes = max(
             out.peak_memory_bytes, chunk_result.peak_memory_bytes
         )
-        for name, seconds in chunk_result.timings.items():
-            out.timings[name] = out.timings.get(name, 0.0) + seconds
+        agg.merge(chunk_result.timings, counts=chunk_result.stage_counts)
+    out.timings = dict(agg.totals)
+    out.stage_counts = dict(agg.counts)
     out.matched_pairs.sort()
     out.status = PARTIAL if out.failed_slices else COMPLETE
     return out

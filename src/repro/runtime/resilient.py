@@ -41,7 +41,9 @@ from repro.core.results import MatchRecord
 from repro.device.memory import DeviceMemoryPool, DeviceOutOfMemory, sigmo_footprint_bytes
 from repro.graph.labeled_graph import LabeledGraph
 from repro.io.serialization import graphs_fingerprint, sha256_bytes
+from repro.obs.trace import get_tracer
 from repro.runtime import telemetry
+from repro.utils.timing import StageTimer
 from repro.runtime.checkpoint import (
     STATUS_OK,
     STATUS_TRUNCATED,
@@ -125,6 +127,7 @@ class ResilientResult:
     matched_pairs: list[tuple[int, int]] = field(default_factory=list)
     embeddings: list[MatchRecord] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    stage_counts: dict[str, int] = field(default_factory=dict)
     chunk_records: list[ChunkRecord] = field(default_factory=list)
     report: RunReport = field(default_factory=RunReport)
     resume_token: ResumeToken | None = None
@@ -145,6 +148,7 @@ def combine_results(*results: ResilientResult) -> ResilientResult:
     chunk is left failed/infeasible.
     """
     out = ResilientResult()
+    agg = StageTimer()
     completed_ranges: set[tuple[int, int]] = set()
     for result in results:
         out.chunk_records.extend(result.chunk_records)
@@ -155,13 +159,14 @@ def combine_results(*results: ResilientResult) -> ResilientResult:
         out.n_chunks += result.n_chunks
         out.matched_pairs.extend(result.matched_pairs)
         out.embeddings.extend(result.embeddings)
-        for name, seconds in result.timings.items():
-            out.timings[name] = out.timings.get(name, 0.0) + seconds
+        agg.merge(result.timings, counts=result.stage_counts)
         completed_ranges.update(
             (rec.start, rec.stop)
             for rec in result.chunk_records
             if rec.status == CHUNK_OK
         )
+    out.timings = dict(agg.totals)
+    out.stage_counts = dict(agg.counts)
     out.chunk_records.sort(key=lambda r: (r.start, r.stop, r.resume_pair or 0))
     out.matched_pairs.sort()
     out.embeddings.sort(key=lambda rec: (rec.data_graph, rec.query_graph))
@@ -359,16 +364,18 @@ def run_resilient(
 
     # Assemble in range order (ties broken by pair progress) — identical
     # to an uninterrupted serial chunked run.
+    agg = StageTimer()
     for key in sorted(payloads):
         payload = payloads[key]
         result.total_matches += payload.total_matches
         result.matched_pairs.extend(payload.matched_pairs)
         result.embeddings.extend(payload.embeddings)
-        for name, seconds in payload.timings.items():
-            result.timings[name] = result.timings.get(name, 0.0) + seconds
+        agg.merge(payload.timings, counts=payload.stage_counts)
         result.peak_memory_bytes = max(
             result.peak_memory_bytes, payload.peak_memory_bytes
         )
+    result.timings = dict(agg.totals)
+    result.stage_counts = dict(agg.counts)
     result.n_chunks = len(payloads)
     if pool is not None:
         result.peak_memory_bytes = max(result.peak_memory_bytes, pool.peak)
@@ -521,19 +528,29 @@ def _run_task(
         return "done"
 
     started = time.perf_counter()
+    # One runtime span per attempt; the engine's own spans nest inside it.
+    chunk_sp = get_tracer().span(
+        unit,
+        category="runtime",
+        attempt=task.attempt,
+        chunk_size=span,
+        start_pair=task.next_pair,
+    )
     try:
-        if fault_plan is not None:
-            fault_plan.check_oom(task.start, task.attempt)
-        if pool is not None:
-            with pool.lease(footprint, tag=unit):
+        with chunk_sp:
+            if fault_plan is not None:
+                fault_plan.check_oom(task.start, task.attempt)
+            if pool is not None:
+                with pool.lease(footprint, tag=unit):
+                    payload, n_segments = _run_segments(
+                        task, queries, chunk, mode, config, join_budget, on_truncate
+                    )
+            else:
                 payload, n_segments = _run_segments(
                     task, queries, chunk, mode, config, join_budget, on_truncate
                 )
-        else:
-            payload, n_segments = _run_segments(
-                task, queries, chunk, mode, config, join_budget, on_truncate
-            )
     except DeviceOutOfMemory as exc:
+        chunk_sp.set(outcome=telemetry.OOM)
         elapsed = time.perf_counter() - started
         result.report.record(
             Attempt(
@@ -583,6 +600,15 @@ def _run_task(
     elapsed = time.perf_counter() - started
     if task.prior is not None:
         payload = _merge_payloads(task.prior, payload)
+    chunk_sp.set(
+        outcome=(
+            telemetry.TRUNCATED
+            if payload.status == STATUS_TRUNCATED
+            else telemetry.OK
+        ),
+        matches=payload.total_matches,
+        segments=n_segments,
+    )
     if payload.status == STATUS_TRUNCATED:
         result.report.record(
             Attempt(
@@ -674,6 +700,8 @@ def _run_segments(
         )
         for name, seconds in run.timings.items():
             payload.timings[name] = payload.timings.get(name, 0.0) + seconds
+        for name, n in run.stage_counts.items():
+            payload.stage_counts[name] = payload.stage_counts.get(name, 0) + n
         payload.peak_memory_bytes = max(
             payload.peak_memory_bytes, run.memory.total
         )
@@ -699,8 +727,11 @@ def _merge_payloads(prior: ChunkPayload, fresh: ChunkPayload) -> ChunkPayload:
         matched_pairs=list(prior.matched_pairs) + list(fresh.matched_pairs),
         embeddings=list(prior.embeddings) + list(fresh.embeddings),
         timings=dict(prior.timings),
+        stage_counts=dict(prior.stage_counts),
         peak_memory_bytes=max(prior.peak_memory_bytes, fresh.peak_memory_bytes),
     )
     for name, seconds in fresh.timings.items():
         merged.timings[name] = merged.timings.get(name, 0.0) + seconds
+    for name, n in fresh.stage_counts.items():
+        merged.stage_counts[name] = merged.stage_counts.get(name, 0) + n
     return merged

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import MetricsRegistry, get_metrics
+
 #: Attempt outcomes.
 OK = "ok"
 OOM = "oom"
@@ -59,8 +61,17 @@ class RunReport:
     attempts: list[Attempt] = field(default_factory=list)
 
     def record(self, attempt: Attempt) -> None:
-        """Append one attempt."""
+        """Append one attempt; also feeds the process-wide metrics registry."""
         self.attempts.append(attempt)
+        m = get_metrics()
+        m.count("runtime.attempts")
+        m.count(f"runtime.outcomes.{attempt.outcome}")
+        if attempt.attempt > 0:
+            m.count("runtime.retries")
+        if attempt.seconds > 0:
+            m.observe("runtime.attempt_seconds", attempt.seconds)
+        if attempt.backoff_seconds > 0:
+            m.observe("runtime.backoff_seconds", attempt.backoff_seconds)
 
     def count(self, outcome: str) -> int:
         """Attempts with the given outcome."""
@@ -96,22 +107,46 @@ class RunReport:
             + (", ".join(parts) if parts else "nothing executed")
         )
 
+    def metrics(self) -> MetricsRegistry:
+        """The report's counters/histograms as a metrics registry.
+
+        Counters: ``runtime.attempts``, ``runtime.retries``,
+        ``runtime.faults`` and one ``runtime.outcomes.<outcome>`` per seen
+        outcome.  Histograms: ``runtime.attempt_seconds`` and
+        ``runtime.backoff_seconds`` (nonzero observations only).
+        """
+        m = MetricsRegistry()
+        m.count("runtime.attempts", self.n_attempts)
+        m.count("runtime.retries", self.n_retries)
+        m.count("runtime.faults", self.n_faults)
+        for outcome, n in self.outcomes().items():
+            m.count(f"runtime.outcomes.{outcome}", n)
+        for a in self.attempts:
+            if a.seconds > 0:
+                m.observe("runtime.attempt_seconds", a.seconds)
+            if a.backoff_seconds > 0:
+                m.observe("runtime.backoff_seconds", a.backoff_seconds)
+        return m
+
     def to_dict(self) -> dict:
-        """JSON-ready representation (CLI ``--json`` output)."""
-        return {
-            "n_attempts": self.n_attempts,
-            "n_retries": self.n_retries,
-            "outcomes": self.outcomes(),
-            "attempts": [
-                {
-                    "unit": a.unit,
-                    "attempt": a.attempt,
-                    "outcome": a.outcome,
-                    "chunk_size": a.chunk_size,
-                    "seconds": round(a.seconds, 6),
-                    "backoff_seconds": round(a.backoff_seconds, 6),
-                    "detail": a.detail,
-                }
-                for a in self.attempts
-            ],
-        }
+        """JSON-ready representation (CLI ``--json`` output).
+
+        The aggregate half is the ``repro.metrics/1`` schema (the same
+        shape ``repro profile --json`` emits), so resilient and plain runs
+        share one machine-readable format; the detailed per-attempt log
+        rides along under ``"attempts"``.
+        """
+        payload = self.metrics().as_dict()
+        payload["attempts"] = [
+            {
+                "unit": a.unit,
+                "attempt": a.attempt,
+                "outcome": a.outcome,
+                "chunk_size": a.chunk_size,
+                "seconds": round(a.seconds, 6),
+                "backoff_seconds": round(a.backoff_seconds, 6),
+                "detail": a.detail,
+            }
+            for a in self.attempts
+        ]
+        return payload

@@ -10,10 +10,11 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
+from typing import Mapping
 
 
 class StageTimer:
-    """Accumulates wall-clock time per named stage.
+    """Accumulates wall-clock time and invocation counts per named stage.
 
     Examples
     --------
@@ -22,6 +23,8 @@ class StageTimer:
     ...     pass
     >>> "filter" in timer.totals
     True
+    >>> timer.counts["filter"]
+    1
     """
 
     def __init__(self) -> None:
@@ -51,9 +54,61 @@ class StageTimer:
         """Sum of all stage times."""
         return sum(self.totals.values())
 
-    def as_dict(self) -> dict[str, float]:
-        """Copy of the per-stage totals."""
-        return dict(self.totals)
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Per-stage ``{"seconds": total, "count": invocations}`` rows.
+
+        Examples
+        --------
+        >>> t = StageTimer()
+        >>> t.add("join", 0.5)
+        >>> t.add("join", 0.25)
+        >>> t.as_dict()
+        {'join': {'seconds': 0.75, 'count': 2}}
+        """
+        return {
+            name: {"seconds": seconds, "count": self.counts.get(name, 1)}
+            for name, seconds in self.totals.items()
+        }
+
+    def merge(
+        self,
+        other: "StageTimer | Mapping[str, float] | Mapping[str, Mapping[str, float]]",
+        counts: Mapping[str, int] | None = None,
+    ) -> "StageTimer":
+        """Fold another timer (or serialized timings) into this one.
+
+        Accepts a :class:`StageTimer`, the rich :meth:`as_dict` shape, or
+        a plain ``{stage: seconds}`` mapping (with invocation counts
+        supplied separately via ``counts``, defaulting to 1 per stage) —
+        the three shapes chunked/parallel drivers carry.  Returns
+        ``self`` for chaining.
+
+        Examples
+        --------
+        >>> total = StageTimer()
+        >>> chunk = StageTimer()
+        >>> chunk.add("filter", 0.1)
+        >>> _ = total.merge(chunk).merge({"filter": 0.2}, counts={"filter": 3})
+        >>> total.totals["filter"], total.counts["filter"]
+        (0.30000000000000004, 4)
+        """
+        if isinstance(other, StageTimer):
+            totals: Mapping = other.totals
+            other_counts: Mapping[str, int] = other.counts
+        else:
+            totals = {}
+            other_counts = {}
+            for name, value in other.items():
+                if isinstance(value, Mapping):
+                    totals[name] = float(value["seconds"])
+                    other_counts[name] = int(value.get("count", 1))
+                else:
+                    totals[name] = float(value)
+                    other_counts[name] = int((counts or {}).get(name, 1))
+        for name, seconds in totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self.counts[name] = self.counts.get(name, 0) + other_counts.get(name, 1)
+        return self
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{k}={v:.4f}s" for k, v in self.totals.items())

@@ -98,6 +98,25 @@ CASES = {
         "def f(x):\n"
         "    return json.dumps(x)\n",
     ),
+    "SGL009": (
+        "from repro.analysis.markers import kernel\n"
+        "@kernel\n"
+        "def f(xs):\n"
+        "    visits = 0\n"
+        "    visits += 1\n"
+        "    return visits\n",
+        "from repro.analysis.markers import kernel\n"
+        "@kernel\n"
+        "def f(xs, counters):\n"
+        "    counters.visits += 1\n"
+        "    total = 0\n"
+        "    total += 1\n"
+        "    return total\n"
+        "def g():\n"
+        "    visits = 0\n"
+        "    visits += 1\n"
+        "    return visits\n",
+    ),
 }
 
 

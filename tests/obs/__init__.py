@@ -1,0 +1,1 @@
+"""Observability (repro.obs) test suite."""

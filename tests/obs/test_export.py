@@ -1,0 +1,154 @@
+"""Exporters: Chrome trace-event JSON and the ``repro.metrics/1`` payload."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    load_metrics,
+    metrics_payload,
+    stable_json,
+    validate_chrome_trace,
+    validate_metrics,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry
+from repro.obs.trace import Tracer
+
+pytestmark = pytest.mark.obs
+
+
+def demo_tracer() -> Tracer:
+    """A small deterministic tracer: two lanes, nested spans, odd attrs."""
+    t = Tracer()
+    with t.span("run", category="engine", mode="find-all"):
+        with t.span("stage:filter", category="stage", iters=np.int64(3)):
+            with t.span("kernel:refine", category="kernel", work=np.float32(1.5)):
+                pass
+        with t.lane("rank-0"):
+            with t.span("rank:0", category="cluster", rank=0):
+                pass
+    return t
+
+
+class TestChromeTrace:
+    def test_schema_valid(self):
+        payload = chrome_trace(demo_tracer())
+        assert validate_chrome_trace(payload) == []
+        assert payload["otherData"]["clock"] == "tick"
+
+    def test_one_thread_name_metadata_event_per_lane(self):
+        payload = chrome_trace(demo_tracer())
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert [e["args"]["name"] for e in meta] == ["main", "rank-0"]
+        assert len({e["tid"] for e in meta}) == 2
+        # Every span event lands on a declared lane track.
+        tids = {e["tid"] for e in meta}
+        assert all(
+            e["tid"] in tids for e in payload["traceEvents"] if e["ph"] == "X"
+        )
+
+    def test_span_events_carry_json_safe_attrs(self):
+        payload = chrome_trace(demo_tracer())
+        by_name = {e["name"]: e for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert by_name["stage:filter"]["args"]["iters"] == 3
+        assert by_name["kernel:refine"]["args"]["work"] == pytest.approx(1.5)
+        assert by_name["stage:filter"]["cat"] == "stage"
+        # Must serialise without a custom encoder.
+        json.dumps(payload)
+
+    def test_tick_clock_is_byte_identical_across_runs(self):
+        a = stable_json(chrome_trace(demo_tracer()))
+        b = stable_json(chrome_trace(demo_tracer()))
+        assert a == b
+
+    def test_tick_events_nest_in_time(self):
+        payload = chrome_trace(demo_tracer())
+        spans = {e["name"]: e for e in payload["traceEvents"] if e["ph"] == "X"}
+        run, stage = spans["run"], spans["stage:filter"]
+        assert run["ts"] < stage["ts"]
+        assert stage["ts"] + stage["dur"] < run["ts"] + run["dur"]
+        assert all(e["dur"] >= 1 for e in spans.values())
+
+    def test_wall_clock_mode(self):
+        payload = chrome_trace(demo_tracer(), clock="wall")
+        assert payload["otherData"]["clock"] == "wall"
+        assert validate_chrome_trace(payload) == []
+        for e in payload["traceEvents"]:
+            if e["ph"] == "X":
+                assert e["dur"] >= 0.0
+
+    def test_unknown_clock_rejected(self):
+        with pytest.raises(ValueError):
+            chrome_trace(demo_tracer(), clock="cpu")
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = write_chrome_trace(demo_tracer(), tmp_path / "trace.json")
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert validate_chrome_trace(json.loads(text)) == []
+
+    def test_validator_catches_malformed_payloads(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+        bad = {
+            "traceEvents": [
+                {"ph": "Z", "name": "x", "pid": 0, "tid": 0},
+                {"ph": "X", "pid": 0, "tid": 0, "ts": "soon", "dur": -1},
+                {"ph": "X", "name": "y", "pid": 0, "tid": 0, "ts": 0, "dur": 1,
+                 "args": []},
+                "not-an-object",
+            ]
+        }
+        problems = validate_chrome_trace(bad)
+        assert any("unknown phase" in p for p in problems)
+        assert any("missing 'name'" in p for p in problems)
+        assert any("'ts' not numeric" in p for p in problems)
+        assert any("negative dur" in p for p in problems)
+        assert any("args not an object" in p for p in problems)
+        assert any("not an object" in p for p in problems)
+
+
+class TestMetricsPayload:
+    def registry(self) -> MetricsRegistry:
+        m = MetricsRegistry()
+        m.count("engine.matches", 7)
+        m.gauge("engine.total_seconds", 0.25)
+        m.observe("join.pair_matches", 2.0)
+        return m
+
+    def test_payload_wraps_registry_with_context(self):
+        payload = metrics_payload(self.registry(), {"seed": 0})
+        assert payload["schema"] == METRICS_SCHEMA
+        assert payload["context"] == {"seed": 0}
+        assert validate_metrics(payload) == []
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = write_metrics(self.registry(), tmp_path / "m.json", {"seed": 1})
+        loaded = load_metrics(path)
+        assert loaded == metrics_payload(self.registry(), {"seed": 1})
+        assert path.read_text().endswith("\n")
+
+    def test_load_rejects_invalid_payloads(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9", "counters": {}}))
+        with pytest.raises(ValueError, match="not a valid"):
+            load_metrics(path)
+
+    def test_validator_catches_bad_sections(self):
+        problems = validate_metrics(
+            {
+                "schema": METRICS_SCHEMA,
+                "counters": {"ok": 1, "bad": "x", "worse": True},
+                "gauges": [],
+                "histograms": {"h": {"count": 1}},
+                "context": "nope",
+            }
+        )
+        assert any("counters['bad']" in p for p in problems)
+        assert any("counters['worse']" in p for p in problems)
+        assert any("gauges missing or not an object" in p for p in problems)
+        assert any("missing 'sum'" in p for p in problems)
+        assert any("context not an object" in p for p in problems)

@@ -1,0 +1,130 @@
+"""Metrics registry: counters, gauges, exact-bucket histograms."""
+
+import numpy as np
+import pytest
+
+from repro.obs.export import stable_json
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    default_buckets,
+    get_metrics,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestHistogram:
+    def test_percentiles_exact_to_bucket_resolution(self):
+        h = Histogram("lat", buckets=[1.0, 2.0, 4.0, 8.0])
+        for v in (0.5, 1.5, 1.6, 3.0, 5.0, 6.0, 7.0, 7.5):
+            h.observe(v)
+        assert h.count == 8
+        assert h.percentile(12.5) == 1.0
+        assert h.percentile(50) == 4.0
+        assert h.percentile(100) == 8.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram("x", buckets=[1.0])
+        h.observe(10.0)
+        h.observe(42.0)
+        assert h.percentile(100) == 42.0
+
+    def test_observe_array_matches_scalar_observe(self):
+        values = np.array([0.1, 0.5, 1.0, 2.5, 2.5, 100.0])
+        a = Histogram("a", buckets=[0.5, 1.0, 2.0, 4.0])
+        b = Histogram("b", buckets=[0.5, 1.0, 2.0, 4.0])
+        a.observe_array(values)
+        for v in values:
+            b.observe(float(v))
+        assert a.counts == b.counts
+        assert a.count == b.count and a.sum == b.sum
+        assert a.min == b.min and a.max == b.max
+
+    def test_empty_histogram(self):
+        h = Histogram("e")
+        assert h.percentile(99) == 0.0
+        assert h.mean == 0.0
+        d = h.as_dict()
+        assert d["count"] == 0 and d["buckets"] == []
+
+    def test_merge_and_layout_mismatch(self):
+        a = Histogram("m", buckets=[1.0, 2.0])
+        b = Histogram("m", buckets=[1.0, 2.0])
+        a.observe(0.5)
+        b.observe(1.5)
+        a.merge(b)
+        assert a.count == 2 and a.counts == [1, 1, 0]
+        with pytest.raises(ValueError):
+            a.merge(Histogram("m", buckets=[1.0, 3.0]))
+
+    def test_roundtrip_is_byte_stable(self):
+        h = Histogram("rt")
+        h.observe_array(np.array([1e-7, 0.003, 2.0, 1e12]))
+        again = Histogram.from_dict("rt", h.as_dict())
+        assert stable_json(again.as_dict()) == stable_json(h.as_dict())
+        assert h.as_dict()["bounds"] == "geometric"
+
+    def test_default_buckets_are_geometric(self):
+        bounds = default_buckets()
+        ratios = [bounds[i + 1] / bounds[i] for i in range(len(bounds) - 1)]
+        assert all(abs(r - 10 ** 0.25) < 1e-9 for r in ratios)
+
+
+class TestRegistry:
+    def test_count_gauge_observe(self):
+        m = MetricsRegistry()
+        assert m.count("a") == 1
+        assert m.count("a", 4) == 5
+        m.gauge("g", 0.5)
+        m.gauge("g", 0.7)
+        m.observe("h", 2.0)
+        d = m.as_dict()
+        assert d["schema"] == METRICS_SCHEMA
+        assert d["counters"] == {"a": 5}
+        assert d["gauges"] == {"g": 0.7}
+        assert d["histograms"]["h"]["count"] == 1
+
+    def test_merge_semantics(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.count("c", 2)
+        b.count("c", 3)
+        a.gauge("g", 1.0)
+        b.gauge("g", 9.0)
+        a.observe("h", 1.0)
+        b.observe("h", 2.0)
+        b.observe("only_b", 5.0)
+        a.merge(b)
+        assert a.counters["c"] == 5  # counters add
+        assert a.gauges["g"] == 9.0  # gauges last-write-wins
+        assert a.histograms["h"].count == 2  # histograms merge
+        assert a.histograms["only_b"].count == 1
+
+    def test_serialisation_roundtrip_sorted_and_stable(self):
+        m = MetricsRegistry()
+        m.count("z.last", 1)
+        m.count("a.first", 2)
+        m.gauge("mid", 3.5)
+        m.observe("h", 0.25)
+        payload = m.as_dict()
+        assert list(payload["counters"]) == ["a.first", "z.last"]
+        again = MetricsRegistry.from_dict(payload)
+        assert stable_json(again.as_dict()) == stable_json(payload)
+
+    def test_clear(self):
+        m = MetricsRegistry()
+        m.count("x")
+        m.clear()
+        assert m.as_dict()["counters"] == {}
+
+    def test_collecting_scopes_the_global_registry(self):
+        outer = get_metrics()
+        with collecting() as m:
+            get_metrics().count("scoped")
+            assert get_metrics() is m
+        assert get_metrics() is outer
+        assert m.counters == {"scoped": 1}
+        assert "scoped" not in outer.counters

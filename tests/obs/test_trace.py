@@ -1,0 +1,163 @@
+"""Span tracer invariants: nesting, ordering, lanes, no-op behaviour."""
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+    tracing,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        t = Tracer()
+        with t.span("run", category="engine"):
+            with t.span("stage", category="stage"):
+                with t.span("kernel", category="kernel"):
+                    pass
+            with t.span("stage2", category="stage"):
+                pass
+        run, stage, kern, stage2 = t.spans
+        assert run.parent_id is None
+        assert stage.parent_id == run.span_id
+        assert kern.parent_id == stage.span_id
+        assert stage2.parent_id == run.span_id
+        assert [s.depth for s in t.spans] == [0, 1, 2, 1]
+
+    def test_tick_clock_orders_every_event(self):
+        t = Tracer()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        with t.span("c"):
+            pass
+        a, b, c = t.spans
+        # Open/close each consume one tick; nesting is strict containment.
+        assert a.start_tick < b.start_tick < b.end_tick < a.end_tick
+        assert a.end_tick < c.start_tick < c.end_tick
+        assert all(s.duration_ticks >= 1 for s in t.spans)
+
+    def test_spans_recorded_in_start_order(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        assert [s.name for s in t.spans] == ["outer", "inner"]
+        assert t.roots() == [t.spans[0]]
+        assert t.children(t.spans[0]) == [t.spans[1]]
+        assert t.find("inner") == [t.spans[1]]
+        assert t.max_depth() == 1
+
+    def test_exception_unwinding_closes_abandoned_children(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("outer"):
+                t.span("abandoned").__enter__()  # never exited explicitly
+                raise RuntimeError("boom")
+        outer = t.find("outer")[0]
+        assert outer.end_tick > outer.start_tick
+        # A new root opens at depth 0 — the stack was fully unwound.
+        with t.span("after"):
+            pass
+        assert t.find("after")[0].depth == 0
+
+    def test_attrs_via_kwargs_and_set(self):
+        t = Tracer()
+        with t.span("k", category="kernel", work_items=7) as sp:
+            sp.set(matches=3)
+        span = t.spans[0]
+        assert span.attrs == {"work_items": 7, "matches": 3}
+        assert span.category == "kernel"
+
+
+class TestLanes:
+    def test_default_lane_is_main(self):
+        t = Tracer()
+        with t.span("x"):
+            pass
+        assert t.spans[0].lane == "main"
+        assert t.lanes == ["main"]
+
+    def test_lane_scoping_and_depth_per_lane(self):
+        t = Tracer()
+        with t.span("driver"):
+            with t.lane("rank-0"):
+                with t.span("rank-root"):
+                    with t.span("rank-child"):
+                        pass
+        root = t.find("rank-root")[0]
+        child = t.find("rank-child")[0]
+        assert root.lane == child.lane == "rank-0"
+        # Depth and parentage are per lane: the rank span is a lane root.
+        assert root.depth == 0 and root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert t.lanes == ["main", "rank-0"]
+
+    def test_explicit_lane_argument(self):
+        t = Tracer()
+        with t.span("x", lane="rank-3"):
+            pass
+        assert t.spans[0].lane == "rank-3"
+
+
+class TestNullTracer:
+    def test_default_tracer_is_noop_singleton(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_noop_span_records_nothing(self):
+        n = NullTracer()
+        with n.span("x", category="kernel", work=1) as sp:
+            sp.set(more=2)
+        assert n.spans == ()
+        assert n.roots() == [] and n.find("x") == []
+        assert n.max_depth() == -1
+
+    def test_noop_handle_is_shared(self):
+        n = NullTracer()
+        assert n.span("a") is n.span("b")
+        assert n.span("a").span is None
+
+    def test_noop_lane_is_noop(self):
+        n = NullTracer()
+        with n.lane("rank-0"):
+            with n.span("x"):
+                pass
+        assert n.lanes == ()
+
+
+class TestInstallation:
+    def test_tracing_installs_and_restores(self):
+        before = get_tracer()
+        with tracing() as t:
+            assert get_tracer() is t
+            assert t.enabled
+        assert get_tracer() is before
+
+    def test_set_tracer_none_restores_noop(self):
+        t = Tracer()
+        previous = set_tracer(t)
+        try:
+            assert get_tracer() is t
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+        assert previous is NULL_TRACER
+
+    def test_traced_decorator(self):
+        @traced("unit-of-work", category="func")
+        def work(x):
+            return x * 2
+
+        assert work(2) == 4  # no tracer installed: plain call
+        with tracing() as t:
+            assert work(3) == 6
+        assert [s.name for s in t.spans] == ["unit-of-work"]
+        assert t.spans[0].category == "func"
