@@ -5,7 +5,7 @@
 PY := python
 export PYTHONPATH := src
 
-.PHONY: lint analyze test check check-robustness check-obs baseline
+.PHONY: lint analyze test check check-robustness check-obs check-perf baseline
 
 lint: analyze
 
@@ -32,3 +32,10 @@ check-robustness:
 check-obs:
 	$(PY) -m pytest -q -m obs
 	$(PY) -m repro profile --n-queries 40 --n-molecules 200 --against BENCH_obs.json
+
+# Accelerator gate: join-backend/cache/shared-memory tests plus the
+# hot-path benchmark compared against the committed baseline (backend
+# parity + the 2x join-stage speedup floor).
+check-perf:
+	$(PY) -m pytest -q -m perf_accel
+	$(PY) benchmarks/bench_hotpath.py --against BENCH_perf.json

@@ -1,0 +1,76 @@
+"""Per-pair join backend selection: plan-cost heuristic plus overrides.
+
+The engine exposes one dispatch point (``run_join``); this module decides,
+for each (data graph, query graph) pair, whether the scalar stack-DFS
+reference backend or the vectorized tabular frontier backend runs it.
+Because the two are bitwise-equivalent in Find All — match sets, stats,
+truncation, embedding order — the choice is *purely* a performance
+decision and may differ pair to pair within one run.
+
+Heuristic (``join_backend="auto"``):
+
+* **Find First** stays on the DFS backend: it abandons the search at the
+  first embedding, while a vectorized pass pays for whole frontier
+  blocks it may never need.
+* **Single-node queries** stay on the DFS backend (nothing to
+  vectorize).
+* Otherwise the *first-expansion element count* — frontier rows after
+  depth 0 times the depth-1 candidate list — estimates whether the
+  per-pass NumPy overhead (a handful of array allocations and binary
+  searches) amortizes.  Below :data:`TABULAR_MIN_ELEMENTS` the scalar
+  loop wins; above it the vectorized pass does.
+
+``join_backend="dfs"`` / ``"tabular"`` force the respective backend for
+every pair (used by the parity tests and the hot-path benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Scalar stack-DFS reference backend (paper section 4.6).
+BACKEND_DFS = "dfs"
+#: Vectorized tabular frontier backend (:mod:`repro.accel.tabular`).
+BACKEND_TABULAR = "tabular"
+#: Per-pair heuristic choice.
+BACKEND_AUTO = "auto"
+#: Valid ``SigmoConfig.join_backend`` values.
+JOIN_BACKENDS = (BACKEND_AUTO, BACKEND_DFS, BACKEND_TABULAR)
+
+#: Minimum first-expansion elements (depth-0 candidates x depth-1
+#: candidates) before the vectorized pass amortizes its call overhead.
+#: Calibrated on the seeded hot-path suites (benchmarks/bench_hotpath.py):
+#: below ~tens of elements the scalar dict probe is faster.
+TABULAR_MIN_ELEMENTS = 48
+
+
+def select_backend(
+    find_first: bool,
+    n_depths: int,
+    cand_sizes: Sequence[int],
+    requested: str = BACKEND_AUTO,
+) -> str:
+    """The backend that should join one pair.
+
+    Parameters
+    ----------
+    find_first:
+        Whether the run stops each pair at its first embedding.
+    n_depths:
+        Query size (DFS stack depth / frontier column count).
+    cand_sizes:
+        Per-depth candidate list sizes, in plan order.
+    requested:
+        ``SigmoConfig.join_backend`` — a forced backend or ``"auto"``.
+    """
+    if requested == BACKEND_DFS or requested == BACKEND_TABULAR:
+        return requested
+    if requested != BACKEND_AUTO:
+        raise ValueError(
+            f"join_backend must be one of {JOIN_BACKENDS}, got {requested!r}"
+        )
+    if find_first or n_depths < 2:
+        return BACKEND_DFS
+    if cand_sizes[0] * cand_sizes[1] >= TABULAR_MIN_ELEMENTS:
+        return BACKEND_TABULAR
+    return BACKEND_DFS

@@ -1,0 +1,200 @@
+"""Sorted-CSR local adjacency views, cached per data batch.
+
+The historical ``_LocalGraphView`` rebuilt a Python dict of every edge of a
+data graph — one dict insert per adjacency slot — on *every* ``run_join``
+call.  This module replaces it with a **sorted-CSR local view** carved out
+of the batch CSR-GO with pure NumPy slices (no per-edge Python loop):
+
+* ``row_offsets`` / ``neighbors`` / ``edge_labels`` — the graph's local
+  CSR, neighbors sorted within each row (a CSR-GO construction
+  invariant).
+* ``flat_keys`` — ``u * width + v`` per adjacency slot.  Because rows are
+  ascending and neighbors are sorted per row, this array is *globally*
+  sorted, so one ``np.searchsorted`` resolves any batch of edge-label
+  probes — the vectorized lookup the tabular join backend is built on.
+
+The scalar DFS backend still wants O(1) per-probe lookups; the view keeps
+the flat dict as a *lazy* property built from the flat arrays (one C-level
+``zip``), so the cost is paid at most once per (batch, graph) thanks to
+the content-hash cache below — not once per run.
+
+Views are cached per batch **content hash** (not object identity), so
+iteration sweeps, chunked re-runs and resilient retries over identical
+data share views even when the ``CSRGO`` object was rebuilt.  The cache
+holds a bounded number of batches, LRU-evicted — switching batches
+invalidates the oldest entries automatically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.accel.memo import MemoStats
+from repro.core.csrgo import CSRGO
+
+#: Batches kept in the process-wide view cache before LRU eviction.
+VIEW_CACHE_BATCHES = 8
+
+
+class LocalCSRView:
+    """Adjacency of one data graph in local ids, optimized for edge probes.
+
+    Attributes
+    ----------
+    start:
+        Global node id of the graph's first node (embedding recording
+        converts local matches back with it).
+    width:
+        Node count of the graph; flat edge keys are ``u * width + v``.
+    row_offsets / neighbors / edge_labels:
+        Local CSR (``int64`` offsets, ``int64`` neighbor ids, ``int32``
+        labels), neighbors sorted within each row.
+    flat_keys:
+        ``int64`` sorted flat edge keys, parallel to ``edge_labels``.
+    """
+
+    __slots__ = (
+        "start",
+        "width",
+        "row_offsets",
+        "neighbors",
+        "edge_labels",
+        "flat_keys",
+        "_edge_label_map",
+    )
+
+    def __init__(self, data: CSRGO, data_graph: int) -> None:
+        start, stop = data.graph_node_range(data_graph)
+        self.start = start
+        width = stop - start
+        self.width = width
+        adj_lo = int(data.row_offsets[start])
+        adj_hi = int(data.row_offsets[stop])
+        self.row_offsets = (data.row_offsets[start : stop + 1] - adj_lo).astype(
+            np.int64
+        )
+        self.neighbors = (
+            data.column_indices[adj_lo:adj_hi].astype(np.int64) - start
+        )
+        self.edge_labels = np.ascontiguousarray(
+            data.adj_edge_labels[adj_lo:adj_hi], dtype=np.int32
+        )
+        rows = np.repeat(
+            np.arange(width, dtype=np.int64), np.diff(self.row_offsets)
+        )
+        self.flat_keys = rows * width + self.neighbors
+        self._edge_label_map: dict[int, int] | None = None
+
+    # -- scalar interface (DFS backend) -----------------------------------------
+
+    @property
+    def edge_label_of(self) -> dict[int, int]:
+        """Flat-key -> edge-label dict for O(1) scalar probes (lazy)."""
+        if self._edge_label_map is None:
+            self._edge_label_map = dict(
+                zip(self.flat_keys.tolist(), self.edge_labels.tolist())
+            )
+        return self._edge_label_map
+
+    def edge_label(self, local_u: int, local_v: int) -> int:
+        """Label of local edge, or -1 when absent."""
+        return self.edge_label_of.get(local_u * self.width + local_v, -1)
+
+    # -- vectorized interface (tabular backend) ----------------------------------
+
+    def lookup_edge_labels(self, local_u: np.ndarray, local_v: np.ndarray) -> np.ndarray:
+        """Edge labels of ``(local_u[i], local_v[i])`` pairs, -2 when absent.
+
+        One binary search over the globally sorted ``flat_keys``; the -2
+        sentinel matches the scalar DFS probe so the two backends evaluate
+        the identical predicate (-1 is the any-bond wildcard, which must
+        still distinguish "edge with some label" from "no edge").
+        """
+        keys = np.asarray(local_u, dtype=np.int64) * self.width + np.asarray(
+            local_v, dtype=np.int64
+        )
+        out = np.full(keys.shape, -2, dtype=np.int64)
+        size = self.flat_keys.size
+        if size == 0:
+            return out
+        pos = np.searchsorted(self.flat_keys, keys)
+        clipped = np.minimum(pos, size - 1)
+        found = (pos < size) & (self.flat_keys[clipped] == keys)
+        out[found] = self.edge_labels[clipped[found]]
+        return out
+
+    @property
+    def n_edges(self) -> int:
+        """Adjacency slots of the graph (2x undirected edges)."""
+        return int(self.flat_keys.size)
+
+
+class LocalViewCache:
+    """Content-hash-keyed cache of per-graph :class:`LocalCSRView` objects.
+
+    One bounded OrderedDict of batches (keyed by
+    :meth:`~repro.core.csrgo.CSRGO.content_hash`), each holding the lazily
+    built views of that batch's graphs.  ``stats`` counts *view-level*
+    hits/misses, which is what the hoisting tests assert: a second run
+    over the same batch must be all hits.
+    """
+
+    def __init__(self, capacity: int = VIEW_CACHE_BATCHES) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = MemoStats()
+        self._batches: OrderedDict[str, dict[int, LocalCSRView]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def views_of(self, data: CSRGO) -> dict[int, LocalCSRView]:
+        """The (mutable, lazily filled) view dict of one batch."""
+        key = data.content_hash()
+        with self._lock:
+            views = self._batches.get(key)
+            if views is None:
+                views = {}
+                self._batches[key] = views
+            self._batches.move_to_end(key)
+            while len(self._batches) > self.capacity:
+                self._batches.popitem(last=False)
+                self.stats.evictions += 1
+            return views
+
+    def get(self, data: CSRGO, data_graph: int) -> LocalCSRView:
+        """The cached view of ``data_graph``, building it on first use."""
+        views = self.views_of(data)
+        view = views.get(data_graph)
+        if view is None:
+            self.stats.misses += 1
+            view = LocalCSRView(data, data_graph)
+            views[data_graph] = view
+        else:
+            self.stats.hits += 1
+        return view
+
+    def n_batches(self) -> int:
+        """Batches currently cached."""
+        return len(self._batches)
+
+    def clear(self) -> None:
+        """Drop every cached view and reset the stats."""
+        with self._lock:
+            self._batches.clear()
+            self.stats = MemoStats()
+
+
+_VIEW_CACHE = LocalViewCache()
+
+
+def local_view_cache() -> LocalViewCache:
+    """The process-wide local-view cache."""
+    return _VIEW_CACHE
+
+
+def get_local_view(data: CSRGO, data_graph: int) -> LocalCSRView:
+    """Cached sorted-CSR local view of one data graph."""
+    return _VIEW_CACHE.get(data, data_graph)

@@ -6,16 +6,29 @@ independent data chunks on multiple host processes, mpi4py-style SPMD
 without MPI.  It composes the chunked driver (:mod:`repro.core.chunked`)
 with a process pool; results are bitwise identical to a serial run
 (asserted in tests), since chunks share nothing.
+
+Two transports move the batches into workers:
+
+* **shared memory** (default): both batches are converted to CSR-GO once
+  in the parent and exported via :mod:`repro.cluster.shm`; each worker
+  maps the arrays a single time (cached for its lifetime) and carves its
+  chunks out with ``slice_graphs`` — payloads shrink to a name + layout
+  tuple regardless of batch size.
+* **pickle** (fallback / ``use_shared_memory=False``): the historical
+  path, serializing graph lists into every worker.  Results are bitwise
+  identical either way.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.core.chunked import run_chunked
+from repro.core.chunked import run_chunked, run_chunked_csrgo
 from repro.core.config import SigmoConfig
+from repro.core.csrgo import CSRGO
 from repro.core.join import FIND_ALL
 from repro.core.results import MatchRecord
 from repro.graph.labeled_graph import LabeledGraph
@@ -23,7 +36,7 @@ from repro.utils.timing import StageTimer
 
 
 def _worker(payload):
-    """Process-pool entry: run one chunk range serially."""
+    """Process-pool entry: run one chunk range serially (pickle transport)."""
     queries, data, start, chunk_size, mode, config = payload
     result = run_chunked(queries, data, chunk_size, mode=mode, config=config)
     # globalize indices relative to the worker's slice start
@@ -35,12 +48,46 @@ def _worker(payload):
     return result
 
 
+def _shm_worker(payload):
+    """Process-pool entry: map shared batches, run one graph range.
+
+    The attach is cached per process (:func:`repro.cluster.shm.attached_csrgo`),
+    so a worker that receives several ranges maps each block exactly once.
+    """
+    from repro.cluster.shm import attached_csrgo
+
+    query_handle, data_handle, start, stop, chunk_size, mode, config = payload
+    query = attached_csrgo(query_handle)
+    data = attached_csrgo(data_handle)
+    result = run_chunked_csrgo(
+        query,
+        data,
+        chunk_size,
+        mode=mode,
+        config=config,
+        start_graph=start,
+        stop_graph=stop,
+    )
+    # globalize indices relative to the worker's slice start
+    result.matched_pairs = [(d + start, q) for d, q in result.matched_pairs]
+    result.embeddings = [
+        MatchRecord(rec.data_graph + start, rec.query_graph, rec.mapping)
+        for rec in result.embeddings
+    ]
+    # MatchResult objects hold bitmaps/GMCRs of shm-sliced chunks (all
+    # copies, but potentially large); don't ship them back per worker.
+    result.chunk_results = []
+    return result
+
+
 @dataclass
 class ParallelResult:
     """Aggregated outcome of a parallel chunked run.
 
     ``n_chunks`` and ``timings`` are summed across workers, so
     ``timings`` is total engine compute (CPU seconds), not wall time.
+    ``transport`` records how batches reached the workers
+    (``"shared-memory"`` or ``"pickle"``).
     """
 
     total_matches: int = 0
@@ -51,6 +98,7 @@ class ParallelResult:
     peak_memory_bytes: int = 0
     timings: dict[str, float] = field(default_factory=dict)
     stage_counts: dict[str, int] = field(default_factory=dict)
+    transport: str = "pickle"
 
     @property
     def total_seconds(self) -> float:
@@ -65,6 +113,7 @@ def run_parallel(
     chunk_size: int = 256,
     mode: str = FIND_ALL,
     config: SigmoConfig | None = None,
+    use_shared_memory: bool = True,
 ) -> ParallelResult:
     """Run the pipeline over ``data`` with a pool of worker processes.
 
@@ -78,6 +127,11 @@ def run_parallel(
         of slices.
     chunk_size:
         Within-worker chunk size (memory bound per process).
+    use_shared_memory:
+        Ship batches via :mod:`multiprocessing.shared_memory` (mapped once
+        per worker) instead of pickling graph lists per payload.  Falls
+        back to pickling automatically when the platform cannot allocate
+        shared memory.
     """
     if not data:
         raise ValueError("at least one data graph is required")
@@ -86,16 +140,66 @@ def run_parallel(
     n_workers = n_workers or min(os.cpu_count() or 1, 8)
     n_workers = max(1, min(n_workers, len(data)))
     block = -(-len(data) // n_workers)
-    payloads = [
-        (queries, data[start : start + block], start, chunk_size, mode, config)
+    ranges = [
+        (start, min(start + block, len(data)))
         for start in range(0, len(data), block)
     ]
-    out = ParallelResult(n_workers=len(payloads))
+    if use_shared_memory:
+        try:
+            return _run_parallel_shm(
+                queries, data, ranges, n_workers, chunk_size, mode, config
+            )
+        except OSError as exc:  # pragma: no cover - platform without shm
+            warnings.warn(
+                f"shared-memory transport unavailable ({exc}); "
+                "falling back to pickle",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    payloads = [
+        (queries, data[start:stop], start, chunk_size, mode, config)
+        for start, stop in ranges
+    ]
+    out = ParallelResult(n_workers=len(payloads), transport="pickle")
     if len(payloads) == 1:
         results = [_worker(payloads[0])]
     else:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             results = list(pool.map(_worker, payloads))
+    _aggregate(out, results)
+    return out
+
+
+def _run_parallel_shm(
+    queries, data, ranges, n_workers, chunk_size, mode, config
+) -> ParallelResult:
+    """Shared-memory transport: export once, map per worker, slice per chunk."""
+    from repro.cluster.shm import SharedCSRGO, attached_csrgo
+
+    query_csrgo = CSRGO.from_graphs(queries)
+    data_csrgo = CSRGO.from_graphs(data)
+    out = ParallelResult(n_workers=len(ranges), transport="shared-memory")
+    with SharedCSRGO(query_csrgo) as shared_q, SharedCSRGO(data_csrgo) as shared_d:
+        payloads = [
+            (shared_q.handle, shared_d.handle, start, stop, chunk_size, mode, config)
+            for start, stop in ranges
+        ]
+        if len(payloads) == 1:
+            results = [_shm_worker(payloads[0])]
+            # In-process run: release the parent-cached mapping before
+            # the context manager unlinks the block.
+            from repro.cluster.shm import detach_all
+
+            detach_all()
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                results = list(pool.map(_shm_worker, payloads))
+    _aggregate(out, results)
+    return out
+
+
+def _aggregate(out: ParallelResult, results) -> None:
+    """Fold per-worker ChunkedResults into one ParallelResult."""
     agg = StageTimer()
     for chunk_result in results:
         out.total_matches += chunk_result.total_matches
@@ -109,4 +213,3 @@ def run_parallel(
     out.timings = dict(agg.totals)
     out.stage_counts = dict(agg.counts)
     out.matched_pairs.sort()
-    return out

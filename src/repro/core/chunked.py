@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 
 from repro.core.config import SigmoConfig
+from repro.core.csrgo import CSRGO
 from repro.core.engine import SigmoEngine
 from repro.core.join import FIND_ALL
 from repro.core.results import MatchRecord, MatchResult
@@ -114,6 +115,58 @@ def run_chunked(
         )
         out.embeddings.extend(
             MatchRecord(rec.data_graph + start, rec.query_graph, rec.mapping)
+            for rec in result.embeddings
+        )
+        out.chunk_results.append(result)
+        agg.merge(result.timings, counts=result.stage_counts)
+    out.timings = dict(agg.totals)
+    out.stage_counts = dict(agg.counts)
+    return out
+
+
+def run_chunked_csrgo(
+    query: "CSRGO",
+    data: "CSRGO",
+    chunk_size: int,
+    mode: str = FIND_ALL,
+    config: SigmoConfig | None = None,
+    start_graph: int = 0,
+    stop_graph: int | None = None,
+) -> ChunkedResult:
+    """Chunked run over already-converted CSR-GO batches.
+
+    Same aggregation (and bitwise-identical results) as
+    :func:`run_chunked`, but chunks are carved out of ``data`` with
+    :meth:`~repro.core.csrgo.CSRGO.slice_graphs` — no per-graph Python
+    conversion — and engines are built with
+    :meth:`~repro.core.engine.SigmoEngine.from_csrgo`.  The shared-memory
+    cluster workers run their slice ``[start_graph, stop_graph)`` of the
+    mapped batch through this; reported data-graph indices are relative
+    to ``start_graph``, matching :func:`run_chunked` over the same slice.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    stop = data.n_graphs if stop_graph is None else stop_graph
+    if not 0 <= start_graph < stop <= data.n_graphs:
+        raise ValueError(
+            f"graph range [{start_graph}, {stop}) invalid for "
+            f"{data.n_graphs} data graphs"
+        )
+    out = ChunkedResult()
+    agg = StageTimer()
+    for lo in range(start_graph, stop, chunk_size):
+        hi = min(lo + chunk_size, stop)
+        engine = SigmoEngine.from_csrgo(query, data.slice_graphs(lo, hi), config)
+        result = engine.run(mode=mode)
+        offset = lo - start_graph
+        out.n_chunks += 1
+        out.total_matches += result.total_matches
+        out.peak_memory_bytes = max(out.peak_memory_bytes, result.memory.total)
+        out.matched_pairs.extend(
+            (d + offset, q) for d, q in result.matched_pairs()
+        )
+        out.embeddings.extend(
+            MatchRecord(rec.data_graph + offset, rec.query_graph, rec.mapping)
             for rec in result.embeddings
         )
         out.chunk_results.append(result)

@@ -64,6 +64,13 @@ class SigmoConfig:
         (classic VF2 semantics).  The paper's NLSM uses monomorphism
         semantics (its Def. 2.1 condition is one-directional), which
         remains the default.
+    join_backend:
+        Join backend selection: ``"auto"`` picks per (data, query) pair
+        via the plan-cost heuristic (:mod:`repro.accel.dispatch`);
+        ``"dfs"`` forces the scalar stack-DFS reference backend,
+        ``"tabular"`` forces the vectorized tabular frontier backend.
+        The backends are bitwise-equivalent in Find All (match sets,
+        stats, truncation), so this is purely a performance knob.
     """
 
     refinement_iterations: int = DEFAULT_REFINEMENT_ITERATIONS
@@ -78,6 +85,7 @@ class SigmoConfig:
     wildcard_edge_label: int | None = None
     edge_signatures: bool = False
     induced: bool = False
+    join_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.refinement_iterations < 1:
@@ -94,6 +102,17 @@ class SigmoConfig:
             )
         if self.max_embeddings_recorded < 0:
             raise ValueError("max_embeddings_recorded must be >= 0")
+        from repro.accel.dispatch import JOIN_BACKENDS
+
+        if self.join_backend not in JOIN_BACKENDS:
+            raise ValueError(
+                f"join_backend must be one of {JOIN_BACKENDS}, "
+                f"got {self.join_backend!r}"
+            )
+
+    def with_backend(self, backend: str) -> "SigmoConfig":
+        """Copy with a different join backend (benchmarks, parity tests)."""
+        return replace(self, join_backend=backend)
 
     def packing_for(self, label_frequencies: np.ndarray) -> SignaturePacking:
         """Resolve the signature packing for a given label-frequency vector."""

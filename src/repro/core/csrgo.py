@@ -52,6 +52,8 @@ class CSRGO:
         "column_indices",
         "labels",
         "adj_edge_labels",
+        "_content_hash",
+        "__weakref__",
     )
 
     def __init__(
@@ -69,6 +71,7 @@ class CSRGO:
         if adj_edge_labels is None:
             adj_edge_labels = np.zeros(self.column_indices.size, dtype=np.int32)
         self.adj_edge_labels = np.ascontiguousarray(adj_edge_labels, dtype=np.int32)
+        self._content_hash: str | None = None
         self._validate()
 
     def _validate(self) -> None:
@@ -222,6 +225,59 @@ class CSRGO:
         if pos >= nbrs.size or nbrs[pos] != v:
             raise KeyError(f"no edge ({u}, {v})")
         return int(self.adj_edge_labels[int(self.row_offsets[u]) + int(pos)])
+
+    # -- identity ----------------------------------------------------------------
+
+    def content_hash(self) -> str:
+        """SHA-256 over the five arrays — the batch's *content identity*.
+
+        Computed once and cached on the instance (the arrays are treated
+        as immutable after construction, which every pipeline stage
+        respects).  Accelerator-layer caches (:mod:`repro.accel.memo`)
+        key on this hash so logically identical batches — rebuilt across
+        chunks, resilient re-runs, or iteration sweeps — share cached
+        local views, signatures and query plans.
+        """
+        if self._content_hash is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            for arr in (
+                self.graph_offsets,
+                self.row_offsets,
+                self.column_indices,
+                self.labels,
+                self.adj_edge_labels,
+            ):
+                h.update(arr.tobytes())
+            self._content_hash = h.hexdigest()
+        return self._content_hash
+
+    def slice_graphs(self, start_graph: int, stop_graph: int) -> "CSRGO":
+        """Copy of the contiguous graph range ``[start_graph, stop_graph)``.
+
+        The result is bitwise identical to :meth:`from_graphs` over the
+        same member graphs; the chunked and shared-memory drivers use it
+        to carve per-chunk batches out of one converted batch without
+        re-running the per-graph Python conversion (and, for shared
+        memory, without retaining views into the shared buffers).
+        """
+        if not 0 <= start_graph <= stop_graph <= self.n_graphs:
+            raise ValueError(
+                f"graph range [{start_graph}, {stop_graph}) out of "
+                f"[0, {self.n_graphs}]"
+            )
+        node_lo = int(self.graph_offsets[start_graph])
+        node_hi = int(self.graph_offsets[stop_graph])
+        adj_lo = int(self.row_offsets[node_lo])
+        adj_hi = int(self.row_offsets[node_hi])
+        return CSRGO(
+            self.graph_offsets[start_graph : stop_graph + 1] - node_lo,
+            self.row_offsets[node_lo : node_hi + 1] - adj_lo,
+            self.column_indices[adj_lo:adj_hi] - np.int32(node_lo),
+            self.labels[node_lo:node_hi].copy(),
+            self.adj_edge_labels[adj_lo:adj_hi].copy(),
+        )
 
     # -- export ------------------------------------------------------------------
 

@@ -65,8 +65,37 @@ class SigmoEngine:
         self.query_batch = query_batch
         self.data_batch = data_batch
         # Stage 1: convert to CSR-GO.
-        self.query = CSRGO.from_batch(query_batch)
-        self.data = CSRGO.from_batch(data_batch)
+        self._finish_init(CSRGO.from_batch(query_batch), CSRGO.from_batch(data_batch))
+
+    @classmethod
+    def from_csrgo(
+        cls,
+        query: CSRGO,
+        data: CSRGO,
+        config: SigmoConfig | None = None,
+    ) -> "SigmoEngine":
+        """Build an engine directly from CSR-GO batches (stage 1 skipped).
+
+        The cluster workers use this: shared-memory-mapped CSR-GO arrays
+        are attached once per worker and sliced per chunk, with no
+        ``LabeledGraph`` round trip (``query_batch`` / ``data_batch`` are
+        ``None`` on such engines).
+        """
+        engine = cls.__new__(cls)
+        engine.config = config or SigmoConfig()
+        if query.n_graphs == 0:
+            raise ValueError("at least one query graph is required")
+        if data.n_graphs == 0:
+            raise ValueError("at least one data graph is required")
+        engine.query_batch = None
+        engine.data_batch = None
+        engine._finish_init(query, data)
+        return engine
+
+    def _finish_init(self, query: CSRGO, data: CSRGO) -> None:
+        """Shared tail of both constructors: contracts + label-space size."""
+        self.query = query
+        self.data = data
         if contracts.enabled():
             contracts.check_csrgo(self.query, "query batch")
             contracts.check_csrgo(self.data, "data batch")

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.accel.memo import frozen_array, signature_memo
 from repro.analysis import contracts
 from repro.analysis.markers import kernel
 from repro.core.candidates import CandidateBitmap
@@ -32,6 +33,11 @@ from repro.core.signatures import SignaturePacking, SignatureState
 from repro.obs.trace import get_tracer
 from repro.utils.bitops import pack_bool_rows
 from repro.utils.timing import StageTimer
+
+#: Signature count matrices above this size are not memoized (the cache is
+#: for the many-small-runs pattern — chunks, sweeps, retries — not for
+#: pinning hundred-MB matrices of one giant batch in memory).
+SIGNATURE_MEMO_MAX_BYTES = 32 << 20
 
 
 @dataclass
@@ -205,6 +211,7 @@ class IterativeFilter:
         self.packing = self.config.packing_for(freq)
         self._query_state: SignatureState | None = None
         self._data_state: SignatureState | None = None
+        self._last_signatures: tuple[np.ndarray, np.ndarray] | None = None
 
     def run(self, timer: StageTimer | None = None) -> FilterResult:
         """Execute ``refinement_iterations`` filter iterations.
@@ -275,18 +282,43 @@ class IterativeFilter:
                     )
                 )
             stage_sp.set(candidates=result.total_candidates)
-        if self._query_state is not None:
-            result.query_signatures = self._query_state.counts
-            result.data_signatures = self._data_state.counts
+        if self._last_signatures is not None:
+            result.query_signatures, result.data_signatures = self._last_signatures
         return result
 
     def _signatures_at(self, radius: int) -> tuple[np.ndarray, np.ndarray]:
-        """Query and data signature counts at the given radius (cached BFS)."""
-        if self._query_state is None:
-            self._query_state = SignatureState(
-                self.query, self.n_labels, ignore_label=self.config.wildcard_label
-            )
-            self._data_state = SignatureState(self.data, self.n_labels)
-        q = self._query_state.run_to(radius)
-        d = self._data_state.run_to(radius)
+        """Query and data signature counts at the given radius.
+
+        Each side is memoized by batch content hash, label-vocabulary size,
+        the ignored (wildcard) label and the radius — so a second pipeline
+        run over identical batches (iteration sweeps, chunked re-runs,
+        resilient retries) recalls the counts instead of re-running the
+        neighborhood BFS.  Oversized matrices bypass the cache
+        (:data:`SIGNATURE_MEMO_MAX_BYTES`); memoized arrays are frozen
+        (non-writeable) — ``refine_candidates`` only reads them.
+        """
+        q = self._side_signatures_at("query", radius)
+        d = self._side_signatures_at("data", radius)
+        self._last_signatures = (q, d)
         return q, d
+
+    def _side_signatures_at(self, side: str, radius: int) -> np.ndarray:
+        """One side's counts at ``radius``, through the signature memo."""
+        batch = self.query if side == "query" else self.data
+        ignore = self.config.wildcard_label if side == "query" else None
+        key = ("sig", batch.content_hash(), self.n_labels, ignore, radius)
+        memo = signature_memo()
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+
+        state_attr = "_query_state" if side == "query" else "_data_state"
+        state = getattr(self, state_attr)
+        if state is None:
+            state = SignatureState(batch, self.n_labels, ignore_label=ignore)
+            setattr(self, state_attr, state)
+        counts = state.run_to(radius)
+        if counts.nbytes <= SIGNATURE_MEMO_MAX_BYTES:
+            counts = frozen_array(counts)
+            memo.put(key, counts)
+        return counts

@@ -23,6 +23,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.accel.dispatch import (
+    BACKEND_DFS,
+    BACKEND_TABULAR,
+    select_backend,
+)
+from repro.accel.local_view import LocalCSRView, get_local_view
+from repro.accel.memo import array_hash, plan_memo
+from repro.accel.tabular import tabular_join_pair
 from repro.analysis.markers import kernel
 from repro.core.candidates import CandidateBitmap
 from repro.core.config import SigmoConfig
@@ -169,6 +177,11 @@ class JoinResult:
         ``start_pair`` to continue the run; ``None`` when complete.
     truncate_reason:
         Human-readable budget dimension that fired (telemetry).
+    backend_pairs:
+        Pairs joined per backend (``"dfs"`` / ``"tabular"``) — the
+        observability split ``repro profile`` surfaces.
+    backend_visits:
+        Candidate visits spent per backend.
     """
 
     total_matches: int = 0
@@ -179,6 +192,8 @@ class JoinResult:
     truncated: bool = False
     resume_pair: int | None = None
     truncate_reason: str = ""
+    backend_pairs: dict[str, int] = field(default_factory=dict)
+    backend_visits: dict[str, int] = field(default_factory=dict)
 
 
 def build_query_plan(
@@ -294,32 +309,52 @@ def _bfs_order(query: CSRGO, query_graph: int) -> list[int]:
     return order
 
 
-class _LocalGraphView:
-    """Adjacency of one data graph rebuilt for O(1) edge probes.
+def compile_plans(
+    query: CSRGO,
+    bitmap,
+    config: "SigmoConfig",
+) -> list[QueryPlan]:
+    """Compile (or recall) the query plans of a whole batch.
 
-    The driver builds one view per data graph (work-group) and reuses it
-    across all that graph's query joins — the CPU analogue of the adjacency
-    staying resident in cache while a work-group processes its queries.
+    Plan lists are memoized by query-batch content hash, the candidate
+    counts the ``fewest-candidates`` heuristic consumed, and every config
+    field that changes compilation (heuristic, wildcard edge label,
+    induced mode) — so chunked runs, iteration sweeps and resilient
+    retries over the same queries skip recompilation, while flipping any
+    influencing knob rebuilds.
     """
+    counts = bitmap.row_counts()
+    key = (
+        "plans",
+        query.content_hash(),
+        array_hash(np.ascontiguousarray(counts)),
+        config.candidate_order,
+        config.wildcard_edge_label,
+        config.induced,
+    )
+    return plan_memo().get_or_build(
+        key,
+        lambda: [
+            build_query_plan(
+                query,
+                qg,
+                counts,
+                config.candidate_order,
+                config.wildcard_edge_label,
+                config.induced,
+            )
+            for qg in range(query.n_graphs)
+        ],
+    )
 
-    __slots__ = ("start", "edge_label_of", "width")
 
-    def __init__(self, data: CSRGO, data_graph: int) -> None:
-        self.start, stop = data.graph_node_range(data_graph)
-        edge_label_of: dict[int, int] = {}
-        width = stop - self.start
-        for v in range(self.start, stop):
-            lo, hi = int(data.row_offsets[v]), int(data.row_offsets[v + 1])
-            lv = v - self.start
-            for slot in range(lo, hi):
-                u = int(data.column_indices[slot]) - self.start
-                edge_label_of[lv * width + u] = int(data.adj_edge_labels[slot])
-        self.edge_label_of = edge_label_of
-        self.width = width
-
-    def edge_label(self, local_u: int, local_v: int) -> int:
-        """Label of local edge, or -1 when absent."""
-        return self.edge_label_of.get(local_u * self.width + local_v, -1)
+#: Back-compat alias: the historical per-run dict-building view is now the
+#: cached sorted-CSR view of :mod:`repro.accel.local_view`, which exposes
+#: the same ``start`` / ``width`` / ``edge_label_of`` interface for the
+#: scalar backends (the dict is built lazily, at most once per batch and
+#: graph) plus the vectorized ``lookup_edge_labels`` the tabular backend
+#: uses.
+_LocalGraphView = LocalCSRView
 
 
 @kernel
@@ -472,6 +507,20 @@ def run_join(
     start_pair:
         First GMCR pair index to process (resume token from a previous
         truncated run); pairs before it are skipped untouched.
+
+    Notes
+    -----
+    This is the engine's single join dispatch point.  Each pair runs on
+    either the scalar stack-DFS reference backend (:func:`join_pair`) or
+    the vectorized tabular frontier backend
+    (:func:`repro.accel.tabular.tabular_join_pair`), chosen per pair by
+    :func:`repro.accel.dispatch.select_backend` under
+    ``config.join_backend``.  In Find All the two are bitwise-equivalent
+    (match sets, :class:`JoinStats`, embedding order, budget truncation),
+    so mixing backends within a run never changes results.  Local
+    adjacency views come from the content-hash cache
+    (:mod:`repro.accel.local_view`), so sweeps and re-runs over the same
+    batch skip the rebuild; compiled plans are memoized the same way.
     """
     if mode not in (FIND_ALL, FIND_FIRST):
         raise ValueError(f"mode must be '{FIND_ALL}' or '{FIND_FIRST}'")
@@ -483,6 +532,8 @@ def run_join(
     result = JoinResult(
         pair_matches=np.zeros(gmcr.n_pairs, dtype=np.int64),
         pair_visits=np.zeros(gmcr.n_pairs, dtype=np.int64),
+        backend_pairs={BACKEND_DFS: 0, BACKEND_TABULAR: 0},
+        backend_visits={BACKEND_DFS: 0, BACKEND_TABULAR: 0},
     )
     record = result.embeddings if config.record_embeddings else None
 
@@ -493,18 +544,7 @@ def run_join(
         "kernel:join", category="kernel", work_items=gmcr.n_pairs
     ):
         if plans is None:
-            counts = bitmap.row_counts()
-            plans = [
-                build_query_plan(
-                    query,
-                    qg,
-                    counts,
-                    config.candidate_order,
-                    config.wildcard_edge_label,
-                    config.induced,
-                )
-                for qg in range(query.n_graphs)
-            ]
+            plans = compile_plans(query, bitmap, config)
         # Unpack each query node's candidate row once (sorted global ids);
         # per-pair restriction is then a binary-search slice instead of a
         # full-bitmap scan.
@@ -519,6 +559,7 @@ def run_join(
                 row_positions[global_q] = cached
             return cached
 
+        traced = tracer.enabled
         for d in range(gmcr.n_data_graphs):
             pair_lo = int(gmcr.data_graph_offsets[d])
             pair_hi = int(gmcr.data_graph_offsets[d + 1])
@@ -527,7 +568,7 @@ def run_join(
             if result.truncated:
                 break
             d_start, d_stop = data.graph_node_range(d)
-            view = _LocalGraphView(data, d)
+            view = get_local_view(data, d)
             n_graph_nodes = d_stop - d_start
             # One work-group per data graph (paper section 4.6).
             with tracer.span(
@@ -545,7 +586,8 @@ def run_join(
                     qg = int(gmcr.query_graph_indices[pair_idx])
                     plan = plans[qg]
                     q_start, _ = query.graph_node_range(plan.query_graph)
-                    cand_lists = []
+                    cand_arrays = []
+                    sizes = []
                     empty = False
                     for local_q in plan.order:
                         positions = positions_of(q_start + int(local_q))
@@ -554,26 +596,61 @@ def run_join(
                         if hi == lo:
                             empty = True
                             break
-                        cand_lists.append((positions[lo:hi] - d_start).tolist())
+                        cand_arrays.append(positions[lo:hi] - d_start)
+                        sizes.append(int(hi - lo))
                     if empty:
                         continue
+                    chosen = select_backend(
+                        find_first, plan.n_nodes, sizes, config.join_backend
+                    )
                     result.stats.pairs_joined += 1
                     visits_before = result.stats.candidate_visits
-                    found = join_pair(
-                        view,
-                        plan,
-                        cand_lists,
-                        n_graph_nodes,
-                        find_first,
-                        result.stats,
-                        record=record,
-                        record_meta=(d, qg),
-                        max_record=config.max_embeddings_recorded,
+                    if chosen == BACKEND_TABULAR:
+                        span_name = "kernel:accel:join-tabular"
+                    else:
+                        span_name = "kernel:join-dfs"
+                    pair_span = (
+                        tracer.span(
+                            span_name, category="kernel", pair=pair_idx, query=qg
+                        )
+                        if traced
+                        else None
                     )
+                    if pair_span is not None:
+                        pair_span.__enter__()
+                    try:
+                        if chosen == BACKEND_TABULAR:
+                            found = tabular_join_pair(
+                                view,
+                                plan,
+                                cand_arrays,
+                                find_first,
+                                result.stats,
+                                record=record,
+                                record_meta=(d, qg),
+                                max_record=config.max_embeddings_recorded,
+                            )
+                        else:
+                            found = join_pair(
+                                view,
+                                plan,
+                                [a.tolist() for a in cand_arrays],
+                                n_graph_nodes,
+                                find_first,
+                                result.stats,
+                                record=record,
+                                record_meta=(d, qg),
+                                max_record=config.max_embeddings_recorded,
+                            )
+                    finally:
+                        if pair_span is not None:
+                            pair_span.set(matches=found)
+                            pair_span.__exit__(None, None, None)
+                    pair_visits = result.stats.candidate_visits - visits_before
+                    result.backend_pairs[chosen] += 1
+                    result.backend_visits[chosen] += pair_visits
                     result.pair_matches[pair_idx] = found
-                    result.pair_visits[pair_idx] = (
-                        result.stats.candidate_visits - visits_before
-                    )
+                    result.pair_visits[pair_idx] = pair_visits
                     if found:
                         gmcr.matched[pair_idx] = True
                     result.total_matches += found
@@ -584,5 +661,7 @@ def run_join(
             edge_checks=result.stats.edge_checks,
             stack_pushes=result.stats.stack_pushes,
             truncated=result.truncated,
+            backend_pairs_dfs=result.backend_pairs[BACKEND_DFS],
+            backend_pairs_tabular=result.backend_pairs[BACKEND_TABULAR],
         )
     return result

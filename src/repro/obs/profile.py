@@ -14,6 +14,9 @@ Metric naming convention (dotted, lowercase):
 * ``kernel.<name>.{instructions,bytes_hbm,bytes_l2,bytes_l1,work_items}``
   — simulated work counters per kernel launch.
 * ``join.{candidate_visits,edge_checks,stack_pushes}`` — join stats.
+* ``join.backend_pairs.<backend>``, ``join.backend_visits.<backend>`` —
+  per-join-backend dispatch split (``dfs`` vs ``tabular``; see
+  :mod:`repro.accel`).
 * ``engine.stage_seconds.<stage>`` — wall-clock gauges (noisy; compared
   with a generous tolerance).
 * ``model.kernel_seconds.<kernel>``, ``model.total_seconds`` — analytic
@@ -121,6 +124,14 @@ def build_profile(
         )
     if result.join_result.pair_visits is not None:
         m.histogram("join.pair_visits").observe_array(result.join_result.pair_visits)
+    for backend, pairs in sorted(
+        (getattr(result.join_result, "backend_pairs", None) or {}).items()
+    ):
+        m.count(f"join.backend_pairs.{backend}", pairs)
+    for backend, visits in sorted(
+        (getattr(result.join_result, "backend_visits", None) or {}).items()
+    ):
+        m.count(f"join.backend_visits.{backend}", visits)
 
     # -- device-model kernels --------------------------------------------------
     counters = counters_from_result(result, query, data)
@@ -223,6 +234,21 @@ def format_profile(profile: Profile, top_k: int = 5) -> str:
             f"{s['seconds'] / total:>6.1%}"
         )
     lines.append(f"  {'total':<22} {total:>10.4f}")
+
+    counters = profile.metrics.counters
+    backends = sorted(
+        name.rsplit(".", 1)[1]
+        for name in counters
+        if name.startswith("join.backend_pairs.")
+    )
+    if backends:
+        split = ", ".join(
+            f"{b}: {int(counters[f'join.backend_pairs.{b}'])} pairs / "
+            f"{int(counters.get(f'join.backend_visits.{b}', 0))} visits"
+            for b in backends
+        )
+        lines.append("")
+        lines.append(f"join backend split: {split}")
 
     lines.append("")
     lines.append(f"top {top_k} kernels by simulated bytes:")

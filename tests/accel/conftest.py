@@ -1,0 +1,24 @@
+"""Fixtures for the accelerator-layer suite.
+
+Every test here starts from empty accel caches: the view cache and memo
+tables are process-wide, and hit/miss assertions would otherwise depend on
+which tests ran earlier in the session.
+"""
+
+import pytest
+
+from repro.accel import clear_accel_caches
+from repro.chem.datasets import build_benchmark
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_accel_caches()
+    yield
+    clear_accel_caches()
+
+
+@pytest.fixture(scope="module")
+def bench():
+    """A seeded benchmark with enough join work to exercise both backends."""
+    return build_benchmark(scale=1.0, n_queries=24, n_data_graphs=60, seed=7)

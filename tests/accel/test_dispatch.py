@@ -1,0 +1,68 @@
+"""Backend selection: the plan-cost heuristic and the config override."""
+
+import pytest
+
+from repro.accel.dispatch import (
+    BACKEND_AUTO,
+    BACKEND_DFS,
+    BACKEND_TABULAR,
+    JOIN_BACKENDS,
+    TABULAR_MIN_ELEMENTS,
+    select_backend,
+)
+from repro.core.config import SigmoConfig
+
+pytestmark = pytest.mark.perf_accel
+
+
+class TestHeuristic:
+    def test_find_first_stays_on_dfs(self):
+        assert select_backend(True, 5, [1000, 1000]) == BACKEND_DFS
+
+    def test_single_node_query_stays_on_dfs(self):
+        assert select_backend(False, 1, [10_000]) == BACKEND_DFS
+
+    def test_large_first_expansion_goes_tabular(self):
+        sizes = [TABULAR_MIN_ELEMENTS, 1]
+        assert select_backend(False, 3, sizes) == BACKEND_TABULAR
+
+    def test_small_first_expansion_stays_on_dfs(self):
+        sizes = [1, TABULAR_MIN_ELEMENTS - 1]
+        assert select_backend(False, 3, sizes) == BACKEND_DFS
+
+    def test_threshold_boundary(self):
+        below = select_backend(False, 2, [TABULAR_MIN_ELEMENTS - 1, 1])
+        at = select_backend(False, 2, [TABULAR_MIN_ELEMENTS, 1])
+        assert below == BACKEND_DFS
+        assert at == BACKEND_TABULAR
+
+
+class TestOverride:
+    def test_forced_backends_win_over_heuristic(self):
+        # Forcing beats every heuristic rule, including find-first.
+        assert select_backend(True, 1, [1], BACKEND_TABULAR) == BACKEND_TABULAR
+        assert select_backend(False, 9, [9999, 9999], BACKEND_DFS) == BACKEND_DFS
+
+    def test_auto_is_default(self):
+        assert select_backend(False, 2, [100, 100]) == select_backend(
+            False, 2, [100, 100], BACKEND_AUTO
+        )
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="join_backend"):
+            select_backend(False, 2, [10, 10], "gpu")
+
+
+class TestConfigKnob:
+    def test_config_validates_backend(self):
+        for backend in JOIN_BACKENDS:
+            assert SigmoConfig(join_backend=backend).join_backend == backend
+        with pytest.raises(ValueError, match="join_backend"):
+            SigmoConfig(join_backend="vectorized")
+
+    def test_with_backend_copies(self):
+        base = SigmoConfig()
+        forced = base.with_backend(BACKEND_TABULAR)
+        assert base.join_backend == BACKEND_AUTO
+        assert forced.join_backend == BACKEND_TABULAR
+        assert forced.refinement_iterations == base.refinement_iterations

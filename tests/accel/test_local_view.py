@@ -1,0 +1,131 @@
+"""Sorted-CSR local views: correctness and the per-batch cache."""
+
+import numpy as np
+import pytest
+
+from repro.accel.local_view import (
+    VIEW_CACHE_BATCHES,
+    LocalCSRView,
+    LocalViewCache,
+    get_local_view,
+    local_view_cache,
+)
+from repro.core.csrgo import CSRGO
+from repro.core.engine import SigmoEngine
+from tests.conftest import random_case
+
+pytestmark = pytest.mark.perf_accel
+
+
+class TestViewCorrectness:
+    def test_matches_csrgo_edge_labels(self, rng):
+        for _ in range(10):
+            _, d, _ = random_case(rng, n_edge_labels=3)
+            data = CSRGO.from_graphs([d])
+            view = LocalCSRView(data, 0)
+            n = data.n_nodes
+            for u in range(n):
+                for v in range(n):
+                    if data.has_edge(u, v):
+                        assert view.edge_label(u, v) == data.edge_label(u, v)
+                    else:
+                        assert view.edge_label(u, v) == -1
+
+    def test_vectorized_lookup_matches_scalar(self, rng):
+        _, d, _ = random_case(rng, max_data_nodes=15, n_edge_labels=3)
+        data = CSRGO.from_graphs([d])
+        view = LocalCSRView(data, 0)
+        n = view.width
+        us, vs = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        labels = view.lookup_edge_labels(us.ravel(), vs.ravel())
+        for u, v, lbl in zip(us.ravel(), vs.ravel(), labels):
+            expected = view.edge_label(int(u), int(v))
+            # vectorized uses -2 for absent, scalar -1
+            assert lbl == (expected if expected != -1 else -2)
+
+    def test_flat_keys_globally_sorted(self, rng):
+        for _ in range(5):
+            _, d, _ = random_case(rng)
+            view = LocalCSRView(CSRGO.from_graphs([d]), 0)
+            assert np.all(np.diff(view.flat_keys) > 0)
+
+    def test_empty_graph_lookup(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        data = CSRGO.from_graphs([LabeledGraph([1, 2], [])])
+        view = LocalCSRView(data, 0)
+        assert view.n_edges == 0
+        out = view.lookup_edge_labels(np.array([0]), np.array([1]))
+        assert out.tolist() == [-2]
+
+
+class TestViewCache:
+    def test_second_access_hits(self, bench):
+        data = CSRGO.from_graphs(bench.data)
+        cache = local_view_cache()
+        v1 = get_local_view(data, 3)
+        assert cache.stats.misses == 1
+        v2 = get_local_view(data, 3)
+        assert v2 is v1
+        assert cache.stats.hits == 1
+
+    def test_content_identity_not_object_identity(self, bench):
+        # A rebuilt-but-identical batch (chunked/resilient re-runs) hits.
+        data1 = CSRGO.from_graphs(bench.data)
+        data2 = CSRGO.from_graphs(bench.data)
+        assert data1 is not data2
+        v1 = get_local_view(data1, 0)
+        v2 = get_local_view(data2, 0)
+        assert v2 is v1
+        assert local_view_cache().n_batches() == 1
+
+    def test_different_batch_misses(self, bench):
+        data1 = CSRGO.from_graphs(bench.data[:10])
+        data2 = CSRGO.from_graphs(bench.data[10:20])
+        get_local_view(data1, 0)
+        get_local_view(data2, 0)
+        cache = local_view_cache()
+        assert cache.stats.misses == 2
+        assert cache.n_batches() == 2
+
+    def test_lru_eviction(self, bench):
+        cache = LocalViewCache(capacity=2)
+        batches = [CSRGO.from_graphs(bench.data[i : i + 3]) for i in range(4)]
+        for b in batches:
+            cache.get(b, 0)
+        assert cache.n_batches() == 2
+        assert cache.stats.evictions == 2
+        # Oldest entries gone: re-fetching the first batch misses again.
+        before = cache.stats.misses
+        cache.get(batches[0], 0)
+        assert cache.stats.misses == before + 1
+
+    def test_default_capacity(self):
+        assert local_view_cache().capacity == VIEW_CACHE_BATCHES
+
+
+class TestRunJoinHoisting:
+    """The satellite: view construction is hoisted out of ``run_join``."""
+
+    def test_second_run_builds_no_views(self, bench):
+        engine = SigmoEngine(bench.queries, bench.data)
+        cache = local_view_cache()
+        engine.run()
+        misses_after_first = cache.stats.misses
+        assert misses_after_first > 0
+        engine.run()
+        assert cache.stats.misses == misses_after_first
+        assert cache.stats.hits >= misses_after_first
+
+    def test_sweep_shares_views(self, bench):
+        engine = SigmoEngine(bench.queries, bench.data)
+        cache = local_view_cache()
+        engine.run_iteration_sweep([2, 4, 6])
+        # All three sweep points share one batch's views.
+        assert cache.n_batches() == 1
+
+    def test_batch_change_invalidates(self, bench):
+        SigmoEngine(bench.queries, bench.data[:20]).run()
+        first_misses = local_view_cache().stats.misses
+        SigmoEngine(bench.queries, bench.data[20:40]).run()
+        assert local_view_cache().stats.misses > first_misses

@@ -1,0 +1,73 @@
+"""Observability of the join backends: kernel spans and profile counters."""
+
+import pytest
+
+from repro.core.config import SigmoConfig
+from repro.core.engine import SigmoEngine
+from repro.obs.profile import build_profile, format_profile
+from repro.obs.trace import tracing
+
+pytestmark = [pytest.mark.perf_accel, pytest.mark.obs]
+
+
+def _engine(bench, backend):
+    return SigmoEngine(
+        bench.queries, bench.data, SigmoConfig(join_backend=backend)
+    )
+
+
+class TestKernelSpans:
+    def test_forced_dfs_emits_only_dfs_spans(self, bench):
+        with tracing() as t:
+            _engine(bench, "dfs").run()
+        assert len(t.find("kernel:join-dfs")) > 0
+        assert t.find("kernel:accel:join-tabular") == []
+
+    def test_forced_tabular_emits_only_tabular_spans(self, bench):
+        with tracing() as t:
+            _engine(bench, "tabular").run()
+        assert len(t.find("kernel:accel:join-tabular")) > 0
+        assert t.find("kernel:join-dfs") == []
+
+    def test_auto_tags_each_pair_with_its_backend(self, bench):
+        with tracing() as t:
+            result = _engine(bench, "auto").run()
+        split = result.join_result.backend_pairs
+        assert len(t.find("kernel:join-dfs")) == split["dfs"]
+        assert len(t.find("kernel:accel:join-tabular")) == split["tabular"]
+
+    def test_stage_span_carries_backend_split(self, bench):
+        with tracing() as t:
+            result = _engine(bench, "auto").run()
+        (stage,) = t.find("stage:join")
+        split = result.join_result.backend_pairs
+        assert stage.attrs["backend_pairs_dfs"] == split["dfs"]
+        assert stage.attrs["backend_pairs_tabular"] == split["tabular"]
+
+
+class TestProfileCounters:
+    def test_backend_counters_in_profile(self, bench):
+        engine = _engine(bench, "auto")
+        result = engine.run()
+        profile = build_profile(result, engine.query, engine.data)
+        counters = profile.metrics.counters
+        split = result.join_result.backend_pairs
+        assert counters["join.backend_pairs.dfs"] == split["dfs"]
+        assert counters["join.backend_pairs.tabular"] == split["tabular"]
+        visits = result.join_result.backend_visits
+        assert counters["join.backend_visits.dfs"] == visits["dfs"]
+        assert counters["join.backend_visits.tabular"] == visits["tabular"]
+        total = counters["join.candidate_visits"]
+        assert (
+            counters["join.backend_visits.dfs"]
+            + counters["join.backend_visits.tabular"]
+            == total
+        )
+
+    def test_report_shows_backend_split(self, bench):
+        engine = _engine(bench, "auto")
+        result = engine.run()
+        profile = build_profile(result, engine.query, engine.data)
+        report = format_profile(profile)
+        assert "join backend split:" in report
+        assert "dfs:" in report and "tabular:" in report

@@ -1,0 +1,162 @@
+"""Shared-memory CSR-GO transport: roundtrip, isolation, and parity."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.parallel import run_parallel
+from repro.cluster.shm import (
+    CSRGO_FIELDS,
+    SharedCSRGO,
+    attach_csrgo,
+    attached_csrgo,
+    detach_all,
+)
+from repro.core.chunked import run_chunked, run_chunked_csrgo
+from repro.core.config import SigmoConfig
+from repro.core.csrgo import CSRGO
+from repro.core.engine import SigmoEngine
+
+pytestmark = pytest.mark.perf_accel
+
+
+@pytest.fixture(autouse=True)
+def clean_mappings():
+    yield
+    detach_all()
+
+
+class TestRoundtrip:
+    def test_arrays_survive_export_attach(self, bench):
+        original = CSRGO.from_graphs(bench.data)
+        with SharedCSRGO(original) as shared:
+            attached, shm = attach_csrgo(shared.handle)
+            try:
+                for f in CSRGO_FIELDS:
+                    assert np.array_equal(
+                        getattr(attached, f), getattr(original, f)
+                    ), f
+                assert attached.content_hash() == original.content_hash()
+            finally:
+                del attached
+                shm.close()
+
+    def test_attached_arrays_are_readonly_views(self, bench):
+        original = CSRGO.from_graphs(bench.data[:5])
+        with SharedCSRGO(original) as shared:
+            attached, shm = attach_csrgo(shared.handle)
+            try:
+                assert not attached.labels.flags.writeable
+                with pytest.raises(ValueError):
+                    attached.labels[0] = 99
+            finally:
+                del attached
+                shm.close()
+
+    def test_attach_cache_maps_once(self, bench):
+        original = CSRGO.from_graphs(bench.data[:5])
+        with SharedCSRGO(original) as shared:
+            a = attached_csrgo(shared.handle)
+            b = attached_csrgo(shared.handle)
+            assert a is b
+            detach_all()
+
+    def test_slices_do_not_reference_shared_block(self, bench):
+        # Worker results must survive the parent unlinking the block.
+        original = CSRGO.from_graphs(bench.data)
+        with SharedCSRGO(original) as shared:
+            attached, shm = attach_csrgo(shared.handle)
+            chunk = attached.slice_graphs(2, 7)
+            for f in CSRGO_FIELDS:
+                assert not np.shares_memory(
+                    getattr(chunk, f), getattr(attached, f)
+                ), f
+            del attached
+            shm.close()
+        # Block is unlinked now; the chunk still works.
+        assert chunk.n_graphs == 5
+        assert SigmoEngine.from_csrgo(
+            CSRGO.from_graphs(bench.queries), chunk
+        ).run().total_matches >= 0
+
+
+class TestChunkedCSRGO:
+    def test_matches_list_based_chunking(self, bench):
+        config = SigmoConfig(record_embeddings=True)
+        by_list = run_chunked(bench.queries, bench.data, 7, config=config)
+        by_csrgo = run_chunked_csrgo(
+            CSRGO.from_graphs(bench.queries),
+            CSRGO.from_graphs(bench.data),
+            7,
+            config=config,
+        )
+        assert by_csrgo.total_matches == by_list.total_matches
+        assert by_csrgo.n_chunks == by_list.n_chunks
+        assert sorted(by_csrgo.matched_pairs) == sorted(by_list.matched_pairs)
+        embs = lambda r: sorted(
+            (e.data_graph, e.query_graph, tuple(e.mapping.tolist()))
+            for e in r.embeddings
+        )
+        assert embs(by_csrgo) == embs(by_list)
+
+    def test_graph_range_slice(self, bench):
+        query = CSRGO.from_graphs(bench.queries)
+        data = CSRGO.from_graphs(bench.data)
+        whole = run_chunked_csrgo(query, data, 7)
+        part = run_chunked_csrgo(query, data, 7, start_graph=10, stop_graph=30)
+        subset = [
+            (d - 10, q) for d, q in whole.matched_pairs if 10 <= d < 30
+        ]
+        assert sorted(part.matched_pairs) == sorted(subset)
+
+    def test_invalid_range_rejected(self, bench):
+        query = CSRGO.from_graphs(bench.queries)
+        data = CSRGO.from_graphs(bench.data[:5])
+        with pytest.raises(ValueError, match="graph range"):
+            run_chunked_csrgo(query, data, 2, start_graph=3, stop_graph=9)
+
+
+class TestParallelSharedMemory:
+    def test_bitwise_equal_to_pickle_transport(self, bench):
+        config = SigmoConfig(record_embeddings=True)
+        pick = run_parallel(
+            bench.queries, bench.data, n_workers=3, chunk_size=9,
+            config=config, use_shared_memory=False,
+        )
+        shm = run_parallel(
+            bench.queries, bench.data, n_workers=3, chunk_size=9,
+            config=config, use_shared_memory=True,
+        )
+        assert pick.transport == "pickle"
+        assert shm.transport == "shared-memory"
+        assert shm.total_matches == pick.total_matches
+        assert shm.n_chunks == pick.n_chunks
+        assert shm.matched_pairs == pick.matched_pairs
+        embs = lambda r: sorted(
+            (e.data_graph, e.query_graph, tuple(e.mapping.tolist()))
+            for e in r.embeddings
+        )
+        assert embs(shm) == embs(pick)
+
+    def test_single_worker_in_process_path(self, bench):
+        serial = run_parallel(
+            bench.queries, bench.data, n_workers=1, chunk_size=9,
+            use_shared_memory=False,
+        )
+        shm = run_parallel(
+            bench.queries, bench.data, n_workers=1, chunk_size=9,
+            use_shared_memory=True,
+        )
+        assert shm.transport == "shared-memory"
+        assert shm.total_matches == serial.total_matches
+
+    def test_find_first_mode(self, bench):
+        pick = run_parallel(
+            bench.queries, bench.data, n_workers=2, chunk_size=9,
+            mode="find-first", use_shared_memory=False,
+        )
+        shm = run_parallel(
+            bench.queries, bench.data, n_workers=2, chunk_size=9,
+            mode="find-first", use_shared_memory=True,
+        )
+        assert shm.total_matches == pick.total_matches
+        assert shm.matched_pairs == pick.matched_pairs
