@@ -5,7 +5,7 @@
 PY := python
 export PYTHONPATH := src
 
-.PHONY: lint analyze test check check-robustness check-obs check-perf baseline
+.PHONY: lint analyze test check check-robustness check-obs check-perf check-pipeline baseline
 
 lint: analyze
 
@@ -19,7 +19,14 @@ baseline:
 test:
 	$(PY) -m pytest -x -q
 
-check: test analyze
+check: test analyze check-pipeline
+
+# Pipeline gate: cross-driver parity + session-reuse tests, plus the
+# session-amortization benchmark compared against the committed baseline
+# (warm match() must stay >= 2x faster than cold).
+check-pipeline:
+	$(PY) -m pytest -q -m pipeline
+	$(PY) benchmarks/bench_session.py --against BENCH_pipeline.json
 
 # Fault-tolerance gate: the robustness test suite plus the seeded
 # fault-injection smoke (a faulted run must equal the fault-free run).

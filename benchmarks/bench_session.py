@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Session-amortization benchmark: cold vs. warm ``MatcherSession.match``.
+
+Measures the end-to-end latency of a prepared-query session's first
+``match()`` call (cold: converts the data batch and runs all six stages)
+against repeated calls on the same batch (warm: the cached
+``FilterResult``/``GMCR`` artifacts satisfy stages 2-5, so only the join
+runs), and writes/checks the committed ``BENCH_pipeline.json``.
+
+Suites (seeded; warm results are verified identical to cold):
+
+* ``selective-findall`` — the headline suite: label-selective random
+  graphs where iterative filtering dominates end-to-end time.  The
+  regression gate requires warm ``match()`` to be at least
+  :data:`MIN_SPEEDUP` x faster than cold.
+* ``molecular-findall`` — the paper-shaped molecular workload, where the
+  join is a larger share of the run; tracked (not gated) to keep the
+  amortization visible on realistic match densities.
+
+Usage:
+    python benchmarks/bench_session.py                         # print results
+    python benchmarks/bench_session.py --output BENCH_pipeline.json
+    python benchmarks/bench_session.py --against BENCH_pipeline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.accel import clear_accel_caches  # noqa: E402
+from repro.core.config import SigmoConfig  # noqa: E402
+from repro.core.join import FIND_ALL  # noqa: E402
+from repro.pipeline import MatcherSession  # noqa: E402
+
+#: Required warm-over-cold speedup of ``session.match`` on the headline
+#: filter-dominated suite (the ISSUE acceptance floor).
+MIN_SPEEDUP = 2.0
+
+#: Relative slack when comparing a fresh speedup against the committed
+#: one (wall-clock ratios on shared CI hosts are noisy).
+SPEEDUP_TOLERANCE = 0.5
+
+#: Warm-call repeats (best-of to suppress scheduler noise).
+REPEATS = 3
+
+SCHEMA = "repro.bench_pipeline/1"
+
+
+def _selective_workload(seed: int = 7):
+    """Label-selective random graphs: filtering dominates, joins are tiny."""
+    from repro.graph.generators import (
+        random_connected_graph,
+        random_subgraph_pattern,
+    )
+
+    rng = np.random.default_rng(seed)
+    data = [
+        random_connected_graph(
+            int(rng.integers(60, 120)),
+            extra_edges=int(rng.integers(10, 30)),
+            n_labels=12,
+            rng=rng,
+        )
+        for _ in range(150)
+    ]
+    queries = []
+    for _ in range(60):
+        d = data[int(rng.integers(len(data)))]
+        q, _ = random_subgraph_pattern(d, int(rng.integers(6, 9)), rng)
+        queries.append(q)
+    return queries, data
+
+
+def _molecular_workload(seed: int = 0):
+    """The paper-shaped synthetic ZINC-like benchmark."""
+    from repro.chem.datasets import build_benchmark
+
+    ds = build_benchmark(scale=1.0, n_queries=40, n_data_graphs=200, seed=seed)
+    return ds.queries, ds.data
+
+
+SUITES = [
+    # (name, workload builder, mode, refinement iterations, gated)
+    ("selective-findall", _selective_workload, FIND_ALL, 6, True),
+    ("molecular-findall", _molecular_workload, FIND_ALL, 6, False),
+]
+
+
+def run_suite(name, build, mode, iterations, repeats=REPEATS) -> dict:
+    """One suite: cold first ``match`` vs. best-of warm repeats."""
+    queries, data = build()
+    clear_accel_caches()
+    config = SigmoConfig(refinement_iterations=iterations)
+    session = MatcherSession(queries, config=config)
+
+    start = time.perf_counter()
+    cold_result = session.match(data, mode=mode)
+    cold_seconds = time.perf_counter() - start
+
+    warm_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        warm_result = session.match(data, mode=mode)
+        warm_seconds = min(warm_seconds, time.perf_counter() - start)
+
+    if warm_result.total_matches != cold_result.total_matches:
+        raise AssertionError(
+            f"{name}: warm session diverged — cold found "
+            f"{cold_result.total_matches} matches, warm "
+            f"{warm_result.total_matches}"
+        )
+    stats = session.artifact_stats.as_dict()
+    if stats["hits"] == 0:
+        raise AssertionError(
+            f"{name}: warm match() calls never hit the artifact cache"
+        )
+    return {
+        "suite": name,
+        "mode": mode,
+        "refinement_iterations": iterations,
+        "matches": cold_result.total_matches,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+        "artifact_cache": stats,
+    }
+
+
+def run_all(repeats: int = REPEATS) -> dict:
+    """All suites into the ``BENCH_pipeline.json`` payload."""
+    suites = []
+    for name, build, mode, iterations, gated in SUITES:
+        start = time.perf_counter()
+        row = run_suite(name, build, mode, iterations, repeats)
+        row["gated"] = gated
+        suites.append(row)
+        print(
+            f"{name:<20} {row['matches']:>8} matches  "
+            f"cold {row['cold_seconds'] * 1e3:8.1f} ms  "
+            f"warm {row['warm_seconds'] * 1e3:8.1f} ms  "
+            f"{row['speedup']:6.2f}x  "
+            f"({time.perf_counter() - start:.1f} s)",
+            flush=True,
+        )
+    return {"schema": SCHEMA, "min_speedup": MIN_SPEEDUP, "suites": suites}
+
+
+def check_against(payload: dict, baseline_path: Path) -> list[str]:
+    """Regression gate: fresh results vs. the committed baseline.
+
+    * Match counts must agree exactly with the baseline (correctness).
+    * Every gated suite must still clear ``min_speedup``.
+    * No suite's speedup may fall below the committed speedup by more
+      than :data:`SPEEDUP_TOLERANCE` (relative).
+    """
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("schema") != SCHEMA:
+        return [f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}"]
+    failures = []
+    base_by_name = {row["suite"]: row for row in baseline["suites"]}
+    min_speedup = float(baseline.get("min_speedup", MIN_SPEEDUP))
+    for row in payload["suites"]:
+        base = base_by_name.get(row["suite"])
+        if base is None:
+            continue
+        name = row["suite"]
+        if row["matches"] != base["matches"]:
+            failures.append(
+                f"{name}: matches {row['matches']} != baseline {base['matches']}"
+            )
+        if row.get("gated") and row["speedup"] < min_speedup:
+            failures.append(
+                f"{name}: warm speedup {row['speedup']:.2f}x below the "
+                f"{min_speedup:.1f}x gate"
+            )
+        floor = base["speedup"] * (1.0 - SPEEDUP_TOLERANCE)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{name}: warm speedup {row['speedup']:.2f}x regressed vs. "
+                f"baseline {base['speedup']:.2f}x (floor {floor:.2f}x)"
+            )
+    return failures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default="", help="write BENCH_pipeline.json here"
+    )
+    parser.add_argument(
+        "--against",
+        default="",
+        help="compare against a committed BENCH_pipeline.json",
+    )
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    args = parser.parse_args()
+
+    payload = run_all(repeats=args.repeats)
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.against:
+        failures = check_against(payload, Path(args.against))
+        if failures:
+            print(f"{len(failures)} pipeline regression(s):")
+            for f in failures:
+                print(f"  {f}")
+            raise SystemExit(1)
+        print(f"pipeline gate OK against {args.against}")
+
+
+if __name__ == "__main__":
+    main()

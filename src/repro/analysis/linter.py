@@ -32,6 +32,7 @@ DEFAULT_PACKAGES = (
     "analysis",
     "runtime",
     "obs",
+    "pipeline",
 )
 
 BaselineKey = tuple[str, str, str]

@@ -37,6 +37,13 @@ SGL009    counter-bypass       warning   ad-hoc work accumulators (``instr += â€
                                          (``KernelCounters`` / the metrics
                                          registry) so profiles and the performance
                                          model see it.
+SGL010    driver-bypass        warning   direct ``run_join(...)`` /
+                                         ``IterativeFilter(...)`` calls outside
+                                         ``repro.pipeline``; runs must go through
+                                         the pipeline executor so spans, timers,
+                                         contract checks, and artifact caching
+                                         attach in one place (legacy shims are
+                                         baselined).
 ========  ===================  ========  ==========================================
 
 Suppression: append ``# sigmo: allow=SGL00X`` (comma-separated ids, or
@@ -84,8 +91,13 @@ RULES: dict[str, Rule] = {
         Rule("SGL007", "kernel-scalar-clamp", Severity.INFO),
         Rule("SGL008", "unused-import", Severity.WARNING),
         Rule("SGL009", "counter-bypass", Severity.WARNING),
+        Rule("SGL010", "driver-bypass", Severity.WARNING),
     )
 }
+
+#: Stage entry points that only :mod:`repro.pipeline` may call directly
+#: (SGL010).  Everything else goes through the executor/session layer.
+_DRIVER_ONLY_CALLS = {"run_join", "IterativeFilter"}
 
 #: Bare-name accumulators that look like work counters (SGL009).  Matched
 #: as whole tokens within the identifier, so ``visits`` and ``n_visits``
@@ -267,9 +279,30 @@ class _Visitor(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
-    # -- SGL002 / SGL007: calls --------------------------------------------
+    # -- SGL002 / SGL007 / SGL010: calls -------------------------------------
+
+    def _check_driver_bypass(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name not in _DRIVER_ONLY_CALLS:
+            return
+        if self.filename.startswith("pipeline/"):
+            return
+        self.emit(
+            "SGL010",
+            node,
+            f"direct {name}(...) call bypasses the pipeline executor; "
+            "route runs through repro.pipeline (PipelineExecutor / "
+            "MatcherSession / SigmoEngine.run) so spans, timers, contract "
+            "checks, and artifact caching attach in one place",
+        )
 
     def visit_Call(self, node: ast.Call) -> None:
+        self._check_driver_bypass(node)
         if _is_np_attr(node.func, _ALLOC_FUNCS):
             if not any(kw.arg == "dtype" for kw in node.keywords):
                 assert isinstance(node.func, ast.Attribute)

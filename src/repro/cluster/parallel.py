@@ -29,10 +29,11 @@ from dataclasses import dataclass, field
 from repro.core.chunked import run_chunked, run_chunked_csrgo
 from repro.core.config import SigmoConfig
 from repro.core.csrgo import CSRGO
-from repro.core.join import FIND_ALL
+from repro.core.join import FIND_ALL, JoinStats
 from repro.core.results import MatchRecord
 from repro.graph.labeled_graph import LabeledGraph
-from repro.utils.timing import StageTimer
+from repro.pipeline.aggregate import ResultAccumulator
+from repro.pipeline.policies import partition_slices
 
 
 def _worker(payload):
@@ -98,6 +99,7 @@ class ParallelResult:
     peak_memory_bytes: int = 0
     timings: dict[str, float] = field(default_factory=dict)
     stage_counts: dict[str, int] = field(default_factory=dict)
+    join_stats: JoinStats = field(default_factory=JoinStats)
     transport: str = "pickle"
 
     @property
@@ -139,11 +141,7 @@ def run_parallel(
         raise ValueError("chunk_size must be >= 1")
     n_workers = n_workers or min(os.cpu_count() or 1, 8)
     n_workers = max(1, min(n_workers, len(data)))
-    block = -(-len(data) // n_workers)
-    ranges = [
-        (start, min(start + block, len(data)))
-        for start in range(0, len(data), block)
-    ]
+    ranges = partition_slices(len(data), n_workers)
     if use_shared_memory:
         try:
             return _run_parallel_shm(
@@ -200,16 +198,15 @@ def _run_parallel_shm(
 
 def _aggregate(out: ParallelResult, results) -> None:
     """Fold per-worker ChunkedResults into one ParallelResult."""
-    agg = StageTimer()
+    acc = ResultAccumulator()
     for chunk_result in results:
-        out.total_matches += chunk_result.total_matches
-        out.n_chunks += chunk_result.n_chunks
-        out.matched_pairs.extend(chunk_result.matched_pairs)
-        out.embeddings.extend(chunk_result.embeddings)
-        out.peak_memory_bytes = max(
-            out.peak_memory_bytes, chunk_result.peak_memory_bytes
-        )
-        agg.merge(chunk_result.timings, counts=chunk_result.stage_counts)
-    out.timings = dict(agg.totals)
-    out.stage_counts = dict(agg.counts)
+        acc.add_aggregate(chunk_result)
+    out.total_matches = acc.total_matches
+    out.n_chunks = acc.n_chunks
+    out.matched_pairs = acc.matched_pairs
+    out.embeddings = acc.embeddings
+    out.peak_memory_bytes = acc.peak_memory_bytes
+    out.timings = acc.timings
+    out.stage_counts = acc.stage_counts
+    out.join_stats = acc.join_stats
     out.matched_pairs.sort()

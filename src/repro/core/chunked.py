@@ -8,20 +8,27 @@ time, bounding peak memory at the cost of re-running the (cheap) query-side
 signature work per chunk.  This module implements that driver — the natural
 out-of-core extension of the paper's design, and the same decomposition the
 multi-GPU version uses across devices (section 5.4).
+
+Since the staged-pipeline refactor both drivers are thin adapters: a
+:class:`~repro.pipeline.session.MatcherSession` compiles the query side
+once, a :class:`~repro.pipeline.policies.ChunkingPolicy` cuts the data
+range, and a :class:`~repro.pipeline.aggregate.ResultAccumulator` folds
+the per-chunk results.  Outputs are bitwise-identical to the historical
+per-chunk-engine loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-
 from repro.core.config import SigmoConfig
 from repro.core.csrgo import CSRGO
-from repro.core.engine import SigmoEngine
-from repro.core.join import FIND_ALL
+from repro.core.join import FIND_ALL, JoinStats
 from repro.core.results import MatchRecord, MatchResult
 from repro.graph.labeled_graph import LabeledGraph
-from repro.utils.timing import StageTimer
+from repro.pipeline.aggregate import ResultAccumulator
+from repro.pipeline.policies import ChunkingPolicy
+from repro.pipeline.session import MatcherSession
 
 
 class BudgetInfeasible(ValueError):
@@ -60,6 +67,8 @@ class ChunkedResult:
         Summed per-phase timings across chunks.
     stage_counts:
         Summed per-phase invocation counts across chunks.
+    join_stats:
+        Summed join work counters across chunks.
     """
 
     total_matches: int = 0
@@ -70,11 +79,27 @@ class ChunkedResult:
     chunk_results: list[MatchResult] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
     stage_counts: dict[str, int] = field(default_factory=dict)
+    join_stats: JoinStats = field(default_factory=JoinStats)
 
     @property
     def total_seconds(self) -> float:
         """Summed wall-clock across chunks."""
         return sum(self.timings.values())
+
+
+def _finish(acc: ResultAccumulator) -> ChunkedResult:
+    """Materialize the accumulator into the public result shape."""
+    return ChunkedResult(
+        total_matches=acc.total_matches,
+        n_chunks=acc.n_chunks,
+        peak_memory_bytes=acc.peak_memory_bytes,
+        matched_pairs=acc.matched_pairs,
+        embeddings=acc.embeddings,
+        chunk_results=acc.chunk_results,
+        timings=acc.timings,
+        stage_counts=acc.stage_counts,
+        join_stats=acc.join_stats,
+    )
 
 
 def run_chunked(
@@ -101,27 +126,12 @@ def run_chunked(
         raise ValueError("chunk_size must be >= 1")
     if not data:
         raise ValueError("at least one data graph is required")
-    out = ChunkedResult()
-    agg = StageTimer()
-    for start in range(0, len(data), chunk_size):
-        chunk = data[start : start + chunk_size]
-        engine = SigmoEngine(queries, chunk, config)
-        result = engine.run(mode=mode)
-        out.n_chunks += 1
-        out.total_matches += result.total_matches
-        out.peak_memory_bytes = max(out.peak_memory_bytes, result.memory.total)
-        out.matched_pairs.extend(
-            (d + start, q) for d, q in result.matched_pairs()
-        )
-        out.embeddings.extend(
-            MatchRecord(rec.data_graph + start, rec.query_graph, rec.mapping)
-            for rec in result.embeddings
-        )
-        out.chunk_results.append(result)
-        agg.merge(result.timings, counts=result.stage_counts)
-    out.timings = dict(agg.totals)
-    out.stage_counts = dict(agg.counts)
-    return out
+    session = MatcherSession(queries, config=config)
+    acc = ResultAccumulator()
+    for unit in ChunkingPolicy(chunk_size).units(0, len(data)):
+        result = session.match(data[unit.start : unit.stop], mode=mode, reuse=False)
+        acc.add_run(result, offset=unit.start)
+    return _finish(acc)
 
 
 def run_chunked_csrgo(
@@ -152,28 +162,14 @@ def run_chunked_csrgo(
             f"graph range [{start_graph}, {stop}) invalid for "
             f"{data.n_graphs} data graphs"
         )
-    out = ChunkedResult()
-    agg = StageTimer()
-    for lo in range(start_graph, stop, chunk_size):
-        hi = min(lo + chunk_size, stop)
-        engine = SigmoEngine.from_csrgo(query, data.slice_graphs(lo, hi), config)
-        result = engine.run(mode=mode)
-        offset = lo - start_graph
-        out.n_chunks += 1
-        out.total_matches += result.total_matches
-        out.peak_memory_bytes = max(out.peak_memory_bytes, result.memory.total)
-        out.matched_pairs.extend(
-            (d + offset, q) for d, q in result.matched_pairs()
+    session = MatcherSession(query, config=config)
+    acc = ResultAccumulator()
+    for unit in ChunkingPolicy(chunk_size).units(start_graph, stop):
+        result = session.match(
+            data.slice_graphs(unit.start, unit.stop), mode=mode, reuse=False
         )
-        out.embeddings.extend(
-            MatchRecord(rec.data_graph + offset, rec.query_graph, rec.mapping)
-            for rec in result.embeddings
-        )
-        out.chunk_results.append(result)
-        agg.merge(result.timings, counts=result.stage_counts)
-    out.timings = dict(agg.totals)
-    out.stage_counts = dict(agg.counts)
-    return out
+        acc.add_run(result, offset=unit.start - start_graph)
+    return _finish(acc)
 
 
 def chunk_size_for_budget(

@@ -5,6 +5,16 @@
     queries, molecules ── CSR-GO ─▶ init candidates ─▶ (signatures ─▶
     refine) x s ─▶ GMCR mapping ─▶ stack-DFS join ─▶ matches
 
+Since the staged-pipeline refactor the engine is a thin adapter: ``run``
+builds a :class:`~repro.pipeline.executor.PipelineRequest` and hands it to
+the shared :class:`~repro.pipeline.executor.PipelineExecutor`, which owns
+the stage graph, the obs spans, the timers, and the contract checks.  The
+engine contributes what only it has: batches converted once at
+construction, a per-engine artifact cache (so truncated runs resumed via
+``join_start_pair`` recall their ``FilterResult``/``GMCR`` instead of
+recomputing), and :meth:`session` to graduate to the prepared-query
+serving layer.
+
 Use :func:`find_all` / :func:`find_first` for one-shot convenience, or
 construct an engine to reuse the converted batches across runs (e.g. the
 refinement-iteration sweeps of Figs. 5-7 re-run the same batches with
@@ -18,14 +28,16 @@ from typing import Iterable, Sequence
 from repro.analysis import contracts
 from repro.core.config import SigmoConfig
 from repro.core.csrgo import CSRGO
-from repro.core.filtering import IterativeFilter
-from repro.core.join import FIND_ALL, FIND_FIRST, JoinBudget, run_join
-from repro.core.mapping import build_gmcr
-from repro.core.results import MatchResult, MemoryReport
+from repro.core.join import FIND_ALL, FIND_FIRST, JoinBudget
+from repro.core.results import MatchResult
 from repro.graph.batch import GraphBatch
 from repro.graph.labeled_graph import LabeledGraph
-from repro.obs.trace import get_tracer
-from repro.utils.timing import StageTimer
+from repro.pipeline.artifacts import ArtifactCache, derive_n_labels
+from repro.pipeline.executor import (
+    PipelineRequest,
+    default_executor,
+    signature_bytes,
+)
 
 
 class SigmoEngine:
@@ -99,11 +111,10 @@ class SigmoEngine:
         if contracts.enabled():
             contracts.check_csrgo(self.query, "query batch")
             contracts.check_csrgo(self.data, "data batch")
-        q_labels = self.query.labels
-        if self.config.wildcard_label is not None:
-            q_labels = q_labels[q_labels != self.config.wildcard_label]
-        q_max = int(q_labels.max()) + 1 if q_labels.size else 0
-        self.n_labels = max(q_max, self.data.n_labels, 1)
+        self.n_labels = derive_n_labels(query, data, self.config.wildcard_label)
+        # Per-engine stage-artifact cache: every run stores its
+        # FilterResult/GMCR here, and resumed truncated runs recall them.
+        self._artifacts = ArtifactCache()
 
     # -- public API -------------------------------------------------------------
 
@@ -133,94 +144,74 @@ class SigmoEngine:
             same GMCR and pair indices stay valid across calls.
         join_start_pair:
             Resume token from a previous truncated run of the same batches.
+            Resumed runs (``join_start_pair > 0``) recall the cached
+            ``FilterResult``/``GMCR`` from the previous run of the same
+            batches+config instead of recomputing them; the artifacts are
+            deterministic, so pair indices stay valid and results are
+            identical to a full recompute.
         """
-        config = config or self.config
-        timer = StageTimer()
-        tracer = get_tracer()
-
-        with tracer.span(
-            "run",
-            category="engine",
+        request = PipelineRequest(
+            query=self.query,
+            data=self.data,
+            config=config or self.config,
             mode=mode,
-            n_queries=self.query.n_graphs,
-            n_data_graphs=self.data.n_graphs,
-        ) as root:
-            # Stages 2-4: candidate initialization + iterative filtering.
-            filt = IterativeFilter(self.query, self.data, config, self.n_labels)
-            filter_result = filt.run(timer)
-            if contracts.enabled():
-                contracts.check_filter_result(filter_result)
-
-            # Stage 5: GMCR mapping.
-            with tracer.span("stage:mapping", category="stage") as stage_sp:
-                with timer.stage("mapping"):
-                    with tracer.span(
-                        "kernel:gmcr",
-                        category="kernel",
-                        work_items=self.data.n_graphs,
-                    ):
-                        gmcr = build_gmcr(filter_result.bitmap, self.query, self.data)
-                stage_sp.set(pairs=gmcr.n_pairs)
-            if contracts.enabled():
-                contracts.check_gmcr(gmcr, self.query.n_graphs)
-
-            # Stage 6: join.
-            join_result = run_join(
-                self.query,
-                self.data,
-                filter_result.bitmap,
-                gmcr,
-                config,
-                mode=mode,
-                timer=timer,
-                budget=join_budget,
-                start_pair=join_start_pair,
-            )
-            root.set(matches=join_result.total_matches)
-
-        memory = MemoryReport(
-            candidate_bitmap=filter_result.bitmap.nbytes(),
-            data_graphs=self.data.nbytes(),
-            query_graphs=self.query.nbytes(),
-            signatures=self._signature_bytes(filter_result),
-            gmcr=gmcr.nbytes(),
+            join_budget=join_budget,
+            join_start_pair=join_start_pair,
+            n_labels=self.n_labels,
+            cache=self._artifacts,
+            # Plain runs recompute (storing as they go); only explicit
+            # resumes reuse, so repeated `.run()` calls keep their
+            # historical stage counts and traces.
+            reuse_artifacts=join_start_pair > 0,
+            validated=True,
         )
-        return MatchResult(
-            mode=mode,
-            total_matches=join_result.total_matches,
-            filter_result=filter_result,
-            gmcr=gmcr,
-            join_result=join_result,
-            timings=dict(timer.totals),
-            stage_counts=dict(timer.counts),
-            memory=memory,
-        )
+        return default_executor().execute(request)
 
     def run_iteration_sweep(
         self,
         iterations: Sequence[int],
         mode: str = FIND_ALL,
+        join_budget: JoinBudget | None = None,
     ) -> dict[int, MatchResult]:
         """Run the pipeline once per refinement-iteration count.
 
-        The sweep behind Figs. 5-7: same batches, varying ``s``.
+        The sweep behind Figs. 5-7: same batches, varying ``s``.  Routed
+        through a :class:`~repro.pipeline.session.MatcherSession` sharing
+        this engine's artifact cache, so per-iteration shared state (the
+        converted batches, their content hashes, the global signature
+        memos) is reused across the sweep, and ``join_budget``/``mode``
+        pass straight through to each run.
         """
+        session = self.session()
         results: dict[int, MatchResult] = {}
         for s in iterations:
-            results[s] = self.run(mode=mode, config=self.config.with_iterations(s))
+            results[s] = session.match(
+                self.data,
+                mode=mode,
+                config=self.config.with_iterations(s),
+                join_budget=join_budget,
+            )
         return results
+
+    def session(self, config: SigmoConfig | None = None):
+        """A :class:`~repro.pipeline.session.MatcherSession` over this query batch.
+
+        The session shares this engine's artifact cache, so engine runs
+        and session matches over the same data batches recall each
+        other's filter/GMCR artifacts.
+        """
+        from repro.pipeline.session import MatcherSession
+
+        return MatcherSession.from_csrgo(
+            self.query, config=config or self.config, cache=self._artifacts
+        )
 
     # -- internals -----------------------------------------------------------------
 
     @staticmethod
     def _signature_bytes(filter_result) -> int:
-        """Bytes of the signature matrices, or the packed-uint64 equivalent."""
-        total = 0
-        for counts in (filter_result.query_signatures, filter_result.data_signatures):
-            if counts is not None:
-                # Device-side signatures are one packed uint64 per node.
-                total += counts.shape[0] * 8
-        return total
+        """Bytes of the signature matrices (kept for back-compat; see executor)."""
+        return signature_bytes(filter_result)
 
 
 def find_all(

@@ -219,69 +219,99 @@ class IterativeFilter:
         Returns the final bitmap plus per-iteration statistics.  Signature
         states are created lazily at iteration 2 (iteration 1 is label-only
         and needs no BFS), and their frontiers are cached across iterations.
-        """
-        import time
 
+        The phase split (:meth:`initialize` / :meth:`refine`) exists for
+        the pipeline executor, which owns the ``stage:filter`` span and
+        runs the two halves as separate cacheable stages; calling ``run``
+        directly produces the identical span/timer/result shape.
+        """
         timer = timer or StageTimer()
-        tracer = get_tracer()
-        with tracer.span(
+        with get_tracer().span(
             "stage:filter",
             category="stage",
             iterations=self.config.refinement_iterations,
         ) as stage_sp:
-            with timer.stage("initialize_candidates"):
-                bitmap = initialize_candidates(
-                    self.query,
-                    self.data,
-                    self.config.word_bits,
-                    self.config.wildcard_label,
-                )
-            result = FilterResult(bitmap=bitmap, packing=self.packing)
-            if self.config.edge_signatures:
-                from repro.core.edge_signatures import refine_candidates_edge_aware
-
-                with timer.stage("filter"):
-                    with tracer.span("kernel:refine_edge_aware", category="kernel"):
-                        refine_candidates_edge_aware(
-                            bitmap,
-                            self.query,
-                            self.data,
-                            self.n_labels,
-                            wildcard_label=self.config.wildcard_label,
-                            wildcard_edge_label=self.config.wildcard_edge_label,
-                        )
-            checking = contracts.enabled()
-            if checking:
-                contracts.check_bitmap(bitmap, name="initialize_candidates")
-            for iteration in range(1, self.config.refinement_iterations + 1):
-                start = time.perf_counter()
-                radius = iteration - 1
-                prev_words = bitmap.words.copy() if checking else None
-                with timer.stage("filter"):
-                    if radius > 0:
-                        q_counts, d_counts = self._signatures_at(radius)
-                        refine_candidates(bitmap, q_counts, d_counts, self.packing)
-                elapsed = time.perf_counter() - start
-                per_node = bitmap.row_counts()
-                if checking:
-                    contracts.check_bitmap(
-                        bitmap,
-                        name=f"refine iteration {iteration}",
-                        expected_counts=per_node,
-                    )
-                    contracts.check_refinement_monotone(
-                        prev_words, bitmap.words, name=f"refine iteration {iteration}"
-                    )
-                result.iterations.append(
-                    IterationStats(
-                        iteration=iteration,
-                        radius=radius,
-                        total_candidates=int(per_node.sum()),
-                        candidates_per_node=per_node,
-                        filter_seconds=elapsed,
-                    )
-                )
+            result = self.initialize(timer)
+            self.refine(result, timer)
             stage_sp.set(candidates=result.total_candidates)
+        return result
+
+    def initialize(self, timer: StageTimer | None = None) -> FilterResult:
+        """Stage 2: seed the candidate bitmap (plus the edge-aware pass).
+
+        Returns a :class:`FilterResult` shell holding the initialized
+        bitmap; :meth:`refine` completes it in place.  Opens no stage
+        span — the caller (``run`` or the executor) owns that.
+        """
+        timer = timer or StageTimer()
+        tracer = get_tracer()
+        with timer.stage("initialize_candidates"):
+            bitmap = initialize_candidates(
+                self.query,
+                self.data,
+                self.config.word_bits,
+                self.config.wildcard_label,
+            )
+        result = FilterResult(bitmap=bitmap, packing=self.packing)
+        if self.config.edge_signatures:
+            from repro.core.edge_signatures import refine_candidates_edge_aware
+
+            with timer.stage("filter"):
+                with tracer.span("kernel:refine_edge_aware", category="kernel"):
+                    refine_candidates_edge_aware(
+                        bitmap,
+                        self.query,
+                        self.data,
+                        self.n_labels,
+                        wildcard_label=self.config.wildcard_label,
+                        wildcard_edge_label=self.config.wildcard_edge_label,
+                    )
+        if contracts.enabled():
+            contracts.check_bitmap(bitmap, name="initialize_candidates")
+        return result
+
+    def refine(
+        self, result: FilterResult, timer: StageTimer | None = None
+    ) -> FilterResult:
+        """Stages 3-4: run the refinement iterations over an initialized bitmap.
+
+        Mutates ``result`` in place (bitmap bits cleared monotonically,
+        per-iteration stats appended, final signature matrices attached)
+        and returns it.
+        """
+        import time
+
+        timer = timer or StageTimer()
+        bitmap = result.bitmap
+        checking = contracts.enabled()
+        for iteration in range(1, self.config.refinement_iterations + 1):
+            start = time.perf_counter()
+            radius = iteration - 1
+            prev_words = bitmap.words.copy() if checking else None
+            with timer.stage("filter"):
+                if radius > 0:
+                    q_counts, d_counts = self._signatures_at(radius)
+                    refine_candidates(bitmap, q_counts, d_counts, self.packing)
+            elapsed = time.perf_counter() - start
+            per_node = bitmap.row_counts()
+            if checking:
+                contracts.check_bitmap(
+                    bitmap,
+                    name=f"refine iteration {iteration}",
+                    expected_counts=per_node,
+                )
+                contracts.check_refinement_monotone(
+                    prev_words, bitmap.words, name=f"refine iteration {iteration}"
+                )
+            result.iterations.append(
+                IterationStats(
+                    iteration=iteration,
+                    radius=radius,
+                    total_candidates=int(per_node.sum()),
+                    candidates_per_node=per_node,
+                    filter_seconds=elapsed,
+                )
+            )
         if self._last_signatures is not None:
             result.query_signatures, result.data_signatures = self._last_signatures
         return result

@@ -1,0 +1,119 @@
+"""Result aggregation shared by every multi-run driver.
+
+The six historical drivers each re-implemented the same fold: sum match
+counts, globalize per-chunk graph indices, merge timers, track peak
+memory.  :class:`ResultAccumulator` is that fold written once; the
+chunked/parallel/resilient adapters feed it either whole
+:class:`~repro.core.results.MatchResult` objects (with an index offset)
+or already-aggregated partial results from workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.join import JoinStats
+from repro.core.results import MatchRecord, MatchResult
+from repro.utils.timing import StageTimer
+
+
+def merge_join_stats(into: JoinStats, other: JoinStats | dict | None) -> JoinStats:
+    """Accumulate one join's work counters into ``into`` (returned)."""
+    if other is None:
+        return into
+    if isinstance(other, dict):
+        other = JoinStats(**{k: int(v) for k, v in other.items()})
+    into.pairs_joined += other.pairs_joined
+    into.stack_pushes += other.stack_pushes
+    into.candidate_visits += other.candidate_visits
+    into.edge_checks += other.edge_checks
+    return into
+
+
+def join_stats_dict(stats: JoinStats) -> dict[str, int]:
+    """JSON/npz-manifest-ready form of the work counters."""
+    return {
+        "pairs_joined": stats.pairs_joined,
+        "stack_pushes": stats.stack_pushes,
+        "candidate_visits": stats.candidate_visits,
+        "edge_checks": stats.edge_checks,
+    }
+
+
+@dataclass
+class ResultAccumulator:
+    """Folds per-chunk/per-worker results into one aggregate.
+
+    ``matched_pairs`` and ``embeddings`` carry *global* data-graph
+    indices; :meth:`add_run` applies the chunk's offset while folding.
+    ``peak_memory_bytes`` is a max (the bound chunking buys), everything
+    else a sum.
+    """
+
+    total_matches: int = 0
+    n_chunks: int = 0
+    peak_memory_bytes: int = 0
+    matched_pairs: list[tuple[int, int]] = field(default_factory=list)
+    embeddings: list[MatchRecord] = field(default_factory=list)
+    chunk_results: list[MatchResult] = field(default_factory=list)
+    join_stats: JoinStats = field(default_factory=JoinStats)
+    _timer: StageTimer = field(default_factory=StageTimer)
+
+    def add_run(
+        self, result: MatchResult, offset: int = 0, keep_result: bool = True
+    ) -> None:
+        """Fold one engine/pipeline run whose chunk starts at ``offset``."""
+        self.n_chunks += 1
+        self.total_matches += result.total_matches
+        self.peak_memory_bytes = max(self.peak_memory_bytes, result.memory.total)
+        self.matched_pairs.extend(
+            (d + offset, q) for d, q in result.matched_pairs()
+        )
+        self.embeddings.extend(
+            MatchRecord(rec.data_graph + offset, rec.query_graph, rec.mapping)
+            for rec in result.embeddings
+        )
+        self._timer.merge(result.timings, counts=result.stage_counts)
+        merge_join_stats(self.join_stats, result.join_result.stats)
+        if keep_result:
+            self.chunk_results.append(result)
+
+    def add_payload(self, payload) -> None:
+        """Fold one resilient ``ChunkPayload`` (indices already global)."""
+        self.n_chunks += 1
+        self.total_matches += payload.total_matches
+        self.peak_memory_bytes = max(
+            self.peak_memory_bytes, payload.peak_memory_bytes
+        )
+        self.matched_pairs.extend(payload.matched_pairs)
+        self.embeddings.extend(payload.embeddings)
+        self._timer.merge(payload.timings, counts=payload.stage_counts)
+        merge_join_stats(self.join_stats, getattr(payload, "join_stats", None))
+
+    def add_aggregate(self, other) -> None:
+        """Fold an already-aggregated partial result (a worker's output).
+
+        ``other`` needs the chunked-result shape: ``total_matches``,
+        ``n_chunks``, ``peak_memory_bytes``, global ``matched_pairs`` /
+        ``embeddings``, ``timings``, ``stage_counts``, and (optionally)
+        ``join_stats``.
+        """
+        self.total_matches += other.total_matches
+        self.n_chunks += other.n_chunks
+        self.peak_memory_bytes = max(
+            self.peak_memory_bytes, other.peak_memory_bytes
+        )
+        self.matched_pairs.extend(other.matched_pairs)
+        self.embeddings.extend(other.embeddings)
+        self._timer.merge(other.timings, counts=other.stage_counts)
+        merge_join_stats(self.join_stats, getattr(other, "join_stats", None))
+
+    @property
+    def timings(self) -> dict[str, float]:
+        """Summed per-stage seconds across everything folded so far."""
+        return dict(self._timer.totals)
+
+    @property
+    def stage_counts(self) -> dict[str, int]:
+        """Summed per-stage invocation counts."""
+        return dict(self._timer.counts)

@@ -71,6 +71,7 @@ class ChunkPayload:
     embeddings: list[MatchRecord] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
     stage_counts: dict[str, int] = field(default_factory=dict)
+    join_stats: dict[str, int] = field(default_factory=dict)
     peak_memory_bytes: int = 0
 
 
@@ -169,6 +170,9 @@ class CheckpointStore:
             stage_counts={
                 k: int(v) for k, v in entry.get("stage_counts", {}).items()
             },
+            # Absent in pre-pipeline manifests; zeros are the right merge
+            # identity, so old checkpoints stay loadable.
+            join_stats={k: int(v) for k, v in entry.get("join_stats", {}).items()},
             peak_memory_bytes=int(entry.get("peak_memory_bytes", 0)),
         )
 
@@ -200,6 +204,7 @@ class CheckpointStore:
             "total_matches": payload.total_matches,
             "timings": {k: float(v) for k, v in payload.timings.items()},
             "stage_counts": {k: int(v) for k, v in payload.stage_counts.items()},
+            "join_stats": {k: int(v) for k, v in payload.join_stats.items()},
             "peak_memory_bytes": payload.peak_memory_bytes,
         }
         self._write_manifest()

@@ -30,15 +30,16 @@ from dataclasses import dataclass, field
 
 from repro.core.chunked import run_chunked
 from repro.core.config import SigmoConfig
-from repro.core.join import FIND_ALL
+from repro.core.join import FIND_ALL, JoinStats
 from repro.core.results import MatchRecord
 from repro.device.memory import DeviceOutOfMemory
 from repro.graph.labeled_graph import LabeledGraph
+from repro.pipeline.aggregate import ResultAccumulator
+from repro.pipeline.policies import RetryPolicy, partition_slices
 from repro.runtime import telemetry
 from repro.runtime.faults import FaultPlan, WorkerCrash
 from repro.runtime.resilient import COMPLETE, PARTIAL
 from repro.runtime.telemetry import Attempt, RunReport
-from repro.utils.timing import StageTimer
 
 
 def _resilient_worker(payload):
@@ -96,6 +97,7 @@ class ParallelResilientResult:
     embeddings: list[MatchRecord] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
     stage_counts: dict[str, int] = field(default_factory=dict)
+    join_stats: JoinStats = field(default_factory=JoinStats)
     failed_slices: list[tuple[int, int]] = field(default_factory=list)
     report: RunReport = field(default_factory=RunReport)
 
@@ -138,16 +140,16 @@ def run_parallel_resilient(
         raise ValueError("at least one data graph is required")
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
-    if max_attempts < 1:
-        raise ValueError("max_attempts must be >= 1")
-    if backoff_base < 0 or backoff_factor < 1:
-        raise ValueError("backoff_base must be >= 0 and backoff_factor >= 1")
+    retry = RetryPolicy(
+        max_attempts=max_attempts,
+        backoff_base=backoff_base,
+        backoff_factor=backoff_factor,
+    )
     n_workers = n_workers or min(os.cpu_count() or 1, 8)
     n_workers = max(1, min(n_workers, len(data)))
-    block = -(-len(data) // n_workers)
     slices = [
-        _Slice(index=i, start=start, stop=min(start + block, len(data)), chunk_size=chunk_size)
-        for i, start in enumerate(range(0, len(data), block))
+        _Slice(index=i, start=start, stop=stop, chunk_size=chunk_size)
+        for i, (start, stop) in enumerate(partition_slices(len(data), n_workers))
     ]
     out = ParallelResilientResult(n_workers=len(slices))
     inline = len(slices) == 1
@@ -174,24 +176,21 @@ def run_parallel_resilient(
                 outcome=outcome,
                 chunk_size=sl.chunk_size,
                 seconds=elapsed,
-                backoff_seconds=_backoff(sl.attempt),
+                backoff_seconds=retry.delay(sl.attempt),
                 detail=detail,
             )
         )
         if outcome == telemetry.OOM:
             sl.chunk_size = max(1, sl.chunk_size // 2)
         sl.attempt += 1
-        if sl.attempt >= max_attempts:
+        if retry.exhausted(sl.attempt):
             sl.failed = True
-
-    def _backoff(attempt: int) -> float:
-        return backoff_base * backoff_factor**attempt if attempt else 0.0
 
     pending = [sl for sl in slices]
     executor: ProcessPoolExecutor | None = None
     try:
         while pending:
-            max_delay = max(_backoff(sl.attempt) for sl in pending)
+            max_delay = max(retry.delay(sl.attempt) for sl in pending)
             if max_delay > 0:
                 time.sleep(max_delay)
             if inline:
@@ -242,22 +241,20 @@ def run_parallel_resilient(
         if executor is not None:
             executor.shutdown()
 
-    agg = StageTimer()
+    acc = ResultAccumulator()
     for sl in slices:
         if sl.result is None:
             out.failed_slices.append((sl.start, sl.stop))
             continue
-        chunk_result = sl.result
-        out.total_matches += chunk_result.total_matches
-        out.n_chunks += chunk_result.n_chunks
-        out.matched_pairs.extend(chunk_result.matched_pairs)
-        out.embeddings.extend(chunk_result.embeddings)
-        out.peak_memory_bytes = max(
-            out.peak_memory_bytes, chunk_result.peak_memory_bytes
-        )
-        agg.merge(chunk_result.timings, counts=chunk_result.stage_counts)
-    out.timings = dict(agg.totals)
-    out.stage_counts = dict(agg.counts)
+        acc.add_aggregate(sl.result)
+    out.total_matches = acc.total_matches
+    out.n_chunks = acc.n_chunks
+    out.matched_pairs = acc.matched_pairs
+    out.embeddings = acc.embeddings
+    out.peak_memory_bytes = acc.peak_memory_bytes
+    out.timings = acc.timings
+    out.stage_counts = acc.stage_counts
+    out.join_stats = acc.join_stats
     out.matched_pairs.sort()
     out.status = PARTIAL if out.failed_slices else COMPLETE
     return out

@@ -33,17 +33,17 @@ from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.core.chunked import BudgetInfeasible, chunk_size_for_budget
 from repro.core.config import SigmoConfig
 from repro.core.engine import SigmoEngine
-from repro.core.join import FIND_ALL, JoinBudget
+from repro.core.join import FIND_ALL, JoinBudget, JoinStats
 from repro.core.results import MatchRecord
 from repro.device.memory import DeviceMemoryPool, DeviceOutOfMemory, sigmo_footprint_bytes
 from repro.graph.labeled_graph import LabeledGraph
 from repro.io.serialization import graphs_fingerprint, sha256_bytes
 from repro.obs.trace import get_tracer
+from repro.pipeline.aggregate import ResultAccumulator, join_stats_dict
+from repro.pipeline.policies import MemoryBudgetPolicy
 from repro.runtime import telemetry
-from repro.utils.timing import StageTimer
 from repro.runtime.checkpoint import (
     STATUS_OK,
     STATUS_TRUNCATED,
@@ -128,6 +128,7 @@ class ResilientResult:
     embeddings: list[MatchRecord] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
     stage_counts: dict[str, int] = field(default_factory=dict)
+    join_stats: JoinStats = field(default_factory=JoinStats)
     chunk_records: list[ChunkRecord] = field(default_factory=list)
     report: RunReport = field(default_factory=RunReport)
     resume_token: ResumeToken | None = None
@@ -148,25 +149,26 @@ def combine_results(*results: ResilientResult) -> ResilientResult:
     chunk is left failed/infeasible.
     """
     out = ResilientResult()
-    agg = StageTimer()
+    acc = ResultAccumulator()
     completed_ranges: set[tuple[int, int]] = set()
     for result in results:
         out.chunk_records.extend(result.chunk_records)
         out.report.attempts.extend(result.report.attempts)
-        out.peak_memory_bytes = max(out.peak_memory_bytes, result.peak_memory_bytes)
         out.chunks_from_checkpoint += result.chunks_from_checkpoint
-        out.total_matches += result.total_matches
-        out.n_chunks += result.n_chunks
-        out.matched_pairs.extend(result.matched_pairs)
-        out.embeddings.extend(result.embeddings)
-        agg.merge(result.timings, counts=result.stage_counts)
+        acc.add_aggregate(result)
         completed_ranges.update(
             (rec.start, rec.stop)
             for rec in result.chunk_records
             if rec.status == CHUNK_OK
         )
-    out.timings = dict(agg.totals)
-    out.stage_counts = dict(agg.counts)
+    out.total_matches = acc.total_matches
+    out.n_chunks = acc.n_chunks
+    out.peak_memory_bytes = acc.peak_memory_bytes
+    out.matched_pairs = acc.matched_pairs
+    out.embeddings = acc.embeddings
+    out.timings = acc.timings
+    out.stage_counts = acc.stage_counts
+    out.join_stats = acc.join_stats
     out.chunk_records.sort(key=lambda r: (r.start, r.stop, r.resume_pair or 0))
     out.matched_pairs.sort()
     out.embeddings.sort(key=lambda rec: (rec.data_graph, rec.query_graph))
@@ -364,19 +366,17 @@ def run_resilient(
 
     # Assemble in range order (ties broken by pair progress) — identical
     # to an uninterrupted serial chunked run.
-    agg = StageTimer()
+    acc = ResultAccumulator()
     for key in sorted(payloads):
-        payload = payloads[key]
-        result.total_matches += payload.total_matches
-        result.matched_pairs.extend(payload.matched_pairs)
-        result.embeddings.extend(payload.embeddings)
-        agg.merge(payload.timings, counts=payload.stage_counts)
-        result.peak_memory_bytes = max(
-            result.peak_memory_bytes, payload.peak_memory_bytes
-        )
-    result.timings = dict(agg.totals)
-    result.stage_counts = dict(agg.counts)
-    result.n_chunks = len(payloads)
+        acc.add_payload(payloads[key])
+    result.total_matches = acc.total_matches
+    result.matched_pairs = acc.matched_pairs
+    result.embeddings = acc.embeddings
+    result.timings = acc.timings
+    result.stage_counts = acc.stage_counts
+    result.join_stats = acc.join_stats
+    result.peak_memory_bytes = acc.peak_memory_bytes
+    result.n_chunks = acc.n_chunks
     if pool is not None:
         result.peak_memory_bytes = max(result.peak_memory_bytes, pool.peak)
     bad = [
@@ -400,16 +400,14 @@ def _auto_chunk_size(
     """Derive the chunk size from the pool budget (degrading to 1)."""
     if pool is None:
         return len(data)
-    n_query_nodes = sum(g.n_nodes for g in queries)
-    mean_nodes = sum(g.n_nodes for g in data) / len(data)
-    try:
-        return chunk_size_for_budget(
-            max(n_query_nodes, 1),
-            max(mean_nodes, 1e-9),
-            pool.capacity,
-            word_bits=config.word_bits,
-        )
-    except BudgetInfeasible as exc:
+    policy = MemoryBudgetPolicy(capacity_bytes=pool.capacity)
+    size, degradation = policy.auto_chunk_size(
+        sum(g.n_nodes for g in queries),
+        sum(g.n_nodes for g in data) / len(data),
+        len(data),
+        word_bits=config.word_bits,
+    )
+    if degradation is not None:
         # Even one average graph exceeds the bitmap share of the budget;
         # degrade to single-graph chunks and let the per-chunk lease
         # decide which graphs truly cannot run.
@@ -418,11 +416,11 @@ def _auto_chunk_size(
                 unit="auto-chunk-size",
                 attempt=0,
                 outcome=telemetry.INFEASIBLE,
-                chunk_size=1,
-                detail=str(exc),
+                chunk_size=size,
+                detail=degradation,
             )
         )
-        return 1
+    return size
 
 
 def _plan_tasks(
@@ -702,6 +700,8 @@ def _run_segments(
             payload.timings[name] = payload.timings.get(name, 0.0) + seconds
         for name, n in run.stage_counts.items():
             payload.stage_counts[name] = payload.stage_counts.get(name, 0) + n
+        for name, n in join_stats_dict(run.join_result.stats).items():
+            payload.join_stats[name] = payload.join_stats.get(name, 0) + n
         payload.peak_memory_bytes = max(
             payload.peak_memory_bytes, run.memory.total
         )
@@ -728,10 +728,13 @@ def _merge_payloads(prior: ChunkPayload, fresh: ChunkPayload) -> ChunkPayload:
         embeddings=list(prior.embeddings) + list(fresh.embeddings),
         timings=dict(prior.timings),
         stage_counts=dict(prior.stage_counts),
+        join_stats=dict(prior.join_stats),
         peak_memory_bytes=max(prior.peak_memory_bytes, fresh.peak_memory_bytes),
     )
     for name, seconds in fresh.timings.items():
         merged.timings[name] = merged.timings.get(name, 0.0) + seconds
     for name, n in fresh.stage_counts.items():
         merged.stage_counts[name] = merged.stage_counts.get(name, 0) + n
+    for name, n in fresh.join_stats.items():
+        merged.join_stats[name] = merged.join_stats.get(name, 0) + n
     return merged

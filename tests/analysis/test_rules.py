@@ -117,6 +117,12 @@ CASES = {
         "    visits += 1\n"
         "    return visits\n",
     ),
+    "SGL010": (
+        "def f(filter_result, gmcr, config):\n"
+        "    return run_join(filter_result, gmcr, config)\n",
+        "def f(session, data):\n"
+        "    return session.match(data)\n",
+    ),
 }
 
 
