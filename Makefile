@@ -5,21 +5,30 @@
 PY := python
 export PYTHONPATH := src
 
-.PHONY: lint analyze test check check-robustness check-obs check-perf check-pipeline baseline
+.PHONY: lint analyze check-analysis test check check-robustness check-obs check-perf check-pipeline baseline
 
 lint: analyze
 
 analyze:
 	$(PY) -m repro analyze
 
+# Dataflow gate: the abstract-interpretation analyses (SGL011-SGL014),
+# the static-vs-dynamic effect coverage check, and the analysis-marked
+# test suite (dataflow + races + rules + baseline self-checks).
+check-analysis:
+	$(PY) -m repro analyze --dataflow
+	$(PY) -m pytest -q -m analysis
+
 # Refresh the accepted-findings baseline after reviewing new findings.
+# Runs with the dataflow analyses on (the committed baseline covers
+# SGL011-SGL014 too); stale entries are pruned and reported.
 baseline:
-	$(PY) -m repro analyze --update-baseline
+	$(PY) -m repro analyze --dataflow --update-baseline
 
 test:
 	$(PY) -m pytest -x -q
 
-check: test analyze check-pipeline
+check: test check-analysis check-pipeline
 
 # Pipeline gate: cross-driver parity + session-reuse tests, plus the
 # session-amortization benchmark compared against the committed baseline

@@ -59,7 +59,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 BLOCK_ELEMS = 1 << 14
 
 
-@kernel
+@kernel(writes=())
 def extend_frontier(
     view: "LocalCSRView",
     table: np.ndarray,
@@ -151,7 +151,7 @@ def extend_frontier(
     return elem, new_table, echecks
 
 
-@kernel
+@kernel(writes=("stats", "record"))
 def tabular_join_pair(
     view: "LocalCSRView",
     plan: "QueryPlan",

@@ -1,0 +1,211 @@
+"""Dataflow analyses over the kernel IR: the SGL011–SGL014 rules.
+
+This package statically analyzes every ``@kernel``-marked function:
+
+* :mod:`~repro.analysis.dataflow.ir` — lowers Python ASTs into a small
+  total IR (loads/stores on dotted paths, calls, control flow);
+* :mod:`~repro.analysis.dataflow.lattice` — the dtype × shape-rank
+  join-semilattice with NEP 50 promotion;
+* :mod:`~repro.analysis.dataflow.interp` — abstract interpretation
+  emitting **SGL011 implicit-upcast** and **SGL012 narrowing-cast**;
+* :mod:`~repro.analysis.dataflow.effects` — interprocedural read/write
+  sets, the **SGL013 effect-escape** contract check, and the
+  static-vs-dynamic ShadowMemory coverage gate;
+* :mod:`~repro.analysis.dataflow.surface` — the reachable array-API
+  surface and **SGL014 backend-unportable**.
+
+:func:`run_dataflow` is the linter-facing driver; findings flow into the
+same baseline/suppression machinery as the syntactic SGL rules.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.dataflow import ir
+from repro.analysis.dataflow.effects import (
+    CoverageReport,
+    EffectIndex,
+    EffectSummary,
+    check_kernel_effects,
+    coverage_report,
+    summarize_function,
+)
+from repro.analysis.dataflow.interp import interpret_kernel
+from repro.analysis.dataflow.surface import (
+    SurfaceCall,
+    analyze_surface,
+    check_surface,
+    kernel_entries,
+    render_report,
+)
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "DataflowReport",
+    "run_dataflow",
+    "analyze_source",
+    "effect_coverage",
+    "render_report",
+    "CoverageReport",
+    "EffectIndex",
+    "EffectSummary",
+    "SurfaceCall",
+    "summarize_function",
+]
+
+_ALLOW_RE = re.compile(r"#\s*sigmo:\s*allow=([\w*,\s]+)")
+
+
+def _dataflow_rules():
+    # Late import: rules.py registers the Rule metadata (id/name/severity)
+    # for SGL011-SGL014 alongside the syntactic catalog.
+    from repro.analysis.rules import RULES
+
+    return RULES
+
+
+class _Emitter:
+    """Builds :class:`Finding` records honoring inline allow comments."""
+
+    def __init__(self, module: ir.ModuleIR, findings: list[Finding]) -> None:
+        self.module = module
+        self.findings = findings
+
+    def __call__(self, rule_id: str, line: int, message: str) -> None:
+        lines = self.module.source_lines
+        text = lines[line - 1].strip() if 0 < line <= len(lines) else ""
+        allowed = _ALLOW_RE.search(text)
+        if allowed:
+            ids = {tok.strip() for tok in allowed.group(1).split(",")}
+            if "*" in ids or rule_id in ids:
+                return
+        rule = _dataflow_rules()[rule_id]
+        self.findings.append(
+            Finding(
+                rule=rule.rule,
+                name=rule.name,
+                severity=rule.severity,
+                file=self.module.filename,
+                line=line,
+                col=0,
+                message=message,
+                text=text,
+            )
+        )
+
+
+@dataclass
+class DataflowReport:
+    """Everything one dataflow run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    surface: list[SurfaceCall] = field(default_factory=list)
+    modules: dict[str, ir.ModuleIR] = field(default_factory=dict)
+    index: EffectIndex | None = None
+    summaries: dict[str, EffectSummary] = field(default_factory=dict)
+
+
+def _module_path_for(rel: str) -> str | None:
+    """Dotted ``repro.*`` module path of a lint-relative file name."""
+    if not rel.endswith(".py"):
+        return None
+    parts = rel[:-3].split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts:
+        return "repro"
+    return "repro." + ".".join(parts)
+
+
+def _iter_kernel_functions(fn: ir.FunctionIR):
+    """A kernel function followed by its (transitively) nested closures."""
+    yield fn
+    for nested in fn.nested.values():
+        yield nested
+        for sub in _iter_kernel_functions(nested):
+            if sub is not nested:
+                yield sub
+
+
+def _analyze_modules(
+    modules: dict[str, ir.ModuleIR], index: EffectIndex
+) -> DataflowReport:
+    report = DataflowReport(modules=modules, index=index)
+    emitters: dict[str, _Emitter] = {}
+    for module_path, module in sorted(modules.items()):
+        emitter = _Emitter(module, report.findings)
+        emitters[module.filename] = emitter
+        for qualname in sorted(module.functions):
+            fn = module.functions[qualname]
+            if not fn.is_kernel:
+                continue
+            for target in _iter_kernel_functions(fn):
+                interpret_kernel(target, module, emitter)
+        summaries = check_kernel_effects(module, module_path, index, emitter)
+        for qualname, summary in summaries.items():
+            report.summaries[f"{module_path}:{qualname}"] = summary
+    entries = kernel_entries(modules)
+    report.surface = analyze_surface(index, entries)
+
+    def emit_surface(rule_id: str, file: str, line: int, message: str) -> None:
+        emitter = emitters.get(file)
+        if emitter is not None:
+            emitter(rule_id, line, message)
+
+    check_surface(report.surface, emit_surface)
+    report.findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return report
+
+
+def run_dataflow(files: list[Path], root: Path) -> DataflowReport:
+    """Run every dataflow analysis over the given files.
+
+    ``root`` is the ``src/repro`` directory; finding paths come back
+    relative to it (matching the syntactic lint).  Files that fail to
+    parse are skipped — the syntactic lint already reports them.
+    """
+    index = EffectIndex(root.parent)
+    modules: dict[str, ir.ModuleIR] = {}
+    for path in files:
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        module_path = _module_path_for(rel)
+        if module_path is None:
+            continue
+        try:
+            module = ir.lower_module(path.read_text(), rel)
+        except SyntaxError:  # sigmo: allow=SGL006
+            continue  # the syntactic lint already reports parse failures
+        modules[module_path] = module
+        index.add_module(module_path, module)
+    return _analyze_modules(modules, index)
+
+
+def analyze_source(
+    source: str, filename: str = "<snippet>", module_path: str = "snippet"
+) -> DataflowReport:
+    """Analyze one source string (test fixtures, editor integration).
+
+    Runs the interpreter, the effect contract check, and a single-module
+    surface pass; cross-module calls resolve only within the snippet.
+    """
+    module = ir.lower_module(source, filename)
+    index = EffectIndex(Path("."))
+    index.add_module(module_path, module)
+    return _analyze_modules({module_path: module}, index)
+
+
+def effect_coverage(traces: dict[str, object]) -> CoverageReport:
+    """Cross-check dynamic ShadowMemory traces against static effects.
+
+    ``traces`` maps trace name (``refine``/``join``/``tabular``) to a
+    :class:`~repro.device.simt.ShadowMemory`; see
+    :func:`repro.analysis.dataflow.effects.coverage_report`.
+    """
+    src_root = Path(__file__).resolve().parents[3]
+    return coverage_report(traces, EffectIndex(src_root))

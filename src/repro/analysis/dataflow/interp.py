@@ -1,0 +1,669 @@
+"""Abstract interpretation of kernel IR over the dtype × rank lattice.
+
+The interpreter executes a lowered ``@kernel`` function symbolically:
+names are bound to :class:`~repro.analysis.dataflow.lattice.AbstractValue`
+points, NumPy constructors and casts produce precise dtypes, binary
+operations promote through :func:`numpy.result_type`, and control flow
+joins environments (loops run to a small fixpoint).  Two rules fire
+during evaluation:
+
+* **SGL011 implicit-upcast** — an arithmetic/bitwise op whose promoted
+  dtype silently leaves the integer family (the uint64 + int64 → float64
+  catastrophe), widens beyond both operands (int32 + uint32 → int64), a
+  signed-integer left shift by a non-constant amount (the ``int64 << 64``
+  overflow class fixed in the signature packing), or an in-place update
+  whose promoted result is cast back value-changingly.
+* **SGL012 narrowing-cast** — ``astype``/dtype-constructor casts that
+  lose width, signedness, or the fractional part, and narrowing stores
+  into a known-dtype array.
+
+Precision discipline: findings fire only when *both* sides are known
+singleton dtypes — evidence from constructors, casts, and propagation.
+Unknown (TOP) operands never produce findings, so the interpreter adds
+no false positives on code it cannot see into.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.dataflow import ir
+from repro.analysis.dataflow.lattice import (
+    TOP,
+    PY_BOOL,
+    PY_FLOAT,
+    PY_INT,
+    AbstractDtype,
+    AbstractRank,
+    AbstractValue,
+    dtype_itemsize,
+    dtype_kind,
+    is_float_like,
+    is_integer_like,
+    is_weak,
+    promote,
+    valid_dtype,
+)
+
+#: emit(rule_id, line, message)
+Emit = Callable[[str, int, str], None]
+
+_ALLOC_DEFAULTS = {
+    "zeros": "float64",
+    "ones": "float64",
+    "empty": "float64",
+    "arange": "int64",
+}
+_LIKE_ALLOCS = {"zeros_like", "ones_like", "empty_like", "full_like"}
+_BINARY_UFUNCS = {
+    "add": "Add",
+    "subtract": "Sub",
+    "multiply": "Mult",
+    "minimum": "BinOp",
+    "maximum": "BinOp",
+    "bitwise_and": "BitAnd",
+    "bitwise_or": "BitOr",
+    "bitwise_xor": "BitXor",
+    "left_shift": "LShift",
+    "right_shift": "RShift",
+}
+_ARITH_OPS = {
+    "Add",
+    "Sub",
+    "Mult",
+    "Mod",
+    "FloorDiv",
+    "Pow",
+    "BitAnd",
+    "BitOr",
+    "BitXor",
+    "LShift",
+    "RShift",
+    "BinOp",
+}
+_SHAPE_PRESERVING_METHODS = {"copy", "reshape", "transpose", "clip"}
+_MAX_LOOP_PASSES = 3
+
+
+def _widened_int(name: str) -> str:
+    """Accumulator dtype of a reduction over ``name`` (NumPy default)."""
+    kind = dtype_kind(name)
+    if kind == "u":
+        return "uint64"
+    if kind in ("i", "b"):
+        return "int64"
+    return name
+
+
+class KernelInterp:
+    """One symbolic execution of a lowered kernel function."""
+
+    def __init__(self, fn: ir.FunctionIR, module: ir.ModuleIR, emit: Emit) -> None:
+        self.fn = fn
+        self.module = module
+        self.emit = emit
+        self.env: dict[str, AbstractValue] = {}
+
+    # -- entry ----------------------------------------------------------------
+
+    def run(self) -> dict[str, AbstractValue]:
+        """Interpret the kernel body; returns the final environment."""
+        self._exec_block(self.fn.body)
+        return self.env
+
+    # -- environment ----------------------------------------------------------
+
+    def _get(self, path: tuple[str, ...]) -> AbstractValue:
+        return self.env.get(".".join(path), TOP)
+
+    def _set(self, path: tuple[str, ...], value: AbstractValue) -> None:
+        self.env[".".join(path)] = value
+
+    def _join_env(self, snapshots: list[dict[str, AbstractValue]]) -> None:
+        keys = set()
+        for snap in snapshots:
+            keys.update(snap)
+        merged: dict[str, AbstractValue] = {}
+        for key in keys:
+            value: AbstractValue | None = None
+            for snap in snapshots:
+                v = snap.get(key)
+                if v is None:
+                    continue
+                value = v if value is None else value.join(v)
+            if value is not None:
+                merged[key] = value
+        self.env = merged
+
+    # -- statements -----------------------------------------------------------
+
+    def _exec_block(self, body: tuple[ir.Stmt, ...]) -> None:
+        for stmt in body:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ir.Stmt) -> None:
+        if isinstance(stmt, ir.SAssign):
+            value = self.eval(stmt.value)
+            if len(stmt.targets) == 1:
+                self._store(stmt.targets[0], value, stmt.line)
+            else:
+                for target in stmt.targets:
+                    self._store(target, TOP, stmt.line)
+        elif isinstance(stmt, ir.SAug):
+            self._exec_aug(stmt)
+        elif isinstance(stmt, ir.SFor):
+            self._exec_loop(stmt)
+        elif isinstance(stmt, ir.SWhile):
+            self.eval(stmt.test)
+            self._exec_fixpoint(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ir.SIf):
+            self.eval(stmt.test)
+            before = dict(self.env)
+            self._exec_block(stmt.body)
+            taken = self.env
+            self.env = dict(before)
+            self._exec_block(stmt.orelse)
+            self._join_env([taken, self.env])
+        elif isinstance(stmt, ir.STry):
+            before = dict(self.env)
+            outcomes = []
+            for block in stmt.blocks:
+                self.env = dict(before)
+                self._exec_block(block)
+                outcomes.append(self.env)
+            self._join_env(outcomes or [before])
+        elif isinstance(stmt, ir.SWith):
+            for item in stmt.items:
+                self.eval(item)
+            for name in stmt.names:
+                self._set((name,), TOP)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ir.SReturn):
+            if stmt.value is not None:
+                self.eval(stmt.value)
+        elif isinstance(stmt, ir.SExpr):
+            self.eval(stmt.value)
+        # SDef: nested functions are analyzed by the effect pass; their
+        # dtype behavior is opaque here.
+
+    def _exec_loop(self, stmt: ir.SFor) -> None:
+        iter_value = self.eval(stmt.iter)
+        element = self._element_of(stmt.iter, iter_value)
+        for name in stmt.names:
+            self._set((name,), element if len(stmt.names) == 1 else TOP)
+        self._exec_fixpoint(stmt.body)
+        self._exec_block(stmt.orelse)
+
+    def _exec_fixpoint(self, body: tuple[ir.Stmt, ...]) -> None:
+        for _ in range(_MAX_LOOP_PASSES):
+            before = dict(self.env)
+            self._exec_block(body)
+            self._join_env([before, self.env])
+            if self.env == before:
+                break
+
+    def _element_of(self, iter_expr: ir.Expr, value: AbstractValue) -> AbstractValue:
+        if isinstance(iter_expr, ir.Call) and isinstance(iter_expr.func, ir.Ref):
+            func = iter_expr.func.path
+            if func[-1] in ("range", "enumerate", "len"):
+                return AbstractValue.scalar(PY_INT)
+        rank = value.rank
+        if rank.singleton is not None and rank.singleton > 0:
+            return AbstractValue(
+                value.dtype, AbstractRank.of(rank.singleton - 1)
+            )
+        return AbstractValue(value.dtype, AbstractRank.top())
+
+    def _store(self, target: ir.Target, value: AbstractValue, line: int) -> None:
+        if target is None:
+            return
+        if isinstance(target, ir.IndexTarget):
+            self._check_narrowing_store(target, value, line)
+            return
+        self._set(target, value)
+
+    def _exec_aug(self, stmt: ir.SAug) -> None:
+        target = stmt.target
+        rhs = self.eval(stmt.value)
+        if target is None:
+            return
+        if isinstance(target, ir.IndexTarget):
+            current = self._get(target.path)
+            if current.rank.singleton is not None and current.rank.singleton > 0:
+                current = AbstractValue(current.dtype, AbstractRank.top())
+        else:
+            current = self._get(target)
+        result = self._binop_value(stmt.op, current, rhs, stmt.line)
+        self._check_inplace_cast(stmt.op, current, rhs, stmt.line)
+        if not isinstance(target, ir.IndexTarget):
+            self._set(target, result.with_dtype(current.dtype)
+                      if current.dtype.singleton else result)
+
+    # -- expressions ----------------------------------------------------------
+
+    def eval(self, expr: ir.Expr) -> AbstractValue:
+        """Abstract value of ``expr`` in the current environment."""
+        if isinstance(expr, ir.Const):
+            return self._const_value(expr.value)
+        if isinstance(expr, ir.Ref):
+            return self._eval_ref(expr)
+        if isinstance(expr, ir.Index):
+            self.eval(expr.index)
+            return self._index_value(self.eval(expr.base), expr.index)
+        if isinstance(expr, ir.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ir.BinOp):
+            left = self.eval(expr.left)
+            right = self.eval(expr.right)
+            self._check_shift(expr, left, right)
+            return self._binop_value(expr.op, left, right, expr.line)
+        if isinstance(expr, ir.UnaryOp):
+            operand = self.eval(expr.operand)
+            if expr.op == "Not":
+                return AbstractValue.scalar(PY_BOOL)
+            return operand
+        if isinstance(expr, ir.Compare):
+            ranks = [self.eval(o).rank for o in expr.operands]
+            rank = ranks[0]
+            for r in ranks[1:]:
+                rank = rank.broadcast(r)
+            return AbstractValue(AbstractDtype.of("bool"), rank)
+        if isinstance(expr, ir.TupleExpr):
+            for item in expr.items:
+                self.eval(item)
+            return TOP
+        if isinstance(expr, ir.Opaque):
+            for child in expr.children:
+                self.eval(child)
+            return TOP
+        return TOP
+
+    def _const_value(self, value: object) -> AbstractValue:
+        if isinstance(value, bool):
+            return AbstractValue.scalar(PY_BOOL)
+        if isinstance(value, int):
+            return AbstractValue.scalar(PY_INT)
+        if isinstance(value, float):
+            return AbstractValue.scalar(PY_FLOAT)
+        return TOP
+
+    def _eval_ref(self, expr: ir.Ref) -> AbstractValue:
+        dotted = expr.dotted()
+        if dotted in self.env:
+            return self.env[dotted]
+        # A longest-prefix hit keeps dtype knowledge through attribute
+        # access we do not model (e.g. `x.T` on a tracked `x`).
+        if expr.root in self.env and expr.path[-1] in ("T",):
+            return self.env[expr.root]
+        return TOP
+
+    def _index_value(self, base: AbstractValue, index: ir.Expr) -> AbstractValue:
+        rank = base.rank
+        if isinstance(index, ir.Const) and isinstance(index.value, int):
+            if rank.singleton is not None:
+                return AbstractValue(
+                    base.dtype, AbstractRank.of(max(0, rank.singleton - 1))
+                )
+            return AbstractValue(base.dtype, AbstractRank.top())
+        if isinstance(index, ir.Opaque):
+            # Slices preserve rank.
+            return base
+        return AbstractValue(base.dtype, AbstractRank.top())
+
+    # -- calls ----------------------------------------------------------------
+
+    def _np_func_name(self, func: ir.Expr) -> str | None:
+        """Dotted numpy function name (``zeros``, ``bitwise_or.at``) or None."""
+        if not isinstance(func, ir.Ref):
+            return None
+        if len(func.path) >= 2 and func.path[0] in self.module.np_aliases:
+            return ".".join(func.path[1:])
+        if len(func.path) == 1 and func.path[0] in self.module.np_from:
+            return self.module.np_from[func.path[0]]
+        return None
+
+    def _eval_call(self, expr: ir.Call) -> AbstractValue:
+        args = [self.eval(a) for a in expr.args]
+        for _, v in expr.kwargs:
+            self.eval(v)
+        np_name = self._np_func_name(expr.func)
+        if np_name is not None:
+            return self._eval_np_call(expr, np_name, args)
+        if isinstance(expr.func, ir.Ref) and len(expr.func.path) >= 2:
+            return self._eval_method_call(expr, args)
+        return TOP
+
+    def _eval_np_call(
+        self, expr: ir.Call, name: str, args: list[AbstractValue]
+    ) -> AbstractValue:
+        dtype_expr = expr.kwarg("dtype")
+        explicit = (
+            self._dtype_of_expr(dtype_expr) if dtype_expr is not None else None
+        )
+        if name in _ALLOC_DEFAULTS:
+            dtype = (
+                explicit
+                if explicit is not None
+                else AbstractDtype.of(_ALLOC_DEFAULTS[name])
+            )
+            return AbstractValue(dtype, self._alloc_rank(expr, name))
+        if name == "full":
+            dtype = explicit
+            if dtype is None and len(args) >= 2:
+                dtype = args[1].dtype
+            return AbstractValue(
+                dtype if dtype is not None else AbstractDtype.top(),
+                self._alloc_rank(expr, name),
+            )
+        if name in _LIKE_ALLOCS:
+            if explicit is not None:
+                return AbstractValue(explicit, args[0].rank if args else AbstractRank.top())
+            return args[0] if args else TOP
+        if name in ("asarray", "array", "ascontiguousarray", "ravel"):
+            dtype = explicit if explicit is not None else (
+                args[0].dtype if args else AbstractDtype.top()
+            )
+            rank = AbstractRank.of(1) if name == "ravel" else (
+                args[0].rank if args else AbstractRank.top()
+            )
+            return AbstractValue(dtype, rank)
+        if valid_dtype(name) and not is_weak(name):
+            # np.uint64(x)-style scalar/cast constructor.
+            source = args[0] if args else None
+            if source is not None:
+                self._check_narrowing(
+                    source.dtype, name, expr.line, f"np.{name}(...)"
+                )
+            rank = source.rank if source is not None else AbstractRank.of(0)
+            return AbstractValue(AbstractDtype.of(name), rank)
+        if name in ("nonzero", "flatnonzero", "argsort", "argmax", "argmin", "searchsorted"):
+            return AbstractValue(AbstractDtype.of("int64"), AbstractRank.top())
+        if name == "unique":
+            return AbstractValue(
+                args[0].dtype if args else AbstractDtype.top(), AbstractRank.of(1)
+            )
+        if name in ("all", "any", "isin", "logical_and", "logical_or", "logical_not"):
+            return AbstractValue(AbstractDtype.of("bool"), AbstractRank.top())
+        if name in ("sum", "prod", "cumsum"):
+            if explicit is not None:
+                return AbstractValue(explicit, AbstractRank.top())
+            if args and args[0].dtype.singleton:
+                return AbstractValue(
+                    AbstractDtype.of(_widened_int(args[0].dtype.singleton)),
+                    AbstractRank.top(),
+                )
+            return TOP
+        if name in _BINARY_UFUNCS and len(args) >= 2:
+            op = _BINARY_UFUNCS[name]
+            if op in ("LShift", "RShift"):
+                self._check_shift_values(
+                    args[0], args[1], expr.args[1], expr.line
+                )
+            return self._binop_value(op, args[0], args[1], expr.line)
+        if name in ("bitwise_count", "packbits"):
+            return AbstractValue(AbstractDtype.of("uint8"), AbstractRank.top())
+        if name == "unpackbits":
+            return AbstractValue(AbstractDtype.of("uint8"), AbstractRank.top())
+        if name in ("minimum.reduce", "maximum.reduce"):
+            return args[0] if args else TOP
+        return TOP
+
+    def _eval_method_call(self, expr: ir.Call, args: list[AbstractValue]) -> AbstractValue:
+        assert isinstance(expr.func, ir.Ref)
+        method = expr.func.path[-1]
+        receiver = self._get(expr.func.path[:-1])
+        if method == "astype":
+            target_expr = expr.kwarg("dtype")
+            if target_expr is None and expr.args:
+                target_expr = expr.args[0]
+            target = (
+                self._dtype_of_expr(target_expr)
+                if target_expr is not None
+                else AbstractDtype.top()
+            )
+            if target.singleton:
+                self._check_narrowing(
+                    receiver.dtype, target.singleton, expr.line, "astype"
+                )
+            return AbstractValue(target, receiver.rank)
+        if method == "view":
+            target_expr = expr.args[0] if expr.args else expr.kwarg("dtype")
+            target = (
+                self._dtype_of_expr(target_expr)
+                if target_expr is not None
+                else AbstractDtype.top()
+            )
+            return AbstractValue(target, receiver.rank)
+        if method in ("sum", "prod"):
+            dtype_expr = expr.kwarg("dtype")
+            if dtype_expr is not None:
+                return AbstractValue(
+                    self._dtype_of_expr(dtype_expr), AbstractRank.top()
+                )
+            if receiver.dtype.singleton:
+                return AbstractValue(
+                    AbstractDtype.of(_widened_int(receiver.dtype.singleton)),
+                    AbstractRank.top(),
+                )
+            return TOP
+        if method in ("max", "min", "cumsum", "take", "ravel"):
+            rank = AbstractRank.of(1) if method == "ravel" else AbstractRank.top()
+            return AbstractValue(receiver.dtype, rank)
+        if method in ("searchsorted", "argsort", "argmax", "argmin", "nonzero"):
+            return AbstractValue(AbstractDtype.of("int64"), AbstractRank.top())
+        if method in ("all", "any"):
+            return AbstractValue(AbstractDtype.of("bool"), AbstractRank.top())
+        if method in _SHAPE_PRESERVING_METHODS:
+            return AbstractValue(receiver.dtype, AbstractRank.top())
+        if method == "tolist":
+            return TOP
+        return TOP
+
+    def _alloc_rank(self, expr: ir.Call, name: str) -> AbstractRank:
+        if name == "arange":
+            return AbstractRank.of(1)
+        if not expr.args:
+            return AbstractRank.top()
+        shape = expr.args[0]
+        if isinstance(shape, ir.TupleExpr):
+            return AbstractRank.of(len(shape.items))
+        if isinstance(shape, ir.Const) and isinstance(shape.value, int):
+            return AbstractRank.of(1)
+        # A scalar expression gives rank 1; an unknown value could be a
+        # shape tuple, so stay TOP.
+        value = self.eval(shape)
+        if value.rank.singleton == 0 or isinstance(shape, ir.Ref):
+            return AbstractRank.of(1) if value.rank.singleton == 0 else AbstractRank.top()
+        return AbstractRank.top()
+
+    def _dtype_of_expr(self, expr: ir.Expr) -> AbstractDtype:
+        """Abstract dtype named by a dtype-position expression."""
+        if isinstance(expr, ir.Ref):
+            name = None
+            if len(expr.path) >= 2 and expr.path[0] in self.module.np_aliases:
+                name = expr.path[-1]
+            elif len(expr.path) == 1 and expr.path[0] in self.module.np_from:
+                name = self.module.np_from[expr.path[0]]
+            elif expr.path[-1] == "dtype":
+                # x.dtype: tracked receiver propagates its dtype.
+                receiver = self._get(expr.path[:-1])
+                return receiver.dtype
+            if name is not None and valid_dtype(name):
+                return AbstractDtype.of(name)
+            return AbstractDtype.top()
+        if isinstance(expr, ir.Const) and isinstance(expr.value, str):
+            name = expr.value.lstrip("<>=|")
+            if valid_dtype(name):
+                return AbstractDtype.of(name)
+            return AbstractDtype.top()
+        if isinstance(expr, ir.Call):
+            np_name = self._np_func_name(expr.func)
+            if np_name == "dtype" and expr.args:
+                return self._dtype_of_expr(expr.args[0])
+        return AbstractDtype.top()
+
+    # -- checks ---------------------------------------------------------------
+
+    def _binop_value(
+        self, op: str, left: AbstractValue, right: AbstractValue, line: int
+    ) -> AbstractValue:
+        rank = left.rank.broadcast(right.rank)
+        if op == "Div":
+            promoted = promote(left.dtype, right.dtype)
+            name = promoted.singleton
+            if name is not None and is_integer_like(name):
+                promoted = AbstractDtype.of("float64")
+            return AbstractValue(promoted, rank)
+        promoted = promote(left.dtype, right.dtype)
+        if op in _ARITH_OPS:
+            self._check_upcast(op, left.dtype, right.dtype, promoted, line)
+        return AbstractValue(promoted, rank)
+
+    def _check_upcast(
+        self,
+        op: str,
+        a: AbstractDtype,
+        b: AbstractDtype,
+        result: AbstractDtype,
+        line: int,
+    ) -> None:
+        an, bn, rn = a.singleton, b.singleton, result.singleton
+        if an is None or bn is None or rn is None:
+            return
+        if is_weak(an) or is_weak(bn):
+            return
+        if is_integer_like(an) and is_integer_like(bn) and is_float_like(rn):
+            self.emit(
+                "SGL011",
+                line,
+                f"implicit upcast: {an} and {bn} have no common integer "
+                f"type, so NumPy promotes to {rn} — packed/bitmap "
+                "arithmetic silently becomes floating point; cast both "
+                "operands to one explicit integer dtype",
+            )
+            return
+        size_a = dtype_itemsize(an) or 0
+        size_b = dtype_itemsize(bn) or 0
+        size_r = dtype_itemsize(rn) or 0
+        if size_r > max(size_a, size_b):
+            self.emit(
+                "SGL011",
+                line,
+                f"implicit upcast: {an} and {bn} promote to the wider "
+                f"{rn}; allocate or cast the intended width explicitly "
+                "so layout-sensitive arithmetic stays stable",
+            )
+
+    def _check_shift(
+        self, expr: ir.BinOp, left: AbstractValue, right: AbstractValue
+    ) -> None:
+        if expr.op not in ("LShift", "RShift"):
+            return
+        self._check_shift_values(left, right, expr.right, expr.line)
+
+    def _check_shift_values(
+        self,
+        left: AbstractValue,
+        right: AbstractValue,
+        amount_expr: ir.Expr,
+        line: int,
+    ) -> None:
+        name = left.dtype.singleton
+        if name is None or is_weak(name):
+            return
+        if dtype_kind(name) != "i":
+            return
+        if isinstance(amount_expr, ir.Const):
+            return
+        bits = (dtype_itemsize(name) or 8) * 8
+        self.emit(
+            "SGL011",
+            line,
+            f"overflow-capable shift: {name} shifted by a non-constant "
+            f"amount overflows silently at {bits} bits (the packed-"
+            "signature mask bug class); build masks on unsigned dtypes",
+        )
+
+    def _check_inplace_cast(
+        self, op: str, target: AbstractValue, rhs: AbstractValue, line: int
+    ) -> None:
+        if op not in _ARITH_OPS:
+            return
+        tn = target.dtype.singleton
+        rn = rhs.dtype.singleton
+        if tn is None or rn is None or is_weak(tn) or is_weak(rn):
+            return
+        promoted = promote(target.dtype, rhs.dtype).singleton
+        if promoted is None or promoted == tn:
+            return
+        self.emit(
+            "SGL011",
+            line,
+            f"in-place update on {tn} with a {rn} operand promotes to "
+            f"{promoted} and is silently cast back to {tn} on write-back "
+            "(value-changing same-kind cast); cast the operand first",
+        )
+
+    def _check_narrowing(
+        self, source: AbstractDtype, target: str, line: int, via: str
+    ) -> None:
+        sn = source.singleton
+        if sn is None or is_weak(sn) or not valid_dtype(target):
+            return
+        if sn == target:
+            return
+        src_size = dtype_itemsize(sn) or 0
+        dst_size = dtype_itemsize(target) or 0
+        src_kind = dtype_kind(sn)
+        dst_kind = dtype_kind(target)
+        reason = None
+        if is_float_like(sn) and is_integer_like(target):
+            reason = "drops the fractional part"
+        elif src_kind == "i" and dst_kind == "u":
+            reason = "reinterprets negative values as large positives"
+        elif src_kind == "u" and dst_kind == "i" and dst_size <= src_size:
+            reason = "wraps values above the signed range"
+        elif dst_size < src_size and src_kind == dst_kind:
+            reason = f"truncates {sn} values to {dst_size * 8} bits"
+        if reason is None:
+            return
+        self.emit(
+            "SGL012",
+            line,
+            f"narrowing cast via {via}: {sn} -> {target} {reason}; "
+            "guard the value range or mark the line with an inline "
+            "allow after review",
+        )
+
+    def _check_narrowing_store(
+        self, target: ir.IndexTarget, value: AbstractValue, line: int
+    ) -> None:
+        current = self._get(target.path)
+        tn = current.dtype.singleton
+        vn = value.dtype.singleton
+        if tn is None or vn is None or is_weak(vn) or is_weak(tn):
+            return
+        if tn == vn:
+            return
+        src_size = dtype_itemsize(vn) or 0
+        dst_size = dtype_itemsize(tn) or 0
+        if (
+            (is_float_like(vn) and is_integer_like(tn))
+            or dst_size < src_size
+            or (dtype_kind(vn) == "i" and dtype_kind(tn) == "u")
+        ):
+            self.emit(
+                "SGL012",
+                line,
+                f"narrowing store: assigning {vn} values into a {tn} "
+                "array casts unsafely on write; cast explicitly at the "
+                "producer so the loss is visible",
+            )
+
+
+def interpret_kernel(
+    fn: ir.FunctionIR, module: ir.ModuleIR, emit: Emit
+) -> dict[str, AbstractValue]:
+    """Run the dtype/rank interpreter over one kernel; returns the env."""
+    return KernelInterp(fn, module, emit).run()

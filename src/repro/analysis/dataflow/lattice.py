@@ -1,0 +1,279 @@
+"""The dtype × shape-rank lattice of the abstract interpreter.
+
+Abstract values track two independent facets of a NumPy expression:
+
+* **dtype** — a finite set of possible dtype names (``{"uint64"}``,
+  ``{"int64", "float64"}``), with ``TOP`` (= unknown, any dtype) and
+  ``BOTTOM`` (= unreachable).  Python scalar literals get the *weak*
+  pseudo-dtypes ``py_int`` / ``py_float`` / ``py_bool`` so promotion
+  follows NEP 50: a Python int does not widen ``uint64 + 1``, while an
+  ``int64`` array silently promotes ``uint64 + int64`` to ``float64``.
+* **rank** — a finite set of possible array ranks (``{0}`` for scalars,
+  ``{2}`` for the bitmap word matrix), again with TOP/BOTTOM.
+
+Joins (control-flow merges) are set unions, widened to TOP past
+:data:`MAX_WIDTH` alternatives so chains of merges terminate; the lattice
+is a textbook bounded join-semilattice (commutative, associative,
+idempotent — property-tested in ``tests/analysis/test_dataflow.py``).
+
+Promotion of concrete pairs delegates to :func:`numpy.result_type`, so
+the analyzer's arithmetic is *definitionally* NumPy's, including the
+uint64/int64 → float64 catastrophe the SGL011 rule exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+#: Weak (value-based) pseudo-dtypes for Python scalar literals.
+PY_INT = "py_int"
+PY_FLOAT = "py_float"
+PY_BOOL = "py_bool"
+_WEAK = {PY_INT, PY_FLOAT, PY_BOOL}
+
+#: Join results wider than this collapse to TOP.
+MAX_WIDTH = 4
+
+_INT_KINDS = ("i", "u", "b")
+
+
+@dataclass(frozen=True)
+class AbstractDtype:
+    """A set of possible dtype names; ``names is None`` means TOP."""
+
+    names: frozenset[str] | None
+
+    @staticmethod
+    def top() -> "AbstractDtype":
+        """The unknown dtype (any dtype possible)."""
+        return AbstractDtype(None)
+
+    @staticmethod
+    def bottom() -> "AbstractDtype":
+        """The empty dtype set (unreachable value)."""
+        return AbstractDtype(frozenset())
+
+    @staticmethod
+    def of(*names: str) -> "AbstractDtype":
+        """A concrete set of possible dtype names."""
+        return AbstractDtype(frozenset(names))
+
+    @property
+    def is_top(self) -> bool:
+        """True when any dtype is possible."""
+        return self.names is None
+
+    @property
+    def is_bottom(self) -> bool:
+        """True for the empty (unreachable) set."""
+        return self.names is not None and not self.names
+
+    @property
+    def singleton(self) -> str | None:
+        """The dtype name when exactly one is possible, else None."""
+        if self.names is not None and len(self.names) == 1:
+            return next(iter(self.names))
+        return None
+
+    def join(self, other: "AbstractDtype") -> "AbstractDtype":
+        """Least upper bound; sets wider than MAX_WIDTH collapse to TOP."""
+        if self.is_top or other.is_top:
+            return AbstractDtype.top()
+        union = self.names | other.names
+        if len(union) > MAX_WIDTH:
+            return AbstractDtype.top()
+        return AbstractDtype(union)
+
+    def __str__(self) -> str:
+        if self.is_top:
+            return "?"
+        if self.is_bottom:
+            return "⊥"
+        return "|".join(sorted(self.names))
+
+
+@dataclass(frozen=True)
+class AbstractRank:
+    """A set of possible array ranks; ``ranks is None`` means TOP."""
+
+    ranks: frozenset[int] | None
+
+    @staticmethod
+    def top() -> "AbstractRank":
+        """The unknown rank (any rank possible)."""
+        return AbstractRank(None)
+
+    @staticmethod
+    def of(*ranks: int) -> "AbstractRank":
+        """A concrete set of possible ranks."""
+        return AbstractRank(frozenset(ranks))
+
+    @property
+    def is_top(self) -> bool:
+        """True when any rank is possible."""
+        return self.ranks is None
+
+    @property
+    def singleton(self) -> int | None:
+        """The rank when exactly one is possible, else None."""
+        if self.ranks is not None and len(self.ranks) == 1:
+            return next(iter(self.ranks))
+        return None
+
+    def join(self, other: "AbstractRank") -> "AbstractRank":
+        """Least upper bound; sets wider than MAX_WIDTH collapse to TOP."""
+        if self.is_top or other.is_top:
+            return AbstractRank.top()
+        union = self.ranks | other.ranks
+        if len(union) > MAX_WIDTH:
+            return AbstractRank.top()
+        return AbstractRank(union)
+
+    def broadcast(self, other: "AbstractRank") -> "AbstractRank":
+        """Result rank of broadcasting two operands (max of ranks)."""
+        if self.is_top or other.is_top:
+            return AbstractRank.top()
+        return AbstractRank(
+            frozenset(max(a, b) for a in self.ranks for b in other.ranks)
+        )
+
+    def __str__(self) -> str:
+        if self.is_top:
+            return "?d"
+        return "|".join(f"{r}d" for r in sorted(self.ranks))
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One lattice point: dtype facet × rank facet."""
+
+    dtype: AbstractDtype
+    rank: AbstractRank
+
+    @staticmethod
+    def top() -> "AbstractValue":
+        """The fully unknown value (TOP on both facets)."""
+        return AbstractValue(AbstractDtype.top(), AbstractRank.top())
+
+    @staticmethod
+    def scalar(dtype_name: str) -> "AbstractValue":
+        """A rank-0 value of a known dtype."""
+        return AbstractValue(AbstractDtype.of(dtype_name), AbstractRank.of(0))
+
+    @staticmethod
+    def array(dtype_name: str, rank: int | None = None) -> "AbstractValue":
+        """An array of a known dtype, optionally with a known rank."""
+        return AbstractValue(
+            AbstractDtype.of(dtype_name),
+            AbstractRank.top() if rank is None else AbstractRank.of(rank),
+        )
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        """Facet-wise least upper bound."""
+        return AbstractValue(
+            self.dtype.join(other.dtype), self.rank.join(other.rank)
+        )
+
+    def with_dtype(self, dtype: AbstractDtype) -> "AbstractValue":
+        """Copy of this value with the dtype facet replaced."""
+        return AbstractValue(dtype, self.rank)
+
+    def __str__(self) -> str:
+        return f"{self.dtype}[{self.rank}]"
+
+
+TOP = AbstractValue.top()
+
+
+# -- dtype facts --------------------------------------------------------------
+
+
+def is_weak(name: str) -> bool:
+    """Whether a dtype name is a weak Python-scalar pseudo-dtype."""
+    return name in _WEAK
+
+
+@lru_cache(maxsize=None)
+def valid_dtype(name: str) -> bool:
+    """Whether ``name`` names a real NumPy dtype."""
+    if name in _WEAK:
+        return True
+    try:
+        np.dtype(name)
+        return True
+    except TypeError:
+        return False
+
+
+def dtype_kind(name: str) -> str | None:
+    """NumPy kind character (``i``/``u``/``f``/``b``/``c``) or None."""
+    if name == PY_INT:
+        return "i"
+    if name == PY_FLOAT:
+        return "f"
+    if name == PY_BOOL:
+        return "b"
+    try:
+        return np.dtype(name).kind
+    except TypeError:
+        return None
+
+
+def dtype_itemsize(name: str) -> int | None:
+    """Item size in bytes; weak scalars report 0 (they never widen)."""
+    if name in _WEAK:
+        return 0
+    try:
+        return np.dtype(name).itemsize
+    except TypeError:
+        return None
+
+
+def is_integer_like(name: str) -> bool:
+    """True for signed/unsigned integer and boolean dtype names."""
+    kind = dtype_kind(name)
+    return kind in _INT_KINDS
+
+
+def is_float_like(name: str) -> bool:
+    """True for floating-point and complex dtype names."""
+    return dtype_kind(name) in ("f", "c")
+
+
+@lru_cache(maxsize=None)
+def promote_names(a: str, b: str) -> str | None:
+    """NumPy's promoted dtype name for two abstract dtype names.
+
+    Weak pseudo-dtypes promote by NEP 50 value-based semantics (a sample
+    Python scalar is passed to :func:`numpy.result_type`); two weak
+    operands stay weak.  Returns None when NumPy refuses the pair.
+    """
+    weak_samples = {PY_INT: 2, PY_FLOAT: 2.0, PY_BOOL: True}
+    if a in _WEAK and b in _WEAK:
+        order = {PY_BOOL: 0, PY_INT: 1, PY_FLOAT: 2}
+        return a if order[a] >= order[b] else b
+    try:
+        left = weak_samples.get(a, a)
+        right = weak_samples.get(b, b)
+        return np.result_type(left, right).name
+    except TypeError:
+        return None
+
+
+def promote(a: AbstractDtype, b: AbstractDtype) -> AbstractDtype:
+    """Pointwise promotion of two dtype sets (TOP-absorbing)."""
+    if a.is_top or b.is_top:
+        return AbstractDtype.top()
+    names = set()
+    for x in a.names:
+        for y in b.names:
+            p = promote_names(x, y)
+            if p is None:
+                return AbstractDtype.top()
+            names.add(p)
+    if len(names) > MAX_WIDTH:
+        return AbstractDtype.top()
+    return AbstractDtype(frozenset(names))

@@ -33,6 +33,7 @@ DEFAULT_PACKAGES = (
     "runtime",
     "obs",
     "pipeline",
+    "accel",
 )
 
 BaselineKey = tuple[str, str, str]
@@ -63,9 +64,22 @@ def iter_target_files(
     return files
 
 
-def lint_source(source: str, filename: str = "<snippet>") -> list[Finding]:
-    """Lint one source string (test fixtures, editor integration)."""
-    return run_rules(source, filename)
+def lint_source(
+    source: str, filename: str = "<snippet>", dataflow: bool = True
+) -> list[Finding]:
+    """Lint one source string (test fixtures, editor integration).
+
+    Runs the syntactic rules and, by default, the dataflow analyses
+    (SGL011–SGL014) — snippets are cheap enough that splitting the two
+    passes is not worth a second entry point.
+    """
+    findings = run_rules(source, filename)
+    if dataflow:
+        from repro.analysis.dataflow import analyze_source
+
+        findings.extend(analyze_source(source, filename).findings)
+        findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings
 
 
 def lint_file(path: Path, root: Path | None = None) -> list[Finding]:
@@ -82,11 +96,15 @@ def lint_paths(
     paths: list[Path] | None = None,
     root: Path | None = None,
     packages: tuple[str, ...] = DEFAULT_PACKAGES,
+    dataflow: bool = False,
 ) -> list[Finding]:
     """Lint explicit paths, or the default package set when ``paths`` empty.
 
     Directories are walked recursively; findings come back sorted by
-    ``(file, line, rule)``.
+    ``(file, line, rule)``.  With ``dataflow=True`` the interprocedural
+    SGL011–SGL014 analyses run once over the whole file set (they resolve
+    cross-module calls, so they cannot run file-by-file) and their
+    findings are merged in.
     """
     root = root or repo_src_root()
     files: list[Path] = []
@@ -101,6 +119,10 @@ def lint_paths(
     findings: list[Finding] = []
     for f in files:
         findings.extend(lint_file(f, root))
+    if dataflow:
+        from repro.analysis.dataflow import run_dataflow
+
+        findings.extend(run_dataflow(files, root).findings)
     findings.sort(key=lambda f: (f.file, f.line, f.rule))
     return findings
 
@@ -143,6 +165,20 @@ def load_baseline(path: Path | None = None) -> Counter[BaselineKey]:
         key = (entry["rule"], entry["file"], entry["text"])
         counts[key] += int(entry.get("count", 1))
     return counts
+
+
+def stale_entries(
+    findings: list[Finding], baseline: Counter[BaselineKey]
+) -> list[tuple[BaselineKey, int]]:
+    """Baseline entries (with multiplicities) no longer matched by any
+    current finding — candidates for pruning on the next refresh."""
+    current = baseline_counter(findings)
+    stale: list[tuple[BaselineKey, int]] = []
+    for key, count in sorted(baseline.items()):
+        excess = count - current.get(key, 0)
+        if excess > 0:
+            stale.append((key, excess))
+    return stale
 
 
 def new_findings(

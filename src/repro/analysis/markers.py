@@ -9,21 +9,50 @@ any module can import it without cycles.
 
 from __future__ import annotations
 
-from typing import Callable, TypeVar
+from typing import Callable, Iterable, TypeVar, overload
 
 F = TypeVar("F", bound=Callable)
 
 
-def kernel(fn: F) -> F:
+@overload
+def kernel(fn: F) -> F: ...
+
+
+@overload
+def kernel(
+    *,
+    reads: Iterable[str] | None = None,
+    writes: Iterable[str] | None = None,
+) -> Callable[[F], F]: ...
+
+
+def kernel(fn=None, *, reads=None, writes=None):
     """Mark ``fn`` as a kernel-equivalent hot function.
 
     Purely declarative: the function is returned unchanged, with a
     ``__repro_kernel__`` attribute for introspection.  The analyzer keys
     off the decorator *name* in the AST, so ``@kernel`` must be applied
     undisguised (no aliasing).
+
+    The parameterized form ``@kernel(reads=(...), writes=(...))``
+    additionally declares the kernel's effect contract over its parameter
+    regions: ``writes`` names every parameter (or ``"self"``) the kernel
+    may store into.  The dataflow analyzer (SGL013 *effect-escape*)
+    verifies the contract statically; declarations must be literal string
+    tuples so the AST analysis can read them.
     """
-    fn.__repro_kernel__ = True  # type: ignore[attr-defined]
-    return fn
+
+    def apply(f: F) -> F:
+        f.__repro_kernel__ = True  # type: ignore[attr-defined]
+        if reads is not None:
+            f.__repro_reads__ = tuple(reads)  # type: ignore[attr-defined]
+        if writes is not None:
+            f.__repro_writes__ = tuple(writes)  # type: ignore[attr-defined]
+        return f
+
+    if fn is not None:
+        return apply(fn)
+    return apply
 
 
 def is_kernel(fn: Callable) -> bool:

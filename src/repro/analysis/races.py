@@ -18,6 +18,13 @@ pattern matches what the vectorized kernels compute, at word granularity:
   ``pair_matches``/``matched`` slots, and bumps the global match counter
   with an *atomic* — atomics never conflict with each other in the model.
 
+* **Tabular join** (``repro.accel.tabular``): same work decomposition as
+  the DFS join, but each pair additionally builds its frontier tables in
+  a private ``FRONTIER_STRIDE``-word region of a shared
+  ``tabular.frontier`` space and reads the flattened sorted-CSR
+  key/edge-label tables.  Regions are disjoint per pair, so an
+  off-by-one in the stride arithmetic would surface as a conflict.
+
 :func:`scatter_add_trace` is the canonical seeded-race kernel: a naive
 (non-atomic) scatter-add whose duplicate targets produce the write-write
 conflicts the detector must flag.
@@ -128,6 +135,83 @@ def trace_join_races(
     return shadow
 
 
+#: Private frontier-table region reserved per (data, query) pair in the
+#: tabular trace; frontier writes land at ``pair_idx * stride + offset``.
+FRONTIER_STRIDE = 1 << 14
+
+
+def trace_tabular_join_races(
+    query: CSRGO,
+    data: CSRGO,
+    config: SigmoConfig | None = None,
+    shadow: ShadowMemory | None = None,
+) -> ShadowMemory:
+    """Replay the tabular frontier-join backend's memory plan.
+
+    Same work decomposition as the DFS join (one work-item per
+    (data graph, query graph) pair, all pairs in one epoch) but the
+    tabular backend's memory traffic: the sorted flat-key/edge-label
+    arrays replace scalar dict probes, and each pair grows a *private*
+    frontier table (``extend_frontier``'s ``new_table``/``dup``
+    allocations) — modeled as a per-pair region of the
+    ``tabular.frontier`` space, so any cross-pair frontier sharing would
+    conflict.  Result slots and the atomic Find-All counter are shared
+    with the DFS plan.
+    """
+    config = config or SigmoConfig(refinement_iterations=2)
+    shadow = shadow or ShadowMemory()
+    filt = IterativeFilter(query, data, config)
+    filter_result = filt.run()
+    bitmap = filter_result.bitmap
+    gmcr = build_gmcr(bitmap, query, data)
+    n_words = bitmap.words.shape[1]
+    word_bits = bitmap.word_bits
+
+    for d in range(gmcr.n_data_graphs):
+        pair_lo = int(gmcr.data_graph_offsets[d])
+        pair_hi = int(gmcr.data_graph_offsets[d + 1])
+        if pair_hi == pair_lo:
+            continue
+        d_start, d_stop = data.graph_node_range(d)
+        csr_rows = np.arange(d_start, d_stop + 1, dtype=np.int64)
+        adj_lo = int(data.row_offsets[d_start])
+        adj_hi = int(data.row_offsets[d_stop])
+        edge_slots = np.arange(adj_lo, adj_hi, dtype=np.int64)
+        w_lo = d_start // word_bits
+        w_hi = -(-d_stop // word_bits)
+        graph_words = np.arange(w_lo, w_hi, dtype=np.int64)
+        for pair_idx in range(pair_lo, pair_hi):
+            item = pair_idx
+            qg = int(gmcr.query_graph_indices[pair_idx])
+            q_start, q_stop = query.graph_node_range(qg)
+            base = pair_idx * FRONTIER_STRIDE
+            offset = 0
+            # Local-view construction + vectorized probes: shared
+            # read-only CSR traffic (row offsets, sorted flat keys, the
+            # parallel edge labels).
+            shadow.read_many("csr.row_offsets", csr_rows, item)
+            shadow.read_many("csr.flat_keys", edge_slots, item)
+            shadow.read_many("csr.edge_labels", edge_slots, item)
+            for q in range(q_start, q_stop):
+                shadow.read_many("bitmap", q * n_words + graph_words, item)
+                # extend_frontier materializes the next depth's table (and
+                # its dedup scratch) in pair-private storage, one slot per
+                # surviving candidate row.
+                n_rows = min(
+                    len(bitmap.candidates_of(q)), FRONTIER_STRIDE - offset
+                )
+                if n_rows > 0:
+                    rows = base + offset + np.arange(n_rows, dtype=np.int64)
+                    shadow.write_many("tabular.frontier", rows, item)
+                    offset += n_rows
+            # Private result slots + the designated GMCR boolean.
+            shadow.write("join.pair_matches", pair_idx, item)
+            shadow.write("gmcr.matched", pair_idx, item)
+            # Global Find-All counter: atomic by design.
+            shadow.atomic("join.match_count", 0, item)
+    return shadow
+
+
 def scatter_add_trace(
     indices, shadow: ShadowMemory | None = None
 ) -> ShadowMemory:
@@ -164,4 +248,5 @@ def run_race_checks(
     return {
         "refine": trace_refine_races(query, data),
         "join": trace_join_races(query, data),
+        "tabular": trace_tabular_join_races(query, data),
     }

@@ -44,11 +44,37 @@ SGL010    driver-bypass        warning   direct ``run_join(...)`` /
                                          contract checks, and artifact caching
                                          attach in one place (legacy shims are
                                          baselined).
+SGL011    implicit-upcast      warning   dataflow-backed (see
+                                         :mod:`repro.analysis.dataflow`): an
+                                         arithmetic/bitwise op whose NumPy-
+                                         promoted dtype silently leaves the
+                                         integer family, widens beyond both
+                                         operands, overflows a signed shift, or
+                                         casts an in-place update back.
+SGL012    narrowing-cast       warning   dataflow-backed: ``astype``/dtype-ctor
+                                         casts and stores that lose width, sign,
+                                         or the fractional part.
+SGL013    effect-escape        error     dataflow-backed: a ``@kernel(writes=…)``
+                                         function stores to a parameter region
+                                         outside its declared write set.
+SGL014    backend-unportable   warning   dataflow-backed: an ``np.*``/array-
+                                         method call reachable from a kernel
+                                         entry point that is outside the
+                                         allowlisted array-API subset.
 ========  ===================  ========  ==========================================
+
+The dataflow-backed rules (SGL011–SGL014) are registered here for the
+shared catalog/severity/baseline machinery but are *emitted* by
+``python -m repro analyze --dataflow`` via
+:func:`repro.analysis.dataflow.run_dataflow`, not by :func:`run_rules`.
 
 Suppression: append ``# sigmo: allow=SGL00X`` (comma-separated ids, or
 ``*``) to the flagged line.  Repo-wide accepted findings live in the
 committed baseline instead (see :mod:`repro.analysis.linter`).
+
+NumPy alias resolution is per-module: ``import numpy as xp`` and
+``from numpy import zeros`` are recognized exactly like ``np.zeros``
+(see :func:`repro.analysis.dataflow.ir.collect_np_namespace`).
 """
 
 from __future__ import annotations
@@ -57,9 +83,11 @@ import ast
 import re
 from dataclasses import dataclass
 
+from repro.analysis.dataflow.ir import collect_np_namespace
 from repro.analysis.findings import Finding, Severity
 
-#: NumPy module aliases recognized in ``Attribute`` roots.
+#: Default NumPy module aliases (snippets without imports); real modules
+#: get their aliases resolved per-module from their import statements.
 _NP_NAMES = {"np", "numpy"}
 _UNSIGNED_DTYPES = {"uint8", "uint16", "uint32", "uint64", "uintp"}
 _SIGNED_DTYPES = {"int8", "int16", "int32", "int64", "intp"}
@@ -92,6 +120,10 @@ RULES: dict[str, Rule] = {
         Rule("SGL008", "unused-import", Severity.WARNING),
         Rule("SGL009", "counter-bypass", Severity.WARNING),
         Rule("SGL010", "driver-bypass", Severity.WARNING),
+        Rule("SGL011", "implicit-upcast", Severity.WARNING),
+        Rule("SGL012", "narrowing-cast", Severity.WARNING),
+        Rule("SGL013", "effect-escape", Severity.ERROR),
+        Rule("SGL014", "backend-unportable", Severity.WARNING),
     )
 }
 
@@ -106,72 +138,6 @@ _COUNTER_TOKEN_RE = re.compile(
     r"(?:^|_)(?:instr|instructions|visits|checks|echecks|pushes|ops|bytes|"
     r"work_items)(?:_|$)"
 )
-
-
-def _is_np_attr(node: ast.AST, attrs: set[str]) -> bool:
-    """Whether ``node`` is ``np.<attr>`` / ``numpy.<attr>`` with attr in set."""
-    return (
-        isinstance(node, ast.Attribute)
-        and node.attr in attrs
-        and isinstance(node.value, ast.Name)
-        and node.value.id in _NP_NAMES
-    )
-
-
-def _dtype_signedness(node: ast.AST) -> str | None:
-    """Classify a dtype expression: 'unsigned', 'signed', or None."""
-    if _is_np_attr(node, _UNSIGNED_DTYPES):
-        return "unsigned"
-    if _is_np_attr(node, _SIGNED_DTYPES):
-        return "signed"
-    if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        name = node.value.lstrip("<>=")
-        if name in _UNSIGNED_DTYPES:
-            return "unsigned"
-        if name in _SIGNED_DTYPES:
-            return "signed"
-    return None
-
-
-def _shift_operand_signedness(node: ast.AST) -> str | None:
-    """Classify a shift operand's *explicit* NumPy signedness.
-
-    Only explicit evidence counts: ``np.uint64(...)`` constructors,
-    ``.astype(np.uint64)`` / ``.view(np.uint64)`` casts (also string dtype
-    forms).  Python int literals and bare names are ``None`` (unknown) —
-    NumPy accepts Python ints alongside either signedness.
-    """
-    if isinstance(node, ast.Call):
-        func = node.func
-        if _is_np_attr(func, _UNSIGNED_DTYPES):
-            return "unsigned"
-        if _is_np_attr(func, _SIGNED_DTYPES):
-            return "signed"
-        if isinstance(func, ast.Attribute) and func.attr in ("astype", "view"):
-            if node.args:
-                return _dtype_signedness(node.args[0])
-            for kw in node.keywords:
-                if kw.arg == "dtype":
-                    return _dtype_signedness(kw.value)
-    if isinstance(node, ast.BinOp):
-        left = _shift_operand_signedness(node.left)
-        right = _shift_operand_signedness(node.right)
-        if left == right:
-            return left
-        return left or right
-    if isinstance(node, ast.UnaryOp):
-        return _shift_operand_signedness(node.operand)
-    return None
-
-
-def _is_signed_scalar_call(node: ast.AST) -> bool:
-    """``np.int64(<constant>)`` and friends — signed mask seeds."""
-    return (
-        isinstance(node, ast.Call)
-        and _is_np_attr(node.func, _SIGNED_DTYPES)
-        and len(node.args) == 1
-        and isinstance(node.args[0], ast.Constant)
-    )
 
 
 def _decorator_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
@@ -219,13 +185,102 @@ def _has_constant_number(args: list[ast.expr]) -> bool:
 
 
 class _Visitor(ast.NodeVisitor):
-    """Single-pass visitor dispatching all structural rules."""
+    """Single-pass visitor dispatching all structural rules.
 
-    def __init__(self, filename: str, lines: list[str]) -> None:
+    ``np_aliases``/``np_from`` carry the module's resolved NumPy
+    namespace (``import numpy as xp``, ``from numpy import zeros``), so
+    aliased usage is checked exactly like the conventional ``np.``.
+    """
+
+    def __init__(
+        self,
+        filename: str,
+        lines: list[str],
+        np_aliases: frozenset[str] | set[str] | None = None,
+        np_from: dict[str, str] | None = None,
+    ) -> None:
         self.filename = filename
         self.lines = lines
+        self.np_aliases = set(np_aliases) if np_aliases else set(_NP_NAMES)
+        self.np_from = dict(np_from or {})
         self.findings: list[Finding] = []
         self._kernel_depth = 0
+
+    # -- NumPy namespace resolution -------------------------------------------
+
+    def _np_name_of(self, node: ast.AST) -> str | None:
+        """The numpy attribute a call/attribute node resolves to, if any."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.np_aliases
+        ):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return self.np_from.get(node.id)
+        return None
+
+    def _is_np_attr(self, node: ast.AST, attrs: set[str]) -> bool:
+        """Whether ``node`` resolves to a numpy attribute in ``attrs``."""
+        name = self._np_name_of(node)
+        return name is not None and name in attrs
+
+    def _dtype_signedness(self, node: ast.AST) -> str | None:
+        """Classify a dtype expression: 'unsigned', 'signed', or None."""
+        if self._is_np_attr(node, _UNSIGNED_DTYPES):
+            return "unsigned"
+        if self._is_np_attr(node, _SIGNED_DTYPES):
+            return "signed"
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            name = node.value.lstrip("<>=")
+            if name in _UNSIGNED_DTYPES:
+                return "unsigned"
+            if name in _SIGNED_DTYPES:
+                return "signed"
+        return None
+
+    def _shift_operand_signedness(self, node: ast.AST) -> str | None:
+        """Classify a shift operand's *explicit* NumPy signedness.
+
+        Only explicit evidence counts: ``np.uint64(...)`` constructors,
+        ``.astype(np.uint64)`` / ``.view(np.uint64)`` casts (also string
+        dtype forms).  Python int literals and bare names are ``None``
+        (unknown) — NumPy accepts Python ints alongside either
+        signedness.
+        """
+        if isinstance(node, ast.Call):
+            func = node.func
+            if self._is_np_attr(func, _UNSIGNED_DTYPES):
+                return "unsigned"
+            if self._is_np_attr(func, _SIGNED_DTYPES):
+                return "signed"
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "astype",
+                "view",
+            ):
+                if node.args:
+                    return self._dtype_signedness(node.args[0])
+                for kw in node.keywords:
+                    if kw.arg == "dtype":
+                        return self._dtype_signedness(kw.value)
+        if isinstance(node, ast.BinOp):
+            left = self._shift_operand_signedness(node.left)
+            right = self._shift_operand_signedness(node.right)
+            if left == right:
+                return left
+            return left or right
+        if isinstance(node, ast.UnaryOp):
+            return self._shift_operand_signedness(node.operand)
+        return None
+
+    def _is_signed_scalar_call(self, node: ast.AST) -> bool:
+        """``np.int64(<constant>)`` and friends — signed mask seeds."""
+        return (
+            isinstance(node, ast.Call)
+            and self._is_np_attr(node.func, _SIGNED_DTYPES)
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+        )
 
     # -- emission ------------------------------------------------------------
 
@@ -255,8 +310,8 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_BinOp(self, node: ast.BinOp) -> None:
         if isinstance(node.op, (ast.LShift, ast.RShift)):
-            left = _shift_operand_signedness(node.left)
-            right = _shift_operand_signedness(node.right)
+            left = self._shift_operand_signedness(node.left)
+            right = self._shift_operand_signedness(node.right)
             if {left, right} == {"unsigned", "signed"}:
                 self.emit(
                     "SGL001",
@@ -267,7 +322,7 @@ class _Visitor(ast.NodeVisitor):
                 )
             elif (
                 isinstance(node.op, ast.LShift)
-                and _is_signed_scalar_call(node.left)
+                and self._is_signed_scalar_call(node.left)
                 and not isinstance(node.right, ast.Constant)
             ):
                 self.emit(
@@ -303,13 +358,13 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         self._check_driver_bypass(node)
-        if _is_np_attr(node.func, _ALLOC_FUNCS):
+        alloc_name = self._np_name_of(node.func)
+        if alloc_name in _ALLOC_FUNCS:
             if not any(kw.arg == "dtype" for kw in node.keywords):
-                assert isinstance(node.func, ast.Attribute)
                 self.emit(
                     "SGL002",
                     node,
-                    f"np.{node.func.attr}() without an explicit dtype=; "
+                    f"np.{alloc_name}() without an explicit dtype=; "
                     "default dtypes are platform-dependent and silently "
                     "widen packed/bitmap arithmetic",
                 )
@@ -318,7 +373,7 @@ class _Visitor(ast.NodeVisitor):
                 isinstance(node.func, ast.Name)
                 and node.func.id in ("min", "max")
                 and len(node.args) >= 2
-            ) or _is_np_attr(node.func, _CLAMP_ATTRS)
+            ) or self._is_np_attr(node.func, _CLAMP_ATTRS)
             if is_clamp and _has_constant_number(node.args):
                 self.emit(
                     "SGL007",
@@ -470,7 +525,8 @@ def run_rules(source: str, filename: str) -> list[Finding]:
     """Run every rule over one module's source; returns findings."""
     tree = ast.parse(source, filename=filename)
     lines = source.splitlines()
-    visitor = _Visitor(filename, lines)
+    np_aliases, np_from = collect_np_namespace(tree)
+    visitor = _Visitor(filename, lines, np_aliases, np_from)
     visitor.visit(tree)
     findings = visitor.findings
     findings.extend(_check_unused_imports(tree, filename, lines))

@@ -83,10 +83,23 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--baseline", metavar="FILE",
                    help="baseline file (default: the committed one)")
     p.add_argument("--update-baseline", action="store_true",
-                   help="accept current findings as the new baseline")
-    p.add_argument("--format", choices=("text", "json"), default="text")
+                   help="accept current findings as the new baseline "
+                        "(always includes the dataflow analyses; stale "
+                        "entries are pruned and reported)")
+    p.add_argument("--format", choices=("text", "json", "github"),
+                   default="text",
+                   help="github emits ::error/::warning workflow commands "
+                        "for new findings")
     p.add_argument("--no-dynamic", action="store_true",
                    help="skip the contract-checked run and race traces")
+    p.add_argument("--dataflow", action="store_true",
+                   help="run the abstract-interpretation dataflow analyses "
+                        "(SGL011-SGL014) and, with dynamic checks enabled, "
+                        "the static-vs-dynamic effect coverage gate")
+    p.add_argument("--write-surface", nargs="?", metavar="FILE",
+                   const="docs/backend_surface.md", default=None,
+                   help="write the kernel backend-surface report "
+                        "(implies --dataflow; default: %(const)s)")
 
 
 def _add_resilient_run(sub: argparse._SubParsersAction) -> None:
@@ -315,8 +328,9 @@ def cmd_analyze(args) -> int:
     from repro.analysis.findings import format_findings
 
     paths = [Path(p) for p in args.paths] if args.paths else None
+    dataflow = args.dataflow or args.write_surface or args.update_baseline
     try:
-        findings = linter.lint_paths(paths)
+        findings = linter.lint_paths(paths, dataflow=dataflow)
     except OSError as exc:
         print(f"analyze: cannot read {exc.filename}: {exc.strerror}", file=sys.stderr)
         return 2
@@ -326,11 +340,38 @@ def cmd_analyze(args) -> int:
             file=sys.stderr,
         )
         return 2
+    except Exception as exc:  # noqa: BLE001 -- exit 2 = analyzer crashed,
+        # distinct from exit 1 = new findings (CI gates on the difference)
+        print(f"analyze: analyzer crashed: {exc!r}", file=sys.stderr)
+        return 2
+
+    if args.write_surface:
+        from repro.analysis.dataflow import render_report, run_dataflow
+
+        files = linter.iter_target_files()
+        report = run_dataflow(files, linter.repo_src_root())
+        out = Path(args.write_surface)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(render_report(report.surface))
+        print(
+            f"surface report written: {out} "
+            f"({len(report.surface)} reachable call sites)"
+        )
+        if args.write_surface and not (args.dataflow or args.update_baseline):
+            return 0
 
     if args.update_baseline:
         target = Path(args.baseline) if args.baseline else None
+        old = linter.load_baseline(target)
+        stale = linter.stale_entries(findings, old)
         written = linter.save_baseline(findings, target)
         print(f"baseline updated: {written} ({len(findings)} accepted findings)")
+        if stale:
+            print(f"pruned {sum(n for _, n in stale)} stale baseline entr" +
+                  ("y:" if sum(n for _, n in stale) == 1 else "ies:"))
+            for (rule, file, text), n in stale:
+                suffix = f" (x{n})" if n > 1 else ""
+                print(f"  {rule} {file}: {text}{suffix}")
         return 0
 
     baseline_path = Path(args.baseline) if args.baseline else None
@@ -339,6 +380,7 @@ def cmd_analyze(args) -> int:
 
     contract_error: str | None = None
     race_report: dict = {}
+    coverage = None
     if not args.no_dynamic:
         from repro.analysis.races import run_race_checks
 
@@ -349,6 +391,17 @@ def cmd_analyze(args) -> int:
             contract_error = str(exc)
             shadows = {}
         race_report = {name: sh.summary() for name, sh in shadows.items()}
+        if dataflow and shadows:
+            from repro.analysis.dataflow import effect_coverage
+
+            try:
+                coverage = effect_coverage(shadows)
+            except Exception as exc:  # noqa: BLE001 -- crash, not finding
+                print(
+                    f"analyze: effect coverage crashed: {exc!r}",
+                    file=sys.stderr,
+                )
+                return 2
         if contract_error is None:
             from repro.chem.datasets import build_benchmark
             from repro.core.engine import SigmoEngine
@@ -360,7 +413,10 @@ def cmd_analyze(args) -> int:
             except contracts.ContractViolation as exc:
                 contract_error = str(exc)
     n_races = sum(len(r["conflicts"]) for r in race_report.values())
-    ok = not fresh and not n_races and contract_error is None
+    coverage_ok = coverage.ok if coverage is not None else True
+    ok = (
+        not fresh and not n_races and contract_error is None and coverage_ok
+    )
 
     if args.format == "json":
         payload = {
@@ -371,7 +427,30 @@ def cmd_analyze(args) -> int:
             "contract_error": contract_error,
             "ok": ok,
         }
+        if coverage is not None:
+            payload["effect_coverage"] = coverage.to_dict()
         print(json.dumps(payload, indent=2))
+    elif args.format == "github":
+        # GitHub Actions workflow commands: annotate new findings in the PR.
+        for f in fresh:
+            level = "error" if f.severity.value == "error" else "warning"
+            message = f"{f.rule} ({f.name}): {f.message}"
+            loc = f.file if f.file.startswith("/") else f"src/repro/{f.file}"
+            print(
+                f"::{level} file={loc},line={f.line},"
+                f"title={f.rule}::{message}"
+            )
+        if coverage is not None and not coverage.ok:
+            print(
+                "::error title=effect-coverage::static effect sets do not "
+                "cover the dynamic shadow-memory traces (run `python -m "
+                "repro analyze --dataflow` locally for the report)"
+            )
+        print(
+            f"lint: {len(findings)} finding(s), {len(fresh)} new "
+            f"(baseline: {sum(baseline.values())})"
+        )
+        print("analyze: ok" if ok else "analyze: FAILED")
     else:
         if fresh:
             print(format_findings(fresh))
@@ -387,6 +466,8 @@ def cmd_analyze(args) -> int:
             )
             for line in report["conflicts"]:
                 print(f"  {line}")
+        if coverage is not None:
+            print(coverage.format())
         if not args.no_dynamic:
             print(
                 "contracts: violation\n" + contract_error

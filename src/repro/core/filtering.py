@@ -94,7 +94,7 @@ class FilterResult:
         return self.iterations[-1].total_candidates if self.iterations else 0
 
 
-@kernel
+@kernel(writes=())
 def initialize_candidates(
     query: CSRGO, data: CSRGO, word_bits: int = 64, wildcard_label: int | None = None
 ) -> CandidateBitmap:
@@ -128,7 +128,7 @@ def initialize_candidates(
     return bitmap
 
 
-@kernel
+@kernel(writes=("bitmap",))
 def refine_candidates(
     bitmap: CandidateBitmap,
     query_counts: np.ndarray,

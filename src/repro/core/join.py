@@ -357,7 +357,7 @@ def compile_plans(
 _LocalGraphView = LocalCSRView
 
 
-@kernel
+@kernel(writes=("stats", "record"))
 def join_pair(
     view: _LocalGraphView,
     plan: QueryPlan,

@@ -266,7 +266,7 @@ class SignatureState:
         """True once no node discovered anything at the last step."""
         return self.radius > 0 and self._frontier.nnz == 0
 
-    @kernel
+    @kernel(writes=("self",))
     def step(self) -> np.ndarray:
         """Advance every node's view by one ring; return the new counts.
 

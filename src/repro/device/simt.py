@@ -106,6 +106,10 @@ class ShadowMemory:
         self._flagged: dict[tuple[str, int, int], int] = {}
         self._items: set[int] = set()
         self._footprint: set[tuple[str, int]] = set()
+        #: per-space set of access kinds observed over the whole trace
+        #: (never reset by barriers) — the static effect analysis
+        #: cross-checks these against kernel read/write summaries.
+        self._space_kinds: dict[str, set[str]] = {}
 
     # -- recording ------------------------------------------------------------
 
@@ -121,6 +125,7 @@ class ShadowMemory:
         self._items.add(item)
         key = (space, int(word))
         self._footprint.add(key)
+        self._space_kinds.setdefault(space, set()).add(kind)
         cell = self._table.setdefault(key, {})
         conflicting = False
         for other, mask in cell.items():
@@ -189,6 +194,18 @@ class ShadowMemory:
         """Distinct (space, word) cells ever touched."""
         return len(self._footprint)
 
+    def access_kinds(self) -> dict[str, frozenset[str]]:
+        """Per-space access kinds over the whole trace (barrier-independent).
+
+        Maps each touched memory space to the subset of
+        ``{"read", "write", "atomic"}`` observed; consumed by the static
+        effect-coverage gate in :mod:`repro.analysis.dataflow.effects`.
+        """
+        return {
+            space: frozenset(kinds)
+            for space, kinds in self._space_kinds.items()
+        }
+
     def summary(self) -> dict:
         """JSON-friendly counters + conflict list."""
         return {
@@ -199,6 +216,10 @@ class ShadowMemory:
             "atomics": self.n_atomics,
             "footprint_words": self.footprint_words,
             "footprint_bytes": self.footprint_words * self.word_bytes,
+            "spaces": {
+                space: sorted(kinds)
+                for space, kinds in sorted(self._space_kinds.items())
+            },
             "conflicts": [c.format() for c in self.conflicts],
         }
 

@@ -46,7 +46,7 @@ def bitmap_words(n_bits: int, word_bits: int = WORD_BITS) -> int:
     return -(-n_bits // word_bits)
 
 
-@kernel
+@kernel(writes=())
 def pack_bool_rows(rows: np.ndarray, word_bits: int = WORD_BITS) -> np.ndarray:
     """Pack a 2-D boolean array into row-major bitmap words.
 
@@ -137,7 +137,7 @@ def bit_positions(word_row: np.ndarray, word_bits: int = WORD_BITS) -> np.ndarra
     return np.nonzero(bits)[0]
 
 
-@kernel
+@kernel(writes=("words",))
 def set_bits(
     words: np.ndarray, row: int, positions: np.ndarray, word_bits: int = WORD_BITS
 ) -> None:

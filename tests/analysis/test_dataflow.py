@@ -1,0 +1,451 @@
+"""Dataflow analyzer: lattice laws, NEP 50 promotion, seeded bad kernels
+for SGL011-SGL014, interprocedural effect summaries, the static-vs-dynamic
+shadow-memory coverage gate, and the backend-surface report."""
+
+import itertools
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import contracts
+from repro.analysis.dataflow import (
+    EffectIndex,
+    analyze_source,
+    effect_coverage,
+    render_report,
+    run_dataflow,
+    summarize_function,
+)
+from repro.analysis.dataflow.lattice import (
+    MAX_WIDTH,
+    PY_BOOL,
+    PY_FLOAT,
+    PY_INT,
+    TOP,
+    AbstractDtype,
+    AbstractRank,
+    AbstractValue,
+    promote,
+    promote_names,
+)
+from repro.analysis.linter import repo_src_root
+from repro.analysis.races import run_race_checks
+
+pytestmark = pytest.mark.analysis
+
+KERNEL_IMPORT = "from repro.analysis.markers import kernel\n"
+
+
+def rules_of(source, filename="mod.py"):
+    return [(f.rule, f.line) for f in analyze_source(source, filename).findings]
+
+
+# -- lattice laws --------------------------------------------------------------
+
+_SAMPLE_DTYPES = [
+    AbstractDtype.of("int32"),
+    AbstractDtype.of("uint64"),
+    AbstractDtype.of("float64", "float32"),
+    AbstractDtype.of(PY_INT),
+    AbstractDtype.top(),
+    AbstractDtype.bottom(),
+]
+
+
+@pytest.mark.parametrize(
+    "a,b", list(itertools.product(_SAMPLE_DTYPES, repeat=2))
+)
+def test_dtype_join_commutative_and_absorbing(a, b):
+    assert a.join(b) == b.join(a)
+    # join is an upper bound: joining the result again changes nothing
+    assert a.join(b).join(a) == a.join(b)
+    assert a.join(a) == a  # idempotent
+
+
+def test_dtype_join_collapses_to_top_beyond_max_width():
+    wide = AbstractDtype.of(*[f"t{i}" for i in range(MAX_WIDTH)])
+    assert not wide.is_top
+    assert wide.join(AbstractDtype.of("one_more")).is_top
+
+
+def test_top_absorbs_everything():
+    assert AbstractDtype.top().join(AbstractDtype.of("int8")).is_top
+    assert AbstractRank.top().join(AbstractRank.of(1)).is_top
+    assert TOP.join(AbstractValue.scalar("int64")) == TOP
+
+
+def test_rank_broadcast_is_max():
+    a = AbstractRank.of(0, 1)
+    b = AbstractRank.of(2)
+    assert a.broadcast(b) == AbstractRank.of(2)
+    assert a.broadcast(AbstractRank.top()).is_top
+
+
+# -- NEP 50 promotion ----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "a,b",
+    [
+        ("int32", "int64"),
+        ("uint8", "int16"),
+        ("uint64", "int64"),
+        ("float32", "float64"),
+        ("bool", "uint8"),
+        (PY_INT, "int8"),
+        (PY_FLOAT, "float32"),
+        (PY_BOOL, "bool"),
+    ],
+)
+def test_promotion_matches_numpy(a, b):
+    samples = {PY_INT: 2, PY_FLOAT: 2.0, PY_BOOL: True}
+    lhs = samples.get(a, np.dtype(a) if a not in samples else a)
+    rhs = samples.get(b, np.dtype(b) if b not in samples else b)
+    expected = np.result_type(lhs, rhs).name
+    assert promote_names(a, b) == expected
+
+
+def test_uint64_int64_promotes_to_float64():
+    # The NumPy promotion footgun the analyzer exists to catch.
+    assert promote_names("uint64", "int64") == "float64"
+
+
+def test_promote_pointwise_with_top():
+    assert promote(AbstractDtype.top(), AbstractDtype.of("int8")).is_top
+    got = promote(AbstractDtype.of("int32"), AbstractDtype.of("int64"))
+    assert got == AbstractDtype.of("int64")
+    # multi-name operands promote pointwise
+    got = promote(
+        AbstractDtype.of("int16", "int64"), AbstractDtype.of("float32")
+    )
+    assert got.names == frozenset(
+        {np.result_type(np.int16, np.float32).name,
+         np.result_type(np.int64, np.float32).name}
+    )
+
+
+# -- SGL011: implicit upcast ---------------------------------------------------
+
+
+def test_mixed_sign_add_flags_float_escape():
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(n):\n"
+        "    a = np.zeros(n, dtype=np.uint64)\n"
+        "    b = np.ones(n, dtype=np.int64)\n"
+        "    return a + b\n"
+    )
+    assert ("SGL011", 7) in rules_of(src)
+
+
+def test_int64_shift_by_variable_width_flagged():
+    # np.int64(1) << 64 silently overflows; a variable width cannot be
+    # proven < 64, so the shift is overflow-capable.
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(w):\n"
+        "    one = np.int64(1)\n"
+        "    return one << w\n"
+    )
+    assert any(rule == "SGL011" for rule, _ in rules_of(src))
+
+
+def test_same_dtype_arithmetic_not_flagged():
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(n):\n"
+        "    a = np.zeros(n, dtype=np.uint64)\n"
+        "    return (a | a) + a\n"
+    )
+    assert rules_of(src) == []
+
+
+def test_unknown_dtype_never_flagged():
+    # Precision discipline: parameters are TOP; no finding without two
+    # known concrete dtypes (zero false positives on unannotated code).
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(a, b):\n"
+        "    return a + b\n"
+    )
+    assert rules_of(src) == []
+
+
+def test_augmented_writeback_cast_flagged():
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(n):\n"
+        "    acc = np.zeros(n, dtype=np.int32)\n"
+        "    acc += np.float64(1.5)\n"
+        "    return acc\n"
+    )
+    assert any(rule == "SGL011" for rule, _ in rules_of(src))
+
+
+# -- SGL012: narrowing cast ----------------------------------------------------
+
+
+def test_float_to_int_astype_flagged():
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(n):\n"
+        "    a = np.zeros(n, dtype=np.float64)\n"
+        "    return a.astype(np.int64)\n"
+    )
+    assert ("SGL012", 6) in rules_of(src)
+
+
+def test_signed_to_unsigned_astype_flagged():
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(n):\n"
+        "    a = np.zeros(n, dtype=np.int64)\n"
+        "    return a.astype(np.uint64)\n"
+    )
+    assert any(rule == "SGL012" for rule, _ in rules_of(src))
+
+
+def test_widening_astype_not_flagged():
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(n):\n"
+        "    a = np.zeros(n, dtype=np.int32)\n"
+        "    return a.astype(np.float64)\n"
+    )
+    assert rules_of(src) == []
+
+
+def test_narrowing_scalar_constructor_flagged():
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(n):\n"
+        "    a = np.ones(n, dtype=np.int64)\n"
+        "    return np.int32(a)\n"
+    )
+    assert any(rule == "SGL012" for rule, _ in rules_of(src))
+
+
+# -- SGL013: effect escape -----------------------------------------------------
+
+
+def test_undeclared_param_store_flagged():
+    src = (
+        KERNEL_IMPORT +
+        "@kernel(writes=())\n"
+        "def f(out, n):\n"
+        "    out[n] = 1\n"
+    )
+    assert rules_of(src) == [("SGL013", 4)]
+
+
+def test_declared_param_store_clean():
+    src = (
+        KERNEL_IMPORT +
+        "@kernel(writes=('out',))\n"
+        "def f(out, n):\n"
+        "    out[n] = 1\n"
+    )
+    assert rules_of(src) == []
+
+
+def test_attribute_store_escape_flagged():
+    src = (
+        KERNEL_IMPORT +
+        "@kernel(writes=('stats',))\n"
+        "def f(stats, record):\n"
+        "    stats.visits += 1\n"
+        "    record.append(3)\n"
+    )
+    assert rules_of(src) == [("SGL013", 5)]
+
+
+def test_store_through_nested_closure_attributed_to_kernel():
+    src = (
+        KERNEL_IMPORT +
+        "@kernel(writes=())\n"
+        "def f(out):\n"
+        "    def inner(i):\n"
+        "        out[i] = 1\n"
+        "    inner(0)\n"
+    )
+    assert [rule for rule, _ in rules_of(src)] == ["SGL013"]
+
+
+def test_local_stores_never_escape():
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "@kernel(writes=())\n"
+        "def f(n):\n"
+        "    scratch = np.zeros(n, dtype=np.int64)\n"
+        "    scratch[0] = 1\n"
+        "    return scratch\n"
+    )
+    assert rules_of(src) == []
+
+
+def test_bare_kernel_without_contract_unchecked():
+    src = (
+        KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(out):\n"
+        "    out[0] = 1\n"
+    )
+    assert rules_of(src) == []
+
+
+# -- SGL014: backend surface ---------------------------------------------------
+
+
+def test_unportable_call_reachable_through_helper():
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "def helper(mask):\n"
+        "    return np.packbits(mask)\n"
+        "@kernel\n"
+        "def f(mask):\n"
+        "    return helper(mask)\n"
+    )
+    assert ("SGL014", 4) in rules_of(src)
+
+
+def test_unportable_call_outside_kernel_reach_ignored():
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "def host_only(mask):\n"
+        "    return np.packbits(mask)\n"
+        "@kernel\n"
+        "def f(mask):\n"
+        "    return np.sum(mask)\n"
+    )
+    assert rules_of(src) == []
+
+
+def test_chained_method_call_surface_recovered():
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(x, d):\n"
+        "    return x.reshape(4).view(d)\n"
+    )
+    assert ("SGL014", 5) in rules_of(src)
+
+
+def test_aliased_numpy_import_resolved():
+    src = (
+        "import numpy as xp\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(mask):\n"
+        "    return xp.packbits(mask)\n"
+    )
+    assert ("SGL014", 5) in rules_of(src)
+
+
+# -- real-repo dataflow run ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def repo_report():
+    from repro.analysis.linter import iter_target_files
+
+    return run_dataflow(iter_target_files(), repo_src_root())
+
+
+def test_repo_kernels_have_no_effect_escapes(repo_report):
+    # SGL013 is ERROR severity: real kernels must honor their declared
+    # write contracts (never baselined).
+    escapes = [f for f in repo_report.findings if f.rule == "SGL013"]
+    assert escapes == [], "\n".join(f.format() for f in escapes)
+
+
+def test_repo_surface_contains_known_unportables(repo_report):
+    apis = {c.api for c in repo_report.surface if not c.portable}
+    # The bit-packing and sparse-signature surface the repro.xp backend
+    # must shim before a GPU array library can drop in.
+    assert {"packbits", "bitwise_or.at", ".view", ".tocsr"} <= apis
+
+
+def test_repo_surface_report_deterministic(repo_report):
+    from repro.analysis.linter import iter_target_files
+
+    again = run_dataflow(iter_target_files(), repo_src_root())
+    assert render_report(repo_report.surface) == render_report(again.surface)
+
+
+def test_committed_surface_report_is_current(repo_report):
+    committed = Path(__file__).resolve().parents[2] / "docs/backend_surface.md"
+    assert committed.is_file(), "regenerate with `python -m repro analyze --write-surface`"
+    assert committed.read_text() == render_report(repo_report.surface)
+
+
+def test_real_kernel_summaries_compose_interprocedurally():
+    index = EffectIndex(repo_src_root().parent)
+    run_join = summarize_function(index, "repro.core.join", "run_join")
+    stores = run_join.store_writes()
+    # join_pair's stats writes compose through the stats=result.stats
+    # call-site binding into run_join's frame...
+    assert "run_join:result.stats.candidate_visits" in stores
+    # ...and the positions_of closure (defined inside a `with` block)
+    # surfaces the shared bitmap read.
+    assert any(p == "bitmap.words" for p in run_join.reads)
+
+
+# -- static vs dynamic coverage gate -------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traces():
+    with contracts.forced(True):
+        return run_race_checks(n_queries=3, n_data_graphs=6, seed=0)
+
+
+def test_static_effects_cover_all_dynamic_accesses(traces):
+    # The hybrid race gate: every dynamically observed shadow-memory
+    # access (refine, DFS join, tabular join) must be predicted by the
+    # static effect analysis.  A dynamic access with no static
+    # counterpart means the analyzer lost track of a kernel's memory
+    # traffic -- exactly the blind spot that hides races.
+    report = effect_coverage(traces)
+    assert report.ok, report.format()
+    assert set(report.traces) == {"refine", "join", "tabular"}
+
+
+def test_coverage_distinguishes_reads_from_writes(traces):
+    report = effect_coverage(traces)
+    join = report.traces["join"]
+    assert "bitmap/read" in join.covered
+    assert "join.pair_matches/write" in join.covered
+    assert "join.match_count/atomic" in join.covered
+
+
+def test_unknown_trace_is_uncovered():
+    class FakeShadow:
+        def access_kinds(self):
+            return {"mystery.space": frozenset({"write"})}
+
+    report = effect_coverage({"unknown-kernel": FakeShadow()})
+    assert not report.ok
+    assert report.traces["unknown-kernel"].uncovered == [
+        ("mystery.space", "write")
+    ]
+
+
+def test_unexercised_static_writes_reported_not_failed(traces):
+    report = effect_coverage(traces)
+    refine = report.traces["refine"]
+    # initialize_candidates' private bitmap rows are never replayed as a
+    # shadow space of their own: reported for review, but not a failure.
+    assert refine.ok
+    assert any(
+        "initialize_candidates:bitmap" in p
+        for p in refine.unexercised_writes
+    )

@@ -66,9 +66,10 @@ def test_checked_sweep_is_monotone(dataset, monkeypatch):
 
 
 def test_cli_analyze_gate_passes(capsys):
-    # Static gate: lint against the committed baseline (dynamic pass is
-    # covered above and by `make check`; skipping keeps this test quick).
-    rc = main(["analyze", "--no-dynamic", "--format", "json"])
+    # Static gate: syntactic + dataflow lint against the committed
+    # baseline (dynamic pass is covered above and by `make check`;
+    # skipping keeps this test quick).
+    rc = main(["analyze", "--dataflow", "--no-dynamic", "--format", "json"])
     payload = json.loads(capsys.readouterr().out)
     assert rc == 0
     assert payload["ok"] is True

@@ -9,6 +9,7 @@ from repro.analysis.races import (
     scatter_add_trace,
     trace_join_races,
     trace_refine_races,
+    trace_tabular_join_races,
 )
 from repro.chem.datasets import build_benchmark
 from repro.core.csrgo import CSRGO
@@ -184,9 +185,22 @@ def test_join_trace_race_free(csr_batches):
     assert sh.n_writes > 0
 
 
+def test_tabular_trace_race_free(csr_batches):
+    query, data = csr_batches
+    sh = trace_tabular_join_races(query, data)
+    assert not sh.has_conflicts, [c.format() for c in sh.conflicts]
+    assert sh.n_atomics == sh.n_items  # one Find-All counter bump per pair
+    kinds = sh.access_kinds()
+    # The tabular backend's distinguishing traffic: sorted flat-key
+    # probes (shared, read-only) and pair-private frontier tables.
+    assert kinds["csr.flat_keys"] == {"read"}
+    assert kinds["csr.edge_labels"] == {"read"}
+    assert kinds["tabular.frontier"] == {"write"}
+
+
 def test_run_race_checks_clean():
     shadows = run_race_checks(n_queries=3, n_data_graphs=6, seed=0)
-    assert set(shadows) == {"refine", "join"}
+    assert set(shadows) == {"refine", "join", "tabular"}
     for name, sh in shadows.items():
         assert not sh.has_conflicts, (name, [c.format() for c in sh.conflicts])
         assert sh.n_accesses > 0

@@ -123,6 +123,60 @@ CASES = {
         "def f(session, data):\n"
         "    return session.match(data)\n",
     ),
+    # SGL011-SGL014 are dataflow rules (repro.analysis.dataflow); the
+    # snippets flow through lint_source's dataflow pass.
+    "SGL011": (
+        "import numpy as np\n"
+        "from repro.analysis.markers import kernel\n"
+        "@kernel\n"
+        "def f(n):\n"
+        "    a = np.zeros(n, dtype=np.uint64)\n"
+        "    b = np.ones(n, dtype=np.int64)\n"
+        "    return a + b\n",  # uint64+int64 silently promotes to float64
+        "import numpy as np\n"
+        "from repro.analysis.markers import kernel\n"
+        "@kernel\n"
+        "def f(n):\n"
+        "    a = np.zeros(n, dtype=np.uint64)\n"
+        "    b = np.ones(n, dtype=np.uint64)\n"
+        "    return a + b\n",
+    ),
+    "SGL012": (
+        "import numpy as np\n"
+        "from repro.analysis.markers import kernel\n"
+        "@kernel\n"
+        "def f(n):\n"
+        "    a = np.zeros(n, dtype=np.float64)\n"
+        "    return a.astype(np.int32)\n",  # drops the fractional part
+        "import numpy as np\n"
+        "from repro.analysis.markers import kernel\n"
+        "@kernel\n"
+        "def f(n):\n"
+        "    a = np.zeros(n, dtype=np.int32)\n"
+        "    return a.astype(np.int64)\n",
+    ),
+    "SGL013": (
+        "from repro.analysis.markers import kernel\n"
+        "@kernel(writes=())\n"
+        "def f(out):\n"
+        "    out[0] = 1\n",  # stores outside the declared write set
+        "from repro.analysis.markers import kernel\n"
+        "@kernel(writes=('out',))\n"
+        "def f(out):\n"
+        "    out[0] = 1\n",
+    ),
+    "SGL014": (
+        "import numpy as np\n"
+        "from repro.analysis.markers import kernel\n"
+        "@kernel\n"
+        "def f(mask):\n"
+        "    return np.packbits(mask)\n",  # no packbits in the array API
+        "import numpy as np\n"
+        "from repro.analysis.markers import kernel\n"
+        "@kernel\n"
+        "def f(mask):\n"
+        "    return np.count_nonzero(mask)\n",
+    ),
 }
 
 
