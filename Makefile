@@ -5,7 +5,7 @@
 PY := python
 export PYTHONPATH := src
 
-.PHONY: lint analyze check-analysis test check check-robustness check-obs check-perf check-pipeline baseline
+.PHONY: lint analyze check-analysis test check check-robustness check-obs check-perf check-pipeline check-serve baseline
 
 lint: analyze
 
@@ -48,6 +48,15 @@ check-robustness:
 check-obs:
 	$(PY) -m pytest -q -m obs
 	$(PY) -m repro profile --n-queries 40 --n-molecules 200 --against BENCH_obs.json
+
+# Serving gate: the matching-service test suite (admission, breakers,
+# pool, chaos), the deterministic chaos scenarios via the CLI (exits
+# nonzero on any contract violation), and the pooled-vs-naive serving
+# benchmark against the committed baseline (1.5x goodput floor).
+check-serve:
+	$(PY) -m pytest -q -m serve
+	$(PY) -m repro serve-sim --chaos
+	$(PY) benchmarks/bench_serve.py --against BENCH_serve.json
 
 # Accelerator gate: join-backend/cache/shared-memory tests plus the
 # hot-path benchmark compared against the committed baseline (backend

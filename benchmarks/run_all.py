@@ -116,6 +116,23 @@ def write_pipeline_baseline(path: str | Path) -> None:
     print(f"wrote {path}")
 
 
+def write_serve_baseline(path: str | Path) -> None:
+    """Run the serving benchmark and write ``BENCH_serve.json``.
+
+    The file is the committed baseline ``benchmarks/bench_serve.py
+    --against BENCH_serve.json`` (and ``make check-serve``) compares to:
+    per-server total matches plus the pooled-over-naive goodput speedup,
+    gated at 1.5x on the closed-loop Zipf workload.
+    """
+    import json
+
+    from benchmarks.bench_serve import run_all as run_serve_suites
+
+    payload = run_serve_suites()
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="EXPERIMENTS.md")
@@ -133,6 +150,11 @@ def main() -> None:
         "--pipeline-output",
         default="BENCH_pipeline.json",
         help="session-amortization baseline path ('' skips writing it)",
+    )
+    parser.add_argument(
+        "--serve-output",
+        default="BENCH_serve.json",
+        help="serving baseline path ('' skips writing it)",
     )
     args = parser.parse_args()
 
@@ -186,6 +208,8 @@ def main() -> None:
         write_perf_baseline(args.perf_output)
     if args.pipeline_output:
         write_pipeline_baseline(args.pipeline_output)
+    if args.serve_output:
+        write_serve_baseline(args.serve_output)
 
 
 if __name__ == "__main__":

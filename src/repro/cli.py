@@ -175,6 +175,29 @@ def _add_profile(sub: argparse._SubParsersAction) -> None:
                    help="relative growth allowed for wall-clock gauges")
 
 
+def _add_serve_sim(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve-sim",
+        help="matching-service simulation: closed-loop load and chaos drills",
+    )
+    p.add_argument("--chaos", action="store_true",
+                   help="run the seeded chaos scenarios (crash, breaker, "
+                        "straggler, OOM, poison, overload); exit 1 on any "
+                        "contract violation")
+    p.add_argument("--scenarios", nargs="+", metavar="NAME",
+                   help="chaos scenario subset (default: all registered)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload/fault seed (same seed ⇒ same outcome)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="closed-loop clients for the load simulation")
+    p.add_argument("--requests", type=int, default=8,
+                   help="requests per client for the load simulation")
+    p.add_argument("--zipf", type=float, default=1.1,
+                   help="Zipf exponent for batch popularity")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write the reports/load summary as JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -188,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_analyze(sub)
     _add_resilient_run(sub)
     _add_profile(sub)
+    _add_serve_sim(sub)
     return parser
 
 
@@ -683,6 +707,92 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve_sim(args) -> int:
+    """Handle ``repro serve-sim``: chaos drills or a closed-loop load sim."""
+    import asyncio
+    import json
+
+    if args.chaos:
+        from repro.serve.chaos import SCENARIOS, run_chaos_sync
+
+        names = args.scenarios or sorted(SCENARIOS)
+        try:
+            reports = run_chaos_sync(names, seed=args.seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        failed = 0
+        for report in reports:
+            verdict = "ok" if report.ok else "VIOLATED"
+            print(
+                f"{report.scenario:24s} {verdict:9s} "
+                f"complete={report.count('complete'):3d} "
+                f"partial={report.count('partial'):3d} "
+                f"rejected={report.count('rejected'):3d}"
+            )
+            for line in report.violations:
+                print(f"  violation: {line}", file=sys.stderr)
+            failed += 0 if report.ok else 1
+        if args.json_out:
+            payload = {"seed": args.seed,
+                       "reports": [r.as_dict() for r in reports]}
+            with open(args.json_out, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"wrote {args.json_out}")
+        print(
+            "chaos drills ok"
+            if not failed
+            else f"chaos drills FAILED ({failed} scenario(s))"
+        )
+        return 1 if failed else 0
+
+    from repro.chem.datasets import build_benchmark
+    from repro.core.config import SigmoConfig
+    from repro.serve import MatchService, ServeConfig
+    from repro.serve.loadgen import run_load
+
+    dataset = build_benchmark(
+        scale=1.0, n_queries=6, n_data_graphs=36, seed=args.seed
+    )
+    config = SigmoConfig(refinement_iterations=3)
+    batches = [dataset.data[i : i + 9] for i in range(0, 36, 9)]
+
+    async def run():
+        service = MatchService(config=config, serve=ServeConfig())
+        key = service.register(dataset.queries)
+        async with service:
+            result = await run_load(
+                service,
+                key,
+                batches,
+                n_clients=args.clients,
+                requests_per_client=args.requests,
+                zipf_exponent=args.zipf,
+                seed=args.seed,
+            )
+        return result, service.snapshot()
+
+    result, snapshot = asyncio.run(run())
+    summary = result.as_dict()
+    print(
+        f"load: {summary['n_requests']} requests, "
+        f"{summary['complete']} complete, "
+        f"{summary.get('partial', 0)} partial, "
+        f"{summary.get('rejected', 0)} rejected"
+    )
+    print(
+        f"goodput {summary['goodput_rps']:.1f} req/s, "
+        f"p50 {summary['latency_p50_s'] * 1e3:.2f} ms, "
+        f"p99 {summary['latency_p99_s'] * 1e3:.2f} ms"
+    )
+    if args.json_out:
+        payload = {"load": summary, "service": snapshot}
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -694,6 +804,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": cmd_analyze,
         "resilient-run": cmd_resilient_run,
         "profile": cmd_profile,
+        "serve-sim": cmd_serve_sim,
     }
     return handlers[args.command](args)
 

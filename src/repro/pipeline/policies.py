@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.join import JoinBudget
 
 
@@ -81,11 +83,21 @@ def partition_slices(n_items: int, n_workers: int) -> list[tuple[int, int]]:
 
 @dataclass(frozen=True)
 class RetryPolicy(ExecutionPolicy):
-    """Attempt bound plus deterministic exponential backoff."""
+    """Attempt bound plus exponential backoff with seeded jitter.
+
+    ``jitter`` spreads each unit's retry delay uniformly over
+    ``[base, base * (1 + jitter)]`` so simultaneously failed units don't
+    re-dispatch in lockstep (the retry-storm synchronization problem).
+    The draw is a pure function of ``(seed, unit, attempt)`` — the same
+    decision-function discipline as :class:`~repro.runtime.faults.
+    FaultPlan` — so faulted runs stay bit-for-bit replayable.
+    """
 
     max_attempts: int = 4
     backoff_base: float = 0.0
     backoff_factor: float = 2.0
+    jitter: float = 0.0
+    seed: int = 0
     name = "retry"
 
     def __post_init__(self) -> None:
@@ -95,10 +107,18 @@ class RetryPolicy(ExecutionPolicy):
             raise ValueError(
                 "backoff_base must be >= 0 and backoff_factor >= 1"
             )
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
 
-    def delay(self, attempt: int) -> float:
+    def delay(self, attempt: int, unit: int = 0) -> float:
         """Seconds to wait before retry number ``attempt`` (0 ⇒ no wait)."""
-        return self.backoff_base * self.backoff_factor**attempt if attempt else 0.0
+        if not attempt:
+            return 0.0
+        base = self.backoff_base * self.backoff_factor**attempt
+        if base == 0.0 or self.jitter == 0.0:
+            return base
+        draw = float(np.random.default_rng([self.seed, unit, attempt]).random())
+        return base * (1.0 + self.jitter * draw)
 
     def exhausted(self, attempt: int) -> bool:
         """Whether ``attempt`` (0-based) is past the allowed bound."""

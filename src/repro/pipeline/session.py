@@ -21,6 +21,7 @@ what the cache fingerprints encode.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Iterable
 
@@ -39,6 +40,19 @@ from repro.pipeline.executor import (
 
 class MatcherSession:
     """Amortized matcher: one query compilation, many data batches.
+
+    **Concurrency contract.**  ``match()`` is safe to call from multiple
+    threads (or interleaved asyncio tasks running it via executors): the
+    session serializes calls with an internal lock, so the shared
+    mutable state — the artifact cache, the data-batch conversion cache,
+    and each recalled GMCR's ``matched`` flags — is only ever touched by
+    one ``match()`` at a time.  Concurrent callers therefore see exactly
+    the results of some sequential interleaving (and since every result
+    is a pure function of ``(batch, config)``, *which* interleaving
+    never matters).  Calls do not run concurrently on one session; for
+    parallel matching use one session per worker — the serving layer's
+    :class:`~repro.serve.pool.SessionPool` keeps one lane (session) per
+    concurrent batch for exactly this reason.
 
     Parameters
     ----------
@@ -80,6 +94,10 @@ class MatcherSession:
         # id(batch) -> (strong ref keeping the id valid, converted CSRGO)
         self._data_cache: OrderedDict[int, tuple[Any, CSRGO]] = OrderedDict()
         self.batches_matched = 0
+        # Serializes match() calls: the artifact/data caches and the
+        # executor's recalled artifacts are not safe under interleaving
+        # (see the class docstring's concurrency contract).
+        self._lock = threading.RLock()
 
     @classmethod
     def from_csrgo(
@@ -134,22 +152,26 @@ class MatcherSession:
         still happens).  The chunked/parallel adapters use it so their
         per-chunk stage counts stay exactly what the historical drivers
         reported, even on pathological batches with duplicate chunks.
+
+        Thread/task safe: concurrent calls are serialized on the
+        session's internal lock (see the class docstring).
         """
-        data_csrgo = self._convert_data(data)
-        request = PipelineRequest(
-            query=self._query,
-            data=data_csrgo,
-            config=config or self.config,
-            mode=mode,
-            join_budget=join_budget,
-            join_start_pair=join_start_pair,
-            cache=self._artifacts,
-            reuse_artifacts=reuse,
-            validated=False,
-        )
-        result = self._executor.execute(request)
-        self.batches_matched += 1
-        return result
+        with self._lock:
+            data_csrgo = self._convert_data(data)
+            request = PipelineRequest(
+                query=self._query,
+                data=data_csrgo,
+                config=config or self.config,
+                mode=mode,
+                join_budget=join_budget,
+                join_start_pair=join_start_pair,
+                cache=self._artifacts,
+                reuse_artifacts=reuse,
+                validated=False,
+            )
+            result = self._executor.execute(request)
+            self.batches_matched += 1
+            return result
 
     # -- internals ---------------------------------------------------------------
 

@@ -16,7 +16,7 @@ resilient runtime:
 * :mod:`~repro.runtime.checkpoint` — atomic, checksummed chunk
   persistence;
 * :mod:`~repro.runtime.faults` — seeded deterministic fault injection
-  (OOMs, worker crashes, rank failures, stragglers);
+  (OOMs, worker crashes, rank failures, stragglers, poison queries);
 * :mod:`~repro.runtime.telemetry` — per-attempt observability.
 
 Rank-failure re-execution for the simulated MPI cluster lives with the
@@ -27,7 +27,13 @@ accepts a :class:`~repro.runtime.faults.FaultPlan`).
 from repro.core.join import JoinBudget
 from repro.device.memory import DeviceMemoryPool, DeviceOutOfMemory
 from repro.runtime.checkpoint import CheckpointMismatch, CheckpointStore, ChunkPayload
-from repro.runtime.faults import NO_FAULTS, FaultPlan, RankFailure, WorkerCrash
+from repro.runtime.faults import (
+    NO_FAULTS,
+    FaultPlan,
+    PoisonQuery,
+    RankFailure,
+    WorkerCrash,
+)
 from repro.runtime.parallel import ParallelResilientResult, run_parallel_resilient
 from repro.runtime.resilient import (
     COMPLETE,
@@ -55,6 +61,7 @@ __all__ = [
     "NO_FAULTS",
     "PARTIAL",
     "ParallelResilientResult",
+    "PoisonQuery",
     "RankFailure",
     "ResilientResult",
     "ResumeToken",

@@ -34,6 +34,24 @@ _KIND_OOM = 1
 _KIND_CRASH = 2
 _KIND_RANK = 3
 _KIND_STRAGGLER = 4
+_KIND_POISON = 5
+
+
+class PoisonQuery(RuntimeError):
+    """An injected deterministic per-request failure (NOT retryable).
+
+    Unlike a :class:`WorkerCrash`, a poison query fails on *every*
+    session and every attempt — the serving layer must isolate it (split
+    it out of its batch, reject it with a typed error) rather than let
+    it trip breakers across the whole pool.
+    """
+
+    def __init__(self, request: int) -> None:
+        super().__init__(f"injected poison query (request {request})")
+        self.request = request
+
+    def __reduce__(self):
+        return (type(self), (self.request,))
 
 
 class WorkerCrash(RuntimeError):
@@ -75,10 +93,16 @@ class FaultPlan:
     fault_attempts:
         Rate-based faults only fire for attempts below this bound, so a
         driver with ``max_attempts > fault_attempts`` always converges.
+    poison_rate:
+        Bernoulli probability that a *request* is poison — it then fails
+        deterministically on every session and attempt (serving-layer
+        isolation is the only recovery; retries never help).
     oom_at / crash_at:
         Explicit ``(unit, attempt)`` coordinates that always fire.
     failed_ranks / stragglers:
         Explicit rank ids that always fire.
+    poison_requests:
+        Explicit request ids that are always poison.
     crash_hard:
         Injected worker crashes kill the worker *process* (``os._exit``)
         instead of raising, exercising the pool driver's
@@ -91,16 +115,24 @@ class FaultPlan:
     crash_rate: float = 0.0
     rank_failure_rate: float = 0.0
     straggler_rate: float = 0.0
+    poison_rate: float = 0.0
     straggler_slowdown: float = 2.0
     fault_attempts: int = 1
     oom_at: tuple[tuple[int, int], ...] = ()
     crash_at: tuple[tuple[int, int], ...] = ()
     failed_ranks: tuple[int, ...] = ()
     stragglers: tuple[int, ...] = ()
+    poison_requests: tuple[int, ...] = ()
     crash_hard: bool = False
 
     def __post_init__(self) -> None:
-        for name in ("oom_rate", "crash_rate", "rank_failure_rate", "straggler_rate"):
+        for name in (
+            "oom_rate",
+            "crash_rate",
+            "rank_failure_rate",
+            "straggler_rate",
+            "poison_rate",
+        ):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
@@ -144,6 +176,20 @@ class FaultPlan:
             and self._draw(_KIND_RANK, rank, 0) < self.rank_failure_rate
         )
 
+    def poisons_request(self, request: int) -> bool:
+        """Whether ``request`` is poison (fires on *every* attempt).
+
+        Deliberately not gated by ``fault_attempts``: poison models a
+        request that is itself broken, so retrying — on any session —
+        never clears it.
+        """
+        if request in self.poison_requests:
+            return True
+        return (
+            self.poison_rate > 0.0
+            and self._draw(_KIND_POISON, request, 0) < self.poison_rate
+        )
+
     def straggler_factor(self, rank: int) -> float:
         """Runtime multiplier for ``rank`` (1.0 when healthy)."""
         if rank in self.stragglers:
@@ -170,6 +216,11 @@ class FaultPlan:
         """Raise :class:`WorkerCrash` when a crash is scheduled."""
         if self.injects_crash(unit, attempt):
             raise WorkerCrash(unit, attempt)
+
+    def check_poison(self, request: int) -> None:
+        """Raise :class:`PoisonQuery` when ``request`` is poison."""
+        if self.poisons_request(request):
+            raise PoisonQuery(request)
 
 
 #: A plan that injects nothing — the default for all drivers.

@@ -118,6 +118,8 @@ def run_parallel_resilient(
     max_attempts: int = 4,
     backoff_base: float = 0.0,
     backoff_factor: float = 2.0,
+    backoff_jitter: float = 0.25,
+    backoff_seed: int = 0,
 ) -> ParallelResilientResult:
     """Pool execution with deterministic retry of failed worker slices.
 
@@ -135,6 +137,11 @@ def run_parallel_resilient(
         Retry delay ``backoff_base * backoff_factor ** attempt`` seconds
         (0 disables sleeping; the schedule is still recorded in the
         telemetry).
+    backoff_jitter / backoff_seed:
+        Seeded per-slice jitter fraction spread over the delay so slices
+        that failed together don't retry in lockstep; a pure function of
+        ``(backoff_seed, slice index, attempt)``, so the schedule stays
+        reproducible.
     """
     if not data:
         raise ValueError("at least one data graph is required")
@@ -144,6 +151,8 @@ def run_parallel_resilient(
         max_attempts=max_attempts,
         backoff_base=backoff_base,
         backoff_factor=backoff_factor,
+        jitter=backoff_jitter,
+        seed=backoff_seed,
     )
     n_workers = n_workers or min(os.cpu_count() or 1, 8)
     n_workers = max(1, min(n_workers, len(data)))
@@ -176,7 +185,7 @@ def run_parallel_resilient(
                 outcome=outcome,
                 chunk_size=sl.chunk_size,
                 seconds=elapsed,
-                backoff_seconds=retry.delay(sl.attempt),
+                backoff_seconds=retry.delay(sl.attempt, unit=sl.index),
                 detail=detail,
             )
         )
@@ -190,7 +199,9 @@ def run_parallel_resilient(
     executor: ProcessPoolExecutor | None = None
     try:
         while pending:
-            max_delay = max(retry.delay(sl.attempt) for sl in pending)
+            max_delay = max(
+                retry.delay(sl.attempt, unit=sl.index) for sl in pending
+            )
             if max_delay > 0:
                 time.sleep(max_delay)
             if inline:

@@ -1,0 +1,110 @@
+"""Per-session-lane circuit breakers.
+
+A lane whose session keeps failing (worker crashes, OOMs) should stop
+receiving traffic *before* it burns every request's retry budget: the
+breaker trips after ``failure_threshold`` consecutive failures, the pool
+rebuilds the lane's session behind it, and the router sends traffic to
+the remaining healthy lanes.  After ``cooldown_s`` on the service clock
+the breaker admits one half-open trial; success closes it, failure
+re-opens it for another cooldown.
+
+The state machine is the textbook three-state breaker, driven entirely
+by the injected :class:`~repro.serve.deadline.Clock` so chaos tests can
+step through trip → cooldown → half-open → close deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.serve.deadline import Clock
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with clock-driven half-open recovery.
+
+    Examples
+    --------
+    >>> from repro.serve.deadline import ManualClock
+    >>> clock = ManualClock()
+    >>> b = CircuitBreaker(clock, failure_threshold=2, cooldown_s=1.0)
+    >>> b.record_failure(); b.record_failure(); b.state
+    'open'
+    >>> b.allows()
+    False
+    >>> clock.advance(1.0); b.allows()  # admits the half-open trial
+    True
+    >>> b.record_success(); b.state
+    'closed'
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        failure_threshold: int = 3,
+        cooldown_s: float = 1.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self._clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._opened_at = 0.0
+        self._trial_in_flight = False
+
+    def allows(self) -> bool:
+        """Whether a new dispatch may use this lane right now.
+
+        An ``open`` breaker past its cooldown transitions to
+        ``half-open`` and admits exactly one in-flight trial.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._clock.now() - self._opened_at >= self.cooldown_s:
+                self.state = HALF_OPEN
+                self._trial_in_flight = False
+            else:
+                return False
+        # half-open: one trial at a time
+        if self._trial_in_flight:
+            return False
+        self._trial_in_flight = True
+        return True
+
+    def record_success(self) -> None:
+        """A dispatch on this lane completed (closes a half-open trial)."""
+        self.consecutive_failures = 0
+        self._trial_in_flight = False
+        self.state = CLOSED
+
+    def record_failure(self) -> None:
+        """A dispatch on this lane failed; trip past the threshold.
+
+        A failed half-open trial re-opens immediately regardless of the
+        threshold — the lane had exactly one chance to prove recovery.
+        """
+        self.consecutive_failures += 1
+        was_trial = self.state == HALF_OPEN
+        self._trial_in_flight = False
+        if was_trial or self.consecutive_failures >= self.failure_threshold:
+            if self.state != OPEN:
+                self.trips += 1
+            self.state = OPEN
+            self._opened_at = self._clock.now()
+
+    def as_dict(self) -> dict:
+        """Telemetry snapshot."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+        }

@@ -1,0 +1,472 @@
+"""Deterministic chaos harness: prove degradation is never a wrong answer.
+
+Each scenario builds a :class:`~repro.serve.service.MatchService` on a
+:class:`~repro.serve.deadline.ManualClock` with a seeded
+:class:`~repro.runtime.faults.FaultPlan`, runs a fixed request schedule,
+and verifies the service's robustness contract response by response:
+
+* a ``complete`` response must equal the solo fresh-engine result for
+  its request **exactly** (same total, same matched pairs);
+* a ``partial`` response must carry a resume token, and its matches must
+  be a subset of the solo result; when the harness drains the resume
+  chain, the accumulated union must equal the solo result exactly;
+* a ``rejected`` response must carry a typed rejection kind and no
+  matches.
+
+There is no fourth outcome, and there is no tolerance: a single
+mismatched pair anywhere is a violation.  Because every fault decision
+is a pure function of ``(seed, kind, unit, attempt)`` and all time is
+virtual, a failing scenario replays bit-for-bit.
+
+Scenarios cover the ISSUE's fault menu: session crashes (retried with
+jittered backoff), stragglers (deadline budgets shrink, not blow), OOMs,
+poison queries (isolated and rejected, innocents unharmed), and 2x
+overload (typed sheds, no latency collapse).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.chem.datasets import build_benchmark
+from repro.core.config import SigmoConfig
+from repro.core.engine import SigmoEngine
+from repro.runtime.faults import FaultPlan
+from repro.serve.deadline import ManualClock
+from repro.serve.request import (
+    REJECTION_KINDS,
+    STATUS_COMPLETE,
+    STATUS_PARTIAL,
+    STATUS_REJECTED,
+    MatchRequest,
+    MatchResponse,
+)
+from repro.serve.service import MatchService, ServeConfig
+
+#: Scenario registry (name -> coroutine factory), filled by _scenario.
+SCENARIOS: dict = {}
+
+
+def _scenario(name: str):
+    def register(fn):
+        SCENARIOS[name] = fn
+        return fn
+
+    return register
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos scenario."""
+
+    scenario: str
+    responses: list[MatchResponse] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the contract held for every response."""
+        return not self.violations
+
+    def count(self, status: str) -> int:
+        """Responses with the given status."""
+        return sum(1 for r in self.responses if r.status == status)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (the CLI prints this)."""
+        return {
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "responses": len(self.responses),
+            "complete": self.count(STATUS_COMPLETE),
+            "partial": self.count(STATUS_PARTIAL),
+            "rejected": self.count(STATUS_REJECTED),
+            "violations": list(self.violations),
+            "notes": dict(self.notes),
+        }
+
+
+class _Workload:
+    """Shared fixture: query set, data batches, and solo ground truth."""
+
+    def __init__(self, seed: int = 0) -> None:
+        dataset = build_benchmark(
+            scale=1.0, n_queries=5, n_data_graphs=24, seed=seed
+        )
+        self.config = SigmoConfig(refinement_iterations=2)
+        self.queries = dataset.queries
+        # Distinct, reused batch objects (the Zipf-pool shape).
+        self.batches = [
+            dataset.data[0:8],
+            dataset.data[8:16],
+            dataset.data[16:24],
+            dataset.data[4:12],
+        ]
+        self._truth: dict[int, tuple[int, list[tuple[int, int]]]] = {}
+
+    def truth(self, batch_index: int) -> tuple[int, list[tuple[int, int]]]:
+        """Solo fresh-engine (total, matched pairs) for one batch."""
+        if batch_index not in self._truth:
+            result = SigmoEngine(
+                self.queries, self.batches[batch_index], self.config
+            ).run()
+            self._truth[batch_index] = (
+                result.total_matches,
+                sorted(result.matched_pairs()),
+            )
+        return self._truth[batch_index]
+
+    def service(
+        self,
+        fault_plan: FaultPlan | None = None,
+        serve: ServeConfig | None = None,
+    ) -> tuple[MatchService, ManualClock, str]:
+        """A registered service on a fresh virtual clock."""
+        clock = ManualClock()
+        service = MatchService(
+            config=self.config,
+            serve=serve or ServeConfig(replicas=2, dispatchers=2),
+            clock=clock,
+            fault_plan=fault_plan,
+        )
+        key = service.register(self.queries)
+        return service, clock, key
+
+
+def _verify(
+    report: ChaosReport,
+    response: MatchResponse,
+    expected_total: int,
+    expected_pairs: list[tuple[int, int]],
+    continuation: bool = False,
+) -> None:
+    """Check one response against the trichotomy contract.
+
+    A ``continuation`` (resume-chain hop) carries only the *tail* of the
+    match set, so its ``complete`` is checked as a subset here; the
+    chain-accumulation check in :func:`_submit_and_drain` is the exact
+    one.
+    """
+    if response.status == STATUS_COMPLETE:
+        if continuation:
+            if not set(response.matches) <= set(expected_pairs):
+                report.violations.append(
+                    f"seq {response.seq}: continuation contains pairs the "
+                    "solo engine never matched"
+                )
+        elif response.total_matches != expected_total or sorted(
+            response.matches
+        ) != expected_pairs:
+            report.violations.append(
+                f"seq {response.seq}: complete response differs from the "
+                f"solo engine result ({response.total_matches} vs "
+                f"{expected_total} matches)"
+            )
+    elif response.status == STATUS_PARTIAL:
+        if response.resume is None:
+            report.violations.append(
+                f"seq {response.seq}: partial response without resume token"
+            )
+        if not set(response.matches) <= set(expected_pairs):
+            report.violations.append(
+                f"seq {response.seq}: partial response contains pairs the "
+                "solo engine never matched"
+            )
+    elif response.status == STATUS_REJECTED:
+        if response.rejection is None or (
+            response.rejection.kind not in REJECTION_KINDS
+        ):
+            report.violations.append(
+                f"seq {response.seq}: rejection without a typed kind"
+            )
+        if response.matches:
+            report.violations.append(
+                f"seq {response.seq}: rejected response carries matches"
+            )
+    else:
+        report.violations.append(
+            f"seq {response.seq}: unknown status {response.status!r}"
+        )
+
+
+async def _submit_and_drain(
+    service: MatchService,
+    report: ChaosReport,
+    key: str,
+    workload: _Workload,
+    batch_index: int,
+    deadline_s: float | None = None,
+    max_retries: int = 2,
+    max_hops: int = 64,
+) -> None:
+    """Submit one request, verify it, and drain any resume chain.
+
+    A drained chain must accumulate to *exactly* the solo result; a
+    chain that ends in a typed rejection is accepted as degraded-but-
+    honest (the accumulated prefix was still verified correct).
+    """
+    expected_total, expected_pairs = workload.truth(batch_index)
+    data = workload.batches[batch_index]
+    response = await service.submit(
+        MatchRequest(
+            query_key=key,
+            data=data,
+            deadline_s=deadline_s,
+            max_retries=max_retries,
+        )
+    )
+    report.responses.append(response)
+    _verify(report, response, expected_total, expected_pairs)
+    accumulated = list(response.matches)
+    total = response.total_matches
+    hops = 0
+    while response.status == STATUS_PARTIAL and hops < max_hops:
+        response = await service.submit(
+            MatchRequest(
+                query_key=key,
+                data=data,
+                deadline_s=deadline_s,
+                max_retries=max_retries,
+                resume=response.resume,
+            )
+        )
+        report.responses.append(response)
+        _verify(
+            report, response, expected_total, expected_pairs, continuation=True
+        )
+        accumulated.extend(response.matches)
+        total += response.total_matches
+        hops += 1
+    if response.status == STATUS_COMPLETE and hops > 0:
+        if total != expected_total or sorted(accumulated) != expected_pairs:
+            report.violations.append(
+                f"drained resume chain for batch {batch_index} does not "
+                f"reassemble the solo result ({total} vs {expected_total})"
+            )
+
+
+@_scenario("crash")
+async def scenario_crash(seed: int = 0) -> ChaosReport:
+    """Every first attempt of two requests crashes; retries recover."""
+    report = ChaosReport("crash")
+    workload = _Workload(seed)
+    plan = FaultPlan(seed=seed, crash_at=((0, 0), (1, 0)))
+    service, _, key = workload.service(fault_plan=plan)
+    async with service:
+        await asyncio.gather(
+            *[
+                _submit_and_drain(service, report, key, workload, i % 4)
+                for i in range(6)
+            ]
+        )
+    retried = [r for r in report.responses if r.attempts > 1]
+    if not retried:
+        report.violations.append("no response records a retried attempt")
+    if report.count(STATUS_COMPLETE) != len(report.responses):
+        report.violations.append(
+            "transient crashes must not surface to clients"
+        )
+    report.notes["retried"] = len(retried)
+    return report
+
+
+@_scenario("session-crash-breaker")
+async def scenario_breaker(seed: int = 0) -> ChaosReport:
+    """A crash storm trips breakers; the pool rebuilds and recovers."""
+    report = ChaosReport("session-crash-breaker")
+    workload = _Workload(seed)
+    # Crash every attempt below 3 for the first four requests: enough
+    # consecutive failures to trip a threshold-2 breaker on both lanes.
+    plan = FaultPlan(
+        seed=seed,
+        crash_at=tuple(
+            (unit, attempt) for unit in range(4) for attempt in range(3)
+        ),
+    )
+    serve = ServeConfig(
+        replicas=2,
+        dispatchers=2,
+        breaker_threshold=2,
+        breaker_cooldown_s=0.5,
+        backoff_base_s=0.01,
+    )
+    service, clock, key = workload.service(fault_plan=plan, serve=serve)
+    async with service:
+        # Three crashes before success (crash_at covers attempts 0-2):
+        # round-robin routing lands a second consecutive failure on a
+        # lane before the retries clear, tripping its threshold-2
+        # breaker and forcing a rebuild.
+        await asyncio.gather(
+            *[
+                _submit_and_drain(
+                    service, report, key, workload, i % 4, max_retries=3
+                )
+                for i in range(4)
+            ]
+        )
+        trips = service.pool.snapshot()["rebuilds"]
+        clock.advance(1.0)  # let breakers cool down to half-open
+        await asyncio.gather(
+            *[
+                _submit_and_drain(service, report, key, workload, i % 4)
+                for i in range(4)
+            ]
+        )
+    if trips == 0:
+        report.violations.append("crash storm never tripped a breaker")
+    late = report.responses[-4:]
+    if any(r.status != STATUS_COMPLETE for r in late):
+        report.violations.append(
+            "service did not recover after breaker cooldown + rebuild"
+        )
+    report.notes["rebuilds"] = trips
+    return report
+
+
+@_scenario("straggler")
+async def scenario_straggler(seed: int = 0) -> ChaosReport:
+    """A 4x-slow lane degrades deadlines into partials, not wrong answers."""
+    report = ChaosReport("straggler")
+    workload = _Workload(seed)
+    plan = FaultPlan(seed=seed, stragglers=(0,), straggler_slowdown=4.0)
+    service, _, key = workload.service(fault_plan=plan)
+    async with service:
+        await asyncio.gather(
+            *[
+                _submit_and_drain(
+                    service, report, key, workload, i % 4, deadline_s=0.002
+                )
+                for i in range(8)
+            ]
+        )
+    slowdowns = [
+        lane["slowdown"]
+        for lanes in service.pool.snapshot()["lanes"].values()
+        for lane in lanes
+    ]
+    if max(slowdowns) <= 1.0:
+        report.violations.append("straggler lane never observed a slowdown")
+    report.notes["max_lane_slowdown"] = max(slowdowns)
+    report.notes["partials"] = report.count(STATUS_PARTIAL)
+    return report
+
+
+@_scenario("oom")
+async def scenario_oom(seed: int = 0) -> ChaosReport:
+    """Injected device OOMs retry; an always-OOM request fails typed."""
+    report = ChaosReport("oom")
+    workload = _Workload(seed)
+    plan = FaultPlan(
+        seed=seed,
+        oom_at=((0, 0), (2, 0), (2, 1), (2, 2)),
+    )
+    # Single-request batches: the persistent OOM burns only its own
+    # retry budget instead of its coalesced batch-mates'.
+    serve = ServeConfig(replicas=2, dispatchers=2, max_batch_requests=1)
+    service, _, key = workload.service(fault_plan=plan, serve=serve)
+    async with service:
+        await asyncio.gather(
+            *[
+                _submit_and_drain(service, report, key, workload, i % 4)
+                for i in range(4)
+            ]
+        )
+    rejected = [r for r in report.responses if r.status == STATUS_REJECTED]
+    if not any(
+        r.rejection is not None and "retries exhausted" in r.rejection.detail
+        for r in rejected
+    ):
+        report.violations.append(
+            "persistently OOMing request did not exhaust retries into a "
+            "typed rejection"
+        )
+    if report.count(STATUS_COMPLETE) == 0:
+        report.violations.append("transient OOMs should have recovered")
+    report.notes["rejected"] = len(rejected)
+    return report
+
+
+@_scenario("poison")
+async def scenario_poison(seed: int = 0) -> ChaosReport:
+    """A poison request is isolated and rejected; batch-mates succeed."""
+    report = ChaosReport("poison")
+    workload = _Workload(seed)
+    plan = FaultPlan(seed=seed, poison_requests=(1,))
+    # One dispatcher + one lane forces the poison to coalesce with
+    # innocent neighbours, exercising the isolation path.
+    serve = ServeConfig(replicas=1, dispatchers=1)
+    service, _, key = workload.service(fault_plan=plan, serve=serve)
+    async with service:
+        await asyncio.gather(
+            *[
+                _submit_and_drain(service, report, key, workload, 0)
+                for i in range(4)
+            ]
+        )
+    poisoned = [r for r in report.responses if r.seq == 1]
+    if not poisoned or poisoned[0].status != STATUS_REJECTED:
+        report.violations.append("poison request was not rejected")
+    innocents = [r for r in report.responses if r.seq != 1]
+    if any(r.status != STATUS_COMPLETE for r in innocents):
+        report.violations.append(
+            "innocent batch-mates of the poison request did not complete"
+        )
+    return report
+
+
+@_scenario("overload")
+async def scenario_overload(seed: int = 0) -> ChaosReport:
+    """2x queue overload sheds typed ``overloaded``; the rest is served."""
+    report = ChaosReport("overload")
+    workload = _Workload(seed)
+    serve = ServeConfig(
+        replicas=1, dispatchers=1, max_queued=4, requests_per_batch=1.0
+    )
+    service, _, key = workload.service(serve=serve)
+    async with service:
+        # Twice the queue bound, submitted at once: the surplus must be
+        # shed with typed rejections rather than queued into collapse.
+        await asyncio.gather(
+            *[
+                _submit_and_drain(service, report, key, workload, i % 4)
+                for i in range(8)
+            ]
+        )
+    shed = service.admission.stats.shed
+    if shed == 0:
+        report.violations.append("overload never shed a request")
+    for response in report.responses:
+        if response.status == STATUS_REJECTED and (
+            response.rejection is not None
+            and response.rejection.kind == "overloaded"
+            and response.rejection.retry_after_s is None
+        ):
+            report.violations.append(
+                f"seq {response.seq}: overload shed without retry_after_s"
+            )
+    report.notes["shed"] = shed
+    return report
+
+
+async def run_chaos(
+    scenarios: list[str] | None = None, seed: int = 0
+) -> list[ChaosReport]:
+    """Run the named scenarios (all when ``None``); returns their reports."""
+    names = scenarios or list(SCENARIOS)
+    reports = []
+    for name in names:
+        if name not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+            )
+        reports.append(await SCENARIOS[name](seed=seed))
+    return reports
+
+
+def run_chaos_sync(
+    scenarios: list[str] | None = None, seed: int = 0
+) -> list[ChaosReport]:
+    """Blocking wrapper around :func:`run_chaos` (the CLI entry)."""
+    return asyncio.run(run_chaos(scenarios, seed=seed))

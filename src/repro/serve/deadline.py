@@ -1,0 +1,196 @@
+"""Deadlines, clocks, and the cost model that turns time into work.
+
+Everything time-dependent in the service goes through a :class:`Clock`
+so the chaos harness and the unit tests can drive a :class:`ManualClock`
+deterministically (straggler slowdowns, breaker cooldowns, and backoff
+sleeps advance virtual time instead of wall time).
+
+The :class:`CostModel` is the deadline-to-budget translator: it keeps
+EWMA estimates of the join's candidate-visit rate and of batch service
+time, so a request arriving with ``deadline_s=0.05`` is dispatched with
+``JoinBudget(max_visits=rate * remaining * safety)`` — the join then
+truncates at a pair boundary instead of blowing the deadline, and the
+client gets a correct partial result with a resume token.  The same
+service-time estimate feeds admission control (shed when the queue alone
+would consume the deadline) and batch sizing (coalesce until the batch
+is predicted to take ``target_batch_seconds``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass
+
+from repro.core.join import JoinBudget
+
+
+class Clock:
+    """Monotonic wall clock (the production default)."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        return time.monotonic()
+
+    async def sleep(self, seconds: float) -> None:
+        """Asynchronously wait ``seconds``."""
+        if seconds > 0:
+            await asyncio.sleep(seconds)
+        else:
+            await asyncio.sleep(0)
+
+
+class ManualClock(Clock):
+    """Virtual clock for deterministic tests.
+
+    ``sleep`` advances virtual time immediately (yielding once to the
+    event loop so other tasks interleave), so simulated stragglers and
+    backoff schedules run in microseconds of real time.  ``advance``
+    moves time without yielding — for driving breaker cooldowns and
+    deadline expiry from test code.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move virtual time forward."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self._now += seconds
+
+    async def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self._now += seconds
+        await asyncio.sleep(0)
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point on the service clock (``None`` = unbounded)."""
+
+    at: float | None
+
+    @classmethod
+    def after(cls, clock: Clock, seconds: float | None) -> "Deadline":
+        """Deadline ``seconds`` from now (``None`` = never)."""
+        if seconds is None:
+            return cls(at=None)
+        return cls(at=clock.now() + seconds)
+
+    def remaining(self, clock: Clock) -> float:
+        """Seconds left (``inf`` when unbounded, clamped at 0)."""
+        if self.at is None:
+            return math.inf
+        return max(0.0, self.at - clock.now())
+
+    def expired(self, clock: Clock) -> bool:
+        """Whether the deadline has passed."""
+        return self.at is not None and clock.now() >= self.at
+
+
+class Ewma:
+    """Exponentially weighted moving average with a prior."""
+
+    def __init__(self, initial: float, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.value = initial
+        self.alpha = alpha
+        self.samples = 0
+
+    def observe(self, value: float) -> float:
+        """Fold in one sample; returns the updated average."""
+        self.value += self.alpha * (value - self.value)
+        self.samples += 1
+        return self.value
+
+
+class CostModel:
+    """Calibrated estimates translating deadlines into join budgets.
+
+    Attributes
+    ----------
+    visits_per_second:
+        EWMA of the join's candidate-visit throughput (the dominant work
+        counter; see :class:`~repro.core.join.JoinBudget`).  Starts from
+        a deliberately conservative prior and calibrates within a few
+        batches.
+    seconds_per_batch:
+        EWMA of end-to-end batch service time — the admission
+        controller's queue-delay unit.
+    nodes_per_second:
+        EWMA of data-node throughput — sizes coalesced batches so one
+        batch is predicted to take ``target_batch_seconds``.
+    """
+
+    def __init__(
+        self,
+        visits_per_second: float = 200_000.0,
+        seconds_per_batch: float = 0.05,
+        nodes_per_second: float = 50_000.0,
+        alpha: float = 0.3,
+        min_budget_visits: int = 64,
+        budget_safety: float = 0.5,
+    ) -> None:
+        if min_budget_visits < 1:
+            raise ValueError("min_budget_visits must be >= 1")
+        if not 0.0 < budget_safety <= 1.0:
+            raise ValueError("budget_safety must be in (0, 1]")
+        self.visits_per_second = Ewma(visits_per_second, alpha)
+        self.seconds_per_batch = Ewma(seconds_per_batch, alpha)
+        self.nodes_per_second = Ewma(nodes_per_second, alpha)
+        self.min_budget_visits = min_budget_visits
+        self.budget_safety = budget_safety
+
+    # -- calibration -------------------------------------------------------------
+
+    def observe_batch(
+        self, seconds: float, visits: int, nodes: int
+    ) -> None:
+        """Fold one completed batch into the estimates."""
+        if seconds <= 0:
+            return
+        self.seconds_per_batch.observe(seconds)
+        if visits > 0:
+            self.visits_per_second.observe(visits / seconds)
+        if nodes > 0:
+            self.nodes_per_second.observe(nodes / seconds)
+
+    # -- translation -------------------------------------------------------------
+
+    def budget_for(
+        self, remaining_s: float, slowdown: float = 1.0
+    ) -> JoinBudget | None:
+        """Join budget for a deadline ``remaining_s`` away.
+
+        ``slowdown`` is the target lane's observed straggler factor (a
+        lane running 3x slow gets a 3x smaller visit budget for the same
+        wall-clock deadline).  Unbounded deadlines get no budget.  The
+        budget is floored at ``min_budget_visits`` so even a nearly
+        expired request makes *some* progress — the partial-result
+        contract needs forward motion to eventually drain a resume
+        chain.
+        """
+        if math.isinf(remaining_s):
+            return None
+        rate = self.visits_per_second.value / max(slowdown, 1.0)
+        visits = int(remaining_s * self.budget_safety * rate)
+        return JoinBudget(max_visits=max(visits, self.min_budget_visits))
+
+    def estimated_queue_delay(self, queued_batches: float) -> float:
+        """Predicted wait for ``queued_batches`` batches ahead in line."""
+        return queued_batches * self.seconds_per_batch.value
+
+    def batch_node_limit(self, target_batch_seconds: float) -> int:
+        """Data-node capacity of one coalesced batch.
+
+        Sized so a batch is predicted to take ``target_batch_seconds``;
+        floored at 1 so a single oversized request still dispatches (as
+        its own batch) instead of starving.
+        """
+        return max(1, int(target_batch_seconds * self.nodes_per_second.value))

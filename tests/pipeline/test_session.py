@@ -165,3 +165,101 @@ class TestIterationSweep:
             mode=FIND_FIRST
         )
         assert results[ITERATIONS].total_matches == fresh.total_matches
+
+
+class TestConcurrentReuse:
+    """The thread-safety contract: ``match()`` may be called from many
+    threads; the internal lock serializes them and the shared artifact
+    cache never corrupts (every concurrent result is bitwise-equal to a
+    serial run)."""
+
+    def test_interleaved_matches_do_not_corrupt_artifacts(self, dataset, config):
+        import threading
+
+        session = MatcherSession(dataset.queries, config=config)
+        fresh = SigmoEngine(dataset.queries, dataset.data, config).run()
+        n_threads = 4
+        barrier = threading.Barrier(n_threads)
+        results = [None] * n_threads
+        errors = []
+
+        def worker(i):
+            try:
+                barrier.wait()  # maximize interleaving pressure
+                for _ in range(3):
+                    results[i] = session.match(dataset.data)
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for result in results:
+            assert_same_result(result, fresh)
+        # the cache converged to exactly one stored artifact pair
+        stats = session.artifact_stats.as_dict()
+        assert stats["stores"] == 2
+
+    def test_concurrent_distinct_batches_stay_isolated(self, dataset, config):
+        import threading
+
+        session = MatcherSession(dataset.queries, config=config)
+        batches = [dataset.data[:10], dataset.data[10:20], dataset.data[20:]]
+        expected = [
+            SigmoEngine(dataset.queries, b, config).run().total_matches
+            for b in batches
+        ]
+        barrier = threading.Barrier(len(batches))
+        got = [None] * len(batches)
+
+        def worker(i):
+            barrier.wait()
+            got[i] = session.match(batches[i]).total_matches
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(batches))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert got == expected
+
+    def test_concurrent_budgeted_and_full_calls_interleave(self, dataset, config):
+        import threading
+
+        session = MatcherSession(dataset.queries, config=config)
+        full = session.match(dataset.data)
+        barrier = threading.Barrier(2)
+        out = {}
+
+        def budgeted():
+            barrier.wait()
+            part = session.match(
+                dataset.data, join_budget=JoinBudget(max_matches=1)
+            )
+            rest = session.match(
+                dataset.data, join_start_pair=part.resume_pair
+            )
+            out["chain"] = part.total_matches + rest.total_matches
+
+        def unbudgeted():
+            barrier.wait()
+            out["full"] = session.match(dataset.data).total_matches
+
+        threads = [
+            threading.Thread(target=budgeted),
+            threading.Thread(target=unbudgeted),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert out["chain"] == full.total_matches
+        assert out["full"] == full.total_matches

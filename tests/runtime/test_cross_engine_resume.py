@@ -1,0 +1,132 @@
+"""Cross-engine resume: a truncation token is portable, not engine-local.
+
+The serving layer's resume tokens (:class:`repro.serve.request.
+ServeResumeToken`) promise that the continuation of a truncated join can
+run on a *different* engine/session instance — a rebuilt pool lane, a
+different replica, even a fresh process — as long as the query/data
+fingerprints match.  That promise rests on an engine-level invariant
+tested here: the filter and mapping stages are deterministic functions
+of (batches, config), so a second engine over the same inputs rebuilds
+the exact same GMCR and the pair index in the token stays valid.
+"""
+
+import pytest
+
+from repro.core.engine import SigmoEngine
+from repro.core.join import FIND_ALL, FIND_FIRST, JoinBudget
+from repro.pipeline.session import MatcherSession
+
+pytestmark = pytest.mark.robustness
+
+BUDGET = JoinBudget(max_visits=200)
+
+
+@pytest.fixture(scope="module")
+def workload(small_dataset):
+    return small_dataset.queries[:6], small_dataset.data[:24]
+
+
+@pytest.fixture(scope="module")
+def unbudgeted(workload):
+    queries, data = workload
+    return SigmoEngine(queries, data).run()
+
+
+def drain(run_once, first):
+    """Accumulate a truncation chain into (total, pairs, hops)."""
+    total = first.total_matches
+    pairs = list(first.matched_pairs())
+    hops = 0
+    result = first
+    while result.truncated:
+        result = run_once(result.resume_pair)
+        total += result.total_matches
+        pairs.extend(result.matched_pairs())
+        hops += 1
+    return total, pairs, hops
+
+
+class TestCrossEngineResume:
+    def test_resume_on_a_fresh_engine_is_bitwise_equal(
+        self, workload, unbudgeted
+    ):
+        queries, data = workload
+        first = SigmoEngine(queries, data).run(join_budget=BUDGET)
+        assert first.truncated, "budget must actually truncate"
+
+        def fresh_engine_hop(resume_pair):
+            # a brand-new engine instance per hop: nothing shared but
+            # the input batches
+            return SigmoEngine(queries, data).run(
+                join_budget=BUDGET, join_start_pair=resume_pair
+            )
+
+        total, pairs, hops = drain(fresh_engine_hop, first)
+        assert hops >= 1
+        assert total == unbudgeted.total_matches
+        assert sorted(pairs) == sorted(unbudgeted.matched_pairs())
+
+    def test_cross_engine_chain_equals_same_engine_chain(self, workload):
+        queries, data = workload
+        engine = SigmoEngine(queries, data)
+        first_same = engine.run(join_budget=BUDGET)
+        total_same, pairs_same, _ = drain(
+            lambda p: engine.run(join_budget=BUDGET, join_start_pair=p),
+            first_same,
+        )
+        first_cross = SigmoEngine(queries, data).run(join_budget=BUDGET)
+        total_cross, pairs_cross, _ = drain(
+            lambda p: SigmoEngine(queries, data).run(
+                join_budget=BUDGET, join_start_pair=p
+            ),
+            first_cross,
+        )
+        assert total_cross == total_same
+        assert sorted(pairs_cross) == sorted(pairs_same)
+
+    def test_resume_on_a_fresh_session_instance(self, workload, unbudgeted):
+        queries, data = workload
+        maker = lambda: MatcherSession(queries)  # noqa: E731
+        first = maker().match(data, join_budget=BUDGET)
+        assert first.truncated
+        total, pairs, hops = drain(
+            lambda p: maker().match(
+                data, join_budget=BUDGET, join_start_pair=p
+            ),
+            first,
+        )
+        assert hops >= 1
+        assert total == unbudgeted.total_matches
+        assert sorted(pairs) == sorted(unbudgeted.matched_pairs())
+
+    def test_find_first_resume_crosses_engines_too(self, workload):
+        queries, data = workload
+        expected = SigmoEngine(queries, data).run(mode=FIND_FIRST)
+        first = SigmoEngine(queries, data).run(
+            mode=FIND_FIRST, join_budget=JoinBudget(max_visits=100)
+        )
+        if not first.truncated:
+            pytest.skip("budget did not truncate this workload")
+        total, pairs, _ = drain(
+            lambda p: SigmoEngine(queries, data).run(
+                mode=FIND_FIRST,
+                join_budget=JoinBudget(max_visits=100),
+                join_start_pair=p,
+            ),
+            first,
+        )
+        assert total == expected.total_matches
+        assert sorted(pairs) == sorted(expected.matched_pairs())
+
+    def test_resume_pair_is_a_pair_boundary(self, workload):
+        queries, data = workload
+        first = SigmoEngine(queries, data).run(join_budget=BUDGET)
+        assert first.truncated
+        assert 0 < first.resume_pair <= first.gmcr.n_pairs
+        # pairs strictly before the resume point are fully joined: the
+        # continuation must not re-report them
+        cont = SigmoEngine(queries, data).run(
+            join_budget=None, join_start_pair=first.resume_pair
+        )
+        overlap = set(first.matched_pairs()) & set(cont.matched_pairs())
+        assert not overlap

@@ -5,7 +5,13 @@ import pickle
 import pytest
 
 from repro.device.memory import DeviceOutOfMemory
-from repro.runtime.faults import NO_FAULTS, FaultPlan, RankFailure, WorkerCrash
+from repro.runtime.faults import (
+    NO_FAULTS,
+    FaultPlan,
+    PoisonQuery,
+    RankFailure,
+    WorkerCrash,
+)
 
 pytestmark = pytest.mark.robustness
 
@@ -94,3 +100,38 @@ class TestFiring:
     def test_rank_failure_exception_carries_rank(self):
         exc = RankFailure(7)
         assert exc.rank == 7 and "7" in str(exc)
+
+
+class TestPoison:
+    def test_explicit_poison_requests_always_fire(self):
+        plan = FaultPlan(poison_requests=(3,))
+        assert plan.poisons_request(3)
+        assert not plan.poisons_request(2)
+        with pytest.raises(PoisonQuery) as exc:
+            plan.check_poison(3)
+        assert exc.value.request == 3
+
+    def test_poison_is_not_gated_by_fault_attempts(self):
+        # unlike crash/OOM rates, poison fires regardless of retries:
+        # the request itself is broken, so attempt never appears in
+        # the decision
+        plan = FaultPlan(seed=5, poison_rate=1.0, fault_attempts=0)
+        assert plan.poisons_request(0)
+
+    def test_poison_rate_is_deterministic_per_request(self):
+        plan = FaultPlan(seed=9, poison_rate=0.5)
+        decisions = [plan.poisons_request(r) for r in range(32)]
+        assert decisions == [plan.poisons_request(r) for r in range(32)]
+        assert any(decisions) and not all(decisions)
+
+    def test_poison_rate_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(poison_rate=1.5)
+
+    def test_poison_exception_survives_pickling(self):
+        exc = pickle.loads(pickle.dumps(PoisonQuery(11)))
+        assert exc.request == 11 and "11" in str(exc)
+
+    def test_no_faults_plan_has_no_poison(self):
+        for request in range(16):
+            assert not NO_FAULTS.poisons_request(request)

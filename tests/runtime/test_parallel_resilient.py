@@ -118,6 +118,7 @@ class TestRecovery:
             max_attempts=4,
             backoff_base=0.001,
             backoff_factor=2.0,
+            backoff_jitter=0.0,  # exact schedule without jitter
         )
         delays = [
             a.backoff_seconds
@@ -125,3 +126,56 @@ class TestRecovery:
             if a.unit.startswith("slice-0") and a.outcome == "crash"
         ]
         assert delays == [0.0, 0.002]
+
+
+class TestBackoffJitter:
+    """Seeded jitter: spread retries without losing replayability."""
+
+    def test_jittered_delay_stays_in_band_and_replays(self, workload):
+        queries, data = workload
+        plan = FaultPlan(crash_at=((0, 0), (0, 1)))
+
+        def run_once():
+            result = run_parallel_resilient(
+                queries,
+                data,
+                n_workers=3,
+                chunk_size=5,
+                fault_plan=plan,
+                max_attempts=4,
+                backoff_base=0.001,
+                backoff_factor=2.0,
+                backoff_jitter=0.25,
+                backoff_seed=17,
+            )
+            return [
+                a.backoff_seconds
+                for a in result.report.attempts
+                if a.unit.startswith("slice-0") and a.outcome == "crash"
+            ]
+
+        first = run_once()
+        assert first[0] == 0.0
+        # attempt 1: base delay 0.002, jitter adds up to 25%
+        assert 0.002 <= first[1] <= 0.002 * 1.25
+        assert first[1] != 0.002  # jitter actually drew
+        assert run_once() == first  # pure function of (seed, unit, attempt)
+
+    def test_jitter_decorrelates_units(self):
+        from repro.pipeline.policies import RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=4,
+            backoff_base=0.001,
+            backoff_factor=2.0,
+            jitter=0.5,
+            seed=3,
+        )
+        delays = {policy.delay(1, unit=u) for u in range(8)}
+        assert len(delays) == 8  # no two units retry in lockstep
+
+    def test_jitter_validation(self):
+        from repro.pipeline.policies import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)

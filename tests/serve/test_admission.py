@@ -1,0 +1,98 @@
+"""Admission control: bounded queueing and deadline-aware shedding."""
+
+import pytest
+
+from repro.serve.admission import AdmissionController, AdmissionStats
+from repro.serve.deadline import CostModel, Deadline, ManualClock
+from repro.serve.request import REJECT_OVERLOADED
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+def controller(clock, **kw):
+    kw.setdefault(
+        "cost_model", CostModel(seconds_per_batch=0.1)
+    )
+    return AdmissionController(clock, **kw)
+
+
+class TestQueueBound:
+    def test_admits_below_the_bound(self, clock):
+        ctl = controller(clock, max_queued=4)
+        decision = ctl.decide(3, Deadline.after(clock, None))
+        assert decision.admitted
+        assert ctl.stats.admitted == 1
+
+    def test_sheds_at_the_bound(self, clock):
+        ctl = controller(clock, max_queued=4)
+        decision = ctl.decide(4, Deadline.after(clock, None))
+        assert not decision.admitted
+        assert decision.rejection.kind == REJECT_OVERLOADED
+        assert "queue full" in decision.rejection.detail
+        assert ctl.stats.shed_queue_full == 1
+
+    def test_shed_carries_a_retry_hint(self, clock):
+        ctl = controller(clock, max_queued=2, requests_per_batch=1.0)
+        decision = ctl.decide(10, Deadline.after(clock, None))
+        # 10 queued batches at 0.1 s/batch
+        assert decision.rejection.retry_after_s == pytest.approx(1.0)
+
+
+class TestDeadlineShedding:
+    def test_sheds_when_queue_delay_exceeds_deadline(self, clock):
+        ctl = controller(clock, requests_per_batch=1.0)
+        # 5 batches ahead -> 0.5 s estimated; only 0.2 s of budget left
+        decision = ctl.decide(5, Deadline.after(clock, 0.2))
+        assert not decision.admitted
+        assert decision.rejection.kind == REJECT_OVERLOADED
+        assert ctl.stats.shed_deadline == 1
+
+    def test_admits_when_deadline_has_room(self, clock):
+        ctl = controller(clock, requests_per_batch=1.0)
+        decision = ctl.decide(5, Deadline.after(clock, 2.0))
+        assert decision.admitted
+
+    def test_unbounded_deadline_never_deadline_sheds(self, clock):
+        ctl = controller(clock, requests_per_batch=1.0)
+        decision = ctl.decide(100, Deadline.after(clock, None))
+        assert decision.admitted
+
+    def test_coalescing_divides_queue_depth(self, clock):
+        ctl = controller(clock, requests_per_batch=4.0)
+        # 8 requests = 2 batches = 0.2 s estimate, inside a 0.3 s budget
+        decision = ctl.decide(8, Deadline.after(clock, 0.3))
+        assert decision.admitted
+        assert decision.estimated_delay_s == pytest.approx(0.2)
+
+
+class TestStatsAndValidation:
+    def test_stats_accumulate(self, clock):
+        ctl = controller(clock, max_queued=5, requests_per_batch=1.0)
+        ctl.decide(0, Deadline.after(clock, None))
+        ctl.decide(5, Deadline.after(clock, None))
+        ctl.decide(1, Deadline.after(clock, 1e-9))  # 0.1 s est >= ~0 budget
+        assert ctl.stats.admitted == 1
+        assert ctl.stats.shed == 2
+        assert ctl.stats.as_dict() == {
+            "admitted": 1,
+            "shed_queue_full": 1,
+            "shed_deadline": 1,
+        }
+
+    def test_bounds_validated(self, clock):
+        with pytest.raises(ValueError):
+            controller(clock, max_queued=0)
+        with pytest.raises(ValueError):
+            controller(clock, requests_per_batch=0.5)
+
+    def test_stats_default_is_fresh_per_controller(self, clock):
+        a = controller(clock)
+        b = controller(clock)
+        a.stats.admitted = 5
+        assert b.stats.admitted == 0
+        assert isinstance(b.stats, AdmissionStats)

@@ -1,0 +1,106 @@
+"""The three-state circuit breaker, stepped on a virtual clock."""
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.deadline import ManualClock
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(clock, failure_threshold=3, cooldown_s=1.0)
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allows()
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allows()
+
+    def test_success_resets_the_failure_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestTripAndCooldown:
+    def test_threshold_failures_trip_open(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not breaker.allows()
+
+    def test_open_blocks_until_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(0.5)
+        assert not breaker.allows()
+        clock.advance(0.5)
+        assert breaker.allows()
+        assert breaker.state == HALF_OPEN
+
+    def test_repeat_failures_while_open_do_not_retrip(self, breaker):
+        for _ in range(6):
+            breaker.record_failure()
+        assert breaker.trips == 1
+
+
+class TestHalfOpen:
+    def _trip_and_cool(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allows()
+
+    def test_single_trial_in_flight(self, breaker, clock):
+        self._trip_and_cool(breaker, clock)
+        # the trial is out; a second concurrent dispatch is refused
+        assert not breaker.allows()
+
+    def test_successful_trial_closes(self, breaker, clock):
+        self._trip_and_cool(breaker, clock)
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allows()
+
+    def test_failed_trial_reopens_immediately(self, breaker, clock):
+        self._trip_and_cool(breaker, clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert not breaker.allows()
+        clock.advance(1.0)
+        assert breaker.allows()
+
+
+class TestValidationAndTelemetry:
+    def test_constructor_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, cooldown_s=-1.0)
+
+    def test_as_dict_snapshot(self, breaker):
+        breaker.record_failure()
+        snap = breaker.as_dict()
+        assert snap == {
+            "state": CLOSED,
+            "consecutive_failures": 1,
+            "trips": 0,
+        }

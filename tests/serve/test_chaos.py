@@ -1,0 +1,90 @@
+"""The chaos harness: every scenario's contract holds, deterministically."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.chaos import SCENARIOS, ChaosReport, run_chaos, run_chaos_sync
+
+pytestmark = pytest.mark.serve
+
+EXPECTED_SCENARIOS = {
+    "crash",
+    "session-crash-breaker",
+    "straggler",
+    "oom",
+    "poison",
+    "overload",
+}
+
+
+class TestRegistry:
+    def test_all_expected_scenarios_registered(self):
+        assert EXPECTED_SCENARIOS <= set(SCENARIOS)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_chaos_sync(["not-a-scenario"])
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SCENARIOS))
+def test_scenario_contract_holds(name):
+    report = run_chaos_sync([name])[0]
+    assert isinstance(report, ChaosReport)
+    assert report.ok, report.violations
+    assert report.responses  # the scenario actually exercised traffic
+
+
+class TestScenarioShapes:
+    def test_crash_scenario_records_retries(self):
+        report = run_chaos_sync(["crash"])[0]
+        assert report.notes["retried"] >= 1
+        assert report.count("rejected") == 0
+
+    def test_breaker_scenario_rebuilds_lanes(self):
+        report = run_chaos_sync(["session-crash-breaker"])[0]
+        assert report.notes["rebuilds"] >= 1
+
+    def test_straggler_scenario_degrades_to_partials(self):
+        report = run_chaos_sync(["straggler"])[0]
+        assert report.notes["max_lane_slowdown"] > 1.0
+        assert report.count("partial") >= 1
+
+    def test_oom_scenario_mixes_recovery_and_typed_failure(self):
+        report = run_chaos_sync(["oom"])[0]
+        assert report.notes["rejected"] >= 1
+        assert report.count("complete") >= 1
+
+    def test_poison_scenario_isolates_the_culprit(self):
+        report = run_chaos_sync(["poison"])[0]
+        assert report.count("rejected") == 1
+        assert report.count("complete") == len(report.responses) - 1
+
+    def test_overload_scenario_sheds_typed(self):
+        report = run_chaos_sync(["overload"])[0]
+        assert report.notes["shed"] >= 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        async def run_twice():
+            a = await run_chaos(["crash", "poison"], seed=5)
+            b = await run_chaos(["crash", "poison"], seed=5)
+            return a, b
+
+        a, b = asyncio.run(run_twice())
+        for ra, rb in zip(a, b):
+            assert ra.as_dict() == rb.as_dict()
+
+    def test_report_serializes(self):
+        report = run_chaos_sync(["overload"])[0]
+        payload = report.as_dict()
+        assert payload["scenario"] == "overload"
+        assert payload["ok"] is True
+        assert set(payload) >= {
+            "responses",
+            "complete",
+            "partial",
+            "rejected",
+            "violations",
+        }

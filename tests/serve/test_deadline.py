@@ -1,0 +1,131 @@
+"""Clocks, deadlines, and the cost model's time-to-work translation."""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.core.join import JoinBudget
+from repro.serve.deadline import Clock, CostModel, Deadline, Ewma, ManualClock
+
+pytestmark = pytest.mark.serve
+
+
+class TestManualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = ManualClock()
+        assert clock.now() == 0.0
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+    def test_sleep_advances_virtual_time_without_waiting(self):
+        clock = ManualClock()
+
+        async def run():
+            await clock.sleep(100.0)
+
+        asyncio.run(run())
+        assert clock.now() == 100.0
+
+    def test_sleep_yields_to_other_tasks(self):
+        clock = ManualClock()
+        order = []
+
+        async def sleeper():
+            order.append("pre")
+            await clock.sleep(1.0)
+            order.append("post")
+
+        async def other():
+            order.append("other")
+
+        async def run():
+            await asyncio.gather(sleeper(), other())
+
+        asyncio.run(run())
+        assert order == ["pre", "other", "post"]
+
+    def test_real_clock_is_monotonic(self):
+        clock = Clock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        clock = ManualClock()
+        deadline = Deadline.after(clock, None)
+        clock.advance(1e9)
+        assert not deadline.expired(clock)
+        assert math.isinf(deadline.remaining(clock))
+
+    def test_remaining_counts_down_and_clamps(self):
+        clock = ManualClock()
+        deadline = Deadline.after(clock, 1.0)
+        assert deadline.remaining(clock) == 1.0
+        clock.advance(0.75)
+        assert deadline.remaining(clock) == pytest.approx(0.25)
+        clock.advance(10.0)
+        assert deadline.remaining(clock) == 0.0
+        assert deadline.expired(clock)
+
+
+class TestEwma:
+    def test_converges_toward_observations(self):
+        ewma = Ewma(100.0, alpha=0.5)
+        for _ in range(20):
+            ewma.observe(10.0)
+        assert ewma.value == pytest.approx(10.0, rel=1e-3)
+        assert ewma.samples == 20
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            Ewma(1.0, alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(1.0, alpha=1.5)
+
+
+class TestCostModel:
+    def test_unbounded_deadline_gets_no_budget(self):
+        assert CostModel().budget_for(math.inf) is None
+
+    def test_budget_scales_with_remaining_time(self):
+        model = CostModel(visits_per_second=1000.0, budget_safety=0.5)
+        budget = model.budget_for(2.0)
+        assert isinstance(budget, JoinBudget)
+        assert budget.max_visits == 1000
+        assert model.budget_for(4.0).max_visits == 2000
+
+    def test_budget_floor_guarantees_progress(self):
+        model = CostModel(visits_per_second=1000.0, min_budget_visits=64)
+        assert model.budget_for(1e-9).max_visits == 64
+
+    def test_straggler_slowdown_shrinks_budget(self):
+        model = CostModel(visits_per_second=1000.0, budget_safety=1.0)
+        nominal = model.budget_for(1.0, slowdown=1.0).max_visits
+        slow = model.budget_for(1.0, slowdown=4.0).max_visits
+        assert slow == nominal // 4
+
+    def test_observe_batch_calibrates_rates(self):
+        model = CostModel(alpha=1.0)
+        model.observe_batch(2.0, visits=1000, nodes=500)
+        assert model.visits_per_second.value == pytest.approx(500.0)
+        assert model.nodes_per_second.value == pytest.approx(250.0)
+        assert model.seconds_per_batch.value == pytest.approx(2.0)
+
+    def test_zero_second_batches_are_ignored(self):
+        model = CostModel()
+        before = model.visits_per_second.value
+        model.observe_batch(0.0, visits=100, nodes=100)
+        assert model.visits_per_second.value == before
+
+    def test_queue_delay_and_batch_limit(self):
+        model = CostModel(seconds_per_batch=0.1, nodes_per_second=1000.0)
+        assert model.estimated_queue_delay(5) == pytest.approx(0.5)
+        assert model.batch_node_limit(0.05) == 50
+        assert model.batch_node_limit(1e-9) == 1  # floored

@@ -1,0 +1,143 @@
+"""The closed-loop Zipf traffic generator."""
+
+import asyncio
+import collections
+
+import pytest
+
+from repro.chem.datasets import build_benchmark
+from repro.core.config import SigmoConfig
+from repro.core.engine import SigmoEngine
+from repro.serve import ManualClock, MatchService, ServeConfig
+from repro.serve.loadgen import LoadResult, ZipfSampler, run_load
+from repro.serve.request import STATUS_COMPLETE, MatchResponse
+
+pytestmark = pytest.mark.serve
+
+
+class TestZipfSampler:
+    def test_deterministic_per_seed(self):
+        a = [ZipfSampler(10, seed=3).sample() for _ in range(1)]
+        draws_a = ZipfSampler(10, seed=3)
+        draws_b = ZipfSampler(10, seed=3)
+        assert [draws_a.sample() for _ in range(50)] == [
+            draws_b.sample() for _ in range(50)
+        ]
+        assert a[0] == ZipfSampler(10, seed=3).sample()
+
+    def test_skew_prefers_low_ranks(self):
+        sampler = ZipfSampler(20, exponent=1.2, seed=0)
+        counts = collections.Counter(sampler.sample() for _ in range(2000))
+        assert counts[0] > counts.get(10, 0)
+        assert counts[0] > counts.get(19, 0)
+
+    def test_zero_exponent_is_roughly_uniform(self):
+        sampler = ZipfSampler(4, exponent=0.0, seed=1)
+        counts = collections.Counter(sampler.sample() for _ in range(4000))
+        for i in range(4):
+            assert 800 <= counts[i] <= 1200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, exponent=-1.0)
+
+
+class TestLoadResult:
+    def _response(self, status, latency):
+        return MatchResponse(seq=0, status=status, latency_s=latency)
+
+    def test_counts_and_percentiles(self):
+        result = LoadResult(
+            responses=[
+                self._response("complete", 0.01),
+                self._response("complete", 0.02),
+                self._response("rejected", 0.0),
+            ],
+            wall_seconds=2.0,
+        )
+        assert result.n_requests == 3
+        assert result.count("complete") == 2
+        assert result.goodput == pytest.approx(1.0)
+        assert result.latency_percentile(50) == pytest.approx(0.015)
+        payload = result.as_dict()
+        assert payload["rejected"] == 1
+        assert payload["goodput_rps"] == pytest.approx(1.0)
+
+    def test_empty_result_is_harmless(self):
+        result = LoadResult()
+        assert result.goodput == 0.0
+        assert result.latency_percentile(99) == 0.0
+
+
+class TestRunLoad:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return build_benchmark(
+            scale=1.0, n_queries=4, n_data_graphs=18, seed=9
+        )
+
+    def test_closed_loop_responses_are_correct(self, dataset):
+        config = SigmoConfig(refinement_iterations=2)
+        batches = [
+            dataset.data[0:6],
+            dataset.data[6:12],
+            dataset.data[12:18],
+        ]
+
+        async def run():
+            service = MatchService(
+                config=config,
+                serve=ServeConfig(replicas=2, dispatchers=2),
+                clock=ManualClock(),
+            )
+            key = service.register(dataset.queries)
+            async with service:
+                return await run_load(
+                    service,
+                    key,
+                    batches,
+                    n_clients=3,
+                    requests_per_client=4,
+                    zipf_exponent=1.1,
+                    seed=21,
+                )
+
+        result = asyncio.run(run())
+        assert result.n_requests == 12
+        assert result.count(STATUS_COMPLETE) == 12
+        # every response matches its batch's solo engine run
+        truth = {
+            id(batch): SigmoEngine(
+                dataset.queries, batch, config
+            ).run().total_matches
+            for batch in batches
+        }
+        assert set(r.total_matches for r in result.responses) <= set(
+            truth.values()
+        )
+
+    def test_same_seed_same_schedule(self, dataset):
+        config = SigmoConfig(refinement_iterations=2)
+        batches = [dataset.data[0:6], dataset.data[6:12]]
+
+        async def once():
+            service = MatchService(
+                config=config,
+                serve=ServeConfig(replicas=1, dispatchers=1),
+                clock=ManualClock(),
+            )
+            key = service.register(dataset.queries)
+            async with service:
+                result = await run_load(
+                    service,
+                    key,
+                    batches,
+                    n_clients=2,
+                    requests_per_client=3,
+                    seed=4,
+                )
+            return [r.total_matches for r in result.responses]
+
+        assert asyncio.run(once()) == asyncio.run(once())

@@ -1,0 +1,162 @@
+"""The warm session pool: registration, routing, rebuilds, eviction."""
+
+import pytest
+
+from repro.chem.datasets import build_benchmark
+from repro.core.config import SigmoConfig
+from repro.serve.breaker import OPEN
+from repro.serve.deadline import ManualClock
+from repro.serve.pool import SessionPool
+
+pytestmark = pytest.mark.serve
+
+N_QUERIES = 4
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_benchmark(
+        scale=1.0, n_queries=N_QUERIES, n_data_graphs=12, seed=SEED
+    )
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def pool(clock):
+    return SessionPool(
+        clock,
+        config=SigmoConfig(refinement_iterations=2),
+        replicas=2,
+        breaker_threshold=2,
+        breaker_cooldown_s=1.0,
+    )
+
+
+class TestRegistration:
+    def test_register_returns_content_keyed_fingerprint(self, pool, dataset):
+        key = pool.register(dataset.queries)
+        again = pool.register(list(dataset.queries))  # same contents
+        assert key == again
+        assert len(pool) == 1
+
+    def test_distinct_query_sets_get_distinct_entries(self, pool, dataset):
+        a = pool.register(dataset.queries[:2])
+        b = pool.register(dataset.queries[2:])
+        assert a != b
+        assert len(pool) == 2
+
+    def test_entry_has_replica_lanes(self, pool, dataset):
+        key = pool.register(dataset.queries)
+        entry = pool.entry(key)
+        assert len(entry.lanes) == 2
+        assert entry.lanes[0].lane_id != entry.lanes[1].lane_id
+
+    def test_lru_eviction_past_max_query_sets(self, clock, dataset):
+        pool = SessionPool(clock, replicas=1, max_query_sets=2)
+        first = pool.register(dataset.queries[:1])
+        pool.register(dataset.queries[1:2])
+        pool.register(dataset.queries[2:3])
+        assert len(pool) == 2
+        assert pool.entry(first) is None
+        assert pool.evictions == 1
+
+    def test_empty_query_set_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.register([])
+
+
+class TestRouting:
+    def test_acquire_marks_busy_and_round_robins(self, pool, dataset):
+        key = pool.register(dataset.queries)
+        a = pool.acquire(key)
+        b = pool.acquire(key)
+        assert a is not None and b is not None
+        assert a is not b
+        assert a.busy and b.busy
+        assert pool.acquire(key) is None  # both lanes in flight
+
+    def test_release_frees_the_lane(self, pool, dataset):
+        key = pool.register(dataset.queries)
+        lane = pool.acquire(key)
+        pool.release(lane, ok=True)
+        assert not lane.busy
+        assert pool.acquire(key) is not None
+
+    def test_acquire_unknown_key_is_none(self, pool):
+        assert pool.acquire("no-such-key") is None
+
+    def test_acquire_skips_open_breakers(self, pool, dataset):
+        key = pool.register(dataset.queries)
+        entry = pool.entry(key)
+        for _ in range(2):
+            entry.lanes[0].breaker.record_failure()
+        picked = {pool.acquire(key).index, }
+        # only lane 1 is available; a second acquire finds nothing
+        assert picked == {1}
+        assert pool.acquire(key) is None
+
+    def test_any_healthy_possible_distinguishes_busy_from_broken(
+        self, pool, dataset
+    ):
+        key = pool.register(dataset.queries)
+        entry = pool.entry(key)
+        lane = pool.acquire(key)
+        pool.acquire(key)
+        assert entry.any_healthy_possible()  # all busy, none broken
+        pool.release(lane, ok=True)
+        for other in entry.lanes:
+            other.busy = False
+            for _ in range(2):
+                other.breaker.record_failure()
+        assert not entry.any_healthy_possible()  # every breaker open
+
+
+class TestRebuilds:
+    def test_breaker_trip_rebuilds_the_session(self, pool, dataset):
+        key = pool.register(dataset.queries)
+        lane = pool.acquire(key)
+        old_session = lane.session
+        pool.release(lane, ok=False)
+        assert lane.session is old_session  # one failure: no trip yet
+        lane = pool.acquire(key)
+        assert lane.index == 1  # round-robin moved on
+        pool.release(lane, ok=True)
+        failing = pool.entry(key).lanes[0]
+        failing.busy = True
+        pool.release(failing, ok=False)  # second consecutive failure: trip
+        assert failing.breaker.state == OPEN
+        assert failing.session is not old_session
+        assert failing.stats.rebuilds == 1
+        assert pool.rebuilds == 1
+
+    def test_rebuild_keeps_breaker_state(self, pool, dataset):
+        key = pool.register(dataset.queries)
+        lane = pool.entry(key).lanes[0]
+        for _ in range(2):
+            lane.breaker.record_failure()
+        pool.rebuild_lane(lane)
+        assert lane.breaker.state == OPEN  # fresh session still on probation
+
+    def test_rebuilt_session_shares_the_compiled_query(self, pool, dataset):
+        key = pool.register(dataset.queries)
+        entry = pool.entry(key)
+        lane = entry.lanes[0]
+        pool.rebuild_lane(lane)
+        assert lane.session.query is entry.query
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self, pool, dataset):
+        key = pool.register(dataset.queries)
+        snap = pool.snapshot()
+        assert snap["query_sets"] == 1
+        lanes = snap["lanes"][key]
+        assert len(lanes) == 2
+        assert {"lane", "busy", "slowdown", "breaker", "dispatches"} <= set(
+            lanes[0]
+        )

@@ -1,0 +1,449 @@
+"""End-to-end MatchService behavior: correctness, deadlines, degradation.
+
+The anchor invariant throughout: whatever the service does internally —
+coalescing, routing, retrying, truncating — a client's non-rejected
+responses reassemble *exactly* the result of a solo fresh engine over
+its own request data.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.chem.datasets import build_benchmark
+from repro.core.config import SigmoConfig
+from repro.core.engine import SigmoEngine
+from repro.core.join import FIND_FIRST
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import tracing
+from repro.runtime.faults import FaultPlan
+from repro.serve import (
+    REJECT_FAILED,
+    REJECT_OVERLOADED,
+    REJECT_UNAVAILABLE,
+    STATUS_COMPLETE,
+    STATUS_PARTIAL,
+    STATUS_REJECTED,
+    ManualClock,
+    MatchRequest,
+    MatchService,
+    RequestFailed,
+    ServeConfig,
+    ServeResumeToken,
+)
+
+pytestmark = pytest.mark.serve
+
+N_QUERIES = 5
+N_DATA = 24
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_benchmark(
+        scale=1.0, n_queries=N_QUERIES, n_data_graphs=N_DATA, seed=SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SigmoConfig(refinement_iterations=2)
+
+
+@pytest.fixture(scope="module")
+def batches(dataset):
+    return [
+        dataset.data[0:8],
+        dataset.data[8:16],
+        dataset.data[16:24],
+        dataset.data[4:12],
+    ]
+
+
+@pytest.fixture(scope="module")
+def truth(dataset, config, batches):
+    out = []
+    for batch in batches:
+        result = SigmoEngine(dataset.queries, batch, config).run()
+        out.append((result.total_matches, sorted(result.matched_pairs())))
+    return out
+
+
+def make_service(dataset, config, **serve_kw):
+    serve_kw.setdefault("replicas", 2)
+    serve_kw.setdefault("dispatchers", 2)
+    clock = serve_kw.pop("clock", None) or ManualClock()
+    plan = serve_kw.pop("fault_plan", None)
+    service = MatchService(
+        config=config,
+        serve=ServeConfig(**serve_kw),
+        clock=clock,
+        fault_plan=plan,
+    )
+    key = service.register(dataset.queries)
+    return service, clock, key
+
+
+class TestCorrectness:
+    def test_concurrent_coalesced_requests_equal_solo_engines(
+        self, dataset, config, batches, truth
+    ):
+        async def run():
+            service, _, key = make_service(dataset, config)
+            async with service:
+                return await asyncio.gather(
+                    *[
+                        service.submit(
+                            MatchRequest(query_key=key, data=batches[i % 4])
+                        )
+                        for i in range(8)
+                    ]
+                )
+
+        responses = asyncio.run(run())
+        for i, response in enumerate(responses):
+            expected_total, expected_pairs = truth[i % 4]
+            assert response.status == STATUS_COMPLETE
+            assert response.total_matches == expected_total
+            assert sorted(response.matches) == expected_pairs
+            assert response.attempts == 1
+            assert response.lane  # routed through a named lane
+
+    def test_sequential_requests_hit_the_warm_path(
+        self, dataset, config, batches
+    ):
+        async def run():
+            service, _, key = make_service(
+                dataset, config, replicas=1, dispatchers=1
+            )
+            async with service:
+                for _ in range(3):
+                    await service.submit(
+                        MatchRequest(query_key=key, data=batches[0])
+                    )
+                entry = service.pool.entry(key)
+                return entry.lanes[0].session.artifact_stats.as_dict()
+
+        stats = asyncio.run(run())
+        # first call stores filter+gmcr, later calls recall them
+        assert stats["hits"] >= 2
+
+    def test_find_first_mode_passes_through(self, dataset, config, batches):
+        async def run():
+            service, _, key = make_service(dataset, config)
+            async with service:
+                return await service.submit(
+                    MatchRequest(
+                        query_key=key, data=batches[1], mode=FIND_FIRST
+                    )
+                )
+
+        response = asyncio.run(run())
+        expected = SigmoEngine(dataset.queries, batches[1], config).run(
+            mode=FIND_FIRST
+        )
+        assert response.status == STATUS_COMPLETE
+        assert sorted(response.matches) == sorted(expected.matched_pairs())
+
+
+class TestDeadlinesAndResume:
+    def test_tight_deadline_truncates_with_resume_token(
+        self, dataset, config, batches, truth
+    ):
+        async def run():
+            service, _, key = make_service(
+                dataset, config, replicas=1, dispatchers=1
+            )
+            async with service:
+                return await service.submit(
+                    MatchRequest(
+                        query_key=key, data=batches[0], deadline_s=0.0005
+                    )
+                )
+
+        response = asyncio.run(run())
+        assert response.status == STATUS_PARTIAL
+        assert response.resume is not None
+        assert response.truncate_reason
+        expected_pairs = truth[0][1]
+        assert set(response.matches) <= set(expected_pairs)
+
+    def test_resume_chain_reassembles_the_exact_result(
+        self, dataset, config, batches, truth
+    ):
+        async def run():
+            service, _, key = make_service(
+                dataset, config, replicas=2, dispatchers=2
+            )
+            matches, total, hops = [], 0, 0
+            async with service:
+                response = await service.submit(
+                    MatchRequest(
+                        query_key=key, data=batches[0], deadline_s=0.0005
+                    )
+                )
+                while True:
+                    matches.extend(response.matches)
+                    total += response.total_matches
+                    if response.status != STATUS_PARTIAL:
+                        break
+                    hops += 1
+                    response = await service.submit(
+                        MatchRequest(
+                            query_key=key,
+                            data=batches[0],
+                            deadline_s=0.0005,
+                            resume=response.resume,
+                        )
+                    )
+            return matches, total, hops, response.status
+
+        matches, total, hops, final = asyncio.run(run())
+        expected_total, expected_pairs = truth[0]
+        assert final == STATUS_COMPLETE
+        assert hops >= 1  # the budget actually truncated
+        assert total == expected_total
+        assert sorted(matches) == expected_pairs
+
+    def test_queued_deadline_expiry_rejects_typed(
+        self, dataset, config, batches
+    ):
+        async def run():
+            clock = ManualClock()
+            service, _, key = make_service(
+                dataset, config, clock=clock, replicas=1, dispatchers=1
+            )
+            async with service:
+                # Deadline already unmeetable relative to queue estimate:
+                # admission passes (queue empty) but the clock jumps past
+                # the deadline before dispatch.
+                ticket = asyncio.ensure_future(
+                    service.submit(
+                        MatchRequest(
+                            query_key=key, data=batches[0], deadline_s=0.01
+                        )
+                    )
+                )
+                await asyncio.sleep(0)
+                clock.advance(1.0)
+                return await ticket
+
+        response = asyncio.run(run())
+        # dispatched-or-queued expiry: either way a typed deadline rejection
+        assert response.status in (STATUS_REJECTED, STATUS_PARTIAL)
+        if response.status == STATUS_REJECTED:
+            assert response.rejection.kind == "deadline-exceeded"
+
+
+class TestResumeTokenValidation:
+    def test_token_bound_to_other_query_key_rejected(
+        self, dataset, config, batches
+    ):
+        async def run():
+            service, _, key = make_service(dataset, config)
+            async with service:
+                token = ServeResumeToken(
+                    query_key="f" * 16, data_hash="0" * 64, next_pair=1
+                )
+                return await service.submit(
+                    MatchRequest(query_key=key, data=batches[0], resume=token)
+                )
+
+        response = asyncio.run(run())
+        assert response.status == STATUS_REJECTED
+        assert response.rejection.kind == REJECT_FAILED
+        with pytest.raises(RequestFailed):
+            response.raise_for_status()
+
+    def test_token_bound_to_other_data_rejected(
+        self, dataset, config, batches
+    ):
+        async def run():
+            service, _, key = make_service(
+                dataset, config, replicas=1, dispatchers=1
+            )
+            async with service:
+                partial = await service.submit(
+                    MatchRequest(
+                        query_key=key, data=batches[0], deadline_s=0.0005
+                    )
+                )
+                assert partial.status == STATUS_PARTIAL
+                return await service.submit(
+                    MatchRequest(
+                        query_key=key, data=batches[1], resume=partial.resume
+                    )
+                )
+
+        response = asyncio.run(run())
+        assert response.status == STATUS_REJECTED
+        assert "different data" in response.rejection.detail
+
+    def test_unknown_query_key_rejected(self, dataset, config, batches):
+        async def run():
+            service, _, _ = make_service(dataset, config)
+            async with service:
+                return await service.submit(
+                    MatchRequest(query_key="nope", data=batches[0])
+                )
+
+        response = asyncio.run(run())
+        assert response.status == STATUS_REJECTED
+        assert response.rejection.kind == REJECT_FAILED
+        assert "unknown query_key" in response.rejection.detail
+
+
+class TestOverloadAndLifecycle:
+    def test_queue_bound_sheds_typed_overloaded(
+        self, dataset, config, batches
+    ):
+        async def run():
+            service, _, key = make_service(
+                dataset,
+                config,
+                replicas=1,
+                dispatchers=1,
+                max_queued=2,
+                requests_per_batch=1.0,
+            )
+            async with service:
+                return await asyncio.gather(
+                    *[
+                        service.submit(
+                            MatchRequest(query_key=key, data=batches[i % 4])
+                        )
+                        for i in range(8)
+                    ]
+                )
+
+        responses = asyncio.run(run())
+        shed = [
+            r
+            for r in responses
+            if r.status == STATUS_REJECTED
+            and r.rejection.kind == REJECT_OVERLOADED
+        ]
+        served = [r for r in responses if r.status == STATUS_COMPLETE]
+        assert shed, "queue bound never shed"
+        assert served, "overload must not starve everyone"
+        for r in shed:
+            assert r.rejection.retry_after_s is not None
+
+    def test_all_breakers_open_rejects_unavailable(
+        self, dataset, config, batches
+    ):
+        async def run():
+            # crash every attempt of every early request: with
+            # threshold-1 breakers both lanes trip immediately.
+            plan = FaultPlan(
+                crash_at=tuple(
+                    (unit, attempt)
+                    for unit in range(8)
+                    for attempt in range(4)
+                )
+            )
+            service, _, key = make_service(
+                dataset,
+                config,
+                fault_plan=plan,
+                replicas=2,
+                dispatchers=2,
+                breaker_threshold=1,
+                breaker_cooldown_s=1e9,
+                backoff_base_s=0.0,
+            )
+            async with service:
+                return await asyncio.gather(
+                    *[
+                        service.submit(
+                            MatchRequest(
+                                query_key=key,
+                                data=batches[i % 4],
+                                max_retries=3,
+                            )
+                        )
+                        for i in range(4)
+                    ]
+                )
+
+        responses = asyncio.run(run())
+        assert all(r.status == STATUS_REJECTED for r in responses)
+        kinds = {r.rejection.kind for r in responses}
+        assert REJECT_UNAVAILABLE in kinds
+
+    def test_submit_before_start_raises(self, dataset, config, batches):
+        async def run():
+            service = MatchService(config=config)
+            key = service.register(dataset.queries)
+            await service.submit(MatchRequest(query_key=key, data=batches[0]))
+
+        with pytest.raises(RuntimeError):
+            asyncio.run(run())
+
+    def test_stop_without_drain_rejects_queued(
+        self, dataset, config, batches
+    ):
+        async def run():
+            service, _, key = make_service(
+                dataset, config, replicas=1, dispatchers=1
+            )
+            await service.start()
+            pending = [
+                asyncio.ensure_future(
+                    service.submit(
+                        MatchRequest(query_key=key, data=batches[i % 4])
+                    )
+                )
+                for i in range(6)
+            ]
+            await asyncio.sleep(0)
+            await service.stop(drain=False)
+            return await asyncio.gather(*pending)
+
+        responses = asyncio.run(run())
+        stopped = [
+            r
+            for r in responses
+            if r.status == STATUS_REJECTED
+            and "service stopped" in r.rejection.detail
+        ]
+        assert stopped, "queued requests must resolve on no-drain stop"
+        for r in responses:  # and nothing hangs or goes untyped
+            assert r.status in (STATUS_COMPLETE, STATUS_REJECTED)
+
+
+class TestObservability:
+    def test_metrics_and_lane_spans_recorded(self, dataset, config, batches):
+        metrics = get_metrics()
+        before = dict(metrics.counters)
+
+        async def run():
+            service, _, key = make_service(dataset, config)
+            async with service:
+                await asyncio.gather(
+                    *[
+                        service.submit(
+                            MatchRequest(query_key=key, data=batches[i % 4])
+                        )
+                        for i in range(4)
+                    ]
+                )
+            return service
+
+        with tracing() as tracer:
+            service = asyncio.run(run())
+
+        def delta(name):
+            return metrics.counters.get(name, 0) - before.get(name, 0)
+
+        assert delta("serve.requests") == 4
+        assert delta("serve.responses.complete") == 4
+        assert delta("serve.batches") >= 1
+        assert metrics.histograms["serve.latency_s"].count >= 4
+        batch_spans = tracer.find("serve:batch")
+        assert batch_spans
+        assert all(span.lane for span in batch_spans)
+        snap = service.snapshot()
+        assert snap["requests"] == 4
+        assert snap["admission"]["admitted"] == 4
