@@ -5,7 +5,7 @@
 PY := python
 export PYTHONPATH := src
 
-.PHONY: lint analyze check-analysis test check check-robustness check-obs check-perf check-pipeline check-serve baseline
+.PHONY: lint analyze check-analysis test check check-robustness check-obs check-perf check-pipeline check-serve check-slo baseline
 
 lint: analyze
 
@@ -28,7 +28,7 @@ baseline:
 test:
 	$(PY) -m pytest -x -q
 
-check: test check-analysis check-pipeline
+check: test check-analysis check-pipeline check-slo
 
 # Pipeline gate: cross-driver parity + session-reuse tests, plus the
 # session-amortization benchmark compared against the committed baseline
@@ -48,6 +48,13 @@ check-robustness:
 check-obs:
 	$(PY) -m pytest -q -m obs
 	$(PY) -m repro profile --n-queries 40 --n-molecules 200 --against BENCH_obs.json
+
+# SLO gate: the SLO-engine/flight-recorder/monitor test suite plus the
+# always-on monitor's goodput overhead measured against the committed
+# obs_overhead block of BENCH_obs.json (<= 5% vs. monitor-off).
+check-slo:
+	$(PY) -m pytest -q -m slo
+	$(PY) benchmarks/bench_obs_overhead.py --against BENCH_obs.json
 
 # Serving gate: the matching-service test suite (admission, breakers,
 # pool, chaos), the deterministic chaos scenarios via the CLI (exits

@@ -72,13 +72,19 @@ def write_obs_baseline(path: str | Path) -> None:
     The file is the committed baseline ``repro profile --against
     BENCH_obs.json`` compares to, so it uses the exact default smoke
     parameters of the CLI (40 queries x 200 molecules, seed 0, 6
-    iterations, find-all, nvidia-v100s).
+    iterations, find-all, nvidia-v100s).  The serving-layer monitor
+    overhead measurement rides along under the ``obs_overhead`` key
+    (gated by ``benchmarks/bench_obs_overhead.py --against`` in ``make
+    check-slo``); unknown top-level keys are schema-tolerated.
     """
     from repro.obs.profile import smoke_profile
     from repro.obs.export import write_metrics
 
+    from benchmarks.bench_obs_overhead import merge_into, run_all as run_obs_overhead
+
     profile = smoke_profile()
     write_metrics(profile.metrics, path, context=profile.context)
+    merge_into(run_obs_overhead(), Path(path))
     print(f"wrote {path}")
 
 

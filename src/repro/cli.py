@@ -24,6 +24,15 @@ Subcommands
     top-k simulated kernels, roofline placement; exports the
     ``repro.metrics/1`` payload, a Perfetto-loadable Chrome trace, and
     compares against a committed baseline (see ``docs/observability.md``).
+``serve-sim``
+    Matching-service simulation: closed-loop Zipf load (with an optional
+    ``--dashboard`` health rendering) or the ``--chaos`` fault drills;
+    ``--dump-dir`` writes the collected post-mortem bundles
+    (see ``docs/serving.md``).
+``trace-request``
+    Reconstruct one request's end-to-end story — admission, coalesced
+    batches, retries, resume hops — from a flight-recorder post-mortem
+    bundle (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -194,8 +203,35 @@ def _add_serve_sim(sub: argparse._SubParsersAction) -> None:
                    help="requests per client for the load simulation")
     p.add_argument("--zipf", type=float, default=1.1,
                    help="Zipf exponent for batch popularity")
+    p.add_argument("--dashboard", action="store_true",
+                   help="render the service-health dashboard (lanes, last "
+                        "SLO window, active alerts, recorder occupancy) "
+                        "after the run")
+    p.add_argument("--dump-dir", metavar="DIR",
+                   help="write every collected post-mortem bundle into DIR "
+                        "as JSON")
     p.add_argument("--json", dest="json_out", metavar="FILE",
                    help="write the reports/load summary as JSON")
+
+
+def _add_trace_request(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "trace-request",
+        help="reconstruct one request's end-to-end story (admission, "
+             "batches, retries, resume hops) from a post-mortem bundle",
+    )
+    p.add_argument("request_id",
+                   help="request or chain id to trace (e.g. req-000003)")
+    p.add_argument("--bundle", metavar="FILE",
+                   help="post-mortem bundle JSON to read; default: run "
+                        "--scenario live and trace inside its final bundle")
+    p.add_argument("--scenario", default="straggler",
+                   help="chaos scenario for live mode (default: straggler, "
+                        "which produces resume chains)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scenario seed for live mode")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write the matched events as JSON")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -212,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilient_run(sub)
     _add_profile(sub)
     _add_serve_sim(sub)
+    _add_trace_request(sub)
     return parser
 
 
@@ -707,6 +744,19 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _write_bundles(dump_dir: str, named_bundles: list) -> None:
+    """Write ``(name, bundle)`` pairs into ``dump_dir`` as JSON files."""
+    from pathlib import Path
+
+    out = Path(dump_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, bundle in named_bundles:
+        path = out / f"{name}.json"
+        with open(path, "w") as fh:
+            json.dump(bundle, fh, indent=2, sort_keys=True)
+        print(f"wrote {path}")
+
+
 def cmd_serve_sim(args) -> int:
     """Handle ``repro serve-sim``: chaos drills or a closed-loop load sim."""
     import asyncio
@@ -724,15 +774,26 @@ def cmd_serve_sim(args) -> int:
         failed = 0
         for report in reports:
             verdict = "ok" if report.ok else "VIOLATED"
+            triggers = ",".join(b["trigger"] for b in report.bundles)
             print(
                 f"{report.scenario:24s} {verdict:9s} "
                 f"complete={report.count('complete'):3d} "
                 f"partial={report.count('partial'):3d} "
-                f"rejected={report.count('rejected'):3d}"
+                f"rejected={report.count('rejected'):3d} "
+                f"bundles=[{triggers}]"
             )
             for line in report.violations:
                 print(f"  violation: {line}", file=sys.stderr)
             failed += 0 if report.ok else 1
+        if args.dump_dir:
+            _write_bundles(
+                args.dump_dir,
+                [
+                    (f"{r.scenario}-{i:02d}-{b['trigger']}", b)
+                    for r in reports
+                    for i, b in enumerate(r.bundles)
+                ],
+            )
         if args.json_out:
             payload = {"seed": args.seed,
                        "reports": [r.as_dict() for r in reports]}
@@ -770,9 +831,13 @@ def cmd_serve_sim(args) -> int:
                 zipf_exponent=args.zipf,
                 seed=args.seed,
             )
-        return result, service.snapshot()
+            health = service.health()
+        bundles = list(service.monitor.bundles)
+        if service.monitor.enabled:
+            bundles.append(service.monitor.dump("manual"))
+        return result, service.snapshot(), health, bundles
 
-    result, snapshot = asyncio.run(run())
+    result, snapshot, health, bundles = asyncio.run(run())
     summary = result.as_dict()
     print(
         f"load: {summary['n_requests']} requests, "
@@ -785,8 +850,89 @@ def cmd_serve_sim(args) -> int:
         f"p50 {summary['latency_p50_s'] * 1e3:.2f} ms, "
         f"p99 {summary['latency_p99_s'] * 1e3:.2f} ms"
     )
+    if args.dashboard:
+        from repro.obs.slo import render_dashboard
+
+        print(render_dashboard(health.as_dict()))
+    if args.dump_dir:
+        _write_bundles(
+            args.dump_dir,
+            [(f"load-{i:02d}-{b['trigger']}", b) for i, b in enumerate(bundles)],
+        )
     if args.json_out:
-        payload = {"load": summary, "service": snapshot}
+        payload = {
+            "load": summary,
+            "service": snapshot,
+            "health": health.as_dict(),
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def cmd_trace_request(args) -> int:
+    """Handle ``repro trace-request``: one request's causal story.
+
+    Reads a post-mortem bundle (``--bundle``) or runs a chaos scenario
+    live and uses its final bundle, then renders every buffered event
+    involving the request id — admission, coalesced batches (as a
+    member), retries, resolution, and resume-token follow-up hops linked
+    by the causal chain id.
+    """
+    from repro.obs.recorder import events_for_request, validate_bundle
+    from repro.serve.monitor import format_request_story
+
+    if args.bundle:
+        with open(args.bundle) as fh:
+            bundle = json.load(fh)
+        problems = validate_bundle(bundle)
+        if problems:
+            for line in problems:
+                print(f"invalid bundle: {line}", file=sys.stderr)
+            return 2
+    else:
+        from repro.serve.chaos import run_chaos_sync
+
+        try:
+            reports = run_chaos_sync([args.scenario], seed=args.seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = reports[0]
+        if not report.bundles:
+            print(
+                f"scenario {args.scenario!r} produced no bundle",
+                file=sys.stderr,
+            )
+            return 2
+        bundle = report.bundles[-1]
+    events = events_for_request(bundle.get("events", []), args.request_id)
+    if not events:
+        chains = []
+        for e in bundle.get("events", []):
+            chain = e.get("chain")
+            if chain and chain not in chains:
+                chains.append(chain)
+        print(
+            f"no events for {args.request_id!r} in bundle "
+            f"(trigger {bundle.get('trigger')!r})",
+            file=sys.stderr,
+        )
+        if chains:
+            print("known chains: " + " ".join(chains), file=sys.stderr)
+        return 1
+    print(
+        format_request_story(
+            args.request_id, events, trigger=str(bundle.get("trigger", ""))
+        )
+    )
+    if args.json_out:
+        payload = {
+            "request_id": args.request_id,
+            "trigger": bundle.get("trigger"),
+            "events": events,
+        }
         with open(args.json_out, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"wrote {args.json_out}")
@@ -805,6 +951,7 @@ def main(argv: list[str] | None = None) -> int:
         "resilient-run": cmd_resilient_run,
         "profile": cmd_profile,
         "serve-sim": cmd_serve_sim,
+        "trace-request": cmd_trace_request,
     }
     return handlers[args.command](args)
 

@@ -190,10 +190,106 @@ def validate_metrics(payload: dict[str, Any]) -> list[str]:
             for key in ("count", "sum", "min", "max", "buckets"):
                 if key not in h:
                     problems.append(f"histograms[{name!r}]: missing {key!r}")
-            if not isinstance(h.get("buckets", []), list):
-                problems.append(f"histograms[{name!r}]: buckets not a list")
+            problems.extend(_validate_histogram(name, h))
     if "context" in payload and not isinstance(payload["context"], dict):
         problems.append("context not an object")
+    return problems
+
+
+def _validate_histogram(name: str, h: dict[str, Any]) -> list[str]:
+    """Round-trip invariants of one serialised histogram.
+
+    Beyond key presence: sparse buckets must be well-formed ``[index,
+    count]`` pairs with strictly increasing indices and positive counts
+    (bucket *monotonicity* — an out-of-order or duplicated index means
+    the sparse encoding was corrupted); the bucket counts must sum to
+    ``count``; explicit bound lists must be strictly ascending; and
+    ``min``/``max``/``sum`` must be mutually consistent.
+    """
+    problems: list[str] = []
+    buckets = h.get("buckets", [])
+    if not isinstance(buckets, list):
+        return [f"histograms[{name!r}]: buckets not a list"]
+    bounds = h.get("bounds", "geometric")
+    n_bounds: int | None = None
+    if bounds == "geometric":
+        n_bounds = None  # default layout, any index up to its width is fine
+    elif isinstance(bounds, list):
+        n_bounds = len(bounds)
+        for i in range(1, len(bounds)):
+            if not bounds[i - 1] < bounds[i]:
+                problems.append(
+                    f"histograms[{name!r}]: bounds not strictly ascending "
+                    f"at position {i}"
+                )
+                break
+    else:
+        problems.append(f"histograms[{name!r}]: bounds neither 'geometric' nor a list")
+    last_index = -1
+    total = 0
+    for i, pair in enumerate(buckets):
+        if (
+            not isinstance(pair, (list, tuple))
+            or len(pair) != 2
+            or isinstance(pair[0], bool)
+            or isinstance(pair[1], bool)
+            or not isinstance(pair[0], int)
+            or not isinstance(pair[1], int)
+        ):
+            problems.append(
+                f"histograms[{name!r}]: bucket {i} not an [index, count] "
+                "integer pair"
+            )
+            continue
+        index, count = pair
+        if index <= last_index:
+            problems.append(
+                f"histograms[{name!r}]: bucket indices not strictly "
+                f"increasing at {index}"
+            )
+        last_index = max(last_index, index)
+        if n_bounds is not None and index > n_bounds:
+            problems.append(
+                f"histograms[{name!r}]: bucket index {index} beyond the "
+                f"{n_bounds}-bound layout's overflow bucket"
+            )
+        if count <= 0:
+            problems.append(
+                f"histograms[{name!r}]: bucket {index} has non-positive "
+                f"count {count} (empty buckets must be elided)"
+            )
+        else:
+            total += count
+    count = h.get("count")
+    if isinstance(count, int) and not isinstance(count, bool):
+        if total != count:
+            problems.append(
+                f"histograms[{name!r}]: bucket counts sum to {total} but "
+                f"count is {count}"
+            )
+        lo, hi = h.get("min"), h.get("max")
+        if (
+            count > 0
+            and isinstance(lo, (int, float))
+            and isinstance(hi, (int, float))
+            and lo > hi
+        ):
+            problems.append(f"histograms[{name!r}]: min {lo} > max {hi}")
+        s = h.get("sum")
+        if (
+            count > 0
+            and isinstance(s, (int, float))
+            and isinstance(lo, (int, float))
+            and isinstance(hi, (int, float))
+            # float tolerance: sums accumulate rounding error
+            and not (lo * count - 1e-9 <= s <= hi * count + 1e-9)
+        ):
+            problems.append(
+                f"histograms[{name!r}]: sum {s} outside [min*count, "
+                f"max*count]"
+            )
+    elif count is not None:
+        problems.append(f"histograms[{name!r}]: count not an integer")
     return problems
 
 

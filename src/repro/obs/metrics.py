@@ -134,6 +134,61 @@ class Histogram:
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
 
+    def copy(self) -> "Histogram":
+        """Independent deep copy (same layout, same counts)."""
+        h = Histogram(self.name, buckets=list(self.buckets))
+        h.counts = list(self.counts)
+        h.count = self.count
+        h.sum = self.sum
+        h.min = self.min
+        h.max = self.max
+        return h
+
+    def snapshot_delta(self, earlier: "Histogram") -> "Histogram":
+        """Bucket-wise ``self - earlier``: the observations made since.
+
+        The windowing primitive of the SLO engine: two registry
+        snapshots of the same (monotonically growing) histogram subtract
+        into the histogram of exactly the values observed between them,
+        so windowed quantiles stay exact to bucket resolution.
+
+        Raises ``ValueError`` on mismatched bucket layouts and on any
+        negative bucket delta (the earlier snapshot must be a true
+        prefix — a negative delta means the snapshots are unrelated or
+        out of order).
+        """
+        if earlier.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: incompatible bucket layouts"
+            )
+        delta = Histogram(self.name, buckets=list(self.buckets))
+        for i, (now, then) in enumerate(zip(self.counts, earlier.counts)):
+            d = now - then
+            if d < 0:
+                raise ValueError(
+                    f"histogram {self.name!r}: negative delta in bucket "
+                    f"{i} ({now} - {then}); snapshots are out of order"
+                )
+            delta.counts[i] = d
+        delta.count = self.count - earlier.count
+        if delta.count < 0:
+            raise ValueError(
+                f"histogram {self.name!r}: negative count delta; "
+                "snapshots are out of order"
+            )
+        delta.sum = self.sum - earlier.sum
+        if delta.count:
+            # min/max of the window are not recoverable from cumulative
+            # extrema; bound them by the bucket layout of the occupied
+            # range instead (consistent with bucket-resolution quantiles).
+            occupied = [i for i, n in enumerate(delta.counts) if n]
+            lo, hi = occupied[0], occupied[-1]
+            delta.min = self.buckets[lo - 1] if lo > 0 else 0.0
+            delta.max = (
+                self.buckets[hi] if hi < len(self.buckets) else self.max
+            )
+        return delta
+
     def as_dict(self) -> dict[str, Any]:
         """Serialise; empty buckets are elided via sparse (index, count)."""
         return {
@@ -219,6 +274,59 @@ class MetricsRegistry:
                 self.histograms[name] = Histogram.from_dict(name, h.as_dict())
             else:
                 mine.merge(h)
+
+    # -- windowing ------------------------------------------------------------
+
+    def snapshot(self) -> "MetricsRegistry":
+        """Deep, independent copy of the current state.
+
+        The windowing primitive: take one snapshot per window boundary
+        and :meth:`diff` consecutive snapshots into per-window deltas.
+        """
+        snap = MetricsRegistry()
+        snap.counters = dict(self.counters)
+        snap.gauges = dict(self.gauges)
+        snap.histograms = {
+            name: h.copy() for name, h in self.histograms.items()
+        }
+        return snap
+
+    def diff(self, earlier: "MetricsRegistry") -> "MetricsRegistry":
+        """What happened between ``earlier`` and now, as a registry.
+
+        Counters subtract (a counter present only now contributes its
+        full value; a negative delta raises — counters are monotonic by
+        contract).  Gauges keep their *latest* value (last-write-wins
+        has no meaningful delta).  Histograms subtract bucket-wise via
+        :meth:`Histogram.snapshot_delta`.  ``diff`` is order-independent
+        in the sense that the same set of observations produces the same
+        delta regardless of the order they were recorded in.
+        """
+        delta = MetricsRegistry()
+        for name, now in self.counters.items():
+            d = now - earlier.counters.get(name, 0)
+            if d < 0:
+                raise ValueError(
+                    f"counter {name!r}: negative delta ({d}); counters "
+                    "are monotonic, snapshots are out of order"
+                )
+            if d:
+                delta.counters[name] = d
+        for name in earlier.counters:
+            if name not in self.counters:
+                raise ValueError(
+                    f"counter {name!r}: present earlier but missing now; "
+                    "snapshots are out of order"
+                )
+        delta.gauges = dict(self.gauges)
+        for name, h in self.histograms.items():
+            then = earlier.histograms.get(name)
+            if then is None:
+                then = Histogram(name, buckets=list(h.buckets))
+            d = h.snapshot_delta(then)
+            if d.count:
+                delta.histograms[name] = d
+        return delta
 
     # -- serialisation --------------------------------------------------------
 

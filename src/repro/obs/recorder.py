@@ -1,0 +1,355 @@
+"""Always-on flight recorder: a bounded ring of recent telemetry events.
+
+Production incidents are post-hoc: by the time a breaker trips or an SLO
+pages, the interesting spans already happened.  The
+:class:`FlightRecorder` keeps the last ``capacity`` events — request
+life-cycle marks, span summaries, windowed metric deltas, alert
+transitions, free-form notes — in a ``deque`` ring whose append cost is
+a dict build and a pointer swap, cheap enough to leave on permanently.
+
+On a trigger (breaker trip, chaos violation, page-level SLO burn,
+dispatcher crash) the ring is frozen into a **post-mortem bundle**: one
+self-contained JSON object carrying the trigger, a context block, every
+buffered event, and a Chrome trace-event rendering of the buffered spans
+(loadable in Perfetto as-is).  Bundles explain the failure without any
+live process left to ask.
+
+A process-wide recorder is reachable via :func:`get_recorder` (a no-op
+:data:`NULL_RECORDER` by default, mirroring the tracer idiom) so deep
+layers — the resilient runtime's chunk attempts, for example — can
+record ambiently without plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Deque, Iterable, Iterator
+
+#: Schema tag stamped into every bundle.
+POSTMORTEM_SCHEMA = "repro.postmortem/1"
+
+#: Event kinds written by the built-in instrumentation (informal; any
+#: string is accepted).
+EVENT_KINDS = ("request", "span", "window", "alert", "breaker", "note")
+
+
+class FlightRecorder:
+    """Bounded ring buffer of telemetry events with bundle dumps.
+
+    Examples
+    --------
+    >>> r = FlightRecorder(capacity=2)
+    >>> r.record("note", 0.0, text="a")
+    >>> r.record("note", 1.0, text="b")
+    >>> r.record("note", 2.0, text="c")  # evicts "a"
+    >>> [e["text"] for e in r.events]
+    ['b', 'c']
+    >>> bundle = r.dump("unit-test", at_s=2.0)
+    >>> bundle["trigger"], len(bundle["events"])
+    ('unit-test', 2)
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        clock: "Any | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.events: Deque[dict[str, Any]] = deque(maxlen=capacity)
+        self.recorded = 0  # total ever, including evicted
+        self.dumps = 0
+        self._seq = 0
+        self._last_at = 0.0
+        #: Optional zero-argument time source for :meth:`record_now`
+        #: (the serving layer installs its virtual clock here).
+        self.clock = clock
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, kind: str, at_s: float, **payload: Any) -> None:
+        """Append one event (O(1); evicts the oldest past capacity).
+
+        The ring's own ``seq``/``kind``/``at_s`` always win over payload
+        keys of the same name — ``seq`` is the authoritative event order.
+        """
+        event = dict(payload)
+        event["kind"] = kind
+        event["at_s"] = at_s
+        event["seq"] = self._seq
+        self._seq += 1
+        self.recorded += 1
+        self._last_at = max(self._last_at, at_s)
+        self.events.append(event)
+
+    def record_now(self, kind: str, **payload: Any) -> None:
+        """Append an event stamped by the recorder's own clock.
+
+        For call sites with no clock of their own (the resilient
+        runtime's attempt log): uses the installed :attr:`clock` when
+        present, else the latest timestamp seen — the ring's ``seq``
+        remains the authoritative order either way.
+        """
+        at_s = float(self.clock()) if self.clock is not None else self._last_at
+        self.record(kind, at_s, **payload)
+
+    def record_span(
+        self,
+        name: str,
+        at_s: float,
+        lane: str = "main",
+        duration_s: float = 0.0,
+        **attrs: Any,
+    ) -> None:
+        """Append a span-summary event (rendered into the Chrome trace)."""
+        self.record(
+            "span",
+            at_s,
+            name=name,
+            lane=lane,
+            duration_s=duration_s,
+            **attrs,
+        )
+
+    # -- querying -------------------------------------------------------------
+
+    def find(self, kind: str) -> list[dict[str, Any]]:
+        """Buffered events of one kind, oldest first."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    def for_request(self, request_id: str) -> list[dict[str, Any]]:
+        """Buffered events involving ``request_id`` (as id, chain, or
+        batch member), oldest first."""
+        return events_for_request(self.events, request_id)
+
+    # -- dumping --------------------------------------------------------------
+
+    def dump(
+        self,
+        trigger: str,
+        at_s: float,
+        context: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Freeze the ring into a self-contained post-mortem bundle."""
+        self.dumps += 1
+        events = [dict(e) for e in self.events]
+        return {
+            "schema": POSTMORTEM_SCHEMA,
+            "trigger": trigger,
+            "at_s": at_s,
+            "context": dict(context or {}),
+            "recorded_total": self.recorded,
+            "events": events,
+            "chrome_trace": self._chrome_trace(events),
+        }
+
+    @staticmethod
+    def _chrome_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
+        """Perfetto-loadable rendering of the buffered span events.
+
+        Timestamps are the recorder's (virtual) clock seconds scaled to
+        microseconds — deterministic whenever the clock is.  Non-span
+        events become instant (``ph: "i"``) marks on their lane.
+        """
+        trace_events: list[dict[str, Any]] = []
+        lanes: dict[str, int] = {}
+
+        def tid(lane: str) -> int:
+            if lane not in lanes:
+                lanes[lane] = len(lanes)
+                trace_events.append(
+                    {
+                        "ph": "M",
+                        "pid": 0,
+                        "tid": lanes[lane],
+                        "name": "thread_name",
+                        "args": {"name": lane},
+                    }
+                )
+            return lanes[lane]
+
+        for e in events:
+            lane = str(e.get("lane") or e.get("kind", "events"))
+            args = {
+                k: v
+                for k, v in e.items()
+                if k not in ("kind", "at_s", "name", "lane", "duration_s")
+            }
+            if e["kind"] == "span":
+                trace_events.append(
+                    {
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": tid(lane),
+                        "ts": float(e["at_s"]) * 1e6,
+                        "dur": max(float(e.get("duration_s", 0.0)) * 1e6, 1.0),
+                        "name": str(e.get("name", "span")),
+                        "cat": "recorder",
+                        "args": args,
+                    }
+                )
+            else:
+                trace_events.append(
+                    {
+                        "ph": "i",
+                        "pid": 0,
+                        "tid": tid(lane),
+                        "ts": float(e["at_s"]) * 1e6,
+                        "s": "t",
+                        "name": str(e.get("name", e["kind"])),
+                        "cat": e["kind"],
+                        "args": args,
+                    }
+                )
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "virtual", "exporter": "repro.obs.recorder"},
+        }
+
+    def write_bundle(
+        self,
+        path: str | Path,
+        trigger: str,
+        at_s: float,
+        context: dict[str, Any] | None = None,
+    ) -> Path:
+        """Dump and write a bundle as stable JSON; returns the path."""
+        path = Path(path)
+        bundle = self.dump(trigger, at_s, context)
+        path.write_text(
+            json.dumps(bundle, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        return path
+
+
+class NullFlightRecorder:
+    """No-op recorder: ambient recording sites become cheap no-ops."""
+
+    enabled = False
+    events: tuple = ()
+    recorded = 0
+    dumps = 0
+
+    def record(self, kind: str, at_s: float, **payload: Any) -> None:
+        """Discard."""
+
+    def record_now(self, kind: str, **payload: Any) -> None:
+        """Discard."""
+
+    def record_span(self, name: str, at_s: float, lane: str = "main",
+                    duration_s: float = 0.0, **attrs: Any) -> None:
+        """Discard."""
+
+    def find(self, kind: str) -> list:
+        """Always empty."""
+        return []
+
+    def for_request(self, request_id: str) -> list:
+        """Always empty."""
+        return []
+
+
+#: The process-wide no-op recorder (default).
+NULL_RECORDER = NullFlightRecorder()
+
+_current: FlightRecorder | NullFlightRecorder = NULL_RECORDER
+
+
+def get_recorder() -> FlightRecorder | NullFlightRecorder:
+    """The currently installed ambient recorder (no-op by default)."""
+    return _current
+
+
+def set_recorder(
+    recorder: FlightRecorder | NullFlightRecorder | None,
+) -> FlightRecorder | NullFlightRecorder:
+    """Install ``recorder`` (``None`` restores the no-op); returns the previous."""
+    global _current
+    previous = _current
+    _current = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def recording(
+    recorder: FlightRecorder | None = None,
+) -> Iterator[FlightRecorder]:
+    """Install a live ambient recorder for the scope.
+
+    Examples
+    --------
+    >>> with recording() as r:
+    ...     get_recorder().record("note", 0.0, text="hi")
+    >>> len(r.events)
+    1
+    """
+    recorder = recorder or FlightRecorder()
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+def events_for_request(
+    events: "Iterable[dict[str, Any]]", request_id: str
+) -> list[dict[str, Any]]:
+    """Events involving ``request_id``, oldest first.
+
+    Matches the id against an event's own ``request_id``, its causal
+    ``chain``, or batch membership (``request_ids`` /
+    ``member_request_ids``) — the same linkage the serving layer writes,
+    so this works on a live ring and on the ``events`` list of a
+    deserialized post-mortem bundle alike.
+    """
+    out = []
+    for e in events:
+        if (
+            e.get("request_id") == request_id
+            or e.get("chain") == request_id
+            or request_id in (e.get("request_ids") or ())
+            or request_id in (e.get("member_request_ids") or ())
+        ):
+            out.append(e)
+    return out
+
+
+def validate_bundle(payload: dict[str, Any]) -> list[str]:
+    """Schema-check a post-mortem bundle; returns a list of problems."""
+    problems: list[str] = []
+    if payload.get("schema") != POSTMORTEM_SCHEMA:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, want {POSTMORTEM_SCHEMA!r}"
+        )
+    if not isinstance(payload.get("trigger"), str) or not payload.get("trigger"):
+        problems.append("trigger missing or empty")
+    if not isinstance(payload.get("at_s"), (int, float)):
+        problems.append("at_s not numeric")
+    events = payload.get("events")
+    if not isinstance(events, list):
+        problems.append("events missing or not a list")
+    else:
+        last_seq = -1
+        for i, e in enumerate(events):
+            if not isinstance(e, dict):
+                problems.append(f"event {i}: not an object")
+                continue
+            if not isinstance(e.get("kind"), str):
+                problems.append(f"event {i}: kind missing")
+            if not isinstance(e.get("at_s"), (int, float)):
+                problems.append(f"event {i}: at_s not numeric")
+            seq = e.get("seq")
+            if not isinstance(seq, int) or seq <= last_seq:
+                problems.append(f"event {i}: seq not strictly increasing")
+            else:
+                last_seq = seq
+    if not isinstance(payload.get("chrome_trace"), dict):
+        problems.append("chrome_trace missing or not an object")
+    return problems

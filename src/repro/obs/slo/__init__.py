@@ -1,0 +1,56 @@
+"""Windowed SLO evaluation with multi-window burn-rate alerting.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+* :mod:`repro.obs.slo.windows` — fixed-width windows diffed out of
+  cumulative registry snapshots (caller-driven virtual time).
+* :mod:`repro.obs.slo.spec` — declarative :class:`SLOSpec` objectives
+  (availability, latency-vs-deadline, partial ratio, shed rate) that
+  turn one window into a bad-event fraction.
+* :mod:`repro.obs.slo.engine` — :class:`SLOEngine` evaluating page- and
+  ticket-severity :class:`BurnRatePolicy` pairs over long+short window
+  spans, with a deterministic OK <-> firing state machine.
+
+The serving layer composes these (plus the sibling
+:mod:`repro.obs.recorder` flight recorder) in
+:mod:`repro.serve.monitor`.
+"""
+
+from repro.obs.slo.dashboard import render_dashboard
+from repro.obs.slo.engine import (
+    ALERT_FIRING,
+    ALERT_OK,
+    SEVERITY_PAGE,
+    SEVERITY_TICKET,
+    AlertTransition,
+    BurnRatePolicy,
+    SLOEngine,
+    burn_rate,
+    default_policies,
+)
+from repro.obs.slo.spec import (
+    SLO_KINDS,
+    SLOSpec,
+    default_serve_slos,
+    fraction_over,
+)
+from repro.obs.slo.windows import Window, WindowAggregator
+
+__all__ = [
+    "ALERT_FIRING",
+    "ALERT_OK",
+    "SEVERITY_PAGE",
+    "SEVERITY_TICKET",
+    "SLO_KINDS",
+    "AlertTransition",
+    "BurnRatePolicy",
+    "SLOEngine",
+    "SLOSpec",
+    "Window",
+    "WindowAggregator",
+    "burn_rate",
+    "default_policies",
+    "default_serve_slos",
+    "fraction_over",
+    "render_dashboard",
+]

@@ -1,0 +1,87 @@
+"""Text dashboard rendering of a service health snapshot.
+
+``repro serve-sim --dashboard`` renders the dict produced by
+:meth:`repro.serve.service.MatchService.health` periodically; this
+module owns only the formatting so it stays importable from the generic
+observability layer (no serve dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def render_dashboard(health: dict[str, Any]) -> str:
+    """One fixed-layout text frame of a health snapshot.
+
+    Sections: headline service state, per-lane table, recent window
+    rates/quantiles, active alerts, recorder occupancy.  Input is the
+    JSON-ready health dict so saved snapshots render identically.
+    """
+    lines: list[str] = []
+    at = health.get("at_s", 0.0)
+    lines.append(f"== repro serve dashboard @ t={at:.3f}s ==")
+    lines.append(
+        "queue={queue_depth} outstanding={outstanding} requests={requests} "
+        "occupancy={occupancy:.2f}".format(
+            queue_depth=health.get("queue_depth", 0),
+            outstanding=health.get("outstanding", 0),
+            requests=health.get("requests", 0),
+            occupancy=float(health.get("pool_occupancy", 0.0)),
+        )
+    )
+    lanes = health.get("lanes", [])
+    if lanes:
+        lines.append("-- lanes --")
+        lines.append(
+            f"{'lane':>20} {'breaker':>10} {'busy':>5} "
+            f"{'slowdown':>8} {'dispatches':>10} {'failures':>8}"
+        )
+        for lane in lanes:
+            lines.append(
+                f"{lane.get('lane', '?'):>20} "
+                f"{lane.get('breaker', {}).get('state', '?'):>10} "
+                f"{str(lane.get('busy', False)):>5} "
+                f"{float(lane.get('slowdown', 1.0)):8.2f} "
+                f"{lane.get('dispatches', 0):>10} "
+                f"{lane.get('failures', 0):>8}"
+            )
+    window = health.get("window")
+    if window:
+        lines.append("-- last window --")
+        lines.append(
+            "rps={rps:.1f} shed/s={shed:.1f} p50={p50:.4f}s p99={p99:.4f}s "
+            "partials={partials}".format(
+                rps=float(window.get("request_rate", 0.0)),
+                shed=float(window.get("shed_rate", 0.0)),
+                p50=float(window.get("latency_p50_s", 0.0)),
+                p99=float(window.get("latency_p99_s", 0.0)),
+                partials=window.get("partial_responses", 0),
+            )
+        )
+    alerts = health.get("active_alerts", [])
+    lines.append("-- alerts --")
+    if alerts:
+        for alert in alerts:
+            lines.append(
+                "FIRING [{sev}] {slo}: burn long={bl:.1f} short={bs:.1f} "
+                "since t={since:.1f}s".format(
+                    sev=alert.get("severity", "?"),
+                    slo=alert.get("slo", "?"),
+                    bl=float(alert.get("burn_long", 0.0)),
+                    bs=float(alert.get("burn_short", 0.0)),
+                    since=float(alert.get("since_s", 0.0)),
+                )
+            )
+    else:
+        lines.append("all objectives within budget")
+    recorder = health.get("recorder")
+    if recorder:
+        lines.append(
+            "recorder: {n} buffered / {total} recorded / {dumps} dumps".format(
+                n=recorder.get("buffered", 0),
+                total=recorder.get("recorded", 0),
+                dumps=recorder.get("dumps", 0),
+            )
+        )
+    return "\n".join(lines)

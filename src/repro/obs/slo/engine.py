@@ -1,0 +1,233 @@
+"""Multi-window burn-rate alerting over closed telemetry windows.
+
+The *burn rate* of an SLO over a span of windows is::
+
+    burn = (bad events / total events) / error_budget
+
+Burn 1.0 spends the budget exactly at the sustainable pace; burn 10
+exhausts it ten times too fast.  Following the multi-window discipline
+of the SRE workbook, an alert condition pairs a **long** lookback (is
+the budget really burning?) with a **short** one (is it *still*
+burning right now?) and fires only when both exceed the policy's
+threshold — the long window keeps a transient blip from paging, the
+short window un-fires the alert promptly once the bleeding stops.
+
+Two stock severities:
+
+* ``page`` — fast burn (threshold 10 over 6+2 windows): the budget is
+  gone within tens of windows; a human should look now.  A page-level
+  firing also triggers a flight-recorder dump upstream.
+* ``ticket`` — slow burn (threshold 2 over 24+6 windows): sustainable
+  for hours, not for days.
+
+All evaluation happens on window indices of the caller-driven
+:class:`~repro.obs.slo.windows.WindowAggregator`, so under the virtual
+clock the whole OK → firing → OK life cycle replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.slo.spec import SLOSpec
+from repro.obs.slo.windows import Window, WindowAggregator
+
+#: Alert states (per spec x policy).
+ALERT_OK = "ok"
+ALERT_FIRING = "firing"
+
+#: Stock severities.
+SEVERITY_PAGE = "page"
+SEVERITY_TICKET = "ticket"
+
+
+@dataclass(frozen=True)
+class BurnRatePolicy:
+    """One multi-window alert condition.
+
+    Fires when the burn rate over the last ``long_windows`` *and* over
+    the last ``short_windows`` both reach ``threshold``; clears as soon
+    as the short-window burn drops back below it.
+    """
+
+    severity: str
+    long_windows: int
+    short_windows: int
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.long_windows < 1 or self.short_windows < 1:
+            raise ValueError("window counts must be >= 1")
+        if self.short_windows > self.long_windows:
+            raise ValueError("short lookback cannot exceed the long one")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+
+def default_policies() -> list[BurnRatePolicy]:
+    """The stock page/ticket pair."""
+    return [
+        BurnRatePolicy(SEVERITY_PAGE, long_windows=6, short_windows=2, threshold=10.0),
+        BurnRatePolicy(SEVERITY_TICKET, long_windows=24, short_windows=6, threshold=2.0),
+    ]
+
+
+@dataclass(frozen=True)
+class AlertTransition:
+    """One OK <-> firing edge of the alert-state machine."""
+
+    at_s: float
+    window_index: int
+    slo: str
+    severity: str
+    state: str  # ALERT_OK | ALERT_FIRING
+    burn_long: float
+    burn_short: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form (recorder events, bundles)."""
+        return {
+            "at_s": self.at_s,
+            "window_index": self.window_index,
+            "slo": self.slo,
+            "severity": self.severity,
+            "state": self.state,
+            "burn_long": self.burn_long,
+            "burn_short": self.burn_short,
+        }
+
+
+@dataclass
+class _AlertKey:
+    """Mutable state of one (spec, policy) alert."""
+
+    spec: SLOSpec
+    policy: BurnRatePolicy
+    state: str = ALERT_OK
+    since_s: float = 0.0
+    last_burn_long: float = 0.0
+    last_burn_short: float = 0.0
+
+
+def burn_rate(spec: SLOSpec, windows: list[Window]) -> float:
+    """Budget-normalised bad fraction aggregated over ``windows``.
+
+    Events are pooled across the span (a busy window weighs more than an
+    idle one); a span with no events burns 0.
+    """
+    bad = total = 0.0
+    for window in windows:
+        bt = spec.bad_total(window)
+        if bt is not None:
+            bad += bt[0]
+            total += bt[1]
+    if total <= 0:
+        return 0.0
+    return (bad / total) / spec.error_budget
+
+
+@dataclass
+class SLOEngine:
+    """Evaluate burn-rate policies as the aggregator closes windows.
+
+    Drive it with ``tick(now)``; each closed window re-evaluates every
+    (spec, policy) pair and returns the state transitions (empty almost
+    always).  ``active_alerts()`` is the currently-firing set for
+    dashboards and :meth:`~repro.serve.service.MatchService.health`.
+
+    Examples
+    --------
+    >>> from repro.obs.metrics import MetricsRegistry
+    >>> from repro.obs.slo.spec import SLOSpec
+    >>> from repro.obs.slo.windows import WindowAggregator
+    >>> m = MetricsRegistry()
+    >>> agg = WindowAggregator(m, width_s=1.0)
+    >>> spec = SLOSpec("avail", "availability", objective=0.9)
+    >>> policy = BurnRatePolicy("page", long_windows=2, short_windows=1,
+    ...                         threshold=5.0)
+    >>> eng = SLOEngine(agg, [spec], [policy])
+    >>> _ = m.count("serve.responses.rejected", 5)
+    >>> _ = eng.tick(1.0)  # every response rejected: burn 10 > 5
+    >>> _ = m.count("serve.responses.rejected", 5)
+    >>> _ = eng.tick(2.0)
+    >>> [a["severity"] for a in eng.active_alerts()]
+    ['page']
+    """
+
+    aggregator: WindowAggregator
+    specs: list[SLOSpec]
+    policies: list[BurnRatePolicy] = field(default_factory=default_policies)
+    transitions: list[AlertTransition] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._alerts = [
+            _AlertKey(spec, policy)
+            for spec in self.specs
+            for policy in self.policies
+        ]
+
+    def tick(self, now: float) -> list[AlertTransition]:
+        """Advance window time; returns any alert-state transitions."""
+        fresh: list[AlertTransition] = []
+        for window in self.aggregator.tick(now):
+            fresh.extend(self._evaluate(window))
+        self.transitions.extend(fresh)
+        return fresh
+
+    def _evaluate(self, window: Window) -> list[AlertTransition]:
+        out: list[AlertTransition] = []
+        for alert in self._alerts:
+            policy = alert.policy
+            long = burn_rate(
+                alert.spec, self.aggregator.last(policy.long_windows)
+            )
+            short = burn_rate(
+                alert.spec, self.aggregator.last(policy.short_windows)
+            )
+            alert.last_burn_long = long
+            alert.last_burn_short = short
+            if alert.state == ALERT_OK:
+                firing = long >= policy.threshold and short >= policy.threshold
+                if firing:
+                    alert.state = ALERT_FIRING
+                    alert.since_s = window.end_s
+                    out.append(self._transition(alert, window))
+            else:
+                if short < policy.threshold:
+                    alert.state = ALERT_OK
+                    alert.since_s = window.end_s
+                    out.append(self._transition(alert, window))
+        return out
+
+    def _transition(self, alert: _AlertKey, window: Window) -> AlertTransition:
+        return AlertTransition(
+            at_s=window.end_s,
+            window_index=window.index,
+            slo=alert.spec.name,
+            severity=alert.policy.severity,
+            state=alert.state,
+            burn_long=alert.last_burn_long,
+            burn_short=alert.last_burn_short,
+        )
+
+    def active_alerts(self) -> list[dict[str, Any]]:
+        """Currently-firing alerts (JSON-ready, stable order)."""
+        return [
+            {
+                "slo": a.spec.name,
+                "severity": a.policy.severity,
+                "since_s": a.since_s,
+                "burn_long": a.last_burn_long,
+                "burn_short": a.last_burn_short,
+            }
+            for a in self._alerts
+            if a.state == ALERT_FIRING
+        ]
+
+    def state_of(self, slo: str, severity: str) -> str:
+        """Alert state of one (spec, policy) pair."""
+        for a in self._alerts:
+            if a.spec.name == slo and a.policy.severity == severity:
+                return a.state
+        raise KeyError(f"no alert for slo={slo!r} severity={severity!r}")

@@ -1,0 +1,168 @@
+"""Declarative service-level objectives over windowed telemetry.
+
+An :class:`SLOSpec` names an objective ("99% of requests succeed"),
+points at the counters/histograms that measure it, and knows how to
+compute the *bad-event fraction* of one closed :class:`~repro.obs.slo.
+windows.Window`.  Everything downstream — burn rates, multi-window
+alerting — is generic arithmetic in :mod:`repro.obs.slo.engine`; the
+spec is the only place that knows what "bad" means.
+
+Four kinds cover the serving layer's contract:
+
+``availability``
+    rejected responses / all responses.
+``latency``
+    responses slower than ``threshold_s`` / all latency observations —
+    computed from windowed histogram bucket deltas, exact to bucket
+    resolution.
+``partial-ratio``
+    correct-partial responses / successful responses (a service that
+    only ever truncates is degraded even though nothing "failed").
+``shed-rate``
+    admission-shed requests / submitted requests.
+
+A window with no traffic for the spec yields ``None`` ("no data"), not
+0.0 — an idle service neither burns nor repays error budget.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.obs.metrics import Histogram
+from repro.obs.slo.windows import Window
+
+#: Spec kinds (the full vocabulary).
+KIND_AVAILABILITY = "availability"
+KIND_LATENCY = "latency"
+KIND_PARTIAL_RATIO = "partial-ratio"
+KIND_SHED_RATE = "shed-rate"
+
+SLO_KINDS = (
+    KIND_AVAILABILITY,
+    KIND_LATENCY,
+    KIND_PARTIAL_RATIO,
+    KIND_SHED_RATE,
+)
+
+
+def fraction_over(hist: Histogram, threshold: float) -> float | None:
+    """Fraction of observations strictly above ``threshold``'s bucket.
+
+    Exact to bucket resolution: observations land in the first bucket
+    whose upper bound is >= the value, so counting the buckets *after*
+    the threshold's bucket counts exactly the observations the histogram
+    can prove exceeded the threshold.  ``None`` when the histogram is
+    empty.
+    """
+    if hist.count == 0:
+        return None
+    cutoff = bisect_left(hist.buckets, threshold)
+    over = sum(hist.counts[cutoff + 1 :])
+    return over / hist.count
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One objective: what fraction of events may go bad.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (alert keys, dashboards).
+    kind:
+        One of :data:`SLO_KINDS`.
+    objective:
+        Target good fraction in (0, 1); the error budget is
+        ``1 - objective``.
+    threshold_s:
+        ``latency`` only: the latency bound the objective applies to
+        (the request deadline, typically).
+    counter_prefix:
+        Metric namespace; the serving layer's is ``serve``.
+
+    Examples
+    --------
+    >>> from repro.obs.metrics import MetricsRegistry
+    >>> from repro.obs.slo.windows import Window
+    >>> delta = MetricsRegistry()
+    >>> _ = delta.count("serve.responses.complete", 9)
+    >>> _ = delta.count("serve.responses.rejected", 1)
+    >>> spec = SLOSpec("avail", "availability", objective=0.99)
+    >>> spec.bad_total(Window(0, 0.0, 1.0, delta))
+    (1.0, 10.0)
+    """
+
+    name: str
+    kind: str
+    objective: float
+    threshold_s: float = 0.0
+    counter_prefix: str = "serve"
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ValueError(
+                f"unknown SLO kind {self.kind!r}; known: {SLO_KINDS}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.kind == KIND_LATENCY and self.threshold_s <= 0:
+            raise ValueError("latency SLOs need a positive threshold_s")
+
+    @property
+    def error_budget(self) -> float:
+        """Allowed bad fraction (``1 - objective``)."""
+        return 1.0 - self.objective
+
+    def _counter(self, suffix: str) -> str:
+        return f"{self.counter_prefix}.{suffix}"
+
+    def bad_total(self, window: Window) -> tuple[float, float] | None:
+        """``(bad events, total events)`` in the window; ``None`` if idle."""
+        if self.kind == KIND_AVAILABILITY:
+            bad = window.total(self._counter("responses.rejected"))
+            total = bad + sum(
+                window.total(self._counter(f"responses.{s}"))
+                for s in ("complete", "partial")
+            )
+        elif self.kind == KIND_LATENCY:
+            hist = window.histogram(self._counter("latency_s"))
+            if hist is None:
+                return None
+            frac = fraction_over(hist, self.threshold_s)
+            if frac is None:
+                return None
+            return (frac * hist.count, float(hist.count))
+        elif self.kind == KIND_PARTIAL_RATIO:
+            bad = window.total(self._counter("responses.partial"))
+            total = bad + window.total(self._counter("responses.complete"))
+        else:  # shed-rate
+            bad = window.total(self._counter("shed"))
+            total = window.total(self._counter("requests"))
+        if total <= 0:
+            return None
+        return (float(bad), float(total))
+
+    def bad_fraction(self, window: Window) -> float | None:
+        """Bad-event fraction of one window; ``None`` when idle."""
+        bt = self.bad_total(window)
+        if bt is None:
+            return None
+        bad, total = bt
+        return bad / total
+
+
+def default_serve_slos(deadline_s: float = 0.05) -> list[SLOSpec]:
+    """The serving layer's stock objectives (tuned for the simulator)."""
+    return [
+        SLOSpec("serve-availability", KIND_AVAILABILITY, objective=0.99),
+        SLOSpec(
+            "serve-latency",
+            KIND_LATENCY,
+            objective=0.95,
+            threshold_s=deadline_s,
+        ),
+        SLOSpec("serve-partial-ratio", KIND_PARTIAL_RATIO, objective=0.90),
+        SLOSpec("serve-shed-rate", KIND_SHED_RATE, objective=0.95),
+    ]

@@ -1,0 +1,185 @@
+"""Fixed-width telemetry windows diffed out of registry snapshots.
+
+The metrics registry is cumulative — counters only grow, histograms only
+fill.  Operability needs *rates*: requests per second over the last few
+seconds, the p99 of the latency distribution *of this window*, not of
+the whole process lifetime.  The :class:`WindowAggregator` turns the
+cumulative registry into that view with two primitives added to
+:mod:`repro.obs.metrics` for exactly this purpose:
+
+* :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` — a deep copy
+  taken at each window boundary;
+* :meth:`~repro.obs.metrics.MetricsRegistry.diff` — consecutive
+  snapshots subtracted into a per-window delta registry, bucket-wise for
+  histograms so windowed quantiles stay exact to bucket resolution.
+
+Time is supplied by the caller (``tick(now)``), never read from the wall
+clock, so the aggregator runs on the serving layer's virtual
+:class:`~repro.serve.deadline.Clock` and window closing — and therefore
+every SLO alert built on top — is seeded-deterministic and testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+@dataclass(frozen=True)
+class Window:
+    """One closed fixed-width window of metric activity.
+
+    ``delta`` is a registry of exactly what happened inside the window:
+    counter increments, gauge last-values, and bucket-wise histogram
+    deltas.
+
+    Examples
+    --------
+    >>> from repro.obs.metrics import MetricsRegistry
+    >>> delta = MetricsRegistry()
+    >>> _ = delta.count("serve.requests", 10)
+    >>> w = Window(index=0, start_s=0.0, end_s=2.0, delta=delta)
+    >>> w.rate("serve.requests")
+    5.0
+    """
+
+    index: int
+    start_s: float
+    end_s: float
+    delta: MetricsRegistry
+
+    @property
+    def width_s(self) -> float:
+        """Window width in (virtual) seconds."""
+        return self.end_s - self.start_s
+
+    def total(self, counter: str) -> float:
+        """Counter increments inside this window (0 when absent)."""
+        return self.delta.counters.get(counter, 0)
+
+    def rate(self, counter: str) -> float:
+        """Counter increments per second inside this window."""
+        width = self.width_s
+        return self.total(counter) / width if width > 0 else 0.0
+
+    def histogram(self, name: str) -> Histogram | None:
+        """The windowed histogram delta for ``name`` (``None`` if quiet)."""
+        return self.delta.histograms.get(name)
+
+    def quantile(self, name: str, pct: float) -> float:
+        """Windowed percentile of histogram ``name`` (0.0 when quiet).
+
+        Exact to bucket resolution: the value is the upper bound of the
+        bucket covering the requested rank *within the window*.
+        """
+        h = self.histogram(name)
+        return h.percentile(pct) if h is not None else 0.0
+
+    def observations(self, name: str) -> int:
+        """Observation count of histogram ``name`` inside the window."""
+        h = self.histogram(name)
+        return h.count if h is not None else 0
+
+
+class WindowAggregator:
+    """Close fixed-width windows out of a cumulative registry.
+
+    Parameters
+    ----------
+    registry:
+        The registry to snapshot — either a :class:`MetricsRegistry` or
+        a zero-argument callable returning one (pass
+        :func:`repro.obs.metrics.get_metrics` so the aggregator follows
+        ``collecting()`` registry swaps instead of diffing a stale one).
+    width_s:
+        Window width in (virtual) seconds.
+    history:
+        Closed windows retained (a bounded deque; the SLO engine's
+        longest burn-rate lookback must fit).
+    origin_s:
+        Clock value the first window starts at; ``None`` (the default)
+        aligns the origin to the first ``tick`` — required for clocks
+        that do not start near zero (``time.monotonic``), where a fixed
+        origin would make the first tick close thousands of empty
+        windows.
+
+    ``tick(now)`` closes every whole window the clock has crossed since
+    the last call and returns the newly closed windows.  All activity
+    since the previous snapshot is attributed to the *first* window
+    closed by the tick (later windows in the same tick are empty); with
+    ticks at least as frequent as window boundaries — the serving layer
+    ticks on every request resolution — attribution is exact.
+
+    Examples
+    --------
+    >>> from repro.obs.metrics import MetricsRegistry
+    >>> m = MetricsRegistry()
+    >>> agg = WindowAggregator(m, width_s=1.0, origin_s=0.0)
+    >>> _ = m.count("x", 3)
+    >>> [int(w.total("x")) for w in agg.tick(1.0)]
+    [3]
+    >>> agg.tick(1.5)
+    []
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | Callable[[], MetricsRegistry],
+        width_s: float = 1.0,
+        history: int = 240,
+        origin_s: float | None = None,
+    ) -> None:
+        if width_s <= 0:
+            raise ValueError("width_s must be positive")
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self._registry = registry
+        self.width_s = width_s
+        self.windows: Deque[Window] = deque(maxlen=history)
+        self._start = origin_s
+        self._index = 0
+        self._snapshot = self.registry().snapshot()
+
+    def registry(self) -> MetricsRegistry:
+        """The live registry being windowed."""
+        reg = self._registry
+        return reg() if callable(reg) else reg
+
+    def tick(self, now: float) -> list[Window]:
+        """Close every window boundary crossed by ``now``; return them."""
+        if self._start is None:
+            # Lazy origin: align to the width grid at the first tick.
+            self._start = (now // self.width_s) * self.width_s
+        closed: list[Window] = []
+        while now - self._start >= self.width_s:
+            registry = self.registry()
+            snap = registry.snapshot()
+            try:
+                delta = snap.diff(self._snapshot)
+            except ValueError:
+                # The ambient registry was swapped (collecting() scope)
+                # or reset between ticks: re-baseline and attribute
+                # nothing rather than crash the monitoring path.
+                delta = MetricsRegistry()
+            closed.append(
+                Window(
+                    index=self._index,
+                    start_s=self._start,
+                    end_s=self._start + self.width_s,
+                    delta=delta,
+                )
+            )
+            self.windows.append(closed[-1])
+            self._snapshot = snap
+            self._start += self.width_s
+            self._index += 1
+        return closed
+
+    def last(self, n: int) -> list[Window]:
+        """The most recent ``n`` closed windows, oldest first."""
+        if n <= 0:
+            return []
+        return list(self.windows)[-n:]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.recorder import get_recorder
 
 #: Attempt outcomes.
 OK = "ok"
@@ -61,7 +62,10 @@ class RunReport:
     attempts: list[Attempt] = field(default_factory=list)
 
     def record(self, attempt: Attempt) -> None:
-        """Append one attempt; also feeds the process-wide metrics registry."""
+        """Append one attempt; also feeds the process-wide metrics
+        registry and, when one is installed, the ambient flight
+        recorder (so a post-mortem bundle shows the chunk attempts that
+        led up to the trigger)."""
         self.attempts.append(attempt)
         m = get_metrics()
         m.count("runtime.attempts")
@@ -72,6 +76,16 @@ class RunReport:
             m.observe("runtime.attempt_seconds", attempt.seconds)
         if attempt.backoff_seconds > 0:
             m.observe("runtime.backoff_seconds", attempt.backoff_seconds)
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.record_now(
+                "runtime-attempt",
+                unit=attempt.unit,
+                attempt=attempt.attempt,
+                outcome=attempt.outcome,
+                chunk_size=attempt.chunk_size,
+                detail=attempt.detail,
+            )
 
     def count(self, outcome: str) -> int:
         """Attempts with the given outcome."""

@@ -15,10 +15,16 @@ fails.  This package builds that front-end over the pipeline layer's
 * :mod:`~repro.serve.pool` — the fingerprint-keyed warm session pool
   with replica lanes and broken-lane rebuilds;
 * :mod:`~repro.serve.service` — the asyncio front-end tying it together
-  (coalescing, routing, retries with seeded jittered backoff);
+  (coalescing with fingerprint dedup, routing, retries with seeded
+  jittered backoff);
+* :mod:`~repro.serve.monitor` — serving-layer observability: always-on
+  flight recorder, windowed SLO engine with burn-rate alerts, and the
+  typed :class:`~repro.serve.monitor.ServiceHealth` snapshot behind
+  ``MatchService.health()``;
 * :mod:`~repro.serve.loadgen` — closed-loop Zipf traffic generation;
 * :mod:`~repro.serve.chaos` — the deterministic chaos harness asserting
-  the never-a-wrong-answer contract under injected faults.
+  the never-a-wrong-answer contract under injected faults, each
+  scenario additionally explained by a flight-recorder bundle.
 """
 
 from repro.serve.admission import (
@@ -28,6 +34,7 @@ from repro.serve.admission import (
 )
 from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.serve.deadline import Clock, CostModel, Deadline, Ewma, ManualClock
+from repro.serve.monitor import ServeMonitor, ServiceHealth
 from repro.serve.pool import PoolEntry, SessionLane, SessionPool
 from repro.serve.request import (
     REJECT_DEADLINE,
@@ -80,8 +87,10 @@ __all__ = [
     "STATUS_PARTIAL",
     "STATUS_REJECTED",
     "ServeConfig",
+    "ServeMonitor",
     "ServeRejected",
     "ServeResumeToken",
+    "ServiceHealth",
     "SessionLane",
     "SessionPool",
     "Unavailable",

@@ -15,6 +15,8 @@ step through trip → cooldown → half-open → close deterministically.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.serve.deadline import Clock
 
 #: Breaker states.
@@ -46,6 +48,8 @@ class CircuitBreaker:
         clock: Clock,
         failure_threshold: int = 3,
         cooldown_s: float = 1.0,
+        name: str = "",
+        on_transition: "Callable[[float, str, str, str], None] | None" = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -59,6 +63,20 @@ class CircuitBreaker:
         self.trips = 0
         self._opened_at = 0.0
         self._trial_in_flight = False
+        #: Identity reported to the transition listener (the lane id).
+        self.name = name
+        #: Observability hook: called as ``(at_s, name, old, new)`` on
+        #: every state change (the serve monitor records these and
+        #: auto-dumps a flight-recorder bundle on a trip).
+        self.on_transition = on_transition
+
+    def _set_state(self, new: str) -> None:
+        old = self.state
+        if new == old:
+            return
+        self.state = new
+        if self.on_transition is not None:
+            self.on_transition(self._clock.now(), self.name, old, new)
 
     def allows(self) -> bool:
         """Whether a new dispatch may use this lane right now.
@@ -70,7 +88,7 @@ class CircuitBreaker:
             return True
         if self.state == OPEN:
             if self._clock.now() - self._opened_at >= self.cooldown_s:
-                self.state = HALF_OPEN
+                self._set_state(HALF_OPEN)
                 self._trial_in_flight = False
             else:
                 return False
@@ -84,7 +102,7 @@ class CircuitBreaker:
         """A dispatch on this lane completed (closes a half-open trial)."""
         self.consecutive_failures = 0
         self._trial_in_flight = False
-        self.state = CLOSED
+        self._set_state(CLOSED)
 
     def record_failure(self) -> None:
         """A dispatch on this lane failed; trip past the threshold.
@@ -98,8 +116,8 @@ class CircuitBreaker:
         if was_trial or self.consecutive_failures >= self.failure_threshold:
             if self.state != OPEN:
                 self.trips += 1
-            self.state = OPEN
             self._opened_at = self._clock.now()
+            self._set_state(OPEN)
 
     def as_dict(self) -> dict:
         """Telemetry snapshot."""

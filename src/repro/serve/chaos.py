@@ -22,6 +22,12 @@ Scenarios cover the ISSUE's fault menu: session crashes (retried with
 jittered backoff), stragglers (deadline budgets shrink, not blow), OOMs,
 poison queries (isolated and rejected, innocents unharmed), and 2x
 overload (typed sheds, no latency collapse).
+
+Every scenario additionally finishes with at least one flight-recorder
+**post-mortem bundle** on its report: auto-dumps collected along the way
+(breaker trips, page-severity SLO burns) plus a final scenario bundle —
+``chaos-violation`` when the contract broke, ``manual`` otherwise — so a
+failing run always carries the event ring that explains *why*.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.core.config import SigmoConfig
 from repro.core.engine import SigmoEngine
 from repro.runtime.faults import FaultPlan
 from repro.serve.deadline import ManualClock
+from repro.serve.monitor import TRIGGER_CHAOS, TRIGGER_MANUAL
 from repro.serve.request import (
     REJECTION_KINDS,
     STATUS_COMPLETE,
@@ -64,6 +71,9 @@ class ChaosReport:
     responses: list[MatchResponse] = field(default_factory=list)
     violations: list[str] = field(default_factory=list)
     notes: dict = field(default_factory=dict)
+    #: Post-mortem bundles collected from the service's flight recorder
+    #: (auto-dumps plus the final scenario bundle).
+    bundles: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -85,7 +95,33 @@ class ChaosReport:
             "rejected": self.count(STATUS_REJECTED),
             "violations": list(self.violations),
             "notes": dict(self.notes),
+            "bundles": [b["trigger"] for b in self.bundles],
         }
+
+
+def _finalize(report: ChaosReport, service: MatchService) -> None:
+    """Freeze the scenario's post-mortem story onto its report.
+
+    Dumps one final bundle — ``chaos-violation`` (with the violation
+    list in the context) when the contract broke, ``manual`` otherwise —
+    then copies every bundle the monitor collected (breaker trips,
+    page-severity SLO burns, the final one) onto the report.
+    """
+    monitor = service.monitor
+    if not monitor.enabled:
+        return
+    if report.violations:
+        monitor.dump(
+            TRIGGER_CHAOS,
+            context={
+                "scenario": report.scenario,
+                "violations": list(report.violations),
+            },
+        )
+    else:
+        monitor.dump(TRIGGER_MANUAL, context={"scenario": report.scenario})
+    report.bundles = list(monitor.bundles)
+    report.notes["bundle_triggers"] = [b["trigger"] for b in report.bundles]
 
 
 class _Workload:
@@ -269,6 +305,7 @@ async def scenario_crash(seed: int = 0) -> ChaosReport:
             "transient crashes must not surface to clients"
         )
     report.notes["retried"] = len(retried)
+    _finalize(report, service)
     return report
 
 
@@ -322,6 +359,7 @@ async def scenario_breaker(seed: int = 0) -> ChaosReport:
             "service did not recover after breaker cooldown + rebuild"
         )
     report.notes["rebuilds"] = trips
+    _finalize(report, service)
     return report
 
 
@@ -350,6 +388,7 @@ async def scenario_straggler(seed: int = 0) -> ChaosReport:
         report.violations.append("straggler lane never observed a slowdown")
     report.notes["max_lane_slowdown"] = max(slowdowns)
     report.notes["partials"] = report.count(STATUS_PARTIAL)
+    _finalize(report, service)
     return report
 
 
@@ -385,6 +424,7 @@ async def scenario_oom(seed: int = 0) -> ChaosReport:
     if report.count(STATUS_COMPLETE) == 0:
         report.violations.append("transient OOMs should have recovered")
     report.notes["rejected"] = len(rejected)
+    _finalize(report, service)
     return report
 
 
@@ -413,6 +453,7 @@ async def scenario_poison(seed: int = 0) -> ChaosReport:
         report.violations.append(
             "innocent batch-mates of the poison request did not complete"
         )
+    _finalize(report, service)
     return report
 
 
@@ -447,6 +488,7 @@ async def scenario_overload(seed: int = 0) -> ChaosReport:
                 f"seq {response.seq}: overload shed without retry_after_s"
             )
     report.notes["shed"] = shed
+    _finalize(report, service)
     return report
 
 

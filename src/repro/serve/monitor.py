@@ -1,0 +1,366 @@
+"""Serve-side observability: SLO engine + flight recorder, composed.
+
+:class:`ServeMonitor` is the glue between the generic pieces in
+:mod:`repro.obs.slo` / :mod:`repro.obs.recorder` and the serving layer:
+the :class:`~repro.serve.service.MatchService` calls its hooks on every
+request life-cycle edge (admitted, shed, dispatched, retried, finished),
+on every coalesced batch, and on every breaker transition; the monitor
+
+* feeds the events into its always-on :class:`~repro.obs.recorder.
+  FlightRecorder` ring,
+* ticks the :class:`~repro.obs.slo.SLOEngine` on the service's
+  (virtual) clock so windows close and burn-rate alerts fire
+  deterministically,
+* **auto-dumps** a post-mortem bundle on a breaker trip or a
+  page-severity SLO firing (collected in :attr:`bundles`; the chaos
+  harness additionally dumps on contract violations).
+
+``ServeMonitor.disabled()`` swaps every hook for a no-op — the obs-off
+arm of ``benchmarks/bench_obs_overhead.py`` and the escape hatch for
+latency-critical deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.metrics import get_metrics
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import (
+    SEVERITY_PAGE,
+    AlertTransition,
+    BurnRatePolicy,
+    SLOEngine,
+    SLOSpec,
+    WindowAggregator,
+    default_policies,
+    default_serve_slos,
+)
+
+#: Auto-dump triggers (bundle ``trigger`` values).
+TRIGGER_BREAKER = "breaker-trip"
+TRIGGER_SLO_PAGE = "slo-page-burn"
+TRIGGER_CHAOS = "chaos-violation"
+TRIGGER_CRASH = "dispatcher-crash"
+TRIGGER_MANUAL = "manual"
+
+
+@dataclass
+class ServiceHealth:
+    """Typed point-in-time snapshot of the whole service."""
+
+    at_s: float
+    running: bool
+    queue_depth: int
+    outstanding: int
+    requests: int
+    pool_occupancy: float
+    lanes: list[dict[str, Any]] = field(default_factory=list)
+    window: dict[str, Any] = field(default_factory=dict)
+    active_alerts: list[dict[str, Any]] = field(default_factory=list)
+    recorder: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the dashboard renders exactly this)."""
+        return {
+            "at_s": self.at_s,
+            "running": self.running,
+            "queue_depth": self.queue_depth,
+            "outstanding": self.outstanding,
+            "requests": self.requests,
+            "pool_occupancy": self.pool_occupancy,
+            "lanes": list(self.lanes),
+            "window": dict(self.window),
+            "active_alerts": list(self.active_alerts),
+            "recorder": dict(self.recorder),
+        }
+
+
+class ServeMonitor:
+    """Always-on serving-layer monitor (recorder + SLO engine).
+
+    Parameters
+    ----------
+    window_s:
+        SLO window width on the service clock.
+    capacity:
+        Flight-recorder ring capacity (events).
+    specs / policies:
+        SLO objectives and burn-rate alert conditions; defaults are the
+        stock serve set.
+    deadline_s:
+        Latency-SLO threshold used when ``specs`` is not given.
+    max_bundles:
+        Auto-dumped bundles retained (oldest dropped past it).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        window_s: float = 0.5,
+        capacity: int = 4096,
+        specs: list[SLOSpec] | None = None,
+        policies: list[BurnRatePolicy] | None = None,
+        deadline_s: float = 0.05,
+        max_bundles: int = 16,
+    ) -> None:
+        self.recorder = FlightRecorder(capacity=capacity)
+        self.aggregator = WindowAggregator(get_metrics, width_s=window_s)
+        self.engine = SLOEngine(
+            self.aggregator,
+            specs if specs is not None else default_serve_slos(deadline_s),
+            policies if policies is not None else default_policies(),
+        )
+        self.bundles: list[dict[str, Any]] = []
+        self.max_bundles = max_bundles
+        self._now = 0.0
+
+    @classmethod
+    def disabled(cls) -> "_DisabledMonitor":
+        """A monitor whose every hook is a no-op (the obs-off arm)."""
+        return _DisabledMonitor()
+
+    # -- request life cycle ----------------------------------------------------
+
+    def on_admitted(
+        self, at_s: float, request_id: str, chain: str, seq: int,
+        queue_depth: int,
+    ) -> None:
+        """A request passed admission and joined the queue."""
+        self._now = at_s
+        self.recorder.record(
+            "request", at_s, phase="admitted", request_id=request_id,
+            chain=chain, request_seq=seq, queue_depth=queue_depth,
+        )
+
+    def on_rejected(
+        self, at_s: float, request_id: str, chain: str, seq: int,
+        kind: str, where: str,
+    ) -> None:
+        """A request resolved to a typed rejection (any stage)."""
+        self._now = at_s
+        self.recorder.record(
+            "request", at_s, phase="rejected", request_id=request_id,
+            chain=chain, request_seq=seq, rejection=kind, where=where,
+        )
+
+    def on_dedup(
+        self, at_s: float, request_id: str, primary_id: str, batch_id: str,
+    ) -> None:
+        """A request piggybacked on a fingerprint-equal batch member."""
+        self.recorder.record(
+            "request", at_s, phase="dedup", request_id=request_id,
+            primary=primary_id, batch=batch_id,
+        )
+
+    def on_batch(
+        self,
+        at_s: float,
+        batch_id: str,
+        lane: str,
+        request_ids: list[str],
+        member_request_ids: list[str],
+        duration_s: float = 0.0,
+        outcome: str = "ok",
+    ) -> None:
+        """One coalesced batch ran (successfully or not) on a lane."""
+        self._now = at_s
+        self.recorder.record_span(
+            "serve:batch", at_s, lane=lane, duration_s=duration_s,
+            batch=batch_id, request_ids=list(request_ids),
+            member_request_ids=list(member_request_ids), outcome=outcome,
+        )
+
+    def on_retry(
+        self, at_s: float, request_id: str, seq: int, attempt: int,
+        error: str,
+    ) -> None:
+        """A request was charged a failed attempt and requeued."""
+        self.recorder.record(
+            "request", at_s, phase="retry", request_id=request_id,
+            request_seq=seq, attempt=attempt, error=error,
+        )
+
+    def on_finished(
+        self,
+        at_s: float,
+        request_id: str,
+        chain: str,
+        seq: int,
+        status: str,
+        lane: str,
+        latency_s: float,
+        truncated: bool,
+    ) -> None:
+        """A request resolved; also drives the SLO clock forward."""
+        self.recorder.record(
+            "request", at_s, phase="finished", request_id=request_id,
+            chain=chain, request_seq=seq, status=status, lane=lane,
+            latency_s=latency_s, truncated=truncated,
+        )
+        self.tick(at_s)
+
+    # -- infrastructure events -------------------------------------------------
+
+    def on_breaker_transition(
+        self, at_s: float, lane: str, old: str, new: str,
+    ) -> None:
+        """A lane breaker changed state; a trip auto-dumps a bundle."""
+        self._now = at_s
+        self.recorder.record(
+            "breaker", at_s, lane=lane, old=old, new=new,
+        )
+        if new == "open":
+            self.dump(TRIGGER_BREAKER, context={"lane": lane})
+
+    def note(self, at_s: float, text: str, **payload: Any) -> None:
+        """Free-form annotation into the ring."""
+        self.recorder.record("note", at_s, text=text, **payload)
+
+    # -- SLO clock ---------------------------------------------------------------
+
+    def tick(self, at_s: float) -> list[AlertTransition]:
+        """Advance window time; record transitions; dump on page burn."""
+        self._now = max(self._now, at_s)
+        transitions = self.engine.tick(at_s)
+        for t in transitions:
+            payload = t.as_dict()
+            payload.pop("at_s", None)
+            self.recorder.record("alert", t.at_s, **payload)
+            if t.severity == SEVERITY_PAGE and t.state == "firing":
+                self.dump(
+                    TRIGGER_SLO_PAGE,
+                    context={"slo": t.slo, "burn_long": t.burn_long,
+                             "burn_short": t.burn_short},
+                )
+        return transitions
+
+    # -- bundles -----------------------------------------------------------------
+
+    def dump(
+        self, trigger: str, context: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Dump a post-mortem bundle now; retained in :attr:`bundles`."""
+        bundle = self.recorder.dump(trigger, self._now, context)
+        self.bundles.append(bundle)
+        if len(self.bundles) > self.max_bundles:
+            del self.bundles[: len(self.bundles) - self.max_bundles]
+        return bundle
+
+    # -- health ------------------------------------------------------------------
+
+    def window_summary(self) -> dict[str, Any]:
+        """Headline numbers of the most recent closed window."""
+        recent = self.aggregator.last(1)
+        if not recent:
+            return {}
+        w = recent[0]
+        return {
+            "index": w.index,
+            "start_s": w.start_s,
+            "end_s": w.end_s,
+            "request_rate": w.rate("serve.requests"),
+            "shed_rate": w.rate("serve.shed"),
+            "latency_p50_s": w.quantile("serve.latency_s", 50),
+            "latency_p99_s": w.quantile("serve.latency_s", 99),
+            "partial_responses": int(w.total("serve.responses.partial")),
+            "rejected_responses": int(w.total("serve.responses.rejected")),
+        }
+
+    def recorder_summary(self) -> dict[str, Any]:
+        """Ring-buffer occupancy block of the health snapshot."""
+        return {
+            "buffered": len(self.recorder.events),
+            "recorded": self.recorder.recorded,
+            "dumps": self.recorder.dumps,
+            "bundles": len(self.bundles),
+        }
+
+
+def format_request_story(
+    request_id: str,
+    events: list[dict[str, Any]],
+    trigger: str = "",
+) -> str:
+    """Render one request's end-to-end story as human-readable lines.
+
+    ``events`` is the (already filtered) slice of a flight-recorder ring
+    or bundle involving ``request_id`` — see
+    :func:`repro.obs.recorder.events_for_request`.  The header names the
+    resume chain when the slice spans multiple request ids (follow-up
+    hops carry the first request's id as their causal ``chain``).
+    """
+    header = f"{request_id}: {len(events)} event(s)"
+    if trigger:
+        header += f"  [bundle trigger: {trigger}]"
+    lines = [header]
+    hops: list[str] = []
+    for e in events:
+        rid = e.get("request_id")
+        if e.get("kind") == "request" and rid and rid not in hops:
+            hops.append(rid)
+    if len(hops) > 1:
+        lines.append("resume chain: " + " -> ".join(hops))
+    skip = ("seq", "kind", "at_s", "phase", "name", "request_id", "chain")
+    for e in events:
+        at = float(e.get("at_s", 0.0))
+        kind = e.get("kind", "?")
+        label = e.get("phase") or e.get("name") or kind
+        who = e.get("request_id", "")
+        details = " ".join(
+            f"{k}={e[k]}" for k in e if k not in skip and e[k] not in ("", [], None)
+        )
+        lines.append(f"  {at:9.4f}s  {str(label):<12} {who:<12} {details}".rstrip())
+    return "\n".join(lines)
+
+
+class _DisabledMonitor(ServeMonitor):
+    """Every hook a no-op; ``health()`` still works off live state."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # noqa: D401 — deliberately skips super
+        self.bundles = []
+        self.max_bundles = 0
+        self._now = 0.0
+        self.recorder = None  # type: ignore[assignment]
+        self.aggregator = None  # type: ignore[assignment]
+        self.engine = None  # type: ignore[assignment]
+
+    def on_admitted(self, *a: Any, **kw: Any) -> None:  # noqa: D102
+        pass
+
+    def on_rejected(self, *a: Any, **kw: Any) -> None:  # noqa: D102
+        pass
+
+    def on_dedup(self, *a: Any, **kw: Any) -> None:  # noqa: D102
+        pass
+
+    def on_batch(self, *a: Any, **kw: Any) -> None:  # noqa: D102
+        pass
+
+    def on_retry(self, *a: Any, **kw: Any) -> None:  # noqa: D102
+        pass
+
+    def on_finished(self, *a: Any, **kw: Any) -> None:  # noqa: D102
+        pass
+
+    def on_breaker_transition(self, *a: Any, **kw: Any) -> None:  # noqa: D102
+        pass
+
+    def note(self, *a: Any, **kw: Any) -> None:  # noqa: D102
+        pass
+
+    def tick(self, at_s: float) -> list[AlertTransition]:  # noqa: D102
+        return []
+
+    def dump(self, trigger: str, context: dict[str, Any] | None = None) -> dict:  # noqa: D102
+        return {}
+
+    def window_summary(self) -> dict[str, Any]:  # noqa: D102
+        return {}
+
+    def recorder_summary(self) -> dict[str, Any]:  # noqa: D102
+        return {}

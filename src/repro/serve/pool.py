@@ -21,8 +21,8 @@ session never serializes a tenant's whole traffic:
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Callable, Iterable
 
 from repro.core.config import SigmoConfig
 from repro.core.csrgo import CSRGO
@@ -133,6 +133,7 @@ class SessionPool:
         max_query_sets: int = 32,
         breaker_threshold: int = 3,
         breaker_cooldown_s: float = 1.0,
+        on_breaker_transition: "Callable[[float, str, str, str], None] | None" = None,
     ) -> None:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
@@ -144,6 +145,9 @@ class SessionPool:
         self.max_query_sets = max_query_sets
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown_s = breaker_cooldown_s
+        #: Observability hook threaded into every lane breaker, called
+        #: as ``(at_s, lane_id, old_state, new_state)`` on transitions.
+        self.on_breaker_transition = on_breaker_transition
         self._entries: OrderedDict[str, PoolEntry] = OrderedDict()
         self.evictions = 0
         self.rebuilds = 0
@@ -192,6 +196,8 @@ class SessionPool:
             self._clock,
             failure_threshold=self.breaker_threshold,
             cooldown_s=self.breaker_cooldown_s,
+            name=f"{key[:12]}/{index}",
+            on_transition=self.on_breaker_transition,
         )
         return SessionLane(key, index, session, breaker)
 
@@ -248,12 +254,36 @@ class SessionPool:
 
     # -- telemetry ---------------------------------------------------------------
 
+    def occupancy(self) -> float:
+        """Fraction of lanes with a batch in flight (0.0 when empty)."""
+        lanes = [
+            lane for entry in self._entries.values() for lane in entry.lanes
+        ]
+        if not lanes:
+            return 0.0
+        return sum(1 for lane in lanes if lane.busy) / len(lanes)
+
+    def lane_snapshots(self) -> list[dict]:
+        """Flat per-lane telemetry rows (the dashboard's lane table)."""
+        return [
+            {
+                "lane": lane.lane_id,
+                "busy": lane.busy,
+                "slowdown": lane.slowdown.value,
+                "breaker": lane.breaker.as_dict(),
+                **lane.stats.as_dict(),
+            }
+            for entry in self._entries.values()
+            for lane in entry.lanes
+        ]
+
     def snapshot(self) -> dict:
         """Pool-wide telemetry (CLI, tests)."""
         return {
             "query_sets": len(self._entries),
             "evictions": self.evictions,
             "rebuilds": self.rebuilds,
+            "occupancy": self.occupancy(),
             "lanes": {
                 entry.key: [
                     {

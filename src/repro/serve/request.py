@@ -119,19 +119,30 @@ class ServeResumeToken:
     ``query_key`` / ``data_hash`` bind the token to its exact inputs;
     resubmitting it with different data is a typed ``request-failed``
     rejection, never a silently wrong merge.
+
+    ``chain`` carries the *originating* request's id across resume hops,
+    so every follow-up of a truncated request shares one causal chain id
+    and ``repro trace-request <id>`` can reconstruct the whole story
+    (admission wait, every batch each hop rode in, truncation points,
+    final status) from the flight recorder.  Empty on tokens minted
+    before request-scoped tracing existed — such tokens stay valid.
     """
 
     query_key: str
     data_hash: str
     next_pair: int
+    chain: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (the CLI prints this)."""
-        return {
+        payload = {
             "query_key": self.query_key,
             "data_hash": self.data_hash,
             "next_pair": self.next_pair,
         }
+        if self.chain:
+            payload["chain"] = self.chain
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ServeResumeToken":
@@ -140,6 +151,7 @@ class ServeResumeToken:
             query_key=str(payload["query_key"]),
             data_hash=str(payload["data_hash"]),
             next_pair=int(payload["next_pair"]),
+            chain=str(payload.get("chain", "")),
         )
 
 
@@ -169,6 +181,11 @@ class MatchRequest:
     max_retries:
         Per-request retry budget against worker crashes/OOMs (backoff is
         exponential with seeded jitter).
+    request_id:
+        Client-supplied causal-trace id; the service assigns
+        ``req-<seq>`` when empty.  A resume request keeps its *own*
+        request id but inherits the originating request's ``chain``
+        from the token.
     """
 
     query_key: str
@@ -177,6 +194,7 @@ class MatchRequest:
     deadline_s: float | None = None
     resume: ServeResumeToken | None = None
     max_retries: int = 2
+    request_id: str = ""
 
     def __post_init__(self) -> None:
         if self.mode not in (FIND_ALL, FIND_FIRST):
@@ -207,6 +225,8 @@ class MatchResponse:
     lane: str = ""
     latency_s: float = 0.0
     queue_delay_s: float = 0.0
+    request_id: str = ""
+    chain: str = ""
 
     @property
     def ok(self) -> bool:
@@ -224,6 +244,8 @@ class MatchResponse:
         """JSON-ready form (CLI output, chaos reports)."""
         payload: dict[str, Any] = {
             "seq": self.seq,
+            "request_id": self.request_id,
+            "chain": self.chain,
             "status": self.status,
             "total_matches": self.total_matches,
             "matches": [list(pair) for pair in self.matches],

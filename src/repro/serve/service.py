@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 import numpy as np
@@ -56,6 +56,7 @@ from repro.pipeline.policies import RetryPolicy
 from repro.runtime.faults import FaultPlan, PoisonQuery, WorkerCrash
 from repro.serve.admission import AdmissionController
 from repro.serve.deadline import Clock, CostModel, Deadline
+from repro.serve.monitor import TRIGGER_CRASH, ServeMonitor, ServiceHealth
 from repro.serve.pool import SessionLane, SessionPool
 from repro.serve.request import (
     REJECT_DEADLINE,
@@ -126,7 +127,14 @@ class ServeConfig:
 
 @dataclass
 class _Ticket:
-    """Queue state of one admitted request."""
+    """Queue state of one admitted request.
+
+    ``request_id`` / ``chain`` are the causal-trace identities (a resume
+    hop keeps its own id but inherits the originator's chain from the
+    token).  ``followers`` are fingerprint-equal requests deduplicated
+    onto this ticket by :meth:`MatchService._coalesce`: the join runs
+    once and the result fans out to every follower.
+    """
 
     seq: int
     request: MatchRequest
@@ -135,9 +143,19 @@ class _Ticket:
     submitted_at: float
     n_graphs: int
     n_nodes: int
+    request_id: str = ""
+    chain: str = ""
     start_pair: int = 0
     attempt: int = 0
     dispatched_at: float | None = None
+    followers: "list[_Ticket]" = field(default_factory=list)
+    _fingerprint: str | None = None
+
+    def fingerprint(self) -> str:
+        """Content hash of the request's data batch (computed once)."""
+        if self._fingerprint is None:
+            self._fingerprint = graphs_fingerprint(list(self.request.data))
+        return self._fingerprint
 
 
 class MatchService:
@@ -158,6 +176,11 @@ class MatchService:
         attempt)``, poison by request seq, stragglers by lane index.
     cost_model:
         Shared calibration state (a fresh one when ``None``).
+    monitor:
+        Serving-layer observability (:class:`~repro.serve.monitor.
+        ServeMonitor`): always-on flight recorder + windowed SLO engine
+        on the service clock.  Defaults to a stock monitor; pass
+        ``ServeMonitor.disabled()`` to strip every hook.
     """
 
     def __init__(
@@ -167,12 +190,19 @@ class MatchService:
         clock: Clock | None = None,
         fault_plan: FaultPlan | None = None,
         cost_model: CostModel | None = None,
+        monitor: ServeMonitor | None = None,
     ) -> None:
         self.serve_config = serve or ServeConfig()
         cfg = self.serve_config
         self._clock = clock or Clock()
         self._fault_plan = fault_plan
         self.cost_model = cost_model or CostModel()
+        self.monitor = monitor or ServeMonitor(
+            deadline_s=cfg.default_deadline_s or 0.05
+        )
+        if self.monitor.enabled:
+            # Clockless recorder sites (record_now) stamp service time.
+            self.monitor.recorder.clock = self._clock.now
         self.pool = SessionPool(
             self._clock,
             config=config,
@@ -180,6 +210,7 @@ class MatchService:
             max_query_sets=cfg.max_query_sets,
             breaker_threshold=cfg.breaker_threshold,
             breaker_cooldown_s=cfg.breaker_cooldown_s,
+            on_breaker_transition=self.monitor.on_breaker_transition,
         )
         self.admission = AdmissionController(
             self._clock,
@@ -200,6 +231,7 @@ class MatchService:
         self._tasks: list[asyncio.Task] = []
         self._running = False
         self._seq = 0
+        self._batches = 0
         self._outstanding = 0
         self._wake: asyncio.Event | None = None
         self._idle: asyncio.Event | None = None
@@ -275,20 +307,29 @@ class MatchService:
         metrics = get_metrics()
         seq = self._seq
         self._seq += 1
+        request_id = request.request_id or f"req-{seq:06d}"
+        chain = (
+            request.resume.chain
+            if request.resume is not None and request.resume.chain
+            else request_id
+        )
         metrics.count("serve.requests")
         if self.pool.entry(request.query_key) is None:
-            return self._rejection_response(
-                seq,
+            return self._submit_rejection(
+                seq, request_id, chain,
                 Rejection(
                     REJECT_FAILED, f"unknown query_key {request.query_key!r}"
                 ),
+                where="registration",
             )
         start_pair = 0
         if request.resume is not None:
             problem = self._validate_resume(request)
             if problem is not None:
-                return self._rejection_response(
-                    seq, Rejection(REJECT_FAILED, problem)
+                return self._submit_rejection(
+                    seq, request_id, chain,
+                    Rejection(REJECT_FAILED, problem),
+                    where="resume-validation",
                 )
             start_pair = request.resume.next_pair
         deadline_s = (
@@ -300,7 +341,9 @@ class MatchService:
         decision = self.admission.decide(len(self._queue), deadline)
         if not decision.admitted:
             metrics.count("serve.shed")
-            return self._rejection_response(seq, decision.rejection)
+            return self._submit_rejection(
+                seq, request_id, chain, decision.rejection, where="admission"
+            )
         ticket = _Ticket(
             seq=seq,
             request=request,
@@ -309,14 +352,36 @@ class MatchService:
             submitted_at=self._clock.now(),
             n_graphs=len(request.data),
             n_nodes=int(sum(g.n_nodes for g in request.data)),
+            request_id=request_id,
+            chain=chain,
             start_pair=start_pair,
         )
         self._queue.append(ticket)
         self._outstanding += 1
         self._idle.clear()
         metrics.gauge("serve.queue_depth", len(self._queue))
+        self.monitor.on_admitted(
+            self._clock.now(), request_id, chain, seq, len(self._queue)
+        )
         self._wake.set()
         return await ticket.future
+
+    def _submit_rejection(
+        self,
+        seq: int,
+        request_id: str,
+        chain: str,
+        rejection: Rejection,
+        where: str,
+    ) -> MatchResponse:
+        """A pre-queue rejection, recorded on the monitor."""
+        self.monitor.on_rejected(
+            self._clock.now(), request_id, chain, seq, rejection.kind, where
+        )
+        self.monitor.tick(self._clock.now())
+        return self._rejection_response(
+            seq, rejection, request_id=request_id, chain=chain
+        )
 
     def _validate_resume(self, request: MatchRequest) -> str | None:
         """Reason the resume token cannot be honored, or ``None``."""
@@ -337,16 +402,26 @@ class MatchService:
 
     async def _dispatch_loop(self) -> None:
         """One dispatcher: pull, coalesce, run — sleep when nothing fits."""
-        while self._running:
-            # Clear-before-scan so a lane release / submit between the
-            # failed scan and the wait cannot be lost.
-            self._wake.clear()
-            progressed = await self._dispatch_once()
-            if progressed:
-                continue
-            if not self._running:
-                break
-            await self._wake.wait()
+        try:
+            while self._running:
+                # Clear-before-scan so a lane release / submit between the
+                # failed scan and the wait cannot be lost.
+                self._wake.clear()
+                progressed = await self._dispatch_once()
+                if progressed:
+                    continue
+                if not self._running:
+                    break
+                await self._wake.wait()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            # A dispatcher dying is the post-mortem case par excellence:
+            # freeze the flight recorder before the stack unwinds.
+            self.monitor.dump(
+                TRIGGER_CRASH, context={"error": repr(exc)}
+            )
+            raise
 
     async def _dispatch_once(self) -> bool:
         """Try to resolve or dispatch something; ``True`` on progress."""
@@ -426,6 +501,16 @@ class MatchService:
         ``target_batch_seconds``.  Resume requests run solo so the
         truncation point stays a pure function of the request's own
         batch.
+
+        **Deduplication:** a queued request whose data batch is
+        fingerprint-equal to a request already in the wave does not join
+        the batch — it becomes a *follower* of that member: the join
+        runs once and :meth:`_split_and_finish` fans the one result out
+        to every follower.  Followers cost no batch slots and no node
+        budget (hot Zipf keys collapse to a single join), counted in
+        ``serve.coalesce.dedup_hits``.  Identity of the data list is the
+        fast path; distinct-but-equal lists fall back to the content
+        hash.
         """
         self._queue.remove(head)
         batch = [head]
@@ -436,13 +521,25 @@ class MatchService:
         )
         nodes = head.n_nodes
         for ticket in list(self._queue):
-            if len(batch) >= self.serve_config.max_batch_requests:
-                break
             if ticket.request.query_key != head.request.query_key:
                 continue
             if ticket.request.mode != head.request.mode:
                 continue
             if ticket.start_pair or ticket.request.resume is not None:
+                continue
+            primary = self._dedup_primary(batch, ticket)
+            if primary is not None:
+                self._queue.remove(ticket)
+                primary.followers.append(ticket)
+                get_metrics().count("serve.coalesce.dedup_hits")
+                self.monitor.on_dedup(
+                    self._clock.now(),
+                    ticket.request_id,
+                    primary.request_id,
+                    f"batch-{self._batches:05d}",
+                )
+                continue
+            if len(batch) >= self.serve_config.max_batch_requests:
                 continue
             if nodes + ticket.n_nodes > node_limit:
                 continue
@@ -451,42 +548,91 @@ class MatchService:
             nodes += ticket.n_nodes
         return batch
 
+    @staticmethod
+    def _dedup_primary(
+        batch: list[_Ticket], candidate: _Ticket
+    ) -> _Ticket | None:
+        """The batch member ``candidate`` duplicates, or ``None``."""
+        for member in batch:
+            if candidate.request.data is member.request.data:
+                return member
+        for member in batch:
+            if candidate.fingerprint() == member.fingerprint():
+                return member
+        return None
+
     # -- batch execution ---------------------------------------------------------
+
+    @staticmethod
+    def _members(tickets: list[_Ticket]) -> list[_Ticket]:
+        """Every request riding the batch: primaries plus followers."""
+        out: list[_Ticket] = []
+        for ticket in tickets:
+            out.append(ticket)
+            out.extend(ticket.followers)
+        return out
+
+    def _expire_or_promote(
+        self, tickets: list[_Ticket], now: float
+    ) -> list[_Ticket]:
+        """Reject expired members; keep each dedup group's live head.
+
+        A primary whose deadline expired at dispatch hands its role to
+        its first unexpired follower (same data, so the batch shape is
+        unchanged); expired followers are rejected in place.
+        """
+        live: list[_Ticket] = []
+        for ticket in tickets:
+            group = [ticket, *ticket.followers]
+            ticket.followers = []
+            survivors: list[_Ticket] = []
+            for member in group:
+                member.dispatched_at = now
+                if member.deadline.expired(self._clock):
+                    self._finish(
+                        member,
+                        self._rejection_response(
+                            member.seq,
+                            Rejection(
+                                REJECT_DEADLINE, "deadline expired at dispatch"
+                            ),
+                            attempts=member.attempt + 1,
+                        ),
+                    )
+                else:
+                    survivors.append(member)
+            if survivors:
+                head, *rest = survivors
+                head.followers = rest
+                live.append(head)
+        return live
 
     async def _run_batch(
         self, lane: SessionLane, tickets: list[_Ticket]
     ) -> None:
         """Run one coalesced batch on ``lane`` and resolve its tickets."""
         metrics = get_metrics()
-        now = self._clock.now()
-        live: list[_Ticket] = []
-        for ticket in tickets:
-            ticket.dispatched_at = now
-            if ticket.deadline.expired(self._clock):
-                self._finish(
-                    ticket,
-                    self._rejection_response(
-                        ticket.seq,
-                        Rejection(REJECT_DEADLINE, "deadline expired at dispatch"),
-                        attempts=ticket.attempt + 1,
-                    ),
-                )
-            else:
-                live.append(ticket)
-        if not live:
+        batch_id = f"batch-{self._batches:05d}"
+        self._batches += 1
+        started = self._clock.now()
+        tickets = self._expire_or_promote(tickets, started)
+        if not tickets:
             self.pool.release(lane, ok=True)
             return
-        tickets = live
+        members = self._members(tickets)
         metrics.count("serve.batches")
-        metrics.observe("serve.batch_requests", float(len(tickets)))
+        metrics.observe("serve.batch_requests", float(len(members)))
         failure: Exception | None = None
         try:
             with get_tracer().span(
                 "serve:batch",
                 category="serve",
                 lane=lane.lane_id,
+                batch=batch_id,
                 requests=len(tickets),
                 seqs=[t.seq for t in tickets],
+                request_ids=[t.request_id for t in tickets],
+                member_request_ids=[t.request_id for t in members],
             ):
                 await self._execute(lane, tickets)
         except PoisonQuery as exc:
@@ -501,6 +647,15 @@ class MatchService:
         self.pool.release(lane, ok=failure is None)
         if lane.breaker.trips > trips_before:
             metrics.count("serve.breaker_trips")
+        self.monitor.on_batch(
+            self._clock.now(),
+            batch_id,
+            lane.lane_id,
+            [t.request_id for t in tickets],
+            [t.request_id for t in members],
+            duration_s=self._clock.now() - started,
+            outcome="ok" if failure is None else type(failure).__name__,
+        )
         if failure is None:
             return
         if isinstance(failure, PoisonQuery):
@@ -514,9 +669,13 @@ class MatchService:
         """Inject faults, run the join, split and resolve per ticket."""
         plan = self._fault_plan
         if plan is not None:
-            for ticket in tickets:
+            # Followers are real requests: their seq can be the poison
+            # (or crash/OOM) unit even though their data rides a
+            # batch-mate's join.
+            members = self._members(tickets)
+            for ticket in members:
                 plan.check_poison(ticket.seq)
-            for ticket in tickets:
+            for ticket in members:
                 plan.check_crash(ticket.seq, ticket.attempt)
                 plan.check_oom(ticket.seq, ticket.attempt)
         head = tickets[0]
@@ -593,32 +752,41 @@ class MatchService:
                 total = int(np.asarray(jr.pair_matches[p0:p1]).sum())
             else:
                 total = len(matches)
-            if resume_pair is None or resume_pair >= p1:
-                response = MatchResponse(
-                    seq=ticket.seq,
-                    status=STATUS_COMPLETE,
-                    matches=matches,
-                    total_matches=total,
-                    attempts=ticket.attempt + 1,
-                    lane=lane.lane_id,
-                )
-            else:
-                token = ServeResumeToken(
-                    query_key=ticket.request.query_key,
-                    data_hash=graphs_fingerprint(list(ticket.request.data)),
-                    next_pair=max(resume_pair - p0, 0),
-                )
-                response = MatchResponse(
-                    seq=ticket.seq,
-                    status=STATUS_PARTIAL,
-                    matches=matches,
-                    total_matches=total,
-                    resume=token,
-                    truncate_reason=jr.truncate_reason,
-                    attempts=ticket.attempt + 1,
-                    lane=lane.lane_id,
-                )
-            self._finish(ticket, response)
+            complete = resume_pair is None or resume_pair >= p1
+            next_pair = 0 if complete else max(resume_pair - p0, 0)
+            # The primary's result fans out to every deduplicated
+            # follower: same matches, each follower's own identity (and
+            # its own chain on the resume token, so resume hops stay
+            # causally attributable per client).
+            for member in (ticket, *ticket.followers):
+                if complete:
+                    response = MatchResponse(
+                        seq=member.seq,
+                        status=STATUS_COMPLETE,
+                        matches=list(matches),
+                        total_matches=total,
+                        attempts=member.attempt + 1,
+                        lane=lane.lane_id,
+                    )
+                else:
+                    token = ServeResumeToken(
+                        query_key=member.request.query_key,
+                        data_hash=member.fingerprint(),
+                        next_pair=next_pair,
+                        chain=member.chain,
+                    )
+                    response = MatchResponse(
+                        seq=member.seq,
+                        status=STATUS_PARTIAL,
+                        matches=list(matches),
+                        total_matches=total,
+                        resume=token,
+                        truncate_reason=jr.truncate_reason,
+                        attempts=member.attempt + 1,
+                        lane=lane.lane_id,
+                    )
+                self._finish(member, response)
+            ticket.followers = []
 
     # -- failure handling --------------------------------------------------------
 
@@ -633,7 +801,8 @@ class MatchService:
         """
         get_metrics().count("serve.poison")
         survivors = []
-        for ticket in tickets:
+        for ticket in self._members(tickets):
+            ticket.followers = []
             if ticket.seq == exc.request:
                 self._finish(
                     ticket,
@@ -653,10 +822,17 @@ class MatchService:
     async def _retry_or_fail(
         self, tickets: list[_Ticket], exc: Exception
     ) -> None:
-        """Charge one attempt to every ticket; back off, requeue, or reject."""
+        """Charge one attempt to every ticket; back off, requeue, or reject.
+
+        Followers pay too: they were members of the failed batch (their
+        seq may even have been the crash unit), and leaving their attempt
+        counter untouched would let a follower-targeted fault re-fire
+        identically forever.
+        """
         metrics = get_metrics()
         retryable: list[_Ticket] = []
-        for ticket in tickets:
+        for ticket in self._members(tickets):
+            ticket.followers = []
             ticket.attempt += 1
             if ticket.attempt > ticket.request.max_retries:
                 self._finish(
@@ -676,6 +852,11 @@ class MatchService:
         if not retryable:
             return
         metrics.count("serve.retries", len(retryable))
+        for ticket in retryable:
+            self.monitor.on_retry(
+                self._clock.now(), ticket.request_id, ticket.seq,
+                ticket.attempt, repr(exc),
+            )
         delay = max(
             self._retry.delay(t.attempt, unit=t.seq) for t in retryable
         )
@@ -695,7 +876,12 @@ class MatchService:
     # -- resolution --------------------------------------------------------------
 
     def _rejection_response(
-        self, seq: int, rejection: Rejection, attempts: int = 1
+        self,
+        seq: int,
+        rejection: Rejection,
+        attempts: int = 1,
+        request_id: str = "",
+        chain: str = "",
     ) -> MatchResponse:
         """A rejected response, with its rejection-kind counter bumped.
 
@@ -709,6 +895,8 @@ class MatchService:
             status=STATUS_REJECTED,
             rejection=rejection,
             attempts=attempts,
+            request_id=request_id,
+            chain=chain,
         )
 
     def _finish(self, ticket: _Ticket, response: MatchResponse) -> None:
@@ -717,6 +905,8 @@ class MatchService:
             return
         metrics = get_metrics()
         now = self._clock.now()
+        response.request_id = response.request_id or ticket.request_id
+        response.chain = response.chain or ticket.chain
         response.latency_s = now - ticket.submitted_at
         response.queue_delay_s = (
             (ticket.dispatched_at if ticket.dispatched_at is not None else now)
@@ -730,8 +920,43 @@ class MatchService:
         self._outstanding -= 1
         if self._outstanding <= 0 and self._idle is not None:
             self._idle.set()
+        self.monitor.on_finished(
+            now,
+            response.request_id,
+            response.chain,
+            ticket.seq,
+            response.status,
+            response.lane,
+            response.latency_s,
+            response.resume is not None,
+        )
 
     # -- telemetry ---------------------------------------------------------------
+
+    def health(self) -> ServiceHealth:
+        """Typed point-in-time health snapshot (dashboard, tests).
+
+        Ticks the SLO clock first, so the returned window summary and
+        active-alert set are current as of the service clock's *now*.
+        """
+        now = self._clock.now()
+        self.monitor.tick(now)
+        return ServiceHealth(
+            at_s=now,
+            running=self._running,
+            queue_depth=len(self._queue),
+            outstanding=self._outstanding,
+            requests=self._seq,
+            pool_occupancy=self.pool.occupancy(),
+            lanes=self.pool.lane_snapshots(),
+            window=self.monitor.window_summary(),
+            active_alerts=(
+                self.monitor.engine.active_alerts()
+                if self.monitor.enabled
+                else []
+            ),
+            recorder=self.monitor.recorder_summary(),
+        )
 
     def snapshot(self) -> dict:
         """Service-wide state for the CLI and tests."""

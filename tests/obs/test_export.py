@@ -15,7 +15,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_metrics,
 )
-from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry
+from repro.obs.metrics import METRICS_SCHEMA, Histogram, MetricsRegistry
 from repro.obs.trace import Tracer
 
 pytestmark = pytest.mark.obs
@@ -152,3 +152,95 @@ class TestMetricsPayload:
         assert any("gauges missing or not an object" in p for p in problems)
         assert any("missing 'sum'" in p for p in problems)
         assert any("context not an object" in p for p in problems)
+
+
+class TestHistogramValidation:
+    """Bucket-monotonicity and sum/min/max consistency of serialised histograms.
+
+    Property-style: any honestly serialised histogram — random values,
+    random bucket layouts — must validate clean, and every single-field
+    corruption of it must be flagged.
+    """
+
+    def payload(self, hist_dict):
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": {},
+            "gauges": {},
+            "histograms": {"h": hist_dict},
+        }
+
+    def test_any_honest_histogram_validates_clean(self):
+        rng = np.random.default_rng(11)
+        for trial in range(20):
+            if trial % 2:
+                buckets = sorted(
+                    set(rng.uniform(0.001, 10.0, size=rng.integers(1, 8)))
+                )
+                h = Histogram("h", buckets=buckets)
+            else:
+                h = Histogram("h")  # default geometric layout
+            for v in rng.uniform(0.0, 20.0, size=int(rng.integers(0, 50))):
+                h.observe(float(v))
+            assert validate_metrics(self.payload(h.as_dict())) == [], (
+                f"trial {trial} produced spurious problems"
+            )
+
+    def corrupted(self, mutate):
+        h = Histogram("h", buckets=[0.01, 0.1, 1.0])
+        for v in (0.005, 0.05, 0.5, 5.0, 0.05):
+            h.observe(v)
+        d = h.as_dict()
+        mutate(d)
+        return validate_metrics(self.payload(d))
+
+    def test_non_monotonic_bucket_indices_flagged(self):
+        problems = self.corrupted(
+            lambda d: d["buckets"].__setitem__(0, [3, 1])
+        )
+        assert any("not strictly increasing" in p for p in problems)
+
+    def test_bucket_index_beyond_layout_flagged(self):
+        problems = self.corrupted(
+            lambda d: d["buckets"].append([9, 1])
+        )
+        assert any("beyond" in p for p in problems)
+
+    def test_count_mismatch_flagged(self):
+        problems = self.corrupted(lambda d: d.update(count=99))
+        assert any("sum to" in p for p in problems)
+
+    def test_non_positive_bucket_count_flagged(self):
+        problems = self.corrupted(
+            lambda d: d["buckets"].__setitem__(0, [0, 0])
+        )
+        assert any("non-positive" in p for p in problems)
+
+    def test_boolean_pair_members_flagged(self):
+        problems = self.corrupted(
+            lambda d: d["buckets"].__setitem__(0, [True, 1])
+        )
+        assert any("integer pair" in p for p in problems)
+
+    def test_min_max_sum_inconsistency_flagged(self):
+        assert any(
+            "min" in p and "max" in p
+            for p in self.corrupted(lambda d: d.update(min=5.0, max=0.1))
+        )
+        assert any(
+            "outside" in p
+            for p in self.corrupted(lambda d: d.update(sum=1e6))
+        )
+
+    def test_unsorted_bounds_flagged(self):
+        problems = self.corrupted(lambda d: d["bounds"].reverse())
+        assert any("ascending" in p for p in problems)
+
+    def test_unknown_top_level_keys_tolerated(self):
+        # BENCH_obs.json rides an `obs_overhead` block alongside the
+        # metrics sections; the validator must not reject it.
+        h = Histogram("h")
+        h.observe(1.0)
+        payload = self.payload(h.as_dict())
+        payload["obs_overhead"] = {"overhead_frac": 0.01}
+        assert validate_metrics(payload) == []

@@ -1,0 +1,179 @@
+"""Flight recorder: ring semantics, ambient install, post-mortem bundles."""
+
+import json
+
+import pytest
+
+from repro.obs.export import validate_chrome_trace
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    POSTMORTEM_SCHEMA,
+    FlightRecorder,
+    NullFlightRecorder,
+    events_for_request,
+    get_recorder,
+    recording,
+    set_recorder,
+    validate_bundle,
+)
+
+pytestmark = [pytest.mark.obs, pytest.mark.slo]
+
+
+class TestRing:
+    def test_bounded_eviction_keeps_newest(self):
+        r = FlightRecorder(capacity=3)
+        for i in range(5):
+            r.record("note", float(i), text=f"e{i}")
+        assert [e["text"] for e in r.events] == ["e2", "e3", "e4"]
+        assert r.recorded == 5
+        assert len(r.events) == 3
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_ring_seq_wins_over_payload_seq(self):
+        # The serving layer records request sequence numbers in the
+        # payload; they must not clobber the ring's authoritative order.
+        r = FlightRecorder()
+        r.record("request", 0.0, request_seq=99)
+        r.record("request", 0.0, request_seq=7)
+        assert [e["seq"] for e in r.events] == [0, 1]
+        assert [e["request_seq"] for e in r.events] == [99, 7]
+
+    def test_record_now_uses_installed_clock(self):
+        t = {"now": 4.5}
+        r = FlightRecorder(clock=lambda: t["now"])
+        r.record_now("note", text="a")
+        t["now"] = 6.0
+        r.record_now("note", text="b")
+        assert [e["at_s"] for e in r.events] == [4.5, 6.0]
+
+    def test_record_now_without_clock_reuses_last_timestamp(self):
+        r = FlightRecorder()
+        r.record("note", 3.0, text="anchor")
+        r.record_now("note", text="follow")
+        assert r.events[-1]["at_s"] == 3.0
+
+    def test_find_filters_by_kind(self):
+        r = FlightRecorder()
+        r.record("note", 0.0)
+        r.record_span("s", 0.1, lane="l0", duration_s=0.2)
+        assert len(r.find("span")) == 1
+        assert r.find("missing") == []
+
+
+class TestRequestLinkage:
+    def make_ring(self):
+        r = FlightRecorder()
+        r.record("request", 0.0, phase="admitted", request_id="req-1",
+                 chain="req-1")
+        r.record_span("serve:batch", 0.1, lane="l0",
+                      request_ids=["req-1"], member_request_ids=["req-1", "req-2"])
+        r.record("request", 0.2, phase="finished", request_id="req-3",
+                 chain="req-1")
+        r.record("request", 0.3, phase="finished", request_id="req-9",
+                 chain="req-9")
+        return r
+
+    def test_for_request_matches_id_chain_and_membership(self):
+        r = self.make_ring()
+        got = r.for_request("req-1")
+        assert len(got) == 3  # admitted + batch + chained follow-up
+        assert r.for_request("req-2") and r.for_request("req-2")[0]["kind"] == "span"
+        assert r.for_request("req-404") == []
+
+    def test_events_for_request_works_on_plain_dicts(self):
+        r = self.make_ring()
+        bundle = r.dump("unit", at_s=1.0)
+        roundtrip = json.loads(json.dumps(bundle))
+        assert len(events_for_request(roundtrip["events"], "req-1")) == 3
+
+
+class TestBundles:
+    def test_dump_is_self_contained_and_valid(self):
+        r = FlightRecorder()
+        r.record("note", 0.5, text="before")
+        r.record_span("serve:batch", 1.0, lane="l0", duration_s=0.25,
+                      outcome="ok")
+        bundle = r.dump("breaker-trip", at_s=2.0, context={"lane": "l0"})
+        assert bundle["schema"] == POSTMORTEM_SCHEMA
+        assert bundle["trigger"] == "breaker-trip"
+        assert bundle["context"] == {"lane": "l0"}
+        assert validate_bundle(bundle) == []
+        assert r.dumps == 1
+
+    def test_bundle_survives_json_roundtrip(self):
+        r = FlightRecorder()
+        r.record("alert", 1.0, slo="avail", state="firing")
+        payload = json.loads(json.dumps(r.dump("slo-page-burn", at_s=1.0)))
+        assert validate_bundle(payload) == []
+
+    def test_chrome_trace_is_perfetto_valid(self):
+        r = FlightRecorder()
+        r.record_span("serve:batch", 0.0, lane="l0", duration_s=0.002)
+        r.record_span("serve:batch", 0.001, lane="l1", duration_s=0.003)
+        r.record("breaker", 0.004, lane="l0", old="closed", new="open")
+        trace = r.dump("manual", at_s=0.01)["chrome_trace"]
+        assert validate_chrome_trace(trace) == []
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        marks = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(spans) == 2 and len(marks) == 1
+        # Lanes become named tracks; the two spans sit on distinct tids.
+        assert spans[0]["tid"] != spans[1]["tid"]
+
+    def test_write_bundle(self, tmp_path):
+        r = FlightRecorder()
+        r.record("note", 0.0, text="x")
+        path = r.write_bundle(tmp_path / "b.json", "manual", at_s=0.0)
+        assert validate_bundle(json.loads(path.read_text())) == []
+
+    def test_validate_bundle_catches_corruption(self):
+        r = FlightRecorder()
+        r.record("note", 0.0)
+        bundle = r.dump("manual", at_s=0.0)
+        bundle["events"][0]["seq"] = -1
+        bad = dict(bundle, schema="nope", trigger="")
+        problems = validate_bundle(bad)
+        assert any("schema" in p for p in problems)
+        assert any("trigger" in p for p in problems)
+        assert any("seq" in p for p in problems)
+
+
+class TestAmbient:
+    def test_default_is_noop(self):
+        r = get_recorder()
+        assert isinstance(r, NullFlightRecorder)
+        assert not r.enabled
+        r.record("note", 0.0, text="discarded")
+        r.record_now("note")
+        r.record_span("s", 0.0)
+        assert r.find("note") == [] and r.for_request("x") == []
+
+    def test_recording_scope_installs_and_restores(self):
+        assert get_recorder() is NULL_RECORDER
+        with recording() as r:
+            assert get_recorder() is r
+            get_recorder().record("note", 0.0, text="hi")
+        assert get_recorder() is NULL_RECORDER
+        assert len(r.events) == 1
+
+    def test_set_recorder_returns_previous(self):
+        mine = FlightRecorder()
+        previous = set_recorder(mine)
+        try:
+            assert get_recorder() is mine
+        finally:
+            assert set_recorder(previous) is mine
+        assert get_recorder() is previous
+
+    def test_runtime_attempts_feed_ambient_recorder(self):
+        from repro.runtime.telemetry import OK, Attempt, RunReport
+
+        with recording() as r:
+            report = RunReport()
+            report.record(Attempt(unit="chunk[0:8]", attempt=0, outcome=OK))
+        (event,) = r.find("runtime-attempt")
+        assert event["unit"] == "chunk[0:8]"
+        assert event["outcome"] == OK

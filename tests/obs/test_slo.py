@@ -1,0 +1,320 @@
+"""SLO engine: windows, specs, burn rates, and the alert state machine.
+
+Everything here runs on explicit tick times (the virtual-clock
+discipline), so window closing and every alert transition is exactly
+reproducible — the tests assert specific windows, burns, and
+OK <-> firing edges, not "roughly fires eventually".
+"""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry, collecting, get_metrics
+from repro.obs.slo import (
+    ALERT_FIRING,
+    ALERT_OK,
+    SEVERITY_PAGE,
+    SEVERITY_TICKET,
+    BurnRatePolicy,
+    SLOEngine,
+    SLOSpec,
+    Window,
+    WindowAggregator,
+    burn_rate,
+    default_policies,
+    default_serve_slos,
+    fraction_over,
+    render_dashboard,
+)
+
+pytestmark = [pytest.mark.obs, pytest.mark.slo]
+
+
+def make_window(index=0, start=0.0, end=1.0, **counters):
+    delta = MetricsRegistry()
+    for name, value in counters.items():
+        delta.count(name.replace("__", "."), value)
+    return Window(index=index, start_s=start, end_s=end, delta=delta)
+
+
+class TestWindow:
+    def test_totals_rates_and_width(self):
+        w = make_window(end=2.0, serve__requests=10)
+        assert w.width_s == 2.0
+        assert w.total("serve.requests") == 10
+        assert w.rate("serve.requests") == 5.0
+        assert w.total("serve.absent") == 0
+
+    def test_windowed_quantile_is_exact_to_bucket_resolution(self):
+        delta = MetricsRegistry()
+        for v in (0.001, 0.002, 0.004, 0.1):
+            delta.observe("serve.latency_s", v)
+        w = Window(index=0, start_s=0.0, end_s=1.0, delta=delta)
+        assert w.observations("serve.latency_s") == 4
+        assert w.quantile("serve.latency_s", 50) <= w.quantile(
+            "serve.latency_s", 100
+        )
+        assert w.quantile("serve.missing", 99) == 0.0
+
+
+class TestWindowAggregator:
+    def test_activity_attributed_to_first_closed_window(self):
+        m = MetricsRegistry()
+        agg = WindowAggregator(m, width_s=1.0, origin_s=0.0)
+        m.count("x", 3)
+        closed = agg.tick(2.5)  # crosses two boundaries in one tick
+        assert [w.index for w in closed] == [0, 1]
+        assert [int(w.total("x")) for w in closed] == [3, 0]
+        assert agg.tick(2.9) == []
+
+    def test_lazy_origin_aligns_to_first_tick(self):
+        # time.monotonic-style clocks start far from zero; the first
+        # tick must not close thousands of empty pre-history windows.
+        m = MetricsRegistry()
+        agg = WindowAggregator(m, width_s=0.5)
+        assert agg.tick(7533.695) == []
+        m.count("x", 2)
+        closed = agg.tick(7534.1)
+        assert len(closed) == 1
+        assert closed[0].start_s == 7533.5
+        assert int(closed[0].total("x")) == 2
+
+    def test_callable_registry_follows_ambient_swaps(self):
+        with collecting() as inner:
+            agg = WindowAggregator(get_metrics, width_s=1.0, origin_s=0.0)
+            inner.count("y", 4)
+            closed = agg.tick(1.0)
+            assert [int(w.total("y")) for w in closed] == [4]
+        # Registry swapped back: diff would raise; the aggregator
+        # re-baselines with an empty delta instead of crashing.
+        closed = agg.tick(2.0)
+        assert len(closed) == 1
+        assert closed[0].delta.counters == {}
+
+    def test_history_bound(self):
+        m = MetricsRegistry()
+        agg = WindowAggregator(m, width_s=1.0, history=3, origin_s=0.0)
+        agg.tick(10.0)
+        assert len(agg.windows) == 3
+        assert [w.index for w in agg.last(2)] == [8, 9]
+        assert agg.last(0) == []
+
+
+class TestFractionOver:
+    def test_counts_only_provably_over_threshold(self):
+        h = Histogram("lat", buckets=[0.01, 0.05, 0.1])
+        for v in (0.005, 0.02, 0.05, 0.2):
+            h.observe(v)
+        # 0.02 and 0.05 land in the 0.05 bucket: not provably > 0.05.
+        assert fraction_over(h, 0.05) == 0.25
+        assert fraction_over(h, 0.1) == 0.25  # only the overflow obs
+        assert fraction_over(Histogram("e", buckets=[1.0]), 0.5) is None
+
+
+class TestSLOSpec:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SLOSpec("x", "nope", objective=0.9)
+        with pytest.raises(ValueError, match="objective"):
+            SLOSpec("x", "availability", objective=1.0)
+        with pytest.raises(ValueError, match="threshold_s"):
+            SLOSpec("x", "latency", objective=0.9)
+
+    def test_availability_bad_total(self):
+        spec = SLOSpec("a", "availability", objective=0.99)
+        w = make_window(
+            serve__responses__complete=7,
+            serve__responses__partial=2,
+            serve__responses__rejected=1,
+        )
+        assert spec.bad_total(w) == (1.0, 10.0)
+        assert spec.bad_fraction(w) == 0.1
+
+    def test_latency_bad_total_from_bucket_deltas(self):
+        spec = SLOSpec("l", "latency", objective=0.95, threshold_s=0.05)
+        delta = MetricsRegistry()
+        for v in (0.01, 0.02, 0.2, 0.3):
+            delta.observe("serve.latency_s", v)
+        w = Window(index=0, start_s=0.0, end_s=1.0, delta=delta)
+        bad, total = spec.bad_total(w)
+        assert total == 4.0
+        assert bad == pytest.approx(2.0)
+
+    def test_partial_ratio_and_shed_rate(self):
+        partial = SLOSpec("p", "partial-ratio", objective=0.9)
+        w = make_window(
+            serve__responses__complete=3, serve__responses__partial=1
+        )
+        assert partial.bad_total(w) == (1.0, 4.0)
+        shed = SLOSpec("s", "shed-rate", objective=0.95)
+        w = make_window(serve__requests=8, serve__shed=2)
+        assert shed.bad_total(w) == (2.0, 8.0)
+
+    def test_idle_window_yields_none_not_zero(self):
+        for spec in default_serve_slos():
+            assert spec.bad_total(make_window()) is None
+
+    def test_default_serve_slos_cover_all_kinds(self):
+        specs = default_serve_slos(deadline_s=0.02)
+        assert {s.kind for s in specs} == {
+            "availability", "latency", "partial-ratio", "shed-rate"
+        }
+        latency = next(s for s in specs if s.kind == "latency")
+        assert latency.threshold_s == 0.02
+
+
+class TestBurnRate:
+    def test_pooled_across_windows(self):
+        spec = SLOSpec("a", "availability", objective=0.9)  # budget 0.1
+        busy = make_window(
+            serve__responses__complete=0, serve__responses__rejected=10
+        )
+        quiet = make_window(serve__responses__complete=10)
+        # 10 bad / 20 total = 0.5 bad fraction -> burn 5.
+        assert burn_rate(spec, [busy, quiet]) == pytest.approx(5.0)
+        assert burn_rate(spec, []) == 0.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BurnRatePolicy("page", long_windows=2, short_windows=4, threshold=1.0)
+        with pytest.raises(ValueError):
+            BurnRatePolicy("page", long_windows=1, short_windows=1, threshold=0.0)
+
+    def test_default_policies_page_and_ticket(self):
+        severities = {p.severity for p in default_policies()}
+        assert severities == {SEVERITY_PAGE, SEVERITY_TICKET}
+
+
+class TestAlertStateMachine:
+    """The OK -> firing -> OK life cycle, deterministic on explicit ticks."""
+
+    def make_engine(self, threshold=10.0):
+        m = MetricsRegistry()
+        agg = WindowAggregator(m, width_s=1.0, origin_s=0.0)
+        spec = SLOSpec("avail", "availability", objective=0.9)
+        policy = BurnRatePolicy(
+            SEVERITY_PAGE, long_windows=3, short_windows=1, threshold=threshold
+        )
+        return m, SLOEngine(agg, [spec], [policy])
+
+    def test_clean_run_stays_silent(self):
+        m, eng = self.make_engine()
+        for t in range(1, 8):
+            m.count("serve.responses.complete", 5)
+            assert eng.tick(float(t)) == []
+        assert eng.active_alerts() == []
+        assert eng.state_of("avail", SEVERITY_PAGE) == ALERT_OK
+
+    def test_overload_fires_then_recovery_clears(self):
+        m, eng = self.make_engine()
+        # Two healthy windows.
+        for t in (1.0, 2.0):
+            m.count("serve.responses.complete", 10)
+            assert eng.tick(t) == []
+        # Total outage: burn = (1.0 bad fraction) / 0.1 budget = 10.
+        # Long lookback still pools the healthy windows, so the first
+        # bad window burns (10/30)/0.1 = 3.3 < 10: no page yet.
+        m.count("serve.responses.rejected", 10)
+        assert eng.tick(3.0) == []
+        # Two more bad windows push the 3-window burn to 10: fires.
+        m.count("serve.responses.rejected", 10)
+        assert eng.tick(4.0) == []
+        m.count("serve.responses.rejected", 10)
+        fired = eng.tick(5.0)
+        assert [t.state for t in fired] == [ALERT_FIRING]
+        assert fired[0].slo == "avail"
+        assert fired[0].window_index == 4
+        assert fired[0].burn_short == pytest.approx(10.0)
+        assert eng.state_of("avail", SEVERITY_PAGE) == ALERT_FIRING
+        assert eng.active_alerts()[0]["severity"] == SEVERITY_PAGE
+        # Recovery: one healthy window drops the short burn below the
+        # threshold and the alert clears immediately.
+        m.count("serve.responses.complete", 10)
+        cleared = eng.tick(6.0)
+        assert [t.state for t in cleared] == [ALERT_OK]
+        assert eng.active_alerts() == []
+
+    def test_replays_bit_for_bit(self):
+        def run():
+            m, eng = self.make_engine()
+            out = []
+            for t in range(1, 10):
+                if t % 3 == 0:
+                    m.count("serve.responses.rejected", 9)
+                else:
+                    m.count("serve.responses.complete", 9)
+                out.extend(tr.as_dict() for tr in eng.tick(float(t)))
+            return out
+
+        assert run() == run()
+
+    def test_transition_as_dict_is_json_ready(self):
+        m, eng = self.make_engine(threshold=1.0)
+        m.count("serve.responses.rejected", 5)
+        (tr,) = eng.tick(1.0)
+        d = tr.as_dict()
+        assert d["state"] == ALERT_FIRING
+        assert d["at_s"] == 1.0
+        assert set(d) == {
+            "at_s", "window_index", "slo", "severity", "state",
+            "burn_long", "burn_short",
+        }
+
+
+class TestDashboard:
+    def test_renders_quiet_health(self):
+        text = render_dashboard(
+            {
+                "at_s": 1.5,
+                "queue_depth": 0,
+                "outstanding": 0,
+                "requests": 4,
+                "pool_occupancy": 0.0,
+                "lanes": [],
+                "window": {},
+                "active_alerts": [],
+                "recorder": {"buffered": 3, "recorded": 3, "dumps": 0},
+            }
+        )
+        assert "all objectives within budget" in text
+        assert "requests=4" in text
+
+    def test_renders_alerts_and_lanes(self):
+        text = render_dashboard(
+            {
+                "at_s": 9.0,
+                "queue_depth": 2,
+                "outstanding": 1,
+                "requests": 40,
+                "pool_occupancy": 0.5,
+                "lanes": [
+                    {
+                        "lane": "abc/0",
+                        "busy": True,
+                        "slowdown": 1.2,
+                        "breaker": {"state": "open"},
+                        "dispatches": 9,
+                        "failures": 3,
+                    }
+                ],
+                "window": {
+                    "request_rate": 8.0,
+                    "shed_rate": 2.0,
+                    "latency_p50_s": 0.01,
+                    "latency_p99_s": 0.2,
+                    "partial_responses": 1,
+                },
+                "active_alerts": [
+                    {
+                        "slo": "serve-availability",
+                        "severity": "page",
+                        "since_s": 8.0,
+                        "burn_long": 12.0,
+                        "burn_short": 14.0,
+                    }
+                ],
+                "recorder": {"buffered": 10, "recorded": 10, "dumps": 1},
+            }
+        )
+        assert "abc/0" in text
+        assert "serve-availability" in text
+        assert "page" in text

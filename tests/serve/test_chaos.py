@@ -4,7 +4,9 @@ import asyncio
 
 import pytest
 
+from repro.obs.recorder import events_for_request, validate_bundle
 from repro.serve.chaos import SCENARIOS, ChaosReport, run_chaos, run_chaos_sync
+from repro.serve.monitor import TRIGGER_BREAKER, TRIGGER_MANUAL, TRIGGER_SLO_PAGE
 
 pytestmark = pytest.mark.serve
 
@@ -63,6 +65,86 @@ class TestScenarioShapes:
     def test_overload_scenario_sheds_typed(self):
         report = run_chaos_sync(["overload"])[0]
         assert report.notes["shed"] >= 1
+
+
+@pytest.mark.slo
+class TestPostMortemBundles:
+    """Every scenario leaves a bundle behind that explains its fault."""
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SCENARIOS))
+    def test_every_scenario_dumps_a_valid_bundle(self, name):
+        report = run_chaos_sync([name])[0]
+        assert report.bundles, "a scenario run must end with a post-mortem"
+        for bundle in report.bundles:
+            assert validate_bundle(bundle) == []
+        assert report.bundles[-1]["trigger"] == TRIGGER_MANUAL
+        assert report.bundles[-1]["context"]["scenario"] == name
+        assert report.as_dict()["bundles"] == [
+            b["trigger"] for b in report.bundles
+        ]
+
+    def test_breaker_bundle_names_the_tripped_lane(self):
+        report = run_chaos_sync(["session-crash-breaker"])[0]
+        triggers = [b["trigger"] for b in report.bundles]
+        assert triggers[0] == TRIGGER_BREAKER
+        assert TRIGGER_SLO_PAGE in triggers
+        trip = report.bundles[0]
+        lane = trip["context"]["lane"]
+        opened = [
+            e for e in trip["events"]
+            if e["kind"] == "breaker" and e.get("new") == "open"
+        ]
+        assert any(e["lane"] == lane for e in opened)
+        # The crash storm that tripped it is in the same ring: retried
+        # requests with the injected crash recorded as their error.
+        retries = [
+            e for e in trip["events"]
+            if e["kind"] == "request" and e.get("phase") == "retry"
+        ]
+        assert retries and all("crash" in e["error"] for e in retries)
+
+    def test_straggler_bundle_reconstructs_a_resume_chain(self):
+        report = run_chaos_sync(["straggler"])[0]
+        bundle = report.bundles[-1]
+        chains = {r.chain for r in report.responses if r.chain}
+        assert chains
+        origin = sorted(chains)[0]
+        events = events_for_request(bundle["events"], origin)
+        assert events, "the bundle must tell the first request's story"
+        hops = {
+            e["request_id"]
+            for e in events
+            if e.get("kind") == "request" and e.get("request_id")
+        }
+        resumed = {r.request_id for r in report.responses if r.chain == origin}
+        assert resumed <= hops, "every resume hop must appear in the bundle"
+        spans = [e for e in events if e.get("kind") == "span"]
+        assert spans and all(
+            set(s["request_ids"]) <= set(s["member_request_ids"]) for s in spans
+        )
+
+    def test_overload_bundle_shows_typed_shedding(self):
+        report = run_chaos_sync(["overload"])[0]
+        events = report.bundles[-1]["events"]
+        shed = [
+            e for e in events
+            if e.get("phase") == "rejected" and e.get("where") == "admission"
+        ]
+        assert len(shed) >= report.notes["shed"] > 0
+
+    def test_poison_bundle_identifies_the_culprit_request(self):
+        report = run_chaos_sync(["poison"])[0]
+        (rejected,) = [r for r in report.responses if r.status == "rejected"]
+        events = events_for_request(
+            report.bundles[-1]["events"], rejected.request_id
+        )
+        finished = [e for e in events if e.get("phase") == "finished"]
+        assert finished and finished[-1]["status"] == "rejected"
+        spans = [e for e in events if e.get("kind") == "span"]
+        assert spans, "the failing batch span must link back to the culprit"
+        assert all(
+            rejected.request_id in s["member_request_ids"] for s in spans
+        )
 
 
 class TestDeterminism:

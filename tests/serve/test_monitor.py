@@ -1,0 +1,298 @@
+"""ServeMonitor: health snapshots, auto-dumps, stories, and zero-impact.
+
+The contract under test: the always-on monitor *observes* the serving
+layer without perturbing it — responses are bitwise identical with the
+monitor (and tracer) on or off — while breaker trips and page-severity
+SLO burns each leave behind a post-mortem bundle that explains them.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.chem.datasets import build_benchmark
+from repro.core.config import SigmoConfig
+from repro.obs.export import chrome_trace, validate_chrome_trace
+from repro.obs.metrics import collecting, get_metrics
+from repro.obs.recorder import validate_bundle
+from repro.obs.trace import tracing
+from repro.runtime.faults import FaultPlan
+from repro.serve import (
+    STATUS_COMPLETE,
+    ManualClock,
+    MatchRequest,
+    MatchService,
+    ServeConfig,
+)
+from repro.serve.monitor import (
+    TRIGGER_BREAKER,
+    TRIGGER_SLO_PAGE,
+    ServeMonitor,
+    ServiceHealth,
+    format_request_story,
+)
+
+pytestmark = [pytest.mark.serve, pytest.mark.slo]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_benchmark(scale=1.0, n_queries=4, n_data_graphs=16, seed=5)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SigmoConfig(refinement_iterations=2)
+
+
+@pytest.fixture(scope="module")
+def batches(dataset):
+    return [dataset.data[0:8], dataset.data[8:16]]
+
+
+def make_service(dataset, config, monitor=None, fault_plan=None, **serve_kw):
+    serve_kw.setdefault("replicas", 2)
+    serve_kw.setdefault("dispatchers", 2)
+    service = MatchService(
+        config=config,
+        serve=ServeConfig(**serve_kw),
+        clock=ManualClock(),
+        fault_plan=fault_plan,
+        monitor=monitor,
+    )
+    key = service.register(dataset.queries)
+    return service, key
+
+
+def run_workload(
+    dataset, config, batches, n=6, monitor=None, max_retries=2, **serve_kw
+):
+    async def run():
+        service, key = make_service(dataset, config, monitor=monitor, **serve_kw)
+        async with service:
+            responses = await asyncio.gather(
+                *[
+                    service.submit(
+                        MatchRequest(
+                            query_key=key,
+                            data=batches[i % len(batches)],
+                            max_retries=max_retries,
+                        )
+                    )
+                    for i in range(n)
+                ]
+            )
+            return service, responses, service.health()
+
+    return asyncio.run(run())
+
+
+class TestHealthSnapshot:
+    def test_typed_snapshot_reflects_live_service(self, dataset, config, batches):
+        service, responses, health = run_workload(dataset, config, batches)
+        assert isinstance(health, ServiceHealth)
+        assert health.running is True
+        assert health.requests == len(responses)
+        assert health.queue_depth == 0 and health.outstanding == 0
+        assert len(health.lanes) == 2
+        assert all("breaker" in lane for lane in health.lanes)
+        assert health.recorder["recorded"] >= len(responses)
+        assert health.recorder["dumps"] == 0
+        payload = health.as_dict()
+        assert set(payload) >= {
+            "at_s", "running", "queue_depth", "outstanding", "requests",
+            "pool_occupancy", "lanes", "window", "active_alerts", "recorder",
+        }
+
+    def test_recorder_holds_full_request_stories(self, dataset, config, batches):
+        service, responses, _ = run_workload(dataset, config, batches, n=4)
+        ring = service.monitor.recorder
+        for response in responses:
+            events = ring.for_request(response.request_id)
+            phases = [e.get("phase") for e in events if e.get("kind") == "request"]
+            assert phases[0] == "admitted" and phases[-1] == "finished"
+            assert any(e["kind"] == "span" for e in events), (
+                "the serve:batch span must link back to its members"
+            )
+
+
+class TestAutoDumps:
+    def test_breaker_trip_dumps_bundle_naming_the_lane(self):
+        monitor = ServeMonitor(capacity=64)
+        monitor.on_breaker_transition(1.0, "pool/1", "closed", "open")
+        (bundle,) = monitor.bundles
+        assert bundle["trigger"] == TRIGGER_BREAKER
+        assert bundle["context"] == {"lane": "pool/1"}
+        assert validate_bundle(bundle) == []
+        # Half-open/closed transitions are recorded but never dump.
+        monitor.on_breaker_transition(2.0, "pool/1", "open", "half-open")
+        monitor.on_breaker_transition(3.0, "pool/1", "half-open", "closed")
+        assert len(monitor.bundles) == 1
+        assert len(monitor.recorder.find("breaker")) == 3
+
+    def test_slo_page_burn_dumps_bundle_with_burn_context(self):
+        with collecting() as metrics:
+            monitor = ServeMonitor(window_s=1.0)
+            assert monitor.tick(1.0) == []  # aligns the window origin
+            metrics.count("serve.responses.rejected", 10)
+            transitions = monitor.tick(2.0)
+        fired = [t for t in transitions if t.state == "firing"]
+        assert fired, "a total outage must fire the availability page"
+        pages = [b for b in monitor.bundles if b["trigger"] == TRIGGER_SLO_PAGE]
+        assert pages
+        assert pages[0]["context"]["slo"] == "serve-availability"
+        assert pages[0]["context"]["burn_short"] >= 10.0
+        alert_events = [
+            e for e in pages[0]["events"] if e["kind"] == "alert"
+        ]
+        assert alert_events, "the bundle must contain the alert that dumped it"
+
+    def test_service_crash_storm_trips_breaker_and_dumps(
+        self, dataset, config, batches
+    ):
+        plan = FaultPlan(
+            seed=0,
+            crash_at=tuple(
+                (unit, attempt) for unit in range(4) for attempt in range(3)
+            ),
+        )
+        service, responses, _ = run_workload(
+            dataset, config, batches, n=6, max_retries=3,
+            fault_plan=plan, breaker_threshold=2,
+            breaker_cooldown_s=0.5, backoff_base_s=0.01,
+        )
+        assert all(r.status == STATUS_COMPLETE for r in responses)
+        trips = [
+            b for b in service.monitor.bundles
+            if b["trigger"] == TRIGGER_BREAKER
+        ]
+        assert trips, "a tripped breaker must leave a post-mortem behind"
+        tripped_lane = trips[0]["context"]["lane"]
+        breaker_events = [
+            e for e in trips[0]["events"]
+            if e["kind"] == "breaker" and e.get("new") == "open"
+        ]
+        assert any(e["lane"] == tripped_lane for e in breaker_events)
+
+    def test_bundle_retention_is_bounded(self):
+        monitor = ServeMonitor(max_bundles=2)
+        for i in range(4):
+            monitor.on_breaker_transition(float(i), f"lane/{i}", "closed", "open")
+        assert [b["context"]["lane"] for b in monitor.bundles] == [
+            "lane/2", "lane/3",
+        ]
+        assert monitor.recorder.dumps == 4
+
+
+class TestRequestStory:
+    def test_story_names_resume_chain_and_trigger(self):
+        events = [
+            {"kind": "request", "at_s": 0.0, "seq": 0, "phase": "admitted",
+             "request_id": "req-1", "chain": "req-1", "queue_depth": 1},
+            {"kind": "span", "at_s": 0.1, "seq": 1, "name": "serve:batch",
+             "lane": "pool/0", "request_ids": ["req-1"],
+             "member_request_ids": ["req-1"]},
+            {"kind": "request", "at_s": 0.2, "seq": 2, "phase": "finished",
+             "request_id": "req-2", "chain": "req-1", "status": "complete"},
+        ]
+        story = format_request_story("req-1", events, trigger="straggler")
+        assert story.splitlines()[0] == (
+            "req-1: 3 event(s)  [bundle trigger: straggler]"
+        )
+        assert "resume chain: req-1 -> req-2" in story
+        assert "lane=pool/0" in story
+        assert "status=complete" in story
+
+    def test_single_hop_story_has_no_chain_line(self):
+        events = [
+            {"kind": "request", "at_s": 0.0, "seq": 0, "phase": "admitted",
+             "request_id": "req-1", "chain": "req-1"},
+        ]
+        assert "resume chain" not in format_request_story("req-1", events)
+
+
+class TestDedup:
+    def test_identical_data_requests_coalesce_to_one_execution(
+        self, dataset, config, batches
+    ):
+        before = dict(get_metrics().counters)
+        service, responses, _ = run_workload(
+            dataset, config, [batches[0]], n=4, dispatchers=1
+        )
+        hits = (
+            get_metrics().counters.get("serve.coalesce.dedup_hits", 0)
+            - before.get("serve.coalesce.dedup_hits", 0)
+        )
+        assert hits >= 1, "fingerprint-equal requests must deduplicate"
+        assert len({r.total_matches for r in responses}) == 1
+        assert len({tuple(sorted(r.matches)) for r in responses}) == 1
+        dedup_events = [
+            e for e in service.monitor.recorder.find("request")
+            if e.get("phase") == "dedup"
+        ]
+        assert len(dedup_events) == hits
+        primaries = {e["primary"] for e in dedup_events}
+        assert primaries <= {r.request_id for r in responses}
+
+
+class TestZeroImpact:
+    def test_responses_bitwise_equal_with_monitor_and_tracer_off(
+        self, dataset, config, batches
+    ):
+        def arm(monitored, traced):
+            def payloads():
+                _, responses, _ = run_workload(
+                    dataset, config, batches, n=6,
+                    monitor=None if monitored else ServeMonitor.disabled(),
+                )
+                return [r.to_dict() for r in responses]
+
+            if traced:
+                with tracing():
+                    return payloads()
+            return payloads()
+
+        baseline = arm(monitored=False, traced=False)
+        assert baseline == arm(monitored=True, traced=True)
+        assert baseline == arm(monitored=True, traced=False)
+
+    def test_disabled_monitor_records_and_dumps_nothing(self):
+        monitor = ServeMonitor.disabled()
+        assert monitor.enabled is False
+        monitor.on_admitted(0.0, "req-1", "req-1", 0, 1)
+        monitor.on_batch(0.1, "b", "lane", ["req-1"], ["req-1"])
+        monitor.on_breaker_transition(0.2, "lane", "closed", "open")
+        monitor.on_finished(0.3, "req-1", "req-1", 0, "complete", "lane", 0.3, False)
+        assert monitor.tick(1.0) == []
+        assert monitor.dump("manual") == {}
+        assert monitor.bundles == []
+        assert monitor.window_summary() == {} and monitor.recorder_summary() == {}
+
+
+class TestLaneInterleaving:
+    def test_batch_spans_interleave_across_lanes_under_asyncio(
+        self, dataset, config, batches
+    ):
+        # Four *distinct* data batches so nothing deduplicates away:
+        # every request becomes its own coalesced batch (max 1), spread
+        # round-robin over both lanes by two concurrent dispatchers.
+        slices = [dataset.data[i : i + 4] for i in range(0, 16, 4)]
+        with tracing() as tracer:
+            service, responses, _ = run_workload(
+                dataset, config, slices, n=4,
+                dispatchers=2, replicas=2, max_batch_requests=1,
+            )
+        assert all(r.status == STATUS_COMPLETE for r in responses)
+        spans = tracer.find("serve:batch")
+        assert len(spans) >= 2
+        assert len({s.lane for s in spans}) == 2, (
+            "two dispatchers over two replicas must exercise both lanes"
+        )
+        for span in spans:
+            assert span.attrs["request_ids"]
+            assert set(span.attrs["request_ids"]) <= set(
+                span.attrs["member_request_ids"]
+            )
+        # Every response's lane is a lane some span actually ran on.
+        assert {r.lane for r in responses} <= {s.lane for s in spans}
+        assert validate_chrome_trace(chrome_trace(tracer)) == []

@@ -133,3 +133,70 @@ class TestResilientRun:
     def test_smoke_mode(self, capsys):
         assert main(["resilient-run", "--smoke", "--fault-seed", "3"]) == 0
         assert "resilient smoke ok" in capsys.readouterr().out
+
+
+@pytest.mark.slo
+class TestServeSimObservability:
+    def test_dashboard_and_bundle_dump(self, tmp_path, capsys):
+        assert main(
+            ["serve-sim", "--clients", "1", "--requests", "2",
+             "--dashboard", "--dump-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro serve dashboard" in out
+        assert "goodput" in out
+        bundles = sorted(tmp_path.glob("load-*.json"))
+        assert bundles, "the load run must dump at least the manual bundle"
+        from repro.obs.recorder import validate_bundle
+
+        assert validate_bundle(json.loads(bundles[-1].read_text())) == []
+
+    def test_chaos_dump_names_scenario_and_trigger(self, tmp_path, capsys):
+        assert main(
+            ["serve-sim", "--chaos", "--scenarios", "poison",
+             "--dump-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bundles=[manual]" in out
+        path = tmp_path / "poison-00-manual.json"
+        assert path.is_file()
+        bundle = json.loads(path.read_text())
+        assert bundle["context"]["scenario"] == "poison"
+
+
+@pytest.mark.slo
+class TestTraceRequest:
+    def make_bundle(self, tmp_path):
+        assert main(
+            ["serve-sim", "--chaos", "--scenarios", "straggler",
+             "--dump-dir", str(tmp_path)]
+        ) == 0
+        return sorted(tmp_path.glob("straggler-*.json"))[-1]
+
+    def test_traces_resume_chain_from_bundle(self, tmp_path, capsys):
+        bundle = self.make_bundle(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["trace-request", "req-000000", "--bundle", str(bundle)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("req-000000:")
+        assert "resume chain: req-000000" in out
+        assert "admitted" in out and "finished" in out
+
+    def test_unknown_request_lists_known_chains(self, tmp_path, capsys):
+        bundle = self.make_bundle(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["trace-request", "req-999999", "--bundle", str(bundle)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "req-999999" in err and "req-000000" in err
+
+    def test_rejects_invalid_bundle_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert main(
+            ["trace-request", "req-000000", "--bundle", str(bad)]
+        ) == 2
+        assert "invalid bundle" in capsys.readouterr().err
