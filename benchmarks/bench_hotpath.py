@@ -2,22 +2,27 @@
 """Join hot-path benchmark: accelerated vs. reference backend.
 
 Measures the join-stage wall clock of the scalar stack-DFS reference
-backend against the accelerated dispatch (``join_backend="auto"``, which
-routes enumeration-heavy pairs to the vectorized tabular backend) on
-seeded suites, and writes/checks the committed ``BENCH_perf.json``.
+backend against the accelerated dispatch (``join_backend="auto"``, whose
+calibrated cost model routes many-small-pair batches to the fused
+whole-batch table and enumeration-heavy pairs to the per-pair tabular
+backend) on seeded suites, and writes/checks the committed
+``BENCH_perf.json``.  Every suite also times a forced-fused arm
+(``join_backend="fused"``) so the batch backend's raw cost is visible
+next to the dispatched mix.
 
-Suites (all seeded, all verified to produce identical match counts):
+Suites (all seeded, all verified to produce identical match counts;
+every suite is gated at :data:`MIN_SPEEDUP` x):
 
-* ``find-all-hot`` — the headline suite: enumeration-heavy Find All on
-  large, label-sparse graphs with label-only filtering
-  (``refinement_iterations=1``), where the join dominates end-to-end
-  time.  The regression gate requires the accelerated join stage to be
-  at least :data:`MIN_SPEEDUP` x faster here.
-* ``find-all-molecular`` — the paper-shaped molecular workload (selective
-  labels, 6 refinement iterations): small candidate sets, where the
-  heuristic's value is *not* regressing below the DFS baseline.
-* ``find-first`` — auto keeps Find First on the DFS backend; tracked to
-  catch dispatch-overhead regressions (expected ~1.0x).
+* ``find-all-hot`` — enumeration-heavy Find All on large, label-sparse
+  graphs with label-only filtering (``refinement_iterations=1``), where
+  the join dominates end-to-end time.  Auto dispatches these big pairs
+  to the per-pair tabular backend.
+* ``find-all-molecular`` — the paper-shaped molecular workload
+  (selective labels, 6 refinement iterations): thousands of small
+  pairs per batch, the fused table's home regime.
+* ``find-first`` — Find First on the hot workload; the fused table's
+  batched early-exit retires matched pairs mid-wave, so auto beats the
+  abandon-early DFS here too.
 
 Usage:
     python benchmarks/bench_hotpath.py                    # print results
@@ -44,7 +49,7 @@ from repro.core.engine import SigmoEngine  # noqa: E402
 from repro.core.join import FIND_ALL, FIND_FIRST  # noqa: E402
 
 #: Required join-stage speedup of the accelerated dispatch over the DFS
-#: reference on the headline enumeration-heavy suite.
+#: reference on every gated suite.
 MIN_SPEEDUP = 2.0
 
 #: Relative slack when comparing a fresh speedup against the committed
@@ -54,7 +59,7 @@ SPEEDUP_TOLERANCE = 0.4
 #: Benchmark repeats (best-of to suppress scheduler noise).
 REPEATS = 3
 
-SCHEMA = "repro.bench_perf/1"
+SCHEMA = "repro.bench_perf/2"
 
 
 def _hot_workload(seed: int = 0):
@@ -94,8 +99,8 @@ def _molecular_workload(seed: int = 0):
 SUITES = [
     # (name, workload builder, mode, refinement iterations, gated)
     ("find-all-hot", _hot_workload, FIND_ALL, 1, True),
-    ("find-all-molecular", _molecular_workload, FIND_ALL, 6, False),
-    ("find-first", _hot_workload, FIND_FIRST, 1, False),
+    ("find-all-molecular", _molecular_workload, FIND_ALL, 6, True),
+    ("find-first", _hot_workload, FIND_FIRST, 1, True),
 ]
 
 
@@ -109,11 +114,22 @@ def _join_seconds(engine: SigmoEngine, mode: str, repeats: int) -> tuple[float, 
     return best, result.total_matches, dict(result.join_result.backend_pairs)
 
 
+#: Benchmark arms: (row label, forced/auto ``join_backend``).  The fused
+#: arm times the whole-batch table on every pair regardless of what the
+#: cost model would pick — the raw batch-backend cost next to the
+#: dispatched mix.
+ARMS = (
+    ("reference", "dfs"),
+    ("accelerated", "auto"),
+    ("fused", "fused"),
+)
+
+
 def run_suite(name, build, mode, iterations, repeats=REPEATS) -> dict:
-    """One suite: reference (forced DFS) vs. accelerated (auto) join stage."""
+    """One suite: reference (DFS) vs. accelerated (auto) vs. forced fused."""
     queries, data = build()
     rows = {}
-    for label, backend in (("reference", "dfs"), ("accelerated", "auto")):
+    for label, backend in ARMS:
         clear_accel_caches()
         config = SigmoConfig(
             join_backend=backend, refinement_iterations=iterations
@@ -125,12 +141,14 @@ def run_suite(name, build, mode, iterations, repeats=REPEATS) -> dict:
             "matches": matches,
             "backend_pairs": split,
         }
-    ref, acc = rows["reference"], rows["accelerated"]
-    if ref["matches"] != acc["matches"]:
-        raise AssertionError(
-            f"{name}: backend mismatch — reference found {ref['matches']} "
-            f"matches, accelerated {acc['matches']}"
-        )
+    ref = rows["reference"]
+    for label in ("accelerated", "fused"):
+        if rows[label]["matches"] != ref["matches"]:
+            raise AssertionError(
+                f"{name}: backend mismatch — reference found "
+                f"{ref['matches']} matches, {label} {rows[label]['matches']}"
+            )
+    acc, fus = rows["accelerated"], rows["fused"]
     return {
         "suite": name,
         "mode": mode,
@@ -138,7 +156,9 @@ def run_suite(name, build, mode, iterations, repeats=REPEATS) -> dict:
         "matches": ref["matches"],
         "join_seconds_reference": ref["join_seconds"],
         "join_seconds_accelerated": acc["join_seconds"],
+        "join_seconds_fused": fus["join_seconds"],
         "speedup": ref["join_seconds"] / acc["join_seconds"],
+        "speedup_fused": ref["join_seconds"] / fus["join_seconds"],
         "backend_pairs_accelerated": acc["backend_pairs"],
     }
 
@@ -156,6 +176,8 @@ def run_all(repeats: int = REPEATS) -> dict:
             f"ref {row['join_seconds_reference'] * 1e3:8.1f} ms  "
             f"accel {row['join_seconds_accelerated'] * 1e3:8.1f} ms  "
             f"{row['speedup']:5.2f}x  "
+            f"fused {row['join_seconds_fused'] * 1e3:8.1f} ms  "
+            f"{row['speedup_fused']:5.2f}x  "
             f"({time.perf_counter() - start:.1f} s)",
             flush=True,
         )

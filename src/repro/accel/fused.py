@@ -1,0 +1,465 @@
+"""The fused whole-batch frontier join: one table for every pair.
+
+The per-pair tabular backend (:mod:`repro.accel.tabular`) already
+vectorizes the join *within* one (data graph, query graph) pair, but each
+pair still pays its own Python call, frontier setup and local-view
+probes — which is exactly where the molecular and Find First suites lose
+their speedup (many small pairs, little work per pair).  Following
+Δ-Motif's whole-batch tabular-operations formulation, this module fuses
+the join *across* pairs: a single frontier table whose leading **pair
+column** (the "slot") carries every fused-dispatched pair of a batch
+through the vectorized steps at once —
+
+* one ragged candidate-gather per depth across all slots,
+* one injectivity mask,
+* one batched ``np.searchsorted`` edge probe per check round against the
+  whole-batch edge index (:class:`repro.accel.local_view.BatchCSRView`),
+
+so the per-step NumPy overhead amortizes over the *batch*, not the pair.
+
+**Accounting parity.**  Find All work counters decompose per (prefix,
+candidate) element exactly as in the per-pair tabular backend (see its
+module docstring): each element is one visit; used-duplicates get no
+edge checks; check rounds run in each slot's own plan order with
+sequential early-break accounting; survivors are pushes.  Element
+survival depends only on the element's own row, so the per-slot totals
+are invariant to how rows are blocked or interleaved across slots —
+``visits`` / ``edge_checks`` / ``stack_pushes`` per slot come out
+*identical* to running that pair alone on either reference backend.
+Rows are processed depth-first over LIFO element-bounded blocks and
+every vectorized step preserves relative row order, so each slot's
+full-depth rows also emit in DFS (lexicographic) order — embeddings
+match the reference backends row for row.
+
+**Find First.**  The first full-depth row emitted for a slot *is* that
+pair's DFS-first embedding (same order argument).  The driver retires a
+matched slot's remaining rows at the next block boundary — the batched
+early-exit — so one pair finding its match stops paying for the rest of
+its subtree while other slots keep going.  As with the per-pair tabular
+backend, Find First *results* are bitwise-equal to DFS while the work
+counters are backend-specific (a vectorized pass pays block-granular
+work the scalar DFS abandons mid-stream).
+
+Heterogeneous plans ride the same table: per-slot candidate lists,
+back-edge checks and induced non-adjacency probes are ragged arrays
+indexed by the slot column, and a slot's rows retire automatically at
+its own final depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.analysis.markers import kernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.accel.local_view import BatchCSRView
+    from repro.core.join import QueryPlan
+
+from repro.accel.tabular import BLOCK_ELEMS
+
+#: Element bound per fused expansion block.  The fused table amortizes
+#: per-step Python overhead over every slot in the block, so it prefers
+#: blocks twice the per-pair bound — larger still loses to cache misses
+#: on the gathered intermediates (measured on the hot-path suites).
+FUSED_BLOCK_ELEMS = BLOCK_ELEMS * 2
+
+
+def _ragged(arrays: Sequence[np.ndarray], dtype) -> tuple[np.ndarray, np.ndarray]:
+    """(flat, offsets) concatenation of per-slot arrays."""
+    offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
+    np.cumsum([a.size for a in arrays], out=offsets[1:])
+    if offsets[-1] == 0:
+        return np.empty(0, dtype=dtype), offsets
+    return np.concatenate(arrays).astype(dtype, copy=False), offsets
+
+
+@dataclass(frozen=True)
+class FusedPlan:
+    """Compiled slot-indexed layout of one fused table.
+
+    Everything the extension kernel gathers per element is flattened
+    into ragged (flat, offsets) pairs indexed by the slot column: the
+    sorted **global** candidate ids per (slot, depth), the back-edge
+    checks ``(earlier_depth, edge_label)`` per (slot, depth) in each
+    slot's own plan order, and the induced non-adjacency depths.  Slots
+    whose plan is shorter than ``max_depth`` simply have empty ranges at
+    the deeper levels.
+    """
+
+    depth_counts: np.ndarray  # int64[n_slots]: plan.n_nodes per slot
+    cand_flat: tuple[np.ndarray, ...]  # per depth: int64 global candidate ids
+    cand_off: tuple[np.ndarray, ...]  # per depth: int64[n_slots + 1]
+    ck_depth: tuple[np.ndarray, ...]  # per depth: int64 earlier plan depth
+    ck_label: tuple[np.ndarray, ...]  # per depth: int64 required label (-1 any)
+    ck_off: tuple[np.ndarray, ...]  # per depth: int64[n_slots + 1]
+    bn_depth: tuple[np.ndarray, ...]  # per depth: int64 banned earlier depth
+    bn_off: tuple[np.ndarray, ...]  # per depth: int64[n_slots + 1]
+
+    @property
+    def n_slots(self) -> int:
+        """Pairs fused into this table."""
+        return int(self.depth_counts.size)
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest plan among the slots (frontier column bound)."""
+        return int(self.depth_counts.max()) if self.depth_counts.size else 0
+
+
+def build_fused_plan(
+    slots: Sequence[tuple["QueryPlan", Sequence[np.ndarray]]],
+) -> FusedPlan:
+    """Compile fused-dispatched pairs into one :class:`FusedPlan`.
+
+    ``slots[i]`` is the pair packed at slot ``i``: its query plan and its
+    per-depth sorted candidate arrays in **global** data node ids (the
+    whole-batch edge index keys on global ids, so no per-pair local
+    re-slicing happens on this path).  Every candidate list must be
+    non-empty — pairs with an empty depth are skipped before dispatch,
+    exactly as on the per-pair backends.
+    """
+    n_slots = len(slots)
+    empty64 = np.empty(0, dtype=np.int64)
+    # The check/banned columns are pure plan metadata — identical for
+    # every slot riding the same QueryPlan.  A molecular batch packs
+    # thousands of slots over a few dozen distinct plans, so compile each
+    # plan's per-depth arrays once and broadcast them to slots with a
+    # ragged repeat/gather instead of per-slot Python appends.
+    plan_index: dict[int, int] = {}
+    plan_objs: list["QueryPlan"] = []
+    plan_ids = np.empty(n_slots, dtype=np.int64)
+    for i, (plan, _) in enumerate(slots):
+        idx = plan_index.get(id(plan))
+        if idx is None:
+            idx = len(plan_objs)
+            plan_index[id(plan)] = idx
+            plan_objs.append(plan)
+        plan_ids[i] = idx
+    plan_depths = np.array([p.n_nodes for p in plan_objs], dtype=np.int64)
+    depth_counts = plan_depths[plan_ids] if n_slots else plan_depths
+    max_depth = int(plan_depths.max()) if n_slots else 0
+
+    def broadcast(per_plan: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        """Expand per-plan arrays to (flat, offsets) over the slots."""
+        tpl_flat, tpl_off = _ragged(per_plan, np.int64)
+        counts = tpl_off[plan_ids + 1] - tpl_off[plan_ids]
+        off = np.zeros(n_slots + 1, dtype=np.int64)
+        np.cumsum(counts, out=off[1:])
+        total = int(off[-1])
+        if total == 0:
+            return empty64, off
+        rep = np.repeat(plan_ids, counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(off[:-1], counts)
+        return tpl_flat[tpl_off[rep] + within], off
+
+    cand_flat, cand_off = [], []
+    ck_depth, ck_label, ck_off = [], [], []
+    bn_depth, bn_off = [], []
+    for d in range(max_depth):
+        tpl_ck_d, tpl_ck_l, tpl_bn = [], [], []
+        for p in plan_objs:
+            if p.n_nodes <= d:
+                tpl_ck_d.append(empty64)
+                tpl_ck_l.append(empty64)
+                tpl_bn.append(empty64)
+                continue
+            checks = p.check_edges[d]
+            tpl_ck_d.append(np.array([c[0] for c in checks], dtype=np.int64))
+            tpl_ck_l.append(np.array([c[1] for c in checks], dtype=np.int64))
+            banned = (p.forbidden or ((),) * p.n_nodes)[d]
+            tpl_bn.append(np.asarray(banned, dtype=np.int64))
+        flat, off = broadcast(tpl_ck_d)
+        ck_depth.append(flat)
+        ck_off.append(off)
+        flat, _ = broadcast(tpl_ck_l)
+        ck_label.append(flat)
+        flat, off = broadcast(tpl_bn)
+        bn_depth.append(flat)
+        bn_off.append(off)
+        # Candidate lists are genuinely per-slot (bitmap slices): one
+        # size-gather plus one concatenate over the live slots.
+        alive = np.nonzero(depth_counts > d)[0]
+        live = [slots[i][1][d] for i in alive.tolist()]
+        sizes = np.zeros(n_slots, dtype=np.int64)
+        if live:
+            sizes[alive] = [a.size for a in live]
+        off = np.zeros(n_slots + 1, dtype=np.int64)
+        np.cumsum(sizes, out=off[1:])
+        if off[-1] == 0:
+            cand_flat.append(empty64)
+        else:
+            cand_flat.append(
+                np.concatenate(live).astype(np.int64, copy=False)
+            )
+        cand_off.append(off)
+    return FusedPlan(
+        depth_counts=depth_counts,
+        cand_flat=tuple(cand_flat),
+        cand_off=tuple(cand_off),
+        ck_depth=tuple(ck_depth),
+        ck_label=tuple(ck_label),
+        ck_off=tuple(ck_off),
+        bn_depth=tuple(bn_depth),
+        bn_off=tuple(bn_off),
+    )
+
+
+@dataclass
+class FusedOutcome:
+    """Per-slot results of one fused table run.
+
+    The driver accumulates into the ``int64[n_slots]`` arrays; the
+    replay loop in :func:`repro.core.join.run_join` folds them into
+    ``JoinStats`` / ``JoinResult`` in GMCR pair order, which is what
+    keeps budget truncation bitwise-identical to a sequential run.
+    """
+
+    matches: np.ndarray
+    visits: np.ndarray
+    echecks: np.ndarray
+    pushes: np.ndarray
+    #: Per-slot recorded full-depth rows (global ids, plan order, DFS
+    #: emission order), capped at ``max_record`` rows per slot.
+    rows: dict[int, list[np.ndarray]] = field(default_factory=dict)
+    #: Find First: depths at which a retirement event dropped rows.
+    early_exit_depths: list[int] = field(default_factory=list)
+
+    @classmethod
+    def empty(cls, n_slots: int) -> "FusedOutcome":
+        return cls(
+            matches=np.zeros(n_slots, dtype=np.int64),
+            visits=np.zeros(n_slots, dtype=np.int64),
+            echecks=np.zeros(n_slots, dtype=np.int64),
+            pushes=np.zeros(n_slots, dtype=np.int64),
+        )
+
+
+@kernel(writes=("acc",))
+def extend_fused_block(
+    view: "BatchCSRView",
+    fplan: FusedPlan,
+    table: np.ndarray,
+    acc: FusedOutcome,
+) -> np.ndarray:
+    """Extend one fused row block by one depth across every slot in it.
+
+    ``table`` is ``int64[n_rows, 1 + depth]``: the slot column followed
+    by the matched global data nodes of depths ``0..depth-1`` in plan
+    order.  Returns the surviving rows extended to ``1 + depth + 1``
+    columns.  Work is accounted per slot into ``acc`` with the same
+    element decomposition as the per-pair backends (see module
+    docstring), so totals are bitwise-comparable.
+    """
+    depth = table.shape[1] - 1  # matched depths so far; extending to this one
+    slots = table[:, 0]
+    n_slots = fplan.n_slots
+    cand_off = fplan.cand_off[depth]
+    counts = cand_off[slots + 1] - cand_off[slots]
+    total = int(counts.sum())
+    # Candidate gather: ragged cross product of rows x their slot's list.
+    row_idx = np.repeat(np.arange(table.shape[0], dtype=np.int64), counts)
+    ends = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    cand = fplan.cand_flat[depth][np.repeat(cand_off[slots], counts) + within]
+    eslot = np.repeat(slots, counts)
+    acc.visits += np.bincount(eslot, minlength=n_slots)
+    # Injectivity mask: candidate already used by its own row.  Column
+    # by column — 1-D gathers beat one 2-D advanced-index materialization.
+    dup = table[row_idx, 1] == cand
+    for c in range(2, table.shape[1]):
+        dup |= table[row_idx, c] == cand
+    keep = ~dup
+    row_idx = row_idx[keep]
+    cand = cand[keep]
+    eslot = eslot[keep]
+    # Back-edge label checks, round k = the k-th check of each element's
+    # own plan — sequential early-break accounting: an element stops
+    # paying after its first failed round, elements whose slot has fewer
+    # checks sit rounds out but stay alive.
+    width = np.int64(view.width)
+    ck_off = fplan.ck_off[depth]
+    n_checks = ck_off[eslot + 1] - ck_off[eslot]
+    rounds = int(n_checks.max()) if n_checks.size else 0
+    for k in range(rounds):
+        active = np.nonzero(n_checks > k)[0]
+        if active.size == 0:
+            break
+        acc.echecks += np.bincount(eslot[active], minlength=n_slots)
+        at = ck_off[eslot[active]] + k
+        earlier = fplan.ck_depth[depth][at]
+        label = fplan.ck_label[depth][at]
+        keys = cand[active] * width + table[row_idx[active], 1 + earlier]
+        found, labels = view.probe_labels(keys)
+        passed = found & ((label == -1) | (labels == label))
+        if passed.all():
+            continue
+        alive = np.ones(eslot.size, dtype=bool)
+        alive[active[~passed]] = False
+        row_idx = row_idx[alive]
+        cand = cand[alive]
+        eslot = eslot[alive]
+        n_checks = n_checks[alive]
+    # Induced non-adjacency probes, after all label checks (plan order).
+    bn_off = fplan.bn_off[depth]
+    if fplan.bn_depth[depth].size:
+        n_banned = bn_off[eslot + 1] - bn_off[eslot]
+        rounds = int(n_banned.max()) if n_banned.size else 0
+        for k in range(rounds):
+            active = np.nonzero(n_banned > k)[0]
+            if active.size == 0:
+                break
+            acc.echecks += np.bincount(eslot[active], minlength=n_slots)
+            at = bn_off[eslot[active]] + k
+            earlier = fplan.bn_depth[depth][at]
+            keys = cand[active] * width + table[row_idx[active], 1 + earlier]
+            found, _ = view.probe_labels(keys)
+            if not found.any():
+                continue
+            alive = np.ones(eslot.size, dtype=bool)
+            alive[active[found]] = False
+            row_idx = row_idx[alive]
+            cand = cand[alive]
+            eslot = eslot[alive]
+            n_banned = n_banned[alive]
+    acc.pushes += np.bincount(eslot, minlength=n_slots)
+    new_table = np.empty((eslot.size, table.shape[1] + 1), dtype=np.int64)
+    if eslot.size:
+        new_table[:, :-1] = table[row_idx]
+        new_table[:, -1] = cand
+    return new_table
+
+
+def _block_starts(counts: np.ndarray, bound: int = FUSED_BLOCK_ELEMS) -> list[int]:
+    """Row boundaries splitting a pop into <= ``bound`` element chunks.
+
+    Greedy: rows join the current chunk until its element total would
+    exceed the bound; a single row above the bound forms its own chunk
+    (it cannot be split — same degenerate case as the per-pair backend's
+    ``max(1, ...)`` rows-per-block floor).
+    """
+    starts = [0]
+    running = 0
+    for i, c in enumerate(counts.tolist()):
+        if running and running + c > bound:
+            starts.append(i)
+            running = 0
+        running += c
+    return starts
+
+
+@kernel(writes=("acc",))
+def fused_join(
+    view: "BatchCSRView",
+    fplan: FusedPlan,
+    find_first: bool,
+    acc: FusedOutcome,
+    record_rows: bool = False,
+    max_record: int = 0,
+) -> FusedOutcome:
+    """Run one fused table to completion.
+
+    Depth-first over LIFO element-bounded row blocks (the fused analogue
+    of the per-pair backend's block stack): sibling chunks are pushed in
+    reverse so the lexicographically first chunk pops first, which keeps
+    every slot's emission in DFS order.  Under ``find_first``, a slot is
+    retired the moment its first full-depth row lands — subsequent pops
+    drop its remaining rows before paying for them (the batched
+    early-exit).
+
+    ``record_rows`` keeps up to ``max_record`` full-depth rows per slot
+    in ``acc.rows`` (global ids, plan order); the caller converts them
+    to embeddings in GMCR replay order.
+    """
+    n_slots = fplan.n_slots
+    if n_slots == 0:
+        return acc
+    depth_counts = fplan.depth_counts
+    sizes0 = fplan.cand_off[0][1:] - fplan.cand_off[0][:-1]
+    # Depth 0: every candidate is one visit and one push on any backend.
+    acc.visits += sizes0
+    acc.pushes += sizes0
+    # Single-node plans: every root candidate is a full match.
+    trivial = np.nonzero(depth_counts == 1)[0]
+    for s in trivial.tolist():
+        lo, hi = int(fplan.cand_off[0][s]), int(fplan.cand_off[0][s + 1])
+        n_found = 1 if find_first else hi - lo
+        acc.matches[s] = n_found
+        if record_rows and n_found:
+            stop = lo + min(n_found, max_record)
+            acc.rows[s] = [
+                fplan.cand_flat[0][lo:stop].reshape(-1, 1)
+            ]
+    deep = np.nonzero(depth_counts > 1)[0]
+    if deep.size == 0:
+        return acc
+    counts0 = sizes0[deep]
+    root = np.empty((int(counts0.sum()), 2), dtype=np.int64)
+    root[:, 0] = np.repeat(deep, counts0)
+    starts = fplan.cand_off[0][deep]
+    ends = np.cumsum(counts0)
+    within = np.arange(root.shape[0], dtype=np.int64) - np.repeat(
+        ends - counts0, counts0
+    )
+    root[:, 1] = fplan.cand_flat[0][np.repeat(starts, counts0) + within]
+
+    retired = np.zeros(n_slots, dtype=bool)
+    stack: list[np.ndarray] = [root]
+    while stack:
+        table = stack.pop()
+        if find_first and retired.any():
+            live = ~retired[table[:, 0]]
+            if not live.all():
+                acc.early_exit_depths.append(table.shape[1] - 1)
+                table = table[live]
+        if table.shape[0] == 0:
+            continue
+        depth = table.shape[1] - 1
+        cand_off = fplan.cand_off[depth]
+        slots = table[:, 0]
+        counts = cand_off[slots + 1] - cand_off[slots]
+        if int(counts.sum()) > FUSED_BLOCK_ELEMS and table.shape[0] > 1:
+            bounds = _block_starts(counts)
+            bounds.append(table.shape[0])
+            for i in range(len(bounds) - 2, -1, -1):
+                stack.append(table[bounds[i] : bounds[i + 1]])
+            continue
+        new_table = extend_fused_block(view, fplan, table, acc)
+        if new_table.shape[0] == 0:
+            continue
+        done = depth_counts[new_table[:, 0]] == depth + 1
+        if done.any():
+            done_rows = new_table[done]
+            done_slots = done_rows[:, 0]
+            if find_first:
+                first_of, first_at = np.unique(done_slots, return_index=True)
+                acc.matches[first_of] = 1
+                retired[first_of] = True
+                if record_rows:
+                    for s, at in zip(first_of.tolist(), first_at.tolist()):
+                        acc.rows[s] = [done_rows[at : at + 1, 1:]]
+            else:
+                acc.matches += np.bincount(done_slots, minlength=n_slots)
+                if record_rows:
+                    for s in np.unique(done_slots).tolist():
+                        kept = acc.rows.setdefault(s, [])
+                        have = sum(r.shape[0] for r in kept)
+                        if have >= max_record:
+                            continue
+                        mine = done_rows[done_slots == s, 1:]
+                        kept.append(mine[: max_record - have])
+            new_table = new_table[~done]
+        if new_table.shape[0]:
+            stack.append(new_table)
+    return acc
+
+
+def slot_rows(acc: FusedOutcome, slot: int) -> np.ndarray | None:
+    """The recorded full-depth rows of one slot, concatenated (or None)."""
+    kept = acc.rows.get(slot)
+    if not kept:
+        return None
+    return kept[0] if len(kept) == 1 else np.concatenate(kept, axis=0)

@@ -12,6 +12,9 @@ of the batch CSR-GO with pure NumPy slices (no per-edge Python loop):
   ascending and neighbors are sorted per row, this array is *globally*
   sorted, so one ``np.searchsorted`` resolves any batch of edge-label
   probes — the vectorized lookup the tabular join backend is built on.
+  Small views additionally build a dense ``int8`` label array lazily
+  (:data:`DENSE_CELL_CAP` cells max), turning hot-loop probes into
+  plain gathers; ``probe_labels`` picks the path transparently.
 
 The scalar DFS backend still wants O(1) per-probe lookups; the view keeps
 the flat dict as a *lazy* property built from the flat arrays (one C-level
@@ -37,6 +40,33 @@ from repro.core.csrgo import CSRGO
 
 #: Batches kept in the process-wide view cache before LRU eviction.
 VIEW_CACHE_BATCHES = 8
+
+#: Largest ``n_nodes**2`` for which :class:`BatchCSRView` materializes a
+#: dense flat-key -> label array (int8, so this caps the table at 64 MB).
+#: Molecular batches sit far below it; huge batches fall back to the
+#: sorted-key binary search.
+DENSE_CELL_CAP = 1 << 26
+
+#: Labels must fit int8 alongside the -2 "no edge" sentinel.
+_DENSE_LABEL_MAX = 125
+
+
+def _build_dense(
+    width: int, flat_keys: np.ndarray, edge_labels: np.ndarray
+) -> "np.ndarray | bool":
+    """Dense flat-key -> label table (int8, -2 = absent), or False.
+
+    Oversized key spaces and labels that do not fit int8 fall back to
+    the sorted-key binary search (``False``).
+    """
+    cells = width * width
+    if cells > DENSE_CELL_CAP or (
+        edge_labels.size and int(edge_labels.max()) > _DENSE_LABEL_MAX
+    ):
+        return False
+    dense = np.full(cells, -2, dtype=np.int8)
+    dense[flat_keys] = edge_labels.astype(np.int8)
+    return dense
 
 
 class LocalCSRView:
@@ -64,6 +94,7 @@ class LocalCSRView:
         "edge_labels",
         "flat_keys",
         "_edge_label_map",
+        "_dense",
     )
 
     def __init__(self, data: CSRGO, data_graph: int) -> None:
@@ -87,6 +118,7 @@ class LocalCSRView:
         )
         self.flat_keys = rows * width + self.neighbors
         self._edge_label_map: dict[int, int] | None = None
+        self._dense: np.ndarray | None | bool = None
 
     # -- scalar interface (DFS backend) -----------------------------------------
 
@@ -108,23 +140,43 @@ class LocalCSRView:
     def lookup_edge_labels(self, local_u: np.ndarray, local_v: np.ndarray) -> np.ndarray:
         """Edge labels of ``(local_u[i], local_v[i])`` pairs, -2 when absent.
 
-        One binary search over the globally sorted ``flat_keys``; the -2
-        sentinel matches the scalar DFS probe so the two backends evaluate
-        the identical predicate (-1 is the any-bond wildcard, which must
+        One O(1) dense gather per probe batch (single-graph key spaces
+        are tiny), falling back to a binary search over the globally
+        sorted ``flat_keys`` for oversized graphs; the -2 sentinel
+        matches the scalar DFS probe so the backends evaluate the
+        identical predicate (-1 is the any-bond wildcard, which must
         still distinguish "edge with some label" from "no edge").
         """
         keys = np.asarray(local_u, dtype=np.int64) * self.width + np.asarray(
             local_v, dtype=np.int64
         )
+        found, labels = self.probe_labels(keys)
         out = np.full(keys.shape, -2, dtype=np.int64)
+        out[found] = labels[found]
+        return out
+
+    def probe_labels(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(edge-exists mask, edge labels) per flat key.
+
+        Labels are only meaningful where the mask is True; identical
+        predicate on the dense and binary-search paths.
+        """
+        if self._dense is None:
+            self._dense = _build_dense(
+                self.width, self.flat_keys, self.edge_labels
+            )
+        if self._dense is not False:
+            labels = self._dense[keys]
+            return labels != -2, labels
         size = self.flat_keys.size
         if size == 0:
-            return out
+            return np.zeros(keys.shape, dtype=bool), np.zeros(
+                keys.shape, dtype=np.int64
+            )
         pos = np.searchsorted(self.flat_keys, keys)
         clipped = np.minimum(pos, size - 1)
-        found = (pos < size) & (self.flat_keys[clipped] == keys)
-        out[found] = self.edge_labels[clipped[found]]
-        return out
+        found = self.flat_keys[clipped] == keys
+        return found, self.edge_labels[clipped]
 
     @property
     def n_edges(self) -> int:
@@ -187,7 +239,132 @@ class LocalViewCache:
             self.stats = MemoStats()
 
 
+class BatchCSRView:
+    """Whole-batch sorted flat edge keys — the fused join's one edge index.
+
+    The fused frontier table (:mod:`repro.accel.fused`) carries rows of
+    *every* pair of a batch at once, so its edge probes span many data
+    graphs in one ``np.searchsorted`` call.  Because CSR-GO node ids are
+    global and neighbors are sorted within ascending rows, the flat keys
+    ``u * n_nodes + v`` over the *entire* batch are globally sorted — one
+    array answers any cross-graph probe batch.  Building it is one NumPy
+    pass over the batch adjacency; the cache below guarantees it happens
+    once per batch contents, not once per pair (the per-pair re-slice the
+    fused path exists to avoid).
+
+    Attributes
+    ----------
+    width:
+        Total node count of the batch (the flat-key stride).
+    flat_keys / edge_labels:
+        Sorted ``int64`` keys and the parallel ``int32`` labels.
+    """
+
+    __slots__ = ("width", "flat_keys", "edge_labels", "_dense")
+
+    def __init__(self, data: CSRGO) -> None:
+        n = int(data.n_nodes)
+        self.width = n
+        rows = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(data.row_offsets)
+        )
+        self.flat_keys = rows * np.int64(n) + data.column_indices.astype(
+            np.int64
+        )
+        self.edge_labels = np.ascontiguousarray(
+            data.adj_edge_labels, dtype=np.int32
+        )
+        self._dense: np.ndarray | None | bool = None
+
+    def probe(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(edge-exists mask, adjacency slot index) per flat key.
+
+        Slot indices are only meaningful where the mask is True; absent
+        keys are clipped to the last slot so the caller can gather labels
+        unconditionally and mask afterwards.
+        """
+        size = self.flat_keys.size
+        if size == 0:
+            return np.zeros(keys.shape, dtype=bool), np.zeros(
+                keys.shape, dtype=np.int64
+            )
+        pos = self.flat_keys.searchsorted(keys)
+        slot = np.minimum(pos, size - 1)
+        return self.flat_keys[slot] == keys, slot
+
+    def probe_labels(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(edge-exists mask, edge labels) per flat key.
+
+        Labels are only meaningful where the mask is True.  Small batches
+        answer from the dense O(1) lookup table; oversized ones fall back
+        to the sorted-key binary search.  Both paths evaluate the same
+        predicate, so results are bit-identical.
+        """
+        if self._dense is None:
+            self._dense = _build_dense(
+                self.width, self.flat_keys, self.edge_labels
+            )
+        if self._dense is not False:
+            labels = self._dense[keys]
+            return labels != -2, labels
+        found, slot = self.probe(keys)
+        return found, self.edge_labels[slot]
+
+    @property
+    def n_edges(self) -> int:
+        """Adjacency slots of the whole batch (2x undirected edges)."""
+        return int(self.flat_keys.size)
+
+
+class BatchViewCache:
+    """Content-hash-keyed cache of :class:`BatchCSRView` objects.
+
+    Bounded LRU like :class:`LocalViewCache`; ``stats`` counts builds vs
+    recalls — the fused-path tests assert exactly one build (miss) per
+    distinct batch contents, however many fused tables run over it.
+    """
+
+    def __init__(self, capacity: int = VIEW_CACHE_BATCHES) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = MemoStats()
+        self._views: OrderedDict[str, BatchCSRView] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, data: CSRGO) -> BatchCSRView:
+        """The cached batch view, building it on first use."""
+        key = data.content_hash()
+        with self._lock:
+            view = self._views.get(key)
+            if view is not None:
+                self._views.move_to_end(key)
+                self.stats.hits += 1
+                return view
+        built = BatchCSRView(data)
+        with self._lock:
+            view = self._views.get(key)
+            if view is None:
+                self.stats.misses += 1
+                self._views[key] = built
+                view = built
+            else:
+                self.stats.hits += 1
+            self._views.move_to_end(key)
+            while len(self._views) > self.capacity:
+                self._views.popitem(last=False)
+                self.stats.evictions += 1
+            return view
+
+    def clear(self) -> None:
+        """Drop every cached view and reset the stats."""
+        with self._lock:
+            self._views.clear()
+            self.stats = MemoStats()
+
+
 _VIEW_CACHE = LocalViewCache()
+_BATCH_VIEW_CACHE = BatchViewCache()
 
 
 def local_view_cache() -> LocalViewCache:
@@ -195,6 +372,16 @@ def local_view_cache() -> LocalViewCache:
     return _VIEW_CACHE
 
 
+def batch_view_cache() -> BatchViewCache:
+    """The process-wide batch-view cache (fused join edge index)."""
+    return _BATCH_VIEW_CACHE
+
+
 def get_local_view(data: CSRGO, data_graph: int) -> LocalCSRView:
     """Cached sorted-CSR local view of one data graph."""
     return _VIEW_CACHE.get(data, data_graph)
+
+
+def get_batch_view(data: CSRGO) -> BatchCSRView:
+    """Cached whole-batch sorted edge index of one data batch."""
+    return _BATCH_VIEW_CACHE.get(data)

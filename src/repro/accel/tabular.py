@@ -12,10 +12,12 @@ the next depth is one vectorized pass:
    ``cands[e % C]``);
 2. **injectivity mask** — drop elements whose candidate already appears
    in their row (the DFS ``used`` flags);
-3. **edge-label checks** — for each compiled back-edge, one
-   ``np.searchsorted`` batch probe against the sorted-CSR local view
-   (:meth:`~repro.accel.local_view.LocalCSRView.lookup_edge_labels`),
-   with the same pass predicate as the scalar backend;
+3. **edge-label checks** — for each compiled back-edge, one batch probe
+   against the local view
+   (:meth:`~repro.accel.local_view.LocalCSRView.probe_labels`: a dense
+   adjacency gather on small graphs, ``np.searchsorted`` against the
+   sorted flat edge keys otherwise), with the same pass predicate as
+   the scalar backend;
 4. survivors become the next frontier.
 
 **Bitwise parity with the DFS reference (Find All).**  The scalar DFS
@@ -35,8 +37,10 @@ order too, including under ``max_embeddings_recorded`` truncation.
 In Find First the backends agree on results (the first surviving row in
 frontier order *is* the DFS-first match) but not on counters: the DFS
 abandons the search at the first embedding while a vectorized pass pays
-for the whole block — which is why the auto heuristic keeps Find First
-on the scalar backend (:mod:`repro.accel.dispatch`).
+for the whole block.  The calibrated cost model
+(:mod:`repro.accel.dispatch`) prices that in with per-mode coefficients
+— block-bounded Find First still amortizes well enough that big pairs
+dispatch here rather than to the scalar backend.
 """
 
 from __future__ import annotations
@@ -92,9 +96,7 @@ def extend_frontier(
     n_rows = table.shape[0]
     n_cand = cands.size
     depth = table.shape[1]
-    flat_keys = view.flat_keys
-    edge_labels = view.edge_labels
-    n_slots = flat_keys.size
+    n_slots = view.flat_keys.size
     # Injectivity: candidate already used by its row (DFS `used` flags).
     # One binary search per matched column — O(rows * depth * log C)
     # instead of materializing the rows x depth x C equality cube.
@@ -113,24 +115,24 @@ def extend_frontier(
     cand_keys = cands * np.int64(view.width)
 
     def probe(earlier_depth: int) -> tuple[np.ndarray, np.ndarray | None]:
-        """(edge-exists mask, slot index) per surviving element."""
+        """(edge-exists mask, edge labels) per surviving element."""
         keys = cand_keys[cols] + table[rows_idx, earlier_depth]
         if n_slots == 0:
-            return np.zeros(keys.shape, dtype=bool), None
-        pos = flat_keys.searchsorted(keys)
-        slot = np.minimum(pos, n_slots - 1)
-        return flat_keys[slot] == keys, slot
+            return (
+                np.zeros(keys.shape, dtype=bool),
+                np.zeros(keys.shape, dtype=np.int8),
+            )
+        return view.probe_labels(keys)
 
     for earlier_depth, elab in checks:
         if elem.size == 0:
             break
         echecks += int(elem.size)
-        found, slot = probe(earlier_depth)
+        found, labels = probe(earlier_depth)
         if elab == -1:  # any-bond wildcard: existence suffices
             keep = found
         else:
-            keep = found.copy()
-            keep[found] = edge_labels[slot[found]] == elab
+            keep = found & (labels == elab)
         elem = elem[keep]
         rows_idx = rows_idx[keep]
         cols = cols[keep]

@@ -66,11 +66,13 @@ class SigmoConfig:
         remains the default.
     join_backend:
         Join backend selection: ``"auto"`` picks per (data, query) pair
-        via the plan-cost heuristic (:mod:`repro.accel.dispatch`);
+        via the calibrated plan-cost model (:mod:`repro.accel.dispatch`);
         ``"dfs"`` forces the scalar stack-DFS reference backend,
-        ``"tabular"`` forces the vectorized tabular frontier backend.
-        The backends are bitwise-equivalent in Find All (match sets,
-        stats, truncation), so this is purely a performance knob.
+        ``"tabular"`` forces the per-pair vectorized tabular frontier
+        backend, ``"fused"`` forces the whole-batch fused frontier table
+        (:mod:`repro.accel.fused`).  The backends are bitwise-equivalent
+        in Find All (match sets, stats, truncation) and agree on results
+        in Find First, so this is purely a performance knob.
     """
 
     refinement_iterations: int = DEFAULT_REFINEMENT_ITERATIONS

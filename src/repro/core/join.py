@@ -25,10 +25,13 @@ import numpy as np
 
 from repro.accel.dispatch import (
     BACKEND_DFS,
+    BACKEND_FUSED,
     BACKEND_TABULAR,
-    select_backend,
+    PlanCostModel,
+    get_cost_model,
 )
-from repro.accel.local_view import LocalCSRView, get_local_view
+from repro.accel.fused import FusedOutcome, build_fused_plan, fused_join, slot_rows
+from repro.accel.local_view import LocalCSRView, get_batch_view, get_local_view
 from repro.accel.memo import array_hash, plan_memo
 from repro.accel.tabular import tabular_join_pair
 from repro.analysis.markers import kernel
@@ -178,10 +181,23 @@ class JoinResult:
     truncate_reason:
         Human-readable budget dimension that fired (telemetry).
     backend_pairs:
-        Pairs joined per backend (``"dfs"`` / ``"tabular"``) — the
-        observability split ``repro profile`` surfaces.
+        Pairs joined per backend (``"dfs"`` / ``"tabular"`` /
+        ``"fused"``) — the observability split ``repro profile``
+        surfaces.
     backend_visits:
         Candidate visits spent per backend.
+    fused_tables:
+        Fused frontier tables executed (one per wave).
+    fused_pairs_per_table:
+        Pairs packed into each fused table, in execution order (the
+        ``join.fused.pairs_per_table`` histogram source).
+    fused_early_exit_depths:
+        Find First only: frontier depths at which the fused batched
+        early-exit retired a matched pair's remaining rows.
+    pair_cost_estimates:
+        Parallel to ``gmcr.query_graph_indices``: the plan-cost model's
+        pre-dispatch work estimate per pair (``repro calibrate``
+        regresses wall-clock on these).
     """
 
     total_matches: int = 0
@@ -194,6 +210,10 @@ class JoinResult:
     truncate_reason: str = ""
     backend_pairs: dict[str, int] = field(default_factory=dict)
     backend_visits: dict[str, int] = field(default_factory=dict)
+    fused_tables: int = 0
+    fused_pairs_per_table: list[int] = field(default_factory=list)
+    fused_early_exit_depths: list[int] = field(default_factory=list)
+    pair_cost_estimates: np.ndarray | None = None
 
 
 def build_query_plan(
@@ -491,12 +511,32 @@ def run_join(
     plans: list[QueryPlan] | None = None,
     budget: JoinBudget | None = None,
     start_pair: int = 0,
+    cost_model: "PlanCostModel | None" = None,
 ) -> JoinResult:
     """Stage 6 of the pipeline: join every viable pair.
 
-    Iterates data graphs (work-groups) in order; for each, builds the local
-    adjacency once and joins each GMCR-mapped query graph (work-items).
-    Sets ``gmcr.matched`` per pair as the paper's designated boolean.
+    The engine's single join dispatch point, in three passes:
+
+    1. **Planning** — slice every pair's candidate lists from the bitmap
+       (binary-search views, no copies) and let the plan-cost model
+       (:class:`repro.accel.dispatch.PlanCostModel`) pick each pair's
+       backend under ``config.join_backend``: scalar DFS
+       (:func:`join_pair`), per-pair tabular
+       (:func:`repro.accel.tabular.tabular_join_pair`), or the fused
+       whole-batch table (:mod:`repro.accel.fused`).
+    2. **Fused waves** — all fused-dispatched pairs of the batch run as
+       one frontier table (one wave) against the cached whole-batch edge
+       index (:func:`repro.accel.local_view.get_batch_view`), packed in
+       the cost model's ordering.  Under a :class:`JoinBudget`, waves
+       are instead sized lazily by the remaining budget headroom so a
+       truncated run never pays for far-future pairs.
+    3. **Replay** — pairs are accounted in GMCR order: DFS/tabular pairs
+       execute in place, fused pairs fold in their precomputed per-slot
+       results, and the budget is checked before *every* pair.  Because
+       the fused per-pair stats equal the sequential backends' stats in
+       Find All, truncation points, resume tokens, ``gmcr.matched`` and
+       recorded embeddings come out bitwise-identical to a pure
+       sequential run, whatever mix of backends dispatch chose.
 
     Parameters
     ----------
@@ -507,20 +547,9 @@ def run_join(
     start_pair:
         First GMCR pair index to process (resume token from a previous
         truncated run); pairs before it are skipped untouched.
-
-    Notes
-    -----
-    This is the engine's single join dispatch point.  Each pair runs on
-    either the scalar stack-DFS reference backend (:func:`join_pair`) or
-    the vectorized tabular frontier backend
-    (:func:`repro.accel.tabular.tabular_join_pair`), chosen per pair by
-    :func:`repro.accel.dispatch.select_backend` under
-    ``config.join_backend``.  In Find All the two are bitwise-equivalent
-    (match sets, :class:`JoinStats`, embedding order, budget truncation),
-    so mixing backends within a run never changes results.  Local
-    adjacency views come from the content-hash cache
-    (:mod:`repro.accel.local_view`), so sweeps and re-runs over the same
-    batch skip the rebuild; compiled plans are memoized the same way.
+    cost_model:
+        Dispatch cost model override; the process-wide model
+        (:func:`repro.accel.dispatch.get_cost_model`) by default.
     """
     if mode not in (FIND_ALL, FIND_FIRST):
         raise ValueError(f"mode must be '{FIND_ALL}' or '{FIND_FIRST}'")
@@ -529,13 +558,16 @@ def run_join(
     config = config or SigmoConfig()
     timer = timer or StageTimer()
     find_first = mode == FIND_FIRST
+    model = cost_model if cost_model is not None else get_cost_model()
     result = JoinResult(
         pair_matches=np.zeros(gmcr.n_pairs, dtype=np.int64),
         pair_visits=np.zeros(gmcr.n_pairs, dtype=np.int64),
-        backend_pairs={BACKEND_DFS: 0, BACKEND_TABULAR: 0},
-        backend_visits={BACKEND_DFS: 0, BACKEND_TABULAR: 0},
+        backend_pairs={BACKEND_DFS: 0, BACKEND_TABULAR: 0, BACKEND_FUSED: 0},
+        backend_visits={BACKEND_DFS: 0, BACKEND_TABULAR: 0, BACKEND_FUSED: 0},
+        pair_cost_estimates=np.zeros(gmcr.n_pairs, dtype=np.int64),
     )
     record = result.embeddings if config.record_embeddings else None
+    max_record = config.max_embeddings_recorded
 
     tracer = get_tracer()
     with timer.stage("join"), tracer.span(
@@ -545,21 +577,174 @@ def run_join(
     ):
         if plans is None:
             plans = compile_plans(query, bitmap, config)
-        # Unpack each query node's candidate row once (sorted global ids);
-        # per-pair restriction is then a binary-search slice instead of a
-        # full-bitmap scan.
+        # Unpack each query node's candidate row once (sorted global ids)
+        # and cut it at every data-graph boundary in one vectorized
+        # searchsorted; per-pair restriction is then two cached offset
+        # lookups instead of a per-(pair, depth) binary search.
         from repro.utils.bitops import bit_positions
 
-        row_positions: dict[int, np.ndarray] = {}
+        graph_cuts = data.graph_offsets
+        row_slices: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
-        def positions_of(global_q: int) -> np.ndarray:
-            cached = row_positions.get(global_q)
+        def slices_of(global_q: int) -> tuple[np.ndarray, np.ndarray]:
+            cached = row_slices.get(global_q)
             if cached is None:
-                cached = bit_positions(bitmap.words[global_q], bitmap.word_bits)
-                row_positions[global_q] = cached
+                positions = bit_positions(bitmap.words[global_q], bitmap.word_bits)
+                cached = (positions, np.searchsorted(positions, graph_cuts))
+                row_slices[global_q] = cached
             return cached
 
+        # -- pass 1: plan every pair (candidate slices + backend choice) -------
+        # Candidate arrays are *global*-id views into the bitmap's position
+        # rows; DFS/tabular pairs localize them at execution time, the
+        # fused table consumes them directly (its edge index is global).
+        pair_data: list[tuple[int, str, list[np.ndarray]] | None] = [
+            None
+        ] * gmcr.n_pairs
+        fused_queue: list[int] = []  # fused-dispatched pair indices, GMCR order
+
+        # All pairs of one query graph share a plan, and each plan-order
+        # node's candidate row is already cut at every data-graph
+        # boundary — so backend choice and cost estimate for *all* of a
+        # query graph's pairs collapse into one vectorized
+        # ``choose_batch`` call, cached here per query graph.
+        qg_plan_cache: dict[
+            int,
+            tuple[
+                list[tuple[np.ndarray, np.ndarray]],
+                np.ndarray,
+                np.ndarray,
+                list[str],
+            ],
+        ] = {}
+
+        def qg_info(qg: int):
+            cached = qg_plan_cache.get(qg)
+            if cached is None:
+                plan = plans[qg]
+                q_start, _ = query.graph_node_range(plan.query_graph)
+                rows = [slices_of(q_start + int(lq)) for lq in plan.order]
+                counts = np.stack([cuts[1:] - cuts[:-1] for _, cuts in rows])
+                nonempty = (counts > 0).all(axis=0)
+                estimates = model.estimate_elements_batch(plan.n_nodes, counts)
+                choices = model.choose_batch(
+                    find_first, plan.n_nodes, counts, config.join_backend
+                )
+                cached = (rows, nonempty, estimates, choices)
+                qg_plan_cache[qg] = cached
+            return cached
+
+        for d in range(gmcr.n_data_graphs):
+            pair_lo = int(gmcr.data_graph_offsets[d])
+            pair_hi = int(gmcr.data_graph_offsets[d + 1])
+            if pair_hi == pair_lo or pair_hi <= start_pair:
+                continue
+            for pair_idx in range(max(pair_lo, start_pair), pair_hi):
+                qg = int(gmcr.query_graph_indices[pair_idx])
+                rows, nonempty, estimates, choices = qg_info(qg)
+                if not nonempty[d]:
+                    continue
+                cand_arrays = [
+                    positions[cuts[d] : cuts[d + 1]] for positions, cuts in rows
+                ]
+                chosen = choices[d]
+                result.pair_cost_estimates[pair_idx] = estimates[d]
+                pair_data[pair_idx] = (qg, chosen, cand_arrays)
+                if chosen == BACKEND_FUSED:
+                    fused_queue.append(pair_idx)
+
+        # -- pass 2: fused waves ------------------------------------------------
+        fused_acc: dict[int, tuple[FusedOutcome, int]] = {}
+        batch_view = get_batch_view(data) if fused_queue else None
+        fused_pos = 0  # next unexecuted index into fused_queue
         traced = tracer.enabled
+        # With no budget to police, no embeddings to record and no spans
+        # to attribute, per-pair replay of fused slots is pure bookkeeping
+        # — fold the whole wave into the result arrays vectorized instead.
+        fast_fold = budget is None and record is None and not traced
+        prefolded = np.zeros(gmcr.n_pairs, dtype=bool)
+
+        def run_wave(n_wave_pairs: int) -> None:
+            """Execute the next ``n_wave_pairs`` fused pairs as one table."""
+            nonlocal fused_pos
+            wave = fused_queue[fused_pos : fused_pos + n_wave_pairs]
+            fused_pos += len(wave)
+            order = model.ordering(
+                [int(result.pair_cost_estimates[p]) for p in wave]
+            )
+            packed = [wave[i] for i in order]
+            fplan = build_fused_plan(
+                [(plans[pair_data[p][0]], pair_data[p][2]) for p in packed]
+            )
+            acc = FusedOutcome.empty(len(packed))
+            with tracer.span(
+                "kernel:accel:join-fused",
+                category="kernel",
+                pairs=len(packed),
+            ) as fused_sp, tracer.span(
+                "wg:fused", category="workgroup", pairs=len(packed)
+            ) as fused_wg:
+                fused_join(
+                    batch_view,
+                    fplan,
+                    find_first,
+                    acc,
+                    record_rows=record is not None,
+                    max_record=max_record,
+                )
+                wave_matches = int(acc.matches.sum())
+                fused_wg.set(matches=wave_matches)
+                fused_sp.set(matches=wave_matches)
+            result.fused_tables += 1
+            result.fused_pairs_per_table.append(len(packed))
+            result.fused_early_exit_depths.extend(acc.early_exit_depths)
+            if fast_fold:
+                pair_arr = np.asarray(packed, dtype=np.int64)
+                wave_visits = int(acc.visits.sum())
+                result.pair_matches[pair_arr] = acc.matches
+                result.pair_visits[pair_arr] = acc.visits
+                result.stats.pairs_joined += len(packed)
+                result.stats.candidate_visits += wave_visits
+                result.stats.edge_checks += int(acc.echecks.sum())
+                result.stats.stack_pushes += int(acc.pushes.sum())
+                result.backend_pairs[BACKEND_FUSED] += len(packed)
+                result.backend_visits[BACKEND_FUSED] += wave_visits
+                gmcr.matched[pair_arr[acc.matches > 0]] = True
+                result.total_matches += wave_matches
+                prefolded[pair_arr] = True
+            else:
+                for slot, p in enumerate(packed):
+                    fused_acc[p] = (acc, slot)
+
+        def wave_size() -> int:
+            """Fused pairs the next lazily-sized wave may take.
+
+            Bounded by the remaining visit/push budget headroom (the
+            cost estimates approximate visits), so a run about to
+            truncate fuses only as far as the budget could plausibly
+            reach — never the whole remaining batch.
+            """
+            headroom: int | None = None
+            if budget.max_visits is not None:
+                headroom = budget.max_visits - result.stats.candidate_visits
+            if budget.max_pushes is not None:
+                left = budget.max_pushes - result.stats.stack_pushes
+                headroom = left if headroom is None else min(headroom, left)
+            if headroom is None:
+                return len(fused_queue) - fused_pos
+            taken = 0
+            total_est = 0
+            for p in fused_queue[fused_pos:]:
+                taken += 1
+                total_est += int(result.pair_cost_estimates[p])
+                if total_est > headroom:
+                    break
+            return max(taken, 1)
+
+        if fused_queue and budget is None:
+            run_wave(len(fused_queue))
+
+        # -- pass 3: replay in GMCR order ----------------------------------------
         for d in range(gmcr.n_data_graphs):
             pair_lo = int(gmcr.data_graph_offsets[d])
             pair_hi = int(gmcr.data_graph_offsets[d + 1])
@@ -568,8 +753,8 @@ def run_join(
             if result.truncated:
                 break
             d_start, d_stop = data.graph_node_range(d)
-            view = get_local_view(data, d)
             n_graph_nodes = d_stop - d_start
+            view: LocalCSRView | None = None
             # One work-group per data graph (paper section 4.6).
             with tracer.span(
                 f"wg:data-{d}", category="workgroup", pairs=pair_hi - pair_lo
@@ -583,70 +768,78 @@ def run_join(
                             result.resume_pair = pair_idx
                             result.truncate_reason = reason
                             break
-                    qg = int(gmcr.query_graph_indices[pair_idx])
-                    plan = plans[qg]
-                    q_start, _ = query.graph_node_range(plan.query_graph)
-                    cand_arrays = []
-                    sizes = []
-                    empty = False
-                    for local_q in plan.order:
-                        positions = positions_of(q_start + int(local_q))
-                        lo = np.searchsorted(positions, d_start)
-                        hi = np.searchsorted(positions, d_stop)
-                        if hi == lo:
-                            empty = True
-                            break
-                        cand_arrays.append(positions[lo:hi] - d_start)
-                        sizes.append(int(hi - lo))
-                    if empty:
+                    if prefolded[pair_idx]:
                         continue
-                    chosen = select_backend(
-                        find_first, plan.n_nodes, sizes, config.join_backend
-                    )
+                    planned = pair_data[pair_idx]
+                    if planned is None:
+                        continue
+                    qg, chosen, cand_arrays = planned
+                    plan = plans[qg]
                     result.stats.pairs_joined += 1
-                    visits_before = result.stats.candidate_visits
-                    if chosen == BACKEND_TABULAR:
-                        span_name = "kernel:accel:join-tabular"
+                    if chosen == BACKEND_FUSED:
+                        if pair_idx not in fused_acc:
+                            run_wave(wave_size())
+                        acc, slot = fused_acc[pair_idx]
+                        found = int(acc.matches[slot])
+                        pair_visits = int(acc.visits[slot])
+                        result.stats.candidate_visits += pair_visits
+                        result.stats.edge_checks += int(acc.echecks[slot])
+                        result.stats.stack_pushes += int(acc.pushes[slot])
+                        if record is not None and found:
+                            rows = slot_rows(acc, slot)
+                            order = np.asarray(plan.order, dtype=np.int64)
+                            for r in range(0 if rows is None else rows.shape[0]):
+                                if len(record) >= max_record:
+                                    break
+                                mapping = np.empty(plan.n_nodes, dtype=np.int64)
+                                mapping[order] = rows[r] - d_start
+                                record.append((d, qg, mapping))
                     else:
-                        span_name = "kernel:join-dfs"
-                    pair_span = (
-                        tracer.span(
-                            span_name, category="kernel", pair=pair_idx, query=qg
-                        )
-                        if traced
-                        else None
-                    )
-                    if pair_span is not None:
-                        pair_span.__enter__()
-                    try:
+                        if view is None:
+                            view = get_local_view(data, d)
+                        visits_before = result.stats.candidate_visits
                         if chosen == BACKEND_TABULAR:
-                            found = tabular_join_pair(
-                                view,
-                                plan,
-                                cand_arrays,
-                                find_first,
-                                result.stats,
-                                record=record,
-                                record_meta=(d, qg),
-                                max_record=config.max_embeddings_recorded,
-                            )
+                            span_name = "kernel:accel:join-tabular"
                         else:
-                            found = join_pair(
-                                view,
-                                plan,
-                                [a.tolist() for a in cand_arrays],
-                                n_graph_nodes,
-                                find_first,
-                                result.stats,
-                                record=record,
-                                record_meta=(d, qg),
-                                max_record=config.max_embeddings_recorded,
+                            span_name = "kernel:join-dfs"
+                        pair_span = (
+                            tracer.span(
+                                span_name, category="kernel", pair=pair_idx, query=qg
                             )
-                    finally:
+                            if traced
+                            else None
+                        )
                         if pair_span is not None:
-                            pair_span.set(matches=found)
-                            pair_span.__exit__(None, None, None)
-                    pair_visits = result.stats.candidate_visits - visits_before
+                            pair_span.__enter__()
+                        try:
+                            if chosen == BACKEND_TABULAR:
+                                found = tabular_join_pair(
+                                    view,
+                                    plan,
+                                    [a - d_start for a in cand_arrays],
+                                    find_first,
+                                    result.stats,
+                                    record=record,
+                                    record_meta=(d, qg),
+                                    max_record=max_record,
+                                )
+                            else:
+                                found = join_pair(
+                                    view,
+                                    plan,
+                                    [(a - d_start).tolist() for a in cand_arrays],
+                                    n_graph_nodes,
+                                    find_first,
+                                    result.stats,
+                                    record=record,
+                                    record_meta=(d, qg),
+                                    max_record=max_record,
+                                )
+                        finally:
+                            if pair_span is not None:
+                                pair_span.set(matches=found)
+                                pair_span.__exit__(None, None, None)
+                        pair_visits = result.stats.candidate_visits - visits_before
                     result.backend_pairs[chosen] += 1
                     result.backend_visits[chosen] += pair_visits
                     result.pair_matches[pair_idx] = found
@@ -663,5 +856,6 @@ def run_join(
             truncated=result.truncated,
             backend_pairs_dfs=result.backend_pairs[BACKEND_DFS],
             backend_pairs_tabular=result.backend_pairs[BACKEND_TABULAR],
+            backend_pairs_fused=result.backend_pairs[BACKEND_FUSED],
         )
     return result

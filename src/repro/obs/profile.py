@@ -15,8 +15,12 @@ Metric naming convention (dotted, lowercase):
   — simulated work counters per kernel launch.
 * ``join.{candidate_visits,edge_checks,stack_pushes}`` — join stats.
 * ``join.backend_pairs.<backend>``, ``join.backend_visits.<backend>`` —
-  per-join-backend dispatch split (``dfs`` vs ``tabular``; see
-  :mod:`repro.accel`).
+  per-join-backend dispatch split (``dfs`` / ``tabular`` / ``fused``;
+  see :mod:`repro.accel`).
+* ``join.fused.tables`` — fused frontier tables launched;
+  ``join.fused.pairs_per_table`` — histogram of how many pairs each
+  table carried; ``join.fused.early_exit_depth`` — histogram of the
+  frontier depth at which Find First retired each matched pair.
 * ``engine.stage_seconds.<stage>`` — wall-clock gauges (noisy; compared
   with a generous tolerance).
 * ``model.kernel_seconds.<kernel>``, ``model.total_seconds`` — analytic
@@ -30,6 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
+
+import numpy as np
 
 from repro.device.counters import counters_from_result
 from repro.device.roofline import build_roofline
@@ -132,6 +138,17 @@ def build_profile(
         (getattr(result.join_result, "backend_visits", None) or {}).items()
     ):
         m.count(f"join.backend_visits.{backend}", visits)
+    fused_tables = getattr(result.join_result, "fused_tables", 0)
+    if fused_tables:
+        m.count("join.fused.tables", fused_tables)
+        m.histogram("join.fused.pairs_per_table").observe_array(
+            np.asarray(result.join_result.fused_pairs_per_table)
+        )
+    early_exits = getattr(result.join_result, "fused_early_exit_depths", None)
+    if early_exits:
+        m.histogram("join.fused.early_exit_depth").observe_array(
+            np.asarray(early_exits)
+        )
 
     # -- device-model kernels --------------------------------------------------
     counters = counters_from_result(result, query, data)
@@ -249,6 +266,23 @@ def format_profile(profile: Profile, top_k: int = 5) -> str:
         )
         lines.append("")
         lines.append(f"join backend split: {split}")
+
+    fused_tables = counters.get("join.fused.tables")
+    if fused_tables:
+        hist = profile.metrics.histograms.get("join.fused.pairs_per_table")
+        pairs = int(hist.count) if hist is not None else 0
+        mean = hist.sum / hist.count if hist is not None and hist.count else 0.0
+        line = (
+            f"fused join: {int(fused_tables)} table(s), {pairs} pairs "
+            f"({mean:.1f} pairs/table)"
+        )
+        exits = profile.metrics.histograms.get("join.fused.early_exit_depth")
+        if exits is not None and exits.count:
+            line += (
+                f", {int(exits.count)} early exits "
+                f"(mean depth {exits.sum / exits.count:.1f})"
+            )
+        lines.append(line)
 
     lines.append("")
     lines.append(f"top {top_k} kernels by simulated bytes:")

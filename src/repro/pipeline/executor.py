@@ -79,6 +79,10 @@ class PipelineRequest:
     plans:
         Pre-compiled query plans to hand the join (else memoized
         compilation).
+    cost_model:
+        Join dispatch cost-model override
+        (:class:`~repro.accel.dispatch.PlanCostModel`); the process-wide
+        calibrated model by default.
     cache:
         Artifact cache to store the query-side artifacts in (``None``
         disables storing).
@@ -100,6 +104,7 @@ class PipelineRequest:
     join_start_pair: int = 0
     n_labels: int | None = None
     plans: list | None = None
+    cost_model: Any = None
     cache: ArtifactCache | None = None
     reuse_artifacts: bool = False
     validated: bool = False

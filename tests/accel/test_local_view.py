@@ -5,11 +5,16 @@ import pytest
 
 from repro.accel.local_view import (
     VIEW_CACHE_BATCHES,
+    BatchCSRView,
+    BatchViewCache,
     LocalCSRView,
     LocalViewCache,
+    batch_view_cache,
+    get_batch_view,
     get_local_view,
     local_view_cache,
 )
+from repro.core.config import SigmoConfig
 from repro.core.csrgo import CSRGO
 from repro.core.engine import SigmoEngine
 from tests.conftest import random_case
@@ -105,10 +110,16 @@ class TestViewCache:
 
 
 class TestRunJoinHoisting:
-    """The satellite: view construction is hoisted out of ``run_join``."""
+    """The satellite: view construction is hoisted out of ``run_join``.
+
+    Pinned to the per-pair tabular backend — under ``auto`` the cost
+    model routes pairs to the fused table, which probes the *batch*-level
+    view instead of per-graph local views (covered below).
+    """
 
     def test_second_run_builds_no_views(self, bench):
-        engine = SigmoEngine(bench.queries, bench.data)
+        config = SigmoConfig(join_backend="tabular")
+        engine = SigmoEngine(bench.queries, bench.data, config)
         cache = local_view_cache()
         engine.run()
         misses_after_first = cache.stats.misses
@@ -118,14 +129,86 @@ class TestRunJoinHoisting:
         assert cache.stats.hits >= misses_after_first
 
     def test_sweep_shares_views(self, bench):
-        engine = SigmoEngine(bench.queries, bench.data)
+        config = SigmoConfig(join_backend="tabular")
+        engine = SigmoEngine(bench.queries, bench.data, config)
         cache = local_view_cache()
         engine.run_iteration_sweep([2, 4, 6])
         # All three sweep points share one batch's views.
         assert cache.n_batches() == 1
 
     def test_batch_change_invalidates(self, bench):
-        SigmoEngine(bench.queries, bench.data[:20]).run()
+        config = SigmoConfig(join_backend="tabular")
+        SigmoEngine(bench.queries, bench.data[:20], config).run()
         first_misses = local_view_cache().stats.misses
-        SigmoEngine(bench.queries, bench.data[20:40]).run()
+        SigmoEngine(bench.queries, bench.data[20:40], config).run()
         assert local_view_cache().stats.misses > first_misses
+
+
+class TestBatchViewCorrectness:
+    def test_probe_matches_csrgo_edges(self, rng):
+        _, d, _ = random_case(rng, max_data_nodes=12, n_edge_labels=3)
+        data = CSRGO.from_graphs([d])
+        view = BatchCSRView(data)
+        n = data.n_nodes
+        us, vs = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        keys = us.ravel() * np.int64(n) + vs.ravel()
+        mask, slot = view.probe(keys)
+        for u, v, hit, s in zip(us.ravel(), vs.ravel(), mask, slot):
+            if data.has_edge(int(u), int(v)):
+                assert hit
+                assert view.edge_labels[s] == data.edge_label(int(u), int(v))
+            else:
+                assert not hit
+
+    def test_flat_keys_globally_sorted_across_graphs(self, bench):
+        data = CSRGO.from_graphs(bench.data)
+        view = BatchCSRView(data)
+        assert np.all(np.diff(view.flat_keys) > 0)
+        assert view.n_edges == data.column_indices.size
+
+    def test_empty_batch_probe(self):
+        from repro.graph.labeled_graph import LabeledGraph
+
+        data = CSRGO.from_graphs([LabeledGraph([1, 2], [])])
+        view = BatchCSRView(data)
+        mask, _ = view.probe(np.array([0, 1], dtype=np.int64))
+        assert not mask.any()
+
+
+class TestBatchViewHoisting:
+    """Satellite: one batch-view build per (batch contents), ever."""
+
+    def test_fused_runs_build_one_view_per_batch(self, bench):
+        engine = SigmoEngine(bench.queries, bench.data)
+        cache = batch_view_cache()
+        engine.run()  # auto -> fused tables probe the batch view
+        assert cache.stats.misses == 1
+        engine.run()
+        engine.run(mode="find-first")
+        assert cache.stats.misses == 1
+        assert cache.stats.hits >= 2
+
+    def test_content_identity_not_object_identity(self, bench):
+        data1 = CSRGO.from_graphs(bench.data)
+        data2 = CSRGO.from_graphs(bench.data)
+        assert data1 is not data2
+        v1 = get_batch_view(data1)
+        v2 = get_batch_view(data2)
+        assert v2 is v1
+        assert batch_view_cache().stats.misses == 1
+
+    def test_batch_change_builds_again(self, bench):
+        SigmoEngine(bench.queries, bench.data[:20]).run()
+        assert batch_view_cache().stats.misses == 1
+        SigmoEngine(bench.queries, bench.data[20:40]).run()
+        assert batch_view_cache().stats.misses == 2
+
+    def test_lru_eviction(self, bench):
+        cache = BatchViewCache(capacity=2)
+        batches = [CSRGO.from_graphs(bench.data[i : i + 3]) for i in range(4)]
+        for b in batches:
+            cache.get(b)
+        assert cache.stats.evictions == 2
+        before = cache.stats.misses
+        cache.get(batches[0])
+        assert cache.stats.misses == before + 1

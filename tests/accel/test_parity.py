@@ -57,8 +57,10 @@ class TestFindAllParity:
         ra = _run(ds.queries, ds.data, "dfs")
         rb = _run(ds.queries, ds.data, "tabular")
         rc = _run(ds.queries, ds.data, "auto")
+        rf = _run(ds.queries, ds.data, "fused")
         assert_find_all_parity(ra, rb)
         assert_find_all_parity(ra, rc)
+        assert_find_all_parity(ra, rf)
 
     @pytest.mark.parametrize("seed", SEEDS)
     def test_planted_patterns_found_by_both(self, seed):
@@ -111,7 +113,9 @@ class TestFindFirstParity:
         ds = build_benchmark(scale=1.0, n_queries=16, n_data_graphs=40, seed=1)
         ra = _run(ds.queries, ds.data, "dfs", mode=FIND_FIRST)
         rb = _run(ds.queries, ds.data, "tabular", mode=FIND_FIRST)
+        rf = _run(ds.queries, ds.data, "fused", mode=FIND_FIRST)
         assert _embeddings(ra) == _embeddings(rb)
+        assert _embeddings(ra) == _embeddings(rf)
 
 
 class TestBudgetTruncationParity:
@@ -150,13 +154,51 @@ class TestBudgetTruncationParity:
             assert total == full.total_matches, backend
 
 
+def _mix_forcing_model():
+    """A cost model that splits the seeded workload between dfs and fused.
+
+    DFS is pure slope, fused pure overhead, so small pairs go scalar and
+    large pairs ride the fused table — guaranteeing a genuine mix.
+    """
+    from repro.accel.dispatch import (
+        MODE_FIND_ALL,
+        MODE_FIND_FIRST,
+        BackendCost,
+        PlanCostModel,
+    )
+
+    table = {
+        "dfs": BackendCost(pair_overhead=0.0, element_cost=1e-6),
+        "tabular": BackendCost(pair_overhead=1.0, element_cost=1.0),
+        "fused": BackendCost(pair_overhead=50e-6, element_cost=0.0),
+    }
+    return PlanCostModel(
+        coefficients={MODE_FIND_ALL: dict(table), MODE_FIND_FIRST: dict(table)},
+        source="test-mix",
+    )
+
+
 class TestMixedDispatch:
-    def test_auto_mixes_backends_without_changing_results(self):
+    def test_default_auto_routes_pairs_to_fused(self):
         ds = build_benchmark(scale=1.0, n_queries=24, n_data_graphs=60, seed=7)
         rc = _run(ds.queries, ds.data, "auto")
         split = rc.join_result.backend_pairs
-        # The seeded workload exercises both backends under auto.
-        assert split["dfs"] > 0 and split["tabular"] > 0
+        assert split["fused"] > 0
+        ra = _run(ds.queries, ds.data, "dfs")
+        assert_find_all_parity(ra, rc)
+
+    def test_auto_mixes_backends_without_changing_results(self):
+        from repro.accel.dispatch import set_cost_model
+
+        ds = build_benchmark(scale=1.0, n_queries=24, n_data_graphs=60, seed=7)
+        set_cost_model(_mix_forcing_model())
+        try:
+            rc = _run(ds.queries, ds.data, "auto")
+        finally:
+            set_cost_model(None)
+        split = rc.join_result.backend_pairs
+        # The forced crossover exercises both backends under auto.
+        assert split["dfs"] > 0 and split["fused"] > 0
         ra = _run(ds.queries, ds.data, "dfs")
         assert_find_all_parity(ra, rc)
 

@@ -119,10 +119,15 @@ class TestFindFirst:
         assert gmcr.matched[0]
 
     def test_find_first_less_work(self):
+        # DFS semantics: the scalar backend stops at the first embedding.
+        # (The fused backend pays whole-block work regardless, so its
+        # Find First counters are backend-specific by design.)
         q = path_graph([1, 1])
         d = ring_graph(12, [1] * 12)
-        res_all, _ = run_pipeline([q], [d], mode=FIND_ALL)
-        res_first, _ = run_pipeline([q], [d], mode=FIND_FIRST)
+        res_all, _ = run_pipeline([q], [d], mode=FIND_ALL, join_backend="dfs")
+        res_first, _ = run_pipeline(
+            [q], [d], mode=FIND_FIRST, join_backend="dfs"
+        )
         assert res_first.stats.candidate_visits < res_all.stats.candidate_visits
 
     def test_invalid_mode(self):

@@ -127,7 +127,16 @@ class TestFig11Claims:
 
 class TestFindFirstClaims:
     def test_find_first_cheaper_than_find_all(self, small_dataset):
-        engine = SigmoEngine(small_dataset.queries, small_dataset.data)
+        # The claim is about the paper's DFS search (abandon the pair at
+        # the first embedding), so pin the reference backend: the
+        # vectorized backends agree on results but pay block-granular
+        # work, so their Find First visit counters can tie Find All on
+        # tiny pairs (see repro.accel.tabular).
+        engine = SigmoEngine(
+            small_dataset.queries,
+            small_dataset.data,
+            SigmoConfig(join_backend="dfs"),
+        )
         fa = engine.run()
         ff = engine.run(mode="find-first")
         assert (
