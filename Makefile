@@ -5,7 +5,7 @@
 PY := python
 export PYTHONPATH := src
 
-.PHONY: lint analyze check-analysis test check check-robustness check-obs check-perf check-pipeline check-serve check-slo baseline
+.PHONY: lint analyze check-analysis test check check-robustness check-obs check-perf check-pipeline check-serve check-slo check-backends baseline
 
 lint: analyze
 
@@ -13,10 +13,13 @@ analyze:
 	$(PY) -m repro analyze
 
 # Dataflow gate: the abstract-interpretation analyses (SGL011-SGL014),
-# the static-vs-dynamic effect coverage check, and the analysis-marked
-# test suite (dataflow + races + rules + baseline self-checks).
+# the static-vs-dynamic effect coverage check, the backend-surface
+# staleness gate (docs/backend_surface.md must match the code and show
+# zero kernel-reachable calls outside the repro.xp contract), and the
+# analysis-marked test suite (dataflow + races + rules + baseline).
 check-analysis:
 	$(PY) -m repro analyze --dataflow
+	$(PY) -m repro analyze --check-surface
 	$(PY) -m pytest -q -m analysis
 
 # Refresh the accepted-findings baseline after reviewing new findings.
@@ -28,7 +31,14 @@ baseline:
 test:
 	$(PY) -m pytest -x -q
 
-check: test check-analysis check-pipeline check-slo
+check: test check-analysis check-backends check-pipeline check-slo
+
+# Backend gate: the repro.xp registry and cross-backend parity suite
+# (numpy vs. instrumented must agree bitwise on matches, stats, and
+# resume tokens) plus the SGL014 backend-surface gate.
+check-backends:
+	$(PY) -m pytest -q -m xp
+	$(PY) -m repro analyze --check-surface
 
 # Pipeline gate: cross-driver parity + session-reuse tests, plus the
 # session-amortization benchmark compared against the committed baseline

@@ -12,7 +12,7 @@ through the vectorized steps at once —
 
 * one ragged candidate-gather per depth across all slots,
 * one injectivity mask,
-* one batched ``np.searchsorted`` edge probe per check round against the
+* one batched ``xp.searchsorted`` edge probe per check round against the
   whole-batch edge index (:class:`repro.accel.local_view.BatchCSRView`),
 
 so the per-step NumPy overhead amortizes over the *batch*, not the pair.
@@ -51,11 +51,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
-import numpy as np
-
+from repro import xp
 from repro.analysis.markers import kernel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
     from repro.accel.local_view import BatchCSRView
     from repro.core.join import QueryPlan
 
@@ -70,11 +71,11 @@ FUSED_BLOCK_ELEMS = BLOCK_ELEMS * 2
 
 def _ragged(arrays: Sequence[np.ndarray], dtype) -> tuple[np.ndarray, np.ndarray]:
     """(flat, offsets) concatenation of per-slot arrays."""
-    offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
-    np.cumsum([a.size for a in arrays], out=offsets[1:])
+    offsets = xp.zeros(len(arrays) + 1, dtype=xp.int64)
+    offsets[1:] = xp.cumsum(xp.asarray([a.size for a in arrays], dtype=xp.int64))
     if offsets[-1] == 0:
-        return np.empty(0, dtype=dtype), offsets
-    return np.concatenate(arrays).astype(dtype, copy=False), offsets
+        return xp.empty(0, dtype=dtype), offsets
+    return xp.concatenate(arrays).astype(dtype, copy=False), offsets
 
 
 @dataclass(frozen=True)
@@ -123,7 +124,7 @@ def build_fused_plan(
     exactly as on the per-pair backends.
     """
     n_slots = len(slots)
-    empty64 = np.empty(0, dtype=np.int64)
+    empty64 = xp.empty(0, dtype=xp.int64)
     # The check/banned columns are pure plan metadata — identical for
     # every slot riding the same QueryPlan.  A molecular batch packs
     # thousands of slots over a few dozen distinct plans, so compile each
@@ -131,7 +132,7 @@ def build_fused_plan(
     # ragged repeat/gather instead of per-slot Python appends.
     plan_index: dict[int, int] = {}
     plan_objs: list["QueryPlan"] = []
-    plan_ids = np.empty(n_slots, dtype=np.int64)
+    plan_ids = xp.empty(n_slots, dtype=xp.int64)
     for i, (plan, _) in enumerate(slots):
         idx = plan_index.get(id(plan))
         if idx is None:
@@ -139,21 +140,21 @@ def build_fused_plan(
             plan_index[id(plan)] = idx
             plan_objs.append(plan)
         plan_ids[i] = idx
-    plan_depths = np.array([p.n_nodes for p in plan_objs], dtype=np.int64)
+    plan_depths = xp.asarray([p.n_nodes for p in plan_objs], dtype=xp.int64)
     depth_counts = plan_depths[plan_ids] if n_slots else plan_depths
     max_depth = int(plan_depths.max()) if n_slots else 0
 
     def broadcast(per_plan: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
         """Expand per-plan arrays to (flat, offsets) over the slots."""
-        tpl_flat, tpl_off = _ragged(per_plan, np.int64)
+        tpl_flat, tpl_off = _ragged(per_plan, xp.int64)
         counts = tpl_off[plan_ids + 1] - tpl_off[plan_ids]
-        off = np.zeros(n_slots + 1, dtype=np.int64)
-        np.cumsum(counts, out=off[1:])
+        off = xp.zeros(n_slots + 1, dtype=xp.int64)
+        off[1:] = xp.cumsum(counts)
         total = int(off[-1])
         if total == 0:
             return empty64, off
-        rep = np.repeat(plan_ids, counts)
-        within = np.arange(total, dtype=np.int64) - np.repeat(off[:-1], counts)
+        rep = xp.repeat(plan_ids, counts)
+        within = xp.arange(total, dtype=xp.int64) - xp.repeat(off[:-1], counts)
         return tpl_flat[tpl_off[rep] + within], off
 
     cand_flat, cand_off = [], []
@@ -168,10 +169,10 @@ def build_fused_plan(
                 tpl_bn.append(empty64)
                 continue
             checks = p.check_edges[d]
-            tpl_ck_d.append(np.array([c[0] for c in checks], dtype=np.int64))
-            tpl_ck_l.append(np.array([c[1] for c in checks], dtype=np.int64))
+            tpl_ck_d.append(xp.asarray([c[0] for c in checks], dtype=xp.int64))
+            tpl_ck_l.append(xp.asarray([c[1] for c in checks], dtype=xp.int64))
             banned = (p.forbidden or ((),) * p.n_nodes)[d]
-            tpl_bn.append(np.asarray(banned, dtype=np.int64))
+            tpl_bn.append(xp.asarray(banned, dtype=xp.int64))
         flat, off = broadcast(tpl_ck_d)
         ck_depth.append(flat)
         ck_off.append(off)
@@ -182,18 +183,18 @@ def build_fused_plan(
         bn_off.append(off)
         # Candidate lists are genuinely per-slot (bitmap slices): one
         # size-gather plus one concatenate over the live slots.
-        alive = np.nonzero(depth_counts > d)[0]
+        alive = xp.nonzero(depth_counts > d)[0]
         live = [slots[i][1][d] for i in alive.tolist()]
-        sizes = np.zeros(n_slots, dtype=np.int64)
+        sizes = xp.zeros(n_slots, dtype=xp.int64)
         if live:
-            sizes[alive] = [a.size for a in live]
-        off = np.zeros(n_slots + 1, dtype=np.int64)
-        np.cumsum(sizes, out=off[1:])
+            sizes[alive] = xp.asarray([a.size for a in live], dtype=xp.int64)
+        off = xp.zeros(n_slots + 1, dtype=xp.int64)
+        off[1:] = xp.cumsum(sizes)
         if off[-1] == 0:
             cand_flat.append(empty64)
         else:
             cand_flat.append(
-                np.concatenate(live).astype(np.int64, copy=False)
+                xp.concatenate(live).astype(xp.int64, copy=False)
             )
         cand_off.append(off)
     return FusedPlan(
@@ -231,10 +232,10 @@ class FusedOutcome:
     @classmethod
     def empty(cls, n_slots: int) -> "FusedOutcome":
         return cls(
-            matches=np.zeros(n_slots, dtype=np.int64),
-            visits=np.zeros(n_slots, dtype=np.int64),
-            echecks=np.zeros(n_slots, dtype=np.int64),
-            pushes=np.zeros(n_slots, dtype=np.int64),
+            matches=xp.zeros(n_slots, dtype=xp.int64),
+            visits=xp.zeros(n_slots, dtype=xp.int64),
+            echecks=xp.zeros(n_slots, dtype=xp.int64),
+            pushes=xp.zeros(n_slots, dtype=xp.int64),
         )
 
 
@@ -261,12 +262,12 @@ def extend_fused_block(
     counts = cand_off[slots + 1] - cand_off[slots]
     total = int(counts.sum())
     # Candidate gather: ragged cross product of rows x their slot's list.
-    row_idx = np.repeat(np.arange(table.shape[0], dtype=np.int64), counts)
-    ends = np.cumsum(counts)
-    within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
-    cand = fplan.cand_flat[depth][np.repeat(cand_off[slots], counts) + within]
-    eslot = np.repeat(slots, counts)
-    acc.visits += np.bincount(eslot, minlength=n_slots)
+    row_idx = xp.repeat(xp.arange(table.shape[0], dtype=xp.int64), counts)
+    ends = xp.cumsum(counts)
+    within = xp.arange(total, dtype=xp.int64) - xp.repeat(ends - counts, counts)
+    cand = fplan.cand_flat[depth][xp.repeat(cand_off[slots], counts) + within]
+    eslot = xp.repeat(slots, counts)
+    acc.visits += xp.bincount(eslot, minlength=n_slots)
     # Injectivity mask: candidate already used by its own row.  Column
     # by column — 1-D gathers beat one 2-D advanced-index materialization.
     dup = table[row_idx, 1] == cand
@@ -280,15 +281,15 @@ def extend_fused_block(
     # own plan — sequential early-break accounting: an element stops
     # paying after its first failed round, elements whose slot has fewer
     # checks sit rounds out but stay alive.
-    width = np.int64(view.width)
+    width = xp.checked_flat_stride(view.width)
     ck_off = fplan.ck_off[depth]
     n_checks = ck_off[eslot + 1] - ck_off[eslot]
     rounds = int(n_checks.max()) if n_checks.size else 0
     for k in range(rounds):
-        active = np.nonzero(n_checks > k)[0]
+        active = xp.nonzero(n_checks > k)[0]
         if active.size == 0:
             break
-        acc.echecks += np.bincount(eslot[active], minlength=n_slots)
+        acc.echecks += xp.bincount(eslot[active], minlength=n_slots)
         at = ck_off[eslot[active]] + k
         earlier = fplan.ck_depth[depth][at]
         label = fplan.ck_label[depth][at]
@@ -297,7 +298,7 @@ def extend_fused_block(
         passed = found & ((label == -1) | (labels == label))
         if passed.all():
             continue
-        alive = np.ones(eslot.size, dtype=bool)
+        alive = xp.ones(eslot.size, dtype=xp.bool_)
         alive[active[~passed]] = False
         row_idx = row_idx[alive]
         cand = cand[alive]
@@ -309,24 +310,24 @@ def extend_fused_block(
         n_banned = bn_off[eslot + 1] - bn_off[eslot]
         rounds = int(n_banned.max()) if n_banned.size else 0
         for k in range(rounds):
-            active = np.nonzero(n_banned > k)[0]
+            active = xp.nonzero(n_banned > k)[0]
             if active.size == 0:
                 break
-            acc.echecks += np.bincount(eslot[active], minlength=n_slots)
+            acc.echecks += xp.bincount(eslot[active], minlength=n_slots)
             at = bn_off[eslot[active]] + k
             earlier = fplan.bn_depth[depth][at]
             keys = cand[active] * width + table[row_idx[active], 1 + earlier]
             found, _ = view.probe_labels(keys)
             if not found.any():
                 continue
-            alive = np.ones(eslot.size, dtype=bool)
+            alive = xp.ones(eslot.size, dtype=xp.bool_)
             alive[active[found]] = False
             row_idx = row_idx[alive]
             cand = cand[alive]
             eslot = eslot[alive]
             n_banned = n_banned[alive]
-    acc.pushes += np.bincount(eslot, minlength=n_slots)
-    new_table = np.empty((eslot.size, table.shape[1] + 1), dtype=np.int64)
+    acc.pushes += xp.bincount(eslot, minlength=n_slots)
+    new_table = xp.empty((eslot.size, table.shape[1] + 1), dtype=xp.int64)
     if eslot.size:
         new_table[:, :-1] = table[row_idx]
         new_table[:, -1] = cand
@@ -383,7 +384,7 @@ def fused_join(
     acc.visits += sizes0
     acc.pushes += sizes0
     # Single-node plans: every root candidate is a full match.
-    trivial = np.nonzero(depth_counts == 1)[0]
+    trivial = xp.nonzero(depth_counts == 1)[0]
     for s in trivial.tolist():
         lo, hi = int(fplan.cand_off[0][s]), int(fplan.cand_off[0][s + 1])
         n_found = 1 if find_first else hi - lo
@@ -393,20 +394,20 @@ def fused_join(
             acc.rows[s] = [
                 fplan.cand_flat[0][lo:stop].reshape(-1, 1)
             ]
-    deep = np.nonzero(depth_counts > 1)[0]
+    deep = xp.nonzero(depth_counts > 1)[0]
     if deep.size == 0:
         return acc
     counts0 = sizes0[deep]
-    root = np.empty((int(counts0.sum()), 2), dtype=np.int64)
-    root[:, 0] = np.repeat(deep, counts0)
+    root = xp.empty((int(counts0.sum()), 2), dtype=xp.int64)
+    root[:, 0] = xp.repeat(deep, counts0)
     starts = fplan.cand_off[0][deep]
-    ends = np.cumsum(counts0)
-    within = np.arange(root.shape[0], dtype=np.int64) - np.repeat(
+    ends = xp.cumsum(counts0)
+    within = xp.arange(root.shape[0], dtype=xp.int64) - xp.repeat(
         ends - counts0, counts0
     )
-    root[:, 1] = fplan.cand_flat[0][np.repeat(starts, counts0) + within]
+    root[:, 1] = fplan.cand_flat[0][xp.repeat(starts, counts0) + within]
 
-    retired = np.zeros(n_slots, dtype=bool)
+    retired = xp.zeros(n_slots, dtype=xp.bool_)
     stack: list[np.ndarray] = [root]
     while stack:
         table = stack.pop()
@@ -435,16 +436,16 @@ def fused_join(
             done_rows = new_table[done]
             done_slots = done_rows[:, 0]
             if find_first:
-                first_of, first_at = np.unique(done_slots, return_index=True)
+                first_of, first_at = xp.unique(done_slots, return_index=True)
                 acc.matches[first_of] = 1
                 retired[first_of] = True
                 if record_rows:
                     for s, at in zip(first_of.tolist(), first_at.tolist()):
                         acc.rows[s] = [done_rows[at : at + 1, 1:]]
             else:
-                acc.matches += np.bincount(done_slots, minlength=n_slots)
+                acc.matches += xp.bincount(done_slots, minlength=n_slots)
                 if record_rows:
-                    for s in np.unique(done_slots).tolist():
+                    for s in xp.unique(done_slots).tolist():
                         kept = acc.rows.setdefault(s, [])
                         have = sum(r.shape[0] for r in kept)
                         if have >= max_record:
@@ -462,4 +463,4 @@ def slot_rows(acc: FusedOutcome, slot: int) -> np.ndarray | None:
     kept = acc.rows.get(slot)
     if not kept:
         return None
-    return kept[0] if len(kept) == 1 else np.concatenate(kept, axis=0)
+    return kept[0] if len(kept) == 1 else xp.concatenate(kept, axis=0)

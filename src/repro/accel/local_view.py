@@ -10,7 +10,7 @@ of the batch CSR-GO with pure NumPy slices (no per-edge Python loop):
   invariant).
 * ``flat_keys`` — ``u * width + v`` per adjacency slot.  Because rows are
   ascending and neighbors are sorted per row, this array is *globally*
-  sorted, so one ``np.searchsorted`` resolves any batch of edge-label
+  sorted, so one ``xp.searchsorted`` resolves any batch of edge-label
   probes — the vectorized lookup the tabular join backend is built on.
   Small views additionally build a dense ``int8`` label array lazily
   (:data:`DENSE_CELL_CAP` cells max), turning hot-loop probes into
@@ -32,11 +32,14 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
-import numpy as np
-
+from repro import xp
 from repro.accel.memo import MemoStats
 from repro.core.csrgo import CSRGO
+
+if TYPE_CHECKING:
+    import numpy as np
 
 #: Batches kept in the process-wide view cache before LRU eviction.
 VIEW_CACHE_BATCHES = 8
@@ -64,8 +67,8 @@ def _build_dense(
         edge_labels.size and int(edge_labels.max()) > _DENSE_LABEL_MAX
     ):
         return False
-    dense = np.full(cells, -2, dtype=np.int8)
-    dense[flat_keys] = edge_labels.astype(np.int8)
+    dense = xp.full(cells, -2, dtype=xp.int8)
+    dense[flat_keys] = edge_labels.astype(xp.int8)
     return dense
 
 
@@ -105,18 +108,18 @@ class LocalCSRView:
         adj_lo = int(data.row_offsets[start])
         adj_hi = int(data.row_offsets[stop])
         self.row_offsets = (data.row_offsets[start : stop + 1] - adj_lo).astype(
-            np.int64
+            xp.int64
         )
         self.neighbors = (
-            data.column_indices[adj_lo:adj_hi].astype(np.int64) - start
+            data.column_indices[adj_lo:adj_hi].astype(xp.int64) - start
         )
-        self.edge_labels = np.ascontiguousarray(
-            data.adj_edge_labels[adj_lo:adj_hi], dtype=np.int32
+        self.edge_labels = xp.ascontiguousarray(
+            data.adj_edge_labels[adj_lo:adj_hi], dtype=xp.int32
         )
-        rows = np.repeat(
-            np.arange(width, dtype=np.int64), np.diff(self.row_offsets)
+        rows = xp.repeat(
+            xp.arange(width, dtype=xp.int64), xp.diff(self.row_offsets)
         )
-        self.flat_keys = rows * width + self.neighbors
+        self.flat_keys = rows * xp.checked_flat_stride(width) + self.neighbors
         self._edge_label_map: dict[int, int] | None = None
         self._dense: np.ndarray | None | bool = None
 
@@ -147,11 +150,11 @@ class LocalCSRView:
         identical predicate (-1 is the any-bond wildcard, which must
         still distinguish "edge with some label" from "no edge").
         """
-        keys = np.asarray(local_u, dtype=np.int64) * self.width + np.asarray(
-            local_v, dtype=np.int64
+        keys = xp.asarray(local_u, dtype=xp.int64) * self.width + xp.asarray(
+            local_v, dtype=xp.int64
         )
         found, labels = self.probe_labels(keys)
-        out = np.full(keys.shape, -2, dtype=np.int64)
+        out = xp.full(keys.shape, -2, dtype=xp.int64)
         out[found] = labels[found]
         return out
 
@@ -170,11 +173,11 @@ class LocalCSRView:
             return labels != -2, labels
         size = self.flat_keys.size
         if size == 0:
-            return np.zeros(keys.shape, dtype=bool), np.zeros(
-                keys.shape, dtype=np.int64
+            return xp.zeros(keys.shape, dtype=xp.bool_), xp.zeros(
+                keys.shape, dtype=xp.int64
             )
-        pos = np.searchsorted(self.flat_keys, keys)
-        clipped = np.minimum(pos, size - 1)
+        pos = xp.searchsorted(self.flat_keys, keys)
+        clipped = xp.minimum(pos, size - 1)
         found = self.flat_keys[clipped] == keys
         return found, self.edge_labels[clipped]
 
@@ -199,12 +202,17 @@ class LocalViewCache:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.stats = MemoStats()
-        self._batches: OrderedDict[str, dict[int, LocalCSRView]] = OrderedDict()
+        self._batches: OrderedDict[tuple[str, str], dict[int, LocalCSRView]] = OrderedDict()
         self._lock = threading.Lock()
 
     def views_of(self, data: CSRGO) -> dict[int, LocalCSRView]:
-        """The (mutable, lazily filled) view dict of one batch."""
-        key = data.content_hash()
+        """The (mutable, lazily filled) view dict of one batch.
+
+        Keyed by (content hash, active array backend): views hold backend
+        arrays, so a backend switch mid-session must never recall another
+        backend's artifacts.
+        """
+        key = (data.content_hash(), xp.backend_name())
         with self._lock:
             views = self._batches.get(key)
             if views is None:
@@ -244,7 +252,7 @@ class BatchCSRView:
 
     The fused frontier table (:mod:`repro.accel.fused`) carries rows of
     *every* pair of a batch at once, so its edge probes span many data
-    graphs in one ``np.searchsorted`` call.  Because CSR-GO node ids are
+    graphs in one ``xp.searchsorted`` call.  Because CSR-GO node ids are
     global and neighbors are sorted within ascending rows, the flat keys
     ``u * n_nodes + v`` over the *entire* batch are globally sorted — one
     array answers any cross-graph probe batch.  Building it is one NumPy
@@ -265,14 +273,14 @@ class BatchCSRView:
     def __init__(self, data: CSRGO) -> None:
         n = int(data.n_nodes)
         self.width = n
-        rows = np.repeat(
-            np.arange(n, dtype=np.int64), np.diff(data.row_offsets)
+        rows = xp.repeat(
+            xp.arange(n, dtype=xp.int64), xp.diff(data.row_offsets)
         )
-        self.flat_keys = rows * np.int64(n) + data.column_indices.astype(
-            np.int64
+        self.flat_keys = rows * xp.checked_flat_stride(n) + data.column_indices.astype(
+            xp.int64
         )
-        self.edge_labels = np.ascontiguousarray(
-            data.adj_edge_labels, dtype=np.int32
+        self.edge_labels = xp.ascontiguousarray(
+            data.adj_edge_labels, dtype=xp.int32
         )
         self._dense: np.ndarray | None | bool = None
 
@@ -285,11 +293,11 @@ class BatchCSRView:
         """
         size = self.flat_keys.size
         if size == 0:
-            return np.zeros(keys.shape, dtype=bool), np.zeros(
-                keys.shape, dtype=np.int64
+            return xp.zeros(keys.shape, dtype=xp.bool_), xp.zeros(
+                keys.shape, dtype=xp.int64
             )
-        pos = self.flat_keys.searchsorted(keys)
-        slot = np.minimum(pos, size - 1)
+        pos = xp.searchsorted(self.flat_keys, keys)
+        slot = xp.minimum(pos, size - 1)
         return self.flat_keys[slot] == keys, slot
 
     def probe_labels(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -329,12 +337,16 @@ class BatchViewCache:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.stats = MemoStats()
-        self._views: OrderedDict[str, BatchCSRView] = OrderedDict()
+        self._views: OrderedDict[tuple[str, str], BatchCSRView] = OrderedDict()
         self._lock = threading.Lock()
 
     def get(self, data: CSRGO) -> BatchCSRView:
-        """The cached batch view, building it on first use."""
-        key = data.content_hash()
+        """The cached batch view, building it on first use.
+
+        Keyed by (content hash, active array backend) — see
+        :meth:`LocalViewCache.views_of`.
+        """
+        key = (data.content_hash(), xp.backend_name())
         with self._lock:
             view = self._views.get(key)
             if view is not None:

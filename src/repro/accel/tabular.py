@@ -15,7 +15,7 @@ the next depth is one vectorized pass:
 3. **edge-label checks** — for each compiled back-edge, one batch probe
    against the local view
    (:meth:`~repro.accel.local_view.LocalCSRView.probe_labels`: a dense
-   adjacency gather on small graphs, ``np.searchsorted`` against the
+   adjacency gather on small graphs, ``xp.searchsorted`` against the
    sorted flat edge keys otherwise), with the same pass predicate as
    the scalar backend;
 4. survivors become the next frontier.
@@ -47,11 +47,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-import numpy as np
-
+from repro import xp
 from repro.analysis.markers import kernel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
     from repro.accel.local_view import LocalCSRView
     from repro.core.join import JoinStats, QueryPlan
 
@@ -100,27 +101,29 @@ def extend_frontier(
     # Injectivity: candidate already used by its row (DFS `used` flags).
     # One binary search per matched column — O(rows * depth * log C)
     # instead of materializing the rows x depth x C equality cube.
-    dup = np.zeros((n_rows, n_cand), dtype=bool)
+    dup = xp.zeros((n_rows, n_cand), dtype=xp.bool_)
     for j in range(depth):
         col_vals = table[:, j]
-        pos = cands.searchsorted(col_vals)
-        clipped = np.minimum(pos, n_cand - 1)
+        pos = xp.searchsorted(cands, col_vals)
+        clipped = xp.minimum(pos, n_cand - 1)
         hit = cands[clipped] == col_vals
-        rows_hit = np.nonzero(hit)[0]
+        rows_hit = xp.nonzero(hit)[0]
         dup[rows_hit, clipped[rows_hit]] = True
-    elem = np.nonzero(~dup.ravel())[0]
-    rows_idx, cols = np.divmod(elem, n_cand)
+    elem = xp.nonzero(~dup.ravel())[0]
+    rows_idx, cols = xp.divmod_(elem, n_cand)
     echecks = 0
     # Flat edge keys of each element's candidate, shifted once per list.
-    cand_keys = cands * np.int64(view.width)
+    # checked_flat_stride guards the u * width + v key space against int64
+    # wraparound on absurdly wide graphs.
+    cand_keys = cands * xp.checked_flat_stride(view.width)
 
     def probe(earlier_depth: int) -> tuple[np.ndarray, np.ndarray | None]:
         """(edge-exists mask, edge labels) per surviving element."""
         keys = cand_keys[cols] + table[rows_idx, earlier_depth]
         if n_slots == 0:
             return (
-                np.zeros(keys.shape, dtype=bool),
-                np.zeros(keys.shape, dtype=np.int8),
+                xp.zeros(keys.shape, dtype=xp.bool_),
+                xp.zeros(keys.shape, dtype=xp.int8),
             )
         return view.probe_labels(keys)
 
@@ -146,7 +149,7 @@ def extend_frontier(
             elem = elem[keep]
             rows_idx = rows_idx[keep]
             cols = cols[keep]
-    new_table = np.empty((elem.size, depth + 1), dtype=np.int64)
+    new_table = xp.empty((elem.size, depth + 1), dtype=xp.int64)
     if elem.size:
         new_table[:, :depth] = table[rows_idx]
         new_table[:, depth] = cands[cols]
@@ -190,11 +193,11 @@ def tabular_join_pair(
         found = rows.shape[0]
         matches += found
         if record is not None and record_meta is not None:
-            order = np.asarray(plan.order, dtype=np.int64)
+            order = xp.asarray(plan.order, dtype=xp.int64)
             for r in range(found):
                 if len(record) >= max_record:
                     break
-                mapping = np.empty(depth_count, dtype=np.int64)
+                mapping = xp.empty(depth_count, dtype=xp.int64)
                 mapping[order] = rows[r]
                 record.append((record_meta[0], record_meta[1], mapping))
         return found
@@ -202,7 +205,7 @@ def tabular_join_pair(
     # Depth 0: the whole candidate list becomes the root frontier — each
     # candidate is one visit and one push, exactly as the DFS scans and
     # places them (no earlier depths, so no used/edge checks apply).
-    root = np.ascontiguousarray(cand_arrays[0], dtype=np.int64)[:, None]
+    root = xp.ascontiguousarray(cand_arrays[0], dtype=xp.int64)[:, None]
     visits += sizes[0]
     pushes += sizes[0]
     if depth_count == 1:

@@ -264,11 +264,17 @@ class FunctionIR:
 
 @dataclass
 class ModuleIR:
-    """One lowered module: functions plus its NumPy namespace view."""
+    """One lowered module: functions plus its array-namespace view."""
 
     filename: str
-    #: Local names bound to the numpy module (``np``, ``numpy``, ``xp``).
+    #: Local names resolving to an array namespace.  Includes both the
+    #: numpy aliases (``np``, ``numpy``) and the ``repro.xp`` aliases —
+    #: the dtype/effect analyses treat either with NumPy semantics.
+    #: :attr:`xp_aliases` distinguishes the backend-portable subset.
     np_aliases: frozenset[str]
+    #: Local names bound to the ``repro.xp`` backend namespace
+    #: (``from repro import xp``); always a subset of :attr:`np_aliases`.
+    xp_aliases: frozenset[str]
     #: Local names bound to numpy attributes by ``from numpy import ...``.
     np_from: dict[str, str]
     #: ``local name -> (module path, original name)`` for repro-internal
@@ -602,6 +608,28 @@ def collect_np_namespace(
     return frozenset(np_aliases), np_from
 
 
+def collect_xp_aliases(tree: ast.Module) -> frozenset[str]:
+    """Local names bound to the ``repro.xp`` backend namespace.
+
+    Recognizes ``from repro import xp [as alias]`` (the kernel idiom) and
+    ``import repro.xp as alias``.  The conventional ``xp`` name is always
+    included so snippets without imports still resolve — mirroring
+    :func:`collect_np_namespace`'s treatment of ``np``/``numpy``.
+    """
+    xp_aliases = {"xp"}
+    for stmt in ast.walk(tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.name == "repro.xp" and alias.asname:
+                    xp_aliases.add(alias.asname)
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.module == "repro":
+                for alias in stmt.names:
+                    if alias.name == "xp":
+                        xp_aliases.add(alias.asname or "xp")
+    return frozenset(xp_aliases)
+
+
 def lower_module(source: str, filename: str) -> ModuleIR:
     """Lower one module's source into :class:`ModuleIR`.
 
@@ -612,6 +640,7 @@ def lower_module(source: str, filename: str) -> ModuleIR:
     """
     tree = ast.parse(source, filename=filename)
     np_aliases, np_from = collect_np_namespace(tree)
+    xp_aliases = collect_xp_aliases(tree)
     repro_imports: dict[str, tuple[str, str]] = {}
     for stmt in ast.walk(tree):
         if isinstance(stmt, ast.ImportFrom):
@@ -622,7 +651,11 @@ def lower_module(source: str, filename: str) -> ModuleIR:
                             stmt.module,
                             alias.name,
                         )
-    np_aliases = set(np_aliases)
+    # The dtype/effect analyses model xp calls with NumPy semantics (the
+    # contract is the NumPy-compatible array-API subset), so xp aliases
+    # join the numpy alias set; the surface analysis consults xp_aliases
+    # first to tell portable xp calls from raw-numpy bypasses.
+    np_aliases = set(np_aliases) | set(xp_aliases)
     lowerer = _Lowerer(filename)
     functions: dict[str, FunctionIR] = {}
     for node in tree.body:
@@ -636,6 +669,7 @@ def lower_module(source: str, filename: str) -> ModuleIR:
     return ModuleIR(
         filename=filename,
         np_aliases=frozenset(np_aliases),
+        xp_aliases=xp_aliases,
         np_from=np_from,
         repro_imports=repro_imports,
         functions=functions,

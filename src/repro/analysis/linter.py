@@ -34,7 +34,14 @@ DEFAULT_PACKAGES = (
     "obs",
     "pipeline",
     "accel",
+    "xp",
 )
+
+#: Rules the baseline refuses to absorb: effect-contract escapes and
+#: backend-contract bypasses are hard gates — fix the code (or add an
+#: explicitly reviewed inline ``# sigmo: allow=`` comment), never accept
+#: them wholesale via ``--update-baseline``.
+UNBASELINEABLE_RULES = frozenset({"SGL013", "SGL014"})
 
 BaselineKey = tuple[str, str, str]
 
@@ -136,7 +143,22 @@ def baseline_counter(findings: list[Finding]) -> Counter[BaselineKey]:
 
 
 def save_baseline(findings: list[Finding], path: Path | None = None) -> Path:
-    """Write the baseline file for the given findings; returns the path."""
+    """Write the baseline file for the given findings; returns the path.
+
+    Raises :class:`ValueError` if any finding belongs to an
+    unbaselineable hard-gate rule (:data:`UNBASELINEABLE_RULES`).
+    """
+    blocked = [f for f in findings if f.rule in UNBASELINEABLE_RULES]
+    if blocked:
+        sites = ", ".join(
+            f"{f.rule} {f.file}:{f.line}" for f in blocked[:5]
+        )
+        more = f" (+{len(blocked) - 5} more)" if len(blocked) > 5 else ""
+        raise ValueError(
+            f"refusing to baseline hard-gate findings: {sites}{more}; "
+            "fix the code or add a reviewed inline '# sigmo: allow=' "
+            "suppression"
+        )
     path = path or default_baseline_path()
     counts = baseline_counter(findings)
     entries = [

@@ -57,10 +57,16 @@ SGL012    narrowing-cast       warning   dataflow-backed: ``astype``/dtype-ctor
 SGL013    effect-escape        error     dataflow-backed: a ``@kernel(writes=…)``
                                          function stores to a parameter region
                                          outside its declared write set.
-SGL014    backend-unportable   warning   dataflow-backed: an ``np.*``/array-
-                                         method call reachable from a kernel
-                                         entry point that is outside the
-                                         allowlisted array-API subset.
+SGL014    backend-unportable   error     dataflow-backed: an array call
+                                         reachable from a kernel entry point
+                                         that is outside the ``repro.xp``
+                                         backend contract — a raw ``np.*``
+                                         call (bypasses backend dispatch),
+                                         an ``xp.*`` name missing from
+                                         ``repro.xp.contract.XP_FUNCTIONS``,
+                                         or an unportable array method.
+                                         Hard gate: the baseline refuses to
+                                         absorb it.
 ========  ===================  ========  ==========================================
 
 The dataflow-backed rules (SGL011–SGL014) are registered here for the
@@ -72,9 +78,12 @@ Suppression: append ``# sigmo: allow=SGL00X`` (comma-separated ids, or
 ``*``) to the flagged line.  Repo-wide accepted findings live in the
 committed baseline instead (see :mod:`repro.analysis.linter`).
 
-NumPy alias resolution is per-module: ``import numpy as xp`` and
-``from numpy import zeros`` are recognized exactly like ``np.zeros``
-(see :func:`repro.analysis.dataflow.ir.collect_np_namespace`).
+Array-namespace alias resolution is per-module: ``import numpy as xx``,
+``from numpy import zeros``, and the backend namespace ``from repro
+import xp`` are all recognized exactly like ``np.zeros`` — xp calls
+carry NumPy semantics by contract, so the dtype/signedness rules apply
+unchanged (see :func:`repro.analysis.dataflow.ir.collect_np_namespace`
+and :func:`repro.analysis.dataflow.ir.collect_xp_aliases`).
 """
 
 from __future__ import annotations
@@ -83,7 +92,7 @@ import ast
 import re
 from dataclasses import dataclass
 
-from repro.analysis.dataflow.ir import collect_np_namespace
+from repro.analysis.dataflow.ir import collect_np_namespace, collect_xp_aliases
 from repro.analysis.findings import Finding, Severity
 
 #: Default NumPy module aliases (snippets without imports); real modules
@@ -123,7 +132,7 @@ RULES: dict[str, Rule] = {
         Rule("SGL011", "implicit-upcast", Severity.WARNING),
         Rule("SGL012", "narrowing-cast", Severity.WARNING),
         Rule("SGL013", "effect-escape", Severity.ERROR),
-        Rule("SGL014", "backend-unportable", Severity.WARNING),
+        Rule("SGL014", "backend-unportable", Severity.ERROR),
     )
 }
 
@@ -526,6 +535,9 @@ def run_rules(source: str, filename: str) -> list[Finding]:
     tree = ast.parse(source, filename=filename)
     lines = source.splitlines()
     np_aliases, np_from = collect_np_namespace(tree)
+    # xp calls follow NumPy semantics by contract, so the dtype and
+    # signedness rules treat the backend namespace like numpy itself.
+    np_aliases = np_aliases | collect_xp_aliases(tree)
     visitor = _Visitor(filename, lines, np_aliases, np_from)
     visitor.visit(tree)
     findings = visitor.findings

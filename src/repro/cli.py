@@ -109,6 +109,12 @@ def _add_analyze(sub: argparse._SubParsersAction) -> None:
                    const="docs/backend_surface.md", default=None,
                    help="write the kernel backend-surface report "
                         "(implies --dataflow; default: %(const)s)")
+    p.add_argument("--check-surface", nargs="?", metavar="FILE",
+                   const="docs/backend_surface.md", default=None,
+                   help="fail if the committed backend-surface report is "
+                        "stale or any kernel-reachable call bypasses the "
+                        "repro.xp contract (implies --dataflow; "
+                        "default: %(const)s)")
 
 
 def _add_resilient_run(sub: argparse._SubParsersAction) -> None:
@@ -410,7 +416,12 @@ def cmd_analyze(args) -> int:
     from repro.analysis.findings import format_findings
 
     paths = [Path(p) for p in args.paths] if args.paths else None
-    dataflow = args.dataflow or args.write_surface or args.update_baseline
+    dataflow = (
+        args.dataflow
+        or args.write_surface
+        or args.check_surface
+        or args.update_baseline
+    )
     try:
         findings = linter.lint_paths(paths, dataflow=dataflow)
     except OSError as exc:
@@ -439,14 +450,52 @@ def cmd_analyze(args) -> int:
             f"surface report written: {out} "
             f"({len(report.surface)} reachable call sites)"
         )
-        if args.write_surface and not (args.dataflow or args.update_baseline):
+        if args.write_surface and not (
+            args.dataflow or args.update_baseline or args.check_surface
+        ):
+            return 0
+
+    if args.check_surface:
+        from repro.analysis.dataflow import render_report, run_dataflow
+
+        files = linter.iter_target_files()
+        report = run_dataflow(files, linter.repo_src_root())
+        expected = render_report(report.surface)
+        committed = Path(args.check_surface)
+        stale_surface = (
+            not committed.is_file() or committed.read_text() != expected
+        )
+        n_unportable = sum(1 for c in report.surface if not c.portable)
+        if stale_surface or n_unportable:
+            if stale_surface:
+                print(
+                    f"check-surface: {committed} is stale; regenerate with "
+                    "`python -m repro analyze --write-surface`",
+                    file=sys.stderr,
+                )
+            if n_unportable:
+                print(
+                    f"check-surface: {n_unportable} kernel-reachable call "
+                    "site(s) bypass the repro.xp contract (SGL014)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"check-surface: ok ({len(report.surface)} reachable call "
+            "sites, 0 unportable)"
+        )
+        if not (args.dataflow or args.update_baseline):
             return 0
 
     if args.update_baseline:
         target = Path(args.baseline) if args.baseline else None
         old = linter.load_baseline(target)
         stale = linter.stale_entries(findings, old)
-        written = linter.save_baseline(findings, target)
+        try:
+            written = linter.save_baseline(findings, target)
+        except ValueError as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 1
         print(f"baseline updated: {written} ({len(findings)} accepted findings)")
         if stale:
             print(f"pruned {sum(n for _, n in stale)} stale baseline entr" +

@@ -14,8 +14,9 @@ experiments.
 
 from __future__ import annotations
 
-import numpy as np
+from typing import TYPE_CHECKING
 
+from repro import xp
 from repro.utils.bitops import (
     WORD_BITS,
     bit_positions,
@@ -25,6 +26,9 @@ from repro.utils.bitops import (
     unpack_bitmap_rows,
     word_dtype,
 )
+
+if TYPE_CHECKING:
+    import numpy as np
 
 
 class CandidateBitmap:
@@ -51,7 +55,7 @@ class CandidateBitmap:
         self.n_data_nodes = int(n_data_nodes)
         self.word_bits = int(word_bits)
         n_words = bitmap_words(self.n_data_nodes, self.word_bits)
-        self.words = np.zeros(
+        self.words = xp.zeros(
             (self.n_query_nodes, n_words), dtype=word_dtype(self.word_bits)
         )
 
@@ -60,7 +64,7 @@ class CandidateBitmap:
     @classmethod
     def from_bool(cls, rows: np.ndarray, word_bits: int = WORD_BITS) -> "CandidateBitmap":
         """Build from a dense boolean matrix."""
-        rows = np.asarray(rows, dtype=bool)
+        rows = xp.asarray(rows, dtype=xp.bool_)
         bitmap = cls(rows.shape[0], rows.shape[1], word_bits)
         bitmap.words[:] = pack_bool_rows(rows, word_bits)
         return bitmap
@@ -81,7 +85,7 @@ class CandidateBitmap:
 
     def set_row_bool(self, query_node: int, values: np.ndarray) -> None:
         """Overwrite one row from a boolean vector of length n_data_nodes."""
-        values = np.asarray(values, dtype=bool)
+        values = xp.asarray(values, dtype=xp.bool_)
         if values.shape != (self.n_data_nodes,):
             raise ValueError(
                 f"expected shape ({self.n_data_nodes},), got {values.shape}"
@@ -90,7 +94,7 @@ class CandidateBitmap:
 
     def and_row_bool(self, query_node: int, values: np.ndarray) -> None:
         """AND one row with a boolean vector (monotone refinement step)."""
-        values = np.asarray(values, dtype=bool)
+        values = xp.asarray(values, dtype=xp.bool_)
         if values.shape != (self.n_data_nodes,):
             raise ValueError(
                 f"expected shape ({self.n_data_nodes},), got {values.shape}"
@@ -117,8 +121,8 @@ class CandidateBitmap:
         """
         stop = self.n_data_nodes if stop is None else stop
         positions = bit_positions(self.words[query_node], self.word_bits)
-        lo = np.searchsorted(positions, start)
-        hi = np.searchsorted(positions, stop)
+        lo = xp.searchsorted(positions, start)
+        hi = xp.searchsorted(positions, stop)
         return positions[lo:hi]
 
     # -- aggregate views ----------------------------------------------------------------
@@ -148,13 +152,13 @@ class CandidateBitmap:
             of the GMCR mapping phase: a query graph maps to a data graph
             only when every one of its nodes has a nonzero entry.
         """
-        segment_offsets = np.asarray(segment_offsets, dtype=np.int64)
+        segment_offsets = xp.asarray(segment_offsets, dtype=xp.int64)
         dense = self.to_bool()
         # Segment sums via prefix sums along data-node axis: O(nq * nd).
-        csums = np.concatenate(
+        csums = xp.concatenate(
             [
-                np.zeros((self.n_query_nodes, 1), dtype=np.int64),
-                np.cumsum(dense, axis=1, dtype=np.int64),
+                xp.zeros((self.n_query_nodes, 1), dtype=xp.int64),
+                xp.cumsum(dense, axis=1, dtype=xp.int64),
             ],
             axis=1,
         )

@@ -64,6 +64,12 @@ class SigmoConfig:
         (classic VF2 semantics).  The paper's NLSM uses monomorphism
         semantics (its Def. 2.1 condition is one-directional), which
         remains the default.
+    array_backend:
+        Registered ``repro.xp`` array backend the pipeline executes on
+        (``"numpy"`` default; ``"instrumented"`` wraps numpy in per-op
+        counters; ``"cupy"``/``"torch"`` when their adapters registered).
+        Backend identity is threaded into every content-hash-keyed cache
+        so artifacts from different backends never collide.
     join_backend:
         Join backend selection: ``"auto"`` picks per (data, query) pair
         via the calibrated plan-cost model (:mod:`repro.accel.dispatch`);
@@ -87,6 +93,7 @@ class SigmoConfig:
     wildcard_edge_label: int | None = None
     edge_signatures: bool = False
     induced: bool = False
+    array_backend: str = "numpy"
     join_backend: str = "auto"
 
     def __post_init__(self) -> None:
@@ -111,10 +118,21 @@ class SigmoConfig:
                 f"join_backend must be one of {JOIN_BACKENDS}, "
                 f"got {self.join_backend!r}"
             )
+        from repro.xp import backend_names
+
+        if self.array_backend not in backend_names():
+            raise ValueError(
+                f"array_backend must be one of {backend_names()}, "
+                f"got {self.array_backend!r}"
+            )
 
     def with_backend(self, backend: str) -> "SigmoConfig":
         """Copy with a different join backend (benchmarks, parity tests)."""
         return replace(self, join_backend=backend)
+
+    def with_array_backend(self, backend: str) -> "SigmoConfig":
+        """Copy with a different array backend (parity suite, devices)."""
+        return replace(self, array_backend=backend)
 
     def packing_for(self, label_frequencies: np.ndarray) -> SignaturePacking:
         """Resolve the signature packing for a given label-frequency vector."""

@@ -20,9 +20,9 @@ Kernel-equivalent layout notes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-import numpy as np
-
+from repro import xp
 from repro.accel.memo import frozen_array, signature_memo
 from repro.analysis import contracts
 from repro.analysis.markers import kernel
@@ -33,6 +33,9 @@ from repro.core.signatures import SignaturePacking, SignatureState
 from repro.obs.trace import get_tracer
 from repro.utils.bitops import pack_bool_rows
 from repro.utils.timing import StageTimer
+
+if TYPE_CHECKING:
+    import numpy as np
 
 #: Signature count matrices above this size are not memoized (the cache is
 #: for the many-small-runs pattern — chunks, sweeps, retries — not for
@@ -112,17 +115,17 @@ def initialize_candidates(
     with tracer.span(
         "kernel:initialize_candidates", category="kernel", work_items=data.n_nodes
     ):
-        for label in np.unique(query.labels):
+        for label in xp.unique(query.labels):
             # One work-group batch per label stripe (Alg. 1 layout).
             with tracer.span(
                 f"wg:label-{int(label)}", category="workgroup"
             ) as wg:
                 if wildcard_label is not None and label == wildcard_label:
-                    mask = np.ones(data.n_nodes, dtype=bool)
+                    mask = xp.ones(data.n_nodes, dtype=xp.bool_)
                 else:
                     mask = data.labels == label
                 packed = pack_bool_rows(mask[None, :], word_bits)[0]
-                rows = np.nonzero(query.labels == label)[0]
+                rows = xp.nonzero(query.labels == label)[0]
                 bitmap.words[rows] = packed
                 wg.set(query_rows=int(rows.size), candidates=int(mask.sum()))
     return bitmap
@@ -156,7 +159,7 @@ def refine_candidates(
         raise ValueError("data_counts rows != bitmap data nodes")
     # Group query nodes by identical saturated signature: one mask per
     # distinct signature instead of one per query node.
-    unique_sigs, inverse = np.unique(sat_q, axis=0, return_inverse=True)
+    unique_sigs, inverse = xp.unique(sat_q, axis=0, return_inverse=True)
     tracer = get_tracer()
     with tracer.span(
         "kernel:refine_candidates",
@@ -168,9 +171,9 @@ def refine_candidates(
             # One work-group batch per distinct saturated signature.
             with tracer.span(f"wg:sig-{sig_idx}", category="workgroup") as wg:
                 sig = unique_sigs[sig_idx]
-                ok = np.all(sat_d >= sig, axis=1)
+                ok = xp.all(sat_d >= sig, axis=1)
                 packed = pack_bool_rows(ok[None, :], bitmap.word_bits)[0]
-                rows = np.nonzero(inverse == sig_idx)[0]
+                rows = xp.nonzero(inverse == sig_idx)[0]
                 bitmap.words[rows] &= packed
                 wg.set(query_rows=int(rows.size), survivors=int(ok.sum()))
 
@@ -207,7 +210,7 @@ class IterativeFilter:
             q_max = int(q_labels.max()) + 1 if q_labels.size else 0
             n_labels = max(q_max, data.n_labels, 1)
         self.n_labels = n_labels
-        freq = np.bincount(data.labels, minlength=n_labels).astype(np.float64)
+        freq = xp.bincount(data.labels, minlength=n_labels).astype(xp.float64)
         self.packing = self.config.packing_for(freq)
         self._query_state: SignatureState | None = None
         self._data_state: SignatureState | None = None
@@ -319,8 +322,9 @@ class IterativeFilter:
     def _signatures_at(self, radius: int) -> tuple[np.ndarray, np.ndarray]:
         """Query and data signature counts at the given radius.
 
-        Each side is memoized by batch content hash, label-vocabulary size,
-        the ignored (wildcard) label and the radius — so a second pipeline
+        Each side is memoized by the active array backend, batch content
+        hash, label-vocabulary size, the ignored (wildcard) label and the
+        radius — so a second pipeline
         run over identical batches (iteration sweeps, chunked re-runs,
         resilient retries) recalls the counts instead of re-running the
         neighborhood BFS.  Oversized matrices bypass the cache
@@ -336,7 +340,14 @@ class IterativeFilter:
         """One side's counts at ``radius``, through the signature memo."""
         batch = self.query if side == "query" else self.data
         ignore = self.config.wildcard_label if side == "query" else None
-        key = ("sig", batch.content_hash(), self.n_labels, ignore, radius)
+        key = (
+            "sig",
+            xp.backend_name(),
+            batch.content_hash(),
+            self.n_labels,
+            ignore,
+            radius,
+        )
         memo = signature_memo()
         cached = memo.get(key)
         if cached is not None:

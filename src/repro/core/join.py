@@ -20,9 +20,9 @@ query edge present in the data graph, and edge labels must agree
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-import numpy as np
-
+from repro import xp
 from repro.accel.dispatch import (
     BACKEND_DFS,
     BACKEND_FUSED,
@@ -41,6 +41,9 @@ from repro.core.csrgo import CSRGO
 from repro.core.mapping import GMCR
 from repro.obs.trace import get_tracer
 from repro.utils.timing import StageTimer
+
+if TYPE_CHECKING:
+    import numpy as np
 
 #: Join execution modes.
 FIND_ALL = "find-all"
@@ -251,22 +254,22 @@ def build_query_plan(
         return query.neighbors(start_node + local) - start_node
 
     if heuristic == "fewest-candidates" and candidate_counts is not None:
-        counts = np.asarray(candidate_counts[start_node:stop_node], dtype=np.int64)
+        counts = xp.asarray(candidate_counts[start_node:stop_node], dtype=xp.int64)
     else:
-        counts = np.diff(
+        counts = xp.diff(
             query.row_offsets[start_node : stop_node + 1]
-        ).astype(np.int64) * -1  # fall back to highest degree first
-    order: list[int] = [int(np.argmin(counts))]
-    in_order = np.zeros(n, dtype=bool)
+        ).astype(xp.int64) * -1  # fall back to highest degree first
+    order: list[int] = [int(xp.argmin(counts))]
+    in_order = xp.zeros(n, dtype=xp.bool_)
     in_order[order[0]] = True
-    adjacent = np.zeros(n, dtype=bool)
+    adjacent = xp.zeros(n, dtype=xp.bool_)
     adjacent[local_neighbors(order[0])] = True
     while len(order) < n:
-        frontier = np.nonzero(adjacent & ~in_order)[0]
+        frontier = xp.nonzero(adjacent & ~in_order)[0]
         if frontier.size == 0:
             # Disconnected query graph: jump to the best remaining node.
-            frontier = np.nonzero(~in_order)[0]
-        pick = int(frontier[np.argmin(counts[frontier])])
+            frontier = xp.nonzero(~in_order)[0]
+        pick = int(frontier[xp.argmin(counts[frontier])])
         order.append(pick)
         in_order[pick] = True
         adjacent[local_neighbors(pick)] = True
@@ -300,7 +303,7 @@ def build_query_plan(
             forbidden.append(())
     return QueryPlan(
         query_graph=query_graph,
-        order=np.asarray(order, dtype=np.int32),
+        order=xp.asarray(order, dtype=xp.int32),
         check_edges=tuple(check_edges),
         forbidden=tuple(forbidden),
     )
@@ -312,7 +315,7 @@ def _bfs_order(query: CSRGO, query_graph: int) -> list[int]:
 
     start_node, stop_node = query.graph_node_range(query_graph)
     n = stop_node - start_node
-    seen = np.zeros(n, dtype=bool)
+    seen = xp.zeros(n, dtype=xp.bool_)
     order: list[int] = []
     for root in range(n):
         if seen[root]:
@@ -336,18 +339,19 @@ def compile_plans(
 ) -> list[QueryPlan]:
     """Compile (or recall) the query plans of a whole batch.
 
-    Plan lists are memoized by query-batch content hash, the candidate
-    counts the ``fewest-candidates`` heuristic consumed, and every config
-    field that changes compilation (heuristic, wildcard edge label,
-    induced mode) — so chunked runs, iteration sweeps and resilient
-    retries over the same queries skip recompilation, while flipping any
-    influencing knob rebuilds.
+    Plan lists are memoized by the active array backend, query-batch
+    content hash, the candidate counts the ``fewest-candidates`` heuristic
+    consumed, and every config field that changes compilation (heuristic,
+    wildcard edge label, induced mode) — so chunked runs, iteration sweeps
+    and resilient retries over the same queries skip recompilation, while
+    flipping any influencing knob (or switching backends) rebuilds.
     """
     counts = bitmap.row_counts()
     key = (
         "plans",
+        xp.backend_name(),
         query.content_hash(),
-        array_hash(np.ascontiguousarray(counts)),
+        array_hash(xp.ascontiguousarray(counts)),
         config.candidate_order,
         config.wildcard_edge_label,
         config.induced,
@@ -481,7 +485,7 @@ def join_pair(
         if depth == last_depth:
             matches += 1
             if record is not None and len(record) < max_record and record_meta:
-                mapping = np.empty(depth_count, dtype=np.int64)
+                mapping = xp.empty(depth_count, dtype=xp.int64)
                 mapping[plan.order] = assigned
                 record.append((record_meta[0], record_meta[1], mapping))
             if find_first:
@@ -560,11 +564,11 @@ def run_join(
     find_first = mode == FIND_FIRST
     model = cost_model if cost_model is not None else get_cost_model()
     result = JoinResult(
-        pair_matches=np.zeros(gmcr.n_pairs, dtype=np.int64),
-        pair_visits=np.zeros(gmcr.n_pairs, dtype=np.int64),
+        pair_matches=xp.zeros(gmcr.n_pairs, dtype=xp.int64),
+        pair_visits=xp.zeros(gmcr.n_pairs, dtype=xp.int64),
         backend_pairs={BACKEND_DFS: 0, BACKEND_TABULAR: 0, BACKEND_FUSED: 0},
         backend_visits={BACKEND_DFS: 0, BACKEND_TABULAR: 0, BACKEND_FUSED: 0},
-        pair_cost_estimates=np.zeros(gmcr.n_pairs, dtype=np.int64),
+        pair_cost_estimates=xp.zeros(gmcr.n_pairs, dtype=xp.int64),
     )
     record = result.embeddings if config.record_embeddings else None
     max_record = config.max_embeddings_recorded
@@ -590,7 +594,7 @@ def run_join(
             cached = row_slices.get(global_q)
             if cached is None:
                 positions = bit_positions(bitmap.words[global_q], bitmap.word_bits)
-                cached = (positions, np.searchsorted(positions, graph_cuts))
+                cached = (positions, xp.searchsorted(positions, graph_cuts))
                 row_slices[global_q] = cached
             return cached
 
@@ -624,7 +628,7 @@ def run_join(
                 plan = plans[qg]
                 q_start, _ = query.graph_node_range(plan.query_graph)
                 rows = [slices_of(q_start + int(lq)) for lq in plan.order]
-                counts = np.stack([cuts[1:] - cuts[:-1] for _, cuts in rows])
+                counts = xp.stack([cuts[1:] - cuts[:-1] for _, cuts in rows])
                 nonempty = (counts > 0).all(axis=0)
                 estimates = model.estimate_elements_batch(plan.n_nodes, counts)
                 choices = model.choose_batch(
@@ -662,7 +666,7 @@ def run_join(
         # to attribute, per-pair replay of fused slots is pure bookkeeping
         # — fold the whole wave into the result arrays vectorized instead.
         fast_fold = budget is None and record is None and not traced
-        prefolded = np.zeros(gmcr.n_pairs, dtype=bool)
+        prefolded = xp.zeros(gmcr.n_pairs, dtype=xp.bool_)
 
         def run_wave(n_wave_pairs: int) -> None:
             """Execute the next ``n_wave_pairs`` fused pairs as one table."""
@@ -699,7 +703,7 @@ def run_join(
             result.fused_pairs_per_table.append(len(packed))
             result.fused_early_exit_depths.extend(acc.early_exit_depths)
             if fast_fold:
-                pair_arr = np.asarray(packed, dtype=np.int64)
+                pair_arr = xp.asarray(packed, dtype=xp.int64)
                 wave_visits = int(acc.visits.sum())
                 result.pair_matches[pair_arr] = acc.matches
                 result.pair_visits[pair_arr] = acc.visits
@@ -787,11 +791,11 @@ def run_join(
                         result.stats.stack_pushes += int(acc.pushes[slot])
                         if record is not None and found:
                             rows = slot_rows(acc, slot)
-                            order = np.asarray(plan.order, dtype=np.int64)
+                            order = xp.asarray(plan.order, dtype=xp.int64)
                             for r in range(0 if rows is None else rows.shape[0]):
                                 if len(record) >= max_record:
                                     break
-                                mapping = np.empty(plan.n_nodes, dtype=np.int64)
+                                mapping = xp.empty(plan.n_nodes, dtype=xp.int64)
                                 mapping[order] = rows[r] - d_start
                                 record.append((d, qg, mapping))
                     else:

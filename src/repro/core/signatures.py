@@ -5,11 +5,13 @@ distance ``r`` (excluding the node itself) — paper Alg. 1.  Two pieces live
 here:
 
 * :class:`SignatureState` — the batched, incremental signature computation.
-  It keeps the BFS frontier of every node of the whole batch at once as a
-  sparse boolean matrix and advances all nodes by one ring per step, exactly
-  like the paper's signature-refinement kernels cache the frontier between
-  refinement iterations (section 4.4).  One step is two sparse matrix
-  products; nothing loops per node in Python.
+  It keeps the BFS frontier of every node of the whole batch at once and
+  advances all nodes by one ring per step, exactly like the paper's
+  signature-refinement kernels cache the frontier between refinement
+  iterations (section 4.4).  The ring expansion itself is delegated to the
+  active backend's ``signature_kernel`` shim (scipy-sparse products on the
+  numpy backend, dense matmuls on scipy-free backends); nothing loops per
+  node in Python.
 
 * :class:`SignaturePacking` — the masked-bitset encoding (section 4.2): a
   64-bit word is partitioned into per-label bit fields, wider fields for
@@ -27,12 +29,14 @@ agree bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-import numpy as np
-from scipy import sparse
-
+from repro import xp
 from repro.analysis.markers import kernel
 from repro.core.csrgo import CSRGO
+
+if TYPE_CHECKING:
+    import numpy as np
 
 
 @dataclass(frozen=True)
@@ -52,7 +56,7 @@ class SignaturePacking:
     shifts: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
-        bits = np.ascontiguousarray(self.bits, dtype=np.int64)
+        bits = xp.ascontiguousarray(self.bits, dtype=xp.int64)
         if bits.ndim != 1:
             raise ValueError("bits must be 1-D")
         if bits.size and bits.min() < 1:
@@ -62,8 +66,13 @@ class SignaturePacking:
                 f"total bits {int(bits.sum())} exceed the 64-bit signature word"
             )
         object.__setattr__(self, "bits", bits)
-        shifts = np.concatenate([[0], np.cumsum(bits)[:-1]]) if bits.size else bits
-        object.__setattr__(self, "shifts", shifts.astype(np.int64))
+        if bits.size:
+            shifts = xp.concatenate(
+                [xp.zeros(1, dtype=xp.int64), xp.cumsum(bits)[:-1]]
+            )
+        else:
+            shifts = bits
+        object.__setattr__(self, "shifts", shifts.astype(xp.int64))
 
     # -- construction ----------------------------------------------------------
 
@@ -74,7 +83,7 @@ class SignaturePacking:
             raise ValueError("n_labels must be >= 1")
         if bits_per_label is None:
             bits_per_label = max(1, 64 // n_labels)
-        return cls(np.full(n_labels, bits_per_label, dtype=np.int64))
+        return cls(xp.full(n_labels, bits_per_label, dtype=xp.int64))
 
     @classmethod
     def from_frequencies(
@@ -93,7 +102,7 @@ class SignaturePacking:
         ``[min_bits, max_bits]``, then greedily trimmed/grown to fit
         ``total_bits``.
         """
-        freqs = np.ascontiguousarray(frequencies, dtype=np.float64)
+        freqs = xp.ascontiguousarray(frequencies, dtype=xp.float64)
         if freqs.ndim != 1 or freqs.size == 0:
             raise ValueError("frequencies must be a non-empty 1-D array")
         if freqs.min() < 0:
@@ -106,19 +115,19 @@ class SignaturePacking:
                 raise ValueError(
                     f"{n} labels cannot fit in {total_bits} bits even at 1 bit each"
                 )
-        weight = np.log2(1.0 + freqs)
+        weight = xp.log2(1.0 + freqs)
         if weight.sum() == 0:
-            weight = np.ones(n, dtype=np.float64)
+            weight = xp.ones(n, dtype=xp.float64)
         raw = weight / weight.sum() * total_bits
-        bits = np.clip(np.round(raw).astype(np.int64), min_bits, max_bits)
+        bits = xp.clip(xp.round(raw).astype(xp.int64), min_bits, max_bits)
         # Greedy repair to satisfy the total budget exactly at the top end.
         while bits.sum() > total_bits:
-            candidates = np.nonzero(bits > min_bits)[0]
-            victim = candidates[np.argmin(freqs[candidates])]
+            candidates = xp.nonzero(bits > min_bits)[0]
+            victim = candidates[xp.argmin(freqs[candidates])]
             bits[victim] -= 1
-        while bits.sum() + 1 <= total_bits and np.any(bits < max_bits):
-            candidates = np.nonzero(bits < max_bits)[0]
-            winner = candidates[np.argmax(freqs[candidates])]
+        while bits.sum() + 1 <= total_bits and xp.any(bits < max_bits):
+            candidates = xp.nonzero(bits < max_bits)[0]
+            winner = candidates[xp.argmax(freqs[candidates])]
             bits[winner] += 1
         return cls(bits)
 
@@ -134,14 +143,14 @@ class SignaturePacking:
         """Saturation cap per label: ``2**bits - 1`` (``uint64``).
 
         Computed with both shift operands unsigned: the signed form
-        ``np.int64(1) << bits`` overflows silently when a single label
+        ``int64(1) << bits`` overflows silently when a single label
         owns all 64 bits, corrupting the saturation cap and every mask
         derived from it.
         """
-        bits = self.bits.astype(np.uint64)
-        caps = (np.uint64(1) << np.minimum(bits, np.uint64(63))) - np.uint64(1)
-        full = np.uint64(0xFFFFFFFFFFFFFFFF)
-        return np.where(self.bits >= 64, full, caps)
+        bits = self.bits.astype(xp.uint64)
+        caps = (xp.uint64(1) << xp.minimum(bits, xp.uint64(63))) - xp.uint64(1)
+        full = xp.uint64(0xFFFFFFFFFFFFFFFF)
+        return xp.where(self.bits >= 64, full, caps)
 
     # -- encoding -------------------------------------------------------------------
 
@@ -151,13 +160,13 @@ class SignaturePacking:
         ``counts`` has shape ``(..., n_labels)``.  ``uint8`` suffices because
         ``max_bits <= 8`` in every allocation this class produces.
         """
-        counts = np.asarray(counts)
+        counts = xp.asarray(counts)
         if counts.shape[-1] != self.n_labels:
             raise ValueError(
                 f"counts last dim {counts.shape[-1]} != n_labels {self.n_labels}"
             )
-        caps = np.minimum(self.capacities, np.uint64(255)).astype(np.int64)
-        return np.minimum(counts, caps).astype(np.uint8)
+        caps = xp.minimum(self.capacities, xp.uint64(255)).astype(xp.int64)
+        return xp.minimum(counts, caps).astype(xp.uint8)
 
     def pack(self, counts: np.ndarray) -> np.ndarray:
         """Pack (saturating) label counts into 64-bit signature words.
@@ -173,17 +182,17 @@ class SignaturePacking:
         numpy.ndarray
             ``uint64[n_nodes]`` packed signatures.
         """
-        sat = self.saturate(counts).astype(np.uint64)
-        shifts = self.shifts.astype(np.uint64)
-        return (sat << shifts).sum(axis=-1, dtype=np.uint64)
+        sat = self.saturate(counts).astype(xp.uint64)
+        shifts = self.shifts.astype(xp.uint64)
+        return (sat << shifts).sum(axis=-1, dtype=xp.uint64)
 
     def unpack(self, packed: np.ndarray) -> np.ndarray:
         """Extract saturated per-label counts from packed words."""
-        packed = np.asarray(packed, dtype=np.uint64)
-        shifts = self.shifts.astype(np.uint64)
+        packed = xp.asarray(packed, dtype=xp.uint64)
+        shifts = self.shifts.astype(xp.uint64)
         masks = self.capacities
         fields = (packed[..., None] >> shifts) & masks
-        return fields.astype(np.int64)
+        return fields.astype(xp.int64)
 
     def dominates(self, data_packed: np.ndarray, query_packed: np.ndarray) -> np.ndarray:
         """Per-field domination test on packed signatures.
@@ -193,9 +202,9 @@ class SignaturePacking:
         validity condition).  Broadcasting applies: pass shapes
         ``(n_d,)`` and ``()`` or ``(n_d,)`` and ``(n_q, 1)`` etc.
         """
-        d = self.unpack(np.asarray(data_packed))
-        q = self.unpack(np.asarray(query_packed))
-        return np.all(d >= q, axis=-1)
+        d = self.unpack(xp.asarray(data_packed))
+        q = self.unpack(xp.asarray(query_packed))
+        return xp.all(d >= q, axis=-1)
 
 
 class SignatureState:
@@ -206,7 +215,8 @@ class SignatureState:
     nodes with label ``l`` at distance ``1..k`` of ``v`` — the radius-``k``
     signature of Alg. 1.  The frontier is cached between steps, so step
     ``k`` only touches the ring ``R_k`` of newly discovered nodes, as in
-    the paper's kernel implementation (section 4.4).
+    the paper's kernel implementation (section 4.4).  The BFS state and
+    ring expansion live in the active backend's ``signature_kernel`` shim.
 
     Parameters
     ----------
@@ -239,58 +249,38 @@ class SignatureState:
         self.n_labels = n_labels
         self.ignore_label = ignore_label
         n = graph.n_nodes
-        self._adjacency = graph.to_scipy_adjacency().astype(np.int32)
         mask = (
-            np.ones(n, dtype=bool)
+            xp.ones(n, dtype=xp.bool_)
             if ignore_label is None
             else (graph.labels != ignore_label)
         )
-        rows = np.nonzero(mask)[0]
-        onehot_cols = graph.labels[mask].astype(np.int64)
-        self._label_onehot = sparse.csr_matrix(
-            (np.ones(rows.size, dtype=np.int64), (rows, onehot_cols)),
-            shape=(n, n_labels),
+        self._impl = xp.signature_kernel(
+            graph.row_offsets, graph.column_indices, n, graph.labels, mask, n_labels
         )
-        # visited includes the node itself (distance 0); the frontier at
-        # radius 0 is the identity.
-        self._visited = sparse.identity(n, dtype=bool, format="csr")
-        self._frontier = sparse.identity(n, dtype=bool, format="csr")
-        self.counts = np.zeros((n, n_labels), dtype=np.int64)
+        self.counts = xp.zeros((n, n_labels), dtype=xp.int64)
         self.radius = 0
         #: nodes discovered at the latest step (|R_k| per node); useful for
         #: convergence detection and for the device simulator's work model.
-        self.last_ring_sizes = np.ones(n, dtype=np.int64)
+        self.last_ring_sizes = xp.ones(n, dtype=xp.int64)
 
     @property
     def converged(self) -> bool:
         """True once no node discovered anything at the last step."""
-        return self.radius > 0 and self._frontier.nnz == 0
+        return self.radius > 0 and self._impl.frontier_count == 0
 
     @kernel(writes=("self",))
     def step(self) -> np.ndarray:
         """Advance every node's view by one ring; return the new counts.
 
-        Computes ``R_{k+1}(v) = N(R_k(v)) \\ visited(v)`` for all ``v`` with
-        two sparse products, accumulates ring label histograms into
-        :attr:`counts`, and caches the new frontier.
+        The backend kernel computes ``R_{k+1}(v) = N(R_k(v)) \\ visited(v)``
+        for all ``v`` at once and hands back the ring sizes plus the ring's
+        label histogram delta, which accumulates into :attr:`counts`.
         """
-        # frontier rows: reached-at-exactly-radius sets per node.
-        expanded = (self._frontier.astype(np.int32) @ self._adjacency).tocsr()
-        expanded.data = np.ones_like(expanded.data)
-        # Remove already-visited pairs (including self): `multiply` gives the
-        # intersection; subtracting it leaves exactly the new discoveries.
-        overlap = self._visited.astype(np.int32).multiply(expanded).tocsr()
-        new_ring = (expanded - overlap).tocsr()
-        new_ring.eliminate_zeros()
-        new_ring = new_ring.astype(bool)
-        self._visited = self._visited.maximum(new_ring).tocsr()
-        self._frontier = new_ring
+        ring_sizes, delta = self._impl.step()
         self.radius += 1
-        self.last_ring_sizes = np.asarray(
-            new_ring.sum(axis=1), dtype=np.int64
-        ).ravel()
-        if new_ring.nnz:
-            self.counts += (new_ring.astype(np.int64) @ self._label_onehot).toarray()
+        self.last_ring_sizes = ring_sizes
+        if delta is not None:
+            self.counts += delta
         return self.counts
 
     def run_to(self, radius: int) -> np.ndarray:
@@ -307,7 +297,7 @@ class SignatureState:
 
     def reachable_counts(self) -> np.ndarray:
         """Nodes within the current radius of each node (excluding self)."""
-        return np.asarray(self._visited.sum(axis=1), dtype=np.int64).ravel() - 1
+        return self._impl.reachable_counts()
 
 
 def reference_signatures(graph: CSRGO, radius: int, n_labels: int) -> np.ndarray:
@@ -318,7 +308,7 @@ def reference_signatures(graph: CSRGO, radius: int, n_labels: int) -> np.ndarray
     from collections import deque
 
     n = graph.n_nodes
-    out = np.zeros((n, n_labels), dtype=np.int64)
+    out = xp.zeros((n, n_labels), dtype=xp.int64)
     for v in range(n):
         dist = {v: 0}
         queue = deque([v])

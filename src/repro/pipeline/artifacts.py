@@ -151,12 +151,16 @@ def filter_fingerprint(
     """Fingerprint of the filter/map artifacts for one (batch, config) pair.
 
     Covers exactly the inputs that determine the candidate bitmap (and
-    thus the GMCR): batch contents, the label-space size, and the config
-    fields the filter reads.  Join-side knobs (backend, embedding
-    recording, candidate order) deliberately do not participate — flipping
-    them must still reuse the filter artifacts.
+    thus the GMCR): batch contents, the label-space size, the array
+    backend the artifacts were computed on, and the config fields the
+    filter reads.  Join-side knobs (join backend, embedding recording,
+    candidate order) deliberately do not participate — flipping them must
+    still reuse the filter artifacts.  The array backend *does*: cached
+    bitmaps hold backend arrays, so artifacts from different backends
+    must never collide.
     """
     return (
+        config.array_backend,
         query.content_hash(),
         data.content_hash(),
         n_labels,

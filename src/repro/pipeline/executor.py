@@ -24,6 +24,7 @@ from typing import Any, Callable, Iterable
 
 from repro.analysis import contracts
 from repro.core.config import SigmoConfig
+from repro.xp import use_backend
 from repro.core.csrgo import CSRGO
 from repro.core.join import FIND_ALL, JoinBudget
 from repro.core.mapping import GMCR
@@ -166,7 +167,16 @@ class PipelineExecutor:
     # -- the one driver ----------------------------------------------------------
 
     def execute(self, request: PipelineRequest) -> MatchResult:
-        """Run the pipeline for ``request`` and return the match result."""
+        """Run the pipeline for ``request`` and return the match result.
+
+        The whole run executes under the request's configured array
+        backend (``config.array_backend``): every ``repro.xp`` call in
+        the kernels resolves to it for the duration of this call.
+        """
+        with use_backend(request.config.array_backend):
+            return self._execute(request)
+
+    def _execute(self, request: PipelineRequest) -> MatchResult:
         timer = StageTimer()
         state = PipelineState(request=request, timer=timer)
         # Stage 1 runs before the root span: engines convert at

@@ -164,7 +164,9 @@ class SessionPool:
 
         Registering the same query contents twice returns the same key
         and reuses the existing warm lanes — the key is the CSR-GO
-        content hash, so it is stable across processes and restarts.
+        content hash suffixed with the config's array backend, so it is
+        stable across processes and restarts while sessions warmed on
+        different backends never share an entry.
         """
         if isinstance(queries, CSRGO):
             query = queries
@@ -173,12 +175,12 @@ class SessionPool:
             if batch.n_graphs == 0:
                 raise ValueError("at least one query graph is required")
             query = CSRGO.from_batch(batch)
-        key = str(query.content_hash())
+        config = config or self.config
+        key = f"{query.content_hash()}:{config.array_backend}"
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             return key
-        config = config or self.config
         lanes = [
             self._build_lane(key, i, query, config) for i in range(self.replicas)
         ]

@@ -5,26 +5,30 @@ one bit per data node (paper section 4.3).  These helpers implement the
 pack/unpack/popcount operations shared by the candidate bitmaps, the GMCR
 match booleans and the device simulator's memory transaction accounting.
 
-All functions operate on NumPy arrays and are fully vectorized; none of the
-hot paths loop in Python.
+All functions go through the :mod:`repro.xp` backend namespace and are
+fully vectorized; none of the hot paths loop in Python.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import TYPE_CHECKING
 
+from repro import xp
 from repro.analysis.markers import kernel
+
+if TYPE_CHECKING:
+    import numpy as np
 
 #: Number of bits per bitmap word.  The paper tunes this per device
 #: (32-bit on NVIDIA/Intel, 64-bit on AMD; Table 1); 64 is the library
 #: default because NumPy's uint64 ops are the fastest on CPU.
 WORD_BITS = 64
 
-_WORD_DTYPES = {8: np.uint8, 16: np.uint16, 32: np.uint32, 64: np.uint64}
+_WORD_DTYPES = {8: "uint8", 16: "uint16", 32: "uint32", 64: "uint64"}
 
 
 def word_dtype(word_bits: int = WORD_BITS) -> np.dtype:
-    """Return the NumPy dtype for a given bitmap word width.
+    """Return the backend dtype for a given bitmap word width.
 
     Parameters
     ----------
@@ -32,7 +36,7 @@ def word_dtype(word_bits: int = WORD_BITS) -> np.dtype:
         Width of a bitmap word in bits; one of 8, 16, 32, 64.
     """
     try:
-        return np.dtype(_WORD_DTYPES[word_bits])
+        return xp.dtype(getattr(xp, _WORD_DTYPES[word_bits]))
     except KeyError:
         raise ValueError(
             f"word_bits must be one of {sorted(_WORD_DTYPES)}, got {word_bits}"
@@ -67,23 +71,19 @@ def pack_bool_rows(rows: np.ndarray, word_bits: int = WORD_BITS) -> np.ndarray:
         Array of shape ``(n_rows, bitmap_words(n_bits))`` with unsigned
         integer dtype of the requested width.
     """
-    rows = np.asarray(rows, dtype=bool)
+    rows = xp.asarray(rows, dtype=xp.bool_)
     if rows.ndim != 2:
         raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
     n_rows, n_bits = rows.shape
     n_words = bitmap_words(n_bits, word_bits)
     if n_rows == 0 or n_words == 0:
-        return np.zeros((n_rows, n_words), dtype=word_dtype(word_bits))
-    # np.packbits is MSB-first per byte; view-based assembly keeps LSB-first
-    # semantics so that bit index == data-node index without reversal.
-    padded = np.zeros((n_rows, n_words * word_bits), dtype=bool)
+        return xp.zeros((n_rows, n_words), dtype=word_dtype(word_bits))
+    padded = xp.zeros((n_rows, n_words * word_bits), dtype=xp.bool_)
     padded[:, :n_bits] = rows
-    bytes_ = np.packbits(padded.reshape(n_rows, -1, 8), axis=-1, bitorder="little")
-    dtype = word_dtype(word_bits)
-    packed = bytes_.reshape(n_rows, -1).view(dtype)
+    packed = xp.pack_bits(padded, word_bits)
     if packed.shape != (n_rows, n_words):  # pragma: no cover - layout guard
         raise AssertionError("bitmap packing produced unexpected shape")
-    return np.ascontiguousarray(packed)
+    return packed
 
 
 def unpack_bitmap_rows(
@@ -100,26 +100,23 @@ def unpack_bitmap_rows(
     word_bits:
         Bitmap word width used when packing.
     """
-    words = np.asarray(words)
+    words = xp.asarray(words)
     if words.ndim != 2:
         raise ValueError(f"words must be 2-D, got shape {words.shape}")
-    n_rows = words.shape[0]
-    as_bytes = np.ascontiguousarray(words).view(np.uint8)
-    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
-    return bits[:, :n_bits].astype(bool)
+    return xp.unpack_bits(words, n_bits, word_bits)
 
 
 def popcount(words: np.ndarray) -> np.ndarray:
     """Per-element population count of an unsigned integer array."""
-    return np.bitwise_count(np.asarray(words))
+    return xp.popcount(xp.asarray(words))
 
 
 def row_popcount(words: np.ndarray) -> np.ndarray:
     """Total set bits per row of a packed bitmap."""
-    words = np.asarray(words)
+    words = xp.asarray(words)
     if words.ndim != 2:
         raise ValueError(f"words must be 2-D, got shape {words.shape}")
-    return popcount(words).sum(axis=1, dtype=np.int64)
+    return popcount(words).sum(axis=1, dtype=xp.int64)
 
 
 def bit_positions(word_row: np.ndarray, word_bits: int = WORD_BITS) -> np.ndarray:
@@ -127,14 +124,15 @@ def bit_positions(word_row: np.ndarray, word_bits: int = WORD_BITS) -> np.ndarra
 
     Used by the join kernel to iterate a query node's candidate list for one
     data graph.  Vectorized: expands the row to booleans then uses
-    ``np.nonzero``.
+    ``xp.nonzero``.  The expansion width comes from the row's dtype, so the
+    ``word_bits`` argument is advisory.
     """
-    word_row = np.asarray(word_row)
+    word_row = xp.asarray(word_row)
     if word_row.ndim != 1:
         raise ValueError(f"word_row must be 1-D, got shape {word_row.shape}")
-    as_bytes = np.ascontiguousarray(word_row).view(np.uint8)
-    bits = np.unpackbits(as_bytes, bitorder="little")
-    return np.nonzero(bits)[0]
+    width = word_row.dtype.itemsize * 8
+    bits = xp.unpack_bits(word_row, word_row.shape[0] * width, width)
+    return xp.nonzero(bits)[0]
 
 
 @kernel(writes=("words",))
@@ -144,17 +142,16 @@ def set_bits(
     """Set bits at ``positions`` in ``words[row]`` in place.
 
     Mirrors the atomic-OR updates in the GPU bitmap (section 4.3); on the
-    NumPy substrate a grouped ``bitwise_or.at`` is the moral equivalent.
+    NumPy substrate a grouped ``xp.scatter_or`` is the moral equivalent.
     """
-    positions = np.asarray(positions, dtype=np.int64)
+    positions = xp.asarray(positions, dtype=xp.int64)
     if positions.size == 0:
         return
     dtype = words.dtype
     word_idx = positions // word_bits
     bit_idx = positions % word_bits
-    np.bitwise_or.at(
-        words[row], word_idx, (np.uint64(1) << bit_idx.astype(np.uint64)).astype(dtype)
-    )
+    values = (xp.uint64(1) << bit_idx.astype(xp.uint64)).astype(dtype)
+    xp.scatter_or(words[row], word_idx, values)
 
 
 def test_bit(

@@ -1,0 +1,152 @@
+"""Optional device-backend adapters (CuPy, torch).
+
+Neither library ships in the reference environment, so both adapters are
+registered only when their import succeeds; everything here must stay
+importable with neither installed.  The adapters reuse the generic
+shim implementations from :mod:`repro.xp.fallback` (exact, if not yet
+tuned) — a real deployment would override the hot ones with native
+calls (``cupy.packbits``, atomic OR scatter kernels).
+"""
+
+from __future__ import annotations
+
+from repro.xp.contract import MAX_FLAT_STRIDE
+from repro.xp.fallback import (
+    DenseSignatureKernel,
+    divmod_generic,
+    pack_bits_generic,
+    popcount_generic,
+    scatter_or_generic,
+    unpack_bits_generic,
+    view_u8_generic,
+)
+from repro.xp.registry import register_backend
+
+
+class _ModuleBackend:
+    """Shared skeleton: delegate the array-API surface to a namespace
+    module and cover the shims with the generic fallbacks."""
+
+    name = "abstract"
+
+    def __init__(self, module) -> None:
+        self._module = module
+
+    def __getattr__(self, attr: str):
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        value = getattr(self._module, attr)
+        object.__setattr__(self, attr, value)  # cache for next lookup
+        return value
+
+    def pack_bits(self, padded, word_bits: int):
+        return pack_bits_generic(self, padded, word_bits)
+
+    def unpack_bits(self, words, n_bits: int, word_bits: int):
+        return unpack_bits_generic(self, words, n_bits, word_bits)
+
+    def view_u8(self, arr):
+        return view_u8_generic(self, arr)
+
+    def scatter_or(self, target, idx, values) -> None:
+        scatter_or_generic(self, target, idx, values)
+
+    def divmod_(self, a, b):
+        return divmod_generic(self, a, b)
+
+    def popcount(self, arr):
+        return popcount_generic(self, arr)
+
+    def checked_flat_stride(self, width):
+        width = int(width)
+        if width > MAX_FLAT_STRIDE:
+            raise OverflowError(
+                f"flat edge keys overflow int64: width {width} exceeds "
+                f"{MAX_FLAT_STRIDE}"
+            )
+        return self.int64(width)
+
+    def signature_kernel(
+        self, row_offsets, column_indices, n_nodes, labels, mask, n_labels
+    ):
+        return DenseSignatureKernel(
+            self, row_offsets, column_indices, n_nodes, labels, mask, n_labels
+        )
+
+
+class CupyBackend(_ModuleBackend):
+    """CuPy adapter — NumPy-compatible namespace, so the module skeleton
+    plus generic shims is a complete (unoptimized) implementation."""
+
+    name = "cupy"
+
+    def __init__(self, cupy) -> None:
+        super().__init__(cupy)
+        object.__setattr__(self, "bool_", cupy.bool_)
+
+    def astype(self, arr, dtype, /, *, copy: bool = True):
+        """Array-API ``astype``; CuPy only offers the method form."""
+        return arr.astype(dtype, copy=copy)
+
+
+class TorchBackend(_ModuleBackend):
+    """Experimental torch adapter.
+
+    torch's namespace diverges from the array API in places the kernels
+    rely on (``concatenate`` vs ``cat``, dtype spellings); this adapter
+    papers over the renames we know about and otherwise delegates.  It
+    registers only when torch imports, and the parity suite is the
+    arbiter of whether a given torch build actually conforms.
+    """
+
+    name = "torch"
+
+    _RENAMES = {
+        "concatenate": "cat",
+        "concat": "cat",
+        "bool_": "bool",
+        "invert": "bitwise_not",
+        "bitwise_invert": "bitwise_not",
+        "left_shift": "bitwise_left_shift",
+        "right_shift": "bitwise_right_shift",
+    }
+
+    def __getattr__(self, attr: str):
+        target = self._RENAMES.get(attr, attr)
+        if target.startswith("_"):
+            raise AttributeError(attr)
+        value = getattr(self._module, target)
+        object.__setattr__(self, attr, value)
+        return value
+
+    def astype(self, arr, dtype, /, *, copy: bool = True):
+        """Array-API ``astype`` on top of ``Tensor.to``."""
+        return arr.to(dtype, copy=copy)
+
+    def ascontiguousarray(self, arr):
+        """NumPy-spelled contiguity via ``Tensor.contiguous``."""
+        return arr.contiguous()
+
+
+def register_optional() -> list[str]:
+    """Register whichever optional device backends import cleanly.
+
+    Returns the names registered (empty in the reference environment,
+    where neither CuPy nor torch is installed).
+    """
+    registered: list[str] = []
+    try:
+        import cupy
+    except Exception:  # pragma: no cover  # sigmo: allow=SGL006
+        pass  # absent in the reference environment: simply not registered
+    else:  # pragma: no cover - requires CUDA toolchain
+        register_backend(CupyBackend(cupy), replace=True)
+        registered.append("cupy")
+    try:
+        import torch
+    except Exception:  # pragma: no cover  # sigmo: allow=SGL006
+        pass  # absent in the reference environment: simply not registered
+    else:  # pragma: no cover - requires torch install
+        register_backend(TorchBackend(torch), replace=True)
+        registered.append("torch")
+    return registered

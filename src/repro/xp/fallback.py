@@ -1,0 +1,155 @@
+"""Generic shim implementations built from portable backend ops.
+
+Every function takes the backend instance (``be``) first and composes
+only :data:`repro.xp.contract.ARRAY_API_FUNCTIONS` operations (plus
+basic indexing), so any backend that provides the array-API subset gets
+working shims for free.  They are exact — bit-for-bit equal to the
+specialized NumPy implementations — just slower, which is the right
+trade for a portability fallback (real device backends override the hot
+ones with native calls: ``cupy.packbits``, atomic OR, cuSPARSE).
+"""
+
+from __future__ import annotations
+
+_UNSIGNED_BY_BITS = {8: "uint8", 16: "uint16", 32: "uint32", 64: "uint64"}
+
+
+def word_dtype_of(be, word_bits: int):
+    """The backend's unsigned dtype for a bitmap word width."""
+    try:
+        return be.dtype(getattr(be, _UNSIGNED_BY_BITS[word_bits]))
+    except KeyError:
+        raise ValueError(
+            f"word_bits must be one of {sorted(_UNSIGNED_BY_BITS)}, "
+            f"got {word_bits}"
+        ) from None
+
+
+def pack_bits_generic(be, padded, word_bits: int):
+    """LSB-first word packing of ``bool[n_rows, n_words * word_bits]``.
+
+    Weight-and-sum replacement for the NumPy ``packbits`` + ``view``
+    trick: bit ``j`` of a word contributes ``2**j``, summed per word in
+    ``uint64`` (exact for every supported width).
+    """
+    n_rows = padded.shape[0]
+    grouped = be.astype(
+        padded.reshape(n_rows, -1, word_bits), be.uint64
+    )
+    weights = be.uint64(1) << be.arange(word_bits, dtype=be.uint64)
+    words = (grouped * weights).sum(axis=-1, dtype=be.uint64)
+    return be.astype(words, word_dtype_of(be, word_bits))
+
+
+def unpack_bits_generic(be, words, n_bits: int, word_bits: int):
+    """Inverse of :func:`pack_bits_generic` (trailing padding dropped)."""
+    words = be.astype(be.asarray(words), be.uint64)
+    shifts = be.arange(word_bits, dtype=be.uint64)
+    bits = (words[..., None] >> shifts) & be.uint64(1)
+    flat = bits.reshape(*words.shape[:-1], -1)
+    return be.astype(flat[..., :n_bits], be.bool_)
+
+
+def view_u8_generic(be, arr):
+    """Little-endian byte expansion of an unsigned integer array."""
+    arr = be.asarray(arr)
+    itemsize = arr.dtype.itemsize
+    wide = be.astype(arr, be.uint64)
+    shifts = be.uint64(8) * be.arange(itemsize, dtype=be.uint64)
+    bytes_ = (wide[..., None] >> shifts) & be.uint64(0xFF)
+    return be.astype(bytes_.reshape(*arr.shape[:-1], -1), be.uint8)
+
+
+def scatter_or_generic(be, target, idx, values) -> None:
+    """In-place grouped OR — the portable stand-in for an atomic OR.
+
+    Scalar loop over the (few) colliding slots; device backends replace
+    this with their native atomic OR scatter.
+    """
+    del be  # uniform shim signature
+    for i, v in zip(idx.tolist(), values.tolist()):
+        target[i] |= v
+
+
+def divmod_generic(be, a, b):
+    """Simultaneous floor quotient and remainder."""
+    return be.floor_divide(a, b), be.remainder(a, b)
+
+
+def popcount_generic(be, arr):
+    """Per-element population count via shift-and-mask accumulation."""
+    arr = be.asarray(arr)
+    nbits = arr.dtype.itemsize * 8
+    wide = be.astype(arr, be.uint64)
+    shifts = be.arange(nbits, dtype=be.uint64)
+    bits = (wide[..., None] >> shifts) & be.uint64(1)
+    return be.astype(bits.sum(axis=-1, dtype=be.uint64), arr.dtype)
+
+
+#: Largest ``n_nodes**2`` the dense signature fallback will allocate
+#: (three boolean n x n operands; 2^26 cells caps each at 64 MB).
+DENSE_SIGNATURE_CELL_CAP = 1 << 26
+
+
+class DenseSignatureKernel:
+    """Dense scipy-free replacement for the sparse signature BFS.
+
+    Keeps ``visited``/``frontier`` as dense boolean matrices and advances
+    one ring per :meth:`step` with two integer matmuls — the exact dense
+    transliteration of ``SignatureState.step``'s sparse products, so ring
+    sizes and per-label count deltas are bit-identical to the scipy path.
+    Molecular batches are tiny relative to :data:`DENSE_SIGNATURE_CELL_CAP`;
+    oversized batches must use a sparse-capable backend.
+    """
+
+    def __init__(
+        self, be, row_offsets, column_indices, n_nodes, labels, mask, n_labels
+    ) -> None:
+        if n_nodes * n_nodes > DENSE_SIGNATURE_CELL_CAP:
+            raise MemoryError(
+                f"dense signature fallback refuses {n_nodes}^2 cells "
+                f"(cap {DENSE_SIGNATURE_CELL_CAP}); use a sparse-capable "
+                "backend for this batch"
+            )
+        self._be = be
+        n = int(n_nodes)
+        self._n = n
+        adjacency = be.zeros((n, n), dtype=be.int32)
+        degrees = be.diff(be.asarray(row_offsets, dtype=be.int64))
+        rows = be.repeat(be.arange(n, dtype=be.int64), degrees)
+        adjacency[rows, be.asarray(column_indices, dtype=be.int64)] = 1
+        self._adjacency = adjacency
+        onehot = be.zeros((n, n_labels), dtype=be.int64)
+        mask_rows = be.nonzero(be.asarray(mask))[0]
+        onehot[mask_rows, be.asarray(labels, dtype=be.int64)[mask_rows]] = 1
+        self._label_onehot = onehot
+        eye = be.astype(be.eye(n, dtype=be.int8), be.bool_)
+        self._visited = eye
+        self._frontier = eye.copy()
+
+    @property
+    def frontier_count(self) -> int:
+        """Nodes discovered at the latest ring, summed over the batch."""
+        return int(self._frontier.sum(dtype=self._be.int64))
+
+    def step(self):
+        """One BFS ring for every node: (ring sizes, label-count delta)."""
+        be = self._be
+        expanded = (
+            be.matmul(
+                be.astype(self._frontier, be.int32), self._adjacency
+            )
+            > 0
+        )
+        new_ring = expanded & ~self._visited
+        self._visited |= new_ring
+        self._frontier = new_ring
+        ring_sizes = new_ring.sum(axis=1, dtype=be.int64)
+        if not bool(new_ring.any()):
+            return ring_sizes, None
+        delta = be.matmul(be.astype(new_ring, be.int64), self._label_onehot)
+        return ring_sizes, delta
+
+    def reachable_counts(self):
+        """Nodes within the current radius of each node (excluding self)."""
+        return self._visited.sum(axis=1, dtype=self._be.int64) - 1

@@ -1,0 +1,78 @@
+"""Backend registry and the active-backend context.
+
+Backends are plain objects exposing the :mod:`repro.xp.contract` names as
+attributes.  The active backend is tracked in a :class:`contextvars.
+ContextVar`, so :func:`use_backend` nests correctly across threads and
+asyncio tasks (the serving layer runs pipelines on both).
+
+The default ``numpy`` backend is registered by :mod:`repro.xp` at import
+time and is bitwise-identical to the historical direct-NumPy kernels.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator
+
+_REGISTRY: dict[str, object] = {}
+
+_ACTIVE: ContextVar[str] = ContextVar("repro_xp_backend", default="numpy")
+
+
+class BackendError(RuntimeError):
+    """A backend lookup or registration failed."""
+
+
+def register_backend(backend: object, *, replace: bool = False) -> None:
+    """Register ``backend`` under its ``.name``.
+
+    Re-registering an existing name raises unless ``replace=True`` —
+    silently swapping the implementation under a running engine would
+    invalidate every backend-keyed cache entry without renaming it.
+    """
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name:
+        raise BackendError("backend must expose a non-empty string .name")
+    if name in _REGISTRY and not replace:
+        raise BackendError(
+            f"backend {name!r} is already registered (pass replace=True)"
+        )
+    _REGISTRY[name] = backend
+
+
+def get_backend(name: str) -> object:
+    """The registered backend called ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown array backend {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY)) or '(none)'}"
+        ) from None
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def current_backend() -> object:
+    """The backend array calls resolve to right now."""
+    return _REGISTRY[_ACTIVE.get()]
+
+
+def backend_name() -> str:
+    """Name of the active backend (cache/fingerprint key component)."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def use_backend(name: str) -> Iterator[object]:
+    """Activate a registered backend for the duration of the block."""
+    backend = get_backend(name)  # fail fast on unknown names
+    token = _ACTIVE.set(name)
+    try:
+        yield backend
+    finally:
+        _ACTIVE.reset(token)

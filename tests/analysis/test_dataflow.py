@@ -31,6 +31,7 @@ from repro.analysis.dataflow.lattice import (
 )
 from repro.analysis.linter import repo_src_root
 from repro.analysis.races import run_race_checks
+from repro.xp import get_backend
 
 pytestmark = pytest.mark.analysis
 
@@ -98,11 +99,16 @@ def test_rank_broadcast_is_max():
         (PY_BOOL, "bool"),
     ],
 )
-def test_promotion_matches_numpy(a, b):
+@pytest.mark.parametrize("backend", ["numpy", "instrumented"])
+def test_promotion_matches_numpy(a, b, backend):
+    # The lattice models NEP 50 promotion; every repro.xp backend must
+    # agree (the contract pins result_type to NumPy semantics), so the
+    # same assertion runs through each backend's dtype machinery.
+    be = get_backend(backend)
     samples = {PY_INT: 2, PY_FLOAT: 2.0, PY_BOOL: True}
-    lhs = samples.get(a, np.dtype(a) if a not in samples else a)
-    rhs = samples.get(b, np.dtype(b) if b not in samples else b)
-    expected = np.result_type(lhs, rhs).name
+    lhs = samples.get(a, be.dtype(a) if a not in samples else a)
+    rhs = samples.get(b, be.dtype(b) if b not in samples else b)
+    expected = be.result_type(lhs, rhs).name
     assert promote_names(a, b) == expected
 
 
@@ -155,10 +161,10 @@ def test_int64_shift_by_variable_width_flagged():
 
 def test_same_dtype_arithmetic_not_flagged():
     src = (
-        "import numpy as np\n" + KERNEL_IMPORT +
+        "from repro import xp\n" + KERNEL_IMPORT +
         "@kernel\n"
         "def f(n):\n"
-        "    a = np.zeros(n, dtype=np.uint64)\n"
+        "    a = xp.zeros(n, dtype=xp.uint64)\n"
         "    return (a | a) + a\n"
     )
     assert rules_of(src) == []
@@ -215,11 +221,11 @@ def test_signed_to_unsigned_astype_flagged():
 
 def test_widening_astype_not_flagged():
     src = (
-        "import numpy as np\n" + KERNEL_IMPORT +
+        "from repro import xp\n" + KERNEL_IMPORT +
         "@kernel\n"
         "def f(n):\n"
-        "    a = np.zeros(n, dtype=np.int32)\n"
-        "    return a.astype(np.float64)\n"
+        "    a = xp.zeros(n, dtype=xp.int32)\n"
+        "    return a.astype(xp.float64)\n"
     )
     assert rules_of(src) == []
 
@@ -283,10 +289,10 @@ def test_store_through_nested_closure_attributed_to_kernel():
 
 def test_local_stores_never_escape():
     src = (
-        "import numpy as np\n" + KERNEL_IMPORT +
+        "from repro import xp\n" + KERNEL_IMPORT +
         "@kernel(writes=())\n"
         "def f(n):\n"
-        "    scratch = np.zeros(n, dtype=np.int64)\n"
+        "    scratch = xp.zeros(n, dtype=xp.int64)\n"
         "    scratch[0] = 1\n"
         "    return scratch\n"
     )
@@ -320,14 +326,47 @@ def test_unportable_call_reachable_through_helper():
 
 def test_unportable_call_outside_kernel_reach_ignored():
     src = (
-        "import numpy as np\n" + KERNEL_IMPORT +
+        "import numpy as np\n"
+        "from repro import xp\n" + KERNEL_IMPORT +
         "def host_only(mask):\n"
         "    return np.packbits(mask)\n"
         "@kernel\n"
         "def f(mask):\n"
-        "    return np.sum(mask)\n"
+        "    return xp.sum(mask)\n"
     )
     assert rules_of(src) == []
+
+
+def test_raw_numpy_in_kernel_is_a_bypass():
+    # Even a perfectly standard call is unportable when it goes through
+    # numpy directly instead of the dispatched xp namespace.
+    src = (
+        "import numpy as np\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(mask):\n"
+        "    return np.sum(mask)\n"
+    )
+    assert ("SGL014", 5) in rules_of(src)
+
+
+def test_xp_shim_calls_are_portable():
+    src = (
+        "from repro import xp\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(mask):\n"
+        "    return xp.pack_bits(mask, 64)\n"
+    )
+    assert rules_of(src) == []
+
+
+def test_xp_call_outside_the_contract_still_fires():
+    src = (
+        "from repro import xp\n" + KERNEL_IMPORT +
+        "@kernel\n"
+        "def f(mask):\n"
+        "    return xp.packbits(mask)\n"  # not a contract name
+    )
+    assert ("SGL014", 5) in rules_of(src)
 
 
 def test_chained_method_call_surface_recovered():
@@ -367,11 +406,20 @@ def test_repo_kernels_have_no_effect_escapes(repo_report):
     assert escapes == [], "\n".join(f.format() for f in escapes)
 
 
-def test_repo_surface_contains_known_unportables(repo_report):
-    apis = {c.api for c in repo_report.surface if not c.portable}
-    # The bit-packing and sparse-signature surface the repro.xp backend
-    # must shim before a GPU array library can drop in.
-    assert {"packbits", "bitwise_or.at", ".view", ".tocsr"} <= apis
+def test_repo_surface_has_no_unportable_sites(repo_report):
+    unportable = [c for c in repo_report.surface if not c.portable]
+    assert unportable == [], "\n".join(
+        f"{c.api} at {c.file}:{c.line}" for c in unportable
+    )
+    # The historical unportables (packbits, bitwise_or.at, .view, scipy
+    # .tocsr) are now reached only through the contract shims.
+    apis = {c.api for c in repo_report.surface if c.portable}
+    assert {
+        "xp.pack_bits",
+        "xp.scatter_or",
+        "xp.divmod_",
+        "xp.checked_flat_stride",
+    } <= apis
 
 
 def test_repo_surface_report_deterministic(repo_report):

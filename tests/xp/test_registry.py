@@ -1,0 +1,95 @@
+"""Backend registry semantics and backend-identity config threading."""
+
+import pytest
+
+from repro import xp
+from repro.core.config import SigmoConfig
+from repro.xp import (
+    BackendError,
+    BackendStrictnessError,
+    backend_name,
+    backend_names,
+    current_backend,
+    get_backend,
+    register_backend,
+    use_backend,
+)
+
+pytestmark = pytest.mark.xp
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = backend_names()
+        assert "numpy" in names
+        assert "instrumented" in names
+
+    def test_default_backend_is_numpy(self):
+        assert backend_name() == "numpy"
+        assert current_backend() is get_backend("numpy")
+
+    def test_use_backend_switches_and_restores(self):
+        with use_backend("instrumented") as be:
+            assert backend_name() == "instrumented"
+            assert current_backend() is be
+            with use_backend("numpy"):
+                assert backend_name() == "numpy"
+            assert backend_name() == "instrumented"
+        assert backend_name() == "numpy"
+
+    def test_unknown_backend_fails_fast(self):
+        with pytest.raises(BackendError, match="unknown array backend"):
+            get_backend("tpu")
+        with pytest.raises(BackendError):
+            with use_backend("tpu"):
+                raise AssertionError("must not enter the block")
+
+    def test_register_refuses_silent_replacement(self):
+        be = get_backend("numpy")
+        with pytest.raises(BackendError, match="already registered"):
+            register_backend(be)
+        register_backend(be, replace=True)  # explicit replacement is fine
+
+    def test_register_requires_a_name(self):
+        with pytest.raises(BackendError, match="name"):
+            register_backend(object())
+
+
+class TestNamespaceDispatch:
+    def test_module_getattr_follows_active_backend(self):
+        arr = xp.zeros(3, dtype=xp.int64)
+        assert arr.dtype == xp.int64
+        with use_backend("instrumented"):
+            with pytest.raises(BackendStrictnessError):
+                xp.zeros(3)
+            counted = xp.zeros(3, dtype=xp.int64)
+            assert counted.dtype == xp.int64
+
+    def test_instrumented_counters_see_dispatched_calls(self):
+        be = get_backend("instrumented")
+        be.reset()
+        with use_backend("instrumented"):
+            xp.zeros(8, dtype=xp.uint64)
+            xp.arange(4, dtype=xp.int64)
+        counts = be.op_counts()
+        assert counts["zeros"][0] == 1
+        assert counts["zeros"][1] == 64  # 8 x uint64
+        assert counts["arange"][0] == 1
+        assert be.total_calls() >= 2
+        be.reset()
+        assert be.total_calls() == 0
+
+
+class TestConfigThreading:
+    def test_config_validates_backend_name(self):
+        assert SigmoConfig().array_backend == "numpy"
+        cfg = SigmoConfig(array_backend="instrumented")
+        assert cfg.array_backend == "instrumented"
+        with pytest.raises(ValueError, match="array_backend"):
+            SigmoConfig(array_backend="not-a-backend")
+
+    def test_with_array_backend_helper(self):
+        config = SigmoConfig()
+        other = config.with_array_backend("instrumented")
+        assert other.array_backend == "instrumented"
+        assert config.array_backend == "numpy"

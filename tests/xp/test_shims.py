@@ -1,0 +1,190 @@
+"""Shim contract: numpy-native shims, generic fallbacks, overflow guards.
+
+Every backend implements the :data:`repro.xp.contract.SHIM_FUNCTIONS`
+surface; the numpy backend uses native fast paths (``np.packbits``,
+``np.bitwise_or.at``, scipy-sparse signature BFS) while device adapters
+inherit the generic fallbacks of :mod:`repro.xp.fallback`.  These tests
+pin the two implementations bitwise-equal, so the parity suite's
+numpy-vs-instrumented comparison transfers to any adapter built on the
+fallbacks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.batch import GraphBatch
+from repro.graph.generators import random_connected_graph
+from repro.core.csrgo import CSRGO
+from repro.xp import MAX_FLAT_STRIDE, NumpyBackend, get_backend
+from repro.xp.fallback import (
+    DENSE_SIGNATURE_CELL_CAP,
+    DenseSignatureKernel,
+    divmod_generic,
+    pack_bits_generic,
+    popcount_generic,
+    scatter_or_generic,
+    unpack_bits_generic,
+    view_u8_generic,
+)
+from repro.xp.numpy_backend import ScipySignatureKernel
+
+pytestmark = pytest.mark.xp
+
+BE = NumpyBackend()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20260808)
+
+
+class TestPackUnpackParity:
+    @pytest.mark.parametrize("word_bits", [8, 16, 32, 64])
+    def test_pack_matches_generic(self, rng, word_bits):
+        rows = rng.random((5, 3 * word_bits)) < 0.4
+        padded = np.ascontiguousarray(rows)
+        native = BE.pack_bits(padded, word_bits)
+        generic = pack_bits_generic(BE, padded, word_bits)
+        assert native.dtype == generic.dtype
+        np.testing.assert_array_equal(native, generic)
+
+    @pytest.mark.parametrize("word_bits", [8, 16, 32, 64])
+    def test_unpack_roundtrips_both_ways(self, rng, word_bits):
+        n_bits = 2 * word_bits + 5
+        rows = rng.random((4, word_bits * 3)) < 0.5
+        rows[:, n_bits:] = False
+        packed = BE.pack_bits(np.ascontiguousarray(rows), word_bits)
+        native = BE.unpack_bits(packed, n_bits, word_bits)
+        generic = unpack_bits_generic(BE, packed, n_bits, word_bits)
+        np.testing.assert_array_equal(native, rows[:, :n_bits])
+        np.testing.assert_array_equal(generic, rows[:, :n_bits])
+
+
+class TestScalarShims:
+    def test_view_u8_matches_generic(self, rng):
+        arr = rng.integers(0, 2**63, size=16, dtype=np.uint64)
+        np.testing.assert_array_equal(BE.view_u8(arr), view_u8_generic(BE, arr))
+
+    def test_popcount_matches_generic(self, rng):
+        arr = rng.integers(0, 2**63, size=64, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            BE.popcount(arr), popcount_generic(BE, arr)
+        )
+
+    def test_divmod_matches_generic(self, rng):
+        a = rng.integers(0, 10**6, size=100)
+        q1, r1 = BE.divmod_(a, 7)
+        q2, r2 = divmod_generic(BE, a, 7)
+        np.testing.assert_array_equal(q1, q2)
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_scatter_or_accumulates_duplicates(self):
+        # np.bitwise_or.at semantics: repeated indices OR together.
+        idx = np.array([0, 1, 1, 2, 1], dtype=np.int64)
+        values = np.array([1, 2, 4, 8, 16], dtype=np.uint64)
+        native = np.zeros(3, dtype=np.uint64)
+        generic = np.zeros(3, dtype=np.uint64)
+        BE.scatter_or(native, idx, values)
+        scatter_or_generic(BE, generic, idx, values)
+        np.testing.assert_array_equal(native, [1, 22, 8])
+        np.testing.assert_array_equal(native, generic)
+
+
+class TestFlatStrideOverflowGuard:
+    """Regression for the latent int64 wraparound in the flat edge keys.
+
+    ``accel/tabular.py`` and the CSR views build flat keys as
+    ``u * width + v``; a bare ``np.int64(width)`` multiplication wraps
+    silently once ``width**2`` exceeds 2**63.  The shim refuses such
+    widths instead of corrupting every join probe.
+    """
+
+    @pytest.mark.parametrize("backend", ["numpy", "instrumented"])
+    def test_max_width_accepted(self, backend):
+        be = get_backend(backend)
+        stride = be.checked_flat_stride(MAX_FLAT_STRIDE)
+        assert int(stride) == MAX_FLAT_STRIDE
+        # The guard boundary is exactly floor(sqrt(2**63 - 1)).
+        assert MAX_FLAT_STRIDE**2 <= 2**63 - 1
+        assert (MAX_FLAT_STRIDE + 1) ** 2 > 2**63 - 1
+
+    @pytest.mark.parametrize("backend", ["numpy", "instrumented"])
+    def test_overflowing_width_refused(self, backend):
+        be = get_backend(backend)
+        with pytest.raises(OverflowError, match="flat edge keys"):
+            be.checked_flat_stride(MAX_FLAT_STRIDE + 1)
+
+    def test_stride_result_is_int64(self):
+        stride = BE.checked_flat_stride(1000)
+        assert np.asarray(stride).dtype == np.int64
+
+
+def _random_csrgo(rng, n_nodes=40, n_labels=4):
+    graphs = [
+        random_connected_graph(n_nodes // 2, 4, n_labels, rng),
+        random_connected_graph(n_nodes - n_nodes // 2, 3, n_labels, rng),
+    ]
+    return CSRGO.from_batch(GraphBatch(graphs))
+
+
+class TestSignatureKernelParity:
+    def test_dense_matches_scipy_step_by_step(self, rng):
+        data = _random_csrgo(rng)
+        n_labels = int(data.labels.max()) + 1
+        mask = np.ones(data.n_nodes, dtype=bool)
+        args = (
+            data.row_offsets,
+            data.column_indices,
+            data.n_nodes,
+            data.labels,
+            mask,
+            n_labels,
+        )
+        sparse_k = ScipySignatureKernel(*args)
+        dense_k = DenseSignatureKernel(BE, *args)
+        for _ in range(5):
+            s_sizes, s_delta = sparse_k.step()
+            d_sizes, d_delta = dense_k.step()
+            np.testing.assert_array_equal(s_sizes, d_sizes)
+            if s_delta is None or d_delta is None:
+                assert not s_sizes.any() and not d_sizes.any()
+            else:
+                np.testing.assert_array_equal(s_delta, d_delta)
+            assert sparse_k.frontier_count == dense_k.frontier_count
+        np.testing.assert_array_equal(
+            sparse_k.reachable_counts(), dense_k.reachable_counts()
+        )
+
+    def test_masked_labels_ignored_identically(self, rng):
+        data = _random_csrgo(rng, n_nodes=24)
+        n_labels = int(data.labels.max()) + 1
+        mask = np.asarray(data.labels) != 0  # pretend label 0 is wildcard
+        args = (
+            data.row_offsets,
+            data.column_indices,
+            data.n_nodes,
+            data.labels,
+            mask,
+            n_labels,
+        )
+        sparse_k = ScipySignatureKernel(*args)
+        dense_k = DenseSignatureKernel(BE, *args)
+        for _ in range(3):
+            s_sizes, s_delta = sparse_k.step()
+            d_sizes, d_delta = dense_k.step()
+            np.testing.assert_array_equal(s_sizes, d_sizes)
+            if s_delta is not None and d_delta is not None:
+                np.testing.assert_array_equal(s_delta, d_delta)
+
+    def test_dense_kernel_caps_memory(self):
+        n = int(DENSE_SIGNATURE_CELL_CAP**0.5) + 1
+        with pytest.raises(MemoryError, match="dense signature"):
+            DenseSignatureKernel(
+                BE,
+                np.zeros(n + 1, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                n,
+                np.zeros(n, dtype=np.int64),
+                np.ones(n, dtype=bool),
+                2,
+            )
